@@ -1,0 +1,259 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper (see DESIGN.md §4 for the index). The benchmarks report
+// the *simulated* metric of each experiment via b.ReportMetric — the
+// reproduction target — alongside Go wall-clock numbers:
+//
+//   - BenchmarkFig3BusUtilization: percent DQ utilisation per burst-group
+//     size (util_pct metric per sub-bench).
+//   - BenchmarkTable2A*/BenchmarkTable2B*: simulated Mdesc/s.
+//   - BenchmarkFig6NewFlowRatio: B/A percent at each packet-set size.
+//   - BenchmarkAblation*: the design-choice sweeps of DESIGN.md §4.
+//   - BenchmarkBaseline*: probe counts of the §II lookup structures.
+//
+// Run `go test -bench=. -benchmem` or `cmd/flowbench all` for the full
+// paper-style tables.
+package repro_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bloom"
+	"repro/internal/experiments"
+	"repro/internal/hashcam"
+	"repro/internal/hashfn"
+	"repro/internal/trafficgen"
+)
+
+// benchScale keeps the timed-model benches tractable under `go test
+// -bench=.` while preserving every shape; cmd/flowbench runs full scale.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Descriptors: 3000, InjectPeriod: 8}
+}
+
+func BenchmarkFig3BusUtilization(b *testing.B) {
+	for _, bursts := range []int{1, 2, 5, 10, 20, 35} {
+		b.Run(fmt.Sprintf("bursts=%d", bursts), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.Fig3(bursts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = points[len(points)-1].Utilisation
+			}
+			b.ReportMetric(100*util, "util_pct")
+		})
+	}
+}
+
+func BenchmarkTable1ResourceModel(b *testing.B) {
+	var bits int64
+	for i := 0; i < b.N; i++ {
+		bits = experiments.Table1().TotalOnChipBits
+	}
+	b.ReportMetric(float64(bits), "onchip_bits")
+}
+
+func BenchmarkTable2AHashPatterns(b *testing.B) {
+	var rows []experiments.Table2ARow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2A(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Rate, "Mdesc_s_"+sanitize(r.Description))
+	}
+}
+
+func BenchmarkTable2BMissRates(b *testing.B) {
+	for _, miss := range []int{100, 50, 0} {
+		b.Run(fmt.Sprintf("miss=%d%%", miss), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table2B(benchScale())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if int(r.MissRate*100) == miss {
+						rate = r.Rate
+					}
+				}
+			}
+			b.ReportMetric(rate, "Mdesc_s")
+		})
+	}
+}
+
+func BenchmarkFig6NewFlowRatio(b *testing.B) {
+	sizes := []int64{1000, 10000, 100000}
+	var points []experiments.Fig6Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Fig6(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(100*p.Ratio, fmt.Sprintf("BA_pct_at_%d", p.Packets))
+	}
+}
+
+func BenchmarkAblationEarlyExit(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationEarlyExit(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "Mdesc_s_early_exit")
+	b.ReportMetric(rows[1].Rate, "Mdesc_s_simultaneous")
+}
+
+func BenchmarkAblationBankSelector(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationBankSelector(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "Mdesc_s_banksel_on")
+	b.ReportMetric(rows[1].Rate, "Mdesc_s_banksel_off")
+}
+
+func BenchmarkAblationBurstWrite(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationBurstWrite(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Rate, "Mdesc_s_"+sanitize(r.Name))
+	}
+}
+
+// BenchmarkBaselineLookup compares the pure-algorithm lookup structures of
+// §II at equal occupancy: wall-clock per lookup plus probes per lookup.
+func BenchmarkBaselineLookup(b *testing.B) {
+	pair := hashfn.DefaultPair()
+	build := func(name string) baseline.LookupTable {
+		switch name {
+		case "single-hash":
+			t, _ := baseline.NewSingleHash(pair.H1, 1<<13, 4, 13)
+			return t
+		case "cuckoo":
+			t, _ := baseline.NewCuckoo(pair, 1<<13, 2, 13, 64)
+			return t
+		case "2-left":
+			t, _ := baseline.NewDLeft([]hashfn.Func{pair.H1, pair.H2}, 1<<12, 4, 13)
+			return t
+		case "conventional-hashcam":
+			cfg := hashcam.DefaultConfig()
+			t, _ := baseline.NewConvHashCAM(cfg)
+			return t
+		default:
+			cfg := hashcam.DefaultConfig()
+			t, _ := baseline.NewProposed(cfg)
+			return t
+		}
+	}
+	keys := trafficgen.Keys(8000)
+	for _, name := range []string{"proposed-hashcam", "conventional-hashcam", "single-hash", "2-left", "cuckoo"} {
+		b.Run(name, func(b *testing.B) {
+			tbl := build(name)
+			for _, k := range keys {
+				if _, err := tbl.Insert(k); err != nil {
+					// Single-hash overflow at this load is expected for a
+					// few keys; skip them.
+					continue
+				}
+			}
+			startProbes := tbl.Probes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl.Lookup(keys[i%len(keys)])
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(tbl.Probes()-startProbes)/float64(b.N), "probes/op")
+			}
+		})
+	}
+}
+
+func BenchmarkHashFunctions(b *testing.B) {
+	key := make([]byte, 13)
+	for _, f := range hashfn.All() {
+		b.Run(f.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i))
+				_ = f.Hash(key)
+			}
+		})
+	}
+}
+
+func BenchmarkBloomFilter(b *testing.B) {
+	f, err := bloom.NewForCapacity(100000, 0.01, hashfn.DefaultPair())
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := trafficgen.Keys(100000)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkUntimedHashCAMInsert(b *testing.B) {
+	cfg := hashcam.DefaultConfig()
+	cfg.Buckets = 1 << 16
+	keys := trafficgen.Keys(200000)
+	b.ResetTimer()
+	var tbl *hashcam.Table
+	for i := 0; i < b.N; i++ {
+		if i%200000 == 0 {
+			var err error
+			tbl, err = hashcam.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+		}
+		if _, err := tbl.Insert(keys[i%200000]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == ',' || r == '%':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,116 @@
+// Command flowbench regenerates the paper's tables and figures at full
+// scale and prints them side by side with the published values.
+//
+// Usage:
+//
+//	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
+//
+// The default experiment scale matches the paper (10 k descriptors, input
+// injected at the 100 MHz ceiling); -quick runs a reduced scale for smoke
+// checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	if err := run(which, scale); err != nil {
+		fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, scale experiments.Scale) error {
+	all := which == "all"
+	ran := false
+
+	if all || which == "fig3" {
+		ran = true
+		points, err := experiments.Fig3(35)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig3Table(points))
+	}
+	if all || which == "table1" {
+		ran = true
+		fmt.Println("Table I substitute — see DESIGN.md §2 for why FPGA ALM counts are replaced by this model.")
+		fmt.Println(experiments.Table1())
+		fmt.Println()
+	}
+	if all || which == "table2a" {
+		ran = true
+		rows, err := experiments.Table2A(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Table2ATable(rows))
+	}
+	var t2b []experiments.Table2BRow
+	if all || which == "table2b" || which == "discussion" {
+		var err error
+		t2b, err = experiments.Table2B(scale)
+		if err != nil {
+			return err
+		}
+	}
+	if all || which == "table2b" {
+		ran = true
+		fmt.Println(experiments.Table2BTable(t2b))
+	}
+	if all || which == "fig6" {
+		ran = true
+		points, err := experiments.Fig6([]int64{1000, 10000, 100000, 594000})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig6Table(points))
+	}
+	if all || which == "discussion" {
+		ran = true
+		fmt.Println(experiments.DiscussionTable(experiments.Discussion(t2b)))
+	}
+	if all || which == "ablations" {
+		ran = true
+		type ablation struct {
+			title string
+			fn    func(experiments.Scale) ([]experiments.AblationRow, error)
+		}
+		for _, a := range []ablation{
+			{"Ablation — early-exit pipeline vs. simultaneous Hash-CAM (§III-A)", experiments.AblationEarlyExit},
+			{"Ablation — DLU bank selector (§IV-A)", experiments.AblationBankSelector},
+			{"Ablation — burst write generator threshold (§IV-B)", experiments.AblationBurstWrite},
+			{"Ablation — K slots per bucket (Fig. 1)", experiments.AblationBucketSlots},
+		} {
+			rows, err := a.fn(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.AblationTable(a.title, rows))
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

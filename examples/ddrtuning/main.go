@@ -1,0 +1,41 @@
+// DDR burst tuning — Fig. 3 territory: measure DQ bus utilisation as
+// read/write bursts are grouped more aggressively, on the same
+// DDR3-1066E timing the paper computes from the Micron datasheet. This is
+// the memory-level argument for the burst write generator (§IV-B): every
+// bus turnaround costs tens of idle cycles, so updates must be written in
+// groups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	points, err := experiments.Fig3(35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DQ bus utilisation vs. burst group size (DDR3-1066E, BL8, open row)")
+	fmt.Println()
+	for _, p := range points {
+		if p.Bursts > 10 && p.Bursts%5 != 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(p.Utilisation*60))
+		note := ""
+		switch p.Bursts {
+		case 1:
+			note = "  <- paper: 20%"
+		case 35:
+			note = "  <- paper: ~90%"
+		}
+		fmt.Printf("%3d bursts  %5.1f%%  %s%s\n", p.Bursts, 100*p.Utilisation, bar, note)
+	}
+	fmt.Println()
+	fmt.Println("every RD<->WR transition idles the bus for the turnaround gap;")
+	fmt.Println("grouping N accesses amortises that gap over N bursts.")
+}

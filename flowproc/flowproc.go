@@ -1,0 +1,175 @@
+// Package flowproc is the public API of this repository: a flow lookup
+// table and flow processor after Yang, Sezer & O'Neill, "A Hardware
+// Acceleration Scheme for Memory-Efficient Flow Processing" (IEEE SOCC
+// 2014).
+//
+// Two entry points cover the two ways to use the system:
+//
+//   - Table is the untimed Hash-CAM flow table (Fig. 1 of the paper): a
+//     two-choice hash table with a CAM overflow store, suitable as a plain
+//     high-performance flow table in Go programs.
+//
+//   - Processor is the cycle-level model of the full dual-path scheme
+//     (Fig. 2): two DDR3 channels behind data lookup units with bank
+//     selection, request filtering and burst write generation. It reports
+//     throughput in simulated Mdesc/s, reproducing the paper's evaluation.
+//
+// The experiments that regenerate every table and figure of the paper are
+// exposed through cmd/flowbench and the repository's benchmark suite.
+package flowproc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashcam"
+	"repro/internal/netflow"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FiveTuple re-exports the packet 5-tuple used as the flow identity.
+type FiveTuple = packet.FiveTuple
+
+// Packet re-exports the parsed-packet type.
+type Packet = packet.Packet
+
+// Table is the untimed Hash-CAM flow table with a 5-tuple front end.
+type Table struct {
+	inner *hashcam.Table
+	spec  packet.TupleSpec
+}
+
+// TableConfig parameterises a Table.
+type TableConfig struct {
+	// Capacity is the approximate flow capacity; the bucket count is
+	// derived (K=4 slots per bucket, two halves).
+	Capacity int
+	// CAMEntries sizes the collision store (default 64).
+	CAMEntries int
+}
+
+// NewTable builds a flow table for roughly cfg.Capacity flows.
+func NewTable(cfg TableConfig) (*Table, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("flowproc: capacity must be positive, got %d", cfg.Capacity)
+	}
+	hcfg := hashcam.DefaultConfig()
+	if cfg.CAMEntries > 0 {
+		hcfg.CAMCapacity = cfg.CAMEntries
+	}
+	// Two halves x K slots: buckets = capacity / (2*K), rounded up to a
+	// power of two.
+	perBucket := 2 * hcfg.SlotsPerBucket
+	buckets := 1
+	for buckets*perBucket < cfg.Capacity {
+		buckets <<= 1
+	}
+	hcfg.Buckets = buckets
+	inner, err := hashcam.New(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{inner: inner, spec: packet.FiveTupleSpec()}, nil
+}
+
+// Insert stores the flow if absent and returns its flow ID.
+func (t *Table) Insert(ft FiveTuple) (uint64, error) {
+	fid, err := t.inner.Insert(t.spec.Key(ft))
+	if err != nil {
+		return 0, fmt.Errorf("flowproc: insert %v: %w", ft, err)
+	}
+	return fid, nil
+}
+
+// Lookup returns the flow ID of ft.
+func (t *Table) Lookup(ft FiveTuple) (uint64, bool) {
+	fid, _, ok := t.inner.Lookup(t.spec.Key(ft))
+	return fid, ok
+}
+
+// Delete removes ft, reporting whether it was present.
+func (t *Table) Delete(ft FiveTuple) bool {
+	return t.inner.Delete(t.spec.Key(ft))
+}
+
+// Len returns the stored flow count.
+func (t *Table) Len() int { return t.inner.Len() }
+
+// CAMInUse returns the number of collision entries currently held in the
+// CAM overflow store.
+func (t *Table) CAMInUse() int { return t.inner.CAMInUse() }
+
+// Processor is the timed dual-path flow processor.
+type Processor struct {
+	lut   *core.FlowLUT
+	sched *sim.Scheduler
+	spec  packet.TupleSpec
+}
+
+// ProcessorConfig selects the timed model's scale.
+type ProcessorConfig struct {
+	// Buckets per path (power of two; default 16384 = 128k flows).
+	Buckets int
+	// InjectPeriodBusCycles is the injection pacing in 800 MHz bus cycles
+	// (8 = the paper's 100 MHz input rate).
+	InjectPeriodBusCycles int64
+}
+
+// NewProcessor builds a timed processor.
+func NewProcessor(cfg ProcessorConfig) (*Processor, error) {
+	ccfg := core.DefaultConfig()
+	if cfg.Buckets > 0 {
+		ccfg.Buckets = cfg.Buckets
+	}
+	lut, sched, err := core.NewRig(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{lut: lut, sched: sched, spec: packet.FiveTupleSpec()}, nil
+}
+
+// Result re-exports the per-descriptor outcome.
+type Result = core.Result
+
+// Report summarises a processed batch.
+type Report struct {
+	Results     []Result
+	MDescPerSec float64
+	NewFlows    int64
+	Hits        int64
+	Dropped     int64
+}
+
+// Process runs a batch of packets through the timed pipeline at the
+// configured injection rate and returns the outcome, including the
+// sustained simulated processing rate.
+func (p *Processor) Process(tuples []FiveTuple, injectPeriod int64) (Report, error) {
+	if injectPeriod <= 0 {
+		injectPeriod = 8
+	}
+	items := make([]core.WorkItem, len(tuples))
+	for i, ft := range tuples {
+		items[i] = core.WorkItem{Kind: core.KindLookup, Key: p.spec.Key(ft)}
+	}
+	rep, err := core.RunWorkload(p.lut, p.sched, items, injectPeriod, 2_000_000_000)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Results:     rep.Results,
+		MDescPerSec: rep.MDescPerSec,
+		NewFlows:    rep.Stats.NewFlows,
+		Hits:        rep.Stats.Hits,
+		Dropped:     rep.Stats.Dropped,
+	}, nil
+}
+
+// FlowEngine re-exports the NetFlow-style state engine so applications
+// can pair it with either table.
+type FlowEngine = netflow.Engine
+
+// NewFlowEngine builds a flow-state engine with common defaults.
+func NewFlowEngine() (*FlowEngine, error) {
+	return netflow.NewEngine(netflow.DefaultConfig())
+}

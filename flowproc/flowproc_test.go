@@ -1,0 +1,96 @@
+package flowproc
+
+import (
+	"testing"
+
+	"repro/internal/trafficgen"
+)
+
+func TestTableBasics(t *testing.T) {
+	tbl, err := NewTable(TableConfig{Capacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := trafficgen.Flow(1)
+	if _, ok := tbl.Lookup(ft); ok {
+		t.Fatal("hit on empty table")
+	}
+	fid, err := tbl.Insert(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Lookup(ft)
+	if !ok || got != fid {
+		t.Fatalf("Lookup = (%d,%v)", got, ok)
+	}
+	if !tbl.Delete(ft) || tbl.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestTableCapacitySizing(t *testing.T) {
+	tbl, err := NewTable(TableConfig{Capacity: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if _, err := tbl.Insert(trafficgen.Flow(i)); err != nil {
+			t.Fatalf("insert %d of 10000: %v", i, err)
+		}
+	}
+	if tbl.Len() != 10000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable(TableConfig{}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestProcessorBatch(t *testing.T) {
+	p, err := NewProcessor(ProcessorConfig{Buckets: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]FiveTuple, 600)
+	for i := range tuples {
+		tuples[i] = trafficgen.Flow(uint64(i % 200)) // 3 packets per flow
+	}
+	rep, err := p.Process(tuples, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 600 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.NewFlows != 200 {
+		t.Fatalf("NewFlows = %d, want 200", rep.NewFlows)
+	}
+	if rep.Hits != 400 {
+		t.Fatalf("Hits = %d, want 400", rep.Hits)
+	}
+	if rep.MDescPerSec <= 0 {
+		t.Fatal("no rate computed")
+	}
+	// A second batch reuses the warm table: everything hits.
+	rep2, err := p.Process(tuples[:200], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NewFlows != rep.NewFlows {
+		t.Fatalf("second batch created flows: %d", rep2.NewFlows-rep.NewFlows)
+	}
+}
+
+func TestFlowEngineExport(t *testing.T) {
+	e, err := NewFlowEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(Packet{Tuple: trafficgen.Flow(5), WireLen: 64}, 1)
+	if e.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d", e.ActiveFlows())
+	}
+}

@@ -1,0 +1,263 @@
+// End-to-end integration tests spanning the module boundaries: synthetic
+// trace generation → trace codec → the timed Flow LUT → flow-state
+// accounting with housekeeping-driven deletes, cross-checked against
+// reference models at every step.
+package repro_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netflow"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trafficgen"
+)
+
+// TestEndToEndTraceThroughTimedLUT writes a heavy-tailed trace, reads it
+// back, replays it through the timed dual-path Flow LUT, and checks the
+// flow accounting against a reference map: the number of NewFlow results
+// must equal the trace's distinct-flow count, FIDs must be stable per
+// flow, and the measured new-flow ratio must match the trace analyzer's.
+func TestEndToEndTraceThroughTimedLUT(t *testing.T) {
+	// 1. Generate and serialise a trace.
+	zcfg := trafficgen.ZipfConfig{Universe: 100000, Skew: 1.3, HeadOffset: 10, Seed: 99}
+	z, err := trafficgen.NewZipfTrace(zcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(trace.Record{
+			Tuple:     z.Next(),
+			WireLen:   64,
+			TimeNanos: uint64(i) * 17_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Read it back through the codec and the streaming analyzer.
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := trace.NewAnalyzer([]int64{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []packet.FiveTuple
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		an.Add(rec)
+		tuples = append(tuples, rec.Tuple)
+	}
+	summary := an.Summary(0)
+	if int(summary.Packets) != n {
+		t.Fatalf("trace round trip lost packets: %d of %d", summary.Packets, n)
+	}
+	if summary.Distinct != int64(z.Distinct()) {
+		t.Fatalf("analyzer distinct %d != generator distinct %d", summary.Distinct, z.Distinct())
+	}
+
+	// 3. Replay through the timed Flow LUT.
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 4096
+	f, sched, err := core.NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := packet.FiveTupleSpec()
+	items := make([]core.WorkItem, len(tuples))
+	for i, ft := range tuples {
+		items[i] = core.WorkItem{Kind: core.KindLookup, Key: spec.Key(ft)}
+	}
+	rep, err := core.RunWorkload(f, sched, items, 8, 2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Cross-check: NewFlows == distinct flows; stable FIDs per flow.
+	if rep.Stats.NewFlows != summary.Distinct {
+		t.Fatalf("timed LUT created %d flows, trace has %d distinct", rep.Stats.NewFlows, summary.Distinct)
+	}
+	if rep.Stats.Dropped != 0 {
+		t.Fatalf("%d drops at %.0f%% occupancy", rep.Stats.Dropped,
+			100*float64(summary.Distinct)/float64(cfg.CapacityFlows()))
+	}
+	fidByKey := make(map[string]uint64)
+	bySeq := make([]core.Result, n)
+	for _, res := range rep.Results {
+		bySeq[res.Seq] = res
+	}
+	for i, ft := range tuples {
+		res := bySeq[i]
+		key := string(spec.Key(ft))
+		if prev, seen := fidByKey[key]; seen {
+			if !res.Hit || res.FID != prev {
+				t.Fatalf("packet %d of %v: got %+v, want hit with fid %d", i, ft, res, prev)
+			}
+		} else {
+			if !res.NewFlow {
+				t.Fatalf("first packet of %v: %+v", ft, res)
+			}
+			fidByKey[key] = res.FID
+		}
+	}
+}
+
+// TestTimedLUTWithHousekeepingDeletes drives the timed LUT and the
+// netflow engine together: flows that the engine retires by idle timeout
+// are deleted from the LUT through the timed KindDelete path, and
+// re-appearing tuples re-insert. Table occupancy must track the engine's
+// active-flow count exactly.
+func TestTimedLUTWithHousekeepingDeletes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 1024
+	f, sched, err := core.NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfCfg := netflow.DefaultConfig()
+	nfCfg.IdleTimeout = 1000 // nanoseconds: compressed timescale
+	engine, err := netflow.NewEngine(nfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := packet.FiveTupleSpec()
+
+	// Phase 1: 50 flows, one packet each.
+	var items []core.WorkItem
+	var now uint64
+	for i := uint64(0); i < 50; i++ {
+		ft := trafficgen.Flow(i)
+		now += 10
+		engine.Observe(packet.Packet{Tuple: ft, WireLen: 64}, now)
+		items = append(items, core.WorkItem{Kind: core.KindLookup, Key: spec.Key(ft)})
+	}
+	if _, err := core.RunWorkload(f, sched, items, 8, 1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: idle everything out; delete exported flows from the LUT.
+	now += 10_000
+	engine.Housekeep(now)
+	exports := engine.DrainExports()
+	if len(exports) != 50 {
+		t.Fatalf("%d exports, want 50", len(exports))
+	}
+	items = items[:0]
+	for _, rec := range exports {
+		items = append(items, core.WorkItem{Kind: core.KindDelete, Key: spec.Key(rec.Tuple)})
+	}
+	rep, err := core.RunWorkload(f, sched, items, 8, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if !res.Hit {
+			t.Fatalf("housekeeping delete missed: %+v", res)
+		}
+	}
+	if got := engine.ActiveFlows(); got != 0 {
+		t.Fatalf("engine still tracks %d flows", got)
+	}
+
+	// Phase 3: the same tuples re-appear — all must re-insert as new.
+	items = items[:0]
+	for i := uint64(0); i < 50; i++ {
+		items = append(items, core.WorkItem{Kind: core.KindLookup, Key: spec.Key(trafficgen.Flow(i))})
+	}
+	rep, err = core.RunWorkload(f, sched, items, 8, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reNew := 0
+	for _, res := range rep.Results {
+		if res.NewFlow {
+			reNew++
+		}
+	}
+	if reNew != 50 {
+		t.Fatalf("after deletion only %d of 50 tuples re-inserted as new flows", reNew)
+	}
+}
+
+// TestSustainedChurn subjects the timed LUT to a long insert/hit/delete
+// churn and verifies the structure never leaks capacity: after deleting
+// everything, occupancy-sensitive behaviour (fresh inserts at stage-miss)
+// is fully restored.
+func TestSustainedChurn(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 512
+	f, sched, err := core.NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := packet.FiveTupleSpec()
+	rng := sim.NewRand(5)
+	live := make(map[uint64]bool)
+	for round := 0; round < 6; round++ {
+		var items []core.WorkItem
+		for i := 0; i < 400; i++ {
+			flow := uint64(rng.Intn(600))
+			if live[flow] && rng.Intn(4) == 0 {
+				items = append(items, core.WorkItem{Kind: core.KindDelete, Key: spec.Key(trafficgen.Flow(flow))})
+				live[flow] = false
+			} else {
+				items = append(items, core.WorkItem{Kind: core.KindLookup, Key: spec.Key(trafficgen.Flow(flow))})
+				live[flow] = true
+			}
+		}
+		rep, err := core.RunWorkload(f, sched, items, 8, 2_000_000_000)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rep.Stats.Dropped > 0 {
+			t.Fatalf("round %d: %d drops with only %d possible flows", round, rep.Stats.Dropped, 600)
+		}
+	}
+	// Verify final state matches the live set.
+	var verify []core.WorkItem
+	var expected []bool
+	for flow := uint64(0); flow < 600; flow++ {
+		verify = append(verify, core.WorkItem{Kind: core.KindSearch, Key: spec.Key(trafficgen.Flow(flow))})
+		expected = append(expected, live[flow])
+	}
+	rep, err := core.RunWorkload(f, sched, verify, 8, 2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeq := make([]core.Result, len(verify))
+	base := rep.Results[0].Seq
+	for _, res := range rep.Results {
+		if res.Seq < base {
+			base = res.Seq // results arrive in resolution order, not seq order
+		}
+	}
+	for _, res := range rep.Results {
+		bySeq[res.Seq-base] = res
+	}
+	for i, want := range expected {
+		if bySeq[i].Hit != want {
+			t.Fatalf("flow %d: hit=%v, want %v after churn", i, bySeq[i].Hit, want)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package analyzer assembles the paper's Fig. 7 traffic-analyzer system:
+// a packet buffer in front of the flow processor, a stats engine (top-k
+// heavy hitters, protocol mix), and an event engine raising threshold
+// events (rate spikes, port-scan suspects). The flow processor role is
+// played by the netflow engine over the lookup substrate.
+package analyzer
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/netflow"
+	"repro/internal/packet"
+)
+
+// Event is one detection raised by the event engine.
+type Event struct {
+	TimeNanos uint64
+	Kind      EventKind
+	Detail    string
+}
+
+// EventKind classifies events.
+type EventKind int
+
+// Event kinds.
+const (
+	EventRateSpike EventKind = iota + 1
+	EventPortScan
+	EventTablePressure
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventRateSpike:
+		return "rate-spike"
+	case EventPortScan:
+		return "port-scan"
+	case EventTablePressure:
+		return "table-pressure"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Config parameterises the analyzer.
+type Config struct {
+	// Flow configures the embedded flow-state engine.
+	Flow netflow.Config
+	// TopK is the heavy-hitter table size.
+	TopK int
+	// SpikePPS raises EventRateSpike when the per-interval packet rate
+	// exceeds this many packets per second.
+	SpikePPS float64
+	// IntervalNanos is the measurement interval.
+	IntervalNanos uint64
+	// ScanFanout raises EventPortScan when one source touches more than
+	// this many distinct destination ports within an interval.
+	ScanFanout int
+	// PressureRatio raises EventTablePressure when active flows exceed
+	// this fraction of Flow.MaxFlows (ignored when MaxFlows is 0).
+	PressureRatio float64
+}
+
+// DefaultConfig returns a usable analyzer configuration.
+func DefaultConfig() Config {
+	return Config{
+		Flow:          netflow.DefaultConfig(),
+		TopK:          10,
+		SpikePPS:      1e6,
+		IntervalNanos: 1_000_000_000,
+		ScanFanout:    100,
+		PressureRatio: 0.9,
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (c Config) Validate() error {
+	if err := c.Flow.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.TopK <= 0:
+		return fmt.Errorf("analyzer: top-k must be positive, got %d", c.TopK)
+	case c.SpikePPS <= 0:
+		return fmt.Errorf("analyzer: spike threshold must be positive, got %v", c.SpikePPS)
+	case c.IntervalNanos == 0:
+		return fmt.Errorf("analyzer: interval must be positive")
+	case c.ScanFanout <= 0:
+		return fmt.Errorf("analyzer: scan fanout must be positive, got %d", c.ScanFanout)
+	case c.PressureRatio <= 0 || c.PressureRatio > 1:
+		return fmt.Errorf("analyzer: pressure ratio %v out of (0,1]", c.PressureRatio)
+	}
+	return nil
+}
+
+// HeavyHitter is one top-k entry.
+type HeavyHitter struct {
+	Tuple   packet.FiveTuple
+	Packets uint64
+	Bytes   uint64
+}
+
+// Analyzer is the assembled system.
+type Analyzer struct {
+	cfg  Config
+	flow *netflow.Engine
+	spec packet.TupleSpec
+
+	// Space-saving top-k over flow byte counts.
+	counters map[string]*hhEntry
+	hhHeap   hhHeap
+
+	intervalStarted bool
+	intervalStart   uint64
+	intervalPackets int64
+	scanPorts       map[string]map[uint16]struct{}
+
+	events []Event
+}
+
+type hhEntry struct {
+	key     string
+	tuple   packet.FiveTuple
+	packets uint64
+	bytes   uint64
+	index   int
+}
+
+type hhHeap []*hhEntry
+
+func (h hhHeap) Len() int           { return len(h) }
+func (h hhHeap) Less(i, j int) bool { return h[i].bytes < h[j].bytes }
+func (h hhHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *hhHeap) Push(x any)        { e := x.(*hhEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *hhHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New builds an analyzer.
+func New(cfg Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fe, err := netflow.NewEngine(cfg.Flow)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		cfg:       cfg,
+		flow:      fe,
+		spec:      packet.FiveTupleSpec(),
+		counters:  make(map[string]*hhEntry),
+		scanPorts: make(map[string]map[uint16]struct{}),
+	}, nil
+}
+
+// Flow exposes the embedded flow engine.
+func (a *Analyzer) Flow() *netflow.Engine { return a.flow }
+
+// Observe feeds one packet through the whole system.
+func (a *Analyzer) Observe(p packet.Packet, nowNanos uint64) {
+	a.rollInterval(nowNanos)
+	a.intervalPackets++
+
+	a.flow.Observe(p, nowNanos)
+	a.updateTopK(p)
+	a.updateScan(p, nowNanos)
+	a.checkPressure(nowNanos)
+}
+
+// rollInterval closes the measurement interval, raising rate events.
+func (a *Analyzer) rollInterval(nowNanos uint64) {
+	if !a.intervalStarted {
+		a.intervalStarted = true
+		a.intervalStart = nowNanos
+		return
+	}
+	if nowNanos-a.intervalStart < a.cfg.IntervalNanos {
+		return
+	}
+	seconds := float64(nowNanos-a.intervalStart) / 1e9
+	pps := float64(a.intervalPackets) / seconds
+	if pps > a.cfg.SpikePPS {
+		a.events = append(a.events, Event{
+			TimeNanos: nowNanos,
+			Kind:      EventRateSpike,
+			Detail:    fmt.Sprintf("%.0f pps over %.3f s", pps, seconds),
+		})
+	}
+	a.intervalStart = nowNanos
+	a.intervalPackets = 0
+	a.scanPorts = make(map[string]map[uint16]struct{})
+	a.flow.Housekeep(nowNanos)
+}
+
+// updateTopK maintains the space-saving heavy-hitter table.
+func (a *Analyzer) updateTopK(p packet.Packet) {
+	key := string(a.spec.Key(p.Tuple))
+	if e, ok := a.counters[key]; ok {
+		e.packets++
+		e.bytes += uint64(p.WireLen)
+		heap.Fix(&a.hhHeap, e.index)
+		return
+	}
+	if len(a.counters) < a.cfg.TopK {
+		e := &hhEntry{key: key, tuple: p.Tuple, packets: 1, bytes: uint64(p.WireLen)}
+		a.counters[key] = e
+		heap.Push(&a.hhHeap, e)
+		return
+	}
+	// Space-saving: replace the minimum, inheriting its count (bounded
+	// overestimation).
+	min := a.hhHeap[0]
+	delete(a.counters, min.key)
+	min.key = key
+	min.tuple = p.Tuple
+	min.packets++
+	min.bytes += uint64(p.WireLen)
+	a.counters[key] = min
+	heap.Fix(&a.hhHeap, 0)
+}
+
+// updateScan tracks per-source destination-port fanout.
+func (a *Analyzer) updateScan(p packet.Packet, nowNanos uint64) {
+	if p.Tuple.Proto != packet.ProtoTCP && p.Tuple.Proto != packet.ProtoUDP {
+		return
+	}
+	src := p.Tuple.Src.String()
+	ports, ok := a.scanPorts[src]
+	if !ok {
+		ports = make(map[uint16]struct{})
+		a.scanPorts[src] = ports
+	}
+	before := len(ports)
+	ports[p.Tuple.DstPort] = struct{}{}
+	if before < a.cfg.ScanFanout && len(ports) >= a.cfg.ScanFanout {
+		a.events = append(a.events, Event{
+			TimeNanos: nowNanos,
+			Kind:      EventPortScan,
+			Detail:    fmt.Sprintf("source %s touched %d destination ports", src, len(ports)),
+		})
+	}
+}
+
+// checkPressure raises a table-pressure event at the configured occupancy.
+func (a *Analyzer) checkPressure(nowNanos uint64) {
+	max := a.cfg.Flow.MaxFlows
+	if max == 0 {
+		return
+	}
+	if float64(a.flow.ActiveFlows()) >= a.cfg.PressureRatio*float64(max) {
+		// Deduplicate: only raise when crossing the threshold.
+		if len(a.events) > 0 && a.events[len(a.events)-1].Kind == EventTablePressure {
+			return
+		}
+		a.events = append(a.events, Event{
+			TimeNanos: nowNanos,
+			Kind:      EventTablePressure,
+			Detail: fmt.Sprintf("%d of %d flow entries in use",
+				a.flow.ActiveFlows(), max),
+		})
+	}
+}
+
+// TopK returns the heavy hitters, largest first.
+func (a *Analyzer) TopK() []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(a.hhHeap))
+	for _, e := range a.hhHeap {
+		out = append(out, HeavyHitter{Tuple: e.tuple, Packets: e.packets, Bytes: e.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out
+}
+
+// DrainEvents returns and clears accumulated events.
+func (a *Analyzer) DrainEvents() []Event {
+	out := a.events
+	a.events = nil
+	return out
+}

@@ -1,0 +1,169 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netflow"
+	"repro/internal/packet"
+	"repro/internal/trafficgen"
+)
+
+func newAnalyzer(t *testing.T, cfg Config) *Analyzer {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func pkt(flow uint64, size int) packet.Packet {
+	return packet.Packet{Tuple: trafficgen.Flow(flow), WireLen: size}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.TopK = 0 },
+		func(c *Config) { c.SpikePPS = 0 },
+		func(c *Config) { c.IntervalNanos = 0 },
+		func(c *Config) { c.ScanFanout = 0 },
+		func(c *Config) { c.PressureRatio = 1.5 },
+		func(c *Config) { c.Flow.IdleTimeout = 0 },
+	}
+	for i, m := range mutations {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTopKTracksHeaviest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TopK = 3
+	a := newAnalyzer(t, cfg)
+	// Flow 1: 100 packets; flow 2: 50; flow 3: 10; flows 4-20: 1 each.
+	now := uint64(0)
+	feed := func(flow uint64, n int) {
+		for i := 0; i < n; i++ {
+			now += 1000
+			a.Observe(pkt(flow, 1000), now)
+		}
+	}
+	feed(1, 100)
+	feed(2, 50)
+	feed(3, 10)
+	for f := uint64(4); f < 20; f++ {
+		feed(f, 1)
+	}
+	top := a.TopK()
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+	if top[0].Tuple != trafficgen.Flow(1) {
+		t.Fatalf("heaviest = %v, want flow 1", top[0].Tuple)
+	}
+	// Space-saving guarantees the true heavy hitters stay in the table
+	// (with possible overestimation); flow 2 must be present.
+	found := false
+	for _, h := range top {
+		if h.Tuple == trafficgen.Flow(2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flow 2 missing from top-k: %+v", top)
+	}
+}
+
+func TestRateSpikeEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpikePPS = 1000
+	cfg.IntervalNanos = uint64(time.Second)
+	a := newAnalyzer(t, cfg)
+	// 5000 packets in one second: 5x the threshold.
+	for i := 0; i < 5000; i++ {
+		a.Observe(pkt(uint64(i%10), 64), uint64(i)*200_000)
+	}
+	// Cross the interval boundary to close it.
+	a.Observe(pkt(1, 64), uint64(time.Second)+1)
+	events := a.DrainEvents()
+	if len(events) == 0 || events[0].Kind != EventRateSpike {
+		t.Fatalf("events = %+v, want rate spike", events)
+	}
+}
+
+func TestNoSpikeBelowThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpikePPS = 1e9
+	a := newAnalyzer(t, cfg)
+	for i := 0; i < 1000; i++ {
+		a.Observe(pkt(1, 64), uint64(i)*1_000_000)
+	}
+	a.Observe(pkt(1, 64), uint64(2*time.Second))
+	for _, e := range a.DrainEvents() {
+		if e.Kind == EventRateSpike {
+			t.Fatalf("spurious spike: %+v", e)
+		}
+	}
+}
+
+func TestPortScanEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScanFanout = 50
+	a := newAnalyzer(t, cfg)
+	base := trafficgen.Flow(1)
+	for port := uint16(1); port <= 60; port++ {
+		p := packet.Packet{Tuple: base, WireLen: 64}
+		p.Tuple.DstPort = port
+		a.Observe(p, uint64(port)*1000)
+	}
+	events := a.DrainEvents()
+	scans := 0
+	for _, e := range events {
+		if e.Kind == EventPortScan {
+			scans++
+		}
+	}
+	if scans != 1 {
+		t.Fatalf("port-scan events = %d, want exactly 1 (threshold crossing)", scans)
+	}
+}
+
+func TestTablePressureEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flow.MaxFlows = 100
+	cfg.PressureRatio = 0.5
+	a := newAnalyzer(t, cfg)
+	for i := uint64(0); i < 60; i++ {
+		a.Observe(pkt(i, 64), i*1000)
+	}
+	events := a.DrainEvents()
+	pressure := 0
+	for _, e := range events {
+		if e.Kind == EventTablePressure {
+			pressure++
+		}
+	}
+	if pressure == 0 {
+		t.Fatal("no table-pressure event at 60% occupancy with 50% threshold")
+	}
+}
+
+func TestFlowEngineIntegration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Flow.IdleTimeout = time.Second
+	a := newAnalyzer(t, cfg)
+	a.Observe(pkt(1, 64), 0)
+	// Cross an interval: housekeeping runs and exports the idle flow.
+	a.Observe(pkt(2, 64), uint64(2*time.Second))
+	exports := a.Flow().DrainExports()
+	if len(exports) != 1 || exports[0].Reason != netflow.ReasonIdleTimeout {
+		t.Fatalf("exports = %+v", exports)
+	}
+}

@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashcam"
+	"repro/internal/hashfn"
+)
+
+func key13(i uint64) []byte {
+	k := make([]byte, 13)
+	binary.LittleEndian.PutUint64(k, i)
+	return k
+}
+
+// tables returns one instance of every structure at comparable geometry.
+func tables(t *testing.T) []LookupTable {
+	t.Helper()
+	pair := hashfn.DefaultPair()
+	sh, err := NewSingleHash(pair.H1, 256, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := NewDLeft([]hashfn.Func{pair.H1, pair.H2, &hashfn.Mix64{Seed: 3}}, 128, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := NewCuckoo(pair, 256, 2, 13, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hashcam.DefaultConfig()
+	cfg.Buckets = 128
+	cfg.CAMCapacity = 32
+	conv, err := NewConvHashCAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := NewProposed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []LookupTable{sh, dl, ck, conv, prop}
+}
+
+func TestBasicSemanticsAllStructures(t *testing.T) {
+	for _, tbl := range tables(t) {
+		t.Run(tbl.Name(), func(t *testing.T) {
+			k := key13(1234)
+			if _, ok := tbl.Lookup(k); ok {
+				t.Fatal("hit on empty table")
+			}
+			id, err := tbl.Insert(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := tbl.Lookup(k)
+			if !ok || got != id {
+				t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+			}
+			id2, err := tbl.Insert(k)
+			if err != nil || id2 != id {
+				t.Fatalf("duplicate insert = (%d,%v), want (%d,nil)", id2, err, id)
+			}
+			if tbl.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", tbl.Len())
+			}
+			if !tbl.Delete(k) {
+				t.Fatal("Delete missed")
+			}
+			if _, ok := tbl.Lookup(k); ok {
+				t.Fatal("hit after delete")
+			}
+			if tbl.Delete(k) {
+				t.Fatal("double delete succeeded")
+			}
+			if tbl.Probes() <= 0 {
+				t.Fatal("probe accounting inactive")
+			}
+		})
+	}
+}
+
+func TestBulkIntegrityAllStructures(t *testing.T) {
+	const n = 500 // ~half capacity of the smallest structure
+	for _, tbl := range tables(t) {
+		t.Run(tbl.Name(), func(t *testing.T) {
+			ids := make(map[uint64]uint64, n)
+			for i := uint64(0); i < n; i++ {
+				id, err := tbl.Insert(key13(i))
+				if err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				ids[i] = id
+			}
+			if tbl.Len() != n {
+				t.Fatalf("Len = %d, want %d", tbl.Len(), n)
+			}
+			for i := uint64(0); i < n; i++ {
+				id, ok := tbl.Lookup(key13(i))
+				if !ok || id != ids[i] {
+					t.Fatalf("key %d: got (%d,%v), want (%d,true)", i, id, ok, ids[i])
+				}
+			}
+			// Absent keys must miss.
+			for i := uint64(n); i < n+100; i++ {
+				if _, ok := tbl.Lookup(key13(i)); ok {
+					t.Fatalf("phantom hit for absent key %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestModelPropertyAllStructures(t *testing.T) {
+	build := func() []LookupTable {
+		pair := hashfn.DefaultPair()
+		sh, _ := NewSingleHash(pair.H1, 64, 4, 13)
+		dl, _ := NewDLeft([]hashfn.Func{pair.H1, pair.H2}, 32, 4, 13)
+		ck, _ := NewCuckoo(pair, 64, 2, 13, 32)
+		cfg := hashcam.DefaultConfig()
+		cfg.Buckets = 32
+		cfg.CAMCapacity = 16
+		conv, _ := NewConvHashCAM(cfg)
+		prop, _ := NewProposed(cfg)
+		return []LookupTable{sh, dl, ck, conv, prop}
+	}
+	for _, name := range []string{"single-hash", "2-left", "cuckoo", "conventional-hashcam", "proposed-hashcam"} {
+		t.Run(name, func(t *testing.T) {
+			idx := map[string]int{"single-hash": 0, "2-left": 1, "cuckoo": 2, "conventional-hashcam": 3, "proposed-hashcam": 4}[name]
+			f := func(ops []uint16) bool {
+				tbl := build()[idx]
+				model := make(map[uint64]uint64)
+				corrupt := false // set after a failed cuckoo insert
+				for _, op := range ops {
+					keyIdx := uint64(op % 96)
+					k := key13(keyIdx)
+					switch (op >> 8) % 3 {
+					case 0:
+						id, err := tbl.Insert(k)
+						if err != nil {
+							if name == "cuckoo" {
+								// A failed cuckoo insert may orphan one
+								// resident key; stop model checking.
+								corrupt = true
+							}
+							continue
+						}
+						if prev, ok := model[keyIdx]; ok && prev != id && !corrupt {
+							return false
+						}
+						model[keyIdx] = id
+					case 1:
+						deleted := tbl.Delete(k)
+						_, existed := model[keyIdx]
+						if !corrupt && deleted != existed {
+							return false
+						}
+						delete(model, keyIdx)
+					case 2:
+						id, ok := tbl.Lookup(k)
+						want, existed := model[keyIdx]
+						if !corrupt && (ok != existed || (ok && id != want)) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSingleHashOverflows(t *testing.T) {
+	// One bucket of 4 slots: the fifth colliding key must fail — the §II
+	// motivation for multi-choice schemes.
+	sh, _ := NewSingleHash(&hashfn.Mix64{}, 1, 4, 13)
+	for i := uint64(0); i < 4; i++ {
+		if _, err := sh.Insert(key13(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if _, err := sh.Insert(key13(5)); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("overflow insert = %v, want ErrTableFull", err)
+	}
+}
+
+func TestCuckooRelocatesUnderPressure(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	ck, _ := NewCuckoo(pair, 128, 1, 13, 500)
+	// Load to ~85% of the 256 slots; kick-outs must happen and all
+	// successfully inserted keys must remain reachable.
+	var placed []uint64
+	for i := uint64(0); i < 218; i++ {
+		if _, err := ck.Insert(key13(i)); err == nil {
+			placed = append(placed, i)
+		} else {
+			break // one failure orphans a key; stop the experiment here
+		}
+	}
+	if len(placed) < 150 {
+		t.Fatalf("cuckoo placed only %d keys before failing", len(placed))
+	}
+	if ck.Relocations == 0 {
+		t.Fatal("no relocations at 85% load; kick-out path untested")
+	}
+	for _, i := range placed {
+		if _, ok := ck.Lookup(key13(i)); !ok {
+			t.Fatalf("key %d lost after relocations", i)
+		}
+	}
+}
+
+func TestCuckooLookupIsTwoProbes(t *testing.T) {
+	ck, _ := NewCuckoo(hashfn.DefaultPair(), 64, 2, 13, 16)
+	ck.Insert(key13(1))
+	before := ck.Probes()
+	ck.Lookup(key13(999)) // miss: still exactly two probes
+	if got := ck.Probes() - before; got != 2 {
+		t.Fatalf("cuckoo miss cost %d probes, want 2", got)
+	}
+}
+
+func TestDLeftBalancesLoad(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	dl, _ := NewDLeft([]hashfn.Func{pair.H1, pair.H2}, 64, 4, 13)
+	for i := uint64(0); i < 300; i++ {
+		if _, err := dl.Insert(key13(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	loads := dl.TableLoads()
+	// Least-loaded with leftmost tie-break skews left but must use both.
+	if loads[1] == 0 {
+		t.Fatalf("d-left never used table 2: %v", loads)
+	}
+	if loads[0] < loads[1] {
+		t.Fatalf("d-left skew inverted: %v (leftmost tie-break should favour table 1)", loads)
+	}
+}
+
+// TestEarlyExitProbeAdvantage is the paper's core §III-A claim in probe
+// terms: on a hit-heavy workload the early-exit table performs fewer
+// memory accesses than the conventional simultaneous Hash-CAM.
+func TestEarlyExitProbeAdvantage(t *testing.T) {
+	cfg := hashcam.DefaultConfig()
+	cfg.Buckets = 512
+	conv, _ := NewConvHashCAM(cfg)
+	prop, _ := NewProposed(cfg)
+	for _, tbl := range []LookupTable{conv, prop} {
+		for i := uint64(0); i < 1000; i++ {
+			if _, err := tbl.Insert(key13(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	convBase, propBase := conv.Probes(), prop.Probes()
+	for i := uint64(0); i < 1000; i++ {
+		conv.Lookup(key13(i))
+		prop.Lookup(key13(i))
+	}
+	convCost := conv.Probes() - convBase
+	propCost := prop.Probes() - propBase
+	if propCost >= convCost {
+		t.Fatalf("early exit probes (%d) not below conventional (%d)", propCost, convCost)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"single-hash nil func", errOf(NewSingleHash(nil, 8, 2, 13))},
+		{"single-hash zero buckets", errOf(NewSingleHash(pair.H1, 0, 2, 13))},
+		{"d-left one func", errOf(NewDLeft([]hashfn.Func{pair.H1}, 8, 2, 13))},
+		{"cuckoo zero kick", errOf(NewCuckoo(pair, 8, 2, 13, 0))},
+		{"cuckoo nil pair", errOf(NewCuckoo(hashfn.Pair{}, 8, 2, 13, 8))},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: constructor accepted invalid arguments", tc.name)
+		}
+	}
+}
+
+func errOf[T any](_ T, err error) error { return err }
+
+func ExampleLookupTable() {
+	pair := hashfn.DefaultPair()
+	tbl, err := NewCuckoo(pair, 1024, 2, 13, 64)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	id, _ := tbl.Insert(key13(7))
+	got, ok := tbl.Lookup(key13(7))
+	fmt.Println(ok, got == id)
+	// Output: true true
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/hashcam"
+)
+
+// ConvHashCAM is the conventional Hash-CAM arrangement of [10][11]: the
+// CAM and both hash-table halves are searched simultaneously on every
+// request. Results are identical to the proposed table; the cost contract
+// differs — every lookup pays all three accesses, whereas the proposed
+// pipelined table stops at the first match ("a match occurring at any
+// stage stops the current search", §III-A). The probe counters make that
+// difference measurable.
+type ConvHashCAM struct {
+	table  *hashcam.Table
+	probes int64
+}
+
+// NewConvHashCAM builds the conventional arrangement over cfg.
+func NewConvHashCAM(cfg hashcam.Config) (*ConvHashCAM, error) {
+	t, err := hashcam.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: conventional hash-cam: %w", err)
+	}
+	return &ConvHashCAM{table: t}, nil
+}
+
+// Lookup implements LookupTable: all three structures are always probed.
+func (c *ConvHashCAM) Lookup(key []byte) (uint64, bool) {
+	c.probes += 3 // CAM + Mem1 + Mem2, issued simultaneously
+	id, _, ok := c.table.Lookup(key)
+	return id, ok
+}
+
+// Insert implements LookupTable.
+func (c *ConvHashCAM) Insert(key []byte) (uint64, error) {
+	c.probes += 4 // simultaneous triple search + the write
+	return c.table.Insert(key)
+}
+
+// Delete implements LookupTable.
+func (c *ConvHashCAM) Delete(key []byte) bool {
+	c.probes += 4
+	return c.table.Delete(key)
+}
+
+// Len implements LookupTable.
+func (c *ConvHashCAM) Len() int { return c.table.Len() }
+
+// Probes implements LookupTable.
+func (c *ConvHashCAM) Probes() int64 { return c.probes }
+
+// Name implements LookupTable.
+func (c *ConvHashCAM) Name() string { return "conventional-hashcam" }
+
+// Proposed adapts the paper's early-exit hashcam.Table to the LookupTable
+// interface for side-by-side benches.
+type Proposed struct {
+	Table *hashcam.Table
+}
+
+// NewProposed builds the adapter over cfg.
+func NewProposed(cfg hashcam.Config) (*Proposed, error) {
+	t, err := hashcam.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: proposed table: %w", err)
+	}
+	return &Proposed{Table: t}, nil
+}
+
+// Lookup implements LookupTable.
+func (p *Proposed) Lookup(key []byte) (uint64, bool) {
+	id, _, ok := p.Table.Lookup(key)
+	return id, ok
+}
+
+// Insert implements LookupTable.
+func (p *Proposed) Insert(key []byte) (uint64, error) { return p.Table.Insert(key) }
+
+// Delete implements LookupTable.
+func (p *Proposed) Delete(key []byte) bool { return p.Table.Delete(key) }
+
+// Len implements LookupTable.
+func (p *Proposed) Len() int { return p.Table.Len() }
+
+// Probes implements LookupTable.
+func (p *Proposed) Probes() int64 { return p.Table.Stats().Probes }
+
+// Name implements LookupTable.
+func (p *Proposed) Name() string { return "proposed-hashcam" }

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/hashfn"
+)
+
+// Cuckoo is two-function cuckoo hashing after Thinh et al. [7]: a key
+// lives in one of its two candidate buckets; insertion may relocate
+// ("kick out") resident keys along an eviction chain. Lookup is a
+// guaranteed two probes, but insertion time is nondeterministic — the
+// drawback the paper cites, which the stats here quantify.
+type Cuckoo struct {
+	pair    hashfn.Pair
+	buckets int
+	slots   int
+	keyLen  int
+	maxKick int
+
+	keys   [2][]byte
+	used   [2][]bool
+	count  int
+	probes int64
+
+	// Relocations counts kick-out moves over the table lifetime;
+	// MaxChain records the longest single-insert eviction chain —
+	// the nondeterministic build-time behaviour quantified for the
+	// baseline comparison.
+	Relocations int64
+	MaxChain    int
+}
+
+// NewCuckoo builds a cuckoo table. maxKick bounds the eviction chain; an
+// insert that exceeds it fails (a full rebuild would be required, which
+// hardware cannot do at line rate).
+func NewCuckoo(pair hashfn.Pair, buckets, slots, keyLen, maxKick int) (*Cuckoo, error) {
+	if err := checkGeometry(buckets, slots, keyLen); err != nil {
+		return nil, err
+	}
+	if pair.H1 == nil || pair.H2 == nil {
+		return nil, fmt.Errorf("baseline: cuckoo requires two hash functions")
+	}
+	if maxKick <= 0 {
+		return nil, fmt.Errorf("baseline: cuckoo maxKick must be positive, got %d", maxKick)
+	}
+	c := &Cuckoo{pair: pair, buckets: buckets, slots: slots, keyLen: keyLen, maxKick: maxKick}
+	for i := range c.keys {
+		c.keys[i] = make([]byte, buckets*slots*keyLen)
+		c.used[i] = make([]bool, buckets*slots)
+	}
+	return c, nil
+}
+
+func (c *Cuckoo) slotKey(table, bucket, slot int) []byte {
+	base := (bucket*c.slots + slot) * c.keyLen
+	return c.keys[table][base : base+c.keyLen]
+}
+
+func (c *Cuckoo) id(table, bucket, slot int) uint64 {
+	perTable := c.buckets * c.slots
+	return uint64(table*perTable + bucket*c.slots + slot)
+}
+
+func (c *Cuckoo) bucketOf(table int, key []byte) int {
+	if table == 0 {
+		return c.pair.Index1(key, c.buckets)
+	}
+	return c.pair.Index2(key, c.buckets)
+}
+
+func (c *Cuckoo) checkKey(key []byte) {
+	if len(key) != c.keyLen {
+		panic(fmt.Sprintf("baseline: key of %d bytes, table configured for %d", len(key), c.keyLen))
+	}
+}
+
+// Lookup implements LookupTable: exactly two bucket probes ("a constant
+// O(1) lookup time ... as only two locations need to be searched").
+func (c *Cuckoo) Lookup(key []byte) (uint64, bool) {
+	c.checkKey(key)
+	for table := 0; table < 2; table++ {
+		c.probes++
+		b := c.bucketOf(table, key)
+		for slot := 0; slot < c.slots; slot++ {
+			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
+				return c.id(table, b, slot), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert implements LookupTable with kick-out relocation.
+func (c *Cuckoo) Insert(key []byte) (uint64, error) {
+	if id, ok := c.Lookup(key); ok {
+		return id, nil
+	}
+	cur := append([]byte(nil), key...)
+	table := 0
+	chain := 0
+	var firstID uint64
+	first := true
+	for kick := 0; kick <= c.maxKick; kick++ {
+		b := c.bucketOf(table, cur)
+		// Free slot in the candidate bucket?
+		for slot := 0; slot < c.slots; slot++ {
+			if !c.used[table][b*c.slots+slot] {
+				copy(c.slotKey(table, b, slot), cur)
+				c.used[table][b*c.slots+slot] = true
+				c.count++
+				c.probes++
+				if chain > c.MaxChain {
+					c.MaxChain = chain
+				}
+				if first {
+					return c.id(table, b, slot), nil
+				}
+				return firstID, nil
+			}
+		}
+		// Kick out the resident of a deterministic victim slot; rotate by
+		// chain depth so repeated kicks in one bucket vary the victim.
+		victim := chain % c.slots
+		evicted := append([]byte(nil), c.slotKey(table, b, victim)...)
+		copy(c.slotKey(table, b, victim), cur)
+		c.probes += 2 // read victim + write new
+		c.Relocations++
+		chain++
+		if first {
+			firstID = c.id(table, b, victim)
+			first = false
+		}
+		cur = evicted
+		table = 1 - table
+	}
+	// The chain placed the new key but left its final evictee homeless
+	// (net stored count unchanged) — the nondeterministic-build failure
+	// mode the paper cites against cuckoo hashing. Hardware cannot rebuild
+	// at line rate, so the loss is surfaced as an insert error.
+	if chain > c.MaxChain {
+		c.MaxChain = chain
+	}
+	return 0, fmt.Errorf("baseline: cuckoo eviction chain exceeded %d (homeless key %x): %w",
+		c.maxKick, cur, ErrTableFull)
+}
+
+// Delete implements LookupTable.
+func (c *Cuckoo) Delete(key []byte) bool {
+	c.checkKey(key)
+	for table := 0; table < 2; table++ {
+		c.probes++
+		b := c.bucketOf(table, key)
+		for slot := 0; slot < c.slots; slot++ {
+			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
+				c.used[table][b*c.slots+slot] = false
+				c.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len implements LookupTable.
+func (c *Cuckoo) Len() int { return c.count }
+
+// Probes implements LookupTable.
+func (c *Cuckoo) Probes() int64 { return c.probes }
+
+// Name implements LookupTable.
+func (c *Cuckoo) Name() string { return "cuckoo" }

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/hashfn"
+)
+
+// DLeft is d-choice (d-left) hashing after Azar et al. [6]: d sub-tables,
+// each with its own hash function; a key is placed in the least-loaded of
+// its d candidate buckets, ties breaking to the leftmost sub-table.
+type DLeft struct {
+	hashes  []hashfn.Func
+	buckets int
+	slots   int
+	keyLen  int
+
+	keys   [][]byte // per sub-table arenas
+	used   [][]bool
+	counts []int
+	probes int64
+}
+
+// NewDLeft builds a d-left table with one sub-table per hash function.
+func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) {
+	if err := checkGeometry(buckets, slots, keyLen); err != nil {
+		return nil, err
+	}
+	if len(hashes) < 2 {
+		return nil, fmt.Errorf("baseline: d-left requires at least 2 hash functions, got %d", len(hashes))
+	}
+	d := &DLeft{
+		hashes:  hashes,
+		buckets: buckets,
+		slots:   slots,
+		keyLen:  keyLen,
+		keys:    make([][]byte, len(hashes)),
+		used:    make([][]bool, len(hashes)),
+		counts:  make([]int, len(hashes)),
+	}
+	for i := range hashes {
+		d.keys[i] = make([]byte, buckets*slots*keyLen)
+		d.used[i] = make([]bool, buckets*slots)
+	}
+	return d, nil
+}
+
+func (d *DLeft) slotKey(table, bucket, slot int) []byte {
+	base := (bucket*d.slots + slot) * d.keyLen
+	return d.keys[table][base : base+d.keyLen]
+}
+
+func (d *DLeft) id(table, bucket, slot int) uint64 {
+	perTable := d.buckets * d.slots
+	return uint64(table*perTable + bucket*d.slots + slot)
+}
+
+func (d *DLeft) checkKey(key []byte) {
+	if len(key) != d.keyLen {
+		panic(fmt.Sprintf("baseline: key of %d bytes, table configured for %d", len(key), d.keyLen))
+	}
+}
+
+// Lookup implements LookupTable. All d buckets are probed (hardware
+// searches the sub-tables in parallel, but each is a memory access).
+func (d *DLeft) Lookup(key []byte) (uint64, bool) {
+	d.checkKey(key)
+	for t, h := range d.hashes {
+		d.probes++
+		b := hashfn.Reduce(h.Hash(key), d.buckets)
+		for slot := 0; slot < d.slots; slot++ {
+			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
+				return d.id(t, b, slot), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert implements LookupTable: least-loaded candidate bucket, leftmost
+// tie-break.
+func (d *DLeft) Insert(key []byte) (uint64, error) {
+	if id, ok := d.Lookup(key); ok {
+		return id, nil
+	}
+	bestTable, bestBucket, bestLoad := -1, -1, d.slots+1
+	for t, h := range d.hashes {
+		b := hashfn.Reduce(h.Hash(key), d.buckets)
+		load := 0
+		for slot := 0; slot < d.slots; slot++ {
+			if d.used[t][b*d.slots+slot] {
+				load++
+			}
+		}
+		if load < bestLoad {
+			bestTable, bestBucket, bestLoad = t, b, load
+		}
+	}
+	if bestLoad >= d.slots {
+		return 0, fmt.Errorf("baseline: d-left: all %d candidate buckets full: %w", len(d.hashes), ErrTableFull)
+	}
+	for slot := 0; slot < d.slots; slot++ {
+		if !d.used[bestTable][bestBucket*d.slots+slot] {
+			copy(d.slotKey(bestTable, bestBucket, slot), key)
+			d.used[bestTable][bestBucket*d.slots+slot] = true
+			d.counts[bestTable]++
+			d.probes++
+			return d.id(bestTable, bestBucket, slot), nil
+		}
+	}
+	panic("baseline: d-left free slot vanished") // unreachable
+}
+
+// Delete implements LookupTable.
+func (d *DLeft) Delete(key []byte) bool {
+	d.checkKey(key)
+	for t, h := range d.hashes {
+		d.probes++
+		b := hashfn.Reduce(h.Hash(key), d.buckets)
+		for slot := 0; slot < d.slots; slot++ {
+			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
+				d.used[t][b*d.slots+slot] = false
+				d.counts[t]--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len implements LookupTable.
+func (d *DLeft) Len() int {
+	n := 0
+	for _, c := range d.counts {
+		n += c
+	}
+	return n
+}
+
+// Probes implements LookupTable.
+func (d *DLeft) Probes() int64 { return d.probes }
+
+// Name implements LookupTable.
+func (d *DLeft) Name() string { return fmt.Sprintf("%d-left", len(d.hashes)) }
+
+// TableLoads returns the per-sub-table entry counts (left-skew check).
+func (d *DLeft) TableLoads() []int { return append([]int(nil), d.counts...) }

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/hashfn"
+)
+
+// SingleHash is the conventional single-hash-function table: one bucket
+// array of K-slot buckets; keys that miss their bucket are lost to
+// overflow. It is the structure whose collision rate motivates
+// multi-choice hashing in §II.
+type SingleHash struct {
+	hash    hashfn.Func
+	buckets int
+	slots   int
+	keyLen  int
+
+	keys   []byte
+	used   []bool
+	count  int
+	probes int64
+}
+
+// NewSingleHash builds a single-hash table of buckets × slots entries over
+// keyLen-byte keys.
+func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, error) {
+	if err := checkGeometry(buckets, slots, keyLen); err != nil {
+		return nil, err
+	}
+	if hash == nil {
+		return nil, fmt.Errorf("baseline: single-hash requires a hash function")
+	}
+	return &SingleHash{
+		hash:    hash,
+		buckets: buckets,
+		slots:   slots,
+		keyLen:  keyLen,
+		keys:    make([]byte, buckets*slots*keyLen),
+		used:    make([]bool, buckets*slots),
+	}, nil
+}
+
+func checkGeometry(buckets, slots, keyLen int) error {
+	switch {
+	case buckets <= 0:
+		return fmt.Errorf("baseline: bucket count must be positive, got %d", buckets)
+	case slots <= 0:
+		return fmt.Errorf("baseline: slot count must be positive, got %d", slots)
+	case keyLen <= 0:
+		return fmt.Errorf("baseline: key length must be positive, got %d", keyLen)
+	}
+	return nil
+}
+
+func (s *SingleHash) slotKey(bucket, slot int) []byte {
+	base := (bucket*s.slots + slot) * s.keyLen
+	return s.keys[base : base+s.keyLen]
+}
+
+func (s *SingleHash) id(bucket, slot int) uint64 {
+	return uint64(bucket*s.slots + slot)
+}
+
+func (s *SingleHash) checkKey(key []byte) {
+	if len(key) != s.keyLen {
+		panic(fmt.Sprintf("baseline: key of %d bytes, table configured for %d", len(key), s.keyLen))
+	}
+}
+
+// Lookup implements LookupTable.
+func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
+	s.checkKey(key)
+	s.probes++
+	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
+	for slot := 0; slot < s.slots; slot++ {
+		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
+			return s.id(b, slot), true
+		}
+	}
+	return 0, false
+}
+
+// Insert implements LookupTable.
+func (s *SingleHash) Insert(key []byte) (uint64, error) {
+	if id, ok := s.Lookup(key); ok {
+		return id, nil
+	}
+	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
+	for slot := 0; slot < s.slots; slot++ {
+		if !s.used[b*s.slots+slot] {
+			copy(s.slotKey(b, slot), key)
+			s.used[b*s.slots+slot] = true
+			s.count++
+			s.probes++
+			return s.id(b, slot), nil
+		}
+	}
+	return 0, fmt.Errorf("baseline: single-hash bucket %d overflow: %w", b, ErrTableFull)
+}
+
+// Delete implements LookupTable.
+func (s *SingleHash) Delete(key []byte) bool {
+	s.checkKey(key)
+	s.probes++
+	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
+	for slot := 0; slot < s.slots; slot++ {
+		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
+			s.used[b*s.slots+slot] = false
+			s.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Len implements LookupTable.
+func (s *SingleHash) Len() int { return s.count }
+
+// Probes implements LookupTable.
+func (s *SingleHash) Probes() int64 { return s.probes }
+
+// Name implements LookupTable.
+func (s *SingleHash) Name() string { return "single-hash" }

@@ -1,0 +1,265 @@
+// Package bloom implements the Bloom-filter approaches the paper surveys
+// in §II [2-5]: the classic bit-vector filter, a counting variant (so flow
+// deletion is possible), and the parallel/partitioned arrangement used for
+// lower false-positive rates in hardware. The false-positive measurement
+// helpers feed the baseline comparison bench: a Bloom front end can rule
+// out table misses cheaply but can never identify which flow matched,
+// which is why the paper's scheme pairs hashing with exact storage.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashfn"
+)
+
+// Filter is a classic Bloom filter: m bits, k hash functions derived from
+// two base hashes by the Kirsch–Mitzenmacher construction
+// g_i(x) = h1(x) + i·h2(x).
+type Filter struct {
+	bits []uint64
+	m    uint64
+	k    int
+	pair hashfn.Pair
+	n    int64 // inserted keys
+}
+
+// New builds a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions.
+func New(m int, k int, pair hashfn.Pair) (*Filter, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("bloom: bit count must be positive, got %d", m)
+	}
+	if k <= 0 || k > 16 {
+		return nil, fmt.Errorf("bloom: hash count must be in [1,16], got %d", k)
+	}
+	if pair.H1 == nil || pair.H2 == nil {
+		return nil, fmt.Errorf("bloom: both base hashes must be set")
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: uint64(words * 64), k: k, pair: pair}, nil
+}
+
+// NewForCapacity sizes a filter for n keys at target false-positive rate p
+// using the standard m = -n·ln p / (ln 2)² and k = (m/n)·ln 2 formulas.
+func NewForCapacity(n int, p float64, pair hashfn.Pair) (*Filter, error) {
+	if n <= 0 || p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("bloom: need n > 0 and p in (0,1), got n=%d p=%v", n, p)
+	}
+	m := int(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return New(m, k, pair)
+}
+
+// M returns the bit-vector size.
+func (f *Filter) M() int { return int(f.m) }
+
+// K returns the hash-function count.
+func (f *Filter) K() int { return f.k }
+
+// N returns the number of inserted keys.
+func (f *Filter) N() int64 { return f.n }
+
+// positions fills idx with the k bit positions of key.
+func (f *Filter) positions(key []byte, idx []uint64) {
+	h1 := f.pair.H1.Hash(key)
+	h2 := f.pair.H2.Hash(key) | 1 // odd stride covers the whole vector
+	for i := 0; i < f.k; i++ {
+		idx[i] = (h1 + uint64(i)*h2) % f.m
+	}
+}
+
+// Add inserts key.
+func (f *Filter) Add(key []byte) {
+	var idx [16]uint64
+	f.positions(key, idx[:f.k])
+	for _, p := range idx[:f.k] {
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may have been added (false positives
+// possible, false negatives impossible).
+func (f *Filter) Contains(key []byte) bool {
+	var idx [16]uint64
+	f.positions(key, idx[:f.k])
+	for _, p := range idx[:f.k] {
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// TheoreticalFPR returns the expected false-positive rate for the current
+// insert count: (1 - e^{-kn/m})^k.
+func (f *Filter) TheoreticalFPR() float64 {
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Counting is a counting Bloom filter with 4-bit-style saturating counters
+// (modelled as uint8 with saturation), supporting deletion — the variant a
+// flow table needs when entries time out.
+type Counting struct {
+	counters []uint8
+	m        uint64
+	k        int
+	pair     hashfn.Pair
+	n        int64
+}
+
+// NewCounting builds a counting filter with m counters and k hashes.
+func NewCounting(m int, k int, pair hashfn.Pair) (*Counting, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("bloom: counter count must be positive, got %d", m)
+	}
+	if k <= 0 || k > 16 {
+		return nil, fmt.Errorf("bloom: hash count must be in [1,16], got %d", k)
+	}
+	if pair.H1 == nil || pair.H2 == nil {
+		return nil, fmt.Errorf("bloom: both base hashes must be set")
+	}
+	return &Counting{counters: make([]uint8, m), m: uint64(m), k: k, pair: pair}, nil
+}
+
+func (c *Counting) positions(key []byte, idx []uint64) {
+	h1 := c.pair.H1.Hash(key)
+	h2 := c.pair.H2.Hash(key) | 1
+	for i := 0; i < c.k; i++ {
+		idx[i] = (h1 + uint64(i)*h2) % c.m
+	}
+}
+
+// Add increments the key's counters (saturating at 255).
+func (c *Counting) Add(key []byte) {
+	var idx [16]uint64
+	c.positions(key, idx[:c.k])
+	for _, p := range idx[:c.k] {
+		if c.counters[p] < 255 {
+			c.counters[p]++
+		}
+	}
+	c.n++
+}
+
+// Remove decrements the key's counters. Removing a key that was never
+// added corrupts the filter, as in hardware; callers gate removals on
+// their exact-match table.
+func (c *Counting) Remove(key []byte) {
+	var idx [16]uint64
+	c.positions(key, idx[:c.k])
+	for _, p := range idx[:c.k] {
+		if c.counters[p] > 0 && c.counters[p] < 255 {
+			c.counters[p]--
+		}
+	}
+	c.n--
+}
+
+// Contains reports whether key may be present.
+func (c *Counting) Contains(key []byte) bool {
+	var idx [16]uint64
+	c.positions(key, idx[:c.k])
+	for _, p := range idx[:c.k] {
+		if c.counters[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Parallel is the partitioned/parallel Bloom filter of [3-5]: k
+// independent sub-vectors, each with its own hash function, probed in
+// parallel in hardware (one bit per sub-vector per query).
+type Parallel struct {
+	parts  [][]uint64
+	m      uint64 // bits per partition
+	hashes []hashfn.Func
+	n      int64
+}
+
+// NewParallel builds a partitioned filter with bitsPerPartition bits under
+// each of the given hash functions.
+func NewParallel(bitsPerPartition int, hashes []hashfn.Func) (*Parallel, error) {
+	if bitsPerPartition <= 0 {
+		return nil, fmt.Errorf("bloom: partition size must be positive, got %d", bitsPerPartition)
+	}
+	if len(hashes) < 2 {
+		return nil, fmt.Errorf("bloom: parallel filter needs at least 2 hashes, got %d", len(hashes))
+	}
+	words := (bitsPerPartition + 63) / 64
+	p := &Parallel{m: uint64(words * 64), hashes: hashes}
+	p.parts = make([][]uint64, len(hashes))
+	for i := range p.parts {
+		p.parts[i] = make([]uint64, words)
+	}
+	return p, nil
+}
+
+// Add inserts key into every partition.
+func (p *Parallel) Add(key []byte) {
+	for i, h := range p.hashes {
+		pos := h.Hash(key) % p.m
+		p.parts[i][pos/64] |= 1 << (pos % 64)
+	}
+	p.n++
+}
+
+// Contains reports whether key may be present (bit set in every partition).
+func (p *Parallel) Contains(key []byte) bool {
+	for i, h := range p.hashes {
+		pos := h.Hash(key) % p.m
+		if p.parts[i][pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the number of inserted keys.
+func (p *Parallel) N() int64 { return p.n }
+
+// MeasureFPR empirically measures a filter's false-positive rate over
+// probes keys that were never inserted, generated from seed.
+func MeasureFPR(contains func([]byte) bool, keyLen, probes int, seed uint64) float64 {
+	if probes <= 0 {
+		panic("bloom: MeasureFPR requires probes > 0")
+	}
+	key := make([]byte, keyLen)
+	s := seed
+	fp := 0
+	for i := 0; i < probes; i++ {
+		for j := range key {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			key[j] = byte(z ^ (z >> 31))
+		}
+		// Mark probe keys with a distinguishing byte so they are disjoint
+		// from the 'inserted' key space used by the tests.
+		key[0] |= 0x80
+		if contains(key) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(probes)
+}

@@ -1,0 +1,228 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashfn"
+)
+
+func key(i uint64) []byte {
+	k := make([]byte, 13)
+	binary.LittleEndian.PutUint64(k, i)
+	return k // top bit of byte 0 clear: disjoint from MeasureFPR probes
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(1<<14, 4, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(key(i))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(key(i)) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		bf, err := New(4096, 3, hashfn.DefaultPair())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		for _, k := range keys {
+			if !bf.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPRNearTheory(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	f, err := NewForCapacity(5000, 0.01, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		f.Add(key(i))
+	}
+	measured := MeasureFPR(f.Contains, 13, 50000, 777)
+	theory := f.TheoreticalFPR()
+	if measured > 3*theory+0.005 {
+		t.Fatalf("measured FPR %.5f far above theoretical %.5f", measured, theory)
+	}
+	if math.Abs(theory-0.01) > 0.008 {
+		t.Fatalf("theoretical FPR %.5f not near design point 0.01", theory)
+	}
+}
+
+func TestFPRGrowsWithLoad(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	f, _ := New(1<<13, 4, pair)
+	var rates []float64
+	for _, n := range []uint64{500, 2000, 8000} {
+		for i := f.N(); i < int64(n); i++ {
+			f.Add(key(uint64(i)))
+		}
+		rates = append(rates, MeasureFPR(f.Contains, 13, 20000, 3))
+	}
+	if !(rates[0] <= rates[1] && rates[1] <= rates[2]) {
+		t.Fatalf("FPR not monotone with load: %v", rates)
+	}
+	if rates[2] <= rates[0] {
+		t.Fatalf("FPR did not grow from %v to %v", rates[0], rates[2])
+	}
+}
+
+func TestCountingDeleteRestoresMiss(t *testing.T) {
+	c, err := NewCounting(1<<13, 4, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		c.Add(key(i))
+	}
+	if !c.Contains(key(50)) {
+		t.Fatal("false negative before delete")
+	}
+	c.Remove(key(50))
+	// After removal the key should usually miss (unless all its counters
+	// are shared, which is vanishingly unlikely at this load).
+	if c.Contains(key(50)) {
+		t.Fatal("key still present after Remove at light load")
+	}
+	// Other keys unaffected.
+	for i := uint64(0); i < 100; i++ {
+		if i == 50 {
+			continue
+		}
+		if !c.Contains(key(i)) {
+			t.Fatalf("Remove corrupted key %d", i)
+		}
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	c, _ := NewCounting(64, 2, hashfn.DefaultPair())
+	k := key(1)
+	for i := 0; i < 300; i++ { // drive counters to saturation
+		c.Add(k)
+	}
+	// Saturated counters must not decrement (hardware behaviour): the key
+	// stays present no matter how many removals follow.
+	for i := 0; i < 300; i++ {
+		c.Remove(k)
+	}
+	if !c.Contains(k) {
+		t.Fatal("saturated counter decremented; key lost")
+	}
+}
+
+func TestParallelNoFalseNegatives(t *testing.T) {
+	hashes := []hashfn.Func{
+		hashfn.NewCRC(0x82f63b78, "crc32c"),
+		&hashfn.Mix64{Seed: 1},
+		&hashfn.Jenkins{Seed: 2},
+		&hashfn.FNV1a{Seed: 3},
+	}
+	p, err := NewParallel(1<<12, hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1500; i++ {
+		p.Add(key(i))
+	}
+	for i := uint64(0); i < 1500; i++ {
+		if !p.Contains(key(i)) {
+			t.Fatalf("parallel filter false negative for key %d", i)
+		}
+	}
+}
+
+// TestParallelLowerFPRThanSingleHash pins the §II claim from [3-5]:
+// partitioned parallel filters with k hashes beat a 1-hash filter of the
+// same total size.
+func TestParallelLowerFPRThanSingleHash(t *testing.T) {
+	const totalBits = 1 << 14
+	hashes := []hashfn.Func{
+		hashfn.NewCRC(0x82f63b78, "crc32c"),
+		&hashfn.Mix64{Seed: 1},
+		&hashfn.Jenkins{Seed: 2},
+		&hashfn.FNV1a{Seed: 3},
+	}
+	par, _ := NewParallel(totalBits/len(hashes), hashes)
+	single, _ := New(totalBits, 1, hashfn.DefaultPair())
+	for i := uint64(0); i < 2000; i++ {
+		par.Add(key(i))
+		single.Add(key(i))
+	}
+	fprPar := MeasureFPR(par.Contains, 13, 40000, 11)
+	fprSingle := MeasureFPR(single.Contains, 13, 40000, 11)
+	if fprPar >= fprSingle {
+		t.Fatalf("parallel FPR %.5f not below single-hash FPR %.5f", fprPar, fprSingle)
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f, _ := New(1024, 2, hashfn.DefaultPair())
+	if got := f.FillRatio(); got != 0 {
+		t.Fatalf("empty fill ratio = %v", got)
+	}
+	for i := uint64(0); i < 200; i++ {
+		f.Add(key(i))
+	}
+	got := f.FillRatio()
+	if got <= 0 || got >= 1 {
+		t.Fatalf("fill ratio = %v out of (0,1)", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"zero bits", errOf(New(0, 2, pair))},
+		{"k too large", errOf(New(64, 17, pair))},
+		{"nil hashes", errOf(New(64, 2, hashfn.Pair{}))},
+		{"capacity bad p", errOf(NewForCapacity(100, 1.5, pair))},
+		{"counting zero m", errOf(NewCounting(0, 2, pair))},
+		{"parallel one hash", errOf(NewParallel(64, []hashfn.Func{pair.H1}))},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func errOf[T any](_ T, err error) error { return err }
+
+func TestNewForCapacitySizing(t *testing.T) {
+	f, err := NewForCapacity(10000, 0.001, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m ≈ 14.38 bits/key, k ≈ 10 at p=0.001.
+	if f.M() < 140000 || f.M() > 150000 {
+		t.Fatalf("M = %d, want ~143776", f.M())
+	}
+	if f.K() < 9 || f.K() > 11 {
+		t.Fatalf("K = %d, want ~10", f.K())
+	}
+}

@@ -1,0 +1,142 @@
+// Package cam models the on-chip content-addressable memory used to absorb
+// hash collisions (Fig. 1: "additional entries at the same hash location,
+// namely hash collisions, are stored in the CAM"). A hardware CAM searches
+// all entries in parallel in one cycle; this model preserves that cost
+// contract (a Search is one pipeline stage regardless of occupancy) while
+// providing exact-match semantics, insert/delete, and occupancy stats.
+//
+// A TCAM variant with per-entry masks supports wildcard tuples, covering
+// the paper's "number of tuples for lookup" scalability claim.
+package cam
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// ErrFull is returned by Insert when every CAM entry is occupied — the
+// overflow condition that bounds the hash scheme's collision budget.
+var ErrFull = fmt.Errorf("cam: all entries occupied")
+
+// Entry is one stored key/value pair. Value is the match index the flow
+// table associates with the key (a flow ID or location index).
+type Entry struct {
+	Key   []byte
+	Value uint64
+}
+
+// Stats counts CAM activity.
+type Stats struct {
+	Searches  int64
+	Hits      int64
+	Inserts   int64
+	Deletes   int64
+	MaxInUse  int
+	InsertErr int64 // rejected inserts (CAM full)
+}
+
+// CAM is a binary (exact-match) content-addressable memory with a fixed
+// number of entries.
+type CAM struct {
+	entries []Entry
+	used    []bool
+	inUse   int
+	stats   Stats
+}
+
+// New returns a CAM with the given entry count. The paper's reference
+// point (Kirsch & Mitzenmacher [9]) uses 64 entries; the prototype default
+// matches it.
+func New(capacity int) *CAM {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cam: capacity must be positive, got %d", capacity))
+	}
+	return &CAM{
+		entries: make([]Entry, capacity),
+		used:    make([]bool, capacity),
+	}
+}
+
+// Capacity returns the total entry count.
+func (c *CAM) Capacity() int { return len(c.entries) }
+
+// InUse returns the number of occupied entries.
+func (c *CAM) InUse() int { return c.inUse }
+
+// Stats returns a snapshot of the activity counters.
+func (c *CAM) Stats() Stats { return c.stats }
+
+// Search performs the parallel match against all occupied entries. It
+// returns the stored value and true on a hit. Hardware cost: one cycle,
+// independent of occupancy.
+func (c *CAM) Search(key []byte) (uint64, bool) {
+	c.stats.Searches++
+	for i, e := range c.entries {
+		if c.used[i] && bytes.Equal(e.Key, key) {
+			c.stats.Hits++
+			return e.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores key→value in a free entry and returns the entry index it
+// occupied (flow tables derive location-based IDs from it). Inserting a
+// key that is already present overwrites its value in place. It returns
+// ErrFull when no entry is free.
+func (c *CAM) Insert(key []byte, value uint64) (int, error) {
+	// Overwrite an existing match first: duplicate keys in a CAM would
+	// make match priority ambiguous.
+	for i, e := range c.entries {
+		if c.used[i] && bytes.Equal(e.Key, key) {
+			c.entries[i].Value = value
+			c.stats.Inserts++
+			return i, nil
+		}
+	}
+	for i := range c.entries {
+		if !c.used[i] {
+			c.entries[i] = Entry{Key: append([]byte(nil), key...), Value: value}
+			c.used[i] = true
+			c.inUse++
+			if c.inUse > c.stats.MaxInUse {
+				c.stats.MaxInUse = c.inUse
+			}
+			c.stats.Inserts++
+			return i, nil
+		}
+	}
+	c.stats.InsertErr++
+	return 0, ErrFull
+}
+
+// Delete removes the entry matching key and reports whether one existed.
+func (c *CAM) Delete(key []byte) bool {
+	for i, e := range c.entries {
+		if c.used[i] && bytes.Equal(e.Key, key) {
+			c.entries[i] = Entry{}
+			c.used[i] = false
+			c.inUse--
+			c.stats.Deletes++
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every occupied entry until fn returns false. The
+// iteration order is the physical entry order.
+func (c *CAM) Range(fn func(Entry) bool) {
+	for i, e := range c.entries {
+		if c.used[i] && !fn(e) {
+			return
+		}
+	}
+}
+
+// BitCost returns the storage cost of the CAM in bits for the given key
+// width, the quantity the resource model (Table I substitute) reports:
+// capacity × (key bits + value bits + valid bit).
+func (c *CAM) BitCost(keyBytes, valueBits int) int64 {
+	return int64(c.Capacity()) * int64(keyBytes*8+valueBits+1)
+}

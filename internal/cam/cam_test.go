@@ -1,0 +1,273 @@
+package cam
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSearchInsertDelete(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Search([]byte("k1")); ok {
+		t.Fatal("hit on empty CAM")
+	}
+	if _, err := c.Insert([]byte("k1"), 100); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Search([]byte("k1"))
+	if !ok || v != 100 {
+		t.Fatalf("Search = (%d,%v), want (100,true)", v, ok)
+	}
+	if !c.Delete([]byte("k1")) {
+		t.Fatal("Delete missed existing key")
+	}
+	if _, ok := c.Search([]byte("k1")); ok {
+		t.Fatal("hit after delete")
+	}
+	if c.Delete([]byte("k1")) {
+		t.Fatal("Delete reported success on missing key")
+	}
+}
+
+func TestInsertOverwritesDuplicate(t *testing.T) {
+	c := New(2)
+	c.Insert([]byte("k"), 1)
+	c.Insert([]byte("k"), 2)
+	if c.InUse() != 1 {
+		t.Fatalf("InUse = %d after duplicate insert, want 1", c.InUse())
+	}
+	if v, _ := c.Search([]byte("k")); v != 2 {
+		t.Fatalf("value = %d, want 2 (overwritten)", v)
+	}
+}
+
+func TestFull(t *testing.T) {
+	c := New(2)
+	c.Insert([]byte("a"), 1)
+	c.Insert([]byte("b"), 2)
+	_, err := c.Insert([]byte("c"), 3)
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("Insert on full CAM = %v, want ErrFull", err)
+	}
+	// Freeing an entry makes room again.
+	c.Delete([]byte("a"))
+	if _, err := c.Insert([]byte("c"), 3); err != nil {
+		t.Fatalf("Insert after delete: %v", err)
+	}
+	if c.Stats().InsertErr != 1 {
+		t.Fatalf("InsertErr = %d, want 1", c.Stats().InsertErr)
+	}
+}
+
+func TestInsertCopiesKey(t *testing.T) {
+	c := New(2)
+	key := []byte("mutable")
+	c.Insert(key, 7)
+	key[0] = 'X'
+	if _, ok := c.Search([]byte("mutable")); !ok {
+		t.Fatal("CAM aliased the caller's key slice")
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 3; i++ {
+		c.Insert([]byte{byte(i)}, uint64(i))
+	}
+	c.Delete([]byte{1})
+	var got []uint64
+	c.Range(func(e Entry) bool {
+		got = append(got, e.Value)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("Range visited %d entries, want 2", len(got))
+	}
+	// Early termination.
+	count := 0
+	c.Range(func(Entry) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Range after false visited %d, want 1", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(4)
+	c.Insert([]byte("a"), 1)
+	c.Insert([]byte("b"), 2)
+	c.Search([]byte("a"))
+	c.Search([]byte("zz"))
+	st := c.Stats()
+	if st.Searches != 2 || st.Hits != 1 || st.Inserts != 2 || st.MaxInUse != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBitCost(t *testing.T) {
+	c := New(64)
+	// 64 entries × (13-byte key = 104 bits + 23-bit value + valid).
+	if got := c.BitCost(13, 23); got != 64*(104+23+1) {
+		t.Fatalf("BitCost = %d, want %d", got, 64*(104+23+1))
+	}
+}
+
+// Property: a CAM behaves as a map with bounded size under random
+// insert/delete/search sequences.
+func TestCAMModelProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint64
+	}
+	f := func(ops []op) bool {
+		c := New(8)
+		model := make(map[string]uint64)
+		for _, o := range ops {
+			key := []byte{o.Key % 16}
+			ks := string(key)
+			switch o.Kind % 3 {
+			case 0:
+				_, err := c.Insert(key, o.Value)
+				if _, exists := model[ks]; exists {
+					if err != nil {
+						return false // overwrite must succeed
+					}
+					model[ks] = o.Value
+				} else if len(model) < 8 {
+					if err != nil {
+						return false
+					}
+					model[ks] = o.Value
+				} else if !errors.Is(err, ErrFull) {
+					return false
+				}
+			case 1:
+				deleted := c.Delete(key)
+				_, existed := model[ks]
+				if deleted != existed {
+					return false
+				}
+				delete(model, ks)
+			case 2:
+				v, ok := c.Search(key)
+				want, existed := model[ks]
+				if ok != existed || (ok && v != want) {
+					return false
+				}
+			}
+			if c.InUse() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTCAMExactAndWildcard(t *testing.T) {
+	tc := NewTCAM(4, 4)
+	// Priority 0: exact match on 10.0.0.1.
+	if err := tc.InsertAt(0, TCAMEntry{Key: []byte{10, 0, 0, 1}, Value: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Priority 1: wildcard 10.0.0.* .
+	if err := tc.InsertAt(1, TCAMEntry{
+		Key:   []byte{10, 0, 0, 0},
+		Mask:  []byte{0xFF, 0xFF, 0xFF, 0x00},
+		Value: 200,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tc.Search([]byte{10, 0, 0, 1}); !ok || v != 100 {
+		t.Fatalf("exact search = (%d,%v), want (100,true)", v, ok)
+	}
+	if v, ok := tc.Search([]byte{10, 0, 0, 7}); !ok || v != 200 {
+		t.Fatalf("wildcard search = (%d,%v), want (200,true)", v, ok)
+	}
+	if _, ok := tc.Search([]byte{10, 0, 1, 7}); ok {
+		t.Fatal("search matched outside wildcard range")
+	}
+}
+
+func TestTCAMPriorityOrder(t *testing.T) {
+	tc := NewTCAM(4, 1)
+	tc.InsertAt(2, TCAMEntry{Key: []byte{5}, Mask: []byte{0}, Value: 300}) // match-all, low priority
+	tc.InsertAt(0, TCAMEntry{Key: []byte{7}, Value: 111})
+	if v, _ := tc.Search([]byte{7}); v != 111 {
+		t.Fatalf("priority: got %d, want 111 (position 0 wins)", v)
+	}
+	if v, _ := tc.Search([]byte{9}); v != 300 {
+		t.Fatalf("fallthrough: got %d, want 300", v)
+	}
+	tc.DeleteAt(0)
+	if v, _ := tc.Search([]byte{7}); v != 300 {
+		t.Fatalf("after delete: got %d, want 300", v)
+	}
+}
+
+func TestTCAMValidation(t *testing.T) {
+	tc := NewTCAM(2, 4)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"position out of range", tc.InsertAt(5, TCAMEntry{Key: []byte{1, 2, 3, 4}})},
+		{"wrong key width", tc.InsertAt(0, TCAMEntry{Key: []byte{1}})},
+		{"wrong mask width", tc.InsertAt(0, TCAMEntry{Key: []byte{1, 2, 3, 4}, Mask: []byte{0xFF}})},
+	}
+	for _, tcse := range cases {
+		if tcse.err == nil {
+			t.Errorf("%s: accepted", tcse.name)
+		}
+	}
+	if err := tc.InsertAt(0, TCAMEntry{Key: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.InsertAt(0, TCAMEntry{Key: []byte{4, 3, 2, 1}}); err == nil {
+		t.Error("occupied position accepted")
+	}
+	if tc.DeleteAt(1) {
+		t.Error("DeleteAt reported success on empty position")
+	}
+}
+
+func TestTCAMStressManyEntries(t *testing.T) {
+	tc := NewTCAM(128, 2)
+	for i := 0; i < 128; i++ {
+		key := []byte{byte(i), byte(i >> 4)}
+		if err := tc.InsertAt(i, TCAMEntry{Key: key, Value: uint64(i)}); err != nil {
+			t.Fatalf("InsertAt(%d): %v", i, err)
+		}
+	}
+	if tc.InUse() != 128 {
+		t.Fatalf("InUse = %d, want 128", tc.InUse())
+	}
+	for i := 0; i < 128; i++ {
+		key := []byte{byte(i), byte(i >> 4)}
+		v, ok := tc.Search(key)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Search(%v) = (%d,%v), want (%d,true)", key, v, ok, i)
+		}
+	}
+}
+
+func ExampleCAM() {
+	c := New(64)
+	_, _ = c.Insert([]byte("flow-key"), 42)
+	if v, ok := c.Search([]byte("flow-key")); ok {
+		fmt.Println("flow ID:", v)
+	}
+	// Output: flow ID: 42
+}

@@ -1,0 +1,112 @@
+package cam
+
+import (
+	"fmt"
+)
+
+// TCAMEntry is a ternary entry: key bits are compared only where the mask
+// bit is 1. Priority is the physical position — lower index wins, as in
+// hardware TCAMs where the priority encoder picks the first matching line.
+type TCAMEntry struct {
+	Key   []byte
+	Mask  []byte
+	Value uint64
+}
+
+// Matches reports whether data matches the entry under its mask.
+func (e TCAMEntry) Matches(data []byte) bool {
+	if len(data) != len(e.Key) {
+		return false
+	}
+	for i := range data {
+		if (data[i]^e.Key[i])&e.Mask[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TCAM is a ternary CAM with positional priority, used for wildcard tuple
+// rules (e.g. "all flows to port 80 regardless of source").
+type TCAM struct {
+	width   int
+	entries []TCAMEntry
+	used    []bool
+	inUse   int
+}
+
+// NewTCAM returns a TCAM of capacity entries over keys of width bytes.
+func NewTCAM(capacity, width int) *TCAM {
+	if capacity <= 0 || width <= 0 {
+		panic(fmt.Sprintf("cam: TCAM capacity and width must be positive (%d, %d)", capacity, width))
+	}
+	return &TCAM{
+		width:   width,
+		entries: make([]TCAMEntry, capacity),
+		used:    make([]bool, capacity),
+	}
+}
+
+// Capacity returns the entry count.
+func (t *TCAM) Capacity() int { return len(t.entries) }
+
+// InUse returns the occupied entry count.
+func (t *TCAM) InUse() int { return t.inUse }
+
+// Width returns the key width in bytes.
+func (t *TCAM) Width() int { return t.width }
+
+// Search returns the value of the highest-priority (lowest index) matching
+// entry.
+func (t *TCAM) Search(data []byte) (uint64, bool) {
+	for i, e := range t.entries {
+		if t.used[i] && e.Matches(data) {
+			return e.Value, true
+		}
+	}
+	return 0, false
+}
+
+// InsertAt programs the entry at position. A nil mask means exact match
+// (all bits compared). It returns an error for bad geometry or an occupied
+// position; hardware TCAM management software owns placement, so there is
+// no auto-allocation.
+func (t *TCAM) InsertAt(position int, e TCAMEntry) error {
+	if position < 0 || position >= len(t.entries) {
+		return fmt.Errorf("cam: TCAM position %d out of range [0,%d)", position, len(t.entries))
+	}
+	if len(e.Key) != t.width {
+		return fmt.Errorf("cam: TCAM key width %d, want %d", len(e.Key), t.width)
+	}
+	if e.Mask == nil {
+		e.Mask = make([]byte, t.width)
+		for i := range e.Mask {
+			e.Mask[i] = 0xFF
+		}
+	}
+	if len(e.Mask) != t.width {
+		return fmt.Errorf("cam: TCAM mask width %d, want %d", len(e.Mask), t.width)
+	}
+	if t.used[position] {
+		return fmt.Errorf("cam: TCAM position %d occupied", position)
+	}
+	t.entries[position] = TCAMEntry{
+		Key:   append([]byte(nil), e.Key...),
+		Mask:  append([]byte(nil), e.Mask...),
+		Value: e.Value,
+	}
+	t.used[position] = true
+	t.inUse++
+	return nil
+}
+
+// DeleteAt clears the entry at position and reports whether it was used.
+func (t *TCAM) DeleteAt(position int) bool {
+	if position < 0 || position >= len(t.entries) || !t.used[position] {
+		return false
+	}
+	t.entries[position] = TCAMEntry{}
+	t.used[position] = false
+	t.inUse--
+	return true
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's flow lookup scheme (Fig. 2) as a
+// cycle-level model: a sequencer with a load balancer feeding two
+// symmetric lookup paths, each with a data lookup unit (DLU: bank
+// selector, request filter, memory-control front end — Fig. 4) over its
+// own DDR3 channel, a flow-match block, and an update block (request
+// arbitrator + burst write generator — Fig. 5). A small CAM absorbs
+// bucket overflow, searched as pipeline stage 1 exactly as in the
+// Hash-CAM table of Fig. 1.
+//
+// Clocking matches the prototype: the core logic ticks once per
+// CoreClockRatio DDR bus cycles (4 — the quarter-rate user interface of
+// the 200 MHz design against an 800 MHz memory I/O clock), while the two
+// memory controllers tick every bus cycle.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/hashfn"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// BalancerPolicy selects how the sequencer's load balancer picks the
+// first-lookup path (§III-B: "a load balancer determining the path (A or
+// B) that the data should go through first").
+type BalancerPolicy int
+
+// Balancer policies.
+const (
+	// BalancerFixed sends a configured fraction of LU1s to path A
+	// (Table II(A)'s load sweep drives this policy at 0.5 / 0.25 / 0).
+	BalancerFixed BalancerPolicy = iota + 1
+	// BalancerAdaptive picks the path with the shallower DLU input queue,
+	// the "optimized load balancer" of §V.
+	BalancerAdaptive
+	// BalancerByHash derives the path from the descriptor's first hash
+	// bit — stateless, what a multi-engine design would ship.
+	BalancerByHash
+)
+
+// String returns the policy name.
+func (b BalancerPolicy) String() string {
+	switch b {
+	case BalancerFixed:
+		return "fixed"
+	case BalancerAdaptive:
+		return "adaptive"
+	case BalancerByHash:
+		return "by-hash"
+	default:
+		return fmt.Sprintf("BalancerPolicy(%d)", int(b))
+	}
+}
+
+// Config parameterises the timed Flow LUT.
+type Config struct {
+	// Timing and Geometry describe each of the two DDR3 channels.
+	Timing   dram.Timing
+	Geometry dram.Geometry
+	// Ctrl configures both memory controllers.
+	Ctrl memctrl.Config
+
+	// Buckets is the hash-bucket count per path. SlotsPerBucket is K of
+	// Fig. 1. KeyLen is the descriptor key width; EntryBytes the stored
+	// entry width (valid byte + key, padded).
+	Buckets        int
+	SlotsPerBucket int
+	KeyLen         int
+	EntryBytes     int
+
+	// CAMCapacity bounds the on-chip collision store.
+	CAMCapacity int
+	// Hash supplies the two pre-selected hash functions.
+	Hash hashfn.Pair
+
+	// Balancer selects the load-balancing policy; FixedLoadA is the
+	// fraction of LU1 traffic sent to path A under BalancerFixed.
+	Balancer   BalancerPolicy
+	FixedLoadA float64
+
+	// InputQueueDepth bounds the sequencer queue; PathQueueDepth bounds
+	// each DLU's bank-selector queue.
+	InputQueueDepth int
+	PathQueueDepth  int
+
+	// BWrThreshold and BWrTimeout parameterise the burst write generator:
+	// pending updates are flushed to the DLU when the count reaches the
+	// threshold or the oldest has waited the timeout (in core cycles) —
+	// "issue burst write requests at timeout or at the time when the
+	// request count reaches the target limit" (§IV-B).
+	BWrThreshold int
+	BWrTimeout   sim.Cycle
+
+	// CoreClockRatio is bus cycles per core cycle (4 = quarter rate).
+	CoreClockRatio int64
+
+	// BalancerSeed drives stochastic balancer decisions deterministically.
+	BalancerSeed uint64
+
+	// DisableBankSelector issues lookups strictly in arrival order
+	// (ablation: measures what the bank reordering buys).
+	DisableBankSelector bool
+	// DisableEarlyExit forces every lookup through both memory stages
+	// even after a stage-2 match (ablation: conventional Hash-CAM cost
+	// contract of [10][11]).
+	DisableEarlyExit bool
+}
+
+// DefaultConfig returns a laptop-scale configuration of the prototype
+// architecture: two channels, K=4 slots (two BL8 bursts per bucket on a
+// 32-bit bus), 64-entry CAM, quarter-rate 800 MHz bus.
+func DefaultConfig() Config {
+	return Config{
+		Timing:          dram.DDR31600(),
+		Geometry:        dram.PrototypeGeometry(),
+		Ctrl:            memctrl.DefaultConfig(),
+		Buckets:         1 << 14, // 16k buckets/path = 128k entries + CAM
+		SlotsPerBucket:  4,
+		KeyLen:          13,
+		EntryBytes:      16,
+		CAMCapacity:     64,
+		Hash:            hashfn.DefaultPair(),
+		Balancer:        BalancerAdaptive,
+		FixedLoadA:      0.5,
+		InputQueueDepth: 64,
+		PathQueueDepth:  16,
+		BWrThreshold:    8,
+		BWrTimeout:      256,
+		CoreClockRatio:  4,
+		BalancerSeed:    1,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Ctrl.Validate(); err != nil {
+		return err
+	}
+	burstBytes := c.Geometry.BurstBytes(c.Timing.BL)
+	switch {
+	case c.Buckets <= 0 || c.Buckets&(c.Buckets-1) != 0:
+		return fmt.Errorf("core: buckets must be a positive power of two, got %d", c.Buckets)
+	case c.SlotsPerBucket <= 0:
+		return fmt.Errorf("core: slots per bucket must be positive, got %d", c.SlotsPerBucket)
+	case c.KeyLen <= 0:
+		return fmt.Errorf("core: key length must be positive, got %d", c.KeyLen)
+	case c.EntryBytes < c.KeyLen+1:
+		return fmt.Errorf("core: entry bytes %d cannot hold valid byte + %d-byte key", c.EntryBytes, c.KeyLen)
+	case (c.SlotsPerBucket*c.EntryBytes)%burstBytes != 0:
+		return fmt.Errorf("core: bucket size %d not a multiple of the %d-byte burst",
+			c.SlotsPerBucket*c.EntryBytes, burstBytes)
+	case c.CAMCapacity <= 0:
+		return fmt.Errorf("core: CAM capacity must be positive, got %d", c.CAMCapacity)
+	case c.Hash.H1 == nil || c.Hash.H2 == nil:
+		return fmt.Errorf("core: both hash functions must be set")
+	case c.Balancer < BalancerFixed || c.Balancer > BalancerByHash:
+		return fmt.Errorf("core: unknown balancer policy %d", int(c.Balancer))
+	case c.FixedLoadA < 0 || c.FixedLoadA > 1:
+		return fmt.Errorf("core: fixed load fraction %v out of [0,1]", c.FixedLoadA)
+	case c.InputQueueDepth <= 0 || c.PathQueueDepth <= 0:
+		return fmt.Errorf("core: queue depths must be positive")
+	case c.BWrThreshold <= 0 || c.BWrTimeout <= 0:
+		return fmt.Errorf("core: burst write generator threshold/timeout must be positive")
+	case c.CoreClockRatio <= 0:
+		return fmt.Errorf("core: core clock ratio must be positive, got %d", c.CoreClockRatio)
+	}
+	// The table must fit the channel.
+	bucketBursts := int64(c.SlotsPerBucket*c.EntryBytes) / int64(burstBytes)
+	need := int64(c.Buckets) * bucketBursts
+	if have := c.Geometry.LinearBursts(c.Timing.BL); need > have {
+		return fmt.Errorf("core: table needs %d bursts per channel, geometry holds %d", need, have)
+	}
+	return nil
+}
+
+// BucketBursts returns the number of BL8 bursts per bucket read.
+func (c Config) BucketBursts() int {
+	return c.SlotsPerBucket * c.EntryBytes / c.Geometry.BurstBytes(c.Timing.BL)
+}
+
+// CapacityFlows returns the total flow capacity (both paths + CAM).
+func (c Config) CapacityFlows() int {
+	return 2*c.Buckets*c.SlotsPerBucket + c.CAMCapacity
+}

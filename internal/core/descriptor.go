@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a request through the Flow LUT.
+type Kind int
+
+// Request kinds.
+const (
+	// KindLookup is flow processing: search, and insert on miss (the
+	// first packet of a new flow creates its entry, §V-B).
+	KindLookup Kind = iota + 1
+	// KindSearch is a pure query: no insert on miss.
+	KindSearch
+	// KindDelete removes the flow if present (housekeeping's Del_req).
+	KindDelete
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindLookup:
+		return "lookup"
+	case KindSearch:
+		return "search"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stage identifies where a request resolved, mirroring hashcam.Stage but
+// local to the timed model.
+type Stage int
+
+// Resolution stages.
+const (
+	StageCAM Stage = iota + 1
+	StageMem1
+	StageMem2
+	StageMiss
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageCAM:
+		return "cam"
+	case StageMem1:
+		return "mem1"
+	case StageMem2:
+		return "mem2"
+	case StageMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// descriptor is one packet descriptor moving through the pipeline.
+type descriptor struct {
+	seq  uint64
+	kind Kind
+	key  []byte
+	// idx holds the two bucket indices; idx[0] indexes path A's table,
+	// idx[1] path B's.
+	idx [2]int
+	// arrival is the bus cycle at which the descriptor entered the
+	// sequencer, for latency accounting.
+	arrival sim.Cycle
+}
+
+// Result reports the outcome of one request.
+type Result struct {
+	// Seq is the injection sequence number of the descriptor.
+	Seq uint64
+	// Kind echoes the request kind.
+	Kind Kind
+	// FID is the flow ID (location index) for hits and fresh inserts.
+	FID uint64
+	// Hit reports whether the key was found (for KindLookup, false means
+	// the request inserted a new flow entry; NewFlow is then true).
+	Hit bool
+	// NewFlow reports that a lookup miss created an entry.
+	NewFlow bool
+	// Dropped reports an insert that failed because both buckets and the
+	// CAM were full.
+	Dropped bool
+	// Stage is where the request resolved.
+	Stage Stage
+	// Latency is the arrival-to-resolution time in bus cycles.
+	Latency sim.Cycle
+}
+
+// lookupState tracks one in-flight bucket read.
+type lookupState struct {
+	desc descriptor
+	// lu is 1 for LU1 (first path) or 2 for LU2 (redirected).
+	lu int
+	// path is the path this lookup reads from (0 = A, 1 = B).
+	path int
+	// firstBucket carries the bucket contents observed by LU1, so the
+	// update block can choose the emptier of the two buckets ("data are
+	// redirected to the other path for a second lookup", with the update
+	// decision taken after both reads).
+	firstBucket []byte
+
+	bucket    int
+	burstsGot int
+	data      []byte
+	issued    bool
+
+	// ver and firstVer capture the target buckets' update-version counters
+	// at read-enqueue time; a mismatch at decision time means the image is
+	// stale (an update drained while the read was in flight) and the
+	// lookup must refetch — the replay half of the request filter's
+	// "waiting list" (§IV-A).
+	ver      uint64
+	firstVer uint64
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// bucketOp is one pending table update (insert or delete) buffered in the
+// burst write generator: a modified image of the target bucket plus the
+// dirty-burst mask to write back.
+type bucketOp struct {
+	bucket     int
+	data       []byte // full bucket image (bucketBursts × burstBytes)
+	dirty      []bool // per burst
+	createdAt  sim.Cycle
+	flushed    bool
+	writesLeft int
+	// takenSlots marks slots assigned by this op (for merge decisions).
+	takenSlots []bool
+}
+
+// path is one of the two symmetric lookup paths: DLU + Flow Match + Updt
+// over a private DDR3 channel.
+type path struct {
+	id   int // 0 = A, 1 = B
+	cfg  *Config
+	dev  *dram.Device
+	ctrl *memctrl.Controller
+
+	// Bank selector queues (Fig. 4): LU2 requests (redirected from the
+	// other path) take priority over fresh LU1s, since they are older.
+	lu1Q *sim.Queue[*lookupState]
+	lu2Q *sim.Queue[*lookupState]
+
+	// outstanding maps controller tags to in-flight bucket reads.
+	outstanding map[uint64]*lookupState
+	nextTag     uint64
+	lastBank    int
+	qToggle     bool // round-robin arbitration between lu2Q and lu1Q
+
+	// Update block state (Fig. 5): pendingOps is BWr_Gen's buffer keyed
+	// by bucket; the request filter consults it to hold back lookups that
+	// would race an update ("if one request is updating the memory while
+	// another request is trying to access the same location", §IV-A).
+	pendingOps map[int]*bucketOp
+	flushQ     []*bucketOp // ops being written out, awaiting completions
+	writeTags  map[uint64]*bucketOp
+	// bucketVersion counts staged updates per bucket; lookups capture it
+	// at read-enqueue time to detect stale images.
+	bucketVersion map[int]uint64
+
+	stats pathStats
+}
+
+type pathStats struct {
+	lu1Issued     int64
+	lu2Issued     int64
+	filterHolds   int64
+	bankSwitches  int64
+	flushes       int64
+	opsWritten    int64
+	lookupsServed int64
+}
+
+func newPath(id int, cfg *Config, clock *sim.Clock) (*path, error) {
+	dev, err := dram.NewDevice(cfg.Timing, cfg.Geometry, clock)
+	if err != nil {
+		return nil, fmt.Errorf("core: path %d device: %w", id, err)
+	}
+	ctrl, err := memctrl.New(cfg.Ctrl, dev, clock)
+	if err != nil {
+		return nil, fmt.Errorf("core: path %d controller: %w", id, err)
+	}
+	return &path{
+		id:            id,
+		cfg:           cfg,
+		dev:           dev,
+		ctrl:          ctrl,
+		lu1Q:          sim.NewQueue[*lookupState](cfg.PathQueueDepth),
+		lu2Q:          sim.NewQueue[*lookupState](cfg.PathQueueDepth),
+		outstanding:   make(map[uint64]*lookupState),
+		pendingOps:    make(map[int]*bucketOp),
+		writeTags:     make(map[uint64]*bucketOp),
+		bucketVersion: make(map[int]uint64),
+		lastBank:      -1,
+	}, nil
+}
+
+// bucketBytes returns the byte size of one bucket.
+func (p *path) bucketBytes() int { return p.cfg.SlotsPerBucket * p.cfg.EntryBytes }
+
+// burstAddr returns the DRAM address of burst j of bucket b.
+func (p *path) burstAddr(bucket, j int) dram.Addr {
+	linear := int64(bucket)*int64(p.cfg.BucketBursts()) + int64(j)
+	return p.cfg.Geometry.AddrOfBurst(linear, p.cfg.Timing.BL)
+}
+
+// bucketBank returns the bank of a bucket's first burst (buckets never
+// straddle banks under the row:bank:col layout with power-of-two sizes).
+func (p *path) bucketBank(bucket int) int {
+	return p.burstAddr(bucket, 0).Bank
+}
+
+// filterBlocks implements the request filter: a lookup touching a bucket
+// with a pending or in-flight update waits until the write has drained.
+func (p *path) filterBlocks(bucket int) bool {
+	_, busy := p.pendingOps[bucket]
+	return busy
+}
+
+// selectLookup picks the next lookup to issue, honouring the request
+// filter and the bank selector: fair round-robin between the LU2 and LU1
+// queues (strict LU2 priority would let one path's misses starve the
+// other path's fresh lookups), oldest-first within a queue, preferring a
+// request that switches banks so consecutive row activates land in
+// different banks. With the bank selector disabled the pick is strictly
+// the queue head.
+func (p *path) selectLookup() (*lookupState, *sim.Queue[*lookupState], int) {
+	order := []*sim.Queue[*lookupState]{p.lu2Q, p.lu1Q}
+	if p.qToggle {
+		order[0], order[1] = order[1], order[0]
+	}
+	p.qToggle = !p.qToggle
+	for _, q := range order {
+		if q.Empty() {
+			continue
+		}
+		if p.cfg.DisableBankSelector {
+			head, _ := q.Peek()
+			if p.filterBlocks(head.bucket) {
+				p.stats.filterHolds++
+				continue
+			}
+			return head, q, 0
+		}
+		firstOK := -1
+		for i := 0; i < q.Len(); i++ {
+			ls := q.At(i)
+			if p.filterBlocks(ls.bucket) {
+				p.stats.filterHolds++
+				continue
+			}
+			if firstOK == -1 {
+				firstOK = i
+			}
+			if p.bucketBank(ls.bucket) != p.lastBank {
+				return ls, q, i
+			}
+		}
+		if firstOK >= 0 {
+			return q.At(firstOK), q, firstOK
+		}
+	}
+	return nil, nil, 0
+}
+
+// issueLookups starts at most one bucket read per core cycle (the DLU's
+// command port), enqueueing all of its bursts with one shared tag space.
+func (p *path) issueLookups(now sim.Cycle) {
+	ls, q, idx := p.selectLookup()
+	if ls == nil {
+		return
+	}
+	bursts := p.cfg.BucketBursts()
+	// All bursts of a bucket read must fit the controller queue together,
+	// so a lookup is never half-issued.
+	reads, _ := p.ctrl.PendingRequests()
+	if reads+bursts > p.cfg.Ctrl.ReadQueueDepth {
+		return
+	}
+	q.RemoveAt(idx)
+	ls.ver = p.bucketVersion[ls.bucket]
+	bank := p.bucketBank(ls.bucket)
+	if p.lastBank != -1 && bank != p.lastBank {
+		p.stats.bankSwitches++
+	}
+	p.lastBank = bank
+	ls.data = make([]byte, p.bucketBytes())
+	for j := 0; j < bursts; j++ {
+		p.nextTag++
+		tag := p.nextTag
+		if _, ok := p.ctrl.Enqueue(memctrl.Request{Tag: tag, Addr: p.burstAddr(ls.bucket, j)}); !ok {
+			panic("core: controller rejected read after capacity check")
+		}
+		p.outstanding[tag] = ls
+	}
+	ls.issued = true
+	ls.burstsGot = 0
+	if ls.lu == 1 {
+		p.stats.lu1Issued++
+	} else {
+		p.stats.lu2Issued++
+	}
+}
+
+// drainCompletions consumes controller completions, returning lookups
+// whose full bucket image has arrived.
+func (p *path) drainCompletions() []*lookupState {
+	var done []*lookupState
+	burstBytes := p.cfg.Geometry.BurstBytes(p.cfg.Timing.BL)
+	for {
+		c, ok := p.ctrl.PopCompletion()
+		if !ok {
+			break
+		}
+		if c.IsWrite {
+			op, ok := p.writeTags[c.Tag]
+			if !ok {
+				continue
+			}
+			delete(p.writeTags, c.Tag)
+			op.writesLeft--
+			if op.writesLeft == 0 && opClean(op) {
+				// Update durable: release the request filter.
+				delete(p.pendingOps, op.bucket)
+				p.stats.opsWritten++
+			}
+			continue
+		}
+		ls, ok := p.outstanding[c.Tag]
+		if !ok {
+			continue
+		}
+		delete(p.outstanding, c.Tag)
+		// Burst j is identified by its address offset within the bucket.
+		linear := p.cfg.Geometry.BurstIndex(c.Addr, p.cfg.Timing.BL)
+		j := int(linear) - ls.bucket*p.cfg.BucketBursts()
+		copy(ls.data[j*burstBytes:], c.Data)
+		ls.burstsGot++
+		if ls.burstsGot == p.cfg.BucketBursts() {
+			done = append(done, ls)
+			p.stats.lookupsServed++
+		}
+	}
+	return done
+}
+
+// matchBucket scans a bucket image for key, returning the slot.
+func (p *path) matchBucket(data []byte, key []byte) (int, bool) {
+	eb := p.cfg.EntryBytes
+	for slot := 0; slot < p.cfg.SlotsPerBucket; slot++ {
+		e := data[slot*eb : (slot+1)*eb]
+		if e[0] != 0 && bytes.Equal(e[1:1+p.cfg.KeyLen], key) {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// freeSlotInImage returns the first free slot considering both the stored
+// image and slots already taken by a pending op.
+func (p *path) freeSlotInImage(data []byte, op *bucketOp) (int, bool) {
+	eb := p.cfg.EntryBytes
+	for slot := 0; slot < p.cfg.SlotsPerBucket; slot++ {
+		if data[slot*eb] != 0 {
+			continue
+		}
+		if op != nil && op.takenSlots[slot] {
+			continue
+		}
+		return slot, true
+	}
+	return 0, false
+}
+
+// bucketLoad counts occupied slots in a bucket image (plus pending
+// assignments).
+func (p *path) bucketLoad(data []byte, op *bucketOp) int {
+	eb := p.cfg.EntryBytes
+	n := 0
+	for slot := 0; slot < p.cfg.SlotsPerBucket; slot++ {
+		if data[slot*eb] != 0 || (op != nil && op.takenSlots[slot]) {
+			n++
+		}
+	}
+	return n
+}
+
+// stageUpdate merges a slot modification into the path's update block and
+// returns the op. writeEntry == nil clears the slot (deletion).
+func (p *path) stageUpdate(now sim.Cycle, bucket, slot int, sourceImage []byte, key []byte) *bucketOp {
+	op, ok := p.pendingOps[bucket]
+	if !ok {
+		op = &bucketOp{
+			bucket:     bucket,
+			data:       append([]byte(nil), sourceImage...),
+			dirty:      make([]bool, p.cfg.BucketBursts()),
+			createdAt:  now,
+			takenSlots: make([]bool, p.cfg.SlotsPerBucket),
+		}
+		p.pendingOps[bucket] = op
+	}
+	p.bucketVersion[bucket]++
+	eb := p.cfg.EntryBytes
+	entry := op.data[slot*eb : (slot+1)*eb]
+	for i := range entry {
+		entry[i] = 0
+	}
+	if key != nil {
+		entry[0] = 1
+		copy(entry[1:], key)
+		op.takenSlots[slot] = true
+	}
+	burstBytes := p.cfg.Geometry.BurstBytes(p.cfg.Timing.BL)
+	op.dirty[slot*eb/burstBytes] = true
+	// Merging into an op whose writes are already draining re-arms it so
+	// the freshly dirtied burst is written too.
+	if op.flushed {
+		p.flushQ = append(p.flushQ, op)
+	}
+	return op
+}
+
+// opClean reports whether an op has no unissued dirty bursts.
+func opClean(op *bucketOp) bool {
+	for _, d := range op.dirty {
+		if d {
+			return false
+		}
+	}
+	return true
+}
+
+// tickUpdt drives the burst write generator: flush ops whose count or age
+// crosses the threshold, then feed flushed ops' write requests into the
+// controller as queue capacity permits.
+func (p *path) tickUpdt(now sim.Cycle) {
+	// Count unflushed ops and find the oldest.
+	unflushed := 0
+	var oldest sim.Cycle = -1
+	for _, op := range p.pendingOps {
+		if op.flushed {
+			continue
+		}
+		unflushed++
+		if oldest == -1 || op.createdAt < oldest {
+			oldest = op.createdAt
+		}
+	}
+	timeout := p.cfg.BWrTimeout * sim.Cycle(p.cfg.CoreClockRatio)
+	if unflushed > 0 && (unflushed >= p.cfg.BWrThreshold || now-oldest >= timeout) {
+		for _, op := range p.pendingOps {
+			if !op.flushed {
+				op.flushed = true
+				p.flushQ = append(p.flushQ, op)
+			}
+		}
+		p.stats.flushes++
+	}
+	// Issue write requests for flushed ops in flush order.
+	burstBytes := p.cfg.Geometry.BurstBytes(p.cfg.Timing.BL)
+	for len(p.flushQ) > 0 {
+		op := p.flushQ[0]
+		issuedAll := true
+		for j := 0; j < p.cfg.BucketBursts(); j++ {
+			if !op.dirty[j] {
+				continue
+			}
+			if !p.ctrl.CanEnqueue(true) {
+				issuedAll = false
+				break
+			}
+			p.nextTag++
+			tag := p.nextTag
+			data := append([]byte(nil), op.data[j*burstBytes:(j+1)*burstBytes]...)
+			if _, ok := p.ctrl.Enqueue(memctrl.Request{
+				Tag: tag, Addr: p.burstAddr(op.bucket, j), IsWrite: true, Data: data,
+			}); !ok {
+				panic("core: controller rejected write after CanEnqueue")
+			}
+			op.dirty[j] = false
+			op.writesLeft++
+			p.writeTags[tag] = op
+		}
+		if !issuedAll {
+			return
+		}
+		if op.writesLeft == 0 {
+			// Nothing was dirty (delete of a slot that a merge re-cleared):
+			// release immediately.
+			delete(p.pendingOps, op.bucket)
+		}
+		p.flushQ = p.flushQ[1:]
+	}
+}
+
+// busy reports whether the path holds any in-flight work.
+func (p *path) busy() bool {
+	return !p.lu1Q.Empty() || !p.lu2Q.Empty() ||
+		len(p.outstanding) > 0 || len(p.pendingOps) > 0 || len(p.flushQ) > 0 ||
+		!p.ctrl.Idle()
+}

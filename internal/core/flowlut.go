@@ -1,0 +1,664 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cam"
+	"repro/internal/sim"
+)
+
+// FlowLUT is the timed flow lookup table of Fig. 2: sequencer + load
+// balancer, two symmetric paths over private DDR3 channels, CAM overflow
+// store, flow-match/update blocks, and FID generation. It implements
+// sim.Tickable at DDR-bus-cycle granularity.
+type FlowLUT struct {
+	cfg   Config
+	clock *sim.Clock
+
+	paths [2]*path
+	cam   *cam.CAM
+
+	inQ     *sim.Queue[descriptor]
+	nextSeq uint64
+
+	// redirects holds LU2 requests waiting for room in the target path's
+	// queue (a skid buffer between the two flow-match blocks).
+	redirects [2][]*lookupState
+
+	// inflight pins all packets of a key to one path while any of its
+	// requests are outstanding, preserving per-flow order ("packets
+	// belonging to the same flow are still strictly maintained in order",
+	// §IV-A).
+	inflight map[string]*pinInfo
+
+	// recentInserts closes the window where two packets of the same new
+	// flow both miss and would both insert (§IV-A's corner cases).
+	recentKeys map[string]uint64
+	recentRing []string
+	recentPos  int
+
+	results   []Result
+	rng       *sim.Rand
+	altToggle bool
+	stats     Stats
+}
+
+type pinInfo struct {
+	path  int
+	count int
+}
+
+// Stats aggregates the model's counters.
+type Stats struct {
+	Offered   int64
+	Rejected  int64 // input backpressure events
+	Processed int64
+	Hits      int64
+	NewFlows  int64
+	Dropped   int64
+	Deletes   int64
+
+	HitsCAM  int64
+	HitsMem1 int64
+	HitsMem2 int64
+
+	LU1PathA int64
+	LU1PathB int64
+
+	LatencyTotal sim.Cycle
+	LatencyMax   sim.Cycle
+
+	FilterHolds int64
+	Flushes     int64
+	Replays     int64 // stale-image refetches
+}
+
+// LoadFractionA returns the fraction of first lookups dispatched to path
+// A — the "Load-path A" column of Table II(A).
+func (s Stats) LoadFractionA() float64 {
+	total := s.LU1PathA + s.LU1PathB
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LU1PathA) / float64(total)
+}
+
+// MeanLatency returns the mean arrival-to-resolution latency in bus
+// cycles.
+func (s Stats) MeanLatency() float64 {
+	if s.Processed == 0 {
+		return 0
+	}
+	return float64(s.LatencyTotal) / float64(s.Processed)
+}
+
+// New builds a FlowLUT over the shared clock.
+func New(cfg Config, clock *sim.Clock) (*FlowLUT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FlowLUT{
+		cfg:        cfg,
+		clock:      clock,
+		cam:        cam.New(cfg.CAMCapacity),
+		inQ:        sim.NewQueue[descriptor](cfg.InputQueueDepth),
+		inflight:   make(map[string]*pinInfo),
+		recentKeys: make(map[string]uint64),
+		recentRing: make([]string, 2*cfg.CAMCapacity),
+		rng:        sim.NewRand(cfg.BalancerSeed),
+	}
+	for i := range f.paths {
+		p, err := newPath(i, &f.cfg, clock)
+		if err != nil {
+			return nil, err
+		}
+		f.paths[i] = p
+	}
+	return f, nil
+}
+
+// Config returns the model's configuration.
+func (f *FlowLUT) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of the counters, merging per-path detail.
+func (f *FlowLUT) Stats() Stats {
+	s := f.stats
+	for _, p := range f.paths {
+		s.FilterHolds += p.stats.filterHolds
+		s.Flushes += p.stats.flushes
+	}
+	return s
+}
+
+// Offer submits a descriptor of the given kind, hashing the key with the
+// configured pair. It reports false under input backpressure (the
+// injection-rate experiments count and retry).
+func (f *FlowLUT) Offer(kind Kind, key []byte) bool {
+	if len(key) != f.cfg.KeyLen {
+		panic(fmt.Sprintf("core: key of %d bytes, configured for %d", len(key), f.cfg.KeyLen))
+	}
+	i1 := f.cfg.Hash.Index1(key, f.cfg.Buckets)
+	i2 := f.cfg.Hash.Index2(key, f.cfg.Buckets)
+	return f.OfferHashed(kind, key, i1, i2)
+}
+
+// OfferHashed submits a descriptor with externally supplied bucket
+// indices — Table II(A) drives the sequencer with raw hash patterns.
+func (f *FlowLUT) OfferHashed(kind Kind, key []byte, i1, i2 int) bool {
+	if i1 < 0 || i1 >= f.cfg.Buckets || i2 < 0 || i2 >= f.cfg.Buckets {
+		panic(fmt.Sprintf("core: bucket indices (%d,%d) out of range [0,%d)", i1, i2, f.cfg.Buckets))
+	}
+	d := descriptor{
+		seq:     f.nextSeq,
+		kind:    kind,
+		key:     append([]byte(nil), key...),
+		idx:     [2]int{i1, i2},
+		arrival: f.clock.Now(),
+	}
+	if !f.inQ.Push(d) {
+		f.stats.Rejected++
+		return false
+	}
+	f.nextSeq++
+	f.stats.Offered++
+	return true
+}
+
+// PopResult returns the next completed request.
+func (f *FlowLUT) PopResult() (Result, bool) {
+	if len(f.results) == 0 {
+		return Result{}, false
+	}
+	r := f.results[0]
+	f.results = f.results[1:]
+	return r, true
+}
+
+// Idle reports whether no work is queued or in flight.
+func (f *FlowLUT) Idle() bool {
+	if !f.inQ.Empty() {
+		return false
+	}
+	for i, p := range f.paths {
+		if p.busy() || len(f.redirects[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick implements sim.Tickable at bus-cycle granularity.
+func (f *FlowLUT) Tick(now sim.Cycle) {
+	if int64(now)%f.cfg.CoreClockRatio == 0 {
+		f.coreTick(now)
+	}
+	for _, p := range f.paths {
+		p.ctrl.Tick(now)
+	}
+}
+
+// coreTick advances the 200 MHz-domain logic one cycle.
+func (f *FlowLUT) coreTick(now sim.Cycle) {
+	// Flow-match completions first, so freed queue slots are visible to
+	// the sequencer in the same cycle ordering hardware would exhibit.
+	for i, p := range f.paths {
+		for _, ls := range p.drainCompletions() {
+			f.flowMatch(now, i, ls)
+		}
+	}
+	f.drainRedirects()
+	f.sequence(now)
+	for _, p := range f.paths {
+		p.issueLookups(now)
+		p.tickUpdt(now)
+	}
+}
+
+// drainRedirects moves held LU2 requests into their target path's queue.
+func (f *FlowLUT) drainRedirects() {
+	for target := range f.redirects {
+		held := f.redirects[target]
+		n := 0
+		for _, ls := range held {
+			if f.paths[target].lu2Q.Push(ls) {
+				continue
+			}
+			held[n] = ls
+			n++
+		}
+		f.redirects[target] = held[:n]
+	}
+}
+
+// sequence runs the sequencer: CAM stage plus load-balanced dispatch of
+// one descriptor per core cycle.
+func (f *FlowLUT) sequence(now sim.Cycle) {
+	d, ok := f.inQ.Peek()
+	if !ok {
+		return
+	}
+	// Per-flow serialisation: while any request for this key is in flight,
+	// later packets of the flow wait at the sequencer. This is what keeps
+	// packets of one flow "strictly maintained in order" (§IV-A) while the
+	// DLUs reorder freely across flows.
+	if _, busy := f.inflight[string(d.key)]; busy {
+		return
+	}
+	// Stage 1: CAM. A hit (or CAM-resident delete) resolves immediately.
+	if v, hit := f.cam.Search(d.key); hit {
+		f.inQ.Pop()
+		switch d.kind {
+		case KindDelete:
+			f.cam.Delete(d.key)
+			delete(f.recentKeys, string(d.key))
+			f.stats.Deletes++
+			f.emit(now, d, Result{Hit: true, Stage: StageCAM})
+		default:
+			f.stats.Hits++
+			f.stats.HitsCAM++
+			f.emit(now, d, Result{FID: v, Hit: true, Stage: StageCAM})
+		}
+		return
+	}
+	// Duplicate-in-flight window: a key whose insert is still pending
+	// resolves against the staged entry.
+	if fid, ok := f.recentKeys[string(d.key)]; ok && d.kind != KindDelete {
+		// Only short-circuit while the entry may not be readable yet.
+		if f.updatePending(d) {
+			f.inQ.Pop()
+			stage := f.stageOfFID(fid)
+			f.stats.Hits++
+			f.bumpStage(stage)
+			f.emit(now, d, Result{FID: fid, Hit: true, Stage: stage})
+			return
+		}
+	}
+
+	target := f.pickPath(d)
+	ls := &lookupState{desc: d, lu: 1, path: target, bucket: d.idx[target]}
+	if !f.paths[target].lu1Q.Push(ls) {
+		return // path congested; descriptor stays queued
+	}
+	f.inQ.Pop()
+	f.pin(d.key, target)
+	if target == 0 {
+		f.stats.LU1PathA++
+	} else {
+		f.stats.LU1PathB++
+	}
+}
+
+// updatePending reports whether either bucket of d has a staged update.
+func (f *FlowLUT) updatePending(d descriptor) bool {
+	return f.paths[0].filterBlocks(d.idx[0]) || f.paths[1].filterBlocks(d.idx[1])
+}
+
+// pickPath applies the load balancer, honouring in-flight pinning.
+func (f *FlowLUT) pickPath(d descriptor) int {
+	if pin, ok := f.inflight[string(d.key)]; ok {
+		return pin.path
+	}
+	switch f.cfg.Balancer {
+	case BalancerFixed:
+		if f.rng.Float64() < f.cfg.FixedLoadA {
+			return 0
+		}
+		return 1
+	case BalancerAdaptive:
+		// Even split by sequence parity, spilling to the other path only
+		// under hard backpressure (the parity path's queue is full). Any
+		// finer-grained relative steering is unstable in this topology:
+		// LU2 redirects have issue priority, so a path loaded with the
+		// other side's LU2s admits LU1s slowly, which relative steering
+		// misreads as a reason to keep unbalancing. The paper's own
+		// measured random-hash split is 50.8 % (Table II(A)) — parity.
+		target := int(d.seq & 1)
+		if f.paths[target].lu1Q.Full() && !f.paths[1-target].lu1Q.Full() {
+			return 1 - target
+		}
+		return target
+	case BalancerByHash:
+		return d.idx[0] & 1
+	default:
+		panic(fmt.Sprintf("core: unknown balancer %v", f.cfg.Balancer))
+	}
+}
+
+// pin marks a key as in flight on a path.
+func (f *FlowLUT) pin(key []byte, target int) {
+	k := string(key)
+	if pin, ok := f.inflight[k]; ok {
+		pin.count++
+		return
+	}
+	f.inflight[k] = &pinInfo{path: target, count: 1}
+}
+
+// unpin releases one in-flight reference.
+func (f *FlowLUT) unpin(key []byte) {
+	k := string(key)
+	pin, ok := f.inflight[k]
+	if !ok {
+		return
+	}
+	pin.count--
+	if pin.count == 0 {
+		delete(f.inflight, k)
+	}
+}
+
+// flowMatch is the per-path Flow Match block: compare the fetched bucket
+// against the descriptor, then hit → FID_GEN, LU1 miss → redirect, LU2
+// miss → update block.
+func (f *FlowLUT) flowMatch(now sim.Cycle, pathID int, ls *lookupState) {
+	p := f.paths[pathID]
+	d := ls.desc
+
+	// Freshness: a pending update op owns the authoritative image of its
+	// bucket — match against it (this also resolves hits on entries whose
+	// write is still draining). Without an op, a version mismatch means an
+	// update landed while the read was in flight: refetch.
+	if op := p.pendingOps[ls.bucket]; op != nil {
+		ls.data = append(ls.data[:0], op.data...)
+		ls.ver = p.bucketVersion[ls.bucket]
+	} else if ls.ver != p.bucketVersion[ls.bucket] {
+		f.refetch(ls, pathID)
+		return
+	}
+	// The carried first-bucket image of an LU2 must be fresh too before it
+	// can inform a final decision.
+	if ls.lu == 2 {
+		other := 1 - pathID
+		po := f.paths[other]
+		if op := po.pendingOps[d.idx[other]]; op != nil {
+			ls.firstBucket = append([]byte(nil), op.data...)
+			ls.firstVer = po.bucketVersion[d.idx[other]]
+		} else if ls.firstVer != po.bucketVersion[d.idx[other]] {
+			// Restart from LU1 on the first path.
+			restart := &lookupState{desc: d, lu: 1, path: other, bucket: d.idx[other]}
+			f.refetch(restart, other)
+			return
+		}
+	}
+
+	slot, matched := p.matchBucket(ls.data, d.key)
+
+	// Early-exit ablation: an LU1 match was deferred past the redundant
+	// second read; re-find it in the carried first-bucket image now.
+	if !matched && ls.lu == 2 && f.cfg.DisableEarlyExit {
+		if s1, m1 := p.matchBucket(ls.firstBucket, d.key); m1 {
+			other := 1 - pathID
+			f.stats.Hits++
+			if other == 0 {
+				f.stats.HitsMem1++
+			} else {
+				f.stats.HitsMem2++
+			}
+			f.emit(now, d, Result{FID: f.fid(other, d.idx[other], s1), Hit: true, Stage: memStage(other)})
+			f.unpin(d.key)
+			return
+		}
+	}
+
+	if matched && d.kind == KindDelete {
+		p.stageUpdate(now, ls.bucket, slot, ls.data, nil)
+		delete(f.recentKeys, string(d.key))
+		f.stats.Deletes++
+		f.emit(now, d, Result{Hit: true, Stage: memStage(pathID)})
+		f.unpin(d.key)
+		return
+	}
+	if matched {
+		if ls.lu == 1 && f.cfg.DisableEarlyExit {
+			// Ablation: conventional Hash-CAM searches the second table
+			// regardless; forward and resolve there.
+			f.forwardLU2(ls, pathID, true, slot)
+			return
+		}
+		f.stats.Hits++
+		if pathID == 0 {
+			f.stats.HitsMem1++
+		} else {
+			f.stats.HitsMem2++
+		}
+		f.emit(now, d, Result{FID: f.fid(pathID, ls.bucket, slot), Hit: true, Stage: memStage(pathID)})
+		f.unpin(d.key)
+		return
+	}
+
+	if ls.lu == 1 {
+		f.forwardLU2(ls, pathID, false, 0)
+		return
+	}
+	// LU2 miss: final resolution.
+	switch d.kind {
+	case KindSearch, KindDelete:
+		f.emit(now, d, Result{Hit: false, Stage: StageMiss})
+		f.unpin(d.key)
+	case KindLookup:
+		f.insert(now, pathID, ls)
+	}
+}
+
+// refetch re-queues a lookup whose image went stale. It enters the
+// priority (LU2) queue so it does not starve behind fresh arrivals; per-key
+// serialisation at the sequencer guarantees no same-flow request can
+// overtake it.
+func (f *FlowLUT) refetch(ls *lookupState, pathID int) {
+	ls.issued = false
+	ls.burstsGot = 0
+	f.stats.Replays++
+	if len(f.redirects[pathID]) > 0 || !f.paths[pathID].lu2Q.Push(ls) {
+		f.redirects[pathID] = append(f.redirects[pathID], ls)
+	}
+}
+
+// forwardLU2 redirects a request to the other path as LU2, carrying the
+// first bucket image (and, for the early-exit ablation, the already-found
+// match which resolves after the redundant second read).
+func (f *FlowLUT) forwardLU2(ls *lookupState, pathID int, alreadyMatched bool, matchSlot int) {
+	other := 1 - pathID
+	lu2 := &lookupState{
+		desc:        ls.desc,
+		lu:          2,
+		path:        other,
+		bucket:      ls.desc.idx[other],
+		firstBucket: ls.data,
+		firstVer:    ls.ver,
+	}
+	// The known match (early-exit ablation) is re-found in firstBucket by
+	// flowMatch on arrival; no extra state is carried.
+	_, _ = alreadyMatched, matchSlot
+	// Preserve FIFO order through the skid buffer: once anything is held,
+	// all later redirects queue behind it.
+	if len(f.redirects[other]) > 0 || !f.paths[other].lu2Q.Push(lu2) {
+		f.redirects[other] = append(f.redirects[other], lu2)
+	}
+}
+
+// insert is the update path: choose the emptier of the two observed
+// buckets, overflow to the CAM when both are full, drop when the CAM is
+// full too.
+func (f *FlowLUT) insert(now sim.Cycle, lu2Path int, ls *lookupState) {
+	d := ls.desc
+	// Close the duplicate race: a racing packet may have staged this key
+	// already.
+	if fid, ok := f.recentKeys[string(d.key)]; ok {
+		stage := f.stageOfFID(fid)
+		f.stats.Hits++
+		f.bumpStage(stage)
+		f.emit(now, d, Result{FID: fid, Hit: true, Stage: stage})
+		f.unpin(d.key)
+		return
+	}
+	lu1Path := 1 - lu2Path
+	images := [2][]byte{}
+	images[lu2Path] = ls.data
+	images[lu1Path] = ls.firstBucket
+
+	type cand struct {
+		path, bucket int
+		image        []byte
+		op           *bucketOp
+		load         int
+		free         int
+		hasFree      bool
+	}
+	var cands [2]cand
+	for i := 0; i < 2; i++ {
+		p := f.paths[i]
+		bucket := d.idx[i]
+		op := p.pendingOps[bucket]
+		image := images[i]
+		if op != nil {
+			image = op.data
+		}
+		free, hasFree := p.freeSlotInImage(image, op)
+		cands[i] = cand{
+			path: i, bucket: bucket, image: image, op: op,
+			load: p.bucketLoad(image, op), free: free, hasFree: hasFree,
+		}
+	}
+	pick := -1
+	switch {
+	case cands[0].hasFree && cands[1].hasFree:
+		switch {
+		case cands[0].load < cands[1].load:
+			pick = 0
+		case cands[1].load < cands[0].load:
+			pick = 1
+		default:
+			pick = lu2Path // tie: stay local to the finishing path
+		}
+	case cands[0].hasFree:
+		pick = 0
+	case cands[1].hasFree:
+		pick = 1
+	}
+	if pick >= 0 {
+		c := cands[pick]
+		f.paths[c.path].stageUpdate(now, c.bucket, c.free, c.image, d.key)
+		fid := f.fid(c.path, c.bucket, c.free)
+		f.remember(d.key, fid)
+		f.stats.NewFlows++
+		f.emit(now, d, Result{FID: fid, NewFlow: true, Stage: StageMiss})
+		f.unpin(d.key)
+		return
+	}
+	// Both buckets full: CAM overflow (on-chip, immediate).
+	idx, err := f.cam.Insert(d.key, 0)
+	if err != nil {
+		f.stats.Dropped++
+		f.emit(now, d, Result{Dropped: true, Stage: StageMiss})
+		f.unpin(d.key)
+		return
+	}
+	if _, err := f.cam.Insert(d.key, uint64(idx)); err != nil {
+		panic("core: CAM value fixup failed") // entry was just placed
+	}
+	f.stats.NewFlows++
+	f.emit(now, d, Result{FID: uint64(idx), NewFlow: true, Stage: StageMiss})
+	f.unpin(d.key)
+}
+
+// remember records a freshly staged key→fid for the duplicate window.
+func (f *FlowLUT) remember(key []byte, fid uint64) {
+	k := string(key)
+	if old := f.recentRing[f.recentPos]; old != "" {
+		delete(f.recentKeys, old)
+	}
+	f.recentRing[f.recentPos] = k
+	f.recentPos = (f.recentPos + 1) % len(f.recentRing)
+	f.recentKeys[k] = fid
+}
+
+// fid encodes a location as a flow ID: CAM entries occupy [0, cam), path
+// A's table the next block, then path B's.
+func (f *FlowLUT) fid(pathID, bucket, slot int) uint64 {
+	n := f.cfg.Buckets * f.cfg.SlotsPerBucket
+	return uint64(f.cfg.CAMCapacity + pathID*n + bucket*f.cfg.SlotsPerBucket + slot)
+}
+
+// stageOfFID decodes the region a flow ID lives in.
+func (f *FlowLUT) stageOfFID(fid uint64) Stage {
+	camCap := uint64(f.cfg.CAMCapacity)
+	n := uint64(f.cfg.Buckets * f.cfg.SlotsPerBucket)
+	switch {
+	case fid < camCap:
+		return StageCAM
+	case fid < camCap+n:
+		return StageMem1
+	default:
+		return StageMem2
+	}
+}
+
+// bumpStage increments the per-stage hit counter.
+func (f *FlowLUT) bumpStage(s Stage) {
+	switch s {
+	case StageCAM:
+		f.stats.HitsCAM++
+	case StageMem1:
+		f.stats.HitsMem1++
+	case StageMem2:
+		f.stats.HitsMem2++
+	}
+}
+
+// memStage maps a path ID to its pipeline stage label.
+func memStage(pathID int) Stage {
+	if pathID == 0 {
+		return StageMem1
+	}
+	return StageMem2
+}
+
+// emit finalises a result.
+func (f *FlowLUT) emit(now sim.Cycle, d descriptor, r Result) {
+	r.Seq = d.seq
+	r.Kind = d.kind
+	r.Latency = now - d.arrival
+	f.stats.Processed++
+	f.stats.LatencyTotal += r.Latency
+	if r.Latency > f.stats.LatencyMax {
+		f.stats.LatencyMax = r.Latency
+	}
+	f.results = append(f.results, r)
+}
+
+// CAMInUse exposes CAM occupancy.
+func (f *FlowLUT) CAMInUse() int { return f.cam.InUse() }
+
+// PathStats returns (lu1Issued, lu2Issued, filterHolds) for a path.
+func (f *FlowLUT) PathStats(i int) (lu1, lu2, holds int64) {
+	p := f.paths[i]
+	return p.stats.lu1Issued, p.stats.lu2Issued, p.stats.filterHolds
+}
+
+// PathDRAMStats returns the DRAM activity counters of a path's channel.
+func (f *FlowLUT) PathDRAMStats(i int) DRAMStats {
+	st := f.paths[i].dev.Stats()
+	ctrl := f.paths[i].ctrl.Stats()
+	return DRAMStats{
+		Reads:         st.Reads,
+		Writes:        st.Writes,
+		Activates:     st.Activates,
+		Turnarounds:   st.Turnarounds,
+		BusBusyCycles: st.BusBusyCycles,
+		RowHits:       ctrl.RowHits,
+		RowMisses:     ctrl.RowMisses,
+		RowConflicts:  ctrl.RowConflicts,
+	}
+}
+
+// DRAMStats summarises one channel's memory activity for reports.
+type DRAMStats struct {
+	Reads         int64
+	Writes        int64
+	Activates     int64
+	Turnarounds   int64
+	BusBusyCycles int64
+	RowHits       int64
+	RowMisses     int64
+	RowConflicts  int64
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// WorkItem is one descriptor of a workload. If PreHashed is set, Index1/
+// Index2 are used verbatim (Table II(A) hash patterns); otherwise the key
+// is hashed by the configured pair.
+type WorkItem struct {
+	Kind      Kind
+	Key       []byte
+	PreHashed bool
+	Index1    int
+	Index2    int
+}
+
+// RunReport summarises one workload run.
+type RunReport struct {
+	Results []Result
+	Stats   Stats
+	// Cycles is the elapsed bus-cycle count from first injection to last
+	// resolution.
+	Cycles sim.Cycle
+	// MDescPerSec is the sustained processing rate in the paper's unit,
+	// computed from simulated time.
+	MDescPerSec float64
+}
+
+// RunWorkload drives items into f at one injection attempt per
+// injectPeriod bus cycles (e.g. period 8 at an 800 MHz bus models the
+// paper's 100 MHz input rate), retrying under backpressure, then drains
+// the pipeline. It fails if the run exceeds limit cycles.
+func RunWorkload(f *FlowLUT, sched *sim.Scheduler, items []WorkItem, injectPeriod int64, limit sim.Cycle) (RunReport, error) {
+	if injectPeriod <= 0 {
+		return RunReport{}, fmt.Errorf("core: injection period must be positive, got %d", injectPeriod)
+	}
+	var report RunReport
+	clock := sched.Clock()
+	start := clock.Now()
+	next := start
+	offered := 0
+
+	cycles, done := sched.RunUntil(func() bool {
+		for {
+			r, ok := f.PopResult()
+			if !ok {
+				break
+			}
+			report.Results = append(report.Results, r)
+		}
+		now := clock.Now()
+		if offered < len(items) && now >= next {
+			it := items[offered]
+			var ok bool
+			if it.PreHashed {
+				ok = f.OfferHashed(it.Kind, it.Key, it.Index1, it.Index2)
+			} else {
+				ok = f.Offer(it.Kind, it.Key)
+			}
+			if ok {
+				offered++
+				next += sim.Cycle(injectPeriod)
+				if next < now {
+					// Backpressure pushed us behind schedule; re-anchor so
+					// the injector does not burst to catch up.
+					next = now + sim.Cycle(injectPeriod)
+				}
+			}
+		}
+		return offered == len(items) && f.Idle() && len(report.Results) == len(items)
+	}, limit)
+	if !done {
+		return report, fmt.Errorf("core: workload did not finish in %d cycles (offered %d/%d, resolved %d)",
+			limit, offered, len(items), len(report.Results))
+	}
+	report.Cycles = cycles
+	report.Stats = f.Stats()
+	report.MDescPerSec = metrics.MDescPerSec(int64(len(report.Results)), int64(cycles), f.cfg.Timing.TCKps)
+	return report, nil
+}
+
+// NewRig builds a FlowLUT wired to a fresh scheduler, the common test and
+// bench setup.
+func NewRig(cfg Config) (*FlowLUT, *sim.Scheduler, error) {
+	clock := sim.NewClock()
+	f, err := New(cfg, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched := sim.NewScheduler(clock)
+	sched.Register(f)
+	return f, sched, nil
+}

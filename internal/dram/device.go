@@ -1,0 +1,357 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Command enumerates the DDR3 commands the device accepts.
+type Command int
+
+// DDR3 command set (the subset a lookup-table workload exercises).
+const (
+	CmdActivate Command = iota + 1
+	CmdRead
+	CmdWrite
+	CmdPrecharge
+	CmdPrechargeAll
+	CmdRefresh
+)
+
+// String returns the JEDEC mnemonic.
+func (c Command) String() string {
+	switch c {
+	case CmdActivate:
+		return "ACT"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdPrecharge:
+		return "PRE"
+	case CmdPrechargeAll:
+		return "PREA"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return fmt.Sprintf("Command(%d)", int(c))
+	}
+}
+
+// bankState is the row state machine of one bank.
+type bankState struct {
+	active    bool
+	activeRow int
+
+	nextActivate sim.Cycle // earliest ACT (tRC from last ACT, tRP from PRE)
+	nextRead     sim.Cycle // earliest RD (tRCD from ACT)
+	nextWrite    sim.Cycle // earliest WR (tRCD from ACT)
+	nextPre      sim.Cycle // earliest PRE (tRAS from ACT, tRTP from RD, tWR after WR data)
+}
+
+// Stats aggregates the activity counters of a device.
+type Stats struct {
+	Activates  int64
+	Precharges int64
+	Reads      int64
+	Writes     int64
+	Refreshes  int64
+
+	// BusBusyCycles counts cycles in which the DQ bus carried data. The
+	// Fig. 3 utilisation metric is BusBusyCycles / elapsed cycles.
+	BusBusyCycles int64
+	// Turnarounds counts bus direction changes (RD→WR or WR→RD).
+	Turnarounds int64
+}
+
+// Device is one DDR3 channel: eight banks behind a shared command/address
+// bus and a shared bidirectional DQ data bus.
+//
+// The device enforces the JEDEC timing contract: Issue panics when a
+// command violates a constraint, so a scheduling bug upstream fails loudly
+// rather than silently producing impossible bandwidth. Controllers call
+// CanIssue first, exactly as real controller logic gates command slots.
+type Device struct {
+	timing Timing
+	geom   Geometry
+	clock  *sim.Clock
+
+	banks []bankState
+
+	nextReadCmd  sim.Cycle // global earliest RD (tCCD, WR→RD turnaround)
+	nextWriteCmd sim.Cycle // global earliest WR (tCCD, RD→WR turnaround)
+	nextActAny   sim.Cycle // global earliest ACT (tRRD)
+	actTimes     []sim.Cycle
+	actHead      int // ring over the last 4 ACTs for tFAW
+
+	dqBusyUntil sim.Cycle
+	lastWasRead bool
+	anyTransfer bool
+
+	refreshReady sim.Cycle // all-bank earliest command after REF
+
+	store *Store
+	stats Stats
+}
+
+// NewDevice builds a channel with the given timing, geometry and shared
+// clock. It returns an error when either parameter set fails validation.
+func NewDevice(timing Timing, geom Geometry, clock *sim.Clock) (*Device, error) {
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("dram: NewDevice requires a clock")
+	}
+	d := &Device{
+		timing:   timing,
+		geom:     geom,
+		clock:    clock,
+		banks:    make([]bankState, geom.Banks),
+		actTimes: make([]sim.Cycle, 4),
+		store:    NewStore(geom),
+	}
+	// Seed the four-activate window with times far enough in the past that
+	// the first four activates are unconstrained by tFAW.
+	for i := range d.actTimes {
+		d.actTimes[i] = -sim.Cycle(timing.TFAW)
+	}
+	return d, nil
+}
+
+// Timing returns the device's timing parameters.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Geometry returns the device's organisation.
+func (d *Device) Geometry() Geometry { return d.geom }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Store exposes the backing store (for test seeding and verification).
+func (d *Device) Store() *Store { return d.store }
+
+// RowOpen reports whether bank currently has row open.
+func (d *Device) RowOpen(bank, row int) bool {
+	b := &d.banks[bank]
+	return b.active && b.activeRow == row
+}
+
+// OpenRow returns the open row of bank, or -1 when the bank is precharged.
+func (d *Device) OpenRow(bank int) int {
+	b := &d.banks[bank]
+	if !b.active {
+		return -1
+	}
+	return b.activeRow
+}
+
+// CanIssue reports whether cmd targeting a could legally issue this cycle.
+// For CmdPrechargeAll and CmdRefresh the address is ignored.
+func (d *Device) CanIssue(cmd Command, a Addr) bool {
+	now := d.clock.Now()
+	if now < d.refreshReady {
+		return false
+	}
+	switch cmd {
+	case CmdActivate:
+		b := &d.banks[a.Bank]
+		if b.active {
+			return false
+		}
+		return now >= b.nextActivate && now >= d.nextActAny && now >= d.fawReady()
+	case CmdRead:
+		b := &d.banks[a.Bank]
+		return b.active && b.activeRow == a.Row && now >= b.nextRead && now >= d.nextReadCmd
+	case CmdWrite:
+		b := &d.banks[a.Bank]
+		return b.active && b.activeRow == a.Row && now >= b.nextWrite && now >= d.nextWriteCmd
+	case CmdPrecharge:
+		b := &d.banks[a.Bank]
+		if !b.active {
+			return true // NOP precharge is legal
+		}
+		return now >= b.nextPre
+	case CmdPrechargeAll:
+		for i := range d.banks {
+			b := &d.banks[i]
+			if b.active && now < b.nextPre {
+				return false
+			}
+		}
+		return true
+	case CmdRefresh:
+		for i := range d.banks {
+			if d.banks[i].active {
+				return false
+			}
+			if now < d.banks[i].nextActivate {
+				// tRP from the closing precharge must have elapsed.
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// fawReady returns the earliest cycle at which a fifth activate may issue
+// given the four-activate window.
+func (d *Device) fawReady() sim.Cycle {
+	oldest := d.actTimes[d.actHead]
+	return oldest + sim.Cycle(d.timing.TFAW)
+}
+
+// mustBeLegal panics with a descriptive message when cmd cannot issue now.
+func (d *Device) mustBeLegal(cmd Command, a Addr) {
+	if !d.CanIssue(cmd, a) {
+		panic(fmt.Sprintf("dram: timing violation: %s %s at cycle %d (%s)",
+			cmd, a, d.clock.Now(), d.timing.Name))
+	}
+}
+
+// Activate opens row a.Row in bank a.Bank.
+func (d *Device) Activate(a Addr) {
+	d.mustBeLegal(CmdActivate, a)
+	now := d.clock.Now()
+	t := &d.timing
+	b := &d.banks[a.Bank]
+	b.active = true
+	b.activeRow = a.Row
+	b.nextRead = now + sim.Cycle(t.TRCD)
+	b.nextWrite = now + sim.Cycle(t.TRCD)
+	b.nextPre = now + sim.Cycle(t.TRAS)
+	b.nextActivate = now + sim.Cycle(t.TRC)
+	d.nextActAny = now + sim.Cycle(t.TRRD)
+	d.actTimes[d.actHead] = now
+	d.actHead = (d.actHead + 1) % len(d.actTimes)
+	d.stats.Activates++
+}
+
+// ReadResult carries the payload and completion time of a read burst.
+type ReadResult struct {
+	// Data is the burst payload (Geometry.BurstBytes long). The slice is a
+	// copy; callers may retain it.
+	Data []byte
+	// ReadyAt is the cycle at which the last data beat is on the bus; the
+	// controller delivers the data to its client no earlier than this.
+	ReadyAt sim.Cycle
+}
+
+// Read issues a BL8 read burst at a and returns the payload along with the
+// cycle at which the data transfer completes.
+func (d *Device) Read(a Addr) ReadResult {
+	d.mustBeLegal(CmdRead, a)
+	if !d.geom.Valid(a, d.timing.BL) {
+		panic(fmt.Sprintf("dram: read at invalid address %s", a))
+	}
+	now := d.clock.Now()
+	t := &d.timing
+	b := &d.banks[a.Bank]
+
+	d.nextReadCmd = now + sim.Cycle(t.TCCD)
+	d.nextWriteCmd = maxCycle(d.nextWriteCmd, now+sim.Cycle(t.ReadToWriteGap()))
+	b.nextPre = maxCycle(b.nextPre, now+sim.Cycle(t.TRTP))
+
+	start := now + sim.Cycle(t.RL())
+	end := start + sim.Cycle(t.BurstCycles())
+	d.occupyDQ(start, end, true)
+	d.stats.Reads++
+
+	return ReadResult{Data: d.store.Read(a, int(t.BL)), ReadyAt: end}
+}
+
+// Write issues a BL8 write burst of data at a and returns the cycle at
+// which the last data beat has been driven.
+func (d *Device) Write(a Addr, data []byte) sim.Cycle {
+	d.mustBeLegal(CmdWrite, a)
+	if !d.geom.Valid(a, d.timing.BL) {
+		panic(fmt.Sprintf("dram: write at invalid address %s", a))
+	}
+	if len(data) != d.geom.BurstBytes(d.timing.BL) {
+		panic(fmt.Sprintf("dram: write burst of %d bytes, want %d", len(data), d.geom.BurstBytes(d.timing.BL)))
+	}
+	now := d.clock.Now()
+	t := &d.timing
+	b := &d.banks[a.Bank]
+
+	d.nextWriteCmd = now + sim.Cycle(t.TCCD)
+	d.nextReadCmd = maxCycle(d.nextReadCmd, now+sim.Cycle(t.WriteToReadGap()))
+
+	start := now + sim.Cycle(t.WL())
+	end := start + sim.Cycle(t.BurstCycles())
+	// Write recovery runs from the end of the data burst.
+	b.nextPre = maxCycle(b.nextPre, end+sim.Cycle(t.TWR))
+	d.occupyDQ(start, end, false)
+	d.store.Write(a, data)
+	d.stats.Writes++
+	return end
+}
+
+// Precharge closes the open row of bank a.Bank. Precharging an idle bank
+// is a legal no-op, as in the JEDEC contract.
+func (d *Device) Precharge(a Addr) {
+	d.mustBeLegal(CmdPrecharge, a)
+	now := d.clock.Now()
+	b := &d.banks[a.Bank]
+	if !b.active {
+		return
+	}
+	b.active = false
+	b.nextActivate = maxCycle(b.nextActivate, now+sim.Cycle(d.timing.TRP))
+	d.stats.Precharges++
+}
+
+// PrechargeAll closes every open row.
+func (d *Device) PrechargeAll() {
+	d.mustBeLegal(CmdPrechargeAll, Addr{})
+	now := d.clock.Now()
+	for i := range d.banks {
+		b := &d.banks[i]
+		if !b.active {
+			continue
+		}
+		b.active = false
+		b.nextActivate = maxCycle(b.nextActivate, now+sim.Cycle(d.timing.TRP))
+		d.stats.Precharges++
+	}
+}
+
+// Refresh issues an all-bank refresh; the device is unavailable for tRFC.
+func (d *Device) Refresh() {
+	d.mustBeLegal(CmdRefresh, Addr{})
+	now := d.clock.Now()
+	d.refreshReady = now + sim.Cycle(d.timing.TRFC)
+	d.stats.Refreshes++
+}
+
+// occupyDQ claims the data bus for [start, end) and accounts utilisation
+// and turnaround statistics. Overlap is a scheduling bug and panics.
+func (d *Device) occupyDQ(start, end sim.Cycle, isRead bool) {
+	if start < d.dqBusyUntil {
+		panic(fmt.Sprintf("dram: DQ bus conflict: burst starting at %d overlaps previous transfer ending at %d",
+			start, d.dqBusyUntil))
+	}
+	if d.anyTransfer && d.lastWasRead != isRead {
+		d.stats.Turnarounds++
+	}
+	d.anyTransfer = true
+	d.lastWasRead = isRead
+	d.dqBusyUntil = end
+	d.stats.BusBusyCycles += int64(end - start)
+}
+
+// DQBusyUntil returns the cycle at which the current data transfer ends.
+func (d *Device) DQBusyUntil() sim.Cycle { return d.dqBusyUntil }
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

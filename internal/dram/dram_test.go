@@ -1,0 +1,450 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testDevice(t *testing.T, timing Timing) (*Device, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	dev, err := NewDevice(timing, PrototypeGeometry(), clock)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return dev, clock
+}
+
+// waitFor advances the clock until cmd is legal, failing after a bound.
+func waitFor(t *testing.T, dev *Device, clock *sim.Clock, cmd Command, a Addr) sim.Cycle {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		if dev.CanIssue(cmd, a) {
+			return clock.Now()
+		}
+		clock.Advance()
+	}
+	t.Fatalf("command %s %s never became legal", cmd, a)
+	return 0
+}
+
+func TestTimingPresetsValidate(t *testing.T) {
+	for _, tm := range []Timing{DDR31066E(), DDR31600()} {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", tm.Name, err)
+		}
+	}
+}
+
+func TestTimingValidationCatchesInconsistency(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Timing)
+	}{
+		{"zero tCK", func(tm *Timing) { tm.TCKps = 0 }},
+		{"bad BL", func(tm *Timing) { tm.BL = 6 }},
+		{"tRC < tRAS+tRP", func(tm *Timing) { tm.TRC = tm.TRAS + tm.TRP - 1 }},
+		{"zero CL", func(tm *Timing) { tm.CL = 0 }},
+		{"tCCD < burst", func(tm *Timing) { tm.TCCD = 1 }},
+		{"zero tREFI", func(tm *Timing) { tm.TREFI = 0 }},
+		{"negative pad", func(tm *Timing) { tm.ReadToWritePad = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tm := DDR31066E()
+			tc.mutate(&tm)
+			if err := tm.Validate(); err == nil {
+				t.Fatalf("Validate accepted inconsistent timing (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestTurnaroundGapFormulas(t *testing.T) {
+	tm := DDR31066E()
+	// JEDEC minimums: RD→WR = RL-WL+BL/2+2 = 7-6+4+2 = 7, plus pad 8 = 15.
+	if got := tm.ReadToWriteGap(); got != 15 {
+		t.Errorf("ReadToWriteGap = %d, want 15", got)
+	}
+	// WR→RD = CWL+BL/2+tWTR = 6+4+4 = 14, plus pad 11 = 25.
+	if got := tm.WriteToReadGap(); got != 25 {
+		t.Errorf("WriteToReadGap = %d, want 25", got)
+	}
+	// Fig. 3 calibration target: combined gaps = 40 so that utilisation at
+	// one burst per direction is 8/40 = 20 %.
+	if sum := tm.ReadToWriteGap() + tm.WriteToReadGap(); sum != 40 {
+		t.Errorf("combined turnaround gaps = %d, want 40 (Fig. 3 calibration)", sum)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := PrototypeGeometry().Validate(); err != nil {
+		t.Fatalf("prototype geometry invalid: %v", err)
+	}
+	bad := Geometry{Banks: 8, Rows: 1000, Cols: 1024, WordBytes: 4}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted non-power-of-two rows")
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := PrototypeGeometry()
+	if got := g.CapacityBytes(); got != 512<<20 {
+		t.Fatalf("CapacityBytes = %d, want %d (512 MB)", got, 512<<20)
+	}
+	if got := g.RowBytes(); got != 4096 {
+		t.Fatalf("RowBytes = %d, want 4096", got)
+	}
+}
+
+func TestGeometryAddrRoundTrip(t *testing.T) {
+	g := PrototypeGeometry()
+	const bl = 8
+	f := func(seed uint32) bool {
+		idx := int64(seed) % g.LinearBursts(bl)
+		a := g.AddrOfBurst(idx, bl)
+		if !g.Valid(a, bl) {
+			return false
+		}
+		return g.BurstIndex(a, bl) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryBankInterleave(t *testing.T) {
+	// Consecutive row-sized strides must land in different banks so the
+	// bank selector can overlap activates.
+	g := PrototypeGeometry()
+	const bl = 8
+	burstsPerRow := int64(g.Cols) / bl
+	a0 := g.AddrOfBurst(0, bl)
+	a1 := g.AddrOfBurst(burstsPerRow, bl)
+	if a0.Bank == a1.Bank {
+		t.Fatalf("adjacent row-strides map to same bank (%s vs %s)", a0, a1)
+	}
+}
+
+func TestActivateReadTimings(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	a := Addr{Bank: 0, Row: 5, Col: 0}
+
+	if dev.CanIssue(CmdRead, a) {
+		t.Fatal("read legal on precharged bank")
+	}
+	dev.Activate(a)
+	actAt := clock.Now()
+	if dev.CanIssue(CmdRead, a) {
+		t.Fatal("read legal immediately after ACT (tRCD violated)")
+	}
+	rdAt := waitFor(t, dev, clock, CmdRead, a)
+	if got := int64(rdAt - actAt); got != tm.TRCD {
+		t.Fatalf("first read issued %d cycles after ACT, want tRCD=%d", got, tm.TRCD)
+	}
+	res := dev.Read(a)
+	if want := rdAt + sim.Cycle(tm.RL()+tm.BurstCycles()); res.ReadyAt != want {
+		t.Fatalf("read ReadyAt = %d, want %d", res.ReadyAt, want)
+	}
+}
+
+func TestReadWrongRowIllegal(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	a := Addr{Bank: 2, Row: 7, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdRead, a)
+	wrong := Addr{Bank: 2, Row: 8, Col: 0}
+	if dev.CanIssue(CmdRead, wrong) {
+		t.Fatal("read legal on a row that is not open")
+	}
+}
+
+func TestRowCycleTime(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	a := Addr{Bank: 1, Row: 1, Col: 0}
+	dev.Activate(a)
+	act1 := clock.Now()
+
+	// Close and reopen a different row in the same bank: PRE at tRAS,
+	// second ACT at max(tRC, tRAS+tRP) = tRC.
+	preAt := waitFor(t, dev, clock, CmdPrecharge, a)
+	if got := int64(preAt - act1); got != tm.TRAS {
+		t.Fatalf("PRE legal %d cycles after ACT, want tRAS=%d", got, tm.TRAS)
+	}
+	dev.Precharge(a)
+	b := Addr{Bank: 1, Row: 2, Col: 0}
+	act2 := waitFor(t, dev, clock, CmdActivate, b)
+	if got := int64(act2 - act1); got != tm.TRC {
+		t.Fatalf("second ACT %d cycles after first, want tRC=%d", got, tm.TRC)
+	}
+}
+
+func TestBackToBackReadsSpacedByTCCD(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdRead, a)
+	dev.Read(a)
+	t1 := clock.Now()
+	b := Addr{Bank: 0, Row: 0, Col: 8}
+	t2 := waitFor(t, dev, clock, CmdRead, b)
+	if got := int64(t2 - t1); got != tm.TCCD {
+		t.Fatalf("second read after %d cycles, want tCCD=%d", got, tm.TCCD)
+	}
+}
+
+func TestBusTurnaroundGaps(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdRead, a)
+	dev.Read(a)
+	rdAt := clock.Now()
+
+	data := make([]byte, dev.Geometry().BurstBytes(tm.BL))
+	wrAt := waitFor(t, dev, clock, CmdWrite, Addr{Bank: 0, Row: 0, Col: 8})
+	if got := int64(wrAt - rdAt); got != tm.ReadToWriteGap() {
+		t.Fatalf("WR issued %d cycles after RD, want %d", got, tm.ReadToWriteGap())
+	}
+	dev.Write(Addr{Bank: 0, Row: 0, Col: 8}, data)
+
+	rd2At := waitFor(t, dev, clock, CmdRead, a)
+	if got := int64(rd2At - wrAt); got != tm.WriteToReadGap() {
+		t.Fatalf("RD issued %d cycles after WR, want %d", got, tm.WriteToReadGap())
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	var times []sim.Cycle
+	for bank := 0; bank < 5; bank++ {
+		a := Addr{Bank: bank, Row: 0, Col: 0}
+		at := waitFor(t, dev, clock, CmdActivate, a)
+		dev.Activate(a)
+		times = append(times, at)
+	}
+	// Activates 0..3 are spaced by tRRD; the fifth must wait for tFAW from
+	// the first.
+	for i := 1; i < 4; i++ {
+		if got := int64(times[i] - times[i-1]); got != tm.TRRD {
+			t.Fatalf("ACT %d spaced %d after previous, want tRRD=%d", i, got, tm.TRRD)
+		}
+	}
+	if got := int64(times[4] - times[0]); got != tm.TFAW {
+		t.Fatalf("fifth ACT %d cycles after first, want tFAW=%d", got, tm.TFAW)
+	}
+}
+
+func TestWriteReadBackData(t *testing.T) {
+	dev, clock := testDevice(t, DDR31600())
+	a := Addr{Bank: 3, Row: 100, Col: 16}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdWrite, a)
+	want := bytes.Repeat([]byte{0xAB, 0xCD}, 16)
+	dev.Write(a, want)
+	waitFor(t, dev, clock, CmdRead, a)
+	got := dev.Read(a).Data
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %x, want %x", got, want)
+	}
+	// An unwritten burst in the same row reads as zero.
+	zero := Addr{Bank: 3, Row: 100, Col: 32}
+	waitFor(t, dev, clock, CmdRead, zero)
+	if data := dev.Read(zero).Data; !bytes.Equal(data, make([]byte, 32)) {
+		t.Fatalf("unwritten location read as %x, want zeros", data)
+	}
+}
+
+func TestRefreshBlocksAndRecovers(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	tm := dev.Timing()
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdPrecharge, a)
+	dev.Precharge(a)
+	refAt := waitFor(t, dev, clock, CmdRefresh, Addr{})
+	dev.Refresh()
+	if dev.CanIssue(CmdActivate, a) {
+		t.Fatal("ACT legal during refresh")
+	}
+	actAt := waitFor(t, dev, clock, CmdActivate, a)
+	if got := int64(actAt - refAt); got != tm.TRFC {
+		t.Fatalf("ACT legal %d cycles after REF, want tRFC=%d", got, tm.TRFC)
+	}
+}
+
+func TestRefreshRequiresAllBanksClosed(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	dev.Activate(Addr{Bank: 4, Row: 9, Col: 0})
+	clock.AdvanceBy(1000)
+	if dev.CanIssue(CmdRefresh, Addr{}) {
+		t.Fatal("REF legal with an open bank")
+	}
+	dev.PrechargeAll()
+	waitFor(t, dev, clock, CmdRefresh, Addr{})
+}
+
+func TestPrechargeAllClosesEverything(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	for bank := 0; bank < 4; bank++ {
+		a := Addr{Bank: bank, Row: bank, Col: 0}
+		waitFor(t, dev, clock, CmdActivate, a)
+		dev.Activate(a)
+	}
+	clock.AdvanceBy(sim.Cycle(dev.Timing().TRAS))
+	waitFor(t, dev, clock, CmdPrechargeAll, Addr{})
+	dev.PrechargeAll()
+	for bank := 0; bank < 8; bank++ {
+		if dev.OpenRow(bank) != -1 {
+			t.Fatalf("bank %d still open after PrechargeAll", bank)
+		}
+	}
+	if got := dev.Stats().Precharges; got != 4 {
+		t.Fatalf("Precharges = %d, want 4 (idle banks are no-ops)", got)
+	}
+}
+
+func TestIllegalCommandPanics(t *testing.T) {
+	dev, _ := testDevice(t, DDR31066E())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Read on precharged bank did not panic")
+		}
+	}()
+	dev.Read(Addr{Bank: 0, Row: 0, Col: 0})
+}
+
+func TestWriteSizeChecked(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdWrite, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short write burst did not panic")
+		}
+	}()
+	dev.Write(a, []byte{1, 2, 3})
+}
+
+func TestStatsAccounting(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(a)
+	waitFor(t, dev, clock, CmdRead, a)
+	dev.Read(a)
+	waitFor(t, dev, clock, CmdWrite, a)
+	dev.Write(a, make([]byte, 32))
+	waitFor(t, dev, clock, CmdRead, a)
+	dev.Read(a)
+	st := dev.Stats()
+	if st.Reads != 2 || st.Writes != 1 || st.Activates != 1 {
+		t.Fatalf("stats = %+v, want 2 reads / 1 write / 1 activate", st)
+	}
+	if st.Turnarounds != 2 {
+		t.Fatalf("Turnarounds = %d, want 2 (RD→WR, WR→RD)", st.Turnarounds)
+	}
+	if st.BusBusyCycles != 3*4 {
+		t.Fatalf("BusBusyCycles = %d, want 12 (three BL8 bursts)", st.BusBusyCycles)
+	}
+}
+
+// TestAlternatingBurstUtilization checks the Fig. 3 anchor analytically:
+// one read + one write per period on an open row yields 8 data cycles per
+// 40-cycle period = 20 % utilisation.
+func TestAlternatingBurstUtilization(t *testing.T) {
+	dev, clock := testDevice(t, DDR31066E())
+	a := Addr{Bank: 0, Row: 0, Col: 0}
+	b := Addr{Bank: 0, Row: 0, Col: 8}
+	dev.Activate(a)
+	data := make([]byte, 32)
+
+	waitFor(t, dev, clock, CmdRead, a)
+	start := clock.Now()
+	const pairs = 50
+	for i := 0; i < pairs; i++ {
+		waitFor(t, dev, clock, CmdRead, a)
+		dev.Read(a)
+		waitFor(t, dev, clock, CmdWrite, b)
+		dev.Write(b, data)
+	}
+	waitFor(t, dev, clock, CmdRead, a)
+	elapsed := float64(clock.Now() - start)
+	util := float64(dev.Stats().BusBusyCycles) / elapsed
+	if util < 0.19 || util > 0.21 {
+		t.Fatalf("alternating-burst utilisation = %.3f, want ~0.20 (Fig. 3 anchor)", util)
+	}
+}
+
+// Property: random legal command sequences never trigger a DQ-bus overlap
+// panic and never let utilisation exceed 1.
+func TestRandomLegalSequencesSafe(t *testing.T) {
+	rng := sim.NewRand(1234)
+	dev, clock := testDevice(t, DDR31600())
+	g := dev.Geometry()
+	data := make([]byte, g.BurstBytes(dev.Timing().BL))
+	issued := 0
+	for step := 0; step < 20000 && issued < 2000; step++ {
+		bank := rng.Intn(g.Banks)
+		row := rng.Intn(64)
+		col := rng.Intn(g.Cols/8) * 8
+		a := Addr{Bank: bank, Row: row, Col: col}
+		switch rng.Intn(5) {
+		case 0:
+			if dev.CanIssue(CmdActivate, a) {
+				dev.Activate(a)
+				issued++
+			}
+		case 1:
+			a.Row = dev.OpenRow(bank)
+			if a.Row >= 0 && dev.CanIssue(CmdRead, a) {
+				dev.Read(a)
+				issued++
+			}
+		case 2:
+			a.Row = dev.OpenRow(bank)
+			if a.Row >= 0 && dev.CanIssue(CmdWrite, a) {
+				dev.Write(a, data)
+				issued++
+			}
+		case 3:
+			if dev.CanIssue(CmdPrecharge, a) {
+				dev.Precharge(a)
+				issued++
+			}
+		case 4:
+			clock.AdvanceBy(sim.Cycle(rng.Intn(8)))
+		}
+		clock.Advance()
+	}
+	if issued < 500 {
+		t.Fatalf("random walk only issued %d commands; test under-exercises the device", issued)
+	}
+	if busy := dev.Stats().BusBusyCycles; busy > int64(clock.Now()) {
+		t.Fatalf("BusBusyCycles %d exceeds elapsed %d", busy, clock.Now())
+	}
+}
+
+func TestStoreSparseAllocation(t *testing.T) {
+	s := NewStore(PrototypeGeometry())
+	if s.AllocatedRows() != 0 {
+		t.Fatal("fresh store has allocated rows")
+	}
+	s.Write(Addr{Bank: 0, Row: 10, Col: 0}, make([]byte, 32))
+	s.Write(Addr{Bank: 0, Row: 10, Col: 8}, make([]byte, 32))
+	s.Write(Addr{Bank: 1, Row: 10, Col: 0}, make([]byte, 32))
+	if got := s.AllocatedRows(); got != 2 {
+		t.Fatalf("AllocatedRows = %d, want 2", got)
+	}
+	if got := s.AllocatedBytes(); got != 2*4096 {
+		t.Fatalf("AllocatedBytes = %d, want 8192", got)
+	}
+}

@@ -1,0 +1,94 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the addressable organisation of one DDR3 channel.
+// The prototype configuration is a 32-bit-wide, 512 MB channel: 8 banks ×
+// 16384 rows × 1024 columns × 4 bytes.
+type Geometry struct {
+	Banks     int // number of banks (8 for DDR3)
+	Rows      int // rows per bank
+	Cols      int // column addresses per row (word granularity)
+	WordBytes int // data bus width in bytes (4 for a 32-bit channel)
+}
+
+// PrototypeGeometry returns the paper's per-channel organisation:
+// 512 MB on a 32-bit bus.
+func PrototypeGeometry() Geometry {
+	return Geometry{Banks: 8, Rows: 16384, Cols: 1024, WordBytes: 4}
+}
+
+// Validate reports an error when any dimension is non-positive or not a
+// power of two (address slicing requires power-of-two dimensions).
+func (g Geometry) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"banks", g.Banks}, {"rows", g.Rows}, {"cols", g.Cols}, {"word bytes", g.WordBytes},
+	} {
+		if d.v <= 0 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("dram: geometry %s must be a positive power of two, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// CapacityBytes returns the total channel capacity in bytes.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.Banks) * int64(g.Rows) * int64(g.Cols) * int64(g.WordBytes)
+}
+
+// RowBytes returns the size of one row (the open-page unit) in bytes.
+func (g Geometry) RowBytes() int { return g.Cols * g.WordBytes }
+
+// BurstBytes returns the bytes moved by one burst of length bl beats.
+func (g Geometry) BurstBytes(bl int64) int { return int(bl) * g.WordBytes }
+
+// Addr identifies one burst-aligned location in a channel.
+type Addr struct {
+	Bank int
+	Row  int
+	Col  int // column address of the first word of the burst
+}
+
+// Valid reports whether a lies within the geometry and is aligned to a
+// burst of bl beats.
+func (g Geometry) Valid(a Addr, bl int64) bool {
+	return a.Bank >= 0 && a.Bank < g.Banks &&
+		a.Row >= 0 && a.Row < g.Rows &&
+		a.Col >= 0 && a.Col+int(bl) <= g.Cols &&
+		a.Col%int(bl) == 0
+}
+
+// LinearBursts returns how many burst-aligned locations the channel holds
+// for burst length bl.
+func (g Geometry) LinearBursts(bl int64) int64 {
+	return int64(g.Banks) * int64(g.Rows) * (int64(g.Cols) / bl)
+}
+
+// AddrOfBurst maps a linear burst index to an address using a
+// row:bank:column layout — consecutive burst indices walk the columns of a
+// row first, then move to the same row of the next bank, then to the next
+// row. This is the interleave the paper's bank selector exploits: adjacent
+// hash buckets land in different banks so independent lookups can overlap
+// their row activates.
+func (g Geometry) AddrOfBurst(idx int64, bl int64) Addr {
+	burstsPerRow := int64(g.Cols) / bl
+	col := (idx % burstsPerRow) * bl
+	idx /= burstsPerRow
+	bank := idx % int64(g.Banks)
+	idx /= int64(g.Banks)
+	row := idx % int64(g.Rows)
+	return Addr{Bank: int(bank), Row: int(row), Col: int(col)}
+}
+
+// BurstIndex is the inverse of AddrOfBurst.
+func (g Geometry) BurstIndex(a Addr, bl int64) int64 {
+	burstsPerRow := int64(g.Cols) / bl
+	return (int64(a.Row)*int64(g.Banks)+int64(a.Bank))*burstsPerRow + int64(a.Col)/bl
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("bank=%d row=%d col=%d", a.Bank, a.Row, a.Col)
+}

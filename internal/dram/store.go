@@ -1,0 +1,59 @@
+package dram
+
+import "fmt"
+
+// Store is the sparse backing store of a channel's contents. Rows are
+// allocated lazily on first write, so an 8-million-entry table costs host
+// memory proportional to its occupancy rather than the full 512 MB channel.
+type Store struct {
+	geom Geometry
+	rows map[uint32][]byte
+
+	allocatedRows int
+}
+
+// NewStore returns an empty store for the given geometry.
+func NewStore(geom Geometry) *Store {
+	return &Store{geom: geom, rows: make(map[uint32][]byte)}
+}
+
+func (s *Store) key(bank, row int) uint32 {
+	return uint32(bank)<<24 | uint32(row)
+}
+
+// Read returns a copy of the bl-beat burst at a. Unwritten locations read
+// as zero, as an initialised DRAM array would after a controller-level
+// clear.
+func (s *Store) Read(a Addr, bl int) []byte {
+	n := bl * s.geom.WordBytes
+	out := make([]byte, n)
+	rowBuf, ok := s.rows[s.key(a.Bank, a.Row)]
+	if !ok {
+		return out
+	}
+	copy(out, rowBuf[a.Col*s.geom.WordBytes:])
+	return out
+}
+
+// Write stores data (one burst) at a, allocating the row if needed.
+func (s *Store) Write(a Addr, data []byte) {
+	if len(data)%s.geom.WordBytes != 0 {
+		panic(fmt.Sprintf("dram: store write of %d bytes not word-aligned", len(data)))
+	}
+	k := s.key(a.Bank, a.Row)
+	rowBuf, ok := s.rows[k]
+	if !ok {
+		rowBuf = make([]byte, s.geom.RowBytes())
+		s.rows[k] = rowBuf
+		s.allocatedRows++
+	}
+	copy(rowBuf[a.Col*s.geom.WordBytes:], data)
+}
+
+// AllocatedRows reports how many rows have been materialised.
+func (s *Store) AllocatedRows() int { return s.allocatedRows }
+
+// AllocatedBytes reports the host memory held by materialised rows.
+func (s *Store) AllocatedBytes() int64 {
+	return int64(s.allocatedRows) * int64(s.geom.RowBytes())
+}

@@ -1,0 +1,164 @@
+// Package dram models a DDR3 SDRAM device at cycle granularity: eight
+// banks with row state machines, JEDEC inter-command timing constraints,
+// burst-oriented data transfers on a shared DQ bus, and a sparse backing
+// store for the actual contents.
+//
+// This package is the substitution for the Micron DDR3 DIMMs attached to
+// the paper's FPGA prototype (see DESIGN.md §2). Everything the paper's
+// architecture exploits — bank-level parallelism, row cycle times,
+// read/write bus-turnaround penalties, burst grouping — is represented
+// here, so the scheduling blocks built on top face the same trade-offs the
+// hardware did.
+//
+// Time is measured in DDR3 I/O bus clock cycles (sim.Cycle). A BL8 burst
+// transfers 8 beats = BL/2 = 4 bus cycles of DQ occupancy.
+package dram
+
+import "fmt"
+
+// Timing holds the inter-command constraints of a DDR3 speed grade, all in
+// bus clock cycles except TCKps. The fields follow JEDEC DDR3 naming.
+type Timing struct {
+	// Name identifies the preset (e.g. "DDR3-1066E (-187E)").
+	Name string
+	// TCKps is the bus clock period in picoseconds.
+	TCKps int64
+
+	CL  int64 // CAS (read) latency: RD command to first data beat
+	CWL int64 // CAS write latency: WR command to first data beat
+	AL  int64 // additive latency (0 in both presets)
+
+	TRCD int64 // ACT to internal RD/WR
+	TRP  int64 // PRE to ACT, same bank
+	TRAS int64 // ACT to PRE, same bank (minimum row-open time)
+	TRC  int64 // ACT to ACT, same bank (row cycle time)
+	TRRD int64 // ACT to ACT, different banks
+	TFAW int64 // four-activate window
+	TWR  int64 // end of write data to PRE (write recovery)
+	TWTR int64 // end of write data to RD command (internal turnaround)
+	TRTP int64 // RD command to PRE
+	TCCD int64 // RD-to-RD / WR-to-WR, any bank (burst gap)
+
+	TREFI int64 // average refresh interval
+	TRFC  int64 // refresh cycle time
+
+	BL int64 // burst length in beats (8 throughout this repository)
+
+	// ReadToWritePad and WriteToReadPad are extra bubble cycles charged on
+	// every RD→WR / WR→RD bus-direction change, beyond the JEDEC minimum.
+	// They model controller-level overheads the paper's quarter-rate Altera
+	// UniPhy controller exhibits (command-slot quantisation, ODT switching)
+	// and are calibrated so the Fig. 3 endpoints reproduce (see
+	// EXPERIMENTS.md, "Fig. 3 calibration").
+	ReadToWritePad int64
+	WriteToReadPad int64
+}
+
+// RL returns the read latency (AL + CL).
+func (t *Timing) RL() int64 { return t.AL + t.CL }
+
+// WL returns the write latency (AL + CWL).
+func (t *Timing) WL() int64 { return t.AL + t.CWL }
+
+// BurstCycles returns the DQ occupancy of one burst in bus cycles (BL/2).
+func (t *Timing) BurstCycles() int64 { return t.BL / 2 }
+
+// ReadToWriteGap returns the minimum RD-command to WR-command spacing that
+// keeps the shared DQ bus conflict-free when the bus direction turns
+// around: RL − WL + BL/2 + 2 plus the calibration pad.
+func (t *Timing) ReadToWriteGap() int64 {
+	return t.RL() - t.WL() + t.BurstCycles() + 2 + t.ReadToWritePad
+}
+
+// WriteToReadGap returns the minimum WR-command to RD-command spacing:
+// CWL + BL/2 + tWTR plus the calibration pad.
+func (t *Timing) WriteToReadGap() int64 {
+	return t.WL() + t.BurstCycles() + t.TWTR + t.WriteToReadPad
+}
+
+// Validate reports an error when the timing parameters are internally
+// inconsistent (e.g. tRC shorter than tRAS+tRP, or a zero burst length).
+func (t *Timing) Validate() error {
+	switch {
+	case t.TCKps <= 0:
+		return fmt.Errorf("dram: %s: TCKps must be positive, got %d", t.Name, t.TCKps)
+	case t.BL != 4 && t.BL != 8:
+		return fmt.Errorf("dram: %s: BL must be 4 or 8, got %d", t.Name, t.BL)
+	case t.CL <= 0 || t.CWL <= 0:
+		return fmt.Errorf("dram: %s: CL/CWL must be positive (CL=%d CWL=%d)", t.Name, t.CL, t.CWL)
+	case t.TRC < t.TRAS+t.TRP:
+		return fmt.Errorf("dram: %s: tRC (%d) < tRAS+tRP (%d)", t.Name, t.TRC, t.TRAS+t.TRP)
+	case t.TRCD <= 0 || t.TRP <= 0 || t.TRAS <= 0:
+		return fmt.Errorf("dram: %s: tRCD/tRP/tRAS must be positive", t.Name)
+	case t.TCCD < t.BurstCycles():
+		return fmt.Errorf("dram: %s: tCCD (%d) < burst cycles (%d)", t.Name, t.TCCD, t.BurstCycles())
+	case t.TREFI <= 0 || t.TRFC <= 0:
+		return fmt.Errorf("dram: %s: tREFI/tRFC must be positive", t.Name)
+	case t.ReadToWritePad < 0 || t.WriteToReadPad < 0:
+		return fmt.Errorf("dram: %s: turnaround pads must be non-negative", t.Name)
+	}
+	return nil
+}
+
+// DDR31066E returns the Micron DDR3-1066 (-187E) speed grade the paper uses
+// for its Fig. 3 bandwidth analysis (1 Gb parts, datasheet [12] in the
+// paper). Bus clock 533 MHz, tCK = 1.875 ns.
+//
+// The turnaround pads are calibrated so that the alternating-burst
+// experiment of Fig. 3 reproduces the paper's published endpoints: 20 %
+// DQ utilisation at 1 burst per direction and ~90 % at 35. The JEDEC
+// minimum gaps alone (7 + 14 cycles) predict 38 % at 1 burst; the paper's
+// quarter-rate controller rounds command slots to 4-cycle groups and pays
+// ODT switching, which the pads absorb (8 + 11 extra cycles).
+func DDR31066E() Timing {
+	return Timing{
+		Name:  "DDR3-1066E (-187E)",
+		TCKps: 1875,
+		CL:    7,
+		CWL:   6,
+		TRCD:  7,  // 13.125 ns
+		TRP:   7,  // 13.125 ns
+		TRAS:  20, // 37.5 ns
+		TRC:   27, // 50.625 ns
+		TRRD:  4,  // 7.5 ns
+		TFAW:  20, // 37.5 ns (x8 organisation)
+		TWR:   8,  // 15 ns
+		TWTR:  4,  // 7.5 ns
+		TRTP:  4,  // 7.5 ns
+		TCCD:  4,
+		TREFI: 4160, // 7.8 us
+		TRFC:  59,   // 110 ns (1 Gb)
+		BL:    8,
+
+		ReadToWritePad: 8,
+		WriteToReadPad: 11,
+	}
+}
+
+// DDR31600 returns an 800 MHz-bus-clock speed grade matching the paper's
+// prototype configuration ("memory I/O bus clock frequency of 800 MHz",
+// quarter-rate controller, 200 MHz user clock). tCK = 1.25 ns.
+func DDR31600() Timing {
+	return Timing{
+		Name:  "DDR3-1600K",
+		TCKps: 1250,
+		CL:    11,
+		CWL:   8,
+		TRCD:  11, // 13.75 ns
+		TRP:   11, // 13.75 ns
+		TRAS:  28, // 35 ns
+		TRC:   39, // 48.75 ns
+		TRRD:  6,  // 7.5 ns
+		TFAW:  32, // 40 ns (x8 organisation)
+		TWR:   12, // 15 ns
+		TWTR:  6,  // 7.5 ns
+		TRTP:  6,  // 7.5 ns
+		TCCD:  4,
+		TREFI: 6240, // 7.8 us
+		TRFC:  88,   // 110 ns (1 Gb)
+		BL:    8,
+
+		ReadToWritePad: 8,
+		WriteToReadPad: 11,
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trafficgen"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Name string
+	Rate float64 // Mdesc/s (simulated)
+	Note string
+}
+
+// AblationEarlyExit compares the pipelined early-exit lookup against the
+// conventional simultaneous Hash-CAM cost contract ([10][11]) on a
+// hit-heavy workload — the design choice of §III-A.
+func AblationEarlyExit(s Scale) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 2)
+	for _, disable := range []bool{false, true} {
+		cfg := s.config()
+		cfg.DisableEarlyExit = disable
+		rate, err := hitWorkloadRate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		name := "early-exit pipeline (proposed)"
+		note := "misses pay both reads; hits stop early"
+		if disable {
+			name = "simultaneous search (conventional)"
+			note = "every lookup pays both memory reads"
+		}
+		rows = append(rows, AblationRow{Name: name, Rate: rate, Note: note})
+	}
+	return rows, nil
+}
+
+// AblationBankSelector measures what the DLU's bank reordering buys on
+// random traffic (§IV-A).
+func AblationBankSelector(s Scale) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, 2)
+	for _, disable := range []bool{false, true} {
+		cfg := s.config()
+		cfg.DisableBankSelector = disable
+		rate, err := missWorkloadRate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		name := "bank selector on (proposed)"
+		note := "pending lookups reordered across banks"
+		if disable {
+			name = "bank selector off (in-order)"
+			note = "strict FIFO issue"
+		}
+		rows = append(rows, AblationRow{Name: name, Rate: rate, Note: note})
+	}
+	return rows, nil
+}
+
+// AblationBurstWrite sweeps the burst write generator threshold (§IV-B):
+// 1 means every update writes immediately (no grouping).
+func AblationBurstWrite(s Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, threshold := range []int{1, 4, 8, 16} {
+		cfg := s.config()
+		cfg.BWrThreshold = threshold
+		rate, err := missWorkloadRate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("BWr_Gen threshold %d", threshold),
+			Rate: rate,
+			Note: map[bool]string{true: "no write grouping", false: "grouped writes"}[threshold == 1],
+		})
+	}
+	return rows, nil
+}
+
+// AblationBucketSlots sweeps K, the entries per hash location (Fig. 1).
+func AblationBucketSlots(s Scale) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, k := range []int{2, 4, 8} {
+		cfg := s.config()
+		cfg.SlotsPerBucket = k
+		rate, err := missWorkloadRate(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("K = %d slots/bucket (%d bursts)", k, cfg.BucketBursts()),
+			Rate: rate,
+			Note: "larger buckets cost more bus cycles per lookup",
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders ablation rows.
+func AblationTable(title string, rows []AblationRow) *metrics.Table {
+	t := metrics.NewTable(title, "Configuration", "Rate (Mdesc/s)", "Note")
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.2f", r.Rate), r.Note)
+	}
+	return t
+}
+
+// hitWorkloadRate pre-populates then queries the same keys (100% hits).
+func hitWorkloadRate(cfg core.Config, s Scale) (float64, error) {
+	f, sched, err := core.NewRig(cfg)
+	if err != nil {
+		return 0, err
+	}
+	resident, _ := trafficgen.MatchRateSet(s.Descriptors, 1, 1, 7)
+	pre := make([]core.WorkItem, len(resident))
+	for i, k := range resident {
+		pre[i] = core.WorkItem{Kind: core.KindLookup, Key: k}
+	}
+	if _, err := core.RunWorkload(f, sched, pre, s.InjectPeriod, 2_000_000_000); err != nil {
+		return 0, err
+	}
+	items := make([]core.WorkItem, 0, s.Descriptors)
+	rng := trafficgen.RandomHashes(s.Descriptors, len(resident), 11)
+	for _, q := range rng {
+		items = append(items, core.WorkItem{Kind: core.KindSearch, Key: resident[q.Index1]})
+	}
+	rep, err := core.RunWorkload(f, sched, items, s.InjectPeriod, 2_000_000_000)
+	if err != nil {
+		return 0, err
+	}
+	return rep.MDescPerSec, nil
+}
+
+// missWorkloadRate drives unique keys (all-miss insert traffic).
+func missWorkloadRate(cfg core.Config, s Scale) (float64, error) {
+	f, sched, err := core.NewRig(cfg)
+	if err != nil {
+		return 0, err
+	}
+	items := make([]core.WorkItem, s.Descriptors)
+	for i := range items {
+		key := make([]byte, cfg.KeyLen)
+		binary.LittleEndian.PutUint64(key, uint64(i))
+		items[i] = core.WorkItem{Kind: core.KindLookup, Key: key}
+	}
+	rep, err := core.RunWorkload(f, sched, items, s.InjectPeriod, 2_000_000_000)
+	if err != nil {
+		return 0, err
+	}
+	return rep.MDescPerSec, nil
+}

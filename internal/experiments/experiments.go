@@ -1,0 +1,362 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV-§V) from the models in this repository. Each experiment
+// returns structured rows plus a rendered paper-style table with the
+// paper's published value alongside the measured one, and is shared by
+// cmd/flowbench and the root benchmark suite.
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/trafficgen"
+)
+
+// Fig3Point is one point of Fig. 3: DQ bandwidth utilisation for N
+// consecutive read bursts alternating with N write bursts on an open row.
+type Fig3Point struct {
+	Bursts      int
+	Utilisation float64
+}
+
+// Fig3 sweeps the burst-group size on a raw DDR3-1066E device, as the
+// paper computes its Fig. 3 from the Micron datasheet. Refresh is not
+// modelled here (nor in the paper's calculation).
+func Fig3(maxBursts int) ([]Fig3Point, error) {
+	if maxBursts <= 0 {
+		return nil, fmt.Errorf("experiments: maxBursts must be positive, got %d", maxBursts)
+	}
+	out := make([]Fig3Point, 0, maxBursts)
+	for n := 1; n <= maxBursts; n++ {
+		util, err := fig3Utilisation(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Point{Bursts: n, Utilisation: util})
+	}
+	return out, nil
+}
+
+func fig3Utilisation(groupSize int) (float64, error) {
+	clock := sim.NewClock()
+	dev, err := dram.NewDevice(dram.DDR31066E(), dram.PrototypeGeometry(), clock)
+	if err != nil {
+		return 0, err
+	}
+	row := dram.Addr{Bank: 0, Row: 0, Col: 0}
+	dev.Activate(row)
+	data := make([]byte, dev.Geometry().BurstBytes(dev.Timing().BL))
+
+	wait := func(cmd dram.Command, a dram.Addr) {
+		for !dev.CanIssue(cmd, a) {
+			clock.Advance()
+		}
+	}
+	// Warm up one full group period, then measure over whole periods so
+	// start-up transients do not bias short groups.
+	const periods = 40
+	var start sim.Cycle
+	var startBusy int64
+	for p := 0; p < periods+1; p++ {
+		if p == 1 {
+			start = clock.Now()
+			startBusy = dev.Stats().BusBusyCycles
+		}
+		for i := 0; i < groupSize; i++ {
+			col := (i % 64) * 8
+			a := dram.Addr{Bank: 0, Row: 0, Col: col}
+			wait(dram.CmdRead, a)
+			dev.Read(a)
+		}
+		for i := 0; i < groupSize; i++ {
+			col := 512 + (i%64)*8
+			a := dram.Addr{Bank: 0, Row: 0, Col: col}
+			wait(dram.CmdWrite, a)
+			dev.Write(a, data)
+		}
+	}
+	wait(dram.CmdRead, row) // close the final period at the next RD slot
+	elapsed := float64(clock.Now() - start)
+	busy := float64(dev.Stats().BusBusyCycles - startBusy)
+	return busy / elapsed, nil
+}
+
+// Fig3Table renders the sweep with the paper's two published anchors.
+func Fig3Table(points []Fig3Point) *metrics.Table {
+	t := metrics.NewTable("Fig. 3 — DQ bandwidth utilisation vs. RD/WR burst group size (DDR3-1066E, BL8, open row)",
+		"Bursts", "Utilisation", "Paper")
+	for _, p := range points {
+		paper := ""
+		switch p.Bursts {
+		case 1:
+			paper = "20%"
+		case 35:
+			paper = "~90%"
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Bursts), fmt.Sprintf("%.1f%%", 100*p.Utilisation), paper)
+	}
+	return t
+}
+
+// Table1 returns the resource model report for the prototype-scale
+// configuration — the substitute for the paper's FPGA resource table
+// (see DESIGN.md §2).
+func Table1() resource.Report {
+	return resource.Compute(resource.PrototypeConfig())
+}
+
+// Table2ARow is one row of Table II(A).
+type Table2ARow struct {
+	Description string
+	LoadA       float64
+	Rate        float64 // Mdesc/s (simulated)
+	PaperLoadA  float64
+	PaperRate   float64
+}
+
+// Table2AScale sizes the experiment (descriptors per row).
+type Scale struct {
+	Descriptors int
+	// Buckets overrides the table geometry (0 = default).
+	Buckets int
+	// InjectPeriod is bus cycles between injections (8 = the paper's
+	// 100 MHz input ceiling at the 800 MHz bus clock).
+	InjectPeriod int64
+}
+
+// DefaultScale mirrors the paper: 10 k inputs at up to 100 MHz.
+func DefaultScale() Scale {
+	return Scale{Descriptors: 10000, InjectPeriod: 8}
+}
+
+// QuickScale is a fast variant for unit tests and smoke benches.
+func QuickScale() Scale {
+	return Scale{Descriptors: 1500, InjectPeriod: 8}
+}
+
+func (s Scale) config() core.Config {
+	cfg := core.DefaultConfig()
+	if s.Buckets > 0 {
+		cfg.Buckets = s.Buckets
+	}
+	return cfg
+}
+
+// Table2A reproduces the hash-pattern and load-balance sweep of
+// Table II(A): all-miss traffic driven by raw hash patterns.
+func Table2A(s Scale) ([]Table2ARow, error) {
+	type variant struct {
+		name      string
+		queries   []trafficgen.HashQuery
+		balancer  core.BalancerPolicy
+		loadA     float64
+		paperLoad float64
+		paperRate float64
+	}
+	cfg := s.config()
+	banks := cfg.Geometry.Banks
+	variants := []variant{
+		{"Random hash", trafficgen.RandomHashes(s.Descriptors, cfg.Buckets, 3), core.BalancerAdaptive, 0.5, 50.8, 44.05},
+		{"Bank increment, 50% load A", trafficgen.BankIncrementHashes(s.Descriptors, cfg.Buckets, banks, 3), core.BalancerFixed, 0.5, 50.0, 44.59},
+		{"Bank increment, 25% load A", trafficgen.BankIncrementHashes(s.Descriptors, cfg.Buckets, banks, 3), core.BalancerFixed, 0.25, 25.0, 41.09},
+		{"Bank increment, 0% load A", trafficgen.BankIncrementHashes(s.Descriptors, cfg.Buckets, banks, 3), core.BalancerFixed, 0, 0, 36.53},
+	}
+	out := make([]Table2ARow, 0, len(variants))
+	for _, v := range variants {
+		vcfg := cfg
+		vcfg.Balancer = v.balancer
+		vcfg.FixedLoadA = v.loadA
+		f, sched, err := core.NewRig(vcfg)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]core.WorkItem, len(v.queries))
+		for i, q := range v.queries {
+			key := make([]byte, vcfg.KeyLen)
+			binary.LittleEndian.PutUint64(key, uint64(i))
+			items[i] = core.WorkItem{
+				Kind: core.KindLookup, Key: key,
+				PreHashed: true, Index1: q.Index1, Index2: q.Index2,
+			}
+		}
+		rep, err := core.RunWorkload(f, sched, items, s.InjectPeriod, 2_000_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table II(A) %q: %w", v.name, err)
+		}
+		out = append(out, Table2ARow{
+			Description: v.name,
+			LoadA:       rep.Stats.LoadFractionA(),
+			Rate:        rep.MDescPerSec,
+			PaperLoadA:  v.paperLoad,
+			PaperRate:   v.paperRate,
+		})
+	}
+	return out, nil
+}
+
+// Table2ATable renders the rows.
+func Table2ATable(rows []Table2ARow) *metrics.Table {
+	t := metrics.NewTable("Table II(A) — processing rate with defined hash patterns",
+		"Test", "Load-path A", "Rate (Mdesc/s)", "Paper load", "Paper rate")
+	for _, r := range rows {
+		t.AddRow(r.Description,
+			fmt.Sprintf("%.1f%%", 100*r.LoadA),
+			fmt.Sprintf("%.2f", r.Rate),
+			fmt.Sprintf("%.1f%%", r.PaperLoadA),
+			fmt.Sprintf("%.2f", r.PaperRate))
+	}
+	return t
+}
+
+// Table2BRow is one row of Table II(B).
+type Table2BRow struct {
+	MissRate  float64
+	Rate      float64
+	PaperRate float64
+}
+
+// Table2B reproduces the flow-miss-rate sweep: a table pre-occupied with
+// residentCount 5-tuple entries queried at controlled match rates.
+func Table2B(s Scale) ([]Table2BRow, error) {
+	paper := map[int]float64{100: 46.90, 75: 54.97, 50: 70.16, 25: 94.36, 0: 96.92}
+	out := make([]Table2BRow, 0, 5)
+	for _, missPct := range []int{100, 75, 50, 25, 0} {
+		cfg := s.config()
+		resident, query := trafficgen.MatchRateSet(s.Descriptors, s.Descriptors,
+			1-float64(missPct)/100, 7)
+		f, sched, err := core.NewRig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pre := make([]core.WorkItem, len(resident))
+		for i, k := range resident {
+			pre[i] = core.WorkItem{Kind: core.KindLookup, Key: k}
+		}
+		if _, err := core.RunWorkload(f, sched, pre, s.InjectPeriod, 2_000_000_000); err != nil {
+			return nil, fmt.Errorf("experiments: table II(B) pre-populate: %w", err)
+		}
+		items := make([]core.WorkItem, len(query))
+		for i, k := range query {
+			items[i] = core.WorkItem{Kind: core.KindLookup, Key: k}
+		}
+		rep, err := core.RunWorkload(f, sched, items, s.InjectPeriod, 2_000_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table II(B) miss=%d%%: %w", missPct, err)
+		}
+		out = append(out, Table2BRow{
+			MissRate:  float64(missPct) / 100,
+			Rate:      rep.MDescPerSec,
+			PaperRate: paper[missPct],
+		})
+	}
+	return out, nil
+}
+
+// Table2BTable renders the rows.
+func Table2BTable(rows []Table2BRow) *metrics.Table {
+	t := metrics.NewTable("Table II(B) — processing rate vs. flow miss rate (table pre-occupied, 5-tuple descriptors)",
+		"Miss rate", "Rate (Mdesc/s)", "Paper rate")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*r.MissRate),
+			fmt.Sprintf("%.2f", r.Rate),
+			fmt.Sprintf("%.2f", r.PaperRate))
+	}
+	return t
+}
+
+// Fig6Point is one point of the new-flow-ratio curve.
+type Fig6Point struct {
+	Packets  int64
+	Ratio    float64
+	PaperRef string
+}
+
+// Fig6 measures the new-flow ratio (B/A) of the calibrated synthetic
+// trace at the given packet-set sizes.
+func Fig6(sizes []int64) ([]Fig6Point, error) {
+	curve, err := trafficgen.NewFlowCurve(trafficgen.DefaultZipfConfig(), sizes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig6Point, len(sizes))
+	for i, size := range sizes {
+		ref := ""
+		switch size {
+		case 1000:
+			ref = "57%"
+		case 10000:
+			ref = "33.81%"
+		}
+		out[i] = Fig6Point{Packets: size, Ratio: curve[i], PaperRef: ref}
+	}
+	return out, nil
+}
+
+// Fig6Table renders the curve.
+func Fig6Table(points []Fig6Point) *metrics.Table {
+	t := metrics.NewTable("Fig. 6 — new-flow ratio B/A vs. packet-set size (calibrated synthetic trace)",
+		"Packets", "B/A", "Paper")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Packets), fmt.Sprintf("%.2f%%", 100*p.Ratio), p.PaperRef)
+	}
+	return t
+}
+
+// DiscussionRow is one line of the §V-B line-rate arithmetic.
+type DiscussionRow struct {
+	Label string
+	Value string
+	Paper string
+}
+
+// Discussion reproduces the §V-B arithmetic, tying measured rates to
+// Ethernet line rates, optionally reusing measured Table II(B) rows.
+func Discussion(t2b []Table2BRow) []DiscussionRow {
+	rows := []DiscussionRow{
+		{
+			Label: "40GbE requirement, 12-byte IFG",
+			Value: fmt.Sprintf("%.2f Mpps", 40e9/((72+12)*8)/1e6),
+			Paper: "59.52 Mpps",
+		},
+		{
+			Label: "40GbE requirement, 1-byte IFG (worst case)",
+			Value: fmt.Sprintf("%.2f Mpps", 40e9/((72+1)*8)/1e6),
+			Paper: "68.49 Mpps",
+		},
+	}
+	for _, r := range t2b {
+		if r.MissRate == 0.5 {
+			rows = append(rows, DiscussionRow{
+				Label: "Measured rate at 50% miss (≥70 Mpps claim)",
+				Value: fmt.Sprintf("%.2f Mdesc/s", r.Rate),
+				Paper: "70.16 Mdesc/s",
+			})
+		}
+		if r.MissRate == 0.25 {
+			rows = append(rows, DiscussionRow{
+				Label: "Warm 8M-flow table (≤2% miss) rate bound",
+				Value: fmt.Sprintf(">= %.2f Mdesc/s -> %.1f Gbps", r.Rate, metrics.GbpsAtMinPacket(r.Rate, 12)),
+				Paper: ">94 Mdesc/s -> >50 Gbps",
+			})
+		}
+	}
+	rows = append(rows,
+		DiscussionRow{Label: "Cisco Cat6500 Sup2T-XL (datasheet)", Value: "1M flow entries", Paper: "1M flows"},
+		DiscussionRow{Label: "Netronome NFP3240 (datasheet)", Value: "8M flows @ 20 Gbps", Paper: "8M flows, 20 Gbps"},
+	)
+	return rows
+}
+
+// DiscussionTable renders the rows.
+func DiscussionTable(rows []DiscussionRow) *metrics.Table {
+	t := metrics.NewTable("§V-B — line-rate discussion", "Quantity", "This model", "Paper")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.Value, r.Paper)
+	}
+	return t
+}

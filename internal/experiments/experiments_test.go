@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFig3ReproducesPaperAnchors pins the published endpoints: 20% DQ
+// utilisation at one burst per direction, ~90% at 35, monotone growth.
+func TestFig3ReproducesPaperAnchors(t *testing.T) {
+	points, err := Fig3(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(points[0].Utilisation-0.20) > 0.02 {
+		t.Fatalf("utilisation at 1 burst = %.3f, paper says 0.20", points[0].Utilisation)
+	}
+	last := points[len(points)-1]
+	if math.Abs(last.Utilisation-0.90) > 0.03 {
+		t.Fatalf("utilisation at 35 bursts = %.3f, paper says ~0.90", last.Utilisation)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Utilisation < points[i-1].Utilisation-0.01 {
+			t.Fatalf("utilisation not monotone at %d bursts: %.3f after %.3f",
+				points[i].Bursts, points[i].Utilisation, points[i-1].Utilisation)
+		}
+	}
+	out := Fig3Table(points).String()
+	if !strings.Contains(out, "20%") || !strings.Contains(out, "~90%") {
+		t.Fatal("rendered table missing paper anchors")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	r := Table1()
+	if r.CapacityFlows < 8<<20 {
+		t.Fatalf("prototype capacity = %d, want >= 8Mi flows", r.CapacityFlows)
+	}
+}
+
+// TestTable2BShape verifies the paper's qualitative result at quick scale:
+// rate decreases monotonically with miss rate, and the 100%-miss rate is
+// roughly half the 0%-miss rate (paper: 46.90 vs 96.92).
+func TestTable2BShape(t *testing.T) {
+	rows, err := Table2B(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MissRate >= rows[i-1].MissRate && rows[i].Rate < rows[i-1].Rate {
+			t.Fatalf("rows out of order: %+v", rows)
+		}
+	}
+	// Rows are ordered 100% ... 0% miss; rate must increase.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rate <= rows[i-1].Rate {
+			t.Fatalf("rate not increasing as miss rate falls: %+v", rows)
+		}
+	}
+	ratio := rows[0].Rate / rows[len(rows)-1].Rate
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("100%%-miss / 0%%-miss ratio = %.2f, paper ratio is 0.48", ratio)
+	}
+}
+
+// TestTable2AShape verifies the load-balance result: forcing all first
+// lookups through one path is slower than an even split.
+func TestTable2AShape(t *testing.T) {
+	rows, err := Table2A(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	even := rows[1] // bank increment, 50%
+	skew := rows[3] // bank increment, 0%
+	if skew.Rate >= even.Rate {
+		t.Fatalf("0%% load-A rate %.2f not below 50%% rate %.2f (paper: 36.53 < 44.59)",
+			skew.Rate, even.Rate)
+	}
+	if skew.LoadA > 0.01 {
+		t.Fatalf("0%%-load run sent %.1f%% of LU1s to path A", 100*skew.LoadA)
+	}
+	if even.LoadA < 0.4 || even.LoadA > 0.6 {
+		t.Fatalf("50%%-load run measured %.1f%% load A", 100*even.LoadA)
+	}
+}
+
+func TestFig6CurveMatchesAnchors(t *testing.T) {
+	points, err := Fig6([]int64{1000, 10000, 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(points[0].Ratio-0.57) > 0.05 {
+		t.Fatalf("B/A at 1k = %.3f, paper says 0.57", points[0].Ratio)
+	}
+	if math.Abs(points[1].Ratio-0.3381) > 0.05 {
+		t.Fatalf("B/A at 10k = %.3f, paper says 0.3381", points[1].Ratio)
+	}
+}
+
+func TestDiscussionRows(t *testing.T) {
+	rows := Discussion([]Table2BRow{{MissRate: 0.5, Rate: 79}, {MissRate: 0.25, Rate: 92}})
+	out := DiscussionTable(rows).String()
+	for _, want := range []string{"59.52", "68.49", "70.16", "Netronome"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("discussion table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAblationEarlyExit pins the §III-A design claim: early exit beats
+// the conventional simultaneous search on hit-heavy traffic.
+func TestAblationEarlyExit(t *testing.T) {
+	rows, err := AblationEarlyExit(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Rate <= rows[1].Rate {
+		t.Fatalf("early exit (%.2f) not faster than simultaneous (%.2f)",
+			rows[0].Rate, rows[1].Rate)
+	}
+}
+
+func TestAblationBurstWriteRuns(t *testing.T) {
+	rows, err := AblationBurstWrite(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rate <= 0 {
+			t.Fatalf("non-positive rate: %+v", r)
+		}
+	}
+}
+
+func TestAblationBankSelectorRuns(t *testing.T) {
+	rows, err := AblationBankSelector(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Rate <= 0 || rows[1].Rate <= 0 {
+		t.Fatalf("rates: %+v", rows)
+	}
+}
+
+func TestAblationBucketSlotsShape(t *testing.T) {
+	rows, err := AblationBucketSlots(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More slots per bucket -> more bursts per lookup -> no faster.
+	if rows[2].Rate > rows[0].Rate*1.1 {
+		t.Fatalf("K=8 (%.2f) unexpectedly faster than K=2 (%.2f)", rows[2].Rate, rows[0].Rate)
+	}
+}

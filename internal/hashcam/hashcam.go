@@ -1,0 +1,403 @@
+// Package hashcam implements the paper's Hash-CAM table (Fig. 1): a
+// two-choice hash table whose halves (Mem1/Mem2) are indexed by two
+// pre-selected hash functions, each bucket holding K entries, with a small
+// CAM absorbing the collisions that fit in neither bucket.
+//
+// A lookup is a pipelined three-stage search — CAM, then Hash1→Mem1, then
+// Hash2→Mem2 — that exits at the first stage producing a match; the stage
+// at which a query resolves is reported so the timed model (and the
+// early-exit ablation) can charge the right number of memory accesses.
+//
+// The table is laid out as flat arenas mirroring the DRAM layout: bucket b
+// of table T occupies one contiguous block of K fixed-width entries, the
+// unit the timed model fetches as a burst group.
+package hashcam
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cam"
+	"repro/internal/hashfn"
+)
+
+// Stage identifies the pipeline stage at which a lookup resolved.
+type Stage int
+
+// Lookup stages, in search order.
+const (
+	StageCAM Stage = iota + 1
+	StageMem1
+	StageMem2
+	// StageMiss marks a lookup that matched nowhere.
+	StageMiss
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageCAM:
+		return "cam"
+	case StageMem1:
+		return "mem1"
+	case StageMem2:
+		return "mem2"
+	case StageMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// InsertPolicy selects how a new key chooses between its two buckets.
+type InsertPolicy int
+
+// Insert policies.
+const (
+	// PolicyFirstFit fills the Hash1 bucket before trying Hash2 — the
+	// simplest hardware update path.
+	PolicyFirstFit InsertPolicy = iota + 1
+	// PolicyLeastLoaded places the key in the emptier of its two buckets
+	// (balanced allocations, Azar et al. [6]); the prototype default.
+	PolicyLeastLoaded
+	// PolicyAlternate alternates the preferred table per insert, the
+	// static analogue of the scheme's path load balancer.
+	PolicyAlternate
+)
+
+// Config parameterises a table.
+type Config struct {
+	// Buckets is the bucket count per memory half (power of two).
+	Buckets int
+	// SlotsPerBucket is K of Fig. 1: entries per hash location.
+	SlotsPerBucket int
+	// KeyLen is the fixed descriptor key length in bytes.
+	KeyLen int
+	// CAMCapacity bounds the collision overflow region.
+	CAMCapacity int
+	// Hash supplies the two pre-selected hash functions.
+	Hash hashfn.Pair
+	// Policy selects the insert placement policy (default PolicyLeastLoaded).
+	Policy InsertPolicy
+}
+
+// DefaultConfig returns a laptop-scale configuration (64 k flows capacity)
+// with the prototype's structural parameters: K=4 slots, 64-entry CAM,
+// CRC hash pair.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:        8192,
+		SlotsPerBucket: 4,
+		KeyLen:         13,
+		CAMCapacity:    64,
+		Hash:           hashfn.DefaultPair(),
+		Policy:         PolicyLeastLoaded,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.Buckets <= 0 || c.Buckets&(c.Buckets-1) != 0:
+		return fmt.Errorf("hashcam: buckets must be a positive power of two, got %d", c.Buckets)
+	case c.SlotsPerBucket <= 0:
+		return fmt.Errorf("hashcam: slots per bucket must be positive, got %d", c.SlotsPerBucket)
+	case c.KeyLen <= 0:
+		return fmt.Errorf("hashcam: key length must be positive, got %d", c.KeyLen)
+	case c.CAMCapacity <= 0:
+		return fmt.Errorf("hashcam: CAM capacity must be positive, got %d", c.CAMCapacity)
+	case c.Hash.H1 == nil || c.Hash.H2 == nil:
+		return fmt.Errorf("hashcam: both hash functions must be set")
+	case c.Policy < PolicyFirstFit || c.Policy > PolicyAlternate:
+		return fmt.Errorf("hashcam: unknown insert policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Capacity returns the total entry capacity (both halves plus CAM).
+func (c Config) Capacity() int {
+	return 2*c.Buckets*c.SlotsPerBucket + c.CAMCapacity
+}
+
+// Stats aggregates table activity.
+type Stats struct {
+	Lookups     int64
+	Hits        int64
+	HitsByStage [4]int64 // indexed by Stage-1 for CAM/Mem1/Mem2
+	Inserts     int64
+	CAMInserts  int64
+	Deletes     int64
+	FailedIns   int64
+	// Probes counts bucket/CAM accesses performed, the memory-traffic
+	// proxy the baseline comparison benches report.
+	Probes int64
+}
+
+// half is one memory block (Mem1 or Mem2) as a flat arena.
+type half struct {
+	keys  []byte // buckets × K × keyLen
+	used  []bool // buckets × K
+	count int
+}
+
+// Table is the untimed Hash-CAM table. It is not safe for concurrent use;
+// the hardware it models is a single pipeline.
+type Table struct {
+	cfg   Config
+	mem   [2]half
+	cam   *cam.CAM
+	stats Stats
+
+	altToggle bool // PolicyAlternate state
+
+	keyBuf []byte // scratch, avoids per-op allocation
+}
+
+// New builds a table from cfg.
+func New(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{cfg: cfg, cam: cam.New(cfg.CAMCapacity)}
+	n := cfg.Buckets * cfg.SlotsPerBucket
+	for i := range t.mem {
+		t.mem[i] = half{
+			keys: make([]byte, n*cfg.KeyLen),
+			used: make([]bool, n),
+		}
+	}
+	return t, nil
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int {
+	return t.mem[0].count + t.mem[1].count + t.cam.InUse()
+}
+
+// CAMInUse returns the occupied CAM entries (the overflow pressure gauge).
+func (t *Table) CAMInUse() int { return t.cam.InUse() }
+
+// slotKey returns the stored key bytes of (bucket, slot) in half h.
+func (t *Table) slotKey(h, bucket, slot int) []byte {
+	base := (bucket*t.cfg.SlotsPerBucket + slot) * t.cfg.KeyLen
+	return t.mem[h].keys[base : base+t.cfg.KeyLen]
+}
+
+// fid encodes a location as a flow ID: CAM entries occupy [0, cam), half 0
+// occupies [cam, cam+n), half 1 the block above. Location-derived IDs are
+// what the paper's FID_GEN emits ("output the corresponding location
+// index").
+func (t *Table) fid(h, bucket, slot int) uint64 {
+	n := t.cfg.Buckets * t.cfg.SlotsPerBucket
+	return uint64(t.cfg.CAMCapacity + h*n + bucket*t.cfg.SlotsPerBucket + slot)
+}
+
+// camFID encodes a CAM entry index as a flow ID.
+func (t *Table) camFID(index int) uint64 { return uint64(index) }
+
+// DecodeFID reports the region and position of a flow ID, for diagnostics
+// and tests.
+func (t *Table) DecodeFID(fid uint64) (stage Stage, bucket, slot int) {
+	camCap := uint64(t.cfg.CAMCapacity)
+	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
+	switch {
+	case fid < camCap:
+		return StageCAM, int(fid), 0
+	case fid < camCap+n:
+		off := fid - camCap
+		return StageMem1, int(off) / t.cfg.SlotsPerBucket, int(off) % t.cfg.SlotsPerBucket
+	case fid < camCap+2*n:
+		off := fid - camCap - n
+		return StageMem2, int(off) / t.cfg.SlotsPerBucket, int(off) % t.cfg.SlotsPerBucket
+	default:
+		return StageMiss, 0, 0
+	}
+}
+
+// checkKey validates the key length once per operation.
+func (t *Table) checkKey(key []byte) {
+	if len(key) != t.cfg.KeyLen {
+		panic(fmt.Sprintf("hashcam: key of %d bytes, table configured for %d", len(key), t.cfg.KeyLen))
+	}
+}
+
+// searchBucket scans bucket b of half h for key, returning the slot.
+func (t *Table) searchBucket(h, bucket int, key []byte) (int, bool) {
+	t.stats.Probes++
+	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
+		if t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] &&
+			bytes.Equal(t.slotKey(h, bucket, slot), key) {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup searches for key through the three pipeline stages and returns
+// the flow ID, the stage that resolved the query, and whether it matched.
+func (t *Table) Lookup(key []byte) (uint64, Stage, bool) {
+	t.checkKey(key)
+	t.stats.Lookups++
+
+	// Stage 1: CAM (single-cycle parallel search).
+	t.stats.Probes++
+	if v, ok := t.cam.Search(key); ok {
+		t.stats.Hits++
+		t.stats.HitsByStage[StageCAM-1]++
+		return v, StageCAM, true
+	}
+	// Stage 2: Hash1 → Mem1.
+	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	if slot, ok := t.searchBucket(0, b1, key); ok {
+		t.stats.Hits++
+		t.stats.HitsByStage[StageMem1-1]++
+		return t.fid(0, b1, slot), StageMem1, true
+	}
+	// Stage 3: Hash2 → Mem2.
+	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	if slot, ok := t.searchBucket(1, b2, key); ok {
+		t.stats.Hits++
+		t.stats.HitsByStage[StageMem2-1]++
+		return t.fid(1, b2, slot), StageMem2, true
+	}
+	return 0, StageMiss, false
+}
+
+// freeSlot returns the first free slot of bucket b in half h.
+func (t *Table) freeSlot(h, bucket int) (int, bool) {
+	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
+		if !t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// bucketLoad returns the occupied slot count of bucket b in half h.
+func (t *Table) bucketLoad(h, bucket int) int {
+	n := 0
+	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
+		if t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] {
+			n++
+		}
+	}
+	return n
+}
+
+// place writes key into (h, bucket, slot).
+func (t *Table) place(h, bucket, slot int, key []byte) uint64 {
+	copy(t.slotKey(h, bucket, slot), key)
+	t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] = true
+	t.mem[h].count++
+	t.stats.Probes++ // the write access
+	return t.fid(h, bucket, slot)
+}
+
+// Insert stores key if absent and returns its flow ID. Inserting an
+// existing key returns the existing ID (idempotent, as the flow table's
+// update path behaves: a concurrent duplicate insert must not create two
+// flow entries). When both buckets are full and the CAM is full, Insert
+// returns cam.ErrFull.
+func (t *Table) Insert(key []byte) (uint64, error) {
+	t.checkKey(key)
+	if fidV, _, ok := t.Lookup(key); ok {
+		return fidV, nil
+	}
+	t.stats.Inserts++
+	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
+
+	order := [2]int{0, 1}
+	switch t.cfg.Policy {
+	case PolicyFirstFit:
+		// keep order
+	case PolicyLeastLoaded:
+		l1, l2 := t.bucketLoad(0, b1), t.bucketLoad(1, b2)
+		switch {
+		case l2 < l1:
+			order = [2]int{1, 0}
+		case l2 == l1:
+			// Ties alternate between halves, as the dual-path load
+			// balancer keeps both memory channels evenly occupied.
+			if t.altToggle {
+				order = [2]int{1, 0}
+			}
+			t.altToggle = !t.altToggle
+		}
+	case PolicyAlternate:
+		if t.altToggle {
+			order = [2]int{1, 0}
+		}
+		t.altToggle = !t.altToggle
+	}
+	buckets := [2]int{b1, b2}
+	for _, h := range order {
+		if slot, ok := t.freeSlot(h, buckets[h]); ok {
+			return t.place(h, buckets[h], slot, key), nil
+		}
+	}
+	// Both buckets full: overflow to the CAM.
+	idx, err := t.cam.Insert(key, 0)
+	if err != nil {
+		t.stats.FailedIns++
+		return 0, fmt.Errorf("hashcam: insert overflow (both buckets and CAM full): %w", err)
+	}
+	fidV := t.camFID(idx)
+	// Re-insert with the final value; CAM stores the fid as its value.
+	if _, err := t.cam.Insert(key, fidV); err != nil {
+		return 0, fmt.Errorf("hashcam: CAM value fixup: %w", err)
+	}
+	t.stats.CAMInserts++
+	t.stats.Probes++
+	return fidV, nil
+}
+
+// Delete removes key and reports whether it was present. Deletion is the
+// path the housekeeping function uses to retire timed-out flows.
+func (t *Table) Delete(key []byte) bool {
+	t.checkKey(key)
+	if t.cam.Delete(key) {
+		t.stats.Deletes++
+		t.stats.Probes++
+		return true
+	}
+	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	if slot, ok := t.searchBucket(0, b1, key); ok {
+		t.mem[0].used[b1*t.cfg.SlotsPerBucket+slot] = false
+		t.mem[0].count--
+		t.stats.Deletes++
+		return true
+	}
+	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	if slot, ok := t.searchBucket(1, b2, key); ok {
+		t.mem[1].used[b2*t.cfg.SlotsPerBucket+slot] = false
+		t.mem[1].count--
+		t.stats.Deletes++
+		return true
+	}
+	return false
+}
+
+// BucketIndices returns the two bucket choices of key, used by the timed
+// model to generate memory addresses.
+func (t *Table) BucketIndices(key []byte) (int, int) {
+	t.checkKey(key)
+	return t.cfg.Hash.Index1(key, t.cfg.Buckets), t.cfg.Hash.Index2(key, t.cfg.Buckets)
+}
+
+// OnChipBits returns the block-memory bit cost of the on-chip side (the
+// CAM), for the Table I resource substitute.
+func (t *Table) OnChipBits() int64 {
+	// Value width: enough bits to index the whole table.
+	valueBits := 0
+	for c := t.cfg.Capacity(); c > 0; c >>= 1 {
+		valueBits++
+	}
+	return t.cam.BitCost(t.cfg.KeyLen, valueBits)
+}

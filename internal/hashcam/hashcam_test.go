@@ -1,0 +1,354 @@
+package hashcam
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cam"
+	"repro/internal/hashfn"
+)
+
+// smallConfig returns a tight configuration that exercises overflow paths
+// quickly.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Buckets = 64
+	cfg.SlotsPerBucket = 2
+	cfg.CAMCapacity = 16
+	return cfg
+}
+
+func key13(i uint64) []byte {
+	k := make([]byte, 13)
+	binary.LittleEndian.PutUint64(k, i)
+	return k
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"non-power-of-two buckets", func(c *Config) { c.Buckets = 100 }},
+		{"zero slots", func(c *Config) { c.SlotsPerBucket = 0 }},
+		{"zero key len", func(c *Config) { c.KeyLen = 0 }},
+		{"zero cam", func(c *Config) { c.CAMCapacity = 0 }},
+		{"nil hash", func(c *Config) { c.Hash = hashfn.Pair{} }},
+		{"bad policy", func(c *Config) { c.Policy = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tbl, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key13(42)
+	if _, stage, ok := tbl.Lookup(k); ok || stage != StageMiss {
+		t.Fatalf("lookup on empty table = (%v, %v)", stage, ok)
+	}
+	fid, err := tbl.Insert(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stage, ok := tbl.Lookup(k)
+	if !ok || got != fid {
+		t.Fatalf("Lookup = (%d,%v,%v), want (%d,_,true)", got, stage, ok, fid)
+	}
+	if stage != StageMem1 && stage != StageMem2 {
+		t.Fatalf("fresh insert resolved at stage %v, want a memory stage", stage)
+	}
+	if !tbl.Delete(k) {
+		t.Fatal("Delete missed")
+	}
+	if _, _, ok := tbl.Lookup(k); ok {
+		t.Fatal("hit after delete")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", tbl.Len())
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tbl, _ := New(smallConfig())
+	k := key13(7)
+	fid1, err := tbl.Insert(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid2, err := tbl.Insert(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid1 != fid2 {
+		t.Fatalf("duplicate insert returned %d, want %d", fid2, fid1)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestFIDsUniqueAndDecodable(t *testing.T) {
+	tbl, _ := New(smallConfig())
+	seen := make(map[uint64][]byte)
+	for i := uint64(0); i < 200; i++ {
+		k := key13(i)
+		fid, err := tbl.Insert(k)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if prev, dup := seen[fid]; dup {
+			t.Fatalf("fid %d assigned to both %x and %x", fid, prev, k)
+		}
+		seen[fid] = k
+		if stage, _, _ := tbl.DecodeFID(fid); stage == StageMiss {
+			t.Fatalf("fid %d does not decode to a region", fid)
+		}
+	}
+}
+
+func TestCollisionsOverflowToCAM(t *testing.T) {
+	// Force collisions with a degenerate hash pair mapping everything to
+	// bucket 0 of both halves.
+	cfg := smallConfig()
+	cfg.Hash = hashfn.Pair{H1: constHash{}, H2: constHash{}}
+	tbl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 halves × K=2 slots at bucket 0 hold 4 entries; the rest must land
+	// in the CAM.
+	for i := uint64(0); i < 10; i++ {
+		if _, err := tbl.Insert(key13(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if got := tbl.CAMInUse(); got != 6 {
+		t.Fatalf("CAM holds %d entries, want 6", got)
+	}
+	// All 10 keys still retrievable, CAM hits resolving at stage 1.
+	camHits := 0
+	for i := uint64(0); i < 10; i++ {
+		_, stage, ok := tbl.Lookup(key13(i))
+		if !ok {
+			t.Fatalf("key %d lost", i)
+		}
+		if stage == StageCAM {
+			camHits++
+		}
+	}
+	if camHits != 6 {
+		t.Fatalf("%d CAM-stage hits, want 6", camHits)
+	}
+}
+
+func TestInsertFailsWhenEverythingFull(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CAMCapacity = 2
+	cfg.Hash = hashfn.Pair{H1: constHash{}, H2: constHash{}}
+	tbl, _ := New(cfg)
+	for i := uint64(0); i < 6; i++ { // 4 slots + 2 CAM
+		if _, err := tbl.Insert(key13(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	_, err := tbl.Insert(key13(99))
+	if !errors.Is(err, cam.ErrFull) {
+		t.Fatalf("insert into full structure = %v, want ErrFull", err)
+	}
+	if tbl.Stats().FailedIns != 1 {
+		t.Fatalf("FailedIns = %d, want 1", tbl.Stats().FailedIns)
+	}
+	// Delete one and retry.
+	tbl.Delete(key13(0))
+	if _, err := tbl.Insert(key13(99)); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+}
+
+func TestDeleteFromCAMFreesOverflow(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hash = hashfn.Pair{H1: constHash{}, H2: constHash{}}
+	tbl, _ := New(cfg)
+	for i := uint64(0); i < 5; i++ {
+		tbl.Insert(key13(i))
+	}
+	if tbl.CAMInUse() != 1 {
+		t.Fatalf("CAM in use = %d, want 1", tbl.CAMInUse())
+	}
+	// Key 4 overflowed; delete it from the CAM.
+	if !tbl.Delete(key13(4)) {
+		t.Fatal("delete of CAM-resident key failed")
+	}
+	if tbl.CAMInUse() != 0 {
+		t.Fatalf("CAM in use = %d after delete, want 0", tbl.CAMInUse())
+	}
+}
+
+func TestEarlyExitStageAccounting(t *testing.T) {
+	tbl, _ := New(smallConfig())
+	var keys [][]byte
+	for i := uint64(0); i < 50; i++ {
+		k := key13(i)
+		keys = append(keys, k)
+		tbl.Insert(k)
+	}
+	for _, k := range keys {
+		tbl.Lookup(k)
+	}
+	st := tbl.Stats()
+	if st.Hits != 50 {
+		t.Fatalf("Hits = %d, want 50", st.Hits)
+	}
+	mem1 := st.HitsByStage[StageMem1-1]
+	mem2 := st.HitsByStage[StageMem2-1]
+	if mem1+mem2+st.HitsByStage[StageCAM-1] != 50 {
+		t.Fatalf("stage hits don't sum: %v", st.HitsByStage)
+	}
+	// Least-loaded placement spreads entries over both halves.
+	if mem1 == 0 || mem2 == 0 {
+		t.Fatalf("all hits on one half (mem1=%d mem2=%d); least-loaded policy broken", mem1, mem2)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	for _, policy := range []InsertPolicy{PolicyFirstFit, PolicyLeastLoaded, PolicyAlternate} {
+		cfg := smallConfig()
+		cfg.Policy = policy
+		tbl, err := New(cfg)
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		for i := uint64(0); i < 100; i++ {
+			if _, err := tbl.Insert(key13(i)); err != nil {
+				t.Fatalf("policy %d insert %d: %v", policy, i, err)
+			}
+		}
+		for i := uint64(0); i < 100; i++ {
+			if _, _, ok := tbl.Lookup(key13(i)); !ok {
+				t.Fatalf("policy %d lost key %d", policy, i)
+			}
+		}
+		if policy == PolicyFirstFit {
+			// First-fit loads Mem1 preferentially.
+			if tbl.mem[0].count <= tbl.mem[1].count {
+				t.Fatalf("first-fit: mem1=%d not above mem2=%d", tbl.mem[0].count, tbl.mem[1].count)
+			}
+		}
+	}
+}
+
+func TestKeyLengthChecked(t *testing.T) {
+	tbl, _ := New(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short key did not panic")
+		}
+	}()
+	tbl.Lookup([]byte{1, 2, 3})
+}
+
+// TestModelProperty checks the table against a reference map under random
+// operation sequences, including overflow conditions.
+func TestModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := smallConfig()
+		cfg.Buckets = 16
+		cfg.CAMCapacity = 8
+		tbl, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		model := make(map[uint64]uint64) // key index -> fid
+		for _, op := range ops {
+			keyIdx := uint64(op % 64)
+			k := key13(keyIdx)
+			switch (op >> 8) % 3 {
+			case 0:
+				fid, err := tbl.Insert(k)
+				if err != nil {
+					// Full is acceptable only when the model is big.
+					if len(model) == 0 {
+						return false
+					}
+					continue
+				}
+				if prev, ok := model[keyIdx]; ok && prev != fid {
+					return false // duplicate insert changed the fid
+				}
+				model[keyIdx] = fid
+			case 1:
+				deleted := tbl.Delete(k)
+				_, existed := model[keyIdx]
+				if deleted != existed {
+					return false
+				}
+				delete(model, keyIdx)
+			case 2:
+				fid, _, ok := tbl.Lookup(k)
+				want, existed := model[keyIdx]
+				if ok != existed || (ok && fid != want) {
+					return false
+				}
+			}
+			if tbl.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighLoadIntegrity(t *testing.T) {
+	// Fill to ~85% of total capacity and verify every key resolves.
+	cfg := DefaultConfig()
+	cfg.Buckets = 1024
+	cfg.CAMCapacity = 512
+	tbl, _ := New(cfg)
+	n := uint64(float64(cfg.Capacity()) * 0.85)
+	inserted := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if _, err := tbl.Insert(key13(i)); err != nil {
+			break // CAM exhaustion near capacity is legitimate
+		}
+		inserted = append(inserted, i)
+	}
+	if float64(len(inserted)) < float64(n)*0.95 {
+		t.Fatalf("placed only %d of %d keys at 85%% load", len(inserted), n)
+	}
+	for _, i := range inserted {
+		if _, _, ok := tbl.Lookup(key13(i)); !ok {
+			t.Fatalf("key %d lost under load", i)
+		}
+	}
+}
+
+func TestOnChipBitsPositive(t *testing.T) {
+	tbl, _ := New(DefaultConfig())
+	if tbl.OnChipBits() <= 0 {
+		t.Fatal("OnChipBits not positive")
+	}
+}
+
+// constHash sends every key to hash value 0 (worst-case collisions).
+type constHash struct{}
+
+func (constHash) Hash([]byte) uint64 { return 0 }
+func (constHash) Name() string       { return "const0" }

@@ -1,0 +1,242 @@
+// Package hashfn provides the hash functions used to index the flow lookup
+// table. The paper's scheme hashes each packet descriptor "using two
+// pre-selected hash functions" (§III-B); this package supplies several
+// independent families so the pair can be chosen per deployment, plus
+// quality-measurement helpers (avalanche, bucket distribution) used by the
+// tests and the hash-choice ablation bench.
+//
+// All functions are implemented from scratch against the published
+// algorithm definitions; only hash/crc32's table generator is taken from
+// the standard library.
+package hashfn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Func is a deterministic 64-bit hash over descriptor key bytes. Hardware
+// hash blocks are stateless and synchronous; so are these.
+type Func interface {
+	// Hash returns the hash of key. Implementations must be pure.
+	Hash(key []byte) uint64
+	// Name identifies the function in reports and bench output.
+	Name() string
+}
+
+// CRC is a CRC-32-based hash widened to 64 bits by running the CRC twice,
+// the second time over a domain-prefixed copy of the key. Prefixing (rather
+// than changing the initial value) shifts the key through a different
+// linear map, so the two words are genuinely independent taps; with a
+// changed initial value alone the two CRCs of fixed-length keys differ only
+// by a constant. CRC circuits are the standard FPGA hash block (cheap in
+// LUTs, good mixing on network headers).
+type CRC struct {
+	table *crc32.Table
+	name  string
+}
+
+// NewCRC returns a CRC hash over the given polynomial. Use
+// crc32.Castagnoli or crc32.Koopman for independent instances.
+func NewCRC(poly uint32, name string) *CRC {
+	return &CRC{table: crc32.MakeTable(poly), name: name}
+}
+
+// Hash implements Func.
+func (c *CRC) Hash(key []byte) uint64 {
+	lo := crc32.Update(0, c.table, key)
+	hi := crc32.Update(0, c.table, []byte{0xA5})
+	hi = crc32.Update(hi, c.table, key)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Name implements Func.
+func (c *CRC) Name() string { return c.name }
+
+// FNV1a is the 64-bit Fowler–Noll–Vo 1a hash with a seedable offset basis
+// and a SplitMix64 finalizer. Plain FNV-1a mixes its high bits poorly
+// (each input byte only reaches them through carries); the finalizer fixes
+// the avalanche on the bits the table-index reduction consumes.
+type FNV1a struct {
+	Seed uint64
+}
+
+// Hash implements Func.
+func (f *FNV1a) Hash(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ f.Seed
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// Name implements Func.
+func (f *FNV1a) Name() string { return fmt.Sprintf("fnv1a(seed=%#x)", f.Seed) }
+
+// Jenkins implements Bob Jenkins' one-at-a-time hash, widened to 64 bits
+// by a finalizing mix. It is a common software baseline for flow hashing.
+type Jenkins struct {
+	Seed uint32
+}
+
+// Hash implements Func.
+func (j *Jenkins) Hash(key []byte) uint64 {
+	// Folding the length into the initial state removes the all-zero
+	// fixpoint (from h=0, runs of zero bytes would otherwise never
+	// perturb the state, colliding {0} with {0,0}).
+	h := j.Seed + uint32(len(key))*0x9e3779b9
+	for _, b := range key {
+		h += uint32(b)
+		h += h << 10
+		h ^= h >> 6
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return mix64(uint64(h)<<32 | uint64(h^0x9e3779b9))
+}
+
+// Name implements Func.
+func (j *Jenkins) Name() string { return fmt.Sprintf("jenkins(seed=%#x)", j.Seed) }
+
+// Mix64 is a multiply-xorshift hash over 8-byte blocks with a strong
+// finalizer (SplitMix64/Murmur3-style), representative of the wide XOR
+// trees hardware hash units implement.
+type Mix64 struct {
+	Seed uint64
+}
+
+// Hash implements Func.
+func (m *Mix64) Hash(key []byte) uint64 {
+	h := m.Seed ^ (uint64(len(key)) * 0x9e3779b97f4a7c15)
+	for len(key) >= 8 {
+		k := binary.LittleEndian.Uint64(key)
+		h = (h ^ mix64(k)) * 0x100000001b3
+		key = key[8:]
+	}
+	if len(key) > 0 {
+		var tail [8]byte
+		copy(tail[:], key)
+		k := binary.LittleEndian.Uint64(tail[:])
+		h = (h ^ mix64(k^uint64(len(key)))) * 0x100000001b3
+	}
+	return mix64(h)
+}
+
+// Name implements Func.
+func (m *Mix64) Name() string { return fmt.Sprintf("mix64(seed=%#x)", m.Seed) }
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Tabulation implements simple tabulation hashing: each key byte indexes a
+// table of random 64-bit words which are XORed together. Tabulation
+// hashing is 3-independent and is the theoretically cleanest choice for
+// two-choice schemes; in hardware it is a bank of small ROMs.
+type Tabulation struct {
+	tables [][256]uint64
+	name   string
+}
+
+// NewTabulation builds tables for keys up to maxKeyLen bytes from the
+// given seed. Longer keys are folded back onto the tables modulo
+// maxKeyLen, mixing in the position.
+func NewTabulation(maxKeyLen int, seed uint64) *Tabulation {
+	if maxKeyLen <= 0 {
+		panic(fmt.Sprintf("hashfn: tabulation maxKeyLen must be positive, got %d", maxKeyLen))
+	}
+	t := &Tabulation{
+		tables: make([][256]uint64, maxKeyLen),
+		name:   fmt.Sprintf("tabulation(len=%d,seed=%#x)", maxKeyLen, seed),
+	}
+	s := seed
+	for i := range t.tables {
+		for j := 0; j < 256; j++ {
+			// SplitMix64 stream.
+			s += 0x9e3779b97f4a7c15
+			t.tables[i][j] = mix64(s)
+		}
+	}
+	return t
+}
+
+// Hash implements Func.
+func (t *Tabulation) Hash(key []byte) uint64 {
+	var h uint64
+	n := len(t.tables)
+	for i, b := range key {
+		idx := i % n
+		// Fold position into the byte for keys longer than the table set.
+		h ^= t.tables[idx][b^byte(i/n)]
+	}
+	return h
+}
+
+// Name implements Func.
+func (t *Tabulation) Name() string { return t.name }
+
+// Pair bundles the two pre-selected hash functions of the lookup scheme.
+// Index1/Index2 reduce the hashes onto a table of the given bucket count.
+type Pair struct {
+	H1, H2 Func
+}
+
+// DefaultPair returns the pair used by the prototype configuration: two
+// CRC-32 instances over independent polynomials, the standard choice for
+// FPGA flow hashing.
+func DefaultPair() Pair {
+	return Pair{
+		H1: NewCRC(crc32.Castagnoli, "crc32c"),
+		H2: NewCRC(crc32.Koopman, "crc32k"),
+	}
+}
+
+// Index1 returns H1(key) reduced to [0, buckets).
+func (p Pair) Index1(key []byte, buckets int) int {
+	return reduce(p.H1.Hash(key), buckets)
+}
+
+// Index2 returns H2(key) reduced to [0, buckets).
+func (p Pair) Index2(key []byte, buckets int) int {
+	return reduce(p.H2.Hash(key), buckets)
+}
+
+// reduce maps a 64-bit hash onto [0, n) by masking low bits when n is a
+// power of two (the hardware indexing scheme: bucket RAMs are addressed by
+// the low hash bits) and by modulo otherwise. Low bits are also the
+// well-distributed ones for CRC-family hashes — reflected CRCs can have
+// weakly mixed high words on structured inputs, so multiply-shift
+// reduction (which consumes high bits) is deliberately avoided.
+func reduce(h uint64, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("hashfn: reduce requires positive bucket count, got %d", n))
+	}
+	if n&(n-1) == 0 {
+		return int(h & uint64(n-1))
+	}
+	return int(h % uint64(n))
+}
+
+// Reduce exposes the reduction for callers that manage their own Funcs.
+func Reduce(h uint64, n int) int { return reduce(h, n) }
+
+// All returns one instance of every family, for the hash-choice ablation.
+func All() []Func {
+	return []Func{
+		NewCRC(crc32.Castagnoli, "crc32c"),
+		NewCRC(crc32.Koopman, "crc32k"),
+		&FNV1a{},
+		&Jenkins{},
+		&Mix64{},
+		NewTabulation(16, 42),
+	}
+}

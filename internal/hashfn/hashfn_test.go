@@ -1,0 +1,205 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	key := []byte("10.0.0.1:443->192.168.1.9:51724/tcp")
+	for _, f := range All() {
+		a, b := f.Hash(key), f.Hash(key)
+		if a != b {
+			t.Errorf("%s: Hash not deterministic (%#x vs %#x)", f.Name(), a, b)
+		}
+	}
+}
+
+func TestDistinctFamiliesDisagree(t *testing.T) {
+	fns := All()
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	seen := make(map[uint64]string)
+	for _, f := range fns {
+		h := f.Hash(key)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("%s and %s produced identical hash %#x", f.Name(), prev, h)
+		}
+		seen[h] = f.Name()
+	}
+}
+
+func TestSeedsProduceDifferentStreams(t *testing.T) {
+	key := []byte("flow-key")
+	pairs := []struct {
+		name string
+		a, b Func
+	}{
+		{"fnv1a", &FNV1a{Seed: 1}, &FNV1a{Seed: 2}},
+		{"jenkins", &Jenkins{Seed: 1}, &Jenkins{Seed: 2}},
+		{"mix64", &Mix64{Seed: 1}, &Mix64{Seed: 2}},
+		{"tabulation", NewTabulation(16, 1), NewTabulation(16, 2)},
+	}
+	for _, p := range pairs {
+		if p.a.Hash(key) == p.b.Hash(key) {
+			t.Errorf("%s: different seeds produced identical hashes", p.name)
+		}
+	}
+}
+
+func TestEmptyAndShortKeys(t *testing.T) {
+	for _, f := range All() {
+		// Must not panic and must distinguish nearby short keys.
+		_ = f.Hash(nil)
+		if f.Hash([]byte{0}) == f.Hash([]byte{1}) {
+			t.Errorf("%s: single-byte keys 0 and 1 collide", f.Name())
+		}
+		if f.Hash([]byte{0}) == f.Hash([]byte{0, 0}) {
+			t.Errorf("%s: length extension collision on zero bytes", f.Name())
+		}
+	}
+}
+
+func TestMix64TailHandling(t *testing.T) {
+	m := &Mix64{}
+	// Keys that differ only in the tail beyond the last 8-byte block.
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 8, 10}
+	if m.Hash(a) == m.Hash(b) {
+		t.Fatal("mix64 ignores tail bytes")
+	}
+}
+
+func TestReduceRange(t *testing.T) {
+	f := func(h uint64, nSeed uint16) bool {
+		n := int(nSeed%1000) + 1
+		r := Reduce(h, n)
+		return r >= 0 && r < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceCoversBuckets(t *testing.T) {
+	seen := make(map[int]bool)
+	m := &Mix64{}
+	var key [8]byte
+	for i := 0; i < 4096; i++ {
+		key[0], key[1] = byte(i), byte(i>>8)
+		seen[Reduce(m.Hash(key[:]), 16)] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("Reduce covered %d/16 buckets", len(seen))
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// The 13-byte key is the standard 5-tuple descriptor length.
+	for _, f := range All() {
+		score := AvalancheScore(f, 13, 200, 7)
+		// CRC is linear (avalanche probability exactly 0 or 1 per bit
+		// pair), so only judge the mixing families strictly; CRC quality
+		// is instead covered by the distribution tests below.
+		if _, isCRC := f.(*CRC); isCRC {
+			continue
+		}
+		if score > 0.06 {
+			t.Errorf("%s: avalanche deviation %.4f, want <= 0.06", f.Name(), score)
+		}
+	}
+}
+
+func TestChiSquareUniformity(t *testing.T) {
+	for _, f := range All() {
+		v := ChiSquare(f, 13, 100000, 1024, 99)
+		if v > 1.35 {
+			t.Errorf("%s: chi-square/df = %.3f on structured keys, want <= 1.35", f.Name(), v)
+		}
+	}
+}
+
+func TestDefaultPairIndependence(t *testing.T) {
+	// The two indices of the default pair must not be correlated: count
+	// how often Index1 == Index2 across many keys; expect ~n/buckets.
+	pair := DefaultPair()
+	const (
+		n       = 50000
+		buckets = 256
+	)
+	same := 0
+	key := make([]byte, 13)
+	for i := 0; i < n; i++ {
+		key[0], key[1], key[2] = byte(i), byte(i>>8), byte(i>>16)
+		if pair.Index1(key, buckets) == pair.Index2(key, buckets) {
+			same++
+		}
+	}
+	expected := float64(n) / buckets
+	if f := float64(same); f > 3*expected {
+		t.Fatalf("Index1==Index2 for %d keys, expected ~%.0f (correlated pair)", same, expected)
+	}
+}
+
+func TestCollisionRateTwoChoiceBeatsSingle(t *testing.T) {
+	// §II: multi-choice hashing has a lower collision rate than a single
+	// hash. Compare two-choice (the real pair) against a degenerate pair
+	// whose second choice is the same function (single-hash behaviour).
+	// A degenerate pair whose second choice reuses the first function
+	// behaves like a single hash into double-depth buckets. At moderate
+	// load the genuine two-choice pair must overflow at well under half
+	// the single-hash rate (measured greedy-insertion ratios: ~3.5x at
+	// load 0.24, shrinking toward ~1.4x as the table saturates).
+	pair := DefaultPair()
+	single := Pair{H1: pair.H1, H2: pair.H1}
+	const (
+		n       = 2000
+		buckets = 2048
+		k       = 2
+	)
+	two := CollisionRate(pair, 13, n, buckets, k, 5)
+	one := CollisionRate(single, 13, n, buckets, k, 5)
+	if two*2 >= one {
+		t.Fatalf("two-choice overflow %.4f not well below single-hash %.4f", two, one)
+	}
+	if two > 0.01 {
+		t.Fatalf("two-choice overflow %.4f at load factor 0.24 is implausibly high", two)
+	}
+	// Overflow must grow with load for both schemes.
+	if CollisionRate(pair, 13, 3*n, buckets, k, 5) <= two {
+		t.Fatal("two-choice overflow did not grow with load")
+	}
+}
+
+func TestTabulationLongKeys(t *testing.T) {
+	tab := NewTabulation(8, 3)
+	// Keys longer than the table set must still be sensitive to every
+	// position, including positions that fold onto the same table.
+	base := make([]byte, 24)
+	h0 := tab.Hash(base)
+	for i := range base {
+		mod := make([]byte, 24)
+		copy(mod, base)
+		mod[i] = 0xFF
+		if tab.Hash(mod) == h0 {
+			t.Fatalf("tabulation insensitive to byte %d of a long key", i)
+		}
+	}
+}
+
+func TestTabulationValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTabulation(0, ...) did not panic")
+		}
+	}()
+	NewTabulation(0, 1)
+}
+
+func TestReducePanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reduce with n=0 did not panic")
+		}
+	}()
+	Reduce(123, 0)
+}

@@ -1,0 +1,114 @@
+package hashfn
+
+import "math"
+
+// AvalancheScore measures how close f is to the avalanche criterion:
+// flipping one input bit should flip each output bit with probability 1/2.
+// It returns the mean absolute deviation from 0.5 over all (input bit,
+// output bit) pairs, sampled over trials random keys of keyLen bytes
+// generated from seed. Zero is ideal; a strong hash scores below ~0.05 at
+// a few hundred trials.
+func AvalancheScore(f Func, keyLen, trials int, seed uint64) float64 {
+	if keyLen <= 0 || trials <= 0 {
+		panic("hashfn: AvalancheScore requires positive keyLen and trials")
+	}
+	flipCounts := make([][64]int, keyLen*8)
+	s := seed
+	key := make([]byte, keyLen)
+	for trial := 0; trial < trials; trial++ {
+		for i := range key {
+			s += 0x9e3779b97f4a7c15
+			key[i] = byte(mix64(s))
+		}
+		base := f.Hash(key)
+		for bit := 0; bit < keyLen*8; bit++ {
+			key[bit/8] ^= 1 << (bit % 8)
+			diff := base ^ f.Hash(key)
+			key[bit/8] ^= 1 << (bit % 8)
+			for out := 0; out < 64; out++ {
+				if diff&(1<<out) != 0 {
+					flipCounts[bit][out]++
+				}
+			}
+		}
+	}
+	var dev float64
+	for _, counts := range flipCounts {
+		for _, c := range counts {
+			dev += math.Abs(float64(c)/float64(trials) - 0.5)
+		}
+	}
+	return dev / float64(keyLen*8*64)
+}
+
+// ChiSquare measures the bucket-occupancy uniformity of f over n keys into
+// buckets bins, using sequential structured keys (the adversarial case for
+// network headers: incrementing IPs/ports). It returns the chi-square
+// statistic divided by the degrees of freedom; values near 1.0 indicate a
+// uniform distribution, values far above indicate clustering.
+func ChiSquare(f Func, keyLen, n, buckets int, seed uint64) float64 {
+	if keyLen < 4 {
+		panic("hashfn: ChiSquare requires keyLen >= 4")
+	}
+	counts := make([]int, buckets)
+	key := make([]byte, keyLen)
+	for i := 0; i < n; i++ {
+		// Structured keys: a counter in the first 4 bytes, constant tail,
+		// mimicking incrementing flow tuples.
+		v := uint32(i) + uint32(seed)
+		key[0] = byte(v)
+		key[1] = byte(v >> 8)
+		key[2] = byte(v >> 16)
+		key[3] = byte(v >> 24)
+		counts[reduce(f.Hash(key), buckets)]++
+	}
+	expected := float64(n) / float64(buckets)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2 / float64(buckets-1)
+}
+
+// CollisionRate inserts n distinct pseudo-random keys (drawn from seed)
+// into buckets two-choice buckets of capacity k using pair and returns the
+// fraction that could not be placed in either choice (the overflow a CAM
+// must absorb). Insertion is greedy: first choice if it has room, else
+// second choice, matching the paper's table build. It is the metric behind
+// the CAM-size ablation.
+func CollisionRate(pair Pair, keyLen, n, buckets, k int, seed uint64) float64 {
+	if n <= 0 {
+		panic("hashfn: CollisionRate requires n > 0")
+	}
+	load1 := make([]int, buckets)
+	load2 := make([]int, buckets)
+	overflow := 0
+	key := make([]byte, keyLen)
+	s := seed
+	for i := 0; i < n; i++ {
+		for j := range key {
+			s += 0x9e3779b97f4a7c15
+			key[j] = byte(mix64(s) >> uint(8*(j%8)))
+		}
+		i1 := pair.Index1(key, buckets)
+		i2 := pair.Index2(key, buckets)
+		// Alternate the preferred table, as the scheme's load balancer
+		// alternates the first-lookup path (§III-B).
+		first, second := load1, load2
+		fi, si := i1, i2
+		if i%2 == 1 {
+			first, second = load2, load1
+			fi, si = i2, i1
+		}
+		switch {
+		case first[fi] < k:
+			first[fi]++
+		case second[si] < k:
+			second[si]++
+		default:
+			overflow++
+		}
+	}
+	return float64(overflow) / float64(n)
+}

@@ -1,0 +1,562 @@
+// Package memctrl models a DDR3 memory controller of the kind the paper
+// layers its DLU on top of ("a standard DDR3 memory controller", Fig. 4):
+// per-channel request queues, an open-page first-ready/first-come-first-
+// served command scheduler, read/write grouping with a write-drain
+// watermark (so bus turnarounds are paid per group, not per request),
+// same-address ordering, and periodic refresh.
+//
+// The controller issues at most one DDR command per bus cycle, as a real
+// command/address bus does, and consults the dram.Device timing contract
+// via CanIssue before every command.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Request is one burst-granularity memory operation submitted by a client.
+type Request struct {
+	// ID is assigned by the controller on Enqueue and is unique per
+	// controller; completions carry it back.
+	ID uint64
+	// Tag is an opaque client value carried through to the completion.
+	Tag uint64
+	// Addr is the burst-aligned location.
+	Addr dram.Addr
+	// IsWrite selects the operation; writes must carry Data of exactly one
+	// burst, reads must leave Data nil.
+	IsWrite bool
+	// Data is the write payload.
+	Data []byte
+}
+
+// Completion reports a finished request to the client.
+type Completion struct {
+	ID      uint64
+	Tag     uint64
+	Addr    dram.Addr
+	IsWrite bool
+	// Data is the read payload (nil for writes).
+	Data []byte
+	// DoneAt is the bus cycle at which the data transfer finished.
+	DoneAt sim.Cycle
+	// EnqueuedAt allows clients to compute queueing+service latency.
+	EnqueuedAt sim.Cycle
+}
+
+// request is the controller-internal tracking record.
+type request struct {
+	Request
+	enqueuedAt sim.Cycle
+	issued     bool
+	// dep is the most recent older request to the same address in either
+	// queue at enqueue time; this request may not issue before dep has.
+	// Transitivity through each queue's FIFO age order makes one pointer
+	// sufficient.
+	dep *request
+}
+
+// Config sets the controller's queueing and policy parameters.
+type Config struct {
+	// ReadQueueDepth and WriteQueueDepth bound the pending-request queues;
+	// Enqueue applies backpressure when full.
+	ReadQueueDepth  int
+	WriteQueueDepth int
+	// WriteHighWatermark enters write-drain mode; WriteLowWatermark exits
+	// it. Grouping writes between watermarks is what keeps the bus
+	// turnaround count low (Fig. 3's lesson).
+	WriteHighWatermark int
+	WriteLowWatermark  int
+	// WriteTimeout forces a drain when the oldest write has waited this
+	// many bus cycles, bounding write latency under read-heavy load.
+	WriteTimeout sim.Cycle
+	// DisableRefresh turns off tREFI refresh scheduling (used by
+	// experiments that isolate scheduling effects, as the paper's Fig. 3
+	// analysis does).
+	DisableRefresh bool
+	// ClosePagePolicy precharges a row immediately after each column
+	// access instead of keeping it open. Off by default; exists for the
+	// ablation benchmarks.
+	ClosePagePolicy bool
+	// StrictFIFO issues column commands in global arrival order with no
+	// read/write grouping — the "commercial general-purpose controller"
+	// baseline the paper contrasts its scheme with (§III). Each read↔write
+	// alternation then pays the full bus-turnaround gap, reproducing the
+	// N=1 point of Fig. 3 under mixed traffic.
+	StrictFIFO bool
+}
+
+// DefaultConfig returns the configuration used by the prototype model.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueDepth:     32,
+		WriteQueueDepth:    32,
+		WriteHighWatermark: 16,
+		WriteLowWatermark:  4,
+		WriteTimeout:       2048,
+	}
+}
+
+// Validate reports an error for inconsistent parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.ReadQueueDepth <= 0 || c.WriteQueueDepth <= 0:
+		return fmt.Errorf("memctrl: queue depths must be positive (%d, %d)", c.ReadQueueDepth, c.WriteQueueDepth)
+	case c.WriteHighWatermark <= 0 || c.WriteHighWatermark > c.WriteQueueDepth:
+		return fmt.Errorf("memctrl: write high watermark %d out of range (queue %d)", c.WriteHighWatermark, c.WriteQueueDepth)
+	case c.WriteLowWatermark < 0 || c.WriteLowWatermark >= c.WriteHighWatermark:
+		return fmt.Errorf("memctrl: write low watermark %d must be in [0, high=%d)", c.WriteLowWatermark, c.WriteHighWatermark)
+	case c.WriteTimeout <= 0:
+		return fmt.Errorf("memctrl: write timeout must be positive, got %d", c.WriteTimeout)
+	}
+	return nil
+}
+
+// Stats aggregates controller-level activity.
+type Stats struct {
+	ReadsEnqueued  int64
+	WritesEnqueued int64
+	RowHits        int64 // column command issued to an already-open row
+	RowMisses      int64 // activate needed on a closed bank
+	RowConflicts   int64 // precharge needed because the wrong row was open
+	DrainsEntered  int64 // write-drain episodes
+	Refreshes      int64
+	// ReadLatencyTotal accumulates enqueue-to-data latency over all
+	// completed reads, for mean latency reporting.
+	ReadLatencyTotal sim.Cycle
+	ReadsCompleted   int64
+}
+
+// MeanReadLatency returns the average enqueue-to-data read latency in bus
+// cycles, or 0 when no reads completed.
+func (s Stats) MeanReadLatency() float64 {
+	if s.ReadsCompleted == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencyTotal) / float64(s.ReadsCompleted)
+}
+
+// Controller schedules requests onto one dram.Device.
+type Controller struct {
+	cfg    Config
+	dev    *dram.Device
+	clock  *sim.Clock
+	nextID uint64
+
+	readQ  []*request
+	writeQ []*request
+
+	drainMode  bool
+	refreshDue sim.Cycle
+	refreshing bool
+
+	// pending holds issued reads waiting for their data ReadyAt.
+	pending []pendingRead
+	// pendingClose holds banks awaiting a close-page precharge that was
+	// not yet legal (tRTP/tWR pending) when their column command issued.
+	pendingClose []int
+
+	completions *sim.Queue[Completion]
+	stats       Stats
+}
+
+type pendingRead struct {
+	req     *request
+	readyAt sim.Cycle
+	data    []byte
+}
+
+// New builds a controller over dev. The clock must be the device's clock.
+func New(cfg Config, dev *dram.Device, clock *sim.Clock) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		dev:         dev,
+		clock:       clock,
+		completions: sim.NewQueue[Completion](cfg.ReadQueueDepth + cfg.WriteQueueDepth),
+		refreshDue:  sim.Cycle(dev.Timing().TREFI),
+	}
+	return c, nil
+}
+
+// Device returns the controlled device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Stats returns a snapshot of controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// CanEnqueue reports whether a request of the given kind would be accepted.
+func (c *Controller) CanEnqueue(isWrite bool) bool {
+	if isWrite {
+		return len(c.writeQ) < c.cfg.WriteQueueDepth
+	}
+	return len(c.readQ) < c.cfg.ReadQueueDepth
+}
+
+// Enqueue submits a request. It returns the assigned ID and true on
+// acceptance, or false when the relevant queue is full (backpressure).
+func (c *Controller) Enqueue(r Request) (uint64, bool) {
+	if r.IsWrite {
+		if len(r.Data) != c.dev.Geometry().BurstBytes(c.dev.Timing().BL) {
+			panic(fmt.Sprintf("memctrl: write request with %d data bytes, want one burst (%d)",
+				len(r.Data), c.dev.Geometry().BurstBytes(c.dev.Timing().BL)))
+		}
+	} else if r.Data != nil {
+		panic("memctrl: read request must not carry data")
+	}
+	if !c.CanEnqueue(r.IsWrite) {
+		return 0, false
+	}
+	c.nextID++
+	req := &request{Request: r, enqueuedAt: c.clock.Now()}
+	req.ID = c.nextID
+	req.dep = c.newestSameAddr(r.Addr)
+	if r.IsWrite {
+		c.writeQ = append(c.writeQ, req)
+		c.stats.WritesEnqueued++
+	} else {
+		c.readQ = append(c.readQ, req)
+		c.stats.ReadsEnqueued++
+	}
+	return req.ID, true
+}
+
+// newestSameAddr returns the most recently enqueued, not-yet-issued request
+// to addr, or nil.
+func (c *Controller) newestSameAddr(addr dram.Addr) *request {
+	var newest *request
+	for _, q := range [][]*request{c.readQ, c.writeQ} {
+		for _, r := range q {
+			if !r.issued && r.Addr == addr && (newest == nil || r.ID > newest.ID) {
+				newest = r
+			}
+		}
+	}
+	return newest
+}
+
+// PopCompletion returns the next finished request, if any.
+func (c *Controller) PopCompletion() (Completion, bool) {
+	return c.completions.Pop()
+}
+
+// PendingRequests reports queued (not yet issued) request counts.
+func (c *Controller) PendingRequests() (reads, writes int) {
+	for _, r := range c.readQ {
+		if !r.issued {
+			reads++
+		}
+	}
+	for _, r := range c.writeQ {
+		if !r.issued {
+			writes++
+		}
+	}
+	return reads, writes
+}
+
+// Idle reports whether the controller has no queued work and no in-flight
+// data transfers.
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && len(c.pending) == 0
+}
+
+// Tick advances the controller one bus cycle: deliver finished reads,
+// service refresh if due, then issue at most one DDR command.
+func (c *Controller) Tick(now sim.Cycle) {
+	c.deliverReads(now)
+
+	if !c.cfg.DisableRefresh && (c.refreshing || now >= c.refreshDue) {
+		if c.tickRefresh(now) {
+			return // refresh sequence consumed the command slot
+		}
+	}
+
+	c.updateDrainMode(now)
+	c.issueOne(now)
+}
+
+// deliverReads moves reads whose data transfer has completed to the
+// completion queue.
+func (c *Controller) deliverReads(now sim.Cycle) {
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.readyAt <= now && !c.completions.Full() {
+			c.completions.Push(Completion{
+				ID:         p.req.ID,
+				Tag:        p.req.Tag,
+				Addr:       p.req.Addr,
+				IsWrite:    false,
+				Data:       p.data,
+				DoneAt:     p.readyAt,
+				EnqueuedAt: p.req.enqueuedAt,
+			})
+			c.stats.ReadLatencyTotal += p.readyAt - p.req.enqueuedAt
+			c.stats.ReadsCompleted++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	c.pending = kept
+}
+
+// tickRefresh drives the refresh sequence. It returns true when it issued
+// a command (or is waiting on one), claiming this cycle's command slot.
+func (c *Controller) tickRefresh(now sim.Cycle) bool {
+	c.refreshing = true
+	if c.dev.CanIssue(dram.CmdRefresh, dram.Addr{}) {
+		c.dev.Refresh()
+		c.stats.Refreshes++
+		c.refreshing = false
+		c.refreshDue += sim.Cycle(c.dev.Timing().TREFI)
+		return true
+	}
+	if c.dev.CanIssue(dram.CmdPrechargeAll, dram.Addr{}) {
+		c.dev.PrechargeAll()
+		return true
+	}
+	// Waiting for tRAS/tWR of some bank before PrechargeAll is legal; hold
+	// the command bus so no new row gets opened under the refresh.
+	return true
+}
+
+// updateDrainMode flips between read-preferred and write-drain scheduling.
+func (c *Controller) updateDrainMode(now sim.Cycle) {
+	unissuedWrites := 0
+	var oldest *request
+	for _, w := range c.writeQ {
+		if w.issued {
+			continue
+		}
+		unissuedWrites++
+		if oldest == nil {
+			oldest = w
+		}
+	}
+	if c.drainMode {
+		if unissuedWrites <= c.cfg.WriteLowWatermark {
+			c.drainMode = false
+		}
+		return
+	}
+	timedOut := oldest != nil && now-oldest.enqueuedAt >= c.cfg.WriteTimeout
+	unissuedReads := 0
+	for _, r := range c.readQ {
+		if !r.issued {
+			unissuedReads++
+		}
+	}
+	if unissuedWrites >= c.cfg.WriteHighWatermark || timedOut ||
+		(unissuedReads == 0 && unissuedWrites > 0) {
+		c.drainMode = true
+		c.stats.DrainsEntered++
+	}
+}
+
+// issueOne issues at most one DDR command, preferring the current mode's
+// queue. The non-preferred queue normally only receives row-preparation
+// commands (preserving read/write grouping), but when every unissued
+// request in the preferred queue is dependency-blocked on the other queue,
+// the other queue may issue a column command — otherwise a write waiting
+// on an older read (or vice versa) would deadlock the drain-mode state
+// machine.
+func (c *Controller) issueOne(now sim.Cycle) {
+	if c.issuePendingClose() {
+		return
+	}
+	if c.cfg.StrictFIFO {
+		c.issueFIFO(now)
+		return
+	}
+	primary, secondary := c.readQ, c.writeQ
+	if c.drainMode {
+		primary, secondary = c.writeQ, c.readQ
+	}
+
+	// First-ready: oldest request in the preferred queue whose column
+	// command is legal right now.
+	if c.issueColumn(primary, now) {
+		return
+	}
+	// Row preparation for the preferred queue (oldest-first): precharge a
+	// conflicting row or activate a closed bank.
+	if c.prepareRow(primary) {
+		return
+	}
+	if !c.hasDispatchableWork(primary) && c.issueColumn(secondary, now) {
+		return
+	}
+	// Don't let the command bus idle: prepare rows for the other queue.
+	c.prepareRow(secondary)
+}
+
+// issueFIFO services the single oldest unissued request across both
+// queues: its column command when legal, otherwise its row preparation.
+func (c *Controller) issueFIFO(now sim.Cycle) {
+	var oldest *request
+	for _, q := range [][]*request{c.readQ, c.writeQ} {
+		for _, r := range q {
+			if !r.issued && (oldest == nil || r.ID < oldest.ID) {
+				oldest = r
+			}
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	var single []*request
+	single = append(single, oldest)
+	if c.issueColumn(single, now) {
+		return
+	}
+	c.prepareRow(single)
+}
+
+// hasDispatchableWork reports whether q holds any unissued request whose
+// ordering dependency is satisfied (i.e. work that is merely
+// timing-blocked, not dependency-blocked).
+func (c *Controller) hasDispatchableWork(q []*request) bool {
+	for _, r := range q {
+		if !r.issued && c.depSatisfied(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// issuePendingClose retires deferred close-page precharges as they become
+// legal, consuming the command slot when one issues.
+func (c *Controller) issuePendingClose() bool {
+	for i, bank := range c.pendingClose {
+		row := c.dev.OpenRow(bank)
+		if row == -1 {
+			// Already closed (e.g. by a row conflict); drop the entry.
+			c.pendingClose = append(c.pendingClose[:i], c.pendingClose[i+1:]...)
+			return false
+		}
+		a := dram.Addr{Bank: bank, Row: row}
+		if c.dev.CanIssue(dram.CmdPrecharge, a) {
+			c.dev.Precharge(a)
+			c.pendingClose = append(c.pendingClose[:i], c.pendingClose[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// issueColumn issues the column command of the oldest ready request in q.
+func (c *Controller) issueColumn(q []*request, now sim.Cycle) bool {
+	for _, r := range q {
+		if r.issued || !c.depSatisfied(r) {
+			continue
+		}
+		if !c.dev.RowOpen(r.Addr.Bank, r.Addr.Row) {
+			continue
+		}
+		if r.IsWrite {
+			if !c.dev.CanIssue(dram.CmdWrite, r.Addr) {
+				continue
+			}
+			doneAt := c.dev.Write(r.Addr, r.Data)
+			r.issued = true
+			c.stats.RowHits++
+			if !c.completions.Full() {
+				c.completions.Push(Completion{
+					ID: r.ID, Tag: r.Tag, Addr: r.Addr, IsWrite: true,
+					DoneAt: doneAt, EnqueuedAt: r.enqueuedAt,
+				})
+			}
+			c.writeQ = removeIssued(c.writeQ)
+			c.maybeClosePage(r.Addr)
+			return true
+		}
+		if !c.dev.CanIssue(dram.CmdRead, r.Addr) {
+			continue
+		}
+		res := c.dev.Read(r.Addr)
+		r.issued = true
+		c.stats.RowHits++
+		c.pending = append(c.pending, pendingRead{req: r, readyAt: res.ReadyAt, data: res.Data})
+		c.readQ = removeIssued(c.readQ)
+		c.maybeClosePage(r.Addr)
+		return true
+	}
+	return false
+}
+
+// maybeClosePage schedules a precharge after a column access under the
+// close-page ablation policy. The precharge is rarely legal in the same
+// cycle (tRTP / write recovery), so the bank joins a deferred-close list
+// serviced by issuePendingClose.
+func (c *Controller) maybeClosePage(a dram.Addr) {
+	if !c.cfg.ClosePagePolicy {
+		return
+	}
+	for _, b := range c.pendingClose {
+		if b == a.Bank {
+			return
+		}
+	}
+	c.pendingClose = append(c.pendingClose, a.Bank)
+}
+
+// prepareRow issues one ACT or PRE on behalf of the oldest request in q
+// whose bank is not ready, scanning in age order so older requests get
+// their rows first but younger requests can still exploit idle banks.
+func (c *Controller) prepareRow(q []*request) bool {
+	prepared := make(map[int]bool) // banks already being prepared this scan
+	for _, r := range q {
+		if r.issued || !c.depSatisfied(r) {
+			continue
+		}
+		bank := r.Addr.Bank
+		if prepared[bank] {
+			continue
+		}
+		prepared[bank] = true
+		open := c.dev.OpenRow(bank)
+		switch {
+		case open == r.Addr.Row:
+			continue // row ready; column command was not legal this cycle
+		case open == -1:
+			if c.dev.CanIssue(dram.CmdActivate, r.Addr) {
+				c.dev.Activate(r.Addr)
+				c.stats.RowMisses++
+				return true
+			}
+		default:
+			if c.dev.CanIssue(dram.CmdPrecharge, r.Addr) {
+				c.dev.Precharge(r.Addr)
+				c.stats.RowConflicts++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// depSatisfied reports whether r's same-address ordering dependency has
+// issued.
+func (c *Controller) depSatisfied(r *request) bool {
+	return r.dep == nil || r.dep.issued
+}
+
+// removeIssued compacts a queue, dropping issued entries.
+func removeIssued(q []*request) []*request {
+	out := q[:0]
+	for _, r := range q {
+		if !r.issued {
+			out = append(out, r)
+		}
+	}
+	// Clear the tail so dropped requests are collectable.
+	for i := len(out); i < len(q); i++ {
+		q[i] = nil
+	}
+	return out
+}

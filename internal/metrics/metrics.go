@@ -1,0 +1,181 @@
+// Package metrics provides the measurement and reporting utilities the
+// bench harness uses: throughput conversion between simulated cycles and
+// the paper's Mdesc/s unit, simple histograms for latency distributions,
+// and a text table renderer that prints paper-style result tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MDescPerSec converts a descriptor count processed over elapsed simulated
+// cycles (of tCKps picoseconds each) to the paper's million-descriptors-
+// per-second unit.
+func MDescPerSec(descriptors int64, cycles int64, tCKps int64) float64 {
+	if cycles <= 0 || tCKps <= 0 {
+		return 0
+	}
+	seconds := float64(cycles) * float64(tCKps) * 1e-12
+	return float64(descriptors) / seconds / 1e6
+}
+
+// GbpsAtMinPacket converts a packet rate in Mpps to the Ethernet
+// throughput it sustains at minimum packet size (72-byte Layer-1 footprint
+// plus the interframe gap), the conversion of §V-B.
+func GbpsAtMinPacket(mpps float64, ifgBytes int) float64 {
+	return mpps * 1e6 * float64((72+ifgBytes)*8) / 1e9
+}
+
+// Histogram is a fixed-bucket latency histogram over int64 samples.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; last bucket is overflow
+	counts []int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (an overflow bucket is added automatically).
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[idx]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from the
+// bucket boundaries; the overflow bucket reports the observed max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Table renders paper-style fixed-width text tables.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells are printed verbatim.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, alternating format/args pairs
+// is unnecessary — each argument is rendered with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMDescPerSec(t *testing.T) {
+	// 10k descriptors over 100k cycles of 1.25 ns = 125 us → 80 Mdesc/s.
+	got := MDescPerSec(10000, 100000, 1250)
+	if math.Abs(got-80) > 1e-9 {
+		t.Fatalf("MDescPerSec = %v, want 80", got)
+	}
+	if MDescPerSec(1, 0, 1250) != 0 {
+		t.Fatal("zero cycles must yield 0")
+	}
+}
+
+func TestGbpsAtMinPacket(t *testing.T) {
+	// §V-B inverse check: 59.52 Mpps at 12-byte IFG ≈ 40 Gbps.
+	got := GbpsAtMinPacket(59.52, 12)
+	if math.Abs(got-40) > 0.01 {
+		t.Fatalf("GbpsAtMinPacket(59.52) = %v, want ~40", got)
+	}
+	// The paper's §V-B claim: 94.36 Mdesc/s → >50 Gbps.
+	if g := GbpsAtMinPacket(94.36, 12); g <= 50 {
+		t.Fatalf("94.36 Mpps = %v Gbps, want > 50", g)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 5000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-877.67) > 0.01 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Fatalf("median bound = %d, want 100", q)
+	}
+	if q := h.Quantile(1.0); q != 5000 {
+		t.Fatalf("p100 = %d, want observed max 5000", q)
+	}
+}
+
+func TestHistogramEmptyAndValidation(t *testing.T) {
+	h := NewHistogram([]int64{1, 2})
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]int64{5, 5})
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table II(B)", "Miss rate", "Proc. rate (Mdesc/s)", "Paper")
+	tbl.AddRowf("100%", 46.31, 46.90)
+	tbl.AddRowf("0%", 97.12, 96.92)
+	out := tbl.String()
+	for _, want := range []string{"Table II(B)", "Miss rate", "46.31", "96.92", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,265 @@
+// Package netflow implements the per-flow state layer of the paper's
+// target application (§I, §V-C): 512-bit per-flow records holding packet/
+// byte counters and timestamps, a housekeeping scanner that retires
+// timed-out flows ("Del_req is signaled by the housekeeping function in
+// the Flow State block, which periodically checks and removes timeout flow
+// entries", §IV-B), and NetFlow-v5-style export records.
+package netflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// FlowState is one per-flow record. The prototype stores 512 bits per
+// flow (§V-C); this struct is the logical content of that record.
+type FlowState struct {
+	FID     uint64
+	Tuple   packet.FiveTuple
+	Packets uint64
+	Bytes   uint64
+	// FirstSeen and LastSeen are nanosecond timestamps relative to the
+	// capture epoch.
+	FirstSeen uint64
+	LastSeen  uint64
+	TCPFlags  uint8 // OR of observed flags
+}
+
+// RecordBits is the hardware record width the resource model accounts.
+const RecordBits = 512
+
+// ExportRecord is a finished flow, NetFlow-v5 style.
+type ExportRecord struct {
+	Tuple      packet.FiveTuple
+	Packets    uint64
+	Bytes      uint64
+	FirstSeen  uint64
+	LastSeen   uint64
+	TCPFlags   uint8
+	ExportedAt uint64
+	// Reason distinguishes idle timeout, active timeout, FIN/RST
+	// termination, and forced eviction.
+	Reason ExportReason
+}
+
+// ExportReason classifies why a flow was exported.
+type ExportReason int
+
+// Export reasons.
+const (
+	ReasonIdleTimeout ExportReason = iota + 1
+	ReasonActiveTimeout
+	ReasonTCPClose
+	ReasonEvicted
+	ReasonShutdown
+)
+
+// String returns the reason name.
+func (r ExportReason) String() string {
+	switch r {
+	case ReasonIdleTimeout:
+		return "idle-timeout"
+	case ReasonActiveTimeout:
+		return "active-timeout"
+	case ReasonTCPClose:
+		return "tcp-close"
+	case ReasonEvicted:
+		return "evicted"
+	case ReasonShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("ExportReason(%d)", int(r))
+	}
+}
+
+// Config parameterises the flow-state engine.
+type Config struct {
+	// IdleTimeout retires flows with no traffic for this long.
+	IdleTimeout time.Duration
+	// ActiveTimeout force-exports long-running flows (so collectors see
+	// progress), re-creating state on the next packet.
+	ActiveTimeout time.Duration
+	// TCPCloseExport exports immediately on FIN or RST when true.
+	TCPCloseExport bool
+	// MaxFlows bounds the state table; 0 means unbounded. When full, the
+	// oldest-idle flow is evicted (exported with ReasonEvicted).
+	MaxFlows int
+}
+
+// DefaultConfig mirrors common NetFlow defaults: 15 s idle, 30 min active.
+func DefaultConfig() Config {
+	return Config{
+		IdleTimeout:    15 * time.Second,
+		ActiveTimeout:  30 * time.Minute,
+		TCPCloseExport: true,
+	}
+}
+
+// Validate reports an error for unusable parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.IdleTimeout <= 0:
+		return fmt.Errorf("netflow: idle timeout must be positive, got %v", c.IdleTimeout)
+	case c.ActiveTimeout <= 0:
+		return fmt.Errorf("netflow: active timeout must be positive, got %v", c.ActiveTimeout)
+	case c.MaxFlows < 0:
+		return fmt.Errorf("netflow: max flows must be non-negative, got %d", c.MaxFlows)
+	}
+	return nil
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Packets       int64
+	Bytes         int64
+	FlowsCreated  int64
+	FlowsExported int64
+	Evictions     int64
+	ActiveFlows   int
+}
+
+// Engine maintains flow state keyed by the 5-tuple. The lookup substrate
+// (the paper's Flow LUT) provides flow IDs; the engine is deliberately
+// substrate-agnostic so both the timed and untimed tables can drive it.
+type Engine struct {
+	cfg    Config
+	spec   packet.TupleSpec
+	flows  map[string]*FlowState
+	nextID uint64
+
+	exports []ExportRecord
+	stats   Stats
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:   cfg,
+		spec:  packet.FiveTupleSpec(),
+		flows: make(map[string]*FlowState),
+	}, nil
+}
+
+// Stats returns a snapshot including the current active-flow count.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.ActiveFlows = len(e.flows)
+	return s
+}
+
+// Observe accounts one packet at the given timestamp (nanoseconds from
+// epoch, monotone non-decreasing). It returns the flow's state and whether
+// the packet created a new flow.
+func (e *Engine) Observe(p packet.Packet, nowNanos uint64) (*FlowState, bool) {
+	key := string(e.spec.Key(p.Tuple))
+	e.stats.Packets++
+	e.stats.Bytes += int64(p.WireLen)
+
+	fs, ok := e.flows[key]
+	created := false
+	if !ok {
+		if e.cfg.MaxFlows > 0 && len(e.flows) >= e.cfg.MaxFlows {
+			e.evictOldest(nowNanos)
+		}
+		e.nextID++
+		fs = &FlowState{FID: e.nextID, Tuple: p.Tuple, FirstSeen: nowNanos}
+		e.flows[key] = fs
+		e.stats.FlowsCreated++
+		created = true
+	}
+	fs.Packets++
+	fs.Bytes += uint64(p.WireLen)
+	fs.LastSeen = nowNanos
+	fs.TCPFlags |= p.TCPFlags
+
+	if e.cfg.TCPCloseExport && p.Tuple.Proto == packet.ProtoTCP &&
+		p.TCPFlags&(packet.TCPFin|packet.TCPRst) != 0 {
+		e.export(key, fs, nowNanos, ReasonTCPClose)
+	}
+	return fs, created
+}
+
+// Housekeep scans for idle and active timeouts — the paper's periodic
+// housekeeping pass — and returns how many flows were exported.
+func (e *Engine) Housekeep(nowNanos uint64) int {
+	idle := uint64(e.cfg.IdleTimeout.Nanoseconds())
+	active := uint64(e.cfg.ActiveTimeout.Nanoseconds())
+	exported := 0
+	for key, fs := range e.flows {
+		switch {
+		case nowNanos-fs.LastSeen >= idle:
+			e.export(key, fs, nowNanos, ReasonIdleTimeout)
+			exported++
+		case nowNanos-fs.FirstSeen >= active:
+			e.export(key, fs, nowNanos, ReasonActiveTimeout)
+			exported++
+		}
+	}
+	return exported
+}
+
+// evictOldest exports the flow idle the longest, making room.
+func (e *Engine) evictOldest(nowNanos uint64) {
+	var oldestKey string
+	var oldest *FlowState
+	for key, fs := range e.flows {
+		if oldest == nil || fs.LastSeen < oldest.LastSeen {
+			oldestKey, oldest = key, fs
+		}
+	}
+	if oldest != nil {
+		e.export(oldestKey, oldest, nowNanos, ReasonEvicted)
+		e.stats.Evictions++
+	}
+}
+
+// Flush exports every active flow (end of capture).
+func (e *Engine) Flush(nowNanos uint64) int {
+	n := 0
+	for key, fs := range e.flows {
+		e.export(key, fs, nowNanos, ReasonShutdown)
+		n++
+	}
+	return n
+}
+
+// export retires a flow into the export queue.
+func (e *Engine) export(key string, fs *FlowState, nowNanos uint64, reason ExportReason) {
+	e.exports = append(e.exports, ExportRecord{
+		Tuple:      fs.Tuple,
+		Packets:    fs.Packets,
+		Bytes:      fs.Bytes,
+		FirstSeen:  fs.FirstSeen,
+		LastSeen:   fs.LastSeen,
+		TCPFlags:   fs.TCPFlags,
+		ExportedAt: nowNanos,
+		Reason:     reason,
+	})
+	delete(e.flows, key)
+	e.stats.FlowsExported++
+}
+
+// DrainExports returns and clears the accumulated export records.
+func (e *Engine) DrainExports() []ExportRecord {
+	out := e.exports
+	e.exports = nil
+	return out
+}
+
+// Lookup returns the live state of a tuple, if tracked.
+func (e *Engine) Lookup(ft packet.FiveTuple) (*FlowState, bool) {
+	fs, ok := e.flows[string(e.spec.Key(ft))]
+	return fs, ok
+}
+
+// ActiveFlows returns the current tracked-flow count.
+func (e *Engine) ActiveFlows() int { return len(e.flows) }
+
+// StateBits returns the on-chip/off-chip storage the active flows occupy
+// at the prototype's 512-bit record width — the §V-C sizing arithmetic.
+func (e *Engine) StateBits() int64 { return int64(len(e.flows)) * RecordBits }

@@ -1,0 +1,218 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trafficgen"
+)
+
+func engine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func pkt(flow uint64, size int) packet.Packet {
+	return packet.Packet{Tuple: trafficgen.Flow(flow), WireLen: size}
+}
+
+const second = uint64(time.Second)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{IdleTimeout: 0, ActiveTimeout: time.Minute},
+		{IdleTimeout: time.Second, ActiveTimeout: 0},
+		{IdleTimeout: time.Second, ActiveTimeout: time.Minute, MaxFlows: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestObserveCreatesAndAccumulates(t *testing.T) {
+	e := engine(t, DefaultConfig())
+	fs, created := e.Observe(pkt(1, 100), 10)
+	if !created || fs.Packets != 1 || fs.Bytes != 100 || fs.FirstSeen != 10 {
+		t.Fatalf("first packet: created=%v fs=%+v", created, fs)
+	}
+	fs2, created := e.Observe(pkt(1, 200), 20)
+	if created || fs2 != fs {
+		t.Fatal("second packet created a new flow")
+	}
+	if fs.Packets != 2 || fs.Bytes != 300 || fs.LastSeen != 20 || fs.FirstSeen != 10 {
+		t.Fatalf("accumulation wrong: %+v", fs)
+	}
+	st := e.Stats()
+	if st.Packets != 2 || st.Bytes != 300 || st.FlowsCreated != 1 || st.ActiveFlows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = time.Second
+	e := engine(t, cfg)
+	e.Observe(pkt(1, 64), 0)
+	e.Observe(pkt(2, 64), 900_000_000)
+
+	if n := e.Housekeep(1_000_000_000); n != 1 {
+		t.Fatalf("housekeep exported %d, want 1 (flow 1 idle)", n)
+	}
+	exports := e.DrainExports()
+	if len(exports) != 1 || exports[0].Reason != ReasonIdleTimeout {
+		t.Fatalf("exports = %+v", exports)
+	}
+	if exports[0].Tuple != trafficgen.Flow(1) {
+		t.Fatalf("wrong flow exported: %v", exports[0].Tuple)
+	}
+	if e.ActiveFlows() != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1", e.ActiveFlows())
+	}
+}
+
+func TestActiveTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = time.Hour // never idle in this test
+	cfg.ActiveTimeout = 10 * time.Second
+	e := engine(t, cfg)
+	for i := uint64(0); i < 20; i++ {
+		e.Observe(pkt(1, 64), i*second)
+	}
+	if n := e.Housekeep(20 * second); n != 1 {
+		t.Fatalf("housekeep exported %d, want 1 (active timeout)", n)
+	}
+	if got := e.DrainExports()[0].Reason; got != ReasonActiveTimeout {
+		t.Fatalf("reason = %v", got)
+	}
+}
+
+func TestTCPCloseExport(t *testing.T) {
+	e := engine(t, DefaultConfig())
+	p := pkt(3, 64)
+	p.Tuple.Proto = packet.ProtoTCP
+	e.Observe(p, 0)
+	fin := p
+	fin.TCPFlags = packet.TCPFin | packet.TCPAck
+	e.Observe(fin, second)
+	exports := e.DrainExports()
+	if len(exports) != 1 || exports[0].Reason != ReasonTCPClose {
+		t.Fatalf("exports = %+v", exports)
+	}
+	if exports[0].Packets != 2 {
+		t.Fatalf("exported packet count = %d, want 2", exports[0].Packets)
+	}
+	if e.ActiveFlows() != 0 {
+		t.Fatal("flow still active after FIN export")
+	}
+	// A new packet for the tuple starts a fresh flow.
+	if _, created := e.Observe(p, 2*second); !created {
+		t.Fatal("post-close packet did not create a new flow")
+	}
+}
+
+func TestTCPCloseExportDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TCPCloseExport = false
+	e := engine(t, cfg)
+	p := pkt(3, 64)
+	p.Tuple.Proto = packet.ProtoTCP
+	p.TCPFlags = packet.TCPFin
+	e.Observe(p, 0)
+	if len(e.DrainExports()) != 0 {
+		t.Fatal("FIN exported with TCPCloseExport disabled")
+	}
+}
+
+func TestMaxFlowsEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFlows = 3
+	e := engine(t, cfg)
+	e.Observe(pkt(1, 64), 1)
+	e.Observe(pkt(2, 64), 2)
+	e.Observe(pkt(3, 64), 3)
+	e.Observe(pkt(1, 64), 4) // refresh flow 1; flow 2 is now oldest idle
+	e.Observe(pkt(4, 64), 5) // must evict flow 2
+	if e.ActiveFlows() != 3 {
+		t.Fatalf("ActiveFlows = %d, want 3", e.ActiveFlows())
+	}
+	exports := e.DrainExports()
+	if len(exports) != 1 || exports[0].Reason != ReasonEvicted {
+		t.Fatalf("exports = %+v", exports)
+	}
+	if exports[0].Tuple != trafficgen.Flow(2) {
+		t.Fatalf("evicted %v, want flow 2", exports[0].Tuple)
+	}
+	if e.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d", e.Stats().Evictions)
+	}
+}
+
+func TestFlushExportsEverything(t *testing.T) {
+	e := engine(t, DefaultConfig())
+	for i := uint64(0); i < 10; i++ {
+		e.Observe(pkt(i, 64), i)
+	}
+	if n := e.Flush(100); n != 10 {
+		t.Fatalf("Flush = %d, want 10", n)
+	}
+	if e.ActiveFlows() != 0 {
+		t.Fatal("flows remain after flush")
+	}
+	for _, rec := range e.DrainExports() {
+		if rec.Reason != ReasonShutdown {
+			t.Fatalf("reason = %v", rec.Reason)
+		}
+	}
+}
+
+func TestLookupAndStateBits(t *testing.T) {
+	e := engine(t, DefaultConfig())
+	e.Observe(pkt(7, 99), 1)
+	fs, ok := e.Lookup(trafficgen.Flow(7))
+	if !ok || fs.Bytes != 99 {
+		t.Fatalf("Lookup = (%+v,%v)", fs, ok)
+	}
+	if _, ok := e.Lookup(trafficgen.Flow(8)); ok {
+		t.Fatal("phantom lookup hit")
+	}
+	if got := e.StateBits(); got != RecordBits {
+		t.Fatalf("StateBits = %d, want %d", got, RecordBits)
+	}
+}
+
+func TestConservationInvariant(t *testing.T) {
+	// Packets in == packets across live flows + exported flows.
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = 2 * time.Second
+	e := engine(t, cfg)
+	total := uint64(0)
+	for i := uint64(0); i < 5000; i++ {
+		flow := i % 97
+		e.Observe(pkt(flow, 64), i*second/10)
+		total++
+		if i%500 == 0 {
+			e.Housekeep(i * second / 10)
+		}
+	}
+	var acc uint64
+	for _, rec := range e.DrainExports() {
+		acc += rec.Packets
+	}
+	e.Flush(1 << 62)
+	for _, rec := range e.DrainExports() {
+		acc += rec.Packets
+	}
+	if acc != total {
+		t.Fatalf("packet conservation violated: %d exported, %d observed", acc, total)
+	}
+}

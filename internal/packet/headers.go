@@ -1,0 +1,231 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Header sizes and constants for the wire formats this package speaks.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	IPv6HeaderLen     = 40
+	TCPHeaderLen      = 20 // without options
+	UDPHeaderLen      = 8
+
+	// EtherTypeIPv4 and EtherTypeIPv6 are the EtherType values parsed.
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+
+	// MinLayer1FrameBytes is the minimum Layer-1 footprint of an Ethernet
+	// packet used by the paper's line-rate arithmetic (§V-B): 64-byte
+	// minimum frame + 7-byte preamble + 1-byte SFD = 72 bytes, to which an
+	// interframe gap is added separately.
+	MinLayer1FrameBytes = 72
+	// StandardIFGBytes is the standard 12-byte-time interframe gap.
+	StandardIFGBytes = 12
+)
+
+// Packet is a parsed packet: the flow tuple plus the lengths the flow
+// statistics track.
+type Packet struct {
+	Tuple FiveTuple
+	// WireLen is the Layer-2 frame length in bytes.
+	WireLen int
+	// PayloadLen is the L4 payload length in bytes.
+	PayloadLen int
+	// TCPFlags holds the TCP flag byte (0 for non-TCP).
+	TCPFlags uint8
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPAck = 1 << 4
+)
+
+// Encode builds a wire-format Ethernet/IP/L4 frame for the packet,
+// padding the payload with zeros to PayloadLen bytes. It is the generator
+// side of the codec used by traces and tests.
+func Encode(p Packet) ([]byte, error) {
+	ft := p.Tuple
+	if !ft.Valid() {
+		return nil, fmt.Errorf("packet: invalid tuple %v", ft)
+	}
+	var l4 []byte
+	switch ft.Proto {
+	case ProtoTCP:
+		l4 = make([]byte, TCPHeaderLen+p.PayloadLen)
+		binary.BigEndian.PutUint16(l4[0:2], ft.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], ft.DstPort)
+		l4[12] = 5 << 4 // data offset: 5 words
+		l4[13] = p.TCPFlags
+		binary.BigEndian.PutUint16(l4[14:16], 65535)
+	case ProtoUDP:
+		l4 = make([]byte, UDPHeaderLen+p.PayloadLen)
+		binary.BigEndian.PutUint16(l4[0:2], ft.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], ft.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(UDPHeaderLen+p.PayloadLen))
+	default:
+		l4 = make([]byte, p.PayloadLen)
+	}
+
+	var ip []byte
+	if ft.IsIPv4() {
+		ip = make([]byte, IPv4HeaderLen, IPv4HeaderLen+len(l4))
+		ip[0] = 4<<4 | 5 // version 4, IHL 5
+		total := IPv4HeaderLen + len(l4)
+		binary.BigEndian.PutUint16(ip[2:4], uint16(total))
+		ip[8] = 64 // TTL
+		ip[9] = ft.Proto
+		src, dst := ft.Src.As4(), ft.Dst.As4()
+		copy(ip[12:16], src[:])
+		copy(ip[16:20], dst[:])
+		binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:IPv4HeaderLen]))
+		ip = append(ip, l4...)
+	} else {
+		ip = make([]byte, IPv6HeaderLen, IPv6HeaderLen+len(l4))
+		ip[0] = 6 << 4
+		binary.BigEndian.PutUint16(ip[4:6], uint16(len(l4)))
+		ip[6] = ft.Proto
+		ip[7] = 64 // hop limit
+		src, dst := ft.Src.As16(), ft.Dst.As16()
+		copy(ip[8:24], src[:])
+		copy(ip[24:40], dst[:])
+		ip = append(ip, l4...)
+	}
+
+	frame := make([]byte, EthernetHeaderLen, EthernetHeaderLen+len(ip))
+	// Locally administered placeholder MACs.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	etherType := uint16(EtherTypeIPv4)
+	if !ft.IsIPv4() {
+		etherType = EtherTypeIPv6
+	}
+	binary.BigEndian.PutUint16(frame[12:14], etherType)
+	return append(frame, ip...), nil
+}
+
+// Parse extracts the flow tuple and lengths from a wire-format Ethernet
+// frame. It handles IPv4 (without options rejection — IHL respected) and
+// IPv6 (fixed header), TCP and UDP; other protocols yield a tuple with
+// zero ports.
+func Parse(frame []byte) (Packet, error) {
+	var p Packet
+	if len(frame) < EthernetHeaderLen {
+		return p, fmt.Errorf("packet: frame of %d bytes shorter than Ethernet header", len(frame))
+	}
+	p.WireLen = len(frame)
+	etherType := binary.BigEndian.Uint16(frame[12:14])
+	payload := frame[EthernetHeaderLen:]
+
+	var l4 []byte
+	switch etherType {
+	case EtherTypeIPv4:
+		if len(payload) < IPv4HeaderLen {
+			return p, fmt.Errorf("packet: truncated IPv4 header (%d bytes)", len(payload))
+		}
+		if v := payload[0] >> 4; v != 4 {
+			return p, fmt.Errorf("packet: IPv4 EtherType but IP version %d", v)
+		}
+		ihl := int(payload[0]&0x0F) * 4
+		if ihl < IPv4HeaderLen || len(payload) < ihl {
+			return p, fmt.Errorf("packet: bad IPv4 IHL %d", ihl)
+		}
+		total := int(binary.BigEndian.Uint16(payload[2:4]))
+		if total < ihl || total > len(payload) {
+			return p, fmt.Errorf("packet: IPv4 total length %d out of range", total)
+		}
+		p.Tuple.Proto = payload[9]
+		p.Tuple.Src = netip.AddrFrom4([4]byte(payload[12:16]))
+		p.Tuple.Dst = netip.AddrFrom4([4]byte(payload[16:20]))
+		l4 = payload[ihl:total]
+	case EtherTypeIPv6:
+		if len(payload) < IPv6HeaderLen {
+			return p, fmt.Errorf("packet: truncated IPv6 header (%d bytes)", len(payload))
+		}
+		if v := payload[0] >> 4; v != 6 {
+			return p, fmt.Errorf("packet: IPv6 EtherType but IP version %d", v)
+		}
+		plen := int(binary.BigEndian.Uint16(payload[4:6]))
+		if IPv6HeaderLen+plen > len(payload) {
+			return p, fmt.Errorf("packet: IPv6 payload length %d out of range", plen)
+		}
+		p.Tuple.Proto = payload[6]
+		p.Tuple.Src = netip.AddrFrom16([16]byte(payload[8:24]))
+		p.Tuple.Dst = netip.AddrFrom16([16]byte(payload[24:40]))
+		l4 = payload[IPv6HeaderLen : IPv6HeaderLen+plen]
+	default:
+		return p, fmt.Errorf("packet: unsupported EtherType %#04x", etherType)
+	}
+
+	switch p.Tuple.Proto {
+	case ProtoTCP:
+		if len(l4) < TCPHeaderLen {
+			return p, fmt.Errorf("packet: truncated TCP header (%d bytes)", len(l4))
+		}
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		off := int(l4[12]>>4) * 4
+		if off < TCPHeaderLen || off > len(l4) {
+			return p, fmt.Errorf("packet: bad TCP data offset %d", off)
+		}
+		p.TCPFlags = l4[13]
+		p.PayloadLen = len(l4) - off
+	case ProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return p, fmt.Errorf("packet: truncated UDP header (%d bytes)", len(l4))
+		}
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		p.PayloadLen = len(l4) - UDPHeaderLen
+	default:
+		p.PayloadLen = len(l4)
+	}
+	return p, nil
+}
+
+// ipv4Checksum computes the RFC 791 header checksum with the checksum
+// field zeroed.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPv4Checksum reports whether the header checksum of an IPv4 header
+// (including its checksum field) validates.
+func VerifyIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < IPv4HeaderLen {
+		return false
+	}
+	var sum uint32
+	for i := 0; i+1 < IPv4HeaderLen; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum) == 0xFFFF
+}
+
+// LineRatePPS returns the packet-per-second requirement of an Ethernet
+// link of linkGbps for minimum-size packets with the given interframe gap
+// in byte times — the paper's §V-B arithmetic: at 40 Gbps with a 12-byte
+// IFG the requirement is 59.52 Mpps; with a 1-byte IFG, 68.49 Mpps.
+func LineRatePPS(linkGbps float64, ifgBytes int) float64 {
+	bitsPerPacket := float64((MinLayer1FrameBytes + ifgBytes) * 8)
+	return linkGbps * 1e9 / bitsPerPacket
+}

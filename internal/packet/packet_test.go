@@ -1,0 +1,282 @@
+package packet
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func tcpTuple() FiveTuple {
+	return FiveTuple{
+		Src:     netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		Dst:     netip.AddrFrom4([4]byte{192, 168, 1, 9}),
+		SrcPort: 51724,
+		DstPort: 443,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestFiveTupleValid(t *testing.T) {
+	if !tcpTuple().Valid() {
+		t.Fatal("valid tuple reported invalid")
+	}
+	var zero FiveTuple
+	if zero.Valid() {
+		t.Fatal("zero tuple reported valid")
+	}
+	mixed := tcpTuple()
+	mixed.Dst = netip.MustParseAddr("2001:db8::1")
+	if mixed.Valid() {
+		t.Fatal("mixed-family tuple reported valid")
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := tcpTuple()
+	r := ft.Reverse()
+	if r.Src != ft.Dst || r.Dst != ft.Src || r.SrcPort != ft.DstPort || r.DstPort != ft.SrcPort {
+		t.Fatalf("Reverse() = %v", r)
+	}
+	if rr := r.Reverse(); rr != ft {
+		t.Fatalf("double reverse = %v, want %v", rr, ft)
+	}
+}
+
+func TestTupleSpecValidation(t *testing.T) {
+	if _, err := NewTupleSpec(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := NewTupleSpec(FieldSrcAddr, FieldSrcAddr); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	if _, err := NewTupleSpec(Field(99)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestFiveTupleSpecKeyLayout(t *testing.T) {
+	spec := FiveTupleSpec()
+	if got := spec.KeyLen(true); got != 13 {
+		t.Fatalf("IPv4 5-tuple key length = %d, want 13", got)
+	}
+	if got := spec.KeyLen(false); got != 37 {
+		t.Fatalf("IPv6 5-tuple key length = %d, want 37", got)
+	}
+	key := spec.Key(tcpTuple())
+	want := []byte{
+		10, 0, 0, 1, // src
+		192, 168, 1, 9, // dst
+		0xCA, 0x0C, // 51724
+		0x01, 0xBB, // 443
+		6, // tcp
+	}
+	if !bytes.Equal(key, want) {
+		t.Fatalf("key = %x, want %x", key, want)
+	}
+}
+
+func TestTupleSpecSubsets(t *testing.T) {
+	spec, err := NewTupleSpec(FieldDstAddr, FieldProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tcpTuple()
+	key := spec.Key(ft)
+	if len(key) != 5 {
+		t.Fatalf("2-field key length = %d, want 5", len(key))
+	}
+	// Different source must not change the key under this spec.
+	ft2 := ft
+	ft2.Src = netip.AddrFrom4([4]byte{1, 2, 3, 4})
+	ft2.SrcPort = 1
+	if !bytes.Equal(spec.Key(ft2), key) {
+		t.Fatal("key depends on fields outside the spec")
+	}
+}
+
+func TestKeyEqualityMatchesTupleEquality(t *testing.T) {
+	spec := FiveTupleSpec()
+	f := func(a, b [13]byte) bool {
+		fta := FiveTuple{
+			Src:     netip.AddrFrom4([4]byte(a[0:4])),
+			Dst:     netip.AddrFrom4([4]byte(a[4:8])),
+			SrcPort: uint16(a[8])<<8 | uint16(a[9]),
+			DstPort: uint16(a[10])<<8 | uint16(a[11]),
+			Proto:   a[12],
+		}
+		ftb := FiveTuple{
+			Src:     netip.AddrFrom4([4]byte(b[0:4])),
+			Dst:     netip.AddrFrom4([4]byte(b[4:8])),
+			SrcPort: uint16(b[8])<<8 | uint16(b[9]),
+			DstPort: uint16(b[10])<<8 | uint16(b[11]),
+			Proto:   b[12],
+		}
+		keysEqual := bytes.Equal(spec.Key(fta), spec.Key(ftb))
+		return keysEqual == (fta == ftb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeParseRoundTripTCP(t *testing.T) {
+	p := Packet{Tuple: tcpTuple(), PayloadLen: 100, TCPFlags: TCPSyn | TCPAck}
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != p.Tuple {
+		t.Fatalf("tuple = %v, want %v", got.Tuple, p.Tuple)
+	}
+	if got.PayloadLen != 100 {
+		t.Fatalf("payload = %d, want 100", got.PayloadLen)
+	}
+	if got.TCPFlags != TCPSyn|TCPAck {
+		t.Fatalf("flags = %#x, want SYN|ACK", got.TCPFlags)
+	}
+	if got.WireLen != len(frame) {
+		t.Fatalf("wire len = %d, want %d", got.WireLen, len(frame))
+	}
+}
+
+func TestEncodeParseRoundTripUDP(t *testing.T) {
+	ft := tcpTuple()
+	ft.Proto = ProtoUDP
+	frame, err := Encode(Packet{Tuple: ft, PayloadLen: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != ft || got.PayloadLen != 31 {
+		t.Fatalf("parse = %+v", got)
+	}
+}
+
+func TestEncodeParseRoundTripIPv6(t *testing.T) {
+	ft := FiveTuple{
+		Src:     netip.MustParseAddr("2001:db8::1"),
+		Dst:     netip.MustParseAddr("2001:db8::2"),
+		SrcPort: 1234,
+		DstPort: 80,
+		Proto:   ProtoTCP,
+	}
+	frame, err := Encode(Packet{Tuple: ft, PayloadLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple != ft {
+		t.Fatalf("tuple = %v, want %v", got.Tuple, ft)
+	}
+}
+
+func TestEncodeParseICMP(t *testing.T) {
+	ft := FiveTuple{
+		Src:   netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		Dst:   netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+		Proto: ProtoICMP,
+	}
+	frame, err := Encode(Packet{Tuple: ft, PayloadLen: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuple.Proto != ProtoICMP || got.Tuple.SrcPort != 0 || got.Tuple.DstPort != 0 {
+		t.Fatalf("ICMP parse = %v", got.Tuple)
+	}
+}
+
+func TestEncodedIPv4ChecksumValid(t *testing.T) {
+	frame, err := Encode(Packet{Tuple: tcpTuple(), PayloadLen: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPv4Checksum(frame[EthernetHeaderLen:]) {
+		t.Fatal("encoded IPv4 header checksum does not verify")
+	}
+	// Corrupt a header byte: checksum must fail.
+	frame[EthernetHeaderLen+8] ^= 0xFF
+	if VerifyIPv4Checksum(frame[EthernetHeaderLen:]) {
+		t.Fatal("checksum verified on corrupted header")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	valid, err := Encode(Packet{Tuple: tcpTuple(), PayloadLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"runt ethernet", valid[:10]},
+		{"truncated ip", valid[:EthernetHeaderLen+8]},
+		{"truncated tcp", valid[:EthernetHeaderLen+IPv4HeaderLen+6]},
+		{"bad ethertype", func() []byte {
+			f := append([]byte(nil), valid...)
+			f[12], f[13] = 0x08, 0x06 // ARP
+			return f
+		}()},
+		{"bad ihl", func() []byte {
+			f := append([]byte(nil), valid...)
+			f[EthernetHeaderLen] = 4<<4 | 2 // IHL 2
+			return f
+		}()},
+		{"version mismatch", func() []byte {
+			f := append([]byte(nil), valid...)
+			f[EthernetHeaderLen] = 6<<4 | 5
+			return f
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.frame); err == nil {
+				t.Fatalf("Parse accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseFuzzNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data) // must never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsInvalidTuple(t *testing.T) {
+	if _, err := Encode(Packet{}); err == nil {
+		t.Fatal("Encode accepted zero tuple")
+	}
+}
+
+// TestLineRateArithmetic pins the paper's §V-B numbers: 59.52 Mpps at
+// 40 Gbps with the standard 12-byte IFG, 68.49 Mpps with a 1-byte IFG.
+func TestLineRateArithmetic(t *testing.T) {
+	if got := LineRatePPS(40, StandardIFGBytes) / 1e6; math.Abs(got-59.52) > 0.01 {
+		t.Fatalf("40GbE std IFG = %.2f Mpps, want 59.52", got)
+	}
+	if got := LineRatePPS(40, 1) / 1e6; math.Abs(got-68.49) > 0.01 {
+		t.Fatalf("40GbE 1-byte IFG = %.2f Mpps, want 68.49", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package packet provides the packet-header substrate of the flow
+// processor: Ethernet/IPv4/IPv6/TCP/UDP header encoding and parsing,
+// n-tuple extraction (the "packet descriptor" of §III-B), and the
+// canonical key serialisation the lookup table hashes.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Proto values for the protocol tuple field (IANA numbers).
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// FiveTuple is the standard flow identity: source/destination address,
+// source/destination port, protocol. The paper's prototype uses the
+// "standard 5-tuple format" for its Table II(B) tests.
+type FiveTuple struct {
+	Src, Dst netip.Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+}
+
+// Valid reports whether both addresses are set and of the same family.
+func (ft FiveTuple) Valid() bool {
+	return ft.Src.IsValid() && ft.Dst.IsValid() && ft.Src.Is4() == ft.Dst.Is4()
+}
+
+// IsIPv4 reports whether the tuple is over IPv4 addresses.
+func (ft FiveTuple) IsIPv4() bool { return ft.Src.Is4() }
+
+// String renders the tuple in the conventional a:p -> b:q/proto form.
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d", ft.Src, ft.SrcPort, ft.Dst, ft.DstPort, ft.Proto)
+}
+
+// Reverse returns the tuple of the opposite direction (for bidirectional
+// flow accounting).
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: ft.Dst, Dst: ft.Src,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// Field identifies one header field available for flow identification.
+// The scheme is "scalable with respect to ... number of tuples" (§VI);
+// a TupleSpec selects which fields form the lookup key.
+type Field int
+
+// Tuple fields.
+const (
+	FieldSrcAddr Field = iota + 1
+	FieldDstAddr
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+)
+
+// String returns the field name.
+func (f Field) String() string {
+	switch f {
+	case FieldSrcAddr:
+		return "src-addr"
+	case FieldDstAddr:
+		return "dst-addr"
+	case FieldSrcPort:
+		return "src-port"
+	case FieldDstPort:
+		return "dst-port"
+	case FieldProto:
+		return "proto"
+	default:
+		return fmt.Sprintf("Field(%d)", int(f))
+	}
+}
+
+// TupleSpec selects the header fields that identify a flow.
+type TupleSpec struct {
+	fields []Field
+}
+
+// NewTupleSpec builds a spec over the given fields, in order. Duplicate
+// fields are rejected.
+func NewTupleSpec(fields ...Field) (TupleSpec, error) {
+	if len(fields) == 0 {
+		return TupleSpec{}, fmt.Errorf("packet: tuple spec requires at least one field")
+	}
+	seen := make(map[Field]bool, len(fields))
+	for _, f := range fields {
+		if f < FieldSrcAddr || f > FieldProto {
+			return TupleSpec{}, fmt.Errorf("packet: unknown tuple field %d", int(f))
+		}
+		if seen[f] {
+			return TupleSpec{}, fmt.Errorf("packet: duplicate tuple field %s", f)
+		}
+		seen[f] = true
+	}
+	return TupleSpec{fields: append([]Field(nil), fields...)}, nil
+}
+
+// FiveTupleSpec returns the standard 5-tuple spec.
+func FiveTupleSpec() TupleSpec {
+	spec, err := NewTupleSpec(FieldSrcAddr, FieldDstAddr, FieldSrcPort, FieldDstPort, FieldProto)
+	if err != nil {
+		panic(err) // static field list; cannot fail
+	}
+	return spec
+}
+
+// Fields returns the selected fields.
+func (s TupleSpec) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// KeyLen returns the serialised key length in bytes for the given address
+// family (4-byte or 16-byte addresses).
+func (s TupleSpec) KeyLen(ipv4 bool) int {
+	n := 0
+	addrLen := 16
+	if ipv4 {
+		addrLen = 4
+	}
+	for _, f := range s.fields {
+		switch f {
+		case FieldSrcAddr, FieldDstAddr:
+			n += addrLen
+		case FieldSrcPort, FieldDstPort:
+			n += 2
+		case FieldProto:
+			n++
+		}
+	}
+	return n
+}
+
+// AppendKey serialises the selected fields of ft onto dst and returns the
+// extended slice. The layout is fixed per (spec, family), so equal tuples
+// always serialise identically — the property the hash table relies on.
+func (s TupleSpec) AppendKey(dst []byte, ft FiveTuple) []byte {
+	for _, f := range s.fields {
+		switch f {
+		case FieldSrcAddr:
+			a := ft.Src.As16()
+			if ft.Src.Is4() {
+				a4 := ft.Src.As4()
+				dst = append(dst, a4[:]...)
+			} else {
+				dst = append(dst, a[:]...)
+			}
+		case FieldDstAddr:
+			if ft.Dst.Is4() {
+				a4 := ft.Dst.As4()
+				dst = append(dst, a4[:]...)
+			} else {
+				a := ft.Dst.As16()
+				dst = append(dst, a[:]...)
+			}
+		case FieldSrcPort:
+			dst = binary.BigEndian.AppendUint16(dst, ft.SrcPort)
+		case FieldDstPort:
+			dst = binary.BigEndian.AppendUint16(dst, ft.DstPort)
+		case FieldProto:
+			dst = append(dst, ft.Proto)
+		}
+	}
+	return dst
+}
+
+// Key returns the serialised key of ft under the spec.
+func (s TupleSpec) Key(ft FiveTuple) []byte {
+	return s.AppendKey(make([]byte, 0, s.KeyLen(ft.IsIPv4())), ft)
+}

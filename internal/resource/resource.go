@@ -1,0 +1,107 @@
+// Package resource is the Table I substitute (see DESIGN.md §2): the
+// paper reports FPGA resource usage (ALMs, block-memory bits, registers,
+// PLLs/DLLs), which has no off-FPGA equivalent; this model reports the
+// analogous quantities of a configuration — how much on-chip storage the
+// design needs (CAM bits, queue/FIFO bits, pending-update buffers) versus
+// how much lands in external DDR3, plus the table-geometry arithmetic
+// behind the "8 million flows in two 512 MB channels" claim.
+package resource
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netflow"
+)
+
+// Report is the computed inventory of one Flow LUT configuration.
+type Report struct {
+	// Geometry.
+	BucketsPerPath int
+	SlotsPerBucket int
+	EntryBytes     int
+	CapacityFlows  int
+	BucketBursts   int
+
+	// On-chip storage (block-memory-bit analogues).
+	CAMBits          int64
+	InputQueueBits   int64
+	PathQueueBits    int64
+	UpdateBufferBits int64
+	TotalOnChipBits  int64
+
+	// External DDR3 storage.
+	TableBytesPerChannel int64
+	ChannelBytes         int64
+	TableUtilisation     float64
+
+	// Flow-state region (§V-C: 512-bit records).
+	FlowStateBytes int64
+}
+
+// Compute derives the report from a configuration.
+func Compute(cfg core.Config) Report {
+	var r Report
+	r.BucketsPerPath = cfg.Buckets
+	r.SlotsPerBucket = cfg.SlotsPerBucket
+	r.EntryBytes = cfg.EntryBytes
+	r.CapacityFlows = cfg.CapacityFlows()
+	r.BucketBursts = cfg.BucketBursts()
+
+	// CAM: key + valid + value wide enough to index the table.
+	valueBits := 1
+	for c := cfg.CapacityFlows(); c > 0; c >>= 1 {
+		valueBits++
+	}
+	r.CAMBits = int64(cfg.CAMCapacity) * int64(cfg.KeyLen*8+1+valueBits)
+
+	// Descriptor width: key + two bucket indices + bookkeeping.
+	idxBits := 1
+	for b := cfg.Buckets; b > 1; b >>= 1 {
+		idxBits++
+	}
+	descBits := int64(cfg.KeyLen*8 + 2*idxBits + 16)
+	r.InputQueueBits = int64(cfg.InputQueueDepth) * descBits
+	// Two paths × two queues (LU1/LU2) of descriptor-sized entries.
+	r.PathQueueBits = 2 * 2 * int64(cfg.PathQueueDepth) * descBits
+	// Burst write generator: up to BWrThreshold bucket images per path.
+	r.UpdateBufferBits = 2 * int64(cfg.BWrThreshold) *
+		int64(cfg.SlotsPerBucket*cfg.EntryBytes*8)
+	r.TotalOnChipBits = r.CAMBits + r.InputQueueBits + r.PathQueueBits + r.UpdateBufferBits
+
+	r.TableBytesPerChannel = int64(cfg.Buckets) * int64(cfg.SlotsPerBucket) * int64(cfg.EntryBytes)
+	r.ChannelBytes = cfg.Geometry.CapacityBytes()
+	r.TableUtilisation = float64(r.TableBytesPerChannel) / float64(r.ChannelBytes)
+
+	r.FlowStateBytes = int64(cfg.CapacityFlows()) * netflow.RecordBits / 8
+	return r
+}
+
+// String renders the report in a Table I-like shape.
+func (r Report) String() string {
+	return fmt.Sprintf(`Flow LUT resource model
+  table geometry        2 paths x %d buckets x %d slots (%d B entries, %d bursts/bucket)
+  flow capacity         %d flows
+  on-chip CAM           %d bits
+  on-chip input queue   %d bits
+  on-chip path queues   %d bits
+  on-chip update bufs   %d bits
+  on-chip total         %d bits
+  DDR3 table/channel    %d bytes of %d (%.1f%% of channel)
+  flow-state region     %d bytes (512-bit records)`,
+		r.BucketsPerPath, r.SlotsPerBucket, r.EntryBytes, r.BucketBursts,
+		r.CapacityFlows,
+		r.CAMBits, r.InputQueueBits, r.PathQueueBits, r.UpdateBufferBits,
+		r.TotalOnChipBits,
+		r.TableBytesPerChannel, r.ChannelBytes, 100*r.TableUtilisation,
+		r.FlowStateBytes)
+}
+
+// PrototypeConfig returns the paper's full-scale geometry: 8 M flows over
+// two 512 MB channels ("a lookup table with 8 million flow entries",
+// §IV-C). 2 paths × 1 Mi buckets × 4 slots = 8 Mi entries + CAM.
+func PrototypeConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Buckets = 1 << 20
+	return cfg
+}

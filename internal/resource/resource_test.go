@@ -1,0 +1,58 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestComputeDefault(t *testing.T) {
+	r := Compute(core.DefaultConfig())
+	if r.CapacityFlows != 2*(1<<14)*4+64 {
+		t.Fatalf("CapacityFlows = %d", r.CapacityFlows)
+	}
+	if r.CAMBits <= 0 || r.InputQueueBits <= 0 || r.PathQueueBits <= 0 || r.UpdateBufferBits <= 0 {
+		t.Fatalf("zero component in %+v", r)
+	}
+	if r.TotalOnChipBits != r.CAMBits+r.InputQueueBits+r.PathQueueBits+r.UpdateBufferBits {
+		t.Fatal("total does not sum")
+	}
+	if r.TableUtilisation <= 0 || r.TableUtilisation > 1 {
+		t.Fatalf("utilisation = %v", r.TableUtilisation)
+	}
+}
+
+// TestPrototypeMatchesPaperClaims pins the §IV-C arithmetic: 8 M flow
+// entries fit two 32-bit 512 MB DDR3 channels, with 512-bit flow state.
+func TestPrototypeMatchesPaperClaims(t *testing.T) {
+	cfg := PrototypeConfig()
+	r := Compute(cfg)
+	if got := r.CapacityFlows; got < 8<<20 {
+		t.Fatalf("prototype capacity = %d flows, want >= 8Mi", got)
+	}
+	// 1 Mi buckets x 4 slots x 16 B = 64 MB per channel: comfortably
+	// inside 512 MB, leaving room for the 512-bit flow-state region.
+	if r.TableBytesPerChannel != 64<<20 {
+		t.Fatalf("table bytes per channel = %d, want 64 MB", r.TableBytesPerChannel)
+	}
+	if r.ChannelBytes != 512<<20 {
+		t.Fatalf("channel = %d bytes", r.ChannelBytes)
+	}
+	// 8 M flows x 64 B state = 512 MB total across the board's 3 GB.
+	if r.FlowStateBytes < 512<<20 {
+		t.Fatalf("flow state bytes = %d, want >= 512 MB", r.FlowStateBytes)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("prototype config invalid: %v", err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	out := Compute(core.DefaultConfig()).String()
+	for _, want := range []string{"flow capacity", "on-chip CAM", "DDR3 table/channel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package sim provides the cycle-stepped simulation kernel used by the
+// timed models in this repository: a global clock measured in DDR3 I/O bus
+// cycles, clock dividers for slower clock domains, bounded FIFO queues with
+// backpressure, and deterministic pseudo-random helpers.
+//
+// The kernel is deliberately simple: components implement Tickable and are
+// stepped once per bus cycle by a Scheduler. Slower domains (e.g. the
+// 200 MHz core logic behind a quarter-rate DDR3 controller) wrap their
+// component in a Divider.
+package sim
+
+import "fmt"
+
+// Cycle is a point in simulated time, measured in DDR3 I/O bus clock
+// cycles. With the prototype's 800 MHz bus clock one Cycle is 1.25 ns.
+type Cycle int64
+
+// Picoseconds converts a cycle count to picoseconds given the bus clock
+// period tCK in picoseconds.
+func (c Cycle) Picoseconds(tCKps int64) int64 { return int64(c) * tCKps }
+
+// Clock tracks the current simulation time. A single Clock is shared by
+// every component in a simulation so that timing decisions (e.g. DRAM
+// bank-state checks) observe a consistent notion of "now".
+type Clock struct {
+	now Cycle
+}
+
+// NewClock returns a clock positioned at cycle zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Advance moves the clock forward by one cycle.
+func (c *Clock) Advance() { c.now++ }
+
+// AdvanceBy moves the clock forward by n cycles. It panics if n is
+// negative: simulated time never runs backwards.
+func (c *Clock) AdvanceBy(n Cycle) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: clock cannot move backwards (n=%d)", n))
+	}
+	c.now += n
+}
+
+// Tickable is a component stepped once per scheduler tick. Components are
+// ticked in registration order within a cycle; all components observe the
+// same Clock.Now value during a tick.
+type Tickable interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a function to the Tickable interface.
+type TickFunc func(now Cycle)
+
+// Tick implements Tickable.
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// Divider steps an inner component once every Ratio ticks, modelling a
+// slower clock domain (e.g. core logic at 1/4 of the memory bus clock).
+// Phase selects which of the Ratio bus cycles the slow domain fires on.
+type Divider struct {
+	Inner Tickable
+	Ratio int64
+	Phase int64
+}
+
+// NewDivider wraps inner so it ticks once every ratio scheduler ticks.
+func NewDivider(inner Tickable, ratio int64) *Divider {
+	if ratio <= 0 {
+		panic(fmt.Sprintf("sim: divider ratio must be positive (ratio=%d)", ratio))
+	}
+	return &Divider{Inner: inner, Ratio: ratio}
+}
+
+// Tick implements Tickable.
+func (d *Divider) Tick(now Cycle) {
+	if int64(now)%d.Ratio == d.Phase%d.Ratio {
+		d.Inner.Tick(now)
+	}
+}
+
+// Scheduler steps a set of components against a shared clock. It is the
+// outer loop of every timed experiment in this repository.
+type Scheduler struct {
+	clock      *Clock
+	components []Tickable
+}
+
+// NewScheduler returns a scheduler around the given clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the scheduler's shared clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Register adds a component to the tick list. Components tick in
+// registration order, which callers should arrange producer-before-consumer
+// so data moves at most one queue stage per cycle, as in synchronous
+// hardware.
+func (s *Scheduler) Register(t Tickable) { s.components = append(s.components, t) }
+
+// Step advances the simulation by one bus cycle: every component is ticked
+// at the current time, then the clock advances.
+func (s *Scheduler) Step() {
+	now := s.clock.Now()
+	for _, c := range s.components {
+		c.Tick(now)
+	}
+	s.clock.Advance()
+}
+
+// Run steps the simulation for n cycles.
+func (s *Scheduler) Run(n Cycle) {
+	for i := Cycle(0); i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps the simulation until done reports true or the limit is
+// reached. It returns the number of cycles executed and whether done was
+// reached. A non-positive limit means "no limit" is NOT supported — callers
+// must bound their simulations; the limit guards against livelock bugs.
+func (s *Scheduler) RunUntil(done func() bool, limit Cycle) (Cycle, bool) {
+	if limit <= 0 {
+		panic("sim: RunUntil requires a positive cycle limit")
+	}
+	for i := Cycle(0); i < limit; i++ {
+		if done() {
+			return i, true
+		}
+		s.Step()
+	}
+	return limit, done()
+}

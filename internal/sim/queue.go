@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// Queue is a bounded FIFO with backpressure, the standard coupling element
+// between pipeline stages in the timed models. Push fails when the queue is
+// full, mirroring a hardware FIFO's "full" flag; producers are expected to
+// retry on a later cycle.
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	count int
+	cap   int
+
+	// stats
+	pushes    int64
+	pushFails int64
+	maxDepth  int
+}
+
+// NewQueue returns a queue holding at most capacity elements.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: queue capacity must be positive (capacity=%d)", capacity))
+	}
+	return &Queue[T]{buf: make([]T, capacity), cap: capacity}
+}
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return q.count }
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return q.count == q.cap }
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.count == 0 }
+
+// Push appends v and reports whether it was accepted. A false return is the
+// hardware "FIFO full" condition, not an error.
+func (q *Queue[T]) Push(v T) bool {
+	if q.count == q.cap {
+		q.pushFails++
+		return false
+	}
+	q.buf[(q.head+q.count)%q.cap] = v
+	q.count++
+	q.pushes++
+	if q.count > q.maxDepth {
+		q.maxDepth = q.count
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element. The second result is false
+// when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % q.cap
+	q.count--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th element from the head (0 = oldest) without removing
+// it. It panics when i is out of range; callers index within Len.
+func (q *Queue[T]) At(i int) T {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("sim: queue index %d out of range (len=%d)", i, q.count))
+	}
+	return q.buf[(q.head+i)%q.cap]
+}
+
+// RemoveAt removes and returns the i-th element from the head, preserving
+// the order of the remainder. This models the out-of-order pick performed
+// by reordering structures such as the DLU bank selector. It panics when i
+// is out of range.
+func (q *Queue[T]) RemoveAt(i int) T {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("sim: queue index %d out of range (len=%d)", i, q.count))
+	}
+	v := q.buf[(q.head+i)%q.cap]
+	// Shift the tail segment left by one.
+	for j := i; j < q.count-1; j++ {
+		q.buf[(q.head+j)%q.cap] = q.buf[(q.head+j+1)%q.cap]
+	}
+	var zero T
+	q.buf[(q.head+q.count-1)%q.cap] = zero
+	q.count--
+	return v
+}
+
+// Pushes reports the number of successful pushes over the queue's lifetime.
+func (q *Queue[T]) Pushes() int64 { return q.pushes }
+
+// PushFails reports the number of rejected pushes (backpressure events).
+func (q *Queue[T]) PushFails() int64 { return q.pushFails }
+
+// MaxDepth reports the high-water mark of the queue depth.
+func (q *Queue[T]) MaxDepth() int { return q.maxDepth }

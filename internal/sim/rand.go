@@ -1,0 +1,76 @@
+package sim
+
+// Rand is a small deterministic pseudo-random generator (SplitMix64 core
+// feeding an xorshift-style stream) used by workload generators and load
+// balancers. It is intentionally self-contained so experiment results are
+// reproducible byte-for-byte across Go releases, unlike math/rand whose
+// stream is not guaranteed stable for all constructors.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{state: seed}
+	// Warm the state so small seeds (0, 1, 2...) diverge immediately.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (SplitMix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn requires n > 0")
+	}
+	// Multiply-shift rejection-free mapping; bias is negligible for the
+	// n values used in this repository (all far below 2^32).
+	return int((r.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics when n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n requires n > 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %d, want 0", got)
+	}
+	c.Advance()
+	c.AdvanceBy(9)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("Now() = %d, want 10", got)
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceBy(-1) did not panic")
+		}
+	}()
+	NewClock().AdvanceBy(-1)
+}
+
+func TestCyclePicoseconds(t *testing.T) {
+	// 800 MHz bus clock: tCK = 1250 ps.
+	if got := Cycle(4).Picoseconds(1250); got != 5000 {
+		t.Fatalf("Picoseconds = %d, want 5000", got)
+	}
+}
+
+func TestSchedulerTickOrderAndCount(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	var order []string
+	s.Register(TickFunc(func(now Cycle) { order = append(order, "a") }))
+	s.Register(TickFunc(func(now Cycle) { order = append(order, "b") }))
+	s.Run(2)
+	want := []string{"a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("tick order length = %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order[%d] = %q, want %q", i, order[i], want[i])
+		}
+	}
+	if clock.Now() != 2 {
+		t.Fatalf("clock after Run(2) = %d, want 2", clock.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	hit := 0
+	s.Register(TickFunc(func(now Cycle) { hit++ }))
+	n, ok := s.RunUntil(func() bool { return hit >= 5 }, 100)
+	if !ok {
+		t.Fatal("RunUntil did not report done")
+	}
+	if n != 5 {
+		t.Fatalf("RunUntil cycles = %d, want 5", n)
+	}
+	// Limit path.
+	n, ok = s.RunUntil(func() bool { return false }, 7)
+	if ok || n != 7 {
+		t.Fatalf("RunUntil(limit) = (%d,%v), want (7,false)", n, ok)
+	}
+}
+
+func TestSchedulerRunUntilLimitValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil with non-positive limit did not panic")
+		}
+	}()
+	NewScheduler(NewClock()).RunUntil(func() bool { return true }, 0)
+}
+
+func TestDividerPhases(t *testing.T) {
+	clock := NewClock()
+	s := NewScheduler(clock)
+	var fired []Cycle
+	d := NewDivider(TickFunc(func(now Cycle) { fired = append(fired, now) }), 4)
+	d.Phase = 1
+	s.Register(d)
+	s.Run(12)
+	want := []Cycle{1, 5, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("divider fired %d times, want %d (%v)", len(fired), len(want), fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %d, want %d", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestDividerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDivider(ratio=0) did not panic")
+		}
+	}()
+	NewDivider(TickFunc(func(Cycle) {}), 0)
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 1; i <= 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) rejected on non-full queue", i)
+		}
+	}
+	if q.Push(5) {
+		t.Fatal("Push accepted on full queue")
+	}
+	if !q.Full() {
+		t.Fatal("Full() = false on full queue")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if !q.Empty() {
+		t.Fatal("Empty() = false on drained queue")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue[int](3)
+	// Cycle through the ring several times to exercise wraparound.
+	next := 0
+	for round := 0; round < 10; round++ {
+		for q.Push(next) {
+			next++
+		}
+		v, _ := q.Pop()
+		w, _ := q.Pop()
+		if w != v+1 {
+			t.Fatalf("round %d: popped %d then %d, want consecutive", round, v, w)
+		}
+	}
+}
+
+func TestQueuePeekAndAt(t *testing.T) {
+	q := NewQueue[string](4)
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = (%q,%v), want (a,true)", v, ok)
+	}
+	if got := q.At(2); got != "c" {
+		t.Fatalf("At(2) = %q, want c", got)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after Peek/At, want 3", q.Len())
+	}
+}
+
+func TestQueueRemoveAtPreservesOrder(t *testing.T) {
+	q := NewQueue[int](5)
+	// Force a wrapped layout first.
+	q.Push(-1)
+	q.Push(-2)
+	q.Pop()
+	q.Pop()
+	for i := 1; i <= 5; i++ {
+		q.Push(i)
+	}
+	got := q.RemoveAt(2) // removes 3
+	if got != 3 {
+		t.Fatalf("RemoveAt(2) = %d, want 3", got)
+	}
+	want := []int{1, 2, 4, 5}
+	for i, w := range want {
+		if v := q.At(i); v != w {
+			t.Fatalf("after RemoveAt, At(%d) = %d, want %d", i, v, w)
+		}
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3) // rejected
+	if q.Pushes() != 2 || q.PushFails() != 1 || q.MaxDepth() != 2 {
+		t.Fatalf("stats = (%d,%d,%d), want (2,1,2)", q.Pushes(), q.PushFails(), q.MaxDepth())
+	}
+}
+
+func TestQueueIndexPanics(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Push(1)
+	for _, fn := range []func(){
+		func() { q.At(1) },
+		func() { q.At(-1) },
+		func() { q.RemoveAt(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range index did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order with
+// respect to the accepted pushes.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(ops []bool, capSeed uint8) bool {
+		capacity := int(capSeed%7) + 1
+		q := NewQueue[int](capacity)
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				if q.Push(next) {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded generators diverged at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) covered %d/8 values over 10k draws", len(seen))
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(32)
+	seen := make([]bool, 32)
+	for _, v := range p {
+		if v < 0 || v >= 32 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

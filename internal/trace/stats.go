@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/packet"
+)
+
+// CurvePoint is one point of the Fig. 6 analysis: after Packets packets,
+// Distinct flows have been seen, a ratio of Ratio.
+type CurvePoint struct {
+	Packets  int64
+	Distinct int64
+	Ratio    float64
+}
+
+// Summary aggregates a trace's flow-level statistics.
+type Summary struct {
+	Packets   int64
+	Bytes     int64
+	Distinct  int64
+	Curve     []CurvePoint // at the requested checkpoints
+	TopShares []float64    // traffic share of the top-N flows, descending
+	ByProto   map[uint8]int64
+}
+
+// Analyzer computes a Summary incrementally, so multi-million-packet
+// traces stream through without buffering.
+type Analyzer struct {
+	spec        packet.TupleSpec
+	checkpoints []int64
+	next        int
+
+	packets int64
+	bytes   int64
+	counts  map[string]int64
+	byProto map[uint8]int64
+	curve   []CurvePoint
+}
+
+// NewAnalyzer returns an analyzer that records curve points at the given
+// ascending packet-count checkpoints.
+func NewAnalyzer(checkpoints []int64) (*Analyzer, error) {
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return nil, fmt.Errorf("trace: checkpoints must be ascending, got %v", checkpoints)
+		}
+	}
+	return &Analyzer{
+		spec:        packet.FiveTupleSpec(),
+		checkpoints: checkpoints,
+		counts:      make(map[string]int64),
+		byProto:     make(map[uint8]int64),
+	}, nil
+}
+
+// Add feeds one record.
+func (a *Analyzer) Add(r Record) {
+	a.packets++
+	a.bytes += int64(r.WireLen)
+	a.counts[string(a.spec.Key(r.Tuple))]++
+	a.byProto[r.Tuple.Proto]++
+	if a.next < len(a.checkpoints) && a.packets == a.checkpoints[a.next] {
+		a.curve = append(a.curve, CurvePoint{
+			Packets:  a.packets,
+			Distinct: int64(len(a.counts)),
+			Ratio:    float64(len(a.counts)) / float64(a.packets),
+		})
+		a.next++
+	}
+}
+
+// Summary finalises the analysis, reporting the top-N flow shares.
+func (a *Analyzer) Summary(topN int) Summary {
+	s := Summary{
+		Packets:  a.packets,
+		Bytes:    a.bytes,
+		Distinct: int64(len(a.counts)),
+		Curve:    append([]CurvePoint(nil), a.curve...),
+		ByProto:  a.byProto,
+	}
+	if topN > 0 && a.packets > 0 {
+		all := make([]int64, 0, len(a.counts))
+		for _, c := range a.counts {
+			all = append(all, c)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+		if topN > len(all) {
+			topN = len(all)
+		}
+		for _, c := range all[:topN] {
+			s.TopShares = append(s.TopShares, float64(c)/float64(a.packets))
+		}
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+// Package trace defines a compact binary format for packet-descriptor
+// traces plus reader/writer and summary statistics. Traces decouple
+// workload generation from experiments: flowgen writes them, flowanalyze
+// and the benches replay them, and Stats reproduces the distinct-flow
+// analysis of Fig. 6 on any trace file.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"repro/internal/packet"
+)
+
+// Record is one traced packet: its flow tuple, wire length, and the
+// nanosecond offset from the start of the trace.
+type Record struct {
+	Tuple     packet.FiveTuple
+	WireLen   uint16
+	TimeNanos uint64
+}
+
+// Format constants.
+const (
+	magic   = "FLTR"
+	version = 1
+
+	famIPv4 = 4
+	famIPv6 = 6
+)
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// Writer serialises records onto an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count int64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], version)
+	if _, err := bw.Write(ver[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing version: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	ft := r.Tuple
+	if !ft.Valid() {
+		return fmt.Errorf("trace: invalid tuple %v", ft)
+	}
+	var buf [64]byte
+	n := 0
+	if ft.IsIPv4() {
+		buf[n] = famIPv4
+		n++
+		src, dst := ft.Src.As4(), ft.Dst.As4()
+		n += copy(buf[n:], src[:])
+		n += copy(buf[n:], dst[:])
+	} else {
+		buf[n] = famIPv6
+		n++
+		src, dst := ft.Src.As16(), ft.Dst.As16()
+		n += copy(buf[n:], src[:])
+		n += copy(buf[n:], dst[:])
+	}
+	binary.LittleEndian.PutUint16(buf[n:], ft.SrcPort)
+	n += 2
+	binary.LittleEndian.PutUint16(buf[n:], ft.DstPort)
+	n += 2
+	buf[n] = ft.Proto
+	n++
+	binary.LittleEndian.PutUint16(buf[n:], r.WireLen)
+	n += 2
+	binary.LittleEndian.PutUint64(buf[n:], r.TimeNanos)
+	n += 8
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.count, err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader deserialises records from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	count int64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 6)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", v, version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Read() (Record, error) {
+	var rec Record
+	fam, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("trace: reading record %d: %w", r.count, err)
+	}
+	var addrLen int
+	switch fam {
+	case famIPv4:
+		addrLen = 4
+	case famIPv6:
+		addrLen = 16
+	default:
+		return rec, fmt.Errorf("trace: record %d has unknown address family %d", r.count, fam)
+	}
+	buf := make([]byte, 2*addrLen+2+2+1+2+8)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return rec, fmt.Errorf("trace: record %d truncated: %w", r.count, err)
+	}
+	n := 0
+	if fam == famIPv4 {
+		rec.Tuple.Src = netip.AddrFrom4([4]byte(buf[0:4]))
+		rec.Tuple.Dst = netip.AddrFrom4([4]byte(buf[4:8]))
+		n = 8
+	} else {
+		rec.Tuple.Src = netip.AddrFrom16([16]byte(buf[0:16]))
+		rec.Tuple.Dst = netip.AddrFrom16([16]byte(buf[16:32]))
+		n = 32
+	}
+	rec.Tuple.SrcPort = binary.LittleEndian.Uint16(buf[n:])
+	n += 2
+	rec.Tuple.DstPort = binary.LittleEndian.Uint16(buf[n:])
+	n += 2
+	rec.Tuple.Proto = buf[n]
+	n++
+	rec.WireLen = binary.LittleEndian.Uint16(buf[n:])
+	n += 2
+	rec.TimeNanos = binary.LittleEndian.Uint64(buf[n:])
+	r.count++
+	return rec, nil
+}
+
+// Count returns the records read so far.
+func (r *Reader) Count() int64 { return r.count }

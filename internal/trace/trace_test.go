@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/trafficgen"
+)
+
+func sampleRecords(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Tuple:     trafficgen.Flow(uint64(i % 50)),
+			WireLen:   uint16(64 + i%1400),
+			TimeNanos: uint64(i) * 672, // ~minimum-size packet spacing at 10G
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(200)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 200 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last record: %v, want EOF", err)
+	}
+	if r.Count() != 200 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestRoundTripIPv6(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := Record{
+		Tuple: packet.FiveTuple{
+			Src:     netip.MustParseAddr("2001:db8::1"),
+			Dst:     netip.MustParseAddr("2001:db8::2"),
+			SrcPort: 4000,
+			DstPort: 53,
+			Proto:   packet.ProtoUDP,
+		},
+		WireLen:   90,
+		TimeNanos: 5,
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("got %+v, want %+v", got, rec)
+	}
+}
+
+func TestRejectsInvalidTuple(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{}); err == nil {
+		t.Fatal("invalid tuple accepted")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE00"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("FLTR\xFF\x00"))); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("FL"))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(sampleRecords(1)[0])
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(srcs, dsts [][4]byte, ports []uint16) bool {
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if len(ports) < n {
+			n = len(ports)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		var recs []Record
+		for i := 0; i < n; i++ {
+			rec := Record{
+				Tuple: packet.FiveTuple{
+					Src:     netip.AddrFrom4(srcs[i]),
+					Dst:     netip.AddrFrom4(dsts[i]),
+					SrcPort: ports[i],
+					DstPort: ports[n-1-i],
+					Proto:   packet.ProtoTCP,
+				},
+				WireLen: uint16(60 + i),
+			}
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+			recs = append(recs, rec)
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := r.Read()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.Read()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzerCurveAndSummary(t *testing.T) {
+	a, err := NewAnalyzer([]int64{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 packets over 20 flows, 5 packets each.
+	for i := 0; i < 100; i++ {
+		a.Add(Record{Tuple: trafficgen.Flow(uint64(i % 20)), WireLen: 100})
+	}
+	s := a.Summary(5)
+	if s.Packets != 100 || s.Distinct != 20 || s.Bytes != 10000 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(s.Curve))
+	}
+	if s.Curve[0].Packets != 10 || s.Curve[0].Distinct != 10 || s.Curve[0].Ratio != 1.0 {
+		t.Fatalf("curve[0] = %+v (first 10 packets are all-new flows)", s.Curve[0])
+	}
+	if s.Curve[1].Ratio != 0.2 {
+		t.Fatalf("curve[1].Ratio = %v, want 0.2", s.Curve[1].Ratio)
+	}
+	if len(s.TopShares) != 5 {
+		t.Fatalf("TopShares has %d entries", len(s.TopShares))
+	}
+	for _, share := range s.TopShares {
+		if share != 0.05 {
+			t.Fatalf("uniform flows: share = %v, want 0.05", share)
+		}
+	}
+}
+
+func TestAnalyzerChecksCheckpoints(t *testing.T) {
+	if _, err := NewAnalyzer([]int64{100, 50}); err == nil {
+		t.Fatal("descending checkpoints accepted")
+	}
+}
+
+func TestAnalyzerProtoBreakdown(t *testing.T) {
+	a, _ := NewAnalyzer(nil)
+	tcp := trafficgen.Flow(0)
+	for i := 0; i < 7; i++ {
+		a.Add(Record{Tuple: tcp, WireLen: 64})
+	}
+	s := a.Summary(0)
+	if s.ByProto[tcp.Proto] != 7 {
+		t.Fatalf("ByProto = %v", s.ByProto)
+	}
+}

@@ -1,0 +1,134 @@
+// Package trafficgen generates the workloads of the paper's evaluation:
+//
+//   - hash patterns for the sequencer-level load-balance tests of
+//     Table II(A) (random hash values, and "unique hash with bank
+//     addresses incremented by 1");
+//   - flow-descriptor sets with controlled match rates for Table II(B)
+//     ("another 10K input set with randomly distributed matched data at
+//     predefined match rates");
+//   - a heavy-tailed (Zipf) synthetic traffic trace calibrated to the
+//     new-flow-ratio curve of Fig. 6, substituting for the paper's 2012
+//     European switch-fabric capture (594 M packets) which is not
+//     available.
+//
+// All generators are deterministic under a seed.
+package trafficgen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Flow materialises flow index i of a generation universe as a distinct
+// 5-tuple. The mapping is a fixed bijection so the same index always
+// yields the same flow across generators and runs.
+func Flow(i uint64) packet.FiveTuple {
+	// Spread the index bits so neighbouring flows differ in several
+	// header fields, as real traffic does.
+	z := i
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	src := [4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}
+	dst := [4]byte{byte(192 + (z>>56)&3), byte(z >> 48), byte(z >> 40), byte(z >> 32)}
+	proto := uint8(packet.ProtoTCP)
+	if z&1 == 1 {
+		proto = packet.ProtoUDP
+	}
+	return packet.FiveTuple{
+		Src:     netip.AddrFrom4(src),
+		Dst:     netip.AddrFrom4(dst),
+		SrcPort: uint16(z>>16) | 1024, // ephemeral-looking
+		DstPort: uint16(z) % 1024,     // service-looking
+		Proto:   proto,
+	}
+}
+
+// Keys returns the serialised 5-tuple keys of flows [0, n).
+func Keys(n int) [][]byte {
+	spec := packet.FiveTupleSpec()
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = spec.Key(Flow(uint64(i)))
+	}
+	return out
+}
+
+// HashQuery is one pre-hashed lookup request for the sequencer-level
+// tests, carrying the two table indices directly (Table II(A) drives the
+// circuit with "hash patterns", bypassing descriptor hashing).
+type HashQuery struct {
+	Index1, Index2 int
+}
+
+// RandomHashes returns n uniformly random two-choice index pairs over
+// buckets, from seed — Table II(A)'s "random hash" input.
+func RandomHashes(n, buckets int, seed uint64) []HashQuery {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("trafficgen: buckets must be positive, got %d", buckets))
+	}
+	rng := sim.NewRand(seed)
+	out := make([]HashQuery, n)
+	for i := range out {
+		out[i] = HashQuery{Index1: rng.Intn(buckets), Index2: rng.Intn(buckets)}
+	}
+	return out
+}
+
+// BankIncrementHashes returns n index pairs that walk the DDR banks in
+// strict rotation — Table II(A)'s "unique hash with bank increment"
+// pattern, the friendliest case for the bank selector. bucketsPerBank is
+// the stride between same-bank buckets under the row:bank:column layout.
+func BankIncrementHashes(n, buckets, banks int, seed uint64) []HashQuery {
+	if buckets <= 0 || banks <= 0 || buckets%banks != 0 {
+		panic(fmt.Sprintf("trafficgen: need banks (%d) dividing buckets (%d)", banks, buckets))
+	}
+	rng := sim.NewRand(seed)
+	bucketsPerBank := buckets / banks
+	out := make([]HashQuery, n)
+	for i := range out {
+		bank := i % banks
+		// Unique location within the bank, pseudo-random row/column.
+		off1 := rng.Intn(bucketsPerBank)
+		off2 := rng.Intn(bucketsPerBank)
+		out[i] = HashQuery{
+			Index1: off1*banks + bank,
+			Index2: off2*banks + (bank+banks/2)%banks,
+		}
+	}
+	return out
+}
+
+// MatchRateSet builds the Table II(B) workload: queries keys of which a
+// fraction matchRate hit a resident population of residentCount flows and
+// the remainder miss (drawn from a disjoint flow range), randomly
+// interleaved. It returns the resident keys (to pre-populate the table)
+// and the query keys in transmission order.
+func MatchRateSet(residentCount, queries int, matchRate float64, seed uint64) (resident, query [][]byte) {
+	if matchRate < 0 || matchRate > 1 {
+		panic(fmt.Sprintf("trafficgen: match rate %v out of [0,1]", matchRate))
+	}
+	if residentCount <= 0 || queries <= 0 {
+		panic("trafficgen: resident and query counts must be positive")
+	}
+	spec := packet.FiveTupleSpec()
+	resident = make([][]byte, residentCount)
+	for i := range resident {
+		resident[i] = spec.Key(Flow(uint64(i)))
+	}
+	rng := sim.NewRand(seed)
+	hits := int(float64(queries)*matchRate + 0.5)
+	query = make([][]byte, 0, queries)
+	for i := 0; i < hits; i++ {
+		query = append(query, resident[rng.Intn(residentCount)])
+	}
+	missBase := uint64(residentCount) + 1<<32 // disjoint index range
+	for i := hits; i < queries; i++ {
+		query = append(query, spec.Key(Flow(missBase+uint64(i))))
+	}
+	rng.Shuffle(len(query), func(i, j int) { query[i], query[j] = query[j], query[i] })
+	return resident, query
+}
