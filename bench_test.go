@@ -17,13 +17,17 @@ package repro_test
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
+	"repro/flowproc"
 	"repro/internal/baseline"
 	"repro/internal/bloom"
 	"repro/internal/experiments"
 	"repro/internal/hashcam"
 	"repro/internal/hashfn"
+	"repro/internal/table"
 	"repro/internal/trafficgen"
 )
 
@@ -193,6 +197,110 @@ func BenchmarkBaselineLookup(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineParallelLookup drives the sharded engine with
+// b.RunParallel across shard counts and backends: the scaling curve the
+// paper realises in hardware with its two DDR3 channels, generalised to N
+// software shards. On >=4 cores the multi-shard rows should clearly beat
+// shards=1 (which serialises every goroutine on one mutex).
+func BenchmarkEngineParallelLookup(b *testing.B) {
+	shardCounts := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		shardCounts = append(shardCounts, p)
+	}
+	keys := trafficgen.Keys(1 << 15)
+	for _, backend := range []string{"hashcam", "cuckoo", "dleft"} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(b *testing.B) {
+				s, err := table.NewSharded(backend, shards, table.Config{Capacity: 1 << 16}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, k := range keys {
+					if _, err := s.Insert(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var ctr atomic.Uint64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := ctr.Add(1) * 0x9e3779b9 // de-correlate goroutine walk starts
+					for pb.Next() {
+						s.Lookup(keys[i%uint64(len(keys))])
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkEngineParallelMixed is the read-mostly update mix (90% lookup,
+// 10% insert/delete churn) across shard counts on the public Engine API.
+func BenchmarkEngineParallelMixed(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+				Backend: "hashcam", Shards: shards, Capacity: 1 << 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resident := make([]flowproc.FiveTuple, 1<<14)
+			for i := range resident {
+				resident[i] = trafficgen.Flow(uint64(i))
+			}
+			if _, err := eng.InsertBatch(resident); err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := ctr.Add(1) * 0x9e3779b9
+				for pb.Next() {
+					switch i % 10 {
+					case 0:
+						ft := trafficgen.Flow(1<<40 + i)
+						if _, err := eng.Insert(ft); err == nil {
+							eng.Delete(ft)
+						}
+					default:
+						eng.Lookup(resident[i%uint64(len(resident))])
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineBatchVsScalar quantifies what shard-grouped batching
+// saves over per-key calls at equal work.
+func BenchmarkEngineBatchVsScalar(b *testing.B) {
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 8, Capacity: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]flowproc.FiveTuple, 256)
+	for i := range batch {
+		batch[i] = trafficgen.Flow(uint64(i))
+	}
+	if _, err := eng.InsertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(batch[i%len(batch)])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i += len(batch) {
+			eng.LookupBatch(batch)
+		}
+	})
 }
 
 func BenchmarkHashFunctions(b *testing.B) {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// engineSweepConfig parameterises the concurrent engine sweep.
+type engineSweepConfig struct {
+	backends []string
+	shards   []int
+	workers  int
+	ops      int
+	capacity int
+	batch    int
+}
+
+// parseShards parses a comma-separated shard-count list.
+func parseShards(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseBackends resolves a comma-separated backend list; "all" expands to
+// every registered backend. Empty entries are rejected rather than being
+// silently defaulted by the engine (a blank row would mislabel a
+// measurement).
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "all" {
+		return flowproc.Backends(), nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			return nil, fmt.Errorf("empty backend name in %q", s)
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// engineSweep measures wall-clock throughput of the concurrent sharded
+// engine across backend × shard-count combinations: the software analogue
+// of the paper's dual-channel scaling, generalised to N shards. Each
+// worker drives a mixed batched workload (insert, lookup, delete) over a
+// shared engine.
+func engineSweep(cfg engineSweepConfig) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d (GOMAXPROCS=%d)",
+			cfg.workers, cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Throughput (Mops/s)", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
+	for _, backend := range cfg.backends {
+		// Run every configuration first, then derive speedups from the
+		// shards=1 row wherever it appears in the list (so -shards 8,1
+		// still gets a baseline).
+		results := make([]engineLoadResult, len(cfg.shards))
+		var base float64
+		for i, shards := range cfg.shards {
+			res, err := runEngineLoad(backend, shards, cfg)
+			if err != nil {
+				return fmt.Errorf("engine %s/%d: %w", backend, shards, err)
+			}
+			results[i] = res
+			if shards == 1 {
+				base = res.mops
+			}
+		}
+		for i, shards := range cfg.shards {
+			res := results[i]
+			speedup := "—"
+			if shards != 1 && base > 0 {
+				speedup = fmt.Sprintf("%.2fx", res.mops/base)
+			}
+			t.AddRow(backend, fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%.2f", res.mops), res.wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%d", res.resident), fmt.Sprintf("%d", res.overflows), speedup)
+		}
+	}
+	fmt.Println(t)
+	return nil
+}
+
+// engineLoadResult summarises one backend/shard configuration run.
+type engineLoadResult struct {
+	mops      float64
+	wall      time.Duration
+	resident  int
+	overflows int64
+}
+
+// runEngineLoad drives one backend/shard configuration with cfg.workers
+// goroutines.
+func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoadResult, error) {
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:  backend,
+		Shards:   shards,
+		Capacity: cfg.capacity,
+	})
+	if err != nil {
+		return engineLoadResult{}, err
+	}
+	var wg sync.WaitGroup
+	var overflows atomic.Int64
+	errCh := make(chan error, cfg.workers)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := engineWorker(eng, w, cfg, &overflows); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return engineLoadResult{}, err
+	}
+	totalOps := float64(cfg.workers) * float64(cfg.ops)
+	return engineLoadResult{
+		mops:      totalOps / wall.Seconds() / 1e6,
+		wall:      wall,
+		resident:  eng.Len(),
+		overflows: overflows.Load(),
+	}, nil
+}
+
+// engineWorker performs cfg.ops operations in batches: each round inserts
+// a batch of its own flows, looks the batch up twice (its own plus a
+// shared slice of the key space), and deletes half — a steady-state mix
+// of roughly 25% inserts, 50% lookups, 25% deletes.
+func engineWorker(eng *flowproc.Engine, w int, cfg engineSweepConfig, overflows *atomic.Int64) error {
+	// Each worker cycles a disjoint key span sized so that the combined
+	// steady-state residency of all workers stays under half the
+	// configured capacity — the undeleted tail of every round is retained,
+	// so an unscaled span would fill the table once workers >= 4.
+	span := uint64(cfg.capacity / (2 * cfg.workers))
+	if span < 1 {
+		span = 1
+	}
+	batch := make([]flowproc.FiveTuple, cfg.batch)
+	done := 0
+	base := uint64(w) << 32
+	for round := 0; done < cfg.ops; round++ {
+		for i := range batch {
+			batch[i] = trafficgen.Flow(base + uint64(round*cfg.batch+i)%span)
+		}
+		if _, err := eng.InsertBatch(batch); err != nil {
+			// A saturated structure dropping flows is a measured outcome
+			// (single-hash overflow is the paper's §II motivation), not a
+			// sweep failure; anything else is.
+			if !errors.Is(err, table.ErrTableFull) {
+				return err
+			}
+			overflows.Add(1)
+		}
+		done += len(batch)
+		for rep := 0; rep < 2 && done < cfg.ops; rep++ {
+			eng.LookupBatch(batch)
+			done += len(batch)
+		}
+		if done < cfg.ops {
+			eng.DeleteBatch(batch[:len(batch)/2])
+			done += len(batch) / 2
+		}
+	}
+	return nil
+}

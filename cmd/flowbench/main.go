@@ -1,27 +1,38 @@
 // Command flowbench regenerates the paper's tables and figures at full
-// scale and prints them side by side with the published values.
+// scale and prints them side by side with the published values, and
+// benchmarks the concurrent sharded engine.
 //
 // Usage:
 //
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
+//	flowbench [-engine list] [-shards list] [-workers n] [-ops n] engine
 //
 // The default experiment scale matches the paper (10 k descriptors, input
 // injected at the 100 MHz ceiling); -quick runs a reduced scale for smoke
-// checks.
+// checks. The engine mode sweeps goroutine-safe sharded configurations:
+// -engine selects backends (comma-separated, or "all"), -shards the shard
+// counts, -workers the concurrent goroutines driving the load.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	engine := flag.String("engine", "hashcam", "engine mode: comma-separated backends, or \"all\"")
+	shards := flag.String("shards", "1,2,4,8", "engine mode: comma-separated shard counts")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine mode: concurrent worker goroutines")
+	ops := flag.Int("ops", 2_000_000, "engine mode: operations per worker")
+	capacity := flag.Int("capacity", 1<<20, "engine mode: total flow capacity")
+	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|engine|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,6 +44,47 @@ func main() {
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+	}
+	if flag.NArg() > 1 {
+		// flag stops parsing at the first positional argument, so
+		// anything after it (e.g. "engine -shards 16") would be silently
+		// dropped; surface the mistake instead.
+		fmt.Fprintf(os.Stderr, "flowbench: unexpected arguments after %q: %v (flags go before the command)\n",
+			which, flag.Args()[1:])
+		os.Exit(1)
+	}
+	if which == "engine" {
+		shardList, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+			os.Exit(1)
+		}
+		backendList, err := parseBackends(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *workers < 1 || *ops < 1 || *batch < 1 || *capacity < 1 {
+			fmt.Fprintf(os.Stderr, "flowbench: -workers, -ops, -batch and -capacity must be >= 1\n")
+			os.Exit(1)
+		}
+		opsPerWorker := *ops
+		if *quick {
+			opsPerWorker = min(opsPerWorker, 100_000)
+		}
+		err = engineSweep(engineSweepConfig{
+			backends: backendList,
+			shards:   shardList,
+			workers:  *workers,
+			ops:      opsPerWorker,
+			capacity: *capacity,
+			batch:    *batch,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(which, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)

@@ -1,0 +1,195 @@
+package flowproc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	_ "repro/internal/baseline" // register the §II baseline backends
+	"repro/internal/packet"
+	"repro/internal/table"
+)
+
+// ErrNotIPv4 is returned (or implied by a miss) for tuples the engine
+// cannot store: its backends are configured for the 13-byte IPv4 5-tuple
+// key; IPv6 support is a capacity-planning decision left to a future PR.
+var ErrNotIPv4 = errors.New("flowproc: engine requires a valid IPv4 5-tuple")
+
+// Engine is the goroutine-safe, N-way sharded flow table: the software
+// generalisation of the paper's dual-path design, where two DDR3 channels
+// shard the table in hardware. Any registered backend (the paper's
+// "hashcam", or a §II baseline: "cuckoo", "dleft", "singlehash",
+// "convhashcam") can serve as the per-shard structure.
+//
+// All methods are safe for concurrent use. The batch methods group keys
+// by shard so each shard's lock is taken once per call and routing hashes
+// are computed once per key — the software analogue of the paper's burst
+// grouping, which amortises fixed costs over consecutive accesses.
+type Engine struct {
+	sharded *table.Sharded
+	spec    packet.TupleSpec
+	backend string
+}
+
+// EngineConfig parameterises an Engine.
+type EngineConfig struct {
+	// Backend selects the per-shard structure by registry name
+	// (default "hashcam"). Backends() lists the choices.
+	Backend string
+	// Shards is the number of independently locked partitions
+	// (default GOMAXPROCS).
+	Shards int
+	// Capacity is the approximate total flow capacity across all shards
+	// (default 64k).
+	Capacity int
+	// CAMEntries is the total collision-store size for the Hash-CAM
+	// family, divided across shards like Capacity (default 64).
+	CAMEntries int
+}
+
+// Backends returns the registered backend names an Engine can use.
+func Backends() []string { return table.Backends() }
+
+// NewEngine builds a sharded engine from cfg.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "hashcam"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("flowproc: engine capacity must not be negative, got %d", cfg.Capacity)
+	}
+	tcfg := table.Config{Capacity: cfg.Capacity, CAMCapacity: cfg.CAMEntries}
+	sharded, err := table.NewSharded(cfg.Backend, cfg.Shards, tcfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("flowproc: engine: %w", err)
+	}
+	return &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}, nil
+}
+
+// Backend returns the name of the per-shard structure.
+func (e *Engine) Backend() string { return e.backend }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.sharded.ShardCount() }
+
+// storable reports whether ft serialises to the key the backends expect.
+func storable(ft FiveTuple) bool { return ft.Valid() && ft.IsIPv4() }
+
+// Insert stores the flow if absent and returns its flow ID.
+func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
+	if !storable(ft) {
+		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, ErrNotIPv4)
+	}
+	fid, err := e.sharded.Insert(e.spec.Key(ft))
+	if err != nil {
+		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, err)
+	}
+	return fid, nil
+}
+
+// Lookup returns the flow ID of ft. A tuple the engine cannot store
+// (non-IPv4) is simply never present.
+func (e *Engine) Lookup(ft FiveTuple) (uint64, bool) {
+	if !storable(ft) {
+		return 0, false
+	}
+	return e.sharded.Lookup(e.spec.Key(ft))
+}
+
+// Delete removes ft, reporting whether it was present.
+func (e *Engine) Delete(ft FiveTuple) bool {
+	if !storable(ft) {
+		return false
+	}
+	return e.sharded.Delete(e.spec.Key(ft))
+}
+
+// Len returns the stored flow count across all shards.
+func (e *Engine) Len() int { return e.sharded.Len() }
+
+// ShardLens returns the per-shard flow counts, the partition-balance
+// gauge.
+func (e *Engine) ShardLens() []int { return e.sharded.ShardLens() }
+
+// validKeys serialises the storable subset of fts into one shared backing
+// buffer (two allocations per batch instead of one per key), returning
+// the keys and their original positions. Non-IPv4 tuples are excluded —
+// their keys would violate the backends' fixed 13-byte geometry.
+func (e *Engine) validKeys(fts []FiveTuple) (keys [][]byte, pos []int) {
+	keys = make([][]byte, 0, len(fts))
+	pos = make([]int, 0, len(fts))
+	buf := make([]byte, 0, len(fts)*e.spec.KeyLen(true))
+	for i, ft := range fts {
+		if !storable(ft) {
+			continue
+		}
+		start := len(buf)
+		buf = e.spec.AppendKey(buf, ft)
+		// Full slice expression: a key slice never grows into its
+		// neighbour even if a caller appends to it.
+		keys = append(keys, buf[start:len(buf):len(buf)])
+		pos = append(pos, i)
+	}
+	return keys, pos
+}
+
+// LookupBatch looks up a batch of flows; results are positional.
+// Non-storable tuples report a miss.
+func (e *Engine) LookupBatch(fts []FiveTuple) (ids []uint64, hits []bool) {
+	keys, pos := e.validKeys(fts)
+	ids = make([]uint64, len(fts))
+	hits = make([]bool, len(fts))
+	subIDs, subHits := e.sharded.LookupBatch(keys)
+	for j, i := range pos {
+		ids[i], hits[i] = subIDs[j], subHits[j]
+	}
+	return ids, hits
+}
+
+// InsertBatch inserts a batch of flows. The returned ids are positional;
+// err is non-nil if any insert failed (joined per-key errors, including
+// ErrNotIPv4 for non-storable tuples). Zero is a legitimate flow ID, so
+// callers needing per-position success should confirm with LookupBatch.
+func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
+	keys, pos := e.validKeys(fts)
+	ids = make([]uint64, len(fts))
+	var errs []error
+	if len(pos) < len(fts) {
+		errs = make([]error, len(fts))
+		valid := make([]bool, len(fts))
+		for _, i := range pos {
+			valid[i] = true
+		}
+		for i := range fts {
+			if !valid[i] {
+				errs[i] = fmt.Errorf("flowproc: engine insert %v: %w", fts[i], ErrNotIPv4)
+			}
+		}
+	}
+	subIDs, subErrs := e.sharded.InsertBatch(keys)
+	for j, i := range pos {
+		ids[i] = subIDs[j]
+		if subErrs != nil && subErrs[j] != nil {
+			if errs == nil {
+				errs = make([]error, len(fts))
+			}
+			errs[i] = subErrs[j]
+		}
+	}
+	return ids, table.BatchErr(errs)
+}
+
+// DeleteBatch deletes a batch of flows, reporting per-flow presence
+// positionally. Non-storable tuples report absent.
+func (e *Engine) DeleteBatch(fts []FiveTuple) []bool {
+	keys, pos := e.validKeys(fts)
+	ok := make([]bool, len(fts))
+	sub := e.sharded.DeleteBatch(keys)
+	for j, i := range pos {
+		ok[i] = sub[j]
+	}
+	return ok
+}

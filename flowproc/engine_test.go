@@ -1,0 +1,169 @@
+package flowproc_test
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"repro/flowproc"
+)
+
+func tuple(i uint32) flowproc.FiveTuple {
+	return flowproc.FiveTuple{
+		Src:     netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+		Dst:     netip.AddrFrom4([4]byte{192, 168, byte(i >> 8), byte(i)}),
+		SrcPort: uint16(i) | 1024,
+		DstPort: 443,
+		Proto:   6,
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend() != "hashcam" {
+		t.Fatalf("default backend = %q", e.Backend())
+	}
+	if e.Shards() < 1 {
+		t.Fatalf("default shards = %d", e.Shards())
+	}
+}
+
+func TestEngineScalarAndBatchAgree(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: "hashcam", Shards: 4, Capacity: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := make([]flowproc.FiveTuple, 1000)
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	ids, err := e.InsertBatch(fts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, hits := e.LookupBatch(fts)
+	for i := range fts {
+		if !hits[i] || gotIDs[i] != ids[i] {
+			t.Fatalf("flow %d: batch lookup (%d,%v), want (%d,true)", i, gotIDs[i], hits[i], ids[i])
+		}
+		id, ok := e.Lookup(fts[i])
+		if !ok || id != ids[i] {
+			t.Fatalf("flow %d: scalar lookup (%d,%v), want (%d,true)", i, id, ok, ids[i])
+		}
+	}
+	if e.Len() != len(fts) {
+		t.Fatalf("Len = %d, want %d", e.Len(), len(fts))
+	}
+	for i, ok := range e.DeleteBatch(fts) {
+		if !ok {
+			t.Fatalf("flow %d not deleted", i)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", e.Len())
+	}
+}
+
+func TestEngineEveryRegisteredBackend(t *testing.T) {
+	for _, backend := range flowproc.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			e, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: backend, Shards: 2, Capacity: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft := tuple(7)
+			id, err := e.Insert(ft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := e.Lookup(ft); !ok || got != id {
+				t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+			}
+			if !e.Delete(ft) {
+				t.Fatal("Delete missed")
+			}
+		})
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{Shards: 8, Capacity: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perW = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint32(w * perW)
+			for i := uint32(0); i < perW; i++ {
+				if _, err := e.Insert(tuple(base + i)); err != nil {
+					t.Errorf("worker %d insert %d: %v", w, i, err)
+					return
+				}
+			}
+			for i := uint32(0); i < workers*perW; i += 5 {
+				e.Lookup(tuple(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := e.Len(), workers*perW; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestEngineRejectsUnknownBackend(t *testing.T) {
+	if _, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: "bogus"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestEngineRejectsNonIPv4 pins the public boundary: IPv6 and invalid
+// tuples must be rejected with an error (insert) or reported absent
+// (lookup/delete), never panic the backends' fixed key geometry.
+func TestEngineRejectsNonIPv4(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{Shards: 2, Capacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6 := flowproc.FiveTuple{
+		Src:     netip.MustParseAddr("2001:db8::1"),
+		Dst:     netip.MustParseAddr("2001:db8::2"),
+		SrcPort: 1234, DstPort: 443, Proto: 6,
+	}
+	var zero flowproc.FiveTuple
+	for _, ft := range []flowproc.FiveTuple{v6, zero} {
+		if _, err := e.Insert(ft); !errors.Is(err, flowproc.ErrNotIPv4) {
+			t.Fatalf("Insert(%v) err = %v, want ErrNotIPv4", ft, err)
+		}
+		if _, ok := e.Lookup(ft); ok {
+			t.Fatalf("Lookup(%v) hit", ft)
+		}
+		if e.Delete(ft) {
+			t.Fatalf("Delete(%v) reported present", ft)
+		}
+	}
+	// Batches stay positional around the rejected tuples. Zero is a
+	// legitimate ID, so presence of the valid tuples is asserted via the
+	// lookup below, not via the returned ids.
+	mixed := []flowproc.FiveTuple{tuple(1), v6, tuple(2)}
+	if _, err := e.InsertBatch(mixed); !errors.Is(err, flowproc.ErrNotIPv4) {
+		t.Fatalf("InsertBatch err = %v, want ErrNotIPv4 in chain", err)
+	}
+	_, hits := e.LookupBatch(mixed)
+	if !hits[0] || hits[1] || !hits[2] {
+		t.Fatalf("LookupBatch hits = %v, want [true false true]", hits)
+	}
+	del := e.DeleteBatch(mixed)
+	if !del[0] || del[1] || !del[2] {
+		t.Fatalf("DeleteBatch = %v, want [true false true]", del)
+	}
+}

@@ -2,30 +2,16 @@
 // itself against (§II): a conventional single-hash table, multi-choice
 // (d-left) hashing [6], cuckoo hashing [7], and the conventional Hash-CAM
 // with simultaneous CAM+hash search [10][11]. All of them — and the
-// paper's hashcam.Table — satisfy the LookupTable interface so the
-// comparison benches can sweep structures uniformly.
+// paper's hashcam.Table — satisfy the repo-wide table.Backend contract so
+// the comparison benches and the sharded engine can sweep structures
+// uniformly; this package registers each of them with the table registry.
 package baseline
 
-import "fmt"
+import "repro/internal/table"
 
-// LookupTable is the common contract of every exact-match flow structure
-// in this repository.
-type LookupTable interface {
-	// Lookup returns the stored ID of key.
-	Lookup(key []byte) (uint64, bool)
-	// Insert stores key if absent and returns its ID; inserting an
-	// existing key returns the existing ID.
-	Insert(key []byte) (uint64, error)
-	// Delete removes key, reporting whether it was present.
-	Delete(key []byte) bool
-	// Len returns the stored entry count.
-	Len() int
-	// Probes returns the cumulative bucket/CAM accesses performed, the
-	// memory-traffic proxy used by comparison benches.
-	Probes() int64
-	// Name identifies the structure in bench output.
-	Name() string
-}
+// LookupTable is the historical name of the exact-match structure
+// contract, now owned by the table package.
+type LookupTable = table.Backend
 
-// ErrTableFull is returned by Insert when a structure cannot place a key.
-var ErrTableFull = fmt.Errorf("baseline: table full")
+// ErrTableFull re-exports the contract's insert-overflow sentinel.
+var ErrTableFull = table.ErrTableFull

@@ -1,0 +1,28 @@
+package baseline
+
+import (
+	"repro/internal/hashcam"
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// This file plugs every §II baseline into the table registry, so the
+// sharded engine and the bench CLI can select them by name next to the
+// paper's "hashcam" (registered by the hashcam package itself).
+func init() {
+	table.Register("singlehash", func(cfg table.Config) (table.Backend, error) {
+		return NewSingleHash(cfg.Hash.H1, cfg.BucketsFor(1), cfg.SlotsPerBucket, cfg.KeyLen)
+	})
+	table.Register("dleft", func(cfg table.Config) (table.Backend, error) {
+		return NewDLeft([]hashfn.Func{cfg.Hash.H1, cfg.Hash.H2},
+			cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen)
+	})
+	table.Register("cuckoo", func(cfg table.Config) (table.Backend, error) {
+		// maxKick 128 bounds the eviction chain well past the loads the
+		// engine drives; beyond it the structure is effectively full.
+		return NewCuckoo(cfg.Hash, cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen, 128)
+	})
+	table.Register("convhashcam", func(cfg table.Config) (table.Backend, error) {
+		return NewConvHashCAM(hashcam.BackendConfig(cfg))
+	})
+}

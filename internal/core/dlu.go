@@ -46,7 +46,10 @@ type path struct {
 	// by bucket; the request filter consults it to hold back lookups that
 	// would race an update ("if one request is updating the memory while
 	// another request is trying to access the same location", §IV-A).
+	// opOrder holds the unflushed ops in creation order so flushes issue
+	// writes deterministically (map iteration order would vary per run).
 	pendingOps map[int]*bucketOp
+	opOrder    []*bucketOp
 	flushQ     []*bucketOp // ops being written out, awaiting completions
 	writeTags  map[uint64]*bucketOp
 	// bucketVersion counts staged updates per bucket; lookups capture it
@@ -293,6 +296,7 @@ func (p *path) stageUpdate(now sim.Cycle, bucket, slot int, sourceImage []byte, 
 			takenSlots: make([]bool, p.cfg.SlotsPerBucket),
 		}
 		p.pendingOps[bucket] = op
+		p.opOrder = append(p.opOrder, op)
 	}
 	p.bucketVersion[bucket]++
 	eb := p.cfg.EntryBytes
@@ -329,26 +333,14 @@ func opClean(op *bucketOp) bool {
 // crosses the threshold, then feed flushed ops' write requests into the
 // controller as queue capacity permits.
 func (p *path) tickUpdt(now sim.Cycle) {
-	// Count unflushed ops and find the oldest.
-	unflushed := 0
-	var oldest sim.Cycle = -1
-	for _, op := range p.pendingOps {
-		if op.flushed {
-			continue
-		}
-		unflushed++
-		if oldest == -1 || op.createdAt < oldest {
-			oldest = op.createdAt
-		}
-	}
+	// opOrder holds exactly the unflushed ops, oldest first.
 	timeout := p.cfg.BWrTimeout * sim.Cycle(p.cfg.CoreClockRatio)
-	if unflushed > 0 && (unflushed >= p.cfg.BWrThreshold || now-oldest >= timeout) {
-		for _, op := range p.pendingOps {
-			if !op.flushed {
-				op.flushed = true
-				p.flushQ = append(p.flushQ, op)
-			}
+	if n := len(p.opOrder); n > 0 && (n >= p.cfg.BWrThreshold || now-p.opOrder[0].createdAt >= timeout) {
+		for _, op := range p.opOrder {
+			op.flushed = true
+			p.flushQ = append(p.flushQ, op)
 		}
+		p.opOrder = p.opOrder[:0]
 		p.stats.flushes++
 	}
 	// Issue write requests for flushed ops in flush order.

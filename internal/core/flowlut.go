@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cam"
+	"repro/internal/hashfn"
 	"repro/internal/sim"
 )
 
@@ -37,10 +38,8 @@ type FlowLUT struct {
 	recentRing []string
 	recentPos  int
 
-	results   []Result
-	rng       *sim.Rand
-	altToggle bool
-	stats     Stats
+	results []Result
+	stats   Stats
 }
 
 type pinInfo struct {
@@ -105,7 +104,6 @@ func New(cfg Config, clock *sim.Clock) (*FlowLUT, error) {
 		inflight:   make(map[string]*pinInfo),
 		recentKeys: make(map[string]uint64),
 		recentRing: make([]string, 2*cfg.CAMCapacity),
-		rng:        sim.NewRand(cfg.BalancerSeed),
 	}
 	for i := range f.paths {
 		p, err := newPath(i, &f.cfg, clock)
@@ -300,7 +298,12 @@ func (f *FlowLUT) pickPath(d descriptor) int {
 	}
 	switch f.cfg.Balancer {
 	case BalancerFixed:
-		if f.rng.Float64() < f.cfg.FixedLoadA {
+		// The roll is a pure function of the descriptor's sequence number:
+		// a dispatch that fails on a full path queue retries next cycle with
+		// the same outcome. Drawing a fresh sample per attempt would resample
+		// congested descriptors toward the emptier path and skew the
+		// configured split.
+		if seqRoll(d.seq, f.cfg.BalancerSeed) < f.cfg.FixedLoadA {
 			return 0
 		}
 		return 1
@@ -322,6 +325,13 @@ func (f *FlowLUT) pickPath(d descriptor) int {
 	default:
 		panic(fmt.Sprintf("core: unknown balancer %v", f.cfg.Balancer))
 	}
+}
+
+// seqRoll maps (seq, seed) to a uniform float64 in [0, 1) — a stateless
+// per-descriptor random draw.
+func seqRoll(seq, seed uint64) float64 {
+	z := hashfn.Finalize64((seq+1)*0x9e3779b97f4a7c15 + seed)
+	return float64(z>>11) / (1 << 53)
 }
 
 // pin marks a key as in flight on a path.

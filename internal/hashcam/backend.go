@@ -1,0 +1,67 @@
+package hashcam
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cam"
+	"repro/internal/table"
+)
+
+// Exact adapts Table to the repo-wide table.Backend contract: the
+// stage-reporting Lookup collapses to hit/miss, and probe accounting comes
+// from the table's stats. The adapter is how the paper's structure plugs
+// into the sharded engine alongside the §II baselines.
+type Exact struct {
+	*Table
+}
+
+// Lookup implements table.Backend.
+func (e Exact) Lookup(key []byte) (uint64, bool) {
+	id, _, ok := e.Table.Lookup(key)
+	return id, ok
+}
+
+// Insert implements table.Backend, normalising the genuine-overflow error
+// onto table.ErrTableFull so callers can test fullness uniformly across
+// backends; other failures (internal invariants) pass through untouched.
+func (e Exact) Insert(key []byte) (uint64, error) {
+	id, err := e.Table.Insert(key)
+	if err != nil {
+		if errors.Is(err, cam.ErrFull) {
+			return 0, fmt.Errorf("hashcam: %w: %w", table.ErrTableFull, err)
+		}
+		return 0, err
+	}
+	return id, nil
+}
+
+// Probes implements table.Backend.
+func (e Exact) Probes() int64 { return e.Table.Stats().Probes }
+
+// Name implements table.Backend.
+func (e Exact) Name() string { return "hashcam" }
+
+var _ table.Backend = Exact{}
+
+// BackendConfig derives a hashcam Config from the generic backend Config;
+// the conventional-arrangement baseline reuses it for equal geometry.
+func BackendConfig(cfg table.Config) Config {
+	hcfg := DefaultConfig()
+	hcfg.Buckets = cfg.BucketsFor(2) // two halves
+	hcfg.SlotsPerBucket = cfg.SlotsPerBucket
+	hcfg.KeyLen = cfg.KeyLen
+	hcfg.CAMCapacity = cfg.CAMCapacity
+	hcfg.Hash = cfg.Hash
+	return hcfg
+}
+
+func init() {
+	table.Register("hashcam", func(cfg table.Config) (table.Backend, error) {
+		t, err := New(BackendConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return Exact{Table: t}, nil
+	})
+}

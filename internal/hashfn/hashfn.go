@@ -138,6 +138,11 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Finalize64 exposes the SplitMix64 finalizer: a full-avalanche bijection
+// on 64 bits, for callers that need a stateless per-index uniform draw
+// (the load balancer's per-descriptor roll, the flow-index bijection).
+func Finalize64(z uint64) uint64 { return mix64(z) }
+
 // Tabulation implements simple tabulation hashing: each key byte indexes a
 // table of random 64-bit words which are XORed together. Tabulation
 // hashing is 3-independent and is the theoretically cleanest choice for

@@ -1,0 +1,282 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hashfn"
+)
+
+// shardSelectorSeed seeds the default shard-selector hash. The selector
+// must be independent of the backends' own H1/H2 pair: selecting shards
+// with bits of the same hash that indexes buckets would correlate the
+// partition with bucket placement and unbalance the shards.
+const shardSelectorSeed = 0x5ca1ab1e_0ddba11
+
+// Sharded partitions one logical table across N independently locked
+// shards, each holding its own Backend instance. Keys are routed by a
+// dedicated selector hash; all operations on one key always land on the
+// same shard, so per-key semantics are exactly those of the underlying
+// backend. Sharded itself implements Backend, so shards compose with
+// everything that consumes the contract.
+//
+// IDs returned by a Sharded table encode the owning shard in the low bits
+// (local<<shardBits | shard); they are stable for the lifetime of an entry
+// but differ numerically from the IDs an unsharded backend would assign.
+type Sharded struct {
+	shards    []shardState
+	sel       hashfn.Func
+	shardBits uint
+	name      string
+}
+
+// shardState pairs a backend with its lock. Padding the hot mutex apart
+// matters less than lock scope here: each batch op takes each shard lock
+// at most once.
+type shardState struct {
+	mu sync.Mutex
+	be Backend
+}
+
+// NewSharded builds an N-way sharded table over the named backend. Each
+// shard receives cfg with Capacity divided by the shard count (rounded
+// up), so total capacity is preserved. shards must be >= 1; a selector of
+// nil uses the default independent Mix64.
+func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("table: shard count must be >= 1, got %d", shards)
+	}
+	if cfg.Capacity > MaxCapacity {
+		return nil, fmt.Errorf("table: capacity %d exceeds maximum %d", cfg.Capacity, MaxCapacity)
+	}
+	cfg = cfg.withDefaults()
+	per := cfg
+	per.Capacity = (cfg.Capacity + shards - 1) / shards
+	// The CAM overflow store divides like the main capacity, so a sharded
+	// table's total collision headroom matches the unsharded equivalent
+	// (otherwise N shards would absorb N× the overflow before filling).
+	per.CAMCapacity = (cfg.CAMCapacity + shards - 1) / shards
+	if selector == nil {
+		selector = &hashfn.Mix64{Seed: shardSelectorSeed}
+	}
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	s := &Sharded{
+		shards:    make([]shardState, shards),
+		sel:       selector,
+		shardBits: bits,
+	}
+	for i := range s.shards {
+		be, err := New(backend, per)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].be = be
+	}
+	s.name = fmt.Sprintf("sharded(%s,%d)", s.shards[0].be.Name(), shards)
+	return s, nil
+}
+
+// ShardCount returns the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// shardOf routes a key to its shard.
+func (s *Sharded) shardOf(key []byte) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return hashfn.Reduce(s.sel.Hash(key), len(s.shards))
+}
+
+// globalID folds the shard index into a backend-local ID.
+func (s *Sharded) globalID(shard int, local uint64) uint64 {
+	return local<<s.shardBits | uint64(shard)
+}
+
+// DecodeID splits a Sharded ID into its shard index and backend-local ID.
+func (s *Sharded) DecodeID(id uint64) (shard int, local uint64) {
+	return int(id & (1<<s.shardBits - 1)), id >> s.shardBits
+}
+
+// withShard runs f holding shard i's lock. The deferred unlock means a
+// panicking backend (e.g. a key-length violation) cannot wedge the shard
+// for every later caller that recovers the panic.
+func (s *Sharded) withShard(i int, f func(be Backend)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f(sh.be)
+}
+
+// Lookup implements Backend.
+func (s *Sharded) Lookup(key []byte) (uint64, bool) {
+	i := s.shardOf(key)
+	var local uint64
+	var ok bool
+	s.withShard(i, func(be Backend) { local, ok = be.Lookup(key) })
+	if !ok {
+		return 0, false
+	}
+	return s.globalID(i, local), true
+}
+
+// Insert implements Backend.
+func (s *Sharded) Insert(key []byte) (uint64, error) {
+	i := s.shardOf(key)
+	var local uint64
+	var err error
+	s.withShard(i, func(be Backend) { local, err = be.Insert(key) })
+	if err != nil {
+		return 0, err
+	}
+	return s.globalID(i, local), nil
+}
+
+// Delete implements Backend.
+func (s *Sharded) Delete(key []byte) bool {
+	i := s.shardOf(key)
+	var ok bool
+	s.withShard(i, func(be Backend) { ok = be.Delete(key) })
+	return ok
+}
+
+// Len implements Backend, summing the shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.withShard(i, func(be Backend) { n += be.Len() })
+	}
+	return n
+}
+
+// Probes implements Backend, summing the shards.
+func (s *Sharded) Probes() int64 {
+	var n int64
+	for i := range s.shards {
+		s.withShard(i, func(be Backend) { n += be.Probes() })
+	}
+	return n
+}
+
+// Name implements Backend.
+func (s *Sharded) Name() string { return s.name }
+
+// ShardLens returns the per-shard entry counts (the partition-balance
+// gauge, analogous to the paper's per-path load split).
+func (s *Sharded) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i := range s.shards {
+		s.withShard(i, func(be Backend) { out[i] = be.Len() })
+	}
+	return out
+}
+
+// batchPlan groups key positions by shard so each shard's lock is taken
+// at most once per batch and the selector hash is computed once per key.
+// The returned plan holds, per shard, the indices into keys that route
+// there, in input order.
+func (s *Sharded) batchPlan(keys [][]byte) [][]int32 {
+	plan := make([][]int32, len(s.shards))
+	if len(s.shards) == 1 {
+		idx := make([]int32, len(keys))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		plan[0] = idx
+		return plan
+	}
+	// Count first so each per-shard slice is allocated exactly once.
+	counts := make([]int32, len(s.shards))
+	routes := make([]int32, len(keys))
+	for i, k := range keys {
+		r := int32(s.shardOf(k))
+		routes[i] = r
+		counts[r]++
+	}
+	for i := range plan {
+		if counts[i] > 0 {
+			plan[i] = make([]int32, 0, counts[i])
+		}
+	}
+	for i, r := range routes {
+		plan[r] = append(plan[r], int32(i))
+	}
+	return plan
+}
+
+// LookupBatch looks up all keys, amortising shard locking and routing:
+// keys are grouped per shard and each shard is visited once. Results are
+// positional: ids[i], hits[i] correspond to keys[i].
+func (s *Sharded) LookupBatch(keys [][]byte) (ids []uint64, hits []bool) {
+	ids = make([]uint64, len(keys))
+	hits = make([]bool, len(keys))
+	for shard, idx := range s.batchPlan(keys) {
+		if len(idx) == 0 {
+			continue
+		}
+		s.withShard(shard, func(be Backend) {
+			for _, i := range idx {
+				if local, ok := be.Lookup(keys[i]); ok {
+					ids[i] = s.globalID(shard, local)
+					hits[i] = true
+				}
+			}
+		})
+	}
+	return ids, hits
+}
+
+// InsertBatch inserts all keys. ids is positional; errs is nil when every
+// insert succeeded, otherwise errs[i] carries the per-key failure. A
+// non-nil errs[i] is the only failure marker — zero is a legitimate ID
+// (shard 0's first CAM entry encodes to 0).
+func (s *Sharded) InsertBatch(keys [][]byte) (ids []uint64, errs []error) {
+	ids = make([]uint64, len(keys))
+	for shard, idx := range s.batchPlan(keys) {
+		if len(idx) == 0 {
+			continue
+		}
+		s.withShard(shard, func(be Backend) {
+			for _, i := range idx {
+				local, err := be.Insert(keys[i])
+				if err != nil {
+					if errs == nil {
+						errs = make([]error, len(keys))
+					}
+					errs[i] = err
+					continue
+				}
+				ids[i] = s.globalID(shard, local)
+			}
+		})
+	}
+	return ids, errs
+}
+
+// DeleteBatch deletes all keys, reporting per-key presence positionally.
+func (s *Sharded) DeleteBatch(keys [][]byte) []bool {
+	ok := make([]bool, len(keys))
+	for shard, idx := range s.batchPlan(keys) {
+		if len(idx) == 0 {
+			continue
+		}
+		s.withShard(shard, func(be Backend) {
+			for _, i := range idx {
+				ok[i] = be.Delete(keys[i])
+			}
+		})
+	}
+	return ok
+}
+
+// BatchErr collapses an InsertBatch error slice into one error for
+// callers that do not need per-key attribution.
+func BatchErr(errs []error) error {
+	if errs == nil {
+		return nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,162 @@
+// Package table defines the repository-wide contract for exact-match flow
+// lookup structures and the machinery to scale them: a Backend interface
+// every structure implements (the paper's Hash-CAM and each §II baseline),
+// a constructor registry so backends are selectable by name, and a Sharded
+// wrapper that partitions one logical table across N goroutine-safe shards
+// — the software generalisation of the paper's dual-path design, which is
+// itself a 2-way hardware shard across two DDR3 channels (§III, Fig. 2).
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hashfn"
+)
+
+// Backend is the common contract of every exact-match flow structure in
+// this repository. Implementations need not be safe for concurrent use;
+// Sharded provides that layer.
+type Backend interface {
+	// Lookup returns the stored ID of key.
+	Lookup(key []byte) (uint64, bool)
+	// Insert stores key if absent and returns its ID; inserting an
+	// existing key returns the existing ID.
+	Insert(key []byte) (uint64, error)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) bool
+	// Len returns the stored entry count.
+	Len() int
+	// Probes returns the cumulative bucket/CAM accesses performed, the
+	// memory-traffic proxy used by comparison benches.
+	Probes() int64
+	// Name identifies the structure in bench output.
+	Name() string
+}
+
+// ErrTableFull is returned by Insert when a structure cannot place a key.
+var ErrTableFull = errors.New("table: full")
+
+// Config parameterises a backend constructor. Constructors derive their
+// internal geometry (bucket counts, sub-tables) from the approximate
+// capacity; zero-valued fields take the defaults below.
+type Config struct {
+	// Capacity is the approximate entry capacity the structure should
+	// provide (default 64k).
+	Capacity int
+	// KeyLen is the fixed key length in bytes (default 13, the packed
+	// 5-tuple).
+	KeyLen int
+	// Hash supplies the hash functions; pairs are consumed as H1/H2
+	// (default the prototype CRC pair).
+	Hash hashfn.Pair
+	// SlotsPerBucket is K of Fig. 1 (default 4).
+	SlotsPerBucket int
+	// CAMCapacity bounds collision overflow for the Hash-CAM family
+	// (default 64).
+	CAMCapacity int
+}
+
+// MaxCapacity bounds Config.Capacity: beyond ~10^12 entries the
+// power-of-two bucket derivation would overflow, and no in-memory flow
+// table is meaningfully larger.
+const MaxCapacity = 1 << 40
+
+// withDefaults fills zero fields and clamps Capacity to MaxCapacity
+// (constructors reject out-of-range capacities with an error before
+// clamping can matter; the clamp keeps direct BucketsFor callers safe).
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.Capacity > MaxCapacity {
+		c.Capacity = MaxCapacity
+	}
+	if c.KeyLen <= 0 {
+		c.KeyLen = 13
+	}
+	if c.Hash.H1 == nil || c.Hash.H2 == nil {
+		c.Hash = hashfn.DefaultPair()
+	}
+	if c.SlotsPerBucket <= 0 {
+		c.SlotsPerBucket = 4
+	}
+	if c.CAMCapacity <= 0 {
+		c.CAMCapacity = 64
+	}
+	return c
+}
+
+// BucketsFor returns the power-of-two bucket count so that tables buckets
+// of SlotsPerBucket slots hold at least the configured capacity.
+func (c Config) BucketsFor(tables int) int {
+	c = c.withDefaults()
+	if tables <= 0 {
+		tables = 1
+	}
+	// Divide rather than multiply in the loop condition so huge
+	// capacities cannot overflow the comparison.
+	need := (c.Capacity + tables*c.SlotsPerBucket - 1) / (tables * c.SlotsPerBucket)
+	buckets := 1
+	for buckets < need {
+		buckets <<= 1
+	}
+	return buckets
+}
+
+// Constructor builds a backend from a configuration.
+type Constructor func(cfg Config) (Backend, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Constructor{}
+)
+
+// Register makes a backend constructor selectable by name. It panics on a
+// duplicate or empty name — registration is an init-time programming
+// error, not a runtime condition.
+func Register(name string, ctor Constructor) {
+	if name == "" || ctor == nil {
+		panic("table: Register requires a name and a constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("table: backend %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
+// New builds the named backend. The canonical names are "hashcam",
+// "convhashcam", "cuckoo", "dleft" and "singlehash"; Backends lists what
+// is actually registered.
+func New(name string, cfg Config) (Backend, error) {
+	if cfg.Capacity > MaxCapacity {
+		return nil, fmt.Errorf("table: capacity %d exceeds maximum %d", cfg.Capacity, MaxCapacity)
+	}
+	registryMu.RLock()
+	ctor, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("table: unknown backend %q (registered: %v)", name, Backends())
+	}
+	be, err := ctor(cfg.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("table: backend %q: %w", name, err)
+	}
+	return be, nil
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,382 @@
+package table_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	_ "repro/internal/baseline" // register every backend
+	"repro/internal/table"
+)
+
+func key13(i uint64) []byte {
+	k := make([]byte, 13)
+	binary.LittleEndian.PutUint64(k, i)
+	return k
+}
+
+func keys13(lo, hi uint64) [][]byte {
+	out := make([][]byte, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, key13(i))
+	}
+	return out
+}
+
+func TestRegistryListsCanonicalBackends(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range table.Backends() {
+		have[name] = true
+	}
+	for _, want := range []string{"hashcam", "convhashcam", "cuckoo", "dleft", "singlehash"} {
+		if !have[want] {
+			t.Errorf("backend %q not registered (have %v)", want, table.Backends())
+		}
+	}
+}
+
+func TestRegistryUnknownBackend(t *testing.T) {
+	if _, err := table.New("no-such-structure", table.Config{}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestEveryBackendSatisfiesContract(t *testing.T) {
+	for _, name := range table.Backends() {
+		t.Run(name, func(t *testing.T) {
+			be, err := table.New(name, table.Config{Capacity: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key13(42)
+			if _, ok := be.Lookup(k); ok {
+				t.Fatal("hit on empty table")
+			}
+			id, err := be.Insert(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := be.Lookup(k); !ok || got != id {
+				t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+			}
+			if be.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", be.Len())
+			}
+			if !be.Delete(k) {
+				t.Fatal("Delete missed")
+			}
+			if be.Name() == "" {
+				t.Fatal("empty Name")
+			}
+			if be.Probes() <= 0 {
+				t.Fatal("probe accounting inactive")
+			}
+		})
+	}
+}
+
+func TestShardedBasicSemantics(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 4, table.Config{Capacity: 8192}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		if _, err := s.Insert(key13(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		id, ok := s.Lookup(key13(i))
+		if !ok {
+			t.Fatalf("key %d lost", i)
+		}
+		shard, _ := s.DecodeID(id)
+		if shard < 0 || shard >= s.ShardCount() {
+			t.Fatalf("key %d decoded to shard %d of %d", i, shard, s.ShardCount())
+		}
+	}
+	// Shard balance: the independent selector should spread uniformly.
+	for i, l := range s.ShardLens() {
+		if l < n/8 || l > n/2 {
+			t.Fatalf("shard %d holds %d of %d entries: %v", i, l, n, s.ShardLens())
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if !s.Delete(key13(i)) {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", s.Len())
+	}
+}
+
+func TestShardedBatchMatchesScalarOps(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 8, table.Config{Capacity: 8192}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 3000)
+	ids, errs := s.InsertBatch(keys)
+	if errs != nil {
+		t.Fatalf("insert batch: %v", table.BatchErr(errs))
+	}
+	// Batch results must be positional and match scalar lookups.
+	gotIDs, hits := s.LookupBatch(keys)
+	for i := range keys {
+		if !hits[i] || gotIDs[i] != ids[i] {
+			t.Fatalf("key %d: batch lookup (%d,%v), insert said %d", i, gotIDs[i], hits[i], ids[i])
+		}
+		id, ok := s.Lookup(keys[i])
+		if !ok || id != ids[i] {
+			t.Fatalf("key %d: scalar lookup (%d,%v) disagrees with batch %d", i, id, ok, ids[i])
+		}
+	}
+	// Misses interleaved with hits stay positional.
+	mixed := [][]byte{keys[5], key13(1 << 40), keys[7], key13(2 << 40)}
+	_, mhits := s.LookupBatch(mixed)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if mhits[i] != want[i] {
+			t.Fatalf("mixed batch hits = %v, want %v", mhits, want)
+		}
+	}
+	del := s.DeleteBatch(mixed)
+	for i := range want {
+		if del[i] != want[i] {
+			t.Fatalf("mixed batch deletes = %v, want %v", del, want)
+		}
+	}
+	if s.Len() != len(keys)-2 {
+		t.Fatalf("Len = %d after batch delete, want %d", s.Len(), len(keys)-2)
+	}
+}
+
+// TestShardedMatchesUnshardedResults is the determinism check: a sharded
+// engine must return exactly the same hit/miss observations as an
+// unsharded one over the same operation sequence (IDs are
+// encoding-specific, membership is not).
+func TestShardedMatchesUnshardedResults(t *testing.T) {
+	for _, backend := range []string{"hashcam", "dleft"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := table.Config{Capacity: 1 << 14}
+			single, err := table.NewSharded(backend, 1, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := table.NewSharded(backend, 8, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A deterministic mixed sequence: inserts, lookups of present
+			// and absent keys, deletes of a third of the population.
+			const n = 5000
+			for i := uint64(0); i < n; i++ {
+				if _, err := single.Insert(key13(i)); err != nil {
+					t.Fatalf("single insert %d: %v", i, err)
+				}
+				if _, err := sharded.Insert(key13(i)); err != nil {
+					t.Fatalf("sharded insert %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < n; i += 3 {
+				a := single.Delete(key13(i))
+				b := sharded.Delete(key13(i))
+				if a != b {
+					t.Fatalf("delete %d: single=%v sharded=%v", i, a, b)
+				}
+			}
+			for i := uint64(0); i < 2*n; i++ {
+				_, okA := single.Lookup(key13(i))
+				_, okB := sharded.Lookup(key13(i))
+				if okA != okB {
+					t.Fatalf("lookup %d: single=%v sharded=%v", i, okA, okB)
+				}
+			}
+			if single.Len() != sharded.Len() {
+				t.Fatalf("Len: single=%d sharded=%d", single.Len(), sharded.Len())
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentStress drives concurrent Insert/Lookup/Delete from
+// many goroutines over overlapping key ranges; run under -race this is
+// the engine's data-race certificate. Each worker owns a disjoint key
+// range for insert/delete correctness checks while all workers read the
+// whole space.
+func TestShardedConcurrentStress(t *testing.T) {
+	for _, backend := range []string{"hashcam", "cuckoo"} {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 8, table.Config{Capacity: 1 << 15}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				workers = 8
+				perW    = 1500
+				rounds  = 3
+			)
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := uint64(w * perW)
+					for r := 0; r < rounds; r++ {
+						for i := uint64(0); i < perW; i++ {
+							if _, err := s.Insert(key13(base + i)); err != nil {
+								errCh <- fmt.Errorf("worker %d insert %d: %w", w, base+i, err)
+								return
+							}
+						}
+						// Read across everyone's range while others write.
+						for i := uint64(0); i < workers*perW; i += 7 {
+							s.Lookup(key13(i))
+						}
+						// Batch ops run concurrently with scalar ops.
+						keys := keys13(base, base+perW)
+						_, hits := s.LookupBatch(keys)
+						for i, ok := range hits {
+							if !ok {
+								errCh <- fmt.Errorf("worker %d: own key %d vanished", w, base+uint64(i))
+								return
+							}
+						}
+						if r < rounds-1 {
+							for _, ok := range s.DeleteBatch(keys) {
+								if !ok {
+									errCh <- fmt.Errorf("worker %d: delete missed own key", w)
+									return
+								}
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if got, want := s.Len(), workers*perW; got != want {
+				t.Fatalf("Len = %d after stress, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestShardedSingleShardDegeneratesToBackend(t *testing.T) {
+	s, err := table.NewSharded("singlehash", 1, table.Config{Capacity: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d", s.ShardCount())
+	}
+	id, err := s.Insert(key13(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, local := s.DecodeID(id)
+	if shard != 0 {
+		t.Fatalf("shard = %d, want 0", shard)
+	}
+	if got, ok := s.Lookup(key13(9)); !ok || got != id {
+		t.Fatalf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	_ = local
+}
+
+func TestShardedInsertBatchSurfacesPerKeyErrors(t *testing.T) {
+	// A tiny single-hash table overflows quickly; the batch must report
+	// which keys failed and still place the others.
+	s, err := table.NewSharded("singlehash", 2, table.Config{Capacity: 8, SlotsPerBucket: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 64)
+	ids, errs := s.InsertBatch(keys)
+	if errs == nil {
+		t.Fatal("expected overflow errors from a 8-entry table under 64 inserts")
+	}
+	failed := 0
+	for i, e := range errs {
+		if e != nil {
+			failed++
+			if !errors.Is(e, table.ErrTableFull) {
+				t.Fatalf("key %d error = %v, want ErrTableFull", i, e)
+			}
+			if ids[i] != 0 {
+				t.Fatalf("key %d failed but id = %d", i, ids[i])
+			}
+		}
+	}
+	if failed == 0 || failed == len(keys) {
+		t.Fatalf("failed = %d of %d, expected a partial batch", failed, len(keys))
+	}
+	if err := table.BatchErr(errs); err == nil {
+		t.Fatal("BatchErr returned nil for a failing batch")
+	}
+}
+
+func TestNewShardedRejectsBadArguments(t *testing.T) {
+	if _, err := table.NewSharded("hashcam", 0, table.Config{}, nil); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := table.NewSharded("bogus", 2, table.Config{}, nil); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+}
+
+// TestHugeCapacityRejectedNotHung pins the BucketsFor overflow guard: an
+// absurd capacity must error out, not spin the bucket-doubling loop
+// forever.
+func TestHugeCapacityRejectedNotHung(t *testing.T) {
+	if _, err := table.New("hashcam", table.Config{Capacity: 1 << 62}); err == nil {
+		t.Fatal("capacity 1<<62 accepted")
+	}
+	// At the boundary the derivation must terminate (clamped geometry).
+	if n := (table.Config{Capacity: table.MaxCapacity}).BucketsFor(2); n <= 0 {
+		t.Fatalf("BucketsFor at MaxCapacity = %d", n)
+	}
+}
+
+// TestShardedCAMHeadroomMatchesUnsharded pins the per-shard CAM division:
+// N shards must not get N× the collision headroom of the unsharded table.
+func TestShardedCAMHeadroomMatchesUnsharded(t *testing.T) {
+	// SlotsPerBucket 1 and a tiny capacity make CAM overflow easy to hit.
+	cfg := table.Config{Capacity: 64, SlotsPerBucket: 1, CAMCapacity: 8}
+	fill := func(s *table.Sharded) int {
+		placed := 0
+		for i := uint64(0); i < 4096; i++ {
+			if _, err := s.Insert(key13(i)); err != nil {
+				break
+			}
+			placed++
+		}
+		return placed
+	}
+	single, err := table.NewSharded("hashcam", 1, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := table.NewSharded("hashcam", 8, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fill(single), fill(sharded)
+	// Identical geometry split 8 ways cannot hold dramatically more than
+	// the unsharded table; before the CAM division the sharded variant
+	// held an extra 7×CAMCapacity entries.
+	if b > a+cfg.CAMCapacity {
+		t.Fatalf("sharded placed %d vs unsharded %d — CAM headroom not divided", b, a)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"repro/internal/hashfn"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -28,10 +29,7 @@ import (
 func Flow(i uint64) packet.FiveTuple {
 	// Spread the index bits so neighbouring flows differ in several
 	// header fields, as real traffic does.
-	z := i
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	z := hashfn.Finalize64(i)
 	src := [4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}
 	dst := [4]byte{byte(192 + (z>>56)&3), byte(z >> 48), byte(z >> 40), byte(z >> 32)}
 	proto := uint8(packet.ProtoTCP)
