@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -24,6 +26,54 @@ type engineSweepConfig struct {
 	ops      int
 	capacity int
 	batch    int
+	jsonPath string // non-empty: also write machine-readable results
+}
+
+// engineJSONResult is one backend×shards×workers measurement in the
+// machine-readable output (BENCH_engine.json), the format CI archives so
+// the perf trajectory of the engine is recorded per commit.
+type engineJSONResult struct {
+	Backend     string  `json:"backend"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Batch       int     `json:"batch"`
+	TotalOps    int64   `json:"total_ops"`
+	WallNS      int64   `json:"wall_ns"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	MopsPerSec  float64 `json:"mops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Resident    int     `json:"resident_flows"`
+	Overflows   int64   `json:"overflow_batches"`
+	// SpeedupVs1Shard is 0 when the sweep had no shards=1 row to compare
+	// against.
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard,omitempty"`
+}
+
+// engineJSONReport is the top-level structure of the -json output.
+type engineJSONReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	OpsPerWkr  int                `json:"ops_per_worker"`
+	Results    []engineJSONResult `json:"results"`
+}
+
+// writeEngineJSON writes the sweep results to path.
+func writeEngineJSON(path string, cfg engineSweepConfig, results []engineJSONResult) error {
+	rep := engineJSONReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		OpsPerWkr:  cfg.ops,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode engine results: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write engine results: %w", err)
+	}
+	return nil
 }
 
 // parseShards parses a comma-separated shard-count list.
@@ -69,7 +119,8 @@ func engineSweep(cfg engineSweepConfig) error {
 	t := metrics.NewTable(
 		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d (GOMAXPROCS=%d)",
 			cfg.workers, cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
-		"Backend", "Shards", "Throughput (Mops/s)", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
+		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
+	var jsonResults []engineJSONResult
 	for _, backend := range cfg.backends {
 		// Run every configuration first, then derive speedups from the
 		// shards=1 row wherever it appears in the list (so -shards 8,1
@@ -89,24 +140,54 @@ func engineSweep(cfg engineSweepConfig) error {
 		for i, shards := range cfg.shards {
 			res := results[i]
 			speedup := "—"
+			speedupVal := 0.0
 			if shards != 1 && base > 0 {
-				speedup = fmt.Sprintf("%.2fx", res.mops/base)
+				speedupVal = res.mops / base
+				speedup = fmt.Sprintf("%.2fx", speedupVal)
 			}
 			t.AddRow(backend, fmt.Sprintf("%d", shards),
-				fmt.Sprintf("%.2f", res.mops), res.wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2f", res.mops),
+				fmt.Sprintf("%.1f", res.nsPerOp),
+				fmt.Sprintf("%.3f", res.allocsPerOp),
+				res.wall.Round(time.Millisecond).String(),
 				fmt.Sprintf("%d", res.resident), fmt.Sprintf("%d", res.overflows), speedup)
+			jsonResults = append(jsonResults, engineJSONResult{
+				Backend:         backend,
+				Shards:          shards,
+				Workers:         cfg.workers,
+				Batch:           cfg.batch,
+				TotalOps:        res.totalOps,
+				WallNS:          res.wall.Nanoseconds(),
+				NSPerOp:         res.nsPerOp,
+				MopsPerSec:      res.mops,
+				AllocsPerOp:     res.allocsPerOp,
+				BytesPerOp:      res.bytesPerOp,
+				Resident:        res.resident,
+				Overflows:       res.overflows,
+				SpeedupVs1Shard: speedupVal,
+			})
 		}
 	}
 	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		if err := writeEngineJSON(cfg.jsonPath, cfg, jsonResults); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
 	return nil
 }
 
 // engineLoadResult summarises one backend/shard configuration run.
 type engineLoadResult struct {
-	mops      float64
-	wall      time.Duration
-	resident  int
-	overflows int64
+	mops        float64
+	nsPerOp     float64
+	allocsPerOp float64
+	bytesPerOp  float64
+	totalOps    int64
+	wall        time.Duration
+	resident    int
+	overflows   int64
 }
 
 // runEngineLoad drives one backend/shard configuration with cfg.workers
@@ -123,6 +204,12 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 	var wg sync.WaitGroup
 	var overflows atomic.Int64
 	errCh := make(chan error, cfg.workers)
+	// Allocation accounting: ReadMemStats deltas around the run, divided
+	// by total ops. GC bookkeeping adds noise at tiny op counts but the
+	// steady-state engine paths allocate nothing, so the signal (0.0x vs
+	// the pre-optimisation ~3) dominates at any realistic -ops.
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
@@ -135,16 +222,21 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	close(errCh)
 	for err := range errCh {
 		return engineLoadResult{}, err
 	}
-	totalOps := float64(cfg.workers) * float64(cfg.ops)
+	totalOps := int64(cfg.workers) * int64(cfg.ops)
 	return engineLoadResult{
-		mops:      totalOps / wall.Seconds() / 1e6,
-		wall:      wall,
-		resident:  eng.Len(),
-		overflows: overflows.Load(),
+		mops:        float64(totalOps) / wall.Seconds() / 1e6,
+		nsPerOp:     float64(wall.Nanoseconds()) / float64(totalOps),
+		allocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
+		bytesPerOp:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
+		totalOps:    totalOps,
+		wall:        wall,
+		resident:    eng.Len(),
+		overflows:   overflows.Load(),
 	}, nil
 }
 

@@ -31,6 +31,7 @@ func main() {
 	ops := flag.Int("ops", 2_000_000, "engine mode: operations per worker")
 	capacity := flag.Int("capacity", 1<<20, "engine mode: total flow capacity")
 	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
+	jsonOut := flag.String("json", "", "engine mode: also write machine-readable results to this file (e.g. BENCH_engine.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|engine|all]\n")
 		flag.PrintDefaults()
@@ -79,6 +80,7 @@ func main() {
 			ops:      opsPerWorker,
 			capacity: *capacity,
 			batch:    *batch,
+			jsonPath: *jsonOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)

@@ -1,0 +1,148 @@
+package flowproc_test
+
+import (
+	"testing"
+
+	"repro/flowproc"
+)
+
+// residentEngine builds an engine preloaded with n flows.
+func residentEngine(t testing.TB, shards, n int) (*flowproc.Engine, []flowproc.FiveTuple) {
+	t.Helper()
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: "hashcam", Shards: shards, Capacity: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := make([]flowproc.FiveTuple, n)
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	if _, err := e.InsertBatch(fts); err != nil {
+		t.Fatal(err)
+	}
+	return e, fts
+}
+
+func TestEngineLookupBatchIntoMatchesLookupBatch(t *testing.T) {
+	e, fts := residentEngine(t, 4, 1000)
+	// Mix hits with misses and a non-storable tuple to exercise the
+	// position-scatter path.
+	batch := append([]flowproc.FiveTuple{}, fts[:100]...)
+	batch = append(batch, tuple(1<<22), flowproc.FiveTuple{}, tuple(500))
+	wantIDs, wantHits := e.LookupBatch(batch)
+	ids := make([]uint64, len(batch))
+	hits := make([]bool, len(batch))
+	for i := range ids { // poison
+		ids[i] = ^uint64(0)
+		hits[i] = true
+	}
+	e.LookupBatchInto(batch, ids, hits)
+	for i := range batch {
+		if ids[i] != wantIDs[i] || hits[i] != wantHits[i] {
+			t.Fatalf("flow %d: Into (%d,%v), LookupBatch said (%d,%v)", i, ids[i], hits[i], wantIDs[i], wantHits[i])
+		}
+	}
+	if hits[100] || hits[101] {
+		t.Fatal("miss/non-storable tuples reported present")
+	}
+	// Delete variant mirrors the hits.
+	ok := make([]bool, len(batch))
+	e.DeleteBatchInto(batch, ok)
+	for i := range batch {
+		if ok[i] != wantHits[i] {
+			t.Fatalf("flow %d: DeleteBatchInto %v, want %v", i, ok[i], wantHits[i])
+		}
+	}
+}
+
+func TestEngineBatchIntoPanicsOnLengthMismatch(t *testing.T) {
+	e, fts := residentEngine(t, 2, 16)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s with short buffers did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("LookupBatchInto", func() {
+		e.LookupBatchInto(fts, make([]uint64, 3), make([]bool, len(fts)))
+	})
+	expectPanic("DeleteBatchInto", func() {
+		e.DeleteBatchInto(fts, make([]bool, 3))
+	})
+}
+
+// TestEngineLookupBatchIntoZeroAllocs enforces the PR's headline bound:
+// the steady-state batched lookup path — key serialisation, the single
+// hash pass per key, shard routing, bucket probing, result scatter —
+// performs zero heap allocations, for any batch size (0 B/key, not
+// amortised-small). The pooled scratch is warmed by the first call.
+func TestEngineLookupBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<12)
+	batch := fts[:256]
+	ids := make([]uint64, len(batch))
+	hits := make([]bool, len(batch))
+	e.LookupBatchInto(batch, ids, hits) // warm the pools
+	if n := testing.AllocsPerRun(200, func() { e.LookupBatchInto(batch, ids, hits) }); n != 0 {
+		t.Fatalf("LookupBatchInto allocates %.2f per 256-key batch, want 0", n)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("resident flow %d reported missing", i)
+		}
+	}
+}
+
+// TestEngineLookupBatchAllocBound pins the convenience form's only
+// allocations to the two returned result slices, independent of batch
+// size.
+func TestEngineLookupBatchAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<12)
+	batch := fts[:256]
+	e.LookupBatch(batch) // warm the pools
+	if n := testing.AllocsPerRun(200, func() { e.LookupBatch(batch) }); n > 2 {
+		t.Fatalf("LookupBatch allocates %.2f per batch, want <= 2 (the returned slices)", n)
+	}
+}
+
+// TestEngineScalarLookupZeroAllocs pins the scalar read path: pooled key
+// scratch plus the hashed table path means a Lookup costs no heap
+// allocations at all.
+func TestEngineScalarLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<10)
+	hit := fts[17]
+	miss := tuple(1 << 30)
+	e.Lookup(hit) // warm the pool
+	if n := testing.AllocsPerRun(200, func() {
+		e.Lookup(hit)
+		e.Lookup(miss)
+	}); n != 0 {
+		t.Fatalf("scalar Lookup allocates %.2f per hit+miss pair, want 0", n)
+	}
+}
+
+// TestEngineDeleteBatchIntoZeroAllocs extends the bound to the delete
+// path (absent keys after the first run; the search cost is identical).
+func TestEngineDeleteBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<10)
+	batch := fts[:128]
+	ok := make([]bool, len(batch))
+	e.DeleteBatchInto(batch, ok) // warm pools; subsequent runs delete nothing
+	if n := testing.AllocsPerRun(200, func() { e.DeleteBatchInto(batch, ok) }); n != 0 {
+		t.Fatalf("DeleteBatchInto allocates %.2f per 128-key batch, want 0", n)
+	}
+}

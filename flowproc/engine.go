@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	_ "repro/internal/baseline" // register the §II baseline backends
 	"repro/internal/packet"
@@ -21,14 +22,32 @@ var ErrNotIPv4 = errors.New("flowproc: engine requires a valid IPv4 5-tuple")
 // "hashcam", or a §II baseline: "cuckoo", "dleft", "singlehash",
 // "convhashcam") can serve as the per-shard structure.
 //
-// All methods are safe for concurrent use. The batch methods group keys
-// by shard so each shard's lock is taken once per call and routing hashes
-// are computed once per key — the software analogue of the paper's burst
-// grouping, which amortises fixed costs over consecutive accesses.
+// All methods are safe for concurrent use; lookups run under shared
+// (read) shard locks, so read-mostly traffic scales within a shard as
+// well as across shards. The batch methods group keys by shard so each
+// shard's lock is taken once per call and each key is hashed exactly once
+// — the software analogue of the paper's burst grouping, which amortises
+// fixed costs over consecutive accesses. Key serialisation and routing
+// scratch come from a pool, so the steady-state lookup path performs zero
+// heap allocations per key (see LookupBatchInto for the fully
+// allocation-free form).
 type Engine struct {
 	sharded *table.Sharded
 	spec    packet.TupleSpec
 	backend string
+	scratch sync.Pool // *engineScratch
+}
+
+// engineScratch is the pooled working set of one Engine call: serialised
+// keys (headers + one shared backing buffer), original positions, and the
+// sub-batch result buffers handed to the sharded table.
+type engineScratch struct {
+	keys [][]byte
+	pos  []int
+	buf  []byte
+	ids  []uint64
+	hits []bool
+	oks  []bool
 }
 
 // EngineConfig parameterises an Engine.
@@ -66,7 +85,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flowproc: engine: %w", err)
 	}
-	return &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}, nil
+	e := &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}
+	e.scratch.New = func() any { return new(engineScratch) }
+	return e, nil
 }
 
 // Backend returns the name of the per-shard structure.
@@ -78,12 +99,30 @@ func (e *Engine) Shards() int { return e.sharded.ShardCount() }
 // storable reports whether ft serialises to the key the backends expect.
 func storable(ft FiveTuple) bool { return ft.Valid() && ft.IsIPv4() }
 
+// scalarKey serialises ft into sc's pooled buffer. The returned key is
+// only valid until the scratch is released.
+func (sc *engineScratch) scalarKey(spec packet.TupleSpec, ft FiveTuple) []byte {
+	if cap(sc.buf) < 16 {
+		sc.buf = make([]byte, 0, 64)
+	}
+	return spec.AppendKey(sc.buf[:0], ft)
+}
+
+// release returns the scratch, retaining any buffer growth.
+func (e *Engine) release(sc *engineScratch, buf []byte) {
+	sc.buf = buf[:0]
+	e.scratch.Put(sc)
+}
+
 // Insert stores the flow if absent and returns its flow ID.
 func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
 	if !storable(ft) {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, ErrNotIPv4)
 	}
-	fid, err := e.sharded.Insert(e.spec.Key(ft))
+	sc := e.scratch.Get().(*engineScratch)
+	key := sc.scalarKey(e.spec, ft)
+	fid, err := e.sharded.Insert(key)
+	e.release(sc, key)
 	if err != nil {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, err)
 	}
@@ -91,12 +130,17 @@ func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
 }
 
 // Lookup returns the flow ID of ft. A tuple the engine cannot store
-// (non-IPv4) is simply never present.
+// (non-IPv4) is simply never present. The steady-state path performs no
+// heap allocations.
 func (e *Engine) Lookup(ft FiveTuple) (uint64, bool) {
 	if !storable(ft) {
 		return 0, false
 	}
-	return e.sharded.Lookup(e.spec.Key(ft))
+	sc := e.scratch.Get().(*engineScratch)
+	key := sc.scalarKey(e.spec, ft)
+	fid, ok := e.sharded.Lookup(key)
+	e.release(sc, key)
+	return fid, ok
 }
 
 // Delete removes ft, reporting whether it was present.
@@ -104,7 +148,11 @@ func (e *Engine) Delete(ft FiveTuple) bool {
 	if !storable(ft) {
 		return false
 	}
-	return e.sharded.Delete(e.spec.Key(ft))
+	sc := e.scratch.Get().(*engineScratch)
+	key := sc.scalarKey(e.spec, ft)
+	ok := e.sharded.Delete(key)
+	e.release(sc, key)
+	return ok
 }
 
 // Len returns the stored flow count across all shards.
@@ -114,14 +162,25 @@ func (e *Engine) Len() int { return e.sharded.Len() }
 // gauge.
 func (e *Engine) ShardLens() []int { return e.sharded.ShardLens() }
 
-// validKeys serialises the storable subset of fts into one shared backing
-// buffer (two allocations per batch instead of one per key), returning
+// validKeys serialises the storable subset of fts into the scratch's
+// shared backing buffer (zero allocations once the pooled buffers have
+// grown to the workload's batch size), populating sc.keys and sc.pos with
 // the keys and their original positions. Non-IPv4 tuples are excluded —
 // their keys would violate the backends' fixed 13-byte geometry.
-func (e *Engine) validKeys(fts []FiveTuple) (keys [][]byte, pos []int) {
-	keys = make([][]byte, 0, len(fts))
-	pos = make([]int, 0, len(fts))
-	buf := make([]byte, 0, len(fts)*e.spec.KeyLen(true))
+func (e *Engine) validKeys(sc *engineScratch, fts []FiveTuple) {
+	if cap(sc.keys) < len(fts) {
+		sc.keys = make([][]byte, 0, len(fts))
+	}
+	if cap(sc.pos) < len(fts) {
+		sc.pos = make([]int, 0, len(fts))
+	}
+	need := len(fts) * e.spec.KeyLen(true)
+	if cap(sc.buf) < need {
+		sc.buf = make([]byte, 0, need)
+	}
+	// The buffer never grows inside the loop (capacity ensured above), so
+	// earlier key headers keep pointing into the live array.
+	keys, pos, buf := sc.keys[:0], sc.pos[:0], sc.buf[:0]
 	for i, ft := range fts {
 		if !storable(ft) {
 			continue
@@ -133,20 +192,60 @@ func (e *Engine) validKeys(fts []FiveTuple) (keys [][]byte, pos []int) {
 		keys = append(keys, buf[start:len(buf):len(buf)])
 		pos = append(pos, i)
 	}
-	return keys, pos
+	sc.keys, sc.pos, sc.buf = keys, pos, buf
+}
+
+// subResults sizes the scratch's sub-batch result buffers for n keys.
+func (sc *engineScratch) subResults(n int) (ids []uint64, hits []bool) {
+	if cap(sc.ids) < n {
+		sc.ids = make([]uint64, n)
+	}
+	if cap(sc.hits) < n {
+		sc.hits = make([]bool, n)
+	}
+	sc.ids, sc.hits = sc.ids[:n], sc.hits[:n]
+	return sc.ids, sc.hits
 }
 
 // LookupBatch looks up a batch of flows; results are positional.
-// Non-storable tuples report a miss.
+// Non-storable tuples report a miss. Steady state allocates only the two
+// returned result slices, independent of batch size; use LookupBatchInto
+// to avoid even those.
 func (e *Engine) LookupBatch(fts []FiveTuple) (ids []uint64, hits []bool) {
-	keys, pos := e.validKeys(fts)
 	ids = make([]uint64, len(fts))
 	hits = make([]bool, len(fts))
-	subIDs, subHits := e.sharded.LookupBatch(keys)
-	for j, i := range pos {
+	e.LookupBatchInto(fts, ids, hits)
+	return ids, hits
+}
+
+// LookupBatchInto is LookupBatch into caller-supplied result buffers,
+// which must both have the length of fts; every element is overwritten.
+// With reused buffers the steady-state hot path — key serialisation, the
+// single hash pass, shard routing, bucket probing — performs zero heap
+// allocations per call (a bound enforced by TestEngineLookupBatchIntoZeroAllocs).
+func (e *Engine) LookupBatchInto(fts []FiveTuple, ids []uint64, hits []bool) {
+	if len(ids) != len(fts) || len(hits) != len(fts) {
+		panic(fmt.Sprintf("flowproc: LookupBatchInto buffers (%d ids, %d hits) do not match %d tuples",
+			len(ids), len(hits), len(fts)))
+	}
+	sc := e.scratch.Get().(*engineScratch)
+	e.validKeys(sc, fts)
+	if len(sc.keys) == len(fts) {
+		// Every tuple serialised: results are already positional, skip the
+		// scatter through pos.
+		e.sharded.LookupBatchInto(sc.keys, ids, hits)
+		e.scratch.Put(sc)
+		return
+	}
+	subIDs, subHits := sc.subResults(len(sc.keys))
+	e.sharded.LookupBatchInto(sc.keys, subIDs, subHits)
+	for i := range ids {
+		ids[i], hits[i] = 0, false
+	}
+	for j, i := range sc.pos {
 		ids[i], hits[i] = subIDs[j], subHits[j]
 	}
-	return ids, hits
+	e.scratch.Put(sc)
 }
 
 // InsertBatch inserts a batch of flows. The returned ids are positional;
@@ -154,13 +253,14 @@ func (e *Engine) LookupBatch(fts []FiveTuple) (ids []uint64, hits []bool) {
 // ErrNotIPv4 for non-storable tuples). Zero is a legitimate flow ID, so
 // callers needing per-position success should confirm with LookupBatch.
 func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
-	keys, pos := e.validKeys(fts)
+	sc := e.scratch.Get().(*engineScratch)
+	e.validKeys(sc, fts)
 	ids = make([]uint64, len(fts))
 	var errs []error
-	if len(pos) < len(fts) {
+	if len(sc.pos) < len(fts) {
 		errs = make([]error, len(fts))
 		valid := make([]bool, len(fts))
-		for _, i := range pos {
+		for _, i := range sc.pos {
 			valid[i] = true
 		}
 		for i := range fts {
@@ -169,8 +269,8 @@ func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
 			}
 		}
 	}
-	subIDs, subErrs := e.sharded.InsertBatch(keys)
-	for j, i := range pos {
+	subIDs, subErrs := e.sharded.InsertBatch(sc.keys)
+	for j, i := range sc.pos {
 		ids[i] = subIDs[j]
 		if subErrs != nil && subErrs[j] != nil {
 			if errs == nil {
@@ -179,17 +279,42 @@ func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
 			errs[i] = subErrs[j]
 		}
 	}
+	e.scratch.Put(sc)
 	return ids, table.BatchErr(errs)
 }
 
 // DeleteBatch deletes a batch of flows, reporting per-flow presence
 // positionally. Non-storable tuples report absent.
 func (e *Engine) DeleteBatch(fts []FiveTuple) []bool {
-	keys, pos := e.validKeys(fts)
 	ok := make([]bool, len(fts))
-	sub := e.sharded.DeleteBatch(keys)
-	for j, i := range pos {
-		ok[i] = sub[j]
-	}
+	e.DeleteBatchInto(fts, ok)
 	return ok
+}
+
+// DeleteBatchInto is DeleteBatch into a caller-supplied result buffer,
+// which must have the length of fts; every element is overwritten. Like
+// LookupBatchInto, the steady-state path allocates nothing.
+func (e *Engine) DeleteBatchInto(fts []FiveTuple, ok []bool) {
+	if len(ok) != len(fts) {
+		panic(fmt.Sprintf("flowproc: DeleteBatchInto buffer (%d) does not match %d tuples", len(ok), len(fts)))
+	}
+	sc := e.scratch.Get().(*engineScratch)
+	e.validKeys(sc, fts)
+	if len(sc.keys) == len(fts) {
+		e.sharded.DeleteBatchInto(sc.keys, ok)
+		e.scratch.Put(sc)
+		return
+	}
+	if cap(sc.oks) < len(sc.keys) {
+		sc.oks = make([]bool, len(sc.keys))
+	}
+	sc.oks = sc.oks[:len(sc.keys)]
+	e.sharded.DeleteBatchInto(sc.keys, sc.oks)
+	for i := range ok {
+		ok[i] = false
+	}
+	for j, i := range sc.pos {
+		ok[i] = sc.oks[j]
+	}
+	e.scratch.Put(sc)
 }

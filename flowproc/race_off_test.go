@@ -1,0 +1,8 @@
+//go:build !race
+
+package flowproc_test
+
+// raceEnabled reports whether the race detector is active; the
+// AllocsPerRun bounds are skipped under -race because the race runtime
+// allocates inside the sync primitives the hot path uses.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package flowproc_test
+
+const raceEnabled = true

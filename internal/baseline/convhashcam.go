@@ -2,8 +2,10 @@ package baseline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashcam"
+	"repro/internal/hashfn"
 )
 
 // ConvHashCAM is the conventional Hash-CAM arrangement of [10][11]: the
@@ -15,7 +17,7 @@ import (
 // difference measurable.
 type ConvHashCAM struct {
 	table  *hashcam.Table
-	probes int64
+	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
 
 // NewConvHashCAM builds the conventional arrangement over cfg.
@@ -29,28 +31,48 @@ func NewConvHashCAM(cfg hashcam.Config) (*ConvHashCAM, error) {
 
 // Lookup implements LookupTable: all three structures are always probed.
 func (c *ConvHashCAM) Lookup(key []byte) (uint64, bool) {
-	c.probes += 3 // CAM + Mem1 + Mem2, issued simultaneously
+	c.probes.Add(3) // CAM + Mem1 + Mem2, issued simultaneously
 	id, _, ok := c.table.Lookup(key)
 	return id, ok
 }
 
 // Insert implements LookupTable.
 func (c *ConvHashCAM) Insert(key []byte) (uint64, error) {
-	c.probes += 4 // simultaneous triple search + the write
+	c.probes.Add(4) // simultaneous triple search + the write
 	return c.table.Insert(key)
 }
 
 // Delete implements LookupTable.
 func (c *ConvHashCAM) Delete(key []byte) bool {
-	c.probes += 4
+	c.probes.Add(4)
 	return c.table.Delete(key)
+}
+
+// LookupHashed implements the hashed fast path (table.HashedBackend); the
+// cost contract is unchanged — all three structures are charged.
+func (c *ConvHashCAM) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
+	c.probes.Add(3)
+	id, _, ok := c.table.LookupHashed(key, kh)
+	return id, ok
+}
+
+// InsertHashed implements the hashed fast path.
+func (c *ConvHashCAM) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	c.probes.Add(4)
+	return c.table.InsertHashed(key, kh)
+}
+
+// DeleteHashed implements the hashed fast path.
+func (c *ConvHashCAM) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	c.probes.Add(4)
+	return c.table.DeleteHashed(key, kh)
 }
 
 // Len implements LookupTable.
 func (c *ConvHashCAM) Len() int { return c.table.Len() }
 
 // Probes implements LookupTable.
-func (c *ConvHashCAM) Probes() int64 { return c.probes }
+func (c *ConvHashCAM) Probes() int64 { return c.probes.Load() }
 
 // Name implements LookupTable.
 func (c *ConvHashCAM) Name() string { return "conventional-hashcam" }

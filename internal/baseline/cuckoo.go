@@ -3,6 +3,7 @@ package baseline
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 )
@@ -22,7 +23,7 @@ type Cuckoo struct {
 	keys   [2][]byte
 	used   [2][]bool
 	count  int
-	probes int64
+	probes atomic.Int64 // atomic: lookups may run under a shared lock
 
 	// Relocations counts kick-out moves over the table lifetime;
 	// MaxChain records the longest single-insert eviction chain —
@@ -76,25 +77,58 @@ func (c *Cuckoo) checkKey(key []byte) {
 	}
 }
 
-// Lookup implements LookupTable: exactly two bucket probes ("a constant
-// O(1) lookup time ... as only two locations need to be searched").
-func (c *Cuckoo) Lookup(key []byte) (uint64, bool) {
-	c.checkKey(key)
+// lookupAt scans the two candidate buckets given by b1/b2 for key. Probes
+// are charged in one atomic add at exit (1 for a first-bucket hit, else
+// 2), keeping the read path to a single shared-counter operation.
+func (c *Cuckoo) lookupAt(key []byte, b1, b2 int) (uint64, bool) {
+	buckets := [2]int{b1, b2}
 	for table := 0; table < 2; table++ {
-		c.probes++
-		b := c.bucketOf(table, key)
+		b := buckets[table]
 		for slot := 0; slot < c.slots; slot++ {
 			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
+				c.probes.Add(int64(table) + 1)
 				return c.id(table, b, slot), true
 			}
 		}
 	}
+	c.probes.Add(2)
 	return 0, false
+}
+
+// Lookup implements LookupTable: exactly two bucket probes ("a constant
+// O(1) lookup time ... as only two locations need to be searched").
+func (c *Cuckoo) Lookup(key []byte) (uint64, bool) {
+	c.checkKey(key)
+	return c.lookupAt(key, c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets))
+}
+
+// LookupHashed implements the hashed fast path (table.HashedBackend): both
+// candidate buckets come from the caller's precomputed hashes.
+func (c *Cuckoo) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
+	c.checkKey(key)
+	return c.lookupAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
 }
 
 // Insert implements LookupTable with kick-out relocation.
 func (c *Cuckoo) Insert(key []byte) (uint64, error) {
-	if id, ok := c.Lookup(key); ok {
+	c.checkKey(key)
+	b1, b2 := c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets)
+	return c.insertAt(key, b1, b2)
+}
+
+// InsertHashed implements the hashed fast path: the inserted key itself is
+// never rehashed (keys evicted along the kick chain still are — their
+// hashes are not in the caller's precomputed set).
+func (c *Cuckoo) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	c.checkKey(key)
+	return c.insertAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
+}
+
+// insertAt implements Insert with the candidate buckets of key already
+// derived (b1/b2), so the duplicate pre-check and the first placement step
+// reuse them instead of rehashing.
+func (c *Cuckoo) insertAt(key []byte, b1, b2 int) (uint64, error) {
+	if id, ok := c.lookupAt(key, b1, b2); ok {
 		return id, nil
 	}
 	cur := append([]byte(nil), key...)
@@ -103,14 +137,20 @@ func (c *Cuckoo) Insert(key []byte) (uint64, error) {
 	var firstID uint64
 	first := true
 	for kick := 0; kick <= c.maxKick; kick++ {
-		b := c.bucketOf(table, cur)
+		var b int
+		switch {
+		case kick == 0:
+			b = b1 // cur is still the original key: bucket precomputed
+		default:
+			b = c.bucketOf(table, cur)
+		}
 		// Free slot in the candidate bucket?
 		for slot := 0; slot < c.slots; slot++ {
 			if !c.used[table][b*c.slots+slot] {
 				copy(c.slotKey(table, b, slot), cur)
 				c.used[table][b*c.slots+slot] = true
 				c.count++
-				c.probes++
+				c.probes.Add(1)
 				if chain > c.MaxChain {
 					c.MaxChain = chain
 				}
@@ -125,7 +165,7 @@ func (c *Cuckoo) Insert(key []byte) (uint64, error) {
 		victim := chain % c.slots
 		evicted := append([]byte(nil), c.slotKey(table, b, victim)...)
 		copy(c.slotKey(table, b, victim), cur)
-		c.probes += 2 // read victim + write new
+		c.probes.Add(2) // read victim + write new
 		c.Relocations++
 		chain++
 		if first {
@@ -146,28 +186,41 @@ func (c *Cuckoo) Insert(key []byte) (uint64, error) {
 		c.maxKick, cur, ErrTableFull)
 }
 
-// Delete implements LookupTable.
-func (c *Cuckoo) Delete(key []byte) bool {
-	c.checkKey(key)
+// deleteAt removes key from whichever of its candidate buckets holds it.
+func (c *Cuckoo) deleteAt(key []byte, b1, b2 int) bool {
+	buckets := [2]int{b1, b2}
 	for table := 0; table < 2; table++ {
-		c.probes++
-		b := c.bucketOf(table, key)
+		b := buckets[table]
 		for slot := 0; slot < c.slots; slot++ {
 			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
 				c.used[table][b*c.slots+slot] = false
 				c.count--
+				c.probes.Add(int64(table) + 1)
 				return true
 			}
 		}
 	}
+	c.probes.Add(2)
 	return false
+}
+
+// Delete implements LookupTable.
+func (c *Cuckoo) Delete(key []byte) bool {
+	c.checkKey(key)
+	return c.deleteAt(key, c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets))
+}
+
+// DeleteHashed implements the hashed fast path.
+func (c *Cuckoo) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	c.checkKey(key)
+	return c.deleteAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
 }
 
 // Len implements LookupTable.
 func (c *Cuckoo) Len() int { return c.count }
 
 // Probes implements LookupTable.
-func (c *Cuckoo) Probes() int64 { return c.probes }
+func (c *Cuckoo) Probes() int64 { return c.probes.Load() }
 
 // Name implements LookupTable.
 func (c *Cuckoo) Name() string { return "cuckoo" }

@@ -3,6 +3,7 @@ package baseline
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 )
@@ -19,7 +20,7 @@ type DLeft struct {
 	keys   [][]byte // per sub-table arenas
 	used   [][]bool
 	counts []int
-	probes int64
+	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
 
 // NewDLeft builds a d-left table with one sub-table per hash function.
@@ -63,18 +64,20 @@ func (d *DLeft) checkKey(key []byte) {
 }
 
 // Lookup implements LookupTable. All d buckets are probed (hardware
-// searches the sub-tables in parallel, but each is a memory access).
+// searches the sub-tables in parallel, but each is a memory access);
+// probes are charged in one atomic add at exit.
 func (d *DLeft) Lookup(key []byte) (uint64, bool) {
 	d.checkKey(key)
 	for t, h := range d.hashes {
-		d.probes++
 		b := hashfn.Reduce(h.Hash(key), d.buckets)
 		for slot := 0; slot < d.slots; slot++ {
 			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
+				d.probes.Add(int64(t) + 1)
 				return d.id(t, b, slot), true
 			}
 		}
 	}
+	d.probes.Add(int64(len(d.hashes)))
 	return 0, false
 }
 
@@ -105,7 +108,7 @@ func (d *DLeft) Insert(key []byte) (uint64, error) {
 			copy(d.slotKey(bestTable, bestBucket, slot), key)
 			d.used[bestTable][bestBucket*d.slots+slot] = true
 			d.counts[bestTable]++
-			d.probes++
+			d.probes.Add(1)
 			return d.id(bestTable, bestBucket, slot), nil
 		}
 	}
@@ -116,16 +119,17 @@ func (d *DLeft) Insert(key []byte) (uint64, error) {
 func (d *DLeft) Delete(key []byte) bool {
 	d.checkKey(key)
 	for t, h := range d.hashes {
-		d.probes++
 		b := hashfn.Reduce(h.Hash(key), d.buckets)
 		for slot := 0; slot < d.slots; slot++ {
 			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
 				d.used[t][b*d.slots+slot] = false
 				d.counts[t]--
+				d.probes.Add(int64(t) + 1)
 				return true
 			}
 		}
 	}
+	d.probes.Add(int64(len(d.hashes)))
 	return false
 }
 
@@ -139,7 +143,7 @@ func (d *DLeft) Len() int {
 }
 
 // Probes implements LookupTable.
-func (d *DLeft) Probes() int64 { return d.probes }
+func (d *DLeft) Probes() int64 { return d.probes.Load() }
 
 // Name implements LookupTable.
 func (d *DLeft) Name() string { return fmt.Sprintf("%d-left", len(d.hashes)) }

@@ -3,6 +3,7 @@ package baseline
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 )
@@ -20,7 +21,7 @@ type SingleHash struct {
 	keys   []byte
 	used   []bool
 	count  int
-	probes int64
+	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
 
 // NewSingleHash builds a single-hash table of buckets × slots entries over
@@ -72,7 +73,7 @@ func (s *SingleHash) checkKey(key []byte) {
 // Lookup implements LookupTable.
 func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
 	s.checkKey(key)
-	s.probes++
+	s.probes.Add(1)
 	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
 	for slot := 0; slot < s.slots; slot++ {
 		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
@@ -93,7 +94,7 @@ func (s *SingleHash) Insert(key []byte) (uint64, error) {
 			copy(s.slotKey(b, slot), key)
 			s.used[b*s.slots+slot] = true
 			s.count++
-			s.probes++
+			s.probes.Add(1)
 			return s.id(b, slot), nil
 		}
 	}
@@ -103,7 +104,7 @@ func (s *SingleHash) Insert(key []byte) (uint64, error) {
 // Delete implements LookupTable.
 func (s *SingleHash) Delete(key []byte) bool {
 	s.checkKey(key)
-	s.probes++
+	s.probes.Add(1)
 	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
 	for slot := 0; slot < s.slots; slot++ {
 		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
@@ -119,7 +120,7 @@ func (s *SingleHash) Delete(key []byte) bool {
 func (s *SingleHash) Len() int { return s.count }
 
 // Probes implements LookupTable.
-func (s *SingleHash) Probes() int64 { return s.probes }
+func (s *SingleHash) Probes() int64 { return s.probes.Load() }
 
 // Name implements LookupTable.
 func (s *SingleHash) Name() string { return "single-hash" }

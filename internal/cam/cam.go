@@ -12,6 +12,7 @@ package cam
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 )
 
 // ErrFull is returned by Insert when every CAM entry is occupied — the
@@ -35,13 +36,28 @@ type Stats struct {
 	InsertErr int64 // rejected inserts (CAM full)
 }
 
+// counters is the live form of Stats. The search-path counters are atomic
+// so Search can run under a shared (read) lock concurrently with other
+// searchers; the mutation counters are only touched by Insert/Delete,
+// which callers must serialise exclusively (the sharded table's write
+// lock does).
+type counters struct {
+	searches  atomic.Int64
+	hits      atomic.Int64
+	inserts   int64
+	deletes   int64
+	maxInUse  int
+	insertErr int64
+}
+
 // CAM is a binary (exact-match) content-addressable memory with a fixed
-// number of entries.
+// number of entries. Search is safe to call concurrently with other
+// Searches; Insert and Delete require exclusive access.
 type CAM struct {
 	entries []Entry
 	used    []bool
 	inUse   int
-	stats   Stats
+	stats   counters
 }
 
 // New returns a CAM with the given entry count. The paper's reference
@@ -64,16 +80,36 @@ func (c *CAM) Capacity() int { return len(c.entries) }
 func (c *CAM) InUse() int { return c.inUse }
 
 // Stats returns a snapshot of the activity counters.
-func (c *CAM) Stats() Stats { return c.stats }
+func (c *CAM) Stats() Stats {
+	return Stats{
+		Searches:  c.stats.searches.Load(),
+		Hits:      c.stats.hits.Load(),
+		Inserts:   c.stats.inserts,
+		Deletes:   c.stats.deletes,
+		MaxInUse:  c.stats.maxInUse,
+		InsertErr: c.stats.insertErr,
+	}
+}
 
 // Search performs the parallel match against all occupied entries. It
 // returns the stored value and true on a hit. Hardware cost: one cycle,
 // independent of occupancy.
 func (c *CAM) Search(key []byte) (uint64, bool) {
-	c.stats.Searches++
+	c.stats.searches.Add(1)
+	v, ok := c.Find(key)
+	if ok {
+		c.stats.hits.Add(1)
+	}
+	return v, ok
+}
+
+// Find is Search without statistics, for callers on a hot path that
+// account CAM accesses in their own counters (the flow table's pipelined
+// lookup charges the CAM stage through its stage-outcome counter; paying
+// two more atomic adds here would double-count the cost).
+func (c *CAM) Find(key []byte) (uint64, bool) {
 	for i, e := range c.entries {
 		if c.used[i] && bytes.Equal(e.Key, key) {
-			c.stats.Hits++
 			return e.Value, true
 		}
 	}
@@ -90,7 +126,7 @@ func (c *CAM) Insert(key []byte, value uint64) (int, error) {
 	for i, e := range c.entries {
 		if c.used[i] && bytes.Equal(e.Key, key) {
 			c.entries[i].Value = value
-			c.stats.Inserts++
+			c.stats.inserts++
 			return i, nil
 		}
 	}
@@ -99,14 +135,14 @@ func (c *CAM) Insert(key []byte, value uint64) (int, error) {
 			c.entries[i] = Entry{Key: append([]byte(nil), key...), Value: value}
 			c.used[i] = true
 			c.inUse++
-			if c.inUse > c.stats.MaxInUse {
-				c.stats.MaxInUse = c.inUse
+			if c.inUse > c.stats.maxInUse {
+				c.stats.maxInUse = c.inUse
 			}
-			c.stats.Inserts++
+			c.stats.inserts++
 			return i, nil
 		}
 	}
-	c.stats.InsertErr++
+	c.stats.insertErr++
 	return 0, ErrFull
 }
 
@@ -117,7 +153,7 @@ func (c *CAM) Delete(key []byte) bool {
 			c.entries[i] = Entry{}
 			c.used[i] = false
 			c.inUse--
-			c.stats.Deletes++
+			c.stats.deletes++
 			return true
 		}
 	}

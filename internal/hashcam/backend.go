@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cam"
+	"repro/internal/hashfn"
 	"repro/internal/table"
 )
 
@@ -26,7 +27,11 @@ func (e Exact) Lookup(key []byte) (uint64, bool) {
 // onto table.ErrTableFull so callers can test fullness uniformly across
 // backends; other failures (internal invariants) pass through untouched.
 func (e Exact) Insert(key []byte) (uint64, error) {
-	id, err := e.Table.Insert(key)
+	return normalizeInsert(e.Table.Insert(key))
+}
+
+// normalizeInsert maps cam.ErrFull onto the repo-wide fullness sentinel.
+func normalizeInsert(id uint64, err error) (uint64, error) {
 	if err != nil {
 		if errors.Is(err, cam.ErrFull) {
 			return 0, fmt.Errorf("hashcam: %w: %w", table.ErrTableFull, err)
@@ -36,13 +41,30 @@ func (e Exact) Insert(key []byte) (uint64, error) {
 	return id, nil
 }
 
+// LookupHashed implements table.HashedBackend.
+func (e Exact) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
+	id, _, ok := e.Table.LookupHashed(key, kh)
+	return id, ok
+}
+
+// InsertHashed implements table.HashedBackend with the same error
+// normalisation as Insert.
+func (e Exact) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	return normalizeInsert(e.Table.InsertHashed(key, kh))
+}
+
+// DeleteHashed implements table.HashedBackend.
+func (e Exact) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	return e.Table.DeleteHashed(key, kh)
+}
+
 // Probes implements table.Backend.
 func (e Exact) Probes() int64 { return e.Table.Stats().Probes }
 
 // Name implements table.Backend.
 func (e Exact) Name() string { return "hashcam" }
 
-var _ table.Backend = Exact{}
+var _ table.HashedBackend = Exact{}
 
 // BackendConfig derives a hashcam Config from the generic backend Config;
 // the conventional-arrangement baseline reuses it for equal geometry.

@@ -16,6 +16,7 @@ package hashcam
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cam"
 	"repro/internal/hashfn"
@@ -133,6 +134,50 @@ type Stats struct {
 	Probes int64
 }
 
+// counters is the live form of Stats, designed so a lookup costs exactly
+// one atomic add: it records only the stage that resolved it (indexed by
+// Stage-1, with StageMiss counting misses). Because the early-exit
+// pipeline's access count is a pure function of the resolving stage —
+// CAM hit 1 probe, Mem1 hit 2, Mem2 hit and miss 3 — lookup counts, hit
+// counts, stage splits and lookup-path probes are all derived from the
+// outcome array at snapshot time. Counters are atomic so lookups can run
+// under a shared (read) lock concurrently with each other.
+type counters struct {
+	outcome    [4]atomic.Int64
+	inserts    atomic.Int64
+	camInserts atomic.Int64
+	deletes    atomic.Int64
+	failedIns  atomic.Int64
+	// xprobes counts accesses outside the lookup search path: placement
+	// writes, CAM overflow writes, and delete-path searches.
+	xprobes atomic.Int64
+}
+
+// stageProbes is the bucket/CAM access count of a lookup resolving at
+// each stage (indexed by Stage-1): the early-exit contract of §III-A.
+var stageProbes = [4]int64{1, 2, 3, 3}
+
+// snapshot materialises the counters as a Stats value.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Inserts:    c.inserts.Load(),
+		CAMInserts: c.camInserts.Load(),
+		Deletes:    c.deletes.Load(),
+		FailedIns:  c.failedIns.Load(),
+		Probes:     c.xprobes.Load(),
+	}
+	for i, cost := range stageProbes {
+		n := c.outcome[i].Load()
+		s.Lookups += n
+		s.Probes += cost * n
+		if Stage(i+1) != StageMiss {
+			s.HitsByStage[i] = n
+			s.Hits += n
+		}
+	}
+	return s
+}
+
 // half is one memory block (Mem1 or Mem2) as a flat arena.
 type half struct {
 	keys  []byte // buckets × K × keyLen
@@ -140,17 +185,18 @@ type half struct {
 	count int
 }
 
-// Table is the untimed Hash-CAM table. It is not safe for concurrent use;
-// the hardware it models is a single pipeline.
+// Table is the untimed Hash-CAM table. The lookup path (Lookup,
+// LookupHashed) is safe to call concurrently with itself; mutations
+// (Insert, Delete and their hashed variants) require exclusive access —
+// the locking discipline of the sharded table's RWMutex. The hardware it
+// models is a single pipeline.
 type Table struct {
 	cfg   Config
 	mem   [2]half
 	cam   *cam.CAM
-	stats Stats
+	stats counters
 
 	altToggle bool // PolicyAlternate state
-
-	keyBuf []byte // scratch, avoids per-op allocation
 }
 
 // New builds a table from cfg.
@@ -173,7 +219,7 @@ func New(cfg Config) (*Table, error) {
 func (t *Table) Config() Config { return t.cfg }
 
 // Stats returns a snapshot of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+func (t *Table) Stats() Stats { return t.stats.snapshot() }
 
 // Len returns the number of stored entries.
 func (t *Table) Len() int {
@@ -227,9 +273,10 @@ func (t *Table) checkKey(key []byte) {
 	}
 }
 
-// searchBucket scans bucket b of half h for key, returning the slot.
+// searchBucket scans bucket b of half h for key, returning the slot. The
+// caller accounts the access (lookups via the stage outcome, deletes via
+// xprobes).
 func (t *Table) searchBucket(h, bucket int, key []byte) (int, bool) {
-	t.stats.Probes++
 	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
 		if t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] &&
 			bytes.Equal(t.slotKey(h, bucket, slot), key) {
@@ -239,34 +286,55 @@ func (t *Table) searchBucket(h, bucket int, key []byte) (int, bool) {
 	return 0, false
 }
 
-// Lookup searches for key through the three pipeline stages and returns
-// the flow ID, the stage that resolved the query, and whether it matched.
-func (t *Table) Lookup(key []byte) (uint64, Stage, bool) {
-	t.checkKey(key)
-	t.stats.Lookups++
-
+// lookupAt runs the three-stage search with bucket indices that may be
+// precomputed by the caller: b1/b2 < 0 means "derive on demand". The
+// possibly-derived indices are returned so a following insert never hashes
+// the key a second time; after a full miss both are always valid. The
+// single outcome add per stage exit is the lookup's whole stats cost.
+func (t *Table) lookupAt(key []byte, b1, b2 int) (fid uint64, stage Stage, ok bool, ob1, ob2 int) {
 	// Stage 1: CAM (single-cycle parallel search).
-	t.stats.Probes++
-	if v, ok := t.cam.Search(key); ok {
-		t.stats.Hits++
-		t.stats.HitsByStage[StageCAM-1]++
-		return v, StageCAM, true
+	if v, hit := t.cam.Find(key); hit {
+		t.stats.outcome[StageCAM-1].Add(1)
+		return v, StageCAM, true, b1, b2
 	}
 	// Stage 2: Hash1 → Mem1.
-	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
-	if slot, ok := t.searchBucket(0, b1, key); ok {
-		t.stats.Hits++
-		t.stats.HitsByStage[StageMem1-1]++
-		return t.fid(0, b1, slot), StageMem1, true
+	if b1 < 0 {
+		b1 = t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	}
+	if slot, hit := t.searchBucket(0, b1, key); hit {
+		t.stats.outcome[StageMem1-1].Add(1)
+		return t.fid(0, b1, slot), StageMem1, true, b1, b2
 	}
 	// Stage 3: Hash2 → Mem2.
-	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
-	if slot, ok := t.searchBucket(1, b2, key); ok {
-		t.stats.Hits++
-		t.stats.HitsByStage[StageMem2-1]++
-		return t.fid(1, b2, slot), StageMem2, true
+	if b2 < 0 {
+		b2 = t.cfg.Hash.Index2(key, t.cfg.Buckets)
 	}
-	return 0, StageMiss, false
+	if slot, hit := t.searchBucket(1, b2, key); hit {
+		t.stats.outcome[StageMem2-1].Add(1)
+		return t.fid(1, b2, slot), StageMem2, true, b1, b2
+	}
+	t.stats.outcome[StageMiss-1].Add(1)
+	return 0, StageMiss, false, b1, b2
+}
+
+// Lookup searches for key through the three pipeline stages and returns
+// the flow ID, the stage that resolved the query, and whether it matched.
+// Hash words are derived lazily: an early-stage hit never computes the
+// later stage's bucket index.
+func (t *Table) Lookup(key []byte) (uint64, Stage, bool) {
+	t.checkKey(key)
+	fid, stage, ok, _, _ := t.lookupAt(key, -1, -1)
+	return fid, stage, ok
+}
+
+// LookupHashed is Lookup over precomputed key hashes: the caller has
+// already made the single hash pass (hashfn.Pair.Compute with this
+// table's pair), so both bucket indices are free reductions. Results are
+// bit-identical to Lookup over the same key.
+func (t *Table) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, Stage, bool) {
+	t.checkKey(key)
+	fid, stage, ok, _, _ := t.lookupAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
+	return fid, stage, ok
 }
 
 // freeSlot returns the first free slot of bucket b in half h.
@@ -295,7 +363,7 @@ func (t *Table) place(h, bucket, slot int, key []byte) uint64 {
 	copy(t.slotKey(h, bucket, slot), key)
 	t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] = true
 	t.mem[h].count++
-	t.stats.Probes++ // the write access
+	t.stats.xprobes.Add(1) // the write access
 	return t.fid(h, bucket, slot)
 }
 
@@ -304,14 +372,32 @@ func (t *Table) place(h, bucket, slot int, key []byte) uint64 {
 // update path behaves: a concurrent duplicate insert must not create two
 // flow entries). When both buckets are full and the CAM is full, Insert
 // returns cam.ErrFull.
+//
+// Each bucket index is computed at most once per insert: the duplicate
+// pre-check shares its derived indices with the placement step instead of
+// rehashing the key.
 func (t *Table) Insert(key []byte) (uint64, error) {
 	t.checkKey(key)
-	if fidV, _, ok := t.Lookup(key); ok {
+	return t.insertAt(key, -1, -1)
+}
+
+// InsertHashed is Insert over precomputed key hashes; the whole insert
+// performs zero hash computations.
+func (t *Table) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	t.checkKey(key)
+	return t.insertAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
+}
+
+// insertAt implements Insert with optionally precomputed bucket indices
+// (negative means "derive on demand").
+func (t *Table) insertAt(key []byte, b1, b2 int) (uint64, error) {
+	fidV, _, ok, b1, b2 := t.lookupAt(key, b1, b2)
+	if ok {
 		return fidV, nil
 	}
-	t.stats.Inserts++
-	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
-	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	// The duplicate pre-check missed everywhere, so it derived both bucket
+	// indices on the way through; they are reused verbatim below.
+	t.stats.inserts.Add(1)
 
 	order := [2]int{0, 1}
 	switch t.cfg.Policy {
@@ -345,40 +431,58 @@ func (t *Table) Insert(key []byte) (uint64, error) {
 	// Both buckets full: overflow to the CAM.
 	idx, err := t.cam.Insert(key, 0)
 	if err != nil {
-		t.stats.FailedIns++
+		t.stats.failedIns.Add(1)
 		return 0, fmt.Errorf("hashcam: insert overflow (both buckets and CAM full): %w", err)
 	}
-	fidV := t.camFID(idx)
+	camV := t.camFID(idx)
 	// Re-insert with the final value; CAM stores the fid as its value.
-	if _, err := t.cam.Insert(key, fidV); err != nil {
+	if _, err := t.cam.Insert(key, camV); err != nil {
 		return 0, fmt.Errorf("hashcam: CAM value fixup: %w", err)
 	}
-	t.stats.CAMInserts++
-	t.stats.Probes++
-	return fidV, nil
+	t.stats.camInserts.Add(1)
+	t.stats.xprobes.Add(1)
+	return camV, nil
 }
 
 // Delete removes key and reports whether it was present. Deletion is the
 // path the housekeeping function uses to retire timed-out flows.
 func (t *Table) Delete(key []byte) bool {
 	t.checkKey(key)
+	return t.deleteAt(key, -1, -1)
+}
+
+// DeleteHashed is Delete over precomputed key hashes.
+func (t *Table) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	t.checkKey(key)
+	return t.deleteAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
+}
+
+// deleteAt implements Delete with optionally precomputed bucket indices
+// (negative means "derive on demand").
+func (t *Table) deleteAt(key []byte, b1, b2 int) bool {
 	if t.cam.Delete(key) {
-		t.stats.Deletes++
-		t.stats.Probes++
+		t.stats.deletes.Add(1)
+		t.stats.xprobes.Add(1)
 		return true
 	}
-	b1 := t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	if b1 < 0 {
+		b1 = t.cfg.Hash.Index1(key, t.cfg.Buckets)
+	}
+	t.stats.xprobes.Add(1)
 	if slot, ok := t.searchBucket(0, b1, key); ok {
 		t.mem[0].used[b1*t.cfg.SlotsPerBucket+slot] = false
 		t.mem[0].count--
-		t.stats.Deletes++
+		t.stats.deletes.Add(1)
 		return true
 	}
-	b2 := t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	if b2 < 0 {
+		b2 = t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	}
+	t.stats.xprobes.Add(1)
 	if slot, ok := t.searchBucket(1, b2, key); ok {
 		t.mem[1].used[b2*t.cfg.SlotsPerBucket+slot] = false
 		t.mem[1].count--
-		t.stats.Deletes++
+		t.stats.deletes.Add(1)
 		return true
 	}
 	return false

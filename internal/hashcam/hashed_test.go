@@ -1,0 +1,138 @@
+package hashcam
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+// hashedKey aliases the shared key13 helper for readability in this file.
+func hashedKey(i uint64) []byte { return key13(i) }
+
+// TestHashedMatchesUnhashed drives two identical tables through the same
+// operation sequence — one via the byte-key methods, one via the hashed
+// methods — and requires identical IDs, stages, errors and final stats.
+// This is the bit-identity contract of the single-hash-pass fast path.
+func TestHashedMatchesUnhashed(t *testing.T) {
+	cfg := smallConfig()
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mix dense enough to hit every stage: duplicate inserts, lookups of
+	// present and absent keys, deletes, CAM overflow (64 buckets × 2 slots
+	// × 2 halves = 256 entries + 8 CAM at 400 keys inserted).
+	for i := uint64(0); i < 400; i++ {
+		k := hashedKey(i)
+		kh := cfg.Hash.Compute(k)
+		idA, errA := plain.Insert(k)
+		idB, errB := hashed.InsertHashed(k, kh)
+		if idA != idB || (errA == nil) != (errB == nil) {
+			t.Fatalf("insert %d: plain (%d,%v) vs hashed (%d,%v)", i, idA, errA, idB, errB)
+		}
+		if i%3 == 0 { // duplicate insert
+			idA, errA = plain.Insert(k)
+			idB, errB = hashed.InsertHashed(k, kh)
+			if idA != idB || (errA == nil) != (errB == nil) {
+				t.Fatalf("dup insert %d: plain (%d,%v) vs hashed (%d,%v)", i, idA, errA, idB, errB)
+			}
+		}
+	}
+	for i := uint64(0); i < 800; i++ {
+		k := hashedKey(i)
+		kh := cfg.Hash.Compute(k)
+		idA, stA, okA := plain.Lookup(k)
+		idB, stB, okB := hashed.LookupHashed(k, kh)
+		if idA != idB || stA != stB || okA != okB {
+			t.Fatalf("lookup %d: plain (%d,%v,%v) vs hashed (%d,%v,%v)", i, idA, stA, okA, idB, stB, okB)
+		}
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		k := hashedKey(i)
+		kh := cfg.Hash.Compute(k)
+		if a, b := plain.Delete(k), hashed.DeleteHashed(k, kh); a != b {
+			t.Fatalf("delete %d: plain %v vs hashed %v", i, a, b)
+		}
+	}
+	if a, b := plain.Stats(), hashed.Stats(); a != b {
+		t.Fatalf("final stats diverge:\nplain  %+v\nhashed %+v", a, b)
+	}
+	if plain.Len() != hashed.Len() {
+		t.Fatalf("Len: plain %d vs hashed %d", plain.Len(), hashed.Len())
+	}
+}
+
+// countingFunc counts Hash invocations, pinning how often the table
+// actually hashes a key.
+type countingFunc struct {
+	inner hashfn.Func
+	calls atomic.Int64
+}
+
+func (c *countingFunc) Hash(key []byte) uint64 { c.calls.Add(1); return c.inner.Hash(key) }
+func (c *countingFunc) Name() string           { return "counting(" + c.inner.Name() + ")" }
+
+// TestInsertHashesEachIndexOnce pins the satellite fix for the insert
+// double-work: an insert of a fresh key must compute each bucket index at
+// most once (previously Lookup computed both on the miss and Insert
+// recomputed both — two H1 and two H2 evaluations per insert).
+func TestInsertHashesEachIndexOnce(t *testing.T) {
+	h1 := &countingFunc{inner: &hashfn.Mix64{Seed: 1}}
+	h2 := &countingFunc{inner: &hashfn.Mix64{Seed: 2}}
+	cfg := smallConfig()
+	cfg.Hash = hashfn.Pair{H1: h1, H2: h2}
+	tbl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		h1.calls.Store(0)
+		h2.calls.Store(0)
+		if _, err := tbl.Insert(hashedKey(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got1, got2 := h1.calls.Load(), h2.calls.Load(); got1 != 1 || got2 != 1 {
+			t.Fatalf("insert %d: %d H1 and %d H2 evaluations, want 1 and 1", i, got1, got2)
+		}
+	}
+	// A lookup that resolves at Mem1 must never evaluate H2 (lazy stage 3).
+	for i := uint64(0); i < 50; i++ {
+		k := hashedKey(i)
+		h1.calls.Store(0)
+		h2.calls.Store(0)
+		_, stage, ok := tbl.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d lost", i)
+		}
+		want2 := int64(1)
+		if stage == StageMem1 || stage == StageCAM {
+			want2 = 0
+		}
+		want1 := int64(1)
+		if stage == StageCAM {
+			want1 = 0
+		}
+		if got1, got2 := h1.calls.Load(), h2.calls.Load(); got1 != want1 || got2 != want2 {
+			t.Fatalf("lookup %d (stage %v): %d H1 / %d H2 evaluations, want %d / %d",
+				i, stage, got1, got2, want1, want2)
+		}
+	}
+	// The hashed variants never hash at all.
+	kh7 := cfg.Hash.Compute(hashedKey(7))
+	kh1000 := cfg.Hash.Compute(hashedKey(1000))
+	h1.calls.Store(0)
+	h2.calls.Store(0)
+	tbl.LookupHashed(hashedKey(7), kh7)
+	if _, err := tbl.InsertHashed(hashedKey(1000), kh1000); err != nil {
+		t.Fatal(err)
+	}
+	tbl.DeleteHashed(hashedKey(1000), kh1000)
+	if got1, got2 := h1.calls.Load(), h2.calls.Load(); got1 != 0 || got2 != 0 {
+		t.Fatalf("hashed ops evaluated %d H1 / %d H2, want 0 / 0", got1, got2)
+	}
+}

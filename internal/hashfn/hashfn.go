@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 )
 
 // Func is a deterministic 64-bit hash over descriptor key bytes. Hardware
@@ -25,6 +26,11 @@ type Func interface {
 	Name() string
 }
 
+// crcDomainPrefix is the byte logically prepended to the key for the high
+// word of a CRC hash, shifting it through a different linear map than the
+// low word.
+const crcDomainPrefix = 0xA5
+
 // CRC is a CRC-32-based hash widened to 64 bits by running the CRC twice,
 // the second time over a domain-prefixed copy of the key. Prefixing (rather
 // than changing the initial value) shifts the key through a different
@@ -32,23 +38,102 @@ type Func interface {
 // changed initial value alone the two CRCs of fixed-length keys differ only
 // by a constant. CRC circuits are the standard FPGA hash block (cheap in
 // LUTs, good mixing on network headers).
+//
+// The prefix CRC state is folded into the constructor (hashing the one-byte
+// domain prefix per call would cost an extra CRC update on every hash), and
+// polynomials without a hardware-assisted stdlib path get a slicing-by-8
+// engine instead of crc32.Update's byte-at-a-time fallback.
 type CRC struct {
-	table *crc32.Table
-	name  string
+	table  *crc32.Table    // non-nil: delegate to crc32.Update (hardware/slicing path)
+	slc    *[8][256]uint32 // non-nil: own slicing-by-8 engine
+	hiInit uint32          // CRC state after the domain prefix, precomputed
+	name   string
 }
 
 // NewCRC returns a CRC hash over the given polynomial. Use
 // crc32.Castagnoli or crc32.Koopman for independent instances.
 func NewCRC(poly uint32, name string) *CRC {
-	return &CRC{table: crc32.MakeTable(poly), name: name}
+	c := &CRC{name: name}
+	if poly == crc32.Castagnoli {
+		// The stdlib routes this table through CPU CRC instructions (or at
+		// worst its own slicing-by-8); ours cannot beat it.
+		c.table = crc32.MakeTable(poly)
+		c.hiInit = crc32.Update(0, c.table, []byte{crcDomainPrefix})
+		return c
+	}
+	c.slc = makeSlicing8(poly)
+	c.hiInit = c.update(0, []byte{crcDomainPrefix})
+	return c
 }
 
-// Hash implements Func.
+// makeSlicing8 extends the classic byte-at-a-time CRC table to the
+// slicing-by-8 family: tab[k][b] is the CRC contribution of byte b placed k
+// positions before the end of an 8-byte block.
+func makeSlicing8(poly uint32) *[8][256]uint32 {
+	base := crc32.MakeTable(poly)
+	var tab [8][256]uint32
+	tab[0] = [256]uint32(*base)
+	for b := 0; b < 256; b++ {
+		crc := tab[0][b]
+		for k := 1; k < 8; k++ {
+			crc = tab[0][crc&0xff] ^ (crc >> 8)
+			tab[k][b] = crc
+		}
+	}
+	return &tab
+}
+
+// update advances the CRC state over p (reflected bit order, matching
+// crc32.Update with the same polynomial).
+func (c *CRC) update(crc uint32, p []byte) uint32 {
+	if c.table != nil {
+		return crc32.Update(crc, c.table, p)
+	}
+	crc = ^crc
+	t := c.slc
+	for len(p) >= 8 {
+		crc ^= binary.LittleEndian.Uint32(p)
+		hi := binary.LittleEndian.Uint32(p[4:])
+		crc = t[7][crc&0xff] ^ t[6][crc>>8&0xff] ^ t[5][crc>>16&0xff] ^ t[4][crc>>24] ^
+			t[3][hi&0xff] ^ t[2][hi>>8&0xff] ^ t[1][hi>>16&0xff] ^ t[0][hi>>24]
+		p = p[8:]
+	}
+	for _, b := range p {
+		crc = t[0][byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
+}
+
+// Hash implements Func. On the slicing path both 32-bit words advance
+// through one fused pass over the key bytes (the hardware computes its
+// CRC taps in the same cycle; software gets the loop overhead and the key
+// reads paid once instead of twice). The hardware-assisted path keeps two
+// stdlib calls — the CRC instruction outruns any fusing.
 func (c *CRC) Hash(key []byte) uint64 {
-	lo := crc32.Update(0, c.table, key)
-	hi := crc32.Update(0, c.table, []byte{0xA5})
-	hi = crc32.Update(hi, c.table, key)
-	return uint64(hi)<<32 | uint64(lo)
+	if c.table != nil {
+		lo := crc32.Update(0, c.table, key)
+		hi := crc32.Update(c.hiInit, c.table, key)
+		return uint64(hi)<<32 | uint64(lo)
+	}
+	t := c.slc
+	lo, hi := ^uint32(0), ^c.hiInit
+	p := key
+	for len(p) >= 8 {
+		w0 := binary.LittleEndian.Uint32(p)
+		w1 := binary.LittleEndian.Uint32(p[4:])
+		x := lo ^ w0
+		lo = t[7][x&0xff] ^ t[6][x>>8&0xff] ^ t[5][x>>16&0xff] ^ t[4][x>>24] ^
+			t[3][w1&0xff] ^ t[2][w1>>8&0xff] ^ t[1][w1>>16&0xff] ^ t[0][w1>>24]
+		y := hi ^ w0
+		hi = t[7][y&0xff] ^ t[6][y>>8&0xff] ^ t[5][y>>16&0xff] ^ t[4][y>>24] ^
+			t[3][w1&0xff] ^ t[2][w1>>8&0xff] ^ t[1][w1>>16&0xff] ^ t[0][w1>>24]
+		p = p[8:]
+	}
+	for _, b := range p {
+		lo = t[0][byte(lo)^b] ^ (lo >> 8)
+		hi = t[0][byte(hi)^b] ^ (hi >> 8)
+	}
+	return uint64(^hi)<<32 | uint64(^lo)
 }
 
 // Name implements Func.
@@ -194,6 +279,47 @@ func (t *Tabulation) Name() string { return t.name }
 type Pair struct {
 	H1, H2 Func
 }
+
+// KeyHashes carries every hash word the table stack needs for one key,
+// computed once per operation (the paper's descriptors are hashed exactly
+// once by the two pre-selected functions, §III-B; the software analogue is
+// one Compute per key instead of rehashing for shard routing, bucket 1,
+// and bucket 2 separately).
+type KeyHashes struct {
+	// H1, H2 are the full words of the two pre-selected hash functions.
+	H1, H2 uint64
+	// Mix is the shard-selector word. It is derived from H1 and H2 through
+	// a full-avalanche finalizer, so its low bits (which Reduce consumes)
+	// are decorrelated from the low bits of H1/H2 that index buckets —
+	// the selector/bucket independence the sharded table requires.
+	Mix uint64
+}
+
+// mixSeed decorrelates the selector word from any other finalizer use of
+// the same hash words.
+const mixSeed = 0x5ca1ab1e_0ddba11
+
+// MixWords derives the selector word of KeyHashes from the two hash words.
+// Rotating H2 before the XOR keeps the combination from collapsing when
+// H1 == H2 on the low word.
+func MixWords(h1, h2 uint64) uint64 {
+	return mix64(h1 ^ bits.RotateLeft64(h2, 32) ^ mixSeed)
+}
+
+// Compute hashes key once with both functions and derives the selector
+// word — the single hash pass of the hot path.
+func (p Pair) Compute(key []byte) KeyHashes {
+	h1, h2 := p.H1.Hash(key), p.H2.Hash(key)
+	return KeyHashes{H1: h1, H2: h2, Mix: MixWords(h1, h2)}
+}
+
+// Index1 reduces the precomputed H1 word onto [0, buckets); identical to
+// Pair.Index1 over the originating key.
+func (k KeyHashes) Index1(buckets int) int { return reduce(k.H1, buckets) }
+
+// Index2 reduces the precomputed H2 word onto [0, buckets); identical to
+// Pair.Index2 over the originating key.
+func (k KeyHashes) Index2(buckets int) int { return reduce(k.H2, buckets) }
 
 // DefaultPair returns the pair used by the prototype configuration: two
 // CRC-32 instances over independent polynomials, the standard choice for

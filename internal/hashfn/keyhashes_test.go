@@ -1,0 +1,111 @@
+package hashfn
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestCRCMatchesLegacyFormula pins the constructor-folded prefix state and
+// the slicing-by-8 engine to the original definition: lo = CRC(key),
+// hi = CRC(0xA5 ∥ key), computed here byte-at-a-time with the stdlib.
+func TestCRCMatchesLegacyFormula(t *testing.T) {
+	for _, poly := range []uint32{crc32.Castagnoli, crc32.Koopman, crc32.IEEE, 0xD5828281} {
+		c := NewCRC(poly, "test")
+		tab := crc32.MakeTable(poly)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 500; i++ {
+			key := make([]byte, rng.Intn(40)) // covers tails, blocks, empty
+			rng.Read(key)
+			lo := crc32.Update(0, tab, key)
+			hi := crc32.Update(crc32.Update(0, tab, []byte{crcDomainPrefix}), tab, key)
+			want := uint64(hi)<<32 | uint64(lo)
+			if got := c.Hash(key); got != want {
+				t.Fatalf("poly %#x len %d: Hash = %#x, want %#x", poly, len(key), got, want)
+			}
+		}
+	}
+}
+
+// TestComputeMatchesFuncs pins the single-pass bundle to the individual
+// functions: KeyHashes must carry exactly H1(key), H2(key) and the
+// MixWords derivation, and its Index reductions must equal the Pair's.
+func TestComputeMatchesFuncs(t *testing.T) {
+	pair := DefaultPair()
+	key := make([]byte, 13)
+	for i := 0; i < 2000; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i)*0x9e3779b97f4a7c15)
+		kh := pair.Compute(key)
+		if kh.H1 != pair.H1.Hash(key) || kh.H2 != pair.H2.Hash(key) {
+			t.Fatalf("key %d: Compute words (%#x,%#x) disagree with Hash (%#x,%#x)",
+				i, kh.H1, kh.H2, pair.H1.Hash(key), pair.H2.Hash(key))
+		}
+		if kh.Mix != MixWords(kh.H1, kh.H2) {
+			t.Fatalf("key %d: Mix %#x != MixWords %#x", i, kh.Mix, MixWords(kh.H1, kh.H2))
+		}
+		for _, buckets := range []int{64, 100, 8192} {
+			if kh.Index1(buckets) != pair.Index1(key, buckets) ||
+				kh.Index2(buckets) != pair.Index2(key, buckets) {
+				t.Fatalf("key %d: KeyHashes reductions disagree with Pair at %d buckets", i, buckets)
+			}
+		}
+	}
+}
+
+// TestMixSelectorIndependence checks the property the sharded table
+// relies on: conditioned on landing in one bucket (low bits of H1), the
+// Mix word still spreads keys uniformly across shards — shard selection
+// must not correlate with bucket placement.
+func TestMixSelectorIndependence(t *testing.T) {
+	pair := DefaultPair()
+	const (
+		buckets = 64
+		shards  = 8
+	)
+	// Collect keys that all fall into bucket 0 of Mem1, then check their
+	// shard distribution.
+	counts := make([]int, shards)
+	total := 0
+	key := make([]byte, 13)
+	for i := 0; total < 4000 && i < 2_000_000; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i))
+		kh := pair.Compute(key)
+		if kh.Index1(buckets) != 0 {
+			continue
+		}
+		counts[Reduce(kh.Mix, shards)]++
+		total++
+	}
+	if total < 4000 {
+		t.Fatalf("only %d keys landed in the probe bucket", total)
+	}
+	want := total / shards
+	for s, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("shard %d holds %d of %d same-bucket keys (want ≈%d): selector correlated with bucket",
+				s, n, total, want)
+		}
+	}
+}
+
+// TestCRCHashAllocFree pins the satellite fix: hashing must not allocate
+// (the prefix state is folded into the constructor, not rebuilt per call).
+func TestCRCHashAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	for _, f := range []Func{
+		NewCRC(crc32.Castagnoli, "crc32c"),
+		NewCRC(crc32.Koopman, "crc32k"),
+	} {
+		if n := testing.AllocsPerRun(200, func() { f.Hash(key) }); n != 0 {
+			t.Errorf("%s: Hash allocates %.2f per call, want 0", f.Name(), n)
+		}
+	}
+	pair := DefaultPair()
+	if n := testing.AllocsPerRun(200, func() { pair.Compute(key) }); n != 0 {
+		t.Errorf("Pair.Compute allocates %.2f per call, want 0", n)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hashfn
+
+const raceEnabled = false

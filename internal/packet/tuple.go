@@ -85,6 +85,7 @@ func (f Field) String() string {
 // TupleSpec selects the header fields that identify a flow.
 type TupleSpec struct {
 	fields []Field
+	std5   bool // fields are exactly the canonical 5-tuple order
 }
 
 // NewTupleSpec builds a spec over the given fields, in order. Duplicate
@@ -103,7 +104,13 @@ func NewTupleSpec(fields ...Field) (TupleSpec, error) {
 		}
 		seen[f] = true
 	}
-	return TupleSpec{fields: append([]Field(nil), fields...)}, nil
+	spec := TupleSpec{fields: append([]Field(nil), fields...)}
+	std5 := [...]Field{FieldSrcAddr, FieldDstAddr, FieldSrcPort, FieldDstPort, FieldProto}
+	spec.std5 = len(fields) == len(std5)
+	for i := 0; spec.std5 && i < len(std5); i++ {
+		spec.std5 = fields[i] == std5[i]
+	}
+	return spec, nil
 }
 
 // FiveTupleSpec returns the standard 5-tuple spec.
@@ -143,6 +150,26 @@ func (s TupleSpec) KeyLen(ipv4 bool) int {
 // extended slice. The layout is fixed per (spec, family), so equal tuples
 // always serialise identically — the property the hash table relies on.
 func (s TupleSpec) AppendKey(dst []byte, ft FiveTuple) []byte {
+	if s.std5 && ft.Src.Is4() && ft.Dst.Is4() {
+		// The standard 13-byte IPv4 5-tuple is the descriptor format of
+		// every hot path in this repository; assembling it in one fixed
+		// block directly in dst's spare capacity skips the field dispatch
+		// loop and the staging copy. The layout is byte-for-byte the
+		// loop's output for the same field order.
+		n := len(dst)
+		if cap(dst)-n < 13 {
+			dst = append(dst, make([]byte, 13)...)[:n]
+		}
+		dst = dst[:n+13]
+		k := dst[n:]
+		src, dst4 := ft.Src.As4(), ft.Dst.As4()
+		copy(k[0:4], src[:])
+		copy(k[4:8], dst4[:])
+		binary.BigEndian.PutUint16(k[8:10], ft.SrcPort)
+		binary.BigEndian.PutUint16(k[10:12], ft.DstPort)
+		k[12] = ft.Proto
+		return dst
+	}
 	for _, f := range s.fields {
 		switch f {
 		case FieldSrcAddr:

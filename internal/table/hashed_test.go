@@ -1,0 +1,323 @@
+package table_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	_ "repro/internal/baseline" // register every backend
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// TestHashedUnhashedEquivalenceAllBackends is the property test of the
+// single-hash-pass fast path: for every registered backend that
+// implements table.HashedBackend, a randomised op sequence driven through
+// the hashed methods must return exactly the IDs, presence results and
+// errors of the byte-key path on an identically configured instance, and
+// leave identical Len and Probes accounting. Backends without the fast
+// path are exercised through Sharded's transparent fallback below.
+func TestHashedUnhashedEquivalenceAllBackends(t *testing.T) {
+	for _, name := range table.Backends() {
+		t.Run(name, func(t *testing.T) {
+			cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
+			plainBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashedBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, ok := hashedBE.(table.HashedBackend)
+			if !ok {
+				t.Skipf("%s has no hashed fast path (served by the byte-key fallback)", name)
+			}
+			rng := rand.New(rand.NewSource(42))
+			// Dense key space plus overflow pressure: the sequence hits
+			// duplicate inserts, misses, deletes and full-table errors.
+			for op := 0; op < 6000; op++ {
+				k := key13(uint64(rng.Intn(900)))
+				kh := cfg.Hash.Compute(k)
+				switch rng.Intn(4) {
+				case 0:
+					idA, errA := plainBE.Insert(k)
+					idB, errB := hb.InsertHashed(k, kh)
+					if idA != idB || (errA == nil) != (errB == nil) ||
+						errors.Is(errA, table.ErrTableFull) != errors.Is(errB, table.ErrTableFull) {
+						t.Fatalf("op %d insert: plain (%d,%v) vs hashed (%d,%v)", op, idA, errA, idB, errB)
+					}
+				case 1, 2:
+					idA, okA := plainBE.Lookup(k)
+					idB, okB := hb.LookupHashed(k, kh)
+					if idA != idB || okA != okB {
+						t.Fatalf("op %d lookup: plain (%d,%v) vs hashed (%d,%v)", op, idA, okA, idB, okB)
+					}
+				case 3:
+					if a, b := plainBE.Delete(k), hb.DeleteHashed(k, kh); a != b {
+						t.Fatalf("op %d delete: plain %v vs hashed %v", op, a, b)
+					}
+				}
+			}
+			if plainBE.Len() != hashedBE.Len() {
+				t.Fatalf("Len: plain %d vs hashed %d", plainBE.Len(), hashedBE.Len())
+			}
+			if plainBE.Probes() != hashedBE.Probes() {
+				t.Fatalf("Probes: plain %d vs hashed %d — fast path changes the cost model",
+					plainBE.Probes(), hashedBE.Probes())
+			}
+		})
+	}
+}
+
+// TestShardedFallbackForUnhashedBackends pins the transparent fallback:
+// every backend — hashed fast path or not — must behave identically under
+// Sharded for the same op sequence as an unsharded reference.
+func TestShardedFallbackForUnhashedBackends(t *testing.T) {
+	for _, name := range table.Backends() {
+		t.Run(name, func(t *testing.T) {
+			cfg := table.Config{Capacity: 1 << 14}
+			single, err := table.NewSharded(name, 1, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := table.NewSharded(name, 8, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 3000
+			for i := uint64(0); i < n; i++ {
+				if _, err := single.Insert(key13(i)); err != nil {
+					t.Fatalf("single insert %d: %v", i, err)
+				}
+				if _, err := sharded.Insert(key13(i)); err != nil {
+					t.Fatalf("sharded insert %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < n; i += 3 {
+				if a, b := single.Delete(key13(i)), sharded.Delete(key13(i)); a != b {
+					t.Fatalf("delete %d: single=%v sharded=%v", i, a, b)
+				}
+			}
+			for i := uint64(0); i < 2*n; i++ {
+				_, okA := single.Lookup(key13(i))
+				_, okB := sharded.Lookup(key13(i))
+				if okA != okB {
+					t.Fatalf("lookup %d: single=%v sharded=%v", i, okA, okB)
+				}
+			}
+			if single.Len() != sharded.Len() {
+				t.Fatalf("Len: single=%d sharded=%d", single.Len(), sharded.Len())
+			}
+		})
+	}
+}
+
+// countingFunc counts Hash invocations across goroutines.
+type countingFunc struct {
+	inner hashfn.Func
+	calls atomic.Int64
+}
+
+func (c *countingFunc) Hash(key []byte) uint64 { c.calls.Add(1); return c.inner.Hash(key) }
+func (c *countingFunc) Name() string           { return "counting(" + c.inner.Name() + ")" }
+
+// TestShardedSingleHashPass pins the tentpole: with a hashed backend, one
+// batch op over n keys evaluates each hash function exactly n times —
+// shard routing, duplicate pre-checks and bucket indexing all reuse the
+// one Compute per key. (Before this PR a batched insert cost 3 selector +
+// H1 + H2 evaluations per key on top of the backend's own 2–4.)
+func TestShardedSingleHashPass(t *testing.T) {
+	h1 := &countingFunc{inner: &hashfn.Mix64{Seed: 1}}
+	h2 := &countingFunc{inner: &hashfn.Mix64{Seed: 2}}
+	cfg := table.Config{Capacity: 8192, Hash: hashfn.Pair{H1: h1, H2: h2}}
+	s, err := table.NewSharded("hashcam", 4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 1000)
+	reset := func() { h1.calls.Store(0); h2.calls.Store(0) }
+	check := func(op string, want int64) {
+		t.Helper()
+		if got1, got2 := h1.calls.Load(), h2.calls.Load(); got1 != want || got2 != want {
+			t.Fatalf("%s: %d H1 / %d H2 evaluations, want %d each", op, got1, got2, want)
+		}
+	}
+	reset()
+	if _, errs := s.InsertBatch(keys); errs != nil {
+		t.Fatal(table.BatchErr(errs))
+	}
+	check("InsertBatch(1000 fresh keys)", 1000)
+	reset()
+	s.LookupBatch(keys)
+	check("LookupBatch(1000 keys)", 1000)
+	reset()
+	s.Lookup(keys[0])
+	s.Insert(keys[1])
+	s.Delete(keys[2])
+	check("scalar lookup+insert+delete", 3)
+	reset()
+	s.DeleteBatch(keys)
+	check("DeleteBatch(1000 keys)", 1000)
+}
+
+// TestLookupBatchInto covers the caller-supplied-buffer variant: results
+// must match LookupBatch exactly and dirty buffers must be fully
+// overwritten.
+func TestLookupBatchInto(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 4, table.Config{Capacity: 8192}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 500)
+	if _, errs := s.InsertBatch(keys); errs != nil {
+		t.Fatal(table.BatchErr(errs))
+	}
+	mixed := append(keys13(400, 600), keys13(0, 100)...) // hits and misses
+	wantIDs, wantHits := s.LookupBatch(mixed)
+	ids := make([]uint64, len(mixed))
+	hits := make([]bool, len(mixed))
+	for i := range ids { // poison the buffers
+		ids[i] = ^uint64(0)
+		hits[i] = true
+	}
+	s.LookupBatchInto(mixed, ids, hits)
+	for i := range mixed {
+		if ids[i] != wantIDs[i] || hits[i] != wantHits[i] {
+			t.Fatalf("key %d: Into (%d,%v), LookupBatch said (%d,%v)", i, ids[i], hits[i], wantIDs[i], wantHits[i])
+		}
+	}
+	// Delete variant: the per-key results must mirror the hits observed
+	// above, and a second pass over the same keys (now absent, with a
+	// poisoned buffer) must report all false.
+	ok := make([]bool, len(mixed))
+	s.DeleteBatchInto(mixed, ok)
+	for i := range mixed {
+		if ok[i] != wantHits[i] {
+			t.Fatalf("key %d: DeleteBatchInto %v, want %v", i, ok[i], wantHits[i])
+		}
+	}
+	for i := range ok {
+		ok[i] = true
+	}
+	s.DeleteBatchInto(mixed, ok)
+	for i, k := range mixed {
+		if ok[i] {
+			t.Fatalf("key %d reported deleted twice", i)
+		}
+		if _, still := s.Lookup(k); still {
+			t.Fatalf("key %d survived DeleteBatchInto", i)
+		}
+	}
+}
+
+// TestBatchIntoPanicsOnLengthMismatch pins the buffer contract.
+func TestBatchIntoPanicsOnLengthMismatch(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 8)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s with short buffers did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("LookupBatchInto", func() {
+		s.LookupBatchInto(keys, make([]uint64, 4), make([]bool, 8))
+	})
+	expectPanic("DeleteBatchInto", func() {
+		s.DeleteBatchInto(keys, make([]bool, 7))
+	})
+}
+
+// TestShardedReadConcurrentLookups is the race-detector certificate for
+// the RWMutex read path: many goroutines hammer scalar and batched
+// lookups over the whole key space while writers insert and delete
+// continuously. Run with -race this catches any lookup-path mutation that
+// bypassed the atomic counters.
+func TestShardedReadConcurrentLookups(t *testing.T) {
+	for _, backend := range table.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 4, table.Config{Capacity: 1 << 14}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const resident = 4000
+			keys := keys13(0, resident)
+			placed := resident
+			if _, errs := s.InsertBatch(keys); errs != nil {
+				// Structures without overflow headroom (single-hash) may
+				// drop a few keys at this load; anything else is a failure.
+				for i, e := range errs {
+					if e == nil {
+						continue
+					}
+					if !errors.Is(e, table.ErrTableFull) {
+						t.Fatalf("insert %d: %v", i, e)
+					}
+					placed--
+				}
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			// Readers: scalar + batch, including miss traffic.
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					ids := make([]uint64, 256)
+					hits := make([]bool, 256)
+					batch := keys[r*256 : r*256+256]
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.Lookup(keys[(i*7+r)%resident])
+						s.Lookup(key13(uint64(1 << 40))) // permanent miss
+						s.LookupBatchInto(batch, ids, hits)
+						s.Len()
+						s.Probes()
+					}
+				}(r)
+			}
+			// Writers: churn a disjoint upper key range.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := uint64(1<<20 + w*10000)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := key13(base + uint64(i%500))
+						if _, err := s.Insert(k); err != nil {
+							continue // overflow under churn is fine
+						}
+						s.Delete(k)
+					}
+				}(w)
+			}
+			// Let them collide for a while.
+			for i := 0; i < 200; i++ {
+				s.LookupBatch(keys[:128])
+			}
+			close(stop)
+			wg.Wait()
+			if got := s.Len(); got < placed {
+				t.Fatalf("resident keys lost under concurrency: Len = %d, want >= %d", got, placed)
+			}
+		})
+	}
+}

@@ -8,41 +8,61 @@ import (
 	"repro/internal/hashfn"
 )
 
-// shardSelectorSeed seeds the default shard-selector hash. The selector
-// must be independent of the backends' own H1/H2 pair: selecting shards
-// with bits of the same hash that indexes buckets would correlate the
-// partition with bucket placement and unbalance the shards.
+// shardSelectorSeed seeds the fallback shard-selector hash used for
+// backends without a hashed fast path. The selector must be independent of
+// the backends' own H1/H2 pair: selecting shards with bits of the same
+// hash that indexes buckets would correlate the partition with bucket
+// placement and unbalance the shards. Backends with a hashed fast path
+// route off hashfn.KeyHashes.Mix instead, which provides the same
+// independence without a third hash pass.
 const shardSelectorSeed = 0x5ca1ab1e_0ddba11
 
 // Sharded partitions one logical table across N independently locked
 // shards, each holding its own Backend instance. Keys are routed by a
-// dedicated selector hash; all operations on one key always land on the
+// dedicated selector word; all operations on one key always land on the
 // same shard, so per-key semantics are exactly those of the underlying
 // backend. Sharded itself implements Backend, so shards compose with
 // everything that consumes the contract.
+//
+// Locking is read/write: lookups take a shard's lock shared, so
+// read-mostly traffic proceeds concurrently within one shard; inserts and
+// deletes take it exclusively. Backends therefore only need
+// lookups-concurrent-with-lookups safety, which the registry's structures
+// provide via atomic stat counters.
+//
+// When the backend implements HashedBackend, every operation makes a
+// single hash pass per key (hashfn.Pair.Compute): the resulting KeyHashes
+// both routes the shard (via the Mix word) and indexes the buckets, and
+// IDs, stages and errors are bit-identical to the unhashed path.
 //
 // IDs returned by a Sharded table encode the owning shard in the low bits
 // (local<<shardBits | shard); they are stable for the lifetime of an entry
 // but differ numerically from the IDs an unsharded backend would assign.
 type Sharded struct {
 	shards    []shardState
-	sel       hashfn.Func
+	pair      hashfn.Pair // the backends' configured pair, for Compute
+	sel       hashfn.Func // non-nil: route by sel instead of KeyHashes.Mix
+	hashed    bool        // every shard backend implements HashedBackend
 	shardBits uint
 	name      string
+
+	scratch sync.Pool // *batchScratch
 }
 
-// shardState pairs a backend with its lock. Padding the hot mutex apart
-// matters less than lock scope here: each batch op takes each shard lock
-// at most once.
+// shardState pairs a backend with its lock. hbe is the same backend
+// downcast once at construction, so the hot path never type-asserts.
 type shardState struct {
-	mu sync.Mutex
-	be Backend
+	mu  sync.RWMutex
+	be  Backend
+	hbe HashedBackend // nil when be has no hashed fast path
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
 // shard receives cfg with Capacity divided by the shard count (rounded
-// up), so total capacity is preserved. shards must be >= 1; a selector of
-// nil uses the default independent Mix64.
+// up), so total capacity is preserved. shards must be >= 1. A nil selector
+// routes by the single-pass KeyHashes.Mix word when the backend supports
+// the hashed path (falling back to an independent Mix64 otherwise); a
+// non-nil selector always routes by selector.Hash.
 func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("table: shard count must be >= 1, got %d", shards)
@@ -57,24 +77,31 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 	// table's total collision headroom matches the unsharded equivalent
 	// (otherwise N shards would absorb N× the overflow before filling).
 	per.CAMCapacity = (cfg.CAMCapacity + shards - 1) / shards
-	if selector == nil {
-		selector = &hashfn.Mix64{Seed: shardSelectorSeed}
-	}
 	bits := uint(0)
 	for 1<<bits < shards {
 		bits++
 	}
 	s := &Sharded{
 		shards:    make([]shardState, shards),
+		pair:      cfg.Hash,
 		sel:       selector,
 		shardBits: bits,
 	}
+	s.scratch.New = func() any { return new(batchScratch) }
 	for i := range s.shards {
 		be, err := New(backend, per)
 		if err != nil {
 			return nil, err
 		}
 		s.shards[i].be = be
+		s.shards[i].hbe, _ = be.(HashedBackend)
+	}
+	s.hashed = s.shards[0].hbe != nil
+	if s.sel == nil && !s.hashed {
+		// No hashed pass to piggyback on: fall back to the historical
+		// dedicated selector so routing costs one cheap Mix64, not a
+		// pair computation used for nothing else.
+		s.sel = &hashfn.Mix64{Seed: shardSelectorSeed}
 	}
 	s.name = fmt.Sprintf("sharded(%s,%d)", s.shards[0].be.Name(), shards)
 	return s, nil
@@ -83,12 +110,24 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 // ShardCount returns the number of shards.
 func (s *Sharded) ShardCount() int { return len(s.shards) }
 
-// shardOf routes a key to its shard.
+// hashedRouting reports whether operations compute KeyHashes once and
+// route by its Mix word (the single-hash-pass fast path).
+func (s *Sharded) hashedRouting() bool { return s.hashed && s.sel == nil }
+
+// shardOf routes a key to its shard in the selector-routed configuration.
 func (s *Sharded) shardOf(key []byte) int {
 	if len(s.shards) == 1 {
 		return 0
 	}
 	return hashfn.Reduce(s.sel.Hash(key), len(s.shards))
+}
+
+// shardOfMix routes by the precomputed selector word.
+func (s *Sharded) shardOfMix(kh hashfn.KeyHashes) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return hashfn.Reduce(kh.Mix, len(s.shards))
 }
 
 // globalID folds the shard index into a backend-local ID.
@@ -101,22 +140,63 @@ func (s *Sharded) DecodeID(id uint64) (shard int, local uint64) {
 	return int(id & (1<<s.shardBits - 1)), id >> s.shardBits
 }
 
-// withShard runs f holding shard i's lock. The deferred unlock means a
-// panicking backend (e.g. a key-length violation) cannot wedge the shard
-// for every later caller that recovers the panic.
-func (s *Sharded) withShard(i int, f func(be Backend)) {
+// The scalar per-shard helpers below hold the lock for exactly one
+// backend call. The deferred unlock (open-coded by the compiler, so free
+// on the hot path) means a panicking backend (e.g. a key-length
+// violation) cannot wedge the shard for every later caller that recovers
+// the panic.
+
+func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, bool) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if hashed {
+		return sh.hbe.LookupHashed(key, kh)
+	}
+	return sh.be.Lookup(key)
+}
+
+func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, error) {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	f(sh.be)
+	if hashed {
+		return sh.hbe.InsertHashed(key, kh)
+	}
+	return sh.be.Insert(key)
+}
+
+func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) bool {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if hashed {
+		return sh.hbe.DeleteHashed(key, kh)
+	}
+	return sh.be.Delete(key)
+}
+
+// route performs the scalar per-key preamble shared by every operation:
+// one hash pass when the backend consumes it, and the shard choice —
+// off the Mix word in the single-pass configuration, off the selector
+// otherwise. All three scalar ops must route identically or operations
+// on one key would land on different shards.
+func (s *Sharded) route(key []byte) (i int, kh hashfn.KeyHashes, hashed bool) {
+	hashed = s.hashed
+	if s.hashedRouting() {
+		kh = s.pair.Compute(key)
+		return s.shardOfMix(kh), kh, hashed
+	}
+	if hashed {
+		kh = s.pair.Compute(key)
+	}
+	return s.shardOf(key), kh, hashed
 }
 
 // Lookup implements Backend.
 func (s *Sharded) Lookup(key []byte) (uint64, bool) {
-	i := s.shardOf(key)
-	var local uint64
-	var ok bool
-	s.withShard(i, func(be Backend) { local, ok = be.Lookup(key) })
+	i, kh, hashed := s.route(key)
+	local, ok := s.lookupOn(i, key, kh, hashed)
 	if !ok {
 		return 0, false
 	}
@@ -125,10 +205,8 @@ func (s *Sharded) Lookup(key []byte) (uint64, bool) {
 
 // Insert implements Backend.
 func (s *Sharded) Insert(key []byte) (uint64, error) {
-	i := s.shardOf(key)
-	var local uint64
-	var err error
-	s.withShard(i, func(be Backend) { local, err = be.Insert(key) })
+	i, kh, hashed := s.route(key)
+	local, err := s.insertOn(i, key, kh, hashed)
 	if err != nil {
 		return 0, err
 	}
@@ -137,17 +215,24 @@ func (s *Sharded) Insert(key []byte) (uint64, error) {
 
 // Delete implements Backend.
 func (s *Sharded) Delete(key []byte) bool {
-	i := s.shardOf(key)
-	var ok bool
-	s.withShard(i, func(be Backend) { ok = be.Delete(key) })
-	return ok
+	i, kh, hashed := s.route(key)
+	return s.deleteOn(i, key, kh, hashed)
+}
+
+// readShard runs f holding shard i's lock shared (the aggregate gauges
+// only read backend state).
+func (s *Sharded) readShard(i int, f func(be Backend)) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f(sh.be)
 }
 
 // Len implements Backend, summing the shards.
 func (s *Sharded) Len() int {
 	n := 0
 	for i := range s.shards {
-		s.withShard(i, func(be Backend) { n += be.Len() })
+		s.readShard(i, func(be Backend) { n += be.Len() })
 	}
 	return n
 }
@@ -156,7 +241,7 @@ func (s *Sharded) Len() int {
 func (s *Sharded) Probes() int64 {
 	var n int64
 	for i := range s.shards {
-		s.withShard(i, func(be Backend) { n += be.Probes() })
+		s.readShard(i, func(be Backend) { n += be.Probes() })
 	}
 	return n
 }
@@ -169,64 +254,186 @@ func (s *Sharded) Name() string { return s.name }
 func (s *Sharded) ShardLens() []int {
 	out := make([]int, len(s.shards))
 	for i := range s.shards {
-		s.withShard(i, func(be Backend) { out[i] = be.Len() })
+		s.readShard(i, func(be Backend) { out[i] = be.Len() })
 	}
 	return out
 }
 
-// batchPlan groups key positions by shard so each shard's lock is taken
-// at most once per batch and the selector hash is computed once per key.
-// The returned plan holds, per shard, the indices into keys that route
-// there, in input order.
-func (s *Sharded) batchPlan(keys [][]byte) [][]int32 {
-	plan := make([][]int32, len(s.shards))
-	if len(s.shards) == 1 {
-		idx := make([]int32, len(keys))
+// batchScratch is the reusable working set of one batch operation: the
+// per-key routing and hash results plus the shard-grouped index plan, all
+// backed by pooled arrays so steady-state batches allocate nothing.
+type batchScratch struct {
+	routes []int32            // shard of keys[i]
+	counts []int32            // per-shard key counts
+	plan   [][]int32          // per-shard indices into keys, in input order
+	arena  []int32            // backing store for plan's slices
+	khs    []hashfn.KeyHashes // per-key single-pass hashes (hashed mode)
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// planBatch groups key positions by shard so each shard's lock is taken at
+// most once per batch and each key is hashed exactly once: in hashed mode
+// the same KeyHashes that routes the shard later indexes the buckets. The
+// scratch must be returned with putScratch.
+func (s *Sharded) planBatch(keys [][]byte) *batchScratch {
+	sc := s.scratch.Get().(*batchScratch)
+	n := len(keys)
+	ns := len(s.shards)
+	sc.routes = growInt32(sc.routes, n)
+	sc.counts = growInt32(sc.counts, ns)
+	sc.arena = growInt32(sc.arena, n)
+	if cap(sc.plan) < ns {
+		sc.plan = make([][]int32, ns)
+	}
+	sc.plan = sc.plan[:ns]
+	hashed := s.hashedRouting()
+	if s.hashed {
+		if cap(sc.khs) < n {
+			sc.khs = make([]hashfn.KeyHashes, n)
+		}
+		sc.khs = sc.khs[:n]
+	}
+	if ns == 1 {
+		// Single shard: no routing, but the hash pass still happens here so
+		// the per-shard loop reuses it.
+		if s.hashed {
+			for i, k := range keys {
+				sc.khs[i] = s.pair.Compute(k)
+			}
+		}
+		idx := sc.arena[:n]
 		for i := range idx {
 			idx[i] = int32(i)
 		}
-		plan[0] = idx
-		return plan
+		sc.plan[0] = idx
+		return sc
 	}
-	// Count first so each per-shard slice is allocated exactly once.
-	counts := make([]int32, len(s.shards))
-	routes := make([]int32, len(keys))
-	for i, k := range keys {
-		r := int32(s.shardOf(k))
-		routes[i] = r
-		counts[r]++
+	for i := range sc.counts {
+		sc.counts[i] = 0
 	}
-	for i := range plan {
-		if counts[i] > 0 {
-			plan[i] = make([]int32, 0, counts[i])
+	switch {
+	case hashed:
+		for i, k := range keys {
+			kh := s.pair.Compute(k)
+			sc.khs[i] = kh
+			r := int32(s.shardOfMix(kh))
+			sc.routes[i] = r
+			sc.counts[r]++
+		}
+	case s.hashed: // custom selector routes, backends still take hashes
+		for i, k := range keys {
+			sc.khs[i] = s.pair.Compute(k)
+			r := int32(s.shardOf(k))
+			sc.routes[i] = r
+			sc.counts[r]++
+		}
+	default:
+		for i, k := range keys {
+			r := int32(s.shardOf(k))
+			sc.routes[i] = r
+			sc.counts[r]++
 		}
 	}
-	for i, r := range routes {
-		plan[r] = append(plan[r], int32(i))
+	// Carve the arena into per-shard segments (counting sort layout), then
+	// fill in input order.
+	off := int32(0)
+	for i, c := range sc.counts {
+		sc.plan[i] = sc.arena[off : off : off+c]
+		off += c
 	}
-	return plan
+	for i, r := range sc.routes {
+		sc.plan[r] = append(sc.plan[r], int32(i))
+	}
+	return sc
 }
 
-// LookupBatch looks up all keys, amortising shard locking and routing:
-// keys are grouped per shard and each shard is visited once. Results are
-// positional: ids[i], hits[i] correspond to keys[i].
+func (s *Sharded) putScratch(sc *batchScratch) { s.scratch.Put(sc) }
+
+// lookupShard resolves one shard's slice of the batch under a shared lock.
+func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []uint64, hits []bool) {
+	sh := &s.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.hashed {
+		for _, i := range sc.plan[shard] {
+			if local, ok := sh.hbe.LookupHashed(keys[i], sc.khs[i]); ok {
+				ids[i] = s.globalID(shard, local)
+				hits[i] = true
+			}
+		}
+		return
+	}
+	for _, i := range sc.plan[shard] {
+		if local, ok := sh.be.Lookup(keys[i]); ok {
+			ids[i] = s.globalID(shard, local)
+			hits[i] = true
+		}
+	}
+}
+
+// LookupBatch looks up all keys, amortising shard locking, routing and
+// hashing: keys are grouped per shard, each shard is visited once, and
+// each key is hashed once. Results are positional: ids[i], hits[i]
+// correspond to keys[i].
 func (s *Sharded) LookupBatch(keys [][]byte) (ids []uint64, hits []bool) {
 	ids = make([]uint64, len(keys))
 	hits = make([]bool, len(keys))
-	for shard, idx := range s.batchPlan(keys) {
-		if len(idx) == 0 {
+	s.LookupBatchInto(keys, ids, hits)
+	return ids, hits
+}
+
+// LookupBatchInto is LookupBatch into caller-supplied result buffers, for
+// callers that reuse buffers across batches: the steady-state hot path
+// allocates nothing. ids and hits must both have the length of keys; every
+// element is overwritten.
+func (s *Sharded) LookupBatchInto(keys [][]byte, ids []uint64, hits []bool) {
+	if len(ids) != len(keys) || len(hits) != len(keys) {
+		panic(fmt.Sprintf("table: LookupBatchInto buffers (%d ids, %d hits) do not match %d keys",
+			len(ids), len(hits), len(keys)))
+	}
+	for i := range ids {
+		ids[i] = 0
+		hits[i] = false
+	}
+	sc := s.planBatch(keys)
+	for shard := range s.shards {
+		if len(sc.plan[shard]) == 0 {
 			continue
 		}
-		s.withShard(shard, func(be Backend) {
-			for _, i := range idx {
-				if local, ok := be.Lookup(keys[i]); ok {
-					ids[i] = s.globalID(shard, local)
-					hits[i] = true
-				}
-			}
-		})
+		s.lookupShard(shard, keys, sc, ids, hits)
 	}
-	return ids, hits
+	s.putScratch(sc)
+}
+
+// insertShard resolves one shard's slice of the batch under an exclusive
+// lock, appending per-key failures to errs (allocated on first failure).
+func (s *Sharded) insertShard(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs *[]error, total int) {
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, i := range sc.plan[shard] {
+		var local uint64
+		var err error
+		if s.hashed {
+			local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
+		} else {
+			local, err = sh.be.Insert(keys[i])
+		}
+		if err != nil {
+			if *errs == nil {
+				*errs = make([]error, total)
+			}
+			(*errs)[i] = err
+			continue
+		}
+		ids[i] = s.globalID(shard, local)
+	}
 }
 
 // InsertBatch inserts all keys. ids is positional; errs is nil when every
@@ -235,41 +442,58 @@ func (s *Sharded) LookupBatch(keys [][]byte) (ids []uint64, hits []bool) {
 // (shard 0's first CAM entry encodes to 0).
 func (s *Sharded) InsertBatch(keys [][]byte) (ids []uint64, errs []error) {
 	ids = make([]uint64, len(keys))
-	for shard, idx := range s.batchPlan(keys) {
-		if len(idx) == 0 {
+	sc := s.planBatch(keys)
+	for shard := range s.shards {
+		if len(sc.plan[shard]) == 0 {
 			continue
 		}
-		s.withShard(shard, func(be Backend) {
-			for _, i := range idx {
-				local, err := be.Insert(keys[i])
-				if err != nil {
-					if errs == nil {
-						errs = make([]error, len(keys))
-					}
-					errs[i] = err
-					continue
-				}
-				ids[i] = s.globalID(shard, local)
-			}
-		})
+		s.insertShard(shard, keys, sc, ids, &errs, len(keys))
 	}
+	s.putScratch(sc)
 	return ids, errs
+}
+
+// deleteShard resolves one shard's slice of the batch under an exclusive
+// lock.
+func (s *Sharded) deleteShard(shard int, keys [][]byte, sc *batchScratch, ok []bool) {
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.hashed {
+		for _, i := range sc.plan[shard] {
+			ok[i] = sh.hbe.DeleteHashed(keys[i], sc.khs[i])
+		}
+		return
+	}
+	for _, i := range sc.plan[shard] {
+		ok[i] = sh.be.Delete(keys[i])
+	}
 }
 
 // DeleteBatch deletes all keys, reporting per-key presence positionally.
 func (s *Sharded) DeleteBatch(keys [][]byte) []bool {
 	ok := make([]bool, len(keys))
-	for shard, idx := range s.batchPlan(keys) {
-		if len(idx) == 0 {
+	s.DeleteBatchInto(keys, ok)
+	return ok
+}
+
+// DeleteBatchInto is DeleteBatch into a caller-supplied result buffer; ok
+// must have the length of keys and every element is overwritten.
+func (s *Sharded) DeleteBatchInto(keys [][]byte, ok []bool) {
+	if len(ok) != len(keys) {
+		panic(fmt.Sprintf("table: DeleteBatchInto buffer (%d) does not match %d keys", len(ok), len(keys)))
+	}
+	for i := range ok {
+		ok[i] = false
+	}
+	sc := s.planBatch(keys)
+	for shard := range s.shards {
+		if len(sc.plan[shard]) == 0 {
 			continue
 		}
-		s.withShard(shard, func(be Backend) {
-			for _, i := range idx {
-				ok[i] = be.Delete(keys[i])
-			}
-		})
+		s.deleteShard(shard, keys, sc, ok)
 	}
-	return ok
+	s.putScratch(sc)
 }
 
 // BatchErr collapses an InsertBatch error slice into one error for

@@ -39,6 +39,28 @@ type Backend interface {
 // ErrTableFull is returned by Insert when a structure cannot place a key.
 var ErrTableFull = errors.New("table: full")
 
+// HashedBackend is the optional fast-path extension of Backend: a
+// structure that can consume precomputed key hashes so the whole stack
+// hashes each key exactly once per operation (the paper's descriptors are
+// hashed once by the two pre-selected functions; rehashing per layer is a
+// software artefact this interface removes).
+//
+// kh must be the hashfn.Pair.Compute output of the backend's own
+// configured pair over the same key bytes — Sharded guarantees this by
+// construction. Results must be bit-identical to the unhashed methods:
+// same IDs, same stages, same errors. Backends that cannot honour that
+// simply don't implement the interface and are served by the transparent
+// byte-key fallback.
+type HashedBackend interface {
+	Backend
+	// LookupHashed is Lookup with precomputed hashes.
+	LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool)
+	// InsertHashed is Insert with precomputed hashes.
+	InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error)
+	// DeleteHashed is Delete with precomputed hashes.
+	DeleteHashed(key []byte, kh hashfn.KeyHashes) bool
+}
+
 // Config parameterises a backend constructor. Constructors derive their
 // internal geometry (bucket counts, sub-tables) from the approximate
 // capacity; zero-valued fields take the defaults below.
