@@ -396,6 +396,48 @@ func BenchmarkEngineBatchVsScalar(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineWriterBatch measures the writer pipeline: one round is a
+// 256-flow InsertBatch(Into) followed by a full DeleteBatch(Into) — the
+// write-heavy churn cycle. "alloc" is the slice-returning PR-2 form;
+// "into" reuses caller-owned ids/errs/oks buffers and runs
+// allocation-free.
+func BenchmarkEngineWriterBatch(b *testing.B) {
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 8, Capacity: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]flowproc.FiveTuple, 256)
+	for i := range batch {
+		batch[i] = trafficgen.Flow(uint64(i))
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += 2 * len(batch) {
+			if _, err := eng.InsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			eng.DeleteBatch(batch)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		ids := make([]uint64, len(batch))
+		errs := make([]error, len(batch))
+		oks := make([]bool, len(batch))
+		for i := 0; i < b.N; i += 2 * len(batch) {
+			eng.InsertBatchInto(batch, ids, errs)
+			for j, e := range errs {
+				if e != nil {
+					b.Fatalf("insert %d: %v", j, e)
+				}
+			}
+			eng.DeleteBatchInto(batch, oks)
+		}
+	})
+}
+
 func BenchmarkHashFunctions(b *testing.B) {
 	key := make([]byte, 13)
 	for _, f := range hashfn.All() {

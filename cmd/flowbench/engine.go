@@ -26,7 +26,16 @@ type engineSweepConfig struct {
 	ops      int
 	capacity int
 	batch    int
+	writers  bool   // write-heavy mix through the *Into writer pipeline
 	jsonPath string // non-empty: also write machine-readable results
+}
+
+// mixName labels the workload mix in table and JSON output.
+func (c engineSweepConfig) mixName() string {
+	if c.writers {
+		return "write-heavy"
+	}
+	return "read-mostly"
 }
 
 // engineJSONResult is one backend×shards×workers measurement in the
@@ -37,6 +46,7 @@ type engineJSONResult struct {
 	Shards      int     `json:"shards"`
 	Workers     int     `json:"workers"`
 	Batch       int     `json:"batch"`
+	Mix         string  `json:"mix"`
 	TotalOps    int64   `json:"total_ops"`
 	WallNS      int64   `json:"wall_ns"`
 	NSPerOp     float64 `json:"ns_per_op"`
@@ -117,8 +127,8 @@ func parseBackends(s string) ([]string, error) {
 // shared engine.
 func engineSweep(cfg engineSweepConfig) error {
 	t := metrics.NewTable(
-		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d (GOMAXPROCS=%d)",
-			cfg.workers, cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
+		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d, %s mix (GOMAXPROCS=%d)",
+			cfg.workers, cfg.ops, cfg.batch, cfg.mixName(), runtime.GOMAXPROCS(0)),
 		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
 	var jsonResults []engineJSONResult
 	for _, backend := range cfg.backends {
@@ -156,6 +166,7 @@ func engineSweep(cfg engineSweepConfig) error {
 				Shards:          shards,
 				Workers:         cfg.workers,
 				Batch:           cfg.batch,
+				Mix:             cfg.mixName(),
 				TotalOps:        res.totalOps,
 				WallNS:          res.wall.Nanoseconds(),
 				NSPerOp:         res.nsPerOp,
@@ -240,10 +251,13 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 	}, nil
 }
 
-// engineWorker performs cfg.ops operations in batches: each round inserts
-// a batch of its own flows, looks the batch up twice (its own plus a
-// shared slice of the key space), and deletes half — a steady-state mix
-// of roughly 25% inserts, 50% lookups, 25% deletes.
+// engineWorker performs cfg.ops operations in batches. The read-mostly
+// mix inserts a batch of the worker's own flows, looks the batch up twice,
+// and deletes half — roughly 25% inserts, 50% lookups, 25% deletes. The
+// write-heavy mix (-writers) drives the zero-allocation writer pipeline
+// instead: every round is an InsertBatchInto followed by a full
+// DeleteBatchInto over reused caller-owned buffers — 50% inserts, 50%
+// deletes, no reads.
 func engineWorker(eng *flowproc.Engine, w int, cfg engineSweepConfig, overflows *atomic.Int64) error {
 	// Each worker cycles a disjoint key span sized so that the combined
 	// steady-state residency of all workers stays under half the
@@ -256,6 +270,35 @@ func engineWorker(eng *flowproc.Engine, w int, cfg engineSweepConfig, overflows 
 	batch := make([]flowproc.FiveTuple, cfg.batch)
 	done := 0
 	base := uint64(w) << 32
+	if cfg.writers {
+		ids := make([]uint64, cfg.batch)
+		errs := make([]error, cfg.batch)
+		oks := make([]bool, cfg.batch)
+		for round := 0; done < cfg.ops; round++ {
+			for i := range batch {
+				batch[i] = trafficgen.Flow(base + uint64(round*cfg.batch+i)%span)
+			}
+			eng.InsertBatchInto(batch, ids, errs)
+			for _, err := range errs {
+				if err == nil {
+					continue
+				}
+				// A saturated structure dropping flows is a measured
+				// outcome, not a sweep failure; anything else is.
+				if !errors.Is(err, table.ErrTableFull) {
+					return err
+				}
+				overflows.Add(1)
+				break
+			}
+			done += len(batch)
+			if done < cfg.ops {
+				eng.DeleteBatchInto(batch, oks)
+				done += len(batch)
+			}
+		}
+		return nil
+	}
 	for round := 0; done < cfg.ops; round++ {
 		for i := range batch {
 			batch[i] = trafficgen.Flow(base + uint64(round*cfg.batch+i)%span)

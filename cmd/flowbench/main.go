@@ -5,13 +5,15 @@
 // Usage:
 //
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
-//	flowbench [-engine list] [-shards list] [-workers n] [-ops n] engine
+//	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] engine
 //
 // The default experiment scale matches the paper (10 k descriptors, input
 // injected at the 100 MHz ceiling); -quick runs a reduced scale for smoke
 // checks. The engine mode sweeps goroutine-safe sharded configurations:
 // -engine selects backends (comma-separated, or "all"), -shards the shard
-// counts, -workers the concurrent goroutines driving the load.
+// counts, -workers the concurrent goroutines driving the load; -writers
+// switches the workload from the read-mostly mix to a write-heavy
+// insert/delete mix over the zero-allocation *Into writer pipeline.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	ops := flag.Int("ops", 2_000_000, "engine mode: operations per worker")
 	capacity := flag.Int("capacity", 1<<20, "engine mode: total flow capacity")
 	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
+	writers := flag.Bool("writers", false, "engine mode: write-heavy mix (InsertBatchInto/DeleteBatchInto writer pipeline) instead of the read-mostly default")
 	jsonOut := flag.String("json", "", "engine mode: also write machine-readable results to this file (e.g. BENCH_engine.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|engine|all]\n")
@@ -80,6 +83,7 @@ func main() {
 			ops:      opsPerWorker,
 			capacity: *capacity,
 			batch:    *batch,
+			writers:  *writers,
 			jsonPath: *jsonOut,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package flowproc_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/flowproc"
@@ -130,6 +131,139 @@ func TestEngineScalarLookupZeroAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("scalar Lookup allocates %.2f per hit+miss pair, want 0", n)
 	}
+}
+
+// TestEngineInsertBatchIntoZeroAllocs enforces the writer half of the
+// zero-alloc story: InsertBatchInto over reused caller-owned ids/errs
+// buffers — key serialisation, the single hash pass, shard routing,
+// bucket placement — performs zero heap allocations per call. Covered in
+// both steady states: duplicate reinserts of resident flows (every round)
+// and a fresh insert+delete churn cycle (placement and removal).
+func TestEngineInsertBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<12)
+	batch := fts[:256]
+	wantIDs, wantHits := e.LookupBatch(batch)
+	for i, h := range wantHits {
+		if !h {
+			t.Fatalf("resident flow %d missing before the run", i)
+		}
+	}
+	ids := make([]uint64, len(batch))
+	errs := make([]error, len(batch))
+	e.InsertBatchInto(batch, ids, errs) // warm the pools
+	if n := testing.AllocsPerRun(200, func() { e.InsertBatchInto(batch, ids, errs) }); n != 0 {
+		t.Fatalf("duplicate InsertBatchInto allocates %.2f per 256-key batch, want 0", n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("resident flow %d failed reinsert: %v", i, err)
+		}
+		if ids[i] != wantIDs[i] {
+			t.Fatalf("resident flow %d reinserted as ID %d, lookup said %d", i, ids[i], wantIDs[i])
+		}
+	}
+	// Fresh churn: insert a cold range, delete it, repeat. The bucket
+	// arenas are preallocated, so placement allocates nothing either.
+	fresh := make([]flowproc.FiveTuple, 128)
+	for i := range fresh {
+		fresh[i] = tuple(uint32(1<<20 + i))
+	}
+	oks := make([]bool, len(fresh))
+	fids := make([]uint64, len(fresh))
+	ferrs := make([]error, len(fresh))
+	churn := func() {
+		e.InsertBatchInto(fresh, fids, ferrs)
+		e.DeleteBatchInto(fresh, oks)
+	}
+	churn() // warm
+	if n := testing.AllocsPerRun(200, churn); n != 0 {
+		t.Fatalf("fresh insert+delete churn allocates %.2f per 128-key cycle, want 0", n)
+	}
+}
+
+// TestEngineScalarMutatorsZeroAllocs pins the scalar writer ops on the
+// pool-free scratch cache: a duplicate Insert and a miss Delete cost no
+// heap allocations.
+func TestEngineScalarMutatorsZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, fts := residentEngine(t, 4, 1<<10)
+	dup := fts[3]
+	missing := tuple(1 << 30)
+	if _, err := e.Insert(dup); err != nil { // warm the cache slot
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := e.Insert(dup); err != nil {
+			t.Fatalf("duplicate insert failed: %v", err)
+		}
+		e.Delete(missing)
+	}); n != 0 {
+		t.Fatalf("scalar duplicate-Insert + miss-Delete allocates %.2f, want 0", n)
+	}
+}
+
+// TestEngineInsertBatchIntoMatchesInsertBatch pins the Into writer form
+// against the allocating form on identical engines, including the
+// non-storable scatter path.
+func TestEngineInsertBatchIntoMatchesInsertBatch(t *testing.T) {
+	mk := func() *flowproc.Engine {
+		e, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: "hashcam", Shards: 4, Capacity: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	batch := make([]flowproc.FiveTuple, 0, 130)
+	for i := 0; i < 128; i++ {
+		batch = append(batch, tuple(uint32(i)))
+	}
+	batch = append(batch, flowproc.FiveTuple{}, tuple(999)) // non-storable + one more
+	wantIDs, wantErr := a.InsertBatch(batch)
+	if wantErr == nil {
+		t.Fatal("expected the non-storable tuple to surface an error")
+	}
+	ids := make([]uint64, len(batch))
+	errs := make([]error, len(batch))
+	for i := range ids { // poison
+		ids[i] = ^uint64(0)
+		errs[i] = nil
+	}
+	b.InsertBatchInto(batch, ids, errs)
+	for i := range batch {
+		if i == 128 {
+			if !errors.Is(errs[i], flowproc.ErrNotIPv4) {
+				t.Fatalf("non-storable tuple reported %v, want ErrNotIPv4", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("flow %d: unexpected error %v", i, errs[i])
+		}
+		if ids[i] != wantIDs[i] {
+			t.Fatalf("flow %d: Into ID %d, InsertBatch said %d", i, ids[i], wantIDs[i])
+		}
+	}
+	// The two engines must agree the batch is resident identically.
+	gotIDs, gotHits := b.LookupBatch(batch)
+	refIDs, refHits := a.LookupBatch(batch)
+	for i := range batch {
+		if gotHits[i] != refHits[i] || gotIDs[i] != refIDs[i] {
+			t.Fatalf("flow %d: post-insert lookup (%d,%v) vs reference (%d,%v)",
+				i, gotIDs[i], gotHits[i], refIDs[i], refHits[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertBatchInto with short buffers did not panic")
+		}
+	}()
+	b.InsertBatchInto(batch, make([]uint64, 3), errs)
 }
 
 // TestEngineDeleteBatchIntoZeroAllocs extends the bound to the delete

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	_ "repro/internal/baseline" // register the §II baseline backends
 	"repro/internal/packet"
@@ -36,6 +37,14 @@ type Engine struct {
 	spec    packet.TupleSpec
 	backend string
 	scratch sync.Pool // *engineScratch
+
+	// scalarCache is the scalar ops' single-slot scratch cache: one atomic
+	// Swap to take, one CompareAndSwap to return — cheaper than the
+	// sync.Pool's per-P Get/Put pair on the scalar hot path, which only
+	// ever needs the 13-byte key buffer. Concurrent scalar callers that
+	// find the slot empty fall back to the pool, so the path stays
+	// allocation-free at any parallelism.
+	scalarCache atomic.Pointer[engineScratch]
 }
 
 // engineScratch is the pooled working set of one Engine call: serialised
@@ -48,6 +57,7 @@ type engineScratch struct {
 	ids  []uint64
 	hits []bool
 	oks  []bool
+	errs []error
 }
 
 // EngineConfig parameterises an Engine.
@@ -108,9 +118,23 @@ func (sc *engineScratch) scalarKey(spec packet.TupleSpec, ft FiveTuple) []byte {
 	return spec.AppendKey(sc.buf[:0], ft)
 }
 
-// release returns the scratch, retaining any buffer growth.
-func (e *Engine) release(sc *engineScratch, buf []byte) {
+// getScalar takes the scalar scratch: the cached slot when free, the pool
+// otherwise.
+func (e *Engine) getScalar() *engineScratch {
+	if sc := e.scalarCache.Swap(nil); sc != nil {
+		return sc
+	}
+	return e.scratch.Get().(*engineScratch)
+}
+
+// releaseScalar returns a scalar op's scratch, retaining any buffer
+// growth; the scratch parks in the cache slot when it is free, otherwise
+// it rejoins the pool.
+func (e *Engine) releaseScalar(sc *engineScratch, buf []byte) {
 	sc.buf = buf[:0]
+	if e.scalarCache.CompareAndSwap(nil, sc) {
+		return
+	}
 	e.scratch.Put(sc)
 }
 
@@ -119,10 +143,10 @@ func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
 	if !storable(ft) {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, ErrNotIPv4)
 	}
-	sc := e.scratch.Get().(*engineScratch)
+	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
 	fid, err := e.sharded.Insert(key)
-	e.release(sc, key)
+	e.releaseScalar(sc, key)
 	if err != nil {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, err)
 	}
@@ -131,15 +155,15 @@ func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
 
 // Lookup returns the flow ID of ft. A tuple the engine cannot store
 // (non-IPv4) is simply never present. The steady-state path performs no
-// heap allocations.
+// heap allocations and no sync.Pool traffic.
 func (e *Engine) Lookup(ft FiveTuple) (uint64, bool) {
 	if !storable(ft) {
 		return 0, false
 	}
-	sc := e.scratch.Get().(*engineScratch)
+	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
 	fid, ok := e.sharded.Lookup(key)
-	e.release(sc, key)
+	e.releaseScalar(sc, key)
 	return fid, ok
 }
 
@@ -148,10 +172,10 @@ func (e *Engine) Delete(ft FiveTuple) bool {
 	if !storable(ft) {
 		return false
 	}
-	sc := e.scratch.Get().(*engineScratch)
+	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
 	ok := e.sharded.Delete(key)
-	e.release(sc, key)
+	e.releaseScalar(sc, key)
 	return ok
 }
 
@@ -281,6 +305,45 @@ func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
 	}
 	e.scratch.Put(sc)
 	return ids, table.BatchErr(errs)
+}
+
+// InsertBatchInto is InsertBatch into caller-supplied result buffers,
+// which must both have the length of fts; every element is overwritten.
+// errs[i] is nil on success, the per-key failure otherwise; non-storable
+// tuples report the bare ErrNotIPv4 sentinel (the scalar Insert's
+// contextual wrapping allocates, which the writer hot path must not —
+// callers needing the tuple have it positionally). With reused buffers the
+// steady-state insert path performs zero heap allocations per call, the
+// writer-side completion of the zero-alloc story (enforced by
+// TestEngineInsertBatchIntoZeroAllocs).
+func (e *Engine) InsertBatchInto(fts []FiveTuple, ids []uint64, errs []error) {
+	if len(ids) != len(fts) || len(errs) != len(fts) {
+		panic(fmt.Sprintf("flowproc: InsertBatchInto buffers (%d ids, %d errs) do not match %d tuples",
+			len(ids), len(errs), len(fts)))
+	}
+	sc := e.scratch.Get().(*engineScratch)
+	e.validKeys(sc, fts)
+	if len(sc.keys) == len(fts) {
+		// Every tuple serialised: results are already positional.
+		e.sharded.InsertBatchInto(sc.keys, ids, errs)
+		e.scratch.Put(sc)
+		return
+	}
+	subIDs, _ := sc.subResults(len(sc.keys))
+	if cap(sc.errs) < len(sc.keys) {
+		sc.errs = make([]error, len(sc.keys))
+	}
+	subErrs := sc.errs[:len(sc.keys)]
+	e.sharded.InsertBatchInto(sc.keys, subIDs, subErrs)
+	for i := range ids {
+		ids[i] = 0
+		errs[i] = ErrNotIPv4
+	}
+	for j, i := range sc.pos {
+		ids[i], errs[i] = subIDs[j], subErrs[j]
+		subErrs[j] = nil // failures must not outlive the call inside the pool
+	}
+	e.scratch.Put(sc)
 }
 
 // DeleteBatch deletes a batch of flows, reporting per-flow presence

@@ -1,11 +1,14 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/cam"
 	"repro/internal/hashcam"
 	"repro/internal/hashfn"
+	"repro/internal/table"
 )
 
 // ConvHashCAM is the conventional Hash-CAM arrangement of [10][11]: the
@@ -36,10 +39,20 @@ func (c *ConvHashCAM) Lookup(key []byte) (uint64, bool) {
 	return id, ok
 }
 
-// Insert implements LookupTable.
+// Insert implements LookupTable, normalising genuine overflow onto
+// table.ErrTableFull so callers can test fullness uniformly across
+// backends (the same mapping hashcam's own adapter applies).
 func (c *ConvHashCAM) Insert(key []byte) (uint64, error) {
 	c.probes.Add(4) // simultaneous triple search + the write
-	return c.table.Insert(key)
+	return normalizeFull(c.table.Insert(key))
+}
+
+// normalizeFull maps cam.ErrFull onto the repo-wide fullness sentinel.
+func normalizeFull(id uint64, err error) (uint64, error) {
+	if err != nil && errors.Is(err, cam.ErrFull) {
+		return 0, fmt.Errorf("baseline: conventional hash-cam: %w: %w", table.ErrTableFull, err)
+	}
+	return id, err
 }
 
 // Delete implements LookupTable.
@@ -56,10 +69,11 @@ func (c *ConvHashCAM) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, boo
 	return id, ok
 }
 
-// InsertHashed implements the hashed fast path.
+// InsertHashed implements the hashed fast path with the same error
+// normalisation as Insert.
 func (c *ConvHashCAM) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	c.probes.Add(4)
-	return c.table.InsertHashed(key, kh)
+	return normalizeFull(c.table.InsertHashed(key, kh))
 }
 
 // DeleteHashed implements the hashed fast path.

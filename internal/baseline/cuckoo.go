@@ -131,7 +131,11 @@ func (c *Cuckoo) insertAt(key []byte, b1, b2 int) (uint64, error) {
 	if id, ok := c.lookupAt(key, b1, b2); ok {
 		return id, nil
 	}
-	cur := append([]byte(nil), key...)
+	// cur borrows the caller's key until the first eviction forces a copy:
+	// the common no-kick insert then allocates nothing (the writer-path
+	// zero-alloc bound counts on it), and the arena copy below never
+	// aliases the borrowed bytes.
+	cur := key
 	table := 0
 	chain := 0
 	var firstID uint64

@@ -12,7 +12,11 @@ import (
 // each with its own hash function; a key is placed in the least-loaded of
 // its d candidate buckets, ties breaking to the leftmost sub-table.
 type DLeft struct {
-	hashes  []hashfn.Func
+	hashes []hashfn.Func
+	// khWords aligns each sub-table's hash function with a word of a
+	// precomputed hashfn.KeyHashes (khH1/khH2), the per-sub-table hash
+	// list of the hashed fast path. khNone entries rehash the key bytes.
+	khWords []int8
 	buckets int
 	slots   int
 	keyLen  int
@@ -23,7 +27,10 @@ type DLeft struct {
 	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
 
-// NewDLeft builds a d-left table with one sub-table per hash function.
+// NewDLeft builds a d-left table with one sub-table per hash function. The
+// hashed fast-path methods on a table built this way fall back to hashing
+// (arbitrary Funcs have no KeyHashes words); use NewDLeftPair to align the
+// sub-tables with a pair so precomputed hashes are consumed directly.
 func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) {
 	if err := checkGeometry(buckets, slots, keyLen); err != nil {
 		return nil, err
@@ -33,6 +40,7 @@ func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) 
 	}
 	d := &DLeft{
 		hashes:  hashes,
+		khWords: make([]int8, len(hashes)),
 		buckets: buckets,
 		slots:   slots,
 		keyLen:  keyLen,
@@ -41,9 +49,25 @@ func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) 
 		counts:  make([]int, len(hashes)),
 	}
 	for i := range hashes {
+		d.khWords[i] = khNone
 		d.keys[i] = make([]byte, buckets*slots*keyLen)
 		d.used[i] = make([]bool, buckets*slots)
 	}
+	return d, nil
+}
+
+// NewDLeftPair builds the 2-left table over [pair.H1, pair.H2] with each
+// sub-table bound to its KeyHashes word — the registry constructor, so a
+// sharded d-left table hashes each key exactly once per operation.
+func NewDLeftPair(pair hashfn.Pair, buckets, slots, keyLen int) (*DLeft, error) {
+	if pair.H1 == nil || pair.H2 == nil {
+		return nil, fmt.Errorf("baseline: d-left pair requires both hash functions")
+	}
+	d, err := NewDLeft([]hashfn.Func{pair.H1, pair.H2}, buckets, slots, keyLen)
+	if err != nil {
+		return nil, err
+	}
+	d.khWords[0], d.khWords[1] = khH1, khH2
 	return d, nil
 }
 
@@ -63,13 +87,29 @@ func (d *DLeft) checkKey(key []byte) {
 	}
 }
 
-// Lookup implements LookupTable. All d buckets are probed (hardware
-// searches the sub-tables in parallel, but each is a memory access);
-// probes are charged in one atomic add at exit.
-func (d *DLeft) Lookup(key []byte) (uint64, bool) {
-	d.checkKey(key)
-	for t, h := range d.hashes {
-		b := hashfn.Reduce(h.Hash(key), d.buckets)
+// bucketOf derives the key's bucket in sub-table t: from the aligned
+// KeyHashes word when the caller supplied hashes and the sub-table is
+// pair-bound, otherwise by hashing the key bytes. Evaluation stays lazy per
+// sub-table — a lookup resolving in sub-table 0 never pays for sub-table
+// 1's hash on the byte-key path, exactly as before.
+func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) int {
+	if kh != nil {
+		switch d.khWords[t] {
+		case khH1:
+			return hashfn.Reduce(kh.H1, d.buckets)
+		case khH2:
+			return hashfn.Reduce(kh.H2, d.buckets)
+		}
+	}
+	return hashfn.Reduce(d.hashes[t].Hash(key), d.buckets)
+}
+
+// lookup probes the candidate buckets in sub-table order (hardware searches
+// the sub-tables in parallel, but each is a memory access); probes are
+// charged in one atomic add at exit.
+func (d *DLeft) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
+	for t := range d.hashes {
+		b := d.bucketOf(t, key, kh)
 		for slot := 0; slot < d.slots; slot++ {
 			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
 				d.probes.Add(int64(t) + 1)
@@ -81,15 +121,27 @@ func (d *DLeft) Lookup(key []byte) (uint64, bool) {
 	return 0, false
 }
 
-// Insert implements LookupTable: least-loaded candidate bucket, leftmost
-// tie-break.
-func (d *DLeft) Insert(key []byte) (uint64, error) {
-	if id, ok := d.Lookup(key); ok {
+// Lookup implements LookupTable.
+func (d *DLeft) Lookup(key []byte) (uint64, bool) {
+	d.checkKey(key)
+	return d.lookup(key, nil)
+}
+
+// LookupHashed implements the hashed fast path (table.HashedBackend).
+func (d *DLeft) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
+	d.checkKey(key)
+	return d.lookup(key, &kh)
+}
+
+// insert places key in the least-loaded candidate bucket, ties breaking to
+// the leftmost sub-table.
+func (d *DLeft) insert(key []byte, kh *hashfn.KeyHashes) (uint64, error) {
+	if id, ok := d.lookup(key, kh); ok {
 		return id, nil
 	}
 	bestTable, bestBucket, bestLoad := -1, -1, d.slots+1
-	for t, h := range d.hashes {
-		b := hashfn.Reduce(h.Hash(key), d.buckets)
+	for t := range d.hashes {
+		b := d.bucketOf(t, key, kh)
 		load := 0
 		for slot := 0; slot < d.slots; slot++ {
 			if d.used[t][b*d.slots+slot] {
@@ -115,11 +167,23 @@ func (d *DLeft) Insert(key []byte) (uint64, error) {
 	panic("baseline: d-left free slot vanished") // unreachable
 }
 
-// Delete implements LookupTable.
-func (d *DLeft) Delete(key []byte) bool {
+// Insert implements LookupTable: least-loaded candidate bucket, leftmost
+// tie-break.
+func (d *DLeft) Insert(key []byte) (uint64, error) {
 	d.checkKey(key)
-	for t, h := range d.hashes {
-		b := hashfn.Reduce(h.Hash(key), d.buckets)
+	return d.insert(key, nil)
+}
+
+// InsertHashed implements the hashed fast path.
+func (d *DLeft) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	d.checkKey(key)
+	return d.insert(key, &kh)
+}
+
+// delete removes key from whichever candidate bucket holds it.
+func (d *DLeft) delete(key []byte, kh *hashfn.KeyHashes) bool {
+	for t := range d.hashes {
+		b := d.bucketOf(t, key, kh)
 		for slot := 0; slot < d.slots; slot++ {
 			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
 				d.used[t][b*d.slots+slot] = false
@@ -131,6 +195,18 @@ func (d *DLeft) Delete(key []byte) bool {
 	}
 	d.probes.Add(int64(len(d.hashes)))
 	return false
+}
+
+// Delete implements LookupTable.
+func (d *DLeft) Delete(key []byte) bool {
+	d.checkKey(key)
+	return d.delete(key, nil)
+}
+
+// DeleteHashed implements the hashed fast path.
+func (d *DLeft) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	d.checkKey(key)
+	return d.delete(key, &kh)
 }
 
 // Len implements LookupTable.

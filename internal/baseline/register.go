@@ -2,20 +2,27 @@ package baseline
 
 import (
 	"repro/internal/hashcam"
-	"repro/internal/hashfn"
 	"repro/internal/table"
 )
 
 // This file plugs every §II baseline into the table registry, so the
 // sharded engine and the bench CLI can select them by name next to the
 // paper's "hashcam" (registered by the hashcam package itself).
+// Every registered backend provides the hashed fast path, so the sharded
+// engine computes exactly one hash pass per key regardless of backend.
+var (
+	_ table.HashedBackend = (*SingleHash)(nil)
+	_ table.HashedBackend = (*DLeft)(nil)
+	_ table.HashedBackend = (*Cuckoo)(nil)
+	_ table.HashedBackend = (*ConvHashCAM)(nil)
+)
+
 func init() {
 	table.Register("singlehash", func(cfg table.Config) (table.Backend, error) {
-		return NewSingleHash(cfg.Hash.H1, cfg.BucketsFor(1), cfg.SlotsPerBucket, cfg.KeyLen)
+		return NewSingleHashPair(cfg.Hash, cfg.BucketsFor(1), cfg.SlotsPerBucket, cfg.KeyLen)
 	})
 	table.Register("dleft", func(cfg table.Config) (table.Backend, error) {
-		return NewDLeft([]hashfn.Func{cfg.Hash.H1, cfg.Hash.H2},
-			cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen)
+		return NewDLeftPair(cfg.Hash, cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen)
 	})
 	table.Register("cuckoo", func(cfg table.Config) (table.Backend, error) {
 		// maxKick 128 bounds the eviction chain well past the loads the

@@ -8,12 +8,24 @@ import (
 	"repro/internal/hashfn"
 )
 
+// Key-hash word bindings for the hashed fast path: which word of a
+// precomputed hashfn.KeyHashes a structure's hash function corresponds to.
+// khNone marks a function outside the pair — the hashed methods then fall
+// back to hashing the key bytes, which is still bit-identical, just not
+// free.
+const (
+	khNone int8 = iota - 1
+	khH1
+	khH2
+)
+
 // SingleHash is the conventional single-hash-function table: one bucket
 // array of K-slot buckets; keys that miss their bucket are lost to
 // overflow. It is the structure whose collision rate motivates
 // multi-choice hashing in §II.
 type SingleHash struct {
 	hash    hashfn.Func
+	khWord  int8 // KeyHashes word of hash (khH1/khH2), or khNone
 	buckets int
 	slots   int
 	keyLen  int
@@ -25,7 +37,10 @@ type SingleHash struct {
 }
 
 // NewSingleHash builds a single-hash table of buckets × slots entries over
-// keyLen-byte keys.
+// keyLen-byte keys. The hashed fast-path methods on a table built this way
+// fall back to hashing the key (the arbitrary Func has no KeyHashes word);
+// use NewSingleHashPair to bind the table to a pair's H1 so precomputed
+// hashes are consumed directly.
 func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, error) {
 	if err := checkGeometry(buckets, slots, keyLen); err != nil {
 		return nil, err
@@ -35,12 +50,29 @@ func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, e
 	}
 	return &SingleHash{
 		hash:    hash,
+		khWord:  khNone,
 		buckets: buckets,
 		slots:   slots,
 		keyLen:  keyLen,
 		keys:    make([]byte, buckets*slots*keyLen),
 		used:    make([]bool, buckets*slots),
 	}, nil
+}
+
+// NewSingleHashPair builds a single-hash table over pair.H1 whose hashed
+// fast path consumes the precomputed KeyHashes.H1 word directly — the
+// registry constructor, so a sharded single-hash table hashes each key
+// exactly once per operation.
+func NewSingleHashPair(pair hashfn.Pair, buckets, slots, keyLen int) (*SingleHash, error) {
+	if pair.H1 == nil {
+		return nil, fmt.Errorf("baseline: single-hash requires a hash function")
+	}
+	s, err := NewSingleHash(pair.H1, buckets, slots, keyLen)
+	if err != nil {
+		return nil, err
+	}
+	s.khWord = khH1
+	return s, nil
 }
 
 func checkGeometry(buckets, slots, keyLen int) error {
@@ -70,11 +102,24 @@ func (s *SingleHash) checkKey(key []byte) {
 	}
 }
 
-// Lookup implements LookupTable.
-func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
-	s.checkKey(key)
+// bucketOf derives the key's bucket: from the precomputed word when the
+// table is pair-bound and the caller supplied hashes, otherwise by hashing
+// the key bytes.
+func (s *SingleHash) bucketOf(key []byte, kh *hashfn.KeyHashes) int {
+	if kh != nil {
+		switch s.khWord {
+		case khH1:
+			return hashfn.Reduce(kh.H1, s.buckets)
+		case khH2:
+			return hashfn.Reduce(kh.H2, s.buckets)
+		}
+	}
+	return hashfn.Reduce(s.hash.Hash(key), s.buckets)
+}
+
+// lookupAt scans bucket b for key; probe accounting matches Lookup.
+func (s *SingleHash) lookupAt(key []byte, b int) (uint64, bool) {
 	s.probes.Add(1)
-	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
 	for slot := 0; slot < s.slots; slot++ {
 		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
 			return s.id(b, slot), true
@@ -83,12 +128,25 @@ func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
 	return 0, false
 }
 
-// Insert implements LookupTable.
-func (s *SingleHash) Insert(key []byte) (uint64, error) {
-	if id, ok := s.Lookup(key); ok {
+// Lookup implements LookupTable.
+func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
+	s.checkKey(key)
+	return s.lookupAt(key, s.bucketOf(key, nil))
+}
+
+// LookupHashed implements the hashed fast path (table.HashedBackend).
+func (s *SingleHash) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
+	s.checkKey(key)
+	return s.lookupAt(key, s.bucketOf(key, &kh))
+}
+
+// insertAt places key in bucket b unless present; the duplicate pre-check
+// reuses the derived bucket, so a byte-key Insert hashes once (not twice as
+// it historically did) and a hashed insert not at all.
+func (s *SingleHash) insertAt(key []byte, b int) (uint64, error) {
+	if id, ok := s.lookupAt(key, b); ok {
 		return id, nil
 	}
-	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
 	for slot := 0; slot < s.slots; slot++ {
 		if !s.used[b*s.slots+slot] {
 			copy(s.slotKey(b, slot), key)
@@ -101,11 +159,21 @@ func (s *SingleHash) Insert(key []byte) (uint64, error) {
 	return 0, fmt.Errorf("baseline: single-hash bucket %d overflow: %w", b, ErrTableFull)
 }
 
-// Delete implements LookupTable.
-func (s *SingleHash) Delete(key []byte) bool {
+// Insert implements LookupTable.
+func (s *SingleHash) Insert(key []byte) (uint64, error) {
 	s.checkKey(key)
+	return s.insertAt(key, s.bucketOf(key, nil))
+}
+
+// InsertHashed implements the hashed fast path.
+func (s *SingleHash) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
+	s.checkKey(key)
+	return s.insertAt(key, s.bucketOf(key, &kh))
+}
+
+// deleteAt removes key from bucket b if present.
+func (s *SingleHash) deleteAt(key []byte, b int) bool {
 	s.probes.Add(1)
-	b := hashfn.Reduce(s.hash.Hash(key), s.buckets)
 	for slot := 0; slot < s.slots; slot++ {
 		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
 			s.used[b*s.slots+slot] = false
@@ -114,6 +182,18 @@ func (s *SingleHash) Delete(key []byte) bool {
 		}
 	}
 	return false
+}
+
+// Delete implements LookupTable.
+func (s *SingleHash) Delete(key []byte) bool {
+	s.checkKey(key)
+	return s.deleteAt(key, s.bucketOf(key, nil))
+}
+
+// DeleteHashed implements the hashed fast path.
+func (s *SingleHash) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
+	s.checkKey(key)
+	return s.deleteAt(key, s.bucketOf(key, &kh))
 }
 
 // Len implements LookupTable.

@@ -129,15 +129,29 @@ func (f *FlowLUT) Stats() Stats {
 }
 
 // Offer submits a descriptor of the given kind, hashing the key with the
-// configured pair. It reports false under input backpressure (the
-// injection-rate experiments count and retry).
+// configured pair — one H1+H2 compute, whose words then serve every stage
+// (both bucket indices travel in the descriptor; no path rehashes). It
+// reports false under input backpressure (the injection-rate experiments
+// count and retry; retrying callers should precompute with Pair.Compute
+// and use OfferKeyHashes so rejected descriptors are not rehashed).
 func (f *FlowLUT) Offer(kind Kind, key []byte) bool {
 	if len(key) != f.cfg.KeyLen {
 		panic(fmt.Sprintf("core: key of %d bytes, configured for %d", len(key), f.cfg.KeyLen))
 	}
-	i1 := f.cfg.Hash.Index1(key, f.cfg.Buckets)
-	i2 := f.cfg.Hash.Index2(key, f.cfg.Buckets)
-	return f.OfferHashed(kind, key, i1, i2)
+	return f.OfferKeyHashes(kind, key, f.cfg.Hash.Compute(key))
+}
+
+// OfferKeyHashes submits a descriptor with its single-pass hashes already
+// computed (kh must be the configured pair's Compute over key). This is
+// the timed model's end of the repo-wide KeyHashes fast path: a driver
+// that serialised and hashed a key once — or that is retrying after
+// backpressure — hands the words straight to the sequencer, and the
+// model derives both bucket indices by reduction, never rehashing.
+func (f *FlowLUT) OfferKeyHashes(kind Kind, key []byte, kh hashfn.KeyHashes) bool {
+	if len(key) != f.cfg.KeyLen {
+		panic(fmt.Sprintf("core: key of %d bytes, configured for %d", len(key), f.cfg.KeyLen))
+	}
+	return f.OfferHashed(kind, key, kh.Index1(f.cfg.Buckets), kh.Index2(f.cfg.Buckets))
 }
 
 // OfferHashed submits a descriptor with externally supplied bucket

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/hashfn"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -43,6 +44,12 @@ func RunWorkload(f *FlowLUT, sched *sim.Scheduler, items []WorkItem, injectPerio
 	start := clock.Now()
 	next := start
 	offered := 0
+	// The pending item's single-pass hashes, computed once per item:
+	// injection retries under backpressure re-offer the same descriptor,
+	// and rehashing it per attempt would charge the hash pipeline for
+	// work the hardware sequencer never repeats.
+	var kh hashfn.KeyHashes
+	khFor := -1
 
 	cycles, done := sched.RunUntil(func() bool {
 		for {
@@ -59,7 +66,11 @@ func RunWorkload(f *FlowLUT, sched *sim.Scheduler, items []WorkItem, injectPerio
 			if it.PreHashed {
 				ok = f.OfferHashed(it.Kind, it.Key, it.Index1, it.Index2)
 			} else {
-				ok = f.Offer(it.Kind, it.Key)
+				if khFor != offered {
+					kh = f.cfg.Hash.Compute(it.Key)
+					khFor = offered
+				}
+				ok = f.OfferKeyHashes(it.Kind, it.Key, kh)
 			}
 			if ok {
 				offered++

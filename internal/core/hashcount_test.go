@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hashfn"
+	"repro/internal/sim"
+)
+
+// countingHash counts Hash invocations; the timed model is single-threaded
+// but atomics keep the wrapper reusable.
+type countingHash struct {
+	inner hashfn.Func
+	calls atomic.Int64
+}
+
+func (c *countingHash) Hash(key []byte) uint64 { c.calls.Add(1); return c.inner.Hash(key) }
+func (c *countingHash) Name() string           { return "counting(" + c.inner.Name() + ")" }
+
+// TestFlowLUTSingleHashComputePerOfferedKey pins the timed model's end of
+// the KeyHashes wiring: a full workload run — including input
+// backpressure, where the harness re-offers the same descriptor over many
+// cycles — evaluates H1 and H2 exactly once per work item. Before the
+// wiring, every rejected injection attempt rehashed the key, charging the
+// model for hash work the hardware sequencer never repeats.
+func TestFlowLUTSingleHashComputePerOfferedKey(t *testing.T) {
+	h1 := &countingHash{inner: &hashfn.Mix64{Seed: 1}}
+	h2 := &countingHash{inner: &hashfn.Mix64{Seed: 2}}
+	cfg := smallConfig()
+	cfg.Hash = hashfn.Pair{H1: h1, H2: h2}
+	// A shallow input queue under flat-out injection guarantees rejections.
+	cfg.InputQueueDepth = 2
+	f, sched, err := NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates, misses, deletes: every descriptor kind crosses the
+	// sequencer; none may trigger a second hash pass anywhere downstream.
+	var items []WorkItem
+	for i := 0; i < 300; i++ {
+		switch i % 5 {
+		case 0, 1, 2:
+			items = append(items, WorkItem{Kind: KindLookup, Key: key13(uint64(i % 40))})
+		case 3:
+			items = append(items, WorkItem{Kind: KindSearch, Key: key13(uint64(i % 60))})
+		default:
+			items = append(items, WorkItem{Kind: KindDelete, Key: key13(uint64(i % 40))})
+		}
+	}
+	report, err := RunWorkload(f, sched, items, 1, sim.Cycle(5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stats.Rejected == 0 {
+		t.Fatal("workload saw no backpressure; the retry path went unexercised")
+	}
+	want := int64(len(items))
+	if got1, got2 := h1.calls.Load(), h2.calls.Load(); got1 != want || got2 != want {
+		t.Fatalf("%d H1 / %d H2 evaluations for %d work items (%d rejections); want exactly one H1+H2 compute per item",
+			got1, got2, want, report.Stats.Rejected)
+	}
+}
+
+// TestOfferKeyHashesMatchesOffer pins bit-identity of the precomputed-hash
+// entry point: the same key must land in the same buckets (and therefore
+// resolve identically) whether the model hashes it or the caller did.
+func TestOfferKeyHashesMatchesOffer(t *testing.T) {
+	cfg := smallConfig()
+	fA, schedA, err := NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fB, schedB, err := NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		k := key13(i % 50)
+		if !fA.Offer(KindLookup, k) {
+			t.Fatalf("offer %d rejected", i)
+		}
+		if !fB.OfferKeyHashes(KindLookup, k, cfg.Hash.Compute(k)) {
+			t.Fatalf("offer-kh %d rejected", i)
+		}
+		schedA.Run(64)
+		schedB.Run(64)
+	}
+	drain := func(f *FlowLUT, sched *sim.Scheduler) []Result {
+		_, ok := sched.RunUntil(func() bool { return f.Idle() }, 1_000_000)
+		if !ok {
+			t.Fatal("pipeline did not drain")
+		}
+		var out []Result
+		for {
+			r, popped := f.PopResult()
+			if !popped {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	ra, rb := drain(fA, schedA), drain(fB, schedB)
+	if len(ra) != n || len(rb) != n {
+		t.Fatalf("resolved %d / %d results, want %d each", len(ra), len(rb), n)
+	}
+	for i := range ra {
+		if ra[i].FID != rb[i].FID || ra[i].Hit != rb[i].Hit || ra[i].Stage != rb[i].Stage ||
+			ra[i].NewFlow != rb[i].NewFlow {
+			t.Fatalf("result %d diverged: Offer %+v vs OfferKeyHashes %+v", i, ra[i], rb[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package table_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// plainOnly embeds a Backend interface value, so its method set is exactly
+// Backend: any hashed fast path of the wrapped structure is hidden. Since
+// every real registered backend now implements HashedBackend, this
+// test-only wrapper is what keeps Sharded's byte-key fallback — still the
+// contract for out-of-tree backends — exercised and covered.
+type plainOnly struct{ table.Backend }
+
+func init() {
+	table.Register("testplain", func(cfg table.Config) (table.Backend, error) {
+		be, err := table.New("hashcam", cfg)
+		if err != nil {
+			return nil, err
+		}
+		return plainOnly{be}, nil
+	})
+}
+
+// TestPlainWrapperHasNoHashedPath guards the premise of the fallback
+// coverage: the wrapper must NOT satisfy HashedBackend, while all five
+// canonical backends must (the acceptance bar of the hashed fast path).
+func TestPlainWrapperHasNoHashedPath(t *testing.T) {
+	cfg := table.Config{Capacity: 1024}
+	be, err := table.New("testplain", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.(table.HashedBackend); ok {
+		t.Fatal("plainOnly leaked a hashed fast path; fallback tests are vacuous")
+	}
+	for _, name := range canonicalBackends {
+		cbe, err := table.New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cbe.(table.HashedBackend); !ok {
+			t.Fatalf("canonical backend %q does not implement table.HashedBackend", name)
+		}
+	}
+}
+
+// canonicalBackends are the five real structures; every one must carry the
+// hashed fast path.
+var canonicalBackends = []string{"convhashcam", "cuckoo", "dleft", "hashcam", "singlehash"}
+
+// TestShardedCustomSelectorRouting covers the selector-routed
+// configuration: with a caller-chosen selector the shard choice must come
+// from the selector hash (stable against an independently computed
+// reference), while hashed backends still consume precomputed KeyHashes.
+// Scalar and batch paths must agree with an unsharded reference table.
+func TestShardedCustomSelectorRouting(t *testing.T) {
+	sel := &hashfn.Mix64{Seed: 99}
+	cfg := table.Config{Capacity: 1 << 12}
+	for _, backend := range []string{"hashcam", "testplain"} {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 4, cfg, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := table.New(backend, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := keys13(0, 800)
+			ids, errs := s.InsertBatch(keys)
+			if errs != nil {
+				t.Fatal(table.BatchErr(errs))
+			}
+			for i, k := range keys {
+				if _, err := ref.Insert(k); err != nil {
+					t.Fatalf("ref insert %d: %v", i, err)
+				}
+				// The encoded shard must be the selector's choice.
+				shard, _ := s.DecodeID(ids[i])
+				if want := hashfn.Reduce(sel.Hash(k), 4); shard != want {
+					t.Fatalf("key %d routed to shard %d, selector says %d", i, shard, want)
+				}
+			}
+			// Scalar ops must land on the same shards (same IDs) as the batch.
+			for i, k := range keys {
+				id, ok := s.Lookup(k)
+				if !ok || id != ids[i] {
+					t.Fatalf("key %d: scalar lookup (%d,%v), batch inserted %d", i, id, ok, ids[i])
+				}
+			}
+			bids := make([]uint64, len(keys))
+			hits := make([]bool, len(keys))
+			s.LookupBatchInto(keys, bids, hits)
+			for i := range keys {
+				if !hits[i] || bids[i] != ids[i] {
+					t.Fatalf("key %d: batched lookup (%d,%v) disagrees with insert ID %d", i, bids[i], hits[i], ids[i])
+				}
+			}
+			if s.Len() != ref.Len() {
+				t.Fatalf("Len: sharded %d vs reference %d", s.Len(), ref.Len())
+			}
+			// Scalar insert/delete through the selector route.
+			extra := key13(1 << 30)
+			if _, err := s.Insert(extra); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Delete(extra) {
+				t.Fatal("freshly inserted key not deleted")
+			}
+			oks := make([]bool, len(keys))
+			s.DeleteBatchInto(keys, oks)
+			for i, ok := range oks {
+				if !ok {
+					t.Fatalf("key %d not deleted", i)
+				}
+			}
+			if s.Probes() == 0 {
+				t.Fatal("probe accounting lost under selector routing")
+			}
+			if s.Name() == "" {
+				t.Fatal("empty sharded name")
+			}
+		})
+	}
+}
+
+// TestRegisterContractPanics pins the registry's init-time error handling.
+func TestRegisterContractPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty name", func() { table.Register("", func(table.Config) (table.Backend, error) { return nil, nil }) })
+	expectPanic("nil constructor", func() { table.Register("nilctor", nil) })
+	expectPanic("duplicate", func() {
+		table.Register("hashcam", func(table.Config) (table.Backend, error) { return nil, nil })
+	})
+}
+
+// TestBatchErr covers both collapse directions.
+func TestBatchErr(t *testing.T) {
+	if err := table.BatchErr(nil); err != nil {
+		t.Fatalf("BatchErr(nil) = %v", err)
+	}
+	errs := []error{nil, table.ErrTableFull, nil}
+	err := table.BatchErr(errs)
+	if !errors.Is(err, table.ErrTableFull) {
+		t.Fatalf("BatchErr lost the per-key failure: %v", err)
+	}
+}

@@ -268,11 +268,19 @@ type batchScratch struct {
 	plan   [][]int32          // per-shard indices into keys, in input order
 	arena  []int32            // backing store for plan's slices
 	khs    []hashfn.KeyHashes // per-key single-pass hashes (hashed mode)
+	errs   []error            // InsertBatch's per-key failure staging
 }
 
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growErrs(s []error, n int) []error {
+	if cap(s) < n {
+		return make([]error, n)
 	}
 	return s[:n]
 }
@@ -411,9 +419,9 @@ func (s *Sharded) LookupBatchInto(keys [][]byte, ids []uint64, hits []bool) {
 	s.putScratch(sc)
 }
 
-// insertShard resolves one shard's slice of the batch under an exclusive
-// lock, appending per-key failures to errs (allocated on first failure).
-func (s *Sharded) insertShard(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs *[]error, total int) {
+// insertShardInto resolves one shard's slice of the batch under an
+// exclusive lock, recording per-key failures positionally in errs.
+func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs []error) {
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -426,10 +434,7 @@ func (s *Sharded) insertShard(shard int, keys [][]byte, sc *batchScratch, ids []
 			local, err = sh.be.Insert(keys[i])
 		}
 		if err != nil {
-			if *errs == nil {
-				*errs = make([]error, total)
-			}
-			(*errs)[i] = err
+			errs[i] = err
 			continue
 		}
 		ids[i] = s.globalID(shard, local)
@@ -439,18 +444,61 @@ func (s *Sharded) insertShard(shard int, keys [][]byte, sc *batchScratch, ids []
 // InsertBatch inserts all keys. ids is positional; errs is nil when every
 // insert succeeded, otherwise errs[i] carries the per-key failure. A
 // non-nil errs[i] is the only failure marker — zero is a legitimate ID
-// (shard 0's first CAM entry encodes to 0).
+// (shard 0's first CAM entry encodes to 0). The two result slices are the
+// call's only steady-state allocations; InsertBatchInto avoids even those.
 func (s *Sharded) InsertBatch(keys [][]byte) (ids []uint64, errs []error) {
 	ids = make([]uint64, len(keys))
+	sc := s.planBatch(keys)
+	sc.errs = growErrs(sc.errs, len(keys))
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	for shard := range s.shards {
+		if len(sc.plan[shard]) == 0 {
+			continue
+		}
+		s.insertShardInto(shard, keys, sc, ids, sc.errs)
+	}
+	// Harvest failures into the lazily allocated return slice, dropping the
+	// pooled buffer's references so errors do not outlive the call inside
+	// the pool.
+	for i, e := range sc.errs {
+		if e == nil {
+			continue
+		}
+		if errs == nil {
+			errs = make([]error, len(keys))
+		}
+		errs[i] = e
+		sc.errs[i] = nil
+	}
+	s.putScratch(sc)
+	return ids, errs
+}
+
+// InsertBatchInto is InsertBatch into caller-supplied result buffers, for
+// writers that reuse buffers across batches: the steady-state insert path
+// — one hash pass per key, shard-grouped exclusive locking, bucket
+// placement — allocates nothing beyond what individual backend inserts
+// require. ids and errs must both have the length of keys; every element
+// is overwritten (errs[i] nil on success).
+func (s *Sharded) InsertBatchInto(keys [][]byte, ids []uint64, errs []error) {
+	if len(ids) != len(keys) || len(errs) != len(keys) {
+		panic(fmt.Sprintf("table: InsertBatchInto buffers (%d ids, %d errs) do not match %d keys",
+			len(ids), len(errs), len(keys)))
+	}
+	for i := range ids {
+		ids[i] = 0
+		errs[i] = nil
+	}
 	sc := s.planBatch(keys)
 	for shard := range s.shards {
 		if len(sc.plan[shard]) == 0 {
 			continue
 		}
-		s.insertShard(shard, keys, sc, ids, &errs, len(keys))
+		s.insertShardInto(shard, keys, sc, ids, errs)
 	}
 	s.putScratch(sc)
-	return ids, errs
 }
 
 // deleteShard resolves one shard's slice of the batch under an exclusive
