@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// expirySweepConfig parameterises the lifecycle churn scenario: Zipf
+// arrivals over a flow population larger than the table, with flow
+// lifetimes (generation turnover) so old flows stop arriving and must be
+// reclaimed by the expiry sweep for inserts to keep succeeding.
+type expirySweepConfig struct {
+	backends []string
+	shards   []int
+	workers  int
+	ops      int // packets per worker
+	capacity int
+	batch    int
+	flows    int   // offered flow population (per generation)
+	idle     int64 // idle timeout in packets
+	active   int64 // active timeout in packets (0 = disabled)
+	sweep    int   // sweep budget (slots per shard per Advance)
+	lifetime int64 // generation length in packets (0 = no turnover)
+	skew     float64
+	jsonPath string
+}
+
+// withExpiryDefaults derives the dependent defaults: the population is 4×
+// capacity (the workload class the engine cannot run without expiry), the
+// idle window is half the capacity in packets — bounding steady-state
+// occupancy near half load regardless of skew, since a window of W
+// arrivals contains at most W distinct flows — and generations last eight
+// idle windows.
+func (c expirySweepConfig) withExpiryDefaults() expirySweepConfig {
+	if c.flows <= 0 {
+		c.flows = 4 * c.capacity
+	}
+	if c.idle <= 0 {
+		// Floor of 1: at capacity 1 a zero window would silently disable
+		// expiry (and zero the derived lifetime, the generation divisor).
+		c.idle = max(int64(c.capacity/2), 1)
+	}
+	if c.sweep <= 0 {
+		c.sweep = 2048
+	}
+	if c.lifetime <= 0 {
+		c.lifetime = 8 * c.idle
+	}
+	if c.skew <= 1 {
+		c.skew = 1.2
+	}
+	return c
+}
+
+// expiryJSONResult is one backend×shards measurement of the churn
+// scenario in the machine-readable output (BENCH_engine_expiry.json).
+// OccupancyEnd/OccupancyRatio are the steady-state columns; EvictedPerSec
+// and EvictedPerKPkt the reclaim-rate columns.
+type expiryJSONResult struct {
+	Backend        string  `json:"backend"`
+	Shards         int     `json:"shards"`
+	Workers        int     `json:"workers"`
+	Batch          int     `json:"batch"`
+	Capacity       int     `json:"capacity"`
+	Flows          int     `json:"flow_population"`
+	IdleTimeout    int64   `json:"idle_timeout_pkts"`
+	ActiveTimeout  int64   `json:"active_timeout_pkts,omitempty"`
+	SweepBudget    int     `json:"sweep_budget"`
+	Lifetime       int64   `json:"flow_lifetime_pkts"`
+	ZipfSkew       float64 `json:"zipf_skew"`
+	TotalPkts      int64   `json:"total_pkts"`
+	WallNS         int64   `json:"wall_ns"`
+	NSPerPkt       float64 `json:"ns_per_pkt"`
+	MppsPerSec     float64 `json:"mpkts_per_sec"`
+	AllocsPerPkt   float64 `json:"allocs_per_pkt"`
+	NewFlows       int64   `json:"new_flows"`
+	FailedInserts  int64   `json:"failed_inserts"`
+	OccupancyEnd   int     `json:"occupancy_end"`
+	OccupancyPeak  int     `json:"occupancy_peak"`
+	OccupancyRatio float64 `json:"occupancy_ratio"`
+	Evicted        int64   `json:"evicted"`
+	IdleEvicted    int64   `json:"idle_evicted"`
+	ActiveEvicted  int64   `json:"active_evicted"`
+	Sweeps         int64   `json:"sweeps"`
+	EvictedPerSec  float64 `json:"evicted_per_sec"`
+	EvictedPerKPkt float64 `json:"evicted_per_kpkt"`
+}
+
+// expiryJSONReport is the top-level structure of the -expiry -json output.
+type expiryJSONReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	OpsPerWkr  int                `json:"ops_per_worker"`
+	Results    []expiryJSONResult `json:"results"`
+}
+
+// expirySweep runs the lifecycle churn scenario across backend × shard
+// combinations: the headline demonstration that a table smaller than the
+// offered flow population reaches steady state instead of saturating.
+func expirySweep(cfg expirySweepConfig) error {
+	cfg = cfg.withExpiryDefaults()
+	t := metrics.NewTable(
+		fmt.Sprintf("Engine expiry churn — %d workers × %d pkts, batch %d, %d flows into %d slots (%.1fx), idle %d pkts, lifetime %d pkts (GOMAXPROCS=%d)",
+			cfg.workers, cfg.ops, cfg.batch, cfg.flows, cfg.capacity,
+			float64(cfg.flows)/float64(cfg.capacity), cfg.idle, cfg.lifetime, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Mpkts/s", "ns/pkt", "Occupancy (end/peak)", "Load", "New flows", "Failed ins", "Evicted", "Reclaim/s")
+	var jsonResults []expiryJSONResult
+	for _, backend := range cfg.backends {
+		for _, shards := range cfg.shards {
+			res, err := runExpiryLoad(backend, shards, cfg)
+			if err != nil {
+				return fmt.Errorf("expiry %s/%d: %w", backend, shards, err)
+			}
+			t.AddRow(backend, fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%.2f", res.MppsPerSec),
+				fmt.Sprintf("%.1f", res.NSPerPkt),
+				fmt.Sprintf("%d/%d", res.OccupancyEnd, res.OccupancyPeak),
+				fmt.Sprintf("%.2f", res.OccupancyRatio),
+				fmt.Sprintf("%d", res.NewFlows),
+				fmt.Sprintf("%d", res.FailedInserts),
+				fmt.Sprintf("%d", res.Evicted),
+				fmt.Sprintf("%.0f", res.EvictedPerSec))
+			jsonResults = append(jsonResults, res)
+		}
+	}
+	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		rep := expiryJSONReport{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			OpsPerWkr:  cfg.ops,
+			Results:    jsonResults,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode expiry results: %w", err)
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write expiry results: %w", err)
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// expiryShared is the cross-worker state of one churn run.
+type expiryShared struct {
+	pkts     atomic.Int64 // global logical clock: packets processed
+	newFlows atomic.Int64
+	failed   atomic.Int64
+	peak     atomic.Int64 // peak sampled occupancy
+}
+
+// runExpiryLoad drives one backend/shard configuration.
+func runExpiryLoad(backend string, shards int, cfg expirySweepConfig) (expiryJSONResult, error) {
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:  backend,
+		Shards:   shards,
+		Capacity: cfg.capacity,
+		Expiry: flowproc.ExpiryConfig{
+			IdleTimeout:   cfg.idle,
+			ActiveTimeout: cfg.active,
+			SweepBudget:   cfg.sweep,
+		},
+	})
+	if err != nil {
+		return expiryJSONResult{}, err
+	}
+	var shared expiryShared
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.workers)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := expiryWorker(eng, w, cfg, &shared); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	close(errCh)
+	for err := range errCh {
+		return expiryJSONResult{}, err
+	}
+	total := shared.pkts.Load()
+	st := eng.ExpiryStats()
+	occ := eng.Len()
+	peak := int(shared.peak.Load())
+	if occ > peak {
+		peak = occ
+	}
+	return expiryJSONResult{
+		Backend:        backend,
+		Shards:         shards,
+		Workers:        cfg.workers,
+		Batch:          cfg.batch,
+		Capacity:       cfg.capacity,
+		Flows:          cfg.flows,
+		IdleTimeout:    cfg.idle,
+		ActiveTimeout:  cfg.active,
+		SweepBudget:    cfg.sweep,
+		Lifetime:       cfg.lifetime,
+		ZipfSkew:       cfg.skew,
+		TotalPkts:      total,
+		WallNS:         wall.Nanoseconds(),
+		NSPerPkt:       float64(wall.Nanoseconds()) / float64(total),
+		MppsPerSec:     float64(total) / wall.Seconds() / 1e6,
+		AllocsPerPkt:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total),
+		NewFlows:       shared.newFlows.Load(),
+		FailedInserts:  shared.failed.Load(),
+		OccupancyEnd:   occ,
+		OccupancyPeak:  peak,
+		OccupancyRatio: float64(occ) / float64(cfg.capacity),
+		Evicted:        st.Evicted,
+		IdleEvicted:    st.IdleEvicted,
+		ActiveEvicted:  st.ActiveEvicted,
+		Sweeps:         st.Sweeps,
+		EvictedPerSec:  float64(st.Evicted) / wall.Seconds(),
+		EvictedPerKPkt: float64(st.Evicted) / float64(total) * 1000,
+	}, nil
+}
+
+// expiryWorker drives one goroutine's share of the churn: per batch it
+// draws Zipf-ranked flows from the worker's current generation (flows
+// retire when their generation ends — the "flow lifetime"), looks the
+// batch up, inserts the misses, and advances the lifecycle clock on a
+// rotating schedule — each worker sweeps every workers-th round, so the
+// sweep keeps pace with arrivals (~one Advance per batch globally) even
+// when workers finish at different times.
+func expiryWorker(eng *flowproc.Engine, w int, cfg expirySweepConfig, shared *expiryShared) error {
+	trace, err := trafficgen.NewZipfTrace(trafficgen.ZipfConfig{
+		Universe:   uint64(cfg.flows),
+		Skew:       cfg.skew,
+		HeadOffset: 16,
+		Seed:       uint64(w)*0x9e3779b9 + 1,
+	})
+	if err != nil {
+		return err
+	}
+	batch := make([]flowproc.FiveTuple, cfg.batch)
+	misses := make([]flowproc.FiveTuple, 0, cfg.batch)
+	ids := make([]uint64, cfg.batch)
+	hits := make([]bool, cfg.batch)
+	errs := make([]error, cfg.batch)
+	for done, round := 0, 0; done < cfg.ops; done, round = done+len(batch), round+1 {
+		now := shared.pkts.Load()
+		gen := uint64(now / cfg.lifetime)
+		for i := range batch {
+			rank := trace.SampleIndex()
+			// Generation turnover retires whole flow populations: index
+			// spaces of different generations are disjoint, so an old
+			// generation's flows simply stop arriving and idle out.
+			batch[i] = trafficgen.Flow(gen*uint64(cfg.flows) + rank)
+		}
+		eng.LookupBatchInto(batch, ids, hits)
+		misses = misses[:0]
+		for i, hit := range hits {
+			if !hit {
+				misses = append(misses, batch[i])
+			}
+		}
+		if len(misses) > 0 {
+			eng.InsertBatchInto(misses, ids[:len(misses)], errs[:len(misses)])
+			inserted := int64(0)
+			for _, err := range errs[:len(misses)] {
+				switch {
+				case err == nil:
+					inserted++
+				case errors.Is(err, table.ErrTableFull):
+					// The saturation outcome the lifecycle layer exists
+					// to prevent: counted, reported, not fatal.
+					shared.failed.Add(1)
+				default:
+					return err
+				}
+			}
+			shared.newFlows.Add(inserted)
+		}
+		now = shared.pkts.Add(int64(len(batch)))
+		if round%cfg.workers == w {
+			eng.Advance(now)
+			occ := int64(eng.Len())
+			// CAS loop: a stale check-then-store could overwrite a
+			// larger peak recorded by a concurrent worker.
+			for {
+				p := shared.peak.Load()
+				if occ <= p || shared.peak.CompareAndSwap(p, occ) {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

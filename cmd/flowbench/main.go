@@ -34,6 +34,13 @@ func main() {
 	capacity := flag.Int("capacity", 1<<20, "engine mode: total flow capacity")
 	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
 	writers := flag.Bool("writers", false, "engine mode: write-heavy mix (InsertBatchInto/DeleteBatchInto writer pipeline) instead of the read-mostly default")
+	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
+	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
+	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
+	active := flag.Int64("active", 0, "expiry mode: active timeout in packets (0 = disabled)")
+	sweepBudget := flag.Int("sweep", 0, "expiry mode: sweep budget in slots per shard per Advance (default 2048)")
+	lifetime := flag.Int64("lifetime", 0, "expiry mode: flow lifetime (generation length) in packets (default 8x idle)")
+	skew := flag.Float64("skew", 1.2, "expiry mode: Zipf skew of the arrival distribution (> 1)")
 	jsonOut := flag.String("json", "", "engine mode: also write machine-readable results to this file (e.g. BENCH_engine.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|engine|all]\n")
@@ -75,6 +82,28 @@ func main() {
 		opsPerWorker := *ops
 		if *quick {
 			opsPerWorker = min(opsPerWorker, 100_000)
+		}
+		if *expiry {
+			err := expirySweep(expirySweepConfig{
+				backends: backendList,
+				shards:   shardList,
+				workers:  *workers,
+				ops:      opsPerWorker,
+				capacity: *capacity,
+				batch:    *batch,
+				flows:    *flows,
+				idle:     *idle,
+				active:   *active,
+				sweep:    *sweepBudget,
+				lifetime: *lifetime,
+				skew:     *skew,
+				jsonPath: *jsonOut,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		err = engineSweep(engineSweepConfig{
 			backends: backendList,

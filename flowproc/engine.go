@@ -74,6 +74,10 @@ type EngineConfig struct {
 	// CAMEntries is the total collision-store size for the Hash-CAM
 	// family, divided across shards like Capacity (default 64).
 	CAMEntries int
+	// Expiry enables the flow-lifecycle layer: NetFlow-style idle/active
+	// timeouts enforced by an incremental eviction sweep driven through
+	// Advance. The zero value leaves it disabled; see ExpiryConfig.
+	Expiry ExpiryConfig
 }
 
 // Backends returns the registered backend names an Engine can use.
@@ -97,6 +101,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e := &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}
 	e.scratch.New = func() any { return new(engineScratch) }
+	if cfg.Expiry.enabled() {
+		if err := e.enableExpiry(cfg.Expiry); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 

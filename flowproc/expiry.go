@@ -1,0 +1,117 @@
+package flowproc
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// This file is the engine-level surface of the flow-lifecycle subsystem:
+// NetFlow-style idle/active timeouts over a caller-supplied logical
+// clock, an incremental per-shard eviction sweep driven by Advance, and
+// an export callback surfacing retired flows as 5-tuples. The table-layer
+// mechanics (per-slot timestamp side-tables, the EvictableBackend slot
+// walk) live in internal/table; see docs/ARCHITECTURE.md for the layer
+// map.
+
+// ExpiryConfig enables the engine's flow-lifecycle layer. Timeouts are in
+// the units of the logical clock the caller passes to Advance — packet
+// counts, sim.Clock cycles or wall nanoseconds all work; the engine never
+// reads wall time itself. The zero value leaves expiry disabled.
+type ExpiryConfig struct {
+	// IdleTimeout retires flows not looked up or re-inserted for this
+	// many time units. Zero disables idle expiry.
+	IdleTimeout int64
+	// ActiveTimeout retires flows resident for this many time units even
+	// if still active (NetFlow's forced progress export). Zero disables
+	// active expiry.
+	ActiveTimeout int64
+	// SweepBudget bounds the slots examined per shard per Advance call
+	// (default 256), keeping writer/reader tail latency flat.
+	SweepBudget int
+}
+
+// enabled reports whether the configuration asks for the lifecycle layer.
+func (c ExpiryConfig) enabled() bool { return c.IdleTimeout > 0 || c.ActiveTimeout > 0 }
+
+// ExpireReason re-exports the table layer's retirement classification.
+type ExpireReason = table.ExpireReason
+
+// Expire reasons, re-exported for callers switching on ExpiredFlow.Reason.
+const (
+	// ExpireIdle marks an idle-timeout retirement.
+	ExpireIdle = table.ExpireIdle
+	// ExpireActive marks an active-timeout retirement.
+	ExpireActive = table.ExpireActive
+)
+
+// ExpiryStats re-exports the table layer's lifecycle counters.
+type ExpiryStats = table.ExpiryStats
+
+// ExpiredFlow is one retired flow as delivered to the Expired callback:
+// the tuple it was stored under, its engine flow ID, its lifecycle
+// timestamps on the caller's logical clock, and the retirement reason.
+type ExpiredFlow struct {
+	Tuple     FiveTuple
+	ID        uint64
+	FirstSeen int64
+	LastSeen  int64
+	Reason    ExpireReason
+}
+
+// Expired registers the export callback invoked by Advance for every
+// retired flow — the engine's NetFlow export hook. It must be set before
+// the first Advance call and not changed afterwards; without it, retired
+// flows are reclaimed silently. The callback runs outside all shard
+// locks, so it may safely call the engine's lookup/insert/delete paths;
+// it must NOT call Advance, which still holds the sweep mutex and would
+// self-deadlock. Expired panics when expiry was not enabled in
+// EngineConfig (like Advance, it has no lifecycle layer to attach to).
+func (e *Engine) Expired(fn func(ExpiredFlow)) {
+	if fn == nil {
+		e.sharded.OnExpired(nil)
+		return
+	}
+	spec := e.spec
+	e.sharded.OnExpired(func(id uint64, key []byte, first, last int64, reason table.ExpireReason) {
+		ft, ok := spec.ParseKey(key)
+		if !ok {
+			return // cannot happen: the engine only stores keys it serialised
+		}
+		fn(ExpiredFlow{Tuple: ft, ID: id, FirstSeen: first, LastSeen: last, Reason: reason})
+	})
+}
+
+// Advance moves the engine's lifecycle clock to now and runs one bounded
+// eviction sweep step across all shards, returning the number of flows
+// retired by this call. Callers drive it at whatever cadence suits their
+// clock (e.g. once per batch with now = packets processed); each shard's
+// write lock is held for at most SweepBudget slot visits, and the sweep
+// cursor persists so successive calls cover the whole table. Lookups and
+// inserts between Advance calls are timestamped with the latest now.
+// Advance panics when expiry was not enabled in EngineConfig.
+func (e *Engine) Advance(now int64) int { return e.sharded.Advance(now) }
+
+// ExpiryEnabled reports whether the lifecycle layer is active.
+func (e *Engine) ExpiryEnabled() bool { return e.sharded.ExpiryEnabled() }
+
+// ExpiryStats returns a snapshot of the lifecycle counters (sweeps, slots
+// examined, evictions by reason); the zero value when expiry is disabled.
+func (e *Engine) ExpiryStats() ExpiryStats { return e.sharded.ExpiryStats() }
+
+// Now returns the lifecycle clock's current value (the last Advance), or
+// 0 when expiry is disabled.
+func (e *Engine) Now() int64 { return e.sharded.Now() }
+
+// enableExpiry wires cfg into the sharded table at construction.
+func (e *Engine) enableExpiry(cfg ExpiryConfig) error {
+	err := e.sharded.EnableExpiry(table.ExpiryConfig{
+		IdleTimeout:   cfg.IdleTimeout,
+		ActiveTimeout: cfg.ActiveTimeout,
+		SweepBudget:   cfg.SweepBudget,
+	})
+	if err != nil {
+		return fmt.Errorf("flowproc: engine expiry: %w", err)
+	}
+	return nil
+}

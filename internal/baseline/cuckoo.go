@@ -20,10 +20,22 @@ type Cuckoo struct {
 	keyLen  int
 	maxKick int
 
-	keys   [2][]byte
-	used   [2][]bool
+	keys [2][]byte
+	used [2][]bool
+	// hashw caches both full hash words per slot (16 bytes/slot), written
+	// at every placement: kick-chain evictions derive the victim's
+	// alternate bucket from the cache instead of rehashing its key bytes,
+	// so a whole eviction chain performs zero hash computations.
+	hashw  [2][]uint64 // per table: slots × {H1 word, H2 word}
 	count  int
 	probes atomic.Int64 // atomic: lookups may run under a shared lock
+
+	// relocate, when set (table.RelocatingBackend), receives each
+	// insert's resident moves in chain order; moveBuf stages them
+	// (retained on the struct, so steady-state inserts never allocate
+	// for it).
+	relocate func(moves [][2]uint64)
+	moveBuf  [][2]uint64
 
 	// Relocations counts kick-out moves over the table lifetime;
 	// MaxChain records the longest single-insert eviction chain —
@@ -50,6 +62,7 @@ func NewCuckoo(pair hashfn.Pair, buckets, slots, keyLen, maxKick int) (*Cuckoo, 
 	for i := range c.keys {
 		c.keys[i] = make([]byte, buckets*slots*keyLen)
 		c.used[i] = make([]bool, buckets*slots)
+		c.hashw[i] = make([]uint64, buckets*slots*2)
 	}
 	return c, nil
 }
@@ -64,11 +77,17 @@ func (c *Cuckoo) id(table, bucket, slot int) uint64 {
 	return uint64(table*perTable + bucket*c.slots + slot)
 }
 
-func (c *Cuckoo) bucketOf(table int, key []byte) int {
-	if table == 0 {
-		return c.pair.Index1(key, c.buckets)
-	}
-	return c.pair.Index2(key, c.buckets)
+// slotWords returns the cached hash words of (table, bucket, slot).
+func (c *Cuckoo) slotWords(table, bucket, slot int) [2]uint64 {
+	base := (bucket*c.slots + slot) * 2
+	return [2]uint64{c.hashw[table][base], c.hashw[table][base+1]}
+}
+
+// setSlotWords stores the hash words of the key just placed in
+// (table, bucket, slot).
+func (c *Cuckoo) setSlotWords(table, bucket, slot int, w [2]uint64) {
+	base := (bucket*c.slots + slot) * 2
+	c.hashw[table][base], c.hashw[table][base+1] = w[0], w[1]
 }
 
 func (c *Cuckoo) checkKey(key []byte) {
@@ -109,83 +128,131 @@ func (c *Cuckoo) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
 	return c.lookupAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
 }
 
-// Insert implements LookupTable with kick-out relocation.
+// Insert implements LookupTable with kick-out relocation. The key is
+// hashed exactly once; everything after — the duplicate pre-check, the
+// placement and any kick chain — runs on retained or cached hash words.
 func (c *Cuckoo) Insert(key []byte) (uint64, error) {
 	c.checkKey(key)
-	b1, b2 := c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets)
-	return c.insertAt(key, b1, b2)
+	return c.insertAt(key, [2]uint64{c.pair.H1.Hash(key), c.pair.H2.Hash(key)})
 }
 
-// InsertHashed implements the hashed fast path: the inserted key itself is
-// never rehashed (keys evicted along the kick chain still are — their
-// hashes are not in the caller's precomputed set).
+// InsertHashed implements the hashed fast path: with the per-slot hash
+// cache the whole insert — including keys evicted along the kick chain,
+// whose words are read back from the cache — performs zero hash
+// computations.
 func (c *Cuckoo) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	c.checkKey(key)
-	return c.insertAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
+	return c.insertAt(key, [2]uint64{kh.H1, kh.H2})
 }
 
-// insertAt implements Insert with the candidate buckets of key already
-// derived (b1/b2), so the duplicate pre-check and the first placement step
-// reuse them instead of rehashing.
-func (c *Cuckoo) insertAt(key []byte, b1, b2 int) (uint64, error) {
+// recordMove stages one resident relocation for the hook, preserving
+// chain order (the order consumers' hand-over-hand replay depends on; see
+// table.RelocatingBackend).
+func (c *Cuckoo) recordMove(from, to uint64) {
+	if c.relocate != nil {
+		c.moveBuf = append(c.moveBuf, [2]uint64{from, to})
+	}
+}
+
+// flushMoves delivers the staged chain to the relocation hook in one call
+// and resets the staging buffer.
+func (c *Cuckoo) flushMoves() {
+	if c.relocate != nil && len(c.moveBuf) > 0 {
+		c.relocate(c.moveBuf)
+	}
+	c.moveBuf = c.moveBuf[:0]
+}
+
+// insertAt implements Insert with the key's full hash words already
+// derived: w[0]/w[1] index table 0/1. The duplicate pre-check, the
+// placement and every kick-chain hop reduce words — the key's own or a
+// victim's cached pair — so no insert path rehashes any key bytes.
+//
+// The new key is tracked through the chain: long chains can evict it from
+// its first landing slot (the path may revisit slots — the reason maxKick
+// exists), so the returned ID is its final location, its own hops are
+// excluded from the relocation moves (it has no per-slot metadata to
+// carry yet), and the moves list reaches the hook in chain order.
+func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
+	b1, b2 := hashfn.Reduce(w[0], c.buckets), hashfn.Reduce(w[1], c.buckets)
 	if id, ok := c.lookupAt(key, b1, b2); ok {
 		return id, nil
 	}
 	// cur borrows the caller's key until the first eviction forces a copy:
 	// the common no-kick insert then allocates nothing (the writer-path
 	// zero-alloc bound counts on it), and the arena copy below never
-	// aliases the borrowed bytes.
+	// aliases the borrowed bytes. curW rides along — it is the cache
+	// content for cur's eventual slot.
 	cur := key
+	curW := w
+	curIsNew := true     // cur is the inserted key, not a relocated resident
+	var curOrigin uint64 // slot cur was evicted from (valid when !curIsNew)
+	var newID uint64     // the inserted key's slot (valid when newResident)
+	newResident := false
 	table := 0
 	chain := 0
-	var firstID uint64
-	first := true
 	for kick := 0; kick <= c.maxKick; kick++ {
-		var b int
-		switch {
-		case kick == 0:
-			b = b1 // cur is still the original key: bucket precomputed
-		default:
-			b = c.bucketOf(table, cur)
-		}
+		b := hashfn.Reduce(curW[table], c.buckets)
 		// Free slot in the candidate bucket?
 		for slot := 0; slot < c.slots; slot++ {
 			if !c.used[table][b*c.slots+slot] {
 				copy(c.slotKey(table, b, slot), cur)
+				c.setSlotWords(table, b, slot, curW)
 				c.used[table][b*c.slots+slot] = true
 				c.count++
 				c.probes.Add(1)
 				if chain > c.MaxChain {
 					c.MaxChain = chain
 				}
-				if first {
-					return c.id(table, b, slot), nil
+				if curIsNew {
+					newID = c.id(table, b, slot)
+				} else {
+					c.recordMove(curOrigin, c.id(table, b, slot))
 				}
-				return firstID, nil
+				c.flushMoves()
+				return newID, nil
 			}
 		}
 		// Kick out the resident of a deterministic victim slot; rotate by
 		// chain depth so repeated kicks in one bucket vary the victim.
+		// The victim's cached words leave with it — its next hop reduces
+		// them instead of rehashing its key.
 		victim := chain % c.slots
+		victimID := c.id(table, b, victim)
+		victimIsNew := newResident && victimID == newID
+		victimW := c.slotWords(table, b, victim)
 		evicted := append([]byte(nil), c.slotKey(table, b, victim)...)
 		copy(c.slotKey(table, b, victim), cur)
+		c.setSlotWords(table, b, victim, curW)
 		c.probes.Add(2) // read victim + write new
 		c.Relocations++
 		chain++
-		if first {
-			firstID = c.id(table, b, victim)
-			first = false
+		if curIsNew {
+			newID = victimID
+			newResident = true
+		} else {
+			c.recordMove(curOrigin, victimID)
 		}
-		cur = evicted
+		cur, curW, curOrigin, curIsNew = evicted, victimW, victimID, victimIsNew
+		if victimIsNew {
+			newResident = false // the chain kicked the new key out again
+		}
 		table = 1 - table
 	}
-	// The chain placed the new key but left its final evictee homeless
-	// (net stored count unchanged) — the nondeterministic-build failure
-	// mode the paper cites against cuckoo hashing. Hardware cannot rebuild
-	// at line rate, so the loss is surfaced as an insert error.
+	// Chain exceeded maxKick: one key is homeless — the nondeterministic
+	// build failure the paper cites against cuckoo hashing; hardware
+	// cannot rebuild at line rate, so the loss surfaces as an insert
+	// error. Usually the homeless key is the final evictee and the new
+	// key stays resident despite the error (the degraded-residency
+	// semantics the differential tests pin); with expiry enabled such a
+	// resident-but-failed key keeps its slot's previous timestamps until
+	// it ages out — an accepted blemish of a regime the lifecycle layer
+	// exists to keep tables out of. Staged moves still fire: every other
+	// resident did move.
 	if chain > c.MaxChain {
 		c.MaxChain = chain
 	}
+	c.flushMoves()
 	return 0, fmt.Errorf("baseline: cuckoo eviction chain exceeded %d (homeless key %x): %w",
 		c.maxKick, cur, ErrTableFull)
 }

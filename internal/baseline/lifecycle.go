@@ -1,0 +1,178 @@
+package baseline
+
+import "repro/internal/table"
+
+// This file implements the slot-addressed lifecycle extension
+// (table.EvictableBackend) on every §II baseline, so the expiry sweep
+// works uniformly across structures: occupied slots are enumerated and
+// reclaimed by the same location-derived IDs Lookup/Insert return, with
+// no hashing and no key comparisons.
+
+// Every baseline supports the eviction sweep alongside the hashed fast
+// path.
+var (
+	_ table.EvictableBackend = (*SingleHash)(nil)
+	_ table.EvictableBackend = (*DLeft)(nil)
+	_ table.EvictableBackend = (*Cuckoo)(nil)
+	_ table.EvictableBackend = (*ConvHashCAM)(nil)
+
+	_ table.RelocatingBackend = (*Cuckoo)(nil)
+)
+
+// SlotIDBound implements table.EvictableBackend: buckets × slots.
+func (s *SingleHash) SlotIDBound() uint64 { return uint64(s.buckets * s.slots) }
+
+// SlotOccupied implements table.SlotSpace.
+func (s *SingleHash) SlotOccupied(id uint64) bool { return s.used[id] }
+
+// WalkSlots implements table.Walker.
+func (s *SingleHash) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
+	return table.WalkLinear(s, s.SlotIDBound(), cursor, budget, fn)
+}
+
+// AppendSlotKey implements table.EvictableBackend.
+func (s *SingleHash) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
+	if slot >= s.SlotIDBound() || !s.used[slot] {
+		return dst, false
+	}
+	base := int(slot) * s.keyLen
+	return append(dst, s.keys[base:base+s.keyLen]...), true
+}
+
+// DeleteSlot implements table.EvictableBackend: the single slot write is
+// charged one probe, matching Delete's accounting for the entry removal.
+func (s *SingleHash) DeleteSlot(slot uint64) bool {
+	if slot >= s.SlotIDBound() || !s.used[slot] {
+		return false
+	}
+	s.used[slot] = false
+	s.count--
+	s.probes.Add(1)
+	return true
+}
+
+// SlotIDBound implements table.EvictableBackend: sub-tables × buckets ×
+// slots (the ID layout concatenates the sub-table arenas).
+func (d *DLeft) SlotIDBound() uint64 { return uint64(len(d.hashes) * d.buckets * d.slots) }
+
+// dleftLoc splits a slot ID into its sub-table and arena offset.
+func (d *DLeft) dleftLoc(slot uint64) (t int, off int) {
+	perTable := uint64(d.buckets * d.slots)
+	return int(slot / perTable), int(slot % perTable)
+}
+
+// SlotOccupied implements table.SlotSpace.
+func (d *DLeft) SlotOccupied(id uint64) bool {
+	t, off := d.dleftLoc(id)
+	return d.used[t][off]
+}
+
+// WalkSlots implements table.Walker.
+func (d *DLeft) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
+	return table.WalkLinear(d, d.SlotIDBound(), cursor, budget, fn)
+}
+
+// AppendSlotKey implements table.EvictableBackend.
+func (d *DLeft) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
+	if slot >= d.SlotIDBound() {
+		return dst, false
+	}
+	t, off := d.dleftLoc(slot)
+	if !d.used[t][off] {
+		return dst, false
+	}
+	base := off * d.keyLen
+	return append(dst, d.keys[t][base:base+d.keyLen]...), true
+}
+
+// DeleteSlot implements table.EvictableBackend.
+func (d *DLeft) DeleteSlot(slot uint64) bool {
+	if slot >= d.SlotIDBound() {
+		return false
+	}
+	t, off := d.dleftLoc(slot)
+	if !d.used[t][off] {
+		return false
+	}
+	d.used[t][off] = false
+	d.counts[t]--
+	d.probes.Add(1)
+	return true
+}
+
+// SlotIDBound implements table.EvictableBackend: 2 × buckets × slots.
+func (c *Cuckoo) SlotIDBound() uint64 { return uint64(2 * c.buckets * c.slots) }
+
+// cuckooLoc splits a slot ID into its table and arena offset.
+func (c *Cuckoo) cuckooLoc(slot uint64) (t int, off int) {
+	perTable := uint64(c.buckets * c.slots)
+	return int(slot / perTable), int(slot % perTable)
+}
+
+// SlotOccupied implements table.SlotSpace.
+func (c *Cuckoo) SlotOccupied(id uint64) bool {
+	t, off := c.cuckooLoc(id)
+	return c.used[t][off]
+}
+
+// WalkSlots implements table.Walker.
+func (c *Cuckoo) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
+	return table.WalkLinear(c, c.SlotIDBound(), cursor, budget, fn)
+}
+
+// AppendSlotKey implements table.EvictableBackend.
+func (c *Cuckoo) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
+	if slot >= c.SlotIDBound() {
+		return dst, false
+	}
+	t, off := c.cuckooLoc(slot)
+	if !c.used[t][off] {
+		return dst, false
+	}
+	base := off * c.keyLen
+	return append(dst, c.keys[t][base:base+c.keyLen]...), true
+}
+
+// DeleteSlot implements table.EvictableBackend.
+func (c *Cuckoo) DeleteSlot(slot uint64) bool {
+	if slot >= c.SlotIDBound() {
+		return false
+	}
+	t, off := c.cuckooLoc(slot)
+	if !c.used[t][off] {
+		return false
+	}
+	c.used[t][off] = false
+	c.count--
+	c.probes.Add(1)
+	return true
+}
+
+// SetRelocateHook implements table.RelocatingBackend: each insert whose
+// kick chain moved residents delivers the moves in chain order so the
+// lifecycle layer's per-slot timestamps can follow relocated entries.
+func (c *Cuckoo) SetRelocateHook(fn func(moves [][2]uint64)) { c.relocate = fn }
+
+// SlotIDBound implements table.EvictableBackend, delegating to the inner
+// Hash-CAM (same fid layout).
+func (c *ConvHashCAM) SlotIDBound() uint64 { return c.table.SlotIDBound() }
+
+// WalkSlots implements table.Walker.
+func (c *ConvHashCAM) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
+	return c.table.WalkSlots(cursor, budget, fn)
+}
+
+// AppendSlotKey implements table.EvictableBackend.
+func (c *ConvHashCAM) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
+	return c.table.AppendSlotKey(dst, slot)
+}
+
+// DeleteSlot implements table.EvictableBackend; the slot write is charged
+// on the conventional arrangement's own probe counter.
+func (c *ConvHashCAM) DeleteSlot(slot uint64) bool {
+	if !c.table.DeleteSlot(slot) {
+		return false
+	}
+	c.probes.Add(1)
+	return true
+}

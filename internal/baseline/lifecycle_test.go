@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+// TestCuckooHashCacheBitIdentity pins the per-slot hash cache refactor:
+// an insert-heavy run with kick chains must leave the table bit-identical
+// in observable behaviour (IDs, residency, Len) to what byte-key lookups
+// report, and the cached words must always match a fresh hash of the slot
+// key — the invariant that makes cache-driven kicks sound.
+func TestCuckooHashCacheBitIdentity(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	c, err := NewCuckoo(pair, 64, 2, 13, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := map[string]bool{}
+	for i := uint64(0); i < 500; i++ {
+		k := key13(i)
+		if _, err := c.Insert(k); err == nil {
+			inserted[string(k)] = true
+		}
+	}
+	if c.Relocations == 0 {
+		t.Fatal("load did not trigger kick chains; the cache path is untested")
+	}
+	// Every cached word pair must equal the hash of the key stored in its
+	// slot (walk all slots directly).
+	for table := 0; table < 2; table++ {
+		for off := 0; off < c.buckets*c.slots; off++ {
+			if !c.used[table][off] {
+				continue
+			}
+			key := c.keys[table][off*c.keyLen : (off+1)*c.keyLen]
+			w := c.slotWords(table, off/c.slots, off%c.slots)
+			if w[0] != pair.H1.Hash(key) || w[1] != pair.H2.Hash(key) {
+				t.Fatalf("slot (%d,%d) cached words stale for key %x", table, off, key)
+			}
+		}
+	}
+	// Residency must be coherent: everything accepted (and not displaced
+	// by a failed chain) is findable via both lookup paths.
+	found := 0
+	for i := uint64(0); i < 500; i++ {
+		k := key13(i)
+		id1, ok1 := c.Lookup(k)
+		id2, ok2 := c.LookupHashed(k, pair.Compute(k))
+		if ok1 != ok2 || id1 != id2 {
+			t.Fatalf("key %x: byte-key (%d,%v) vs hashed (%d,%v)", k, id1, ok1, id2, ok2)
+		}
+		if ok1 {
+			found++
+		}
+	}
+	if found != c.Len() {
+		t.Fatalf("found %d resident keys, Len says %d", found, c.Len())
+	}
+}
+
+// relocationModel mirrors the expiry layer's hand-over-hand replay (see
+// table.RelocatingBackend): per-slot metadata — here, the key string the
+// metadata belongs to — follows relocated entries through kick chains.
+type relocationModel struct {
+	meta map[uint64]string
+}
+
+// apply replays one chain's moves exactly as shardExpiryState.applyRelocations
+// does: carry the in-flight entry's metadata, re-seeding at chain breaks.
+func (m *relocationModel) apply(moves [][2]uint64) {
+	var carry string
+	for k, mv := range moves {
+		if k == 0 || mv[0] != moves[k-1][1] {
+			carry = m.meta[mv[0]]
+		}
+		next := m.meta[mv[1]]
+		m.meta[mv[1]] = carry
+		carry = next
+	}
+}
+
+// checkResidents verifies every accepted key's metadata sits at the key's
+// current slot.
+func (m *relocationModel) checkResidents(t *testing.T, c *Cuckoo, accepted [][]byte) {
+	t.Helper()
+	for _, k := range accepted {
+		id, ok := c.Lookup(k)
+		if !ok {
+			continue // displaced by a failed chain
+		}
+		if m.meta[id] != string(k) {
+			t.Fatalf("key %x at slot %d carries metadata of %q", k, id, m.meta[id])
+		}
+	}
+}
+
+// TestCuckooRelocateHookChainOrder pins the hook contract on ordinary
+// chains: one insert's moves, replayed hand-over-hand, keep per-slot
+// metadata attached to the entries the chain relocated.
+func TestCuckooRelocateHookChainOrder(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	c, err := NewCuckoo(pair, 8, 1, 13, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &relocationModel{meta: map[uint64]string{}}
+	c.SetRelocateHook(model.apply)
+	var accepted [][]byte
+	for i := uint64(0); len(accepted) < 13 && i < 10000; i++ {
+		k := key13(i)
+		id, err := c.Insert(k)
+		if err != nil {
+			continue
+		}
+		model.meta[id] = string(k)
+		accepted = append(accepted, k)
+	}
+	if c.Relocations == 0 {
+		t.Skip("no relocations at this geometry/seed; hook untestable")
+	}
+	model.checkResidents(t, c, accepted)
+}
+
+// TestCuckooRelocateHookRevisitingChains is the regression test for the
+// review-confirmed replay bug: long kick chains at 1 slot per bucket can
+// revisit slots — including re-evicting the key being inserted — which
+// broke a naive (reverse-order, slot-reference) replay. The model is
+// checked after every single insert so the first divergence pinpoints the
+// offending chain; the returned ID must also be the key's true final
+// location even when the chain moved it again.
+func TestCuckooRelocateHookRevisitingChains(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	c, err := NewCuckoo(pair, 8, 1, 13, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &relocationModel{meta: map[uint64]string{}}
+	c.SetRelocateHook(model.apply)
+	var accepted [][]byte
+	for i := uint64(0); i < 64; i++ {
+		k := key13(i)
+		id, err := c.Insert(k)
+		if err != nil {
+			continue
+		}
+		if gotID, ok := c.Lookup(k); !ok || gotID != id {
+			t.Fatalf("insert %d returned slot %d, key actually at (%d,%v)", i, id, gotID, ok)
+		}
+		model.meta[id] = string(k)
+		accepted = append(accepted, k)
+		model.checkResidents(t, c, accepted)
+	}
+	if c.MaxChain < 3 {
+		t.Skipf("longest chain %d; geometry did not produce revisiting chains", c.MaxChain)
+	}
+}
+
+// benchCuckooKeys builds the key set for the kick-chain benchmark: enough
+// keys to drive a 2×buckets×slots table to ~85% load, where eviction
+// chains dominate insert cost.
+func benchCuckooKeys(buckets, slots int) [][]byte {
+	n := 2 * buckets * slots * 85 / 100
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = key13(uint64(i))
+	}
+	return keys
+}
+
+// BenchmarkCuckooHighLoadInsert measures insert throughput while filling
+// a cuckoo table to 85% load — the regime where kick chains run long and
+// the per-slot hash cache (vs rehashing every evicted key per hop)
+// matters. The pair dimension separates the two deployment regimes: with
+// a hardware-assisted CRC pair a rehash is nearly free and the cache is
+// memory traffic, while with software hash families (tabulation here) the
+// avoided rehashes are real work.
+func BenchmarkCuckooHighLoadInsert(b *testing.B) {
+	const buckets, slots = 4096, 4
+	pairs := []struct {
+		name string
+		pair hashfn.Pair
+	}{
+		{"crc-default", hashfn.DefaultPair()},
+		{"tabulation", hashfn.Pair{H1: hashfn.NewTabulation(13, 1), H2: hashfn.NewTabulation(13, 2)}},
+	}
+	keys := benchCuckooKeys(buckets, slots)
+	for _, p := range pairs {
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var relocations int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := NewCuckoo(p.pair, buckets, slots, 13, 128)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, k := range keys {
+					_, _ = c.Insert(k) // chain failures at this load are part of the workload
+				}
+				relocations = c.Relocations
+			}
+			b.ReportMetric(float64(len(keys))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minserts/s")
+			b.ReportMetric(float64(relocations), "relocations/fill")
+		})
+	}
+}

@@ -160,6 +160,31 @@ func (c *CAM) Delete(key []byte) bool {
 	return false
 }
 
+// EntryAt returns the entry at physical index i and whether it is
+// occupied. The lifecycle sweep uses it to snapshot a key before
+// reclaiming the entry by index.
+func (c *CAM) EntryAt(i int) (Entry, bool) {
+	if i < 0 || i >= len(c.entries) || !c.used[i] {
+		return Entry{}, false
+	}
+	return c.entries[i], true
+}
+
+// DeleteAt removes the entry at physical index i without a key search,
+// reporting whether one was present — the slot-addressed delete of the
+// housekeeping sweep (a hardware CAM invalidates an entry by clearing its
+// valid bit).
+func (c *CAM) DeleteAt(i int) bool {
+	if i < 0 || i >= len(c.entries) || !c.used[i] {
+		return false
+	}
+	c.entries[i] = Entry{}
+	c.used[i] = false
+	c.inUse--
+	c.stats.deletes++
+	return true
+}
+
 // Range calls fn for every occupied entry until fn returns false. The
 // iteration order is the physical entry order.
 func (c *CAM) Range(fn func(Entry) bool) {

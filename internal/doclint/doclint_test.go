@@ -1,0 +1,141 @@
+// Package doclint enforces the repository's godoc coverage: the packages
+// forming the public API surface and the table stack must carry a package
+// doc comment and a doc comment on every exported declaration — types,
+// functions, methods with exported receivers, and const/var groups. It
+// runs as a plain test so `go test ./...` (and the CI doc-lint step)
+// fails when an undocumented export lands.
+package doclint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintedPackages is the enforced set: the public API package and every
+// internal layer. (The ISSUE floor was flowproc, table, hashfn and
+// trafficgen; the whole module already meets the bar, so the lint holds
+// it there.)
+var lintedPackages = []string{
+	"../../flowproc",
+	"../../internal/analyzer",
+	"../../internal/baseline",
+	"../../internal/bloom",
+	"../../internal/cam",
+	"../../internal/core",
+	"../../internal/dram",
+	"../../internal/experiments",
+	"../../internal/hashcam",
+	"../../internal/hashfn",
+	"../../internal/memctrl",
+	"../../internal/metrics",
+	"../../internal/netflow",
+	"../../internal/packet",
+	"../../internal/resource",
+	"../../internal/sim",
+	"../../internal/table",
+	"../../internal/trace",
+	"../../internal/trafficgen",
+}
+
+// receiverType returns the name of a method receiver's base type.
+func receiverType(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// lintFile reports every undocumented exported declaration of one parsed
+// file.
+func lintFile(t *testing.T, fset *token.FileSet, f *ast.File) {
+	t.Helper()
+	pos := func(n ast.Node) string { return fset.Position(n.Pos()).String() }
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			// Methods count when their receiver type is exported
+			// (unexported receivers are internal even with exported
+			// method names, e.g. interface satisfiers).
+			if recv := receiverType(d); recv != "" && !ast.IsExported(recv) {
+				continue
+			}
+			if d.Doc == nil {
+				t.Errorf("%s: exported %s %s has no doc comment", pos(d), "func", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+						t.Errorf("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A documented const/var group covers its members,
+					// the idiomatic style for enums and related values.
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							t.Errorf("%s: exported value %s has no doc comment", pos(s), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGodocCoverage parses each linted package and fails on any
+// undocumented exported declaration or missing package comment.
+func TestGodocCoverage(t *testing.T) {
+	for _, dir := range lintedPackages {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset := token.NewFileSet()
+			packageDoc := false
+			parsedAny := false
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parsedAny = true
+				if f.Doc != nil {
+					packageDoc = true
+				}
+				lintFile(t, fset, f)
+			}
+			if !parsedAny {
+				t.Fatalf("no Go files found in %s", dir)
+			}
+			if !packageDoc {
+				t.Errorf("package %s has no package doc comment", dir)
+			}
+		})
+	}
+}

@@ -89,6 +89,7 @@ func (g Geometry) BurstIndex(a Addr, bl int64) int64 {
 	return (int64(a.Row)*int64(g.Banks)+int64(a.Bank))*burstsPerRow + int64(a.Col)/bl
 }
 
+// String renders the address for traces and test failures.
 func (a Addr) String() string {
 	return fmt.Sprintf("bank=%d row=%d col=%d", a.Bank, a.Row, a.Col)
 }

@@ -64,7 +64,10 @@ func (e Exact) Probes() int64 { return e.Table.Stats().Probes }
 // Name implements table.Backend.
 func (e Exact) Name() string { return "hashcam" }
 
-var _ table.HashedBackend = Exact{}
+var (
+	_ table.HashedBackend    = Exact{}
+	_ table.EvictableBackend = Exact{} // lifecycle methods promote from *Table
+)
 
 // BackendConfig derives a hashcam Config from the generic backend Config;
 // the conventional-arrangement baseline reuses it for equal geometry.

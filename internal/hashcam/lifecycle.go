@@ -1,0 +1,93 @@
+package hashcam
+
+import "repro/internal/table"
+
+// This file implements the slot-addressed lifecycle extension
+// (table.EvictableBackend) on the Hash-CAM: the eviction sweep enumerates
+// occupied slots by flow ID — the location index FID_GEN emits — and
+// reclaims them without hashing or comparing keys, the software analogue
+// of the housekeeping function's Del_req path (§IV-B).
+//
+// The slot ID space is exactly the fid layout: CAM entries occupy
+// [0, CAMCapacity), Mem1 slots [CAMCapacity, CAMCapacity+n), Mem2 slots
+// the block above, with n = Buckets × SlotsPerBucket.
+
+// SlotIDBound returns the exclusive upper bound of the fid space:
+// CAMCapacity + 2 × Buckets × SlotsPerBucket.
+func (t *Table) SlotIDBound() uint64 {
+	return uint64(t.cfg.CAMCapacity + 2*t.cfg.Buckets*t.cfg.SlotsPerBucket)
+}
+
+// SlotOccupied implements table.SlotSpace: whether fid id currently holds
+// an entry.
+func (t *Table) SlotOccupied(id uint64) bool {
+	camCap := uint64(t.cfg.CAMCapacity)
+	if id < camCap {
+		_, ok := t.cam.EntryAt(int(id))
+		return ok
+	}
+	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
+	off := id - camCap
+	if off < n {
+		return t.mem[0].used[off]
+	}
+	return t.mem[1].used[off-n]
+}
+
+// WalkSlots implements table.Walker over the fid space. fn may delete the
+// slot it is visiting (the sweep does).
+func (t *Table) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
+	return table.WalkLinear(t, t.SlotIDBound(), cursor, budget, fn)
+}
+
+// AppendSlotKey implements table.EvictableBackend: it appends the key
+// stored at fid slot onto dst, reporting false for an unoccupied slot.
+func (t *Table) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
+	camCap := uint64(t.cfg.CAMCapacity)
+	if slot < camCap {
+		e, ok := t.cam.EntryAt(int(slot))
+		if !ok {
+			return dst, false
+		}
+		return append(dst, e.Key...), true
+	}
+	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
+	h, off := 0, slot-camCap
+	if off >= n {
+		h, off = 1, off-n
+	}
+	if off >= n || !t.mem[h].used[off] {
+		return dst, false
+	}
+	base := int(off) * t.cfg.KeyLen
+	return append(dst, t.mem[h].keys[base:base+t.cfg.KeyLen]...), true
+}
+
+// DeleteSlot implements table.EvictableBackend: it reclaims fid slot
+// without any key search. Accounting matches Delete — the entry leaves
+// Len, the deletes counter advances, and the single slot write is charged
+// one probe.
+func (t *Table) DeleteSlot(slot uint64) bool {
+	camCap := uint64(t.cfg.CAMCapacity)
+	if slot < camCap {
+		if !t.cam.DeleteAt(int(slot)) {
+			return false
+		}
+		t.stats.deletes.Add(1)
+		t.stats.xprobes.Add(1)
+		return true
+	}
+	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
+	h, off := 0, slot-camCap
+	if off >= n {
+		h, off = 1, off-n
+	}
+	if off >= n || !t.mem[h].used[off] {
+		return false
+	}
+	t.mem[h].used[off] = false
+	t.mem[h].count--
+	t.stats.deletes.Add(1)
+	t.stats.xprobes.Add(1)
+	return true
+}

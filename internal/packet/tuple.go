@@ -203,3 +203,53 @@ func (s TupleSpec) AppendKey(dst []byte, ft FiveTuple) []byte {
 func (s TupleSpec) Key(ft FiveTuple) []byte {
 	return s.AppendKey(make([]byte, 0, s.KeyLen(ft.IsIPv4())), ft)
 }
+
+// ParseKey decodes a key serialised by AppendKey back into a FiveTuple,
+// reporting false when the key length matches neither address family of
+// the spec. Fields the spec does not select stay zero. It is the inverse
+// the flow-lifecycle export path needs: expired entries leave the table
+// as stored key bytes and re-surface to callers as tuples.
+func (s TupleSpec) ParseKey(key []byte) (FiveTuple, bool) {
+	var ipv4 bool
+	switch len(key) {
+	case s.KeyLen(true):
+		ipv4 = true
+	case s.KeyLen(false):
+		ipv4 = false
+	default:
+		return FiveTuple{}, false
+	}
+	addrLen := 16
+	if ipv4 {
+		addrLen = 4
+	}
+	var ft FiveTuple
+	off := 0
+	for _, f := range s.fields {
+		switch f {
+		case FieldSrcAddr, FieldDstAddr:
+			var a netip.Addr
+			if ipv4 {
+				a = netip.AddrFrom4([4]byte(key[off : off+4]))
+			} else {
+				a = netip.AddrFrom16([16]byte(key[off : off+16]))
+			}
+			if f == FieldSrcAddr {
+				ft.Src = a
+			} else {
+				ft.Dst = a
+			}
+			off += addrLen
+		case FieldSrcPort:
+			ft.SrcPort = binary.BigEndian.Uint16(key[off:])
+			off += 2
+		case FieldDstPort:
+			ft.DstPort = binary.BigEndian.Uint16(key[off:])
+			off += 2
+		case FieldProto:
+			ft.Proto = key[off]
+			off++
+		}
+	}
+	return ft, true
+}

@@ -1,0 +1,295 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// shardExpiryState is one shard's slice of the lifecycle layer: the
+// timestamp side-tables keyed by backend slot ID, the eviction-sweep
+// cursor, and the backend downcast once so the sweep never type-asserts.
+type shardExpiryState struct {
+	ebe EvictableBackend
+	// firstSeen[slot] is the insertion timestamp of the entry occupying
+	// slot. Written under the shard's write lock (insert, sweep,
+	// relocation) and read under it (sweep), so plain stores suffice.
+	firstSeen []int64
+	// lastSeen[slot] is the most recent touch timestamp. Lookups refresh
+	// it under the shared lock — concurrently with each other — so every
+	// access is atomic.
+	lastSeen []int64
+	// cursor is the slot the next sweep step resumes from.
+	cursor uint64
+	// sweepNow parameterises visit for the current sweep step; visit is
+	// built once at EnableExpiry so Advance allocates no closures.
+	sweepNow int64
+	visit    func(slot uint64) bool
+}
+
+// expiryState is the lifecycle layer of a Sharded table: per-shard
+// timestamp side-tables, the sweep scheduler state, and the lifecycle
+// counters. It exists only when EnableExpiry has been called; a nil
+// pointer on Sharded keeps the non-expiring hot path to one predicted
+// branch.
+type expiryState struct {
+	cfg    ExpiryConfig
+	shards []shardExpiryState
+	// now is the logical clock, published by Advance and read by lookups
+	// stamping last-seen under the shared lock.
+	now atomic.Int64
+	// onExpired is the export callback; set before the first Advance.
+	onExpired ExpiredFunc
+
+	// sweepMu serialises Advance callers and guards the sweep scratch.
+	sweepMu sync.Mutex
+	// recs/keyBuf stage one shard's expired entries while its write lock
+	// is held, so export callbacks run after release; both are reused
+	// across sweeps (steady-state Advance allocates nothing).
+	recs   []expiredRec
+	keyBuf []byte
+
+	sweeps        atomic.Int64
+	slotsExamined atomic.Int64
+	idleEvicted   atomic.Int64
+	activeEvicted atomic.Int64
+}
+
+// expiredRec stages one retired flow between DeleteSlot (under the shard
+// lock) and the export callback (after release). Key bytes live in the
+// shared keyBuf at [keyOff, keyOff+keyLen).
+type expiredRec struct {
+	slot   uint64
+	first  int64
+	last   int64
+	keyOff int
+	keyLen int
+	reason ExpireReason
+}
+
+// EnableExpiry switches on the flow-lifecycle layer: per-slot
+// first-seen/last-seen timestamps and the incremental eviction sweep
+// driven by Advance. Every shard's backend must implement
+// EvictableBackend (all registered structures do; out-of-tree byte-key
+// backends don't, and are rejected). It must be called on an empty table
+// before any traffic — entries inserted earlier would carry zero
+// timestamps and be retired on the first sweep.
+func (s *Sharded) EnableExpiry(cfg ExpiryConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if s.expiry != nil {
+		return fmt.Errorf("table: expiry already enabled on %s", s.Name())
+	}
+	if n := s.Len(); n != 0 {
+		return fmt.Errorf("table: expiry must be enabled on an empty table, %s holds %d entries", s.Name(), n)
+	}
+	exp := &expiryState{cfg: cfg.withDefaults(), shards: make([]shardExpiryState, len(s.shards))}
+	for i := range s.shards {
+		ebe, ok := s.shards[i].be.(EvictableBackend)
+		if !ok {
+			return fmt.Errorf("table: backend %s does not support expiry (no EvictableBackend)", s.shards[i].be.Name())
+		}
+		bound := ebe.SlotIDBound()
+		exp.shards[i] = shardExpiryState{
+			ebe:       ebe,
+			firstSeen: make([]int64, bound),
+			lastSeen:  make([]int64, bound),
+		}
+		st := &exp.shards[i]
+		st.visit = exp.makeVisit(st)
+		if rb, ok := s.shards[i].be.(RelocatingBackend); ok {
+			rb.SetRelocateHook(st.applyRelocations)
+		}
+	}
+	s.expiry = exp
+	return nil
+}
+
+// ExpiryEnabled reports whether the lifecycle layer is active.
+func (s *Sharded) ExpiryEnabled() bool { return s.expiry != nil }
+
+// OnExpired registers the export callback invoked by Advance for every
+// retired flow. It must be set before the first Advance call and not
+// changed afterwards; a nil callback (the default) discards retired
+// entries silently.
+func (s *Sharded) OnExpired(fn ExpiredFunc) {
+	if s.expiry == nil {
+		panic("table: OnExpired before EnableExpiry")
+	}
+	s.expiry.onExpired = fn
+}
+
+// Now returns the lifecycle layer's current logical time (the value of
+// the last Advance call), or 0 when expiry is disabled.
+func (s *Sharded) Now() int64 {
+	if s.expiry == nil {
+		return 0
+	}
+	return s.expiry.now.Load()
+}
+
+// ExpiryStats returns a snapshot of the lifecycle counters; the zero
+// value when expiry is disabled.
+func (s *Sharded) ExpiryStats() ExpiryStats {
+	exp := s.expiry
+	if exp == nil {
+		return ExpiryStats{}
+	}
+	idle, active := exp.idleEvicted.Load(), exp.activeEvicted.Load()
+	return ExpiryStats{
+		Sweeps:        exp.sweeps.Load(),
+		SlotsExamined: exp.slotsExamined.Load(),
+		Evicted:       idle + active,
+		IdleEvicted:   idle,
+		ActiveEvicted: active,
+	}
+}
+
+// applyRelocations is the RelocatingBackend consumer: it replays one
+// insert's kick chain onto the timestamp side-tables so metadata follows
+// relocated entries. Moves arrive in chain order (see
+// RelocatingBackend.SetRelocateHook); the replay is hand-over-hand — the
+// in-flight entry's timestamps travel in a carry register, because its
+// source slot's side-table entry is overwritten by the previous move the
+// moment the chain is contiguous. At a chain break (the hop in between
+// was the inserted key, which has no timestamps yet) the source slot is
+// untouched and re-seeds the carry. Runs under the shard's write lock.
+func (st *shardExpiryState) applyRelocations(moves [][2]uint64) {
+	var cf, cl int64
+	for k, m := range moves {
+		if k == 0 || m[0] != moves[k-1][1] {
+			cf = st.firstSeen[m[0]]
+			cl = atomic.LoadInt64(&st.lastSeen[m[0]])
+		}
+		nf, nl := st.firstSeen[m[1]], atomic.LoadInt64(&st.lastSeen[m[1]])
+		st.firstSeen[m[1]] = cf
+		atomic.StoreInt64(&st.lastSeen[m[1]], cl)
+		cf, cl = nf, nl
+	}
+}
+
+// touch refreshes the last-seen timestamp of (shard, slot) at the current
+// logical time. Called on every lookup hit under the shard's shared lock;
+// the store is atomic because concurrent lookups may touch the same slot.
+func (exp *expiryState) touch(shard int, slot uint64, now int64) {
+	atomic.StoreInt64(&exp.shards[shard].lastSeen[slot], now)
+}
+
+// stamp records the timestamps of an insert under the shard's write lock:
+// a fresh placement sets first-seen and last-seen, a duplicate insert (the
+// flow already resident) refreshes last-seen only.
+func (exp *expiryState) stamp(shard int, slot uint64, fresh bool) {
+	st := &exp.shards[shard]
+	now := exp.now.Load()
+	if fresh {
+		st.firstSeen[slot] = now
+	}
+	atomic.StoreInt64(&st.lastSeen[slot], now)
+}
+
+// Advance moves the lifecycle clock to now and runs one bounded eviction
+// sweep step over every shard, returning the number of flows retired by
+// this call. now is the caller's logical clock (packet count, sim.Clock
+// cycles, wall nanoseconds — any monotonic non-decreasing int64); lookups
+// between Advance calls stamp last-seen with the most recent now, so
+// timestamp resolution equals the Advance cadence.
+//
+// Each shard's write lock is held for at most SweepBudget slot visits per
+// call; the sweep cursor persists across calls, so successive Advances
+// cover the whole slot space incrementally. Export callbacks run after
+// the owning shard's lock is released. Advance is safe to call
+// concurrently with all other operations; concurrent Advance calls
+// serialise against each other.
+func (s *Sharded) Advance(now int64) int {
+	exp := s.expiry
+	if exp == nil {
+		panic("table: Advance before EnableExpiry")
+	}
+	exp.sweepMu.Lock()
+	defer exp.sweepMu.Unlock()
+	// The clock only moves forward: a stale caller (e.g. a worker racing
+	// a faster one for the shared counter) must not rewind timestamps
+	// other workers just wrote.
+	if prev := exp.now.Load(); now > prev {
+		exp.now.Store(now)
+	} else {
+		now = prev
+	}
+	exp.sweeps.Add(1)
+	evicted := 0
+	for i := range s.shards {
+		evicted += s.sweepShard(i, now)
+	}
+	return evicted
+}
+
+// makeVisit builds st's per-slot sweep visitor once, so Advance runs
+// closure-free: the only per-sweep parameter (the clock) travels through
+// st.sweepNow.
+func (exp *expiryState) makeVisit(st *shardExpiryState) func(slot uint64) bool {
+	return func(slot uint64) bool {
+		now := st.sweepNow
+		first := st.firstSeen[slot]
+		last := atomic.LoadInt64(&st.lastSeen[slot])
+		var reason ExpireReason
+		switch {
+		case exp.cfg.ActiveTimeout > 0 && now-first >= exp.cfg.ActiveTimeout:
+			reason = ExpireActive
+		case exp.cfg.IdleTimeout > 0 && now-last >= exp.cfg.IdleTimeout:
+			reason = ExpireIdle
+		default:
+			return true
+		}
+		off := len(exp.keyBuf)
+		kb, ok := st.ebe.AppendSlotKey(exp.keyBuf, slot)
+		if !ok {
+			return true // unreachable: WalkSlots only visits occupied slots
+		}
+		exp.keyBuf = kb
+		if st.ebe.DeleteSlot(slot) {
+			exp.recs = append(exp.recs, expiredRec{
+				slot: slot, first: first, last: last,
+				keyOff: off, keyLen: len(exp.keyBuf) - off, reason: reason,
+			})
+		}
+		return true
+	}
+}
+
+// sweepShard runs one budgeted sweep step over shard i: under the write
+// lock it walks up to SweepBudget slots from the shard's cursor, stages
+// expired entries (key snapshot first, then DeleteSlot), and after
+// releasing the lock reports them to the export callback.
+func (s *Sharded) sweepShard(i int, now int64) int {
+	exp := s.expiry
+	st := &exp.shards[i]
+	exp.recs = exp.recs[:0]
+	exp.keyBuf = exp.keyBuf[:0]
+	sh := &s.shards[i]
+
+	sh.mu.Lock()
+	st.sweepNow = now
+	cursor, _ := st.ebe.WalkSlots(st.cursor, exp.cfg.SweepBudget, st.visit)
+	st.cursor = cursor
+	sh.mu.Unlock()
+
+	if bound := int64(st.ebe.SlotIDBound()); bound < int64(exp.cfg.SweepBudget) {
+		exp.slotsExamined.Add(bound)
+	} else {
+		exp.slotsExamined.Add(int64(exp.cfg.SweepBudget))
+	}
+	for _, rec := range exp.recs {
+		switch rec.reason {
+		case ExpireIdle:
+			exp.idleEvicted.Add(1)
+		case ExpireActive:
+			exp.activeEvicted.Add(1)
+		}
+		if exp.onExpired != nil {
+			key := exp.keyBuf[rec.keyOff : rec.keyOff+rec.keyLen]
+			exp.onExpired(s.globalID(i, rec.slot), key, rec.first, rec.last, rec.reason)
+		}
+	}
+	return len(exp.recs)
+}

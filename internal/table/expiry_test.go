@@ -1,0 +1,521 @@
+package table_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// expiringTable builds a small sharded table with expiry enabled.
+func expiringTable(t *testing.T, backend string, shards int, cfg table.ExpiryConfig) *table.Sharded {
+	t.Helper()
+	s, err := table.NewSharded(backend, shards, table.Config{Capacity: 4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// evictableBackends returns the registered backends that support the
+// lifecycle layer (all canonical ones; the byte-key testplain fallback
+// does not and is covered by TestExpiryRequiresEvictableBackend).
+func evictableBackends(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, name := range table.Backends() {
+		be, err := table.New(name, table.Config{Capacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := be.(table.EvictableBackend); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// drain advances the clock without moving it (re-passing now) until a
+// full sweep lap finds nothing more to evict, returning the total.
+func drain(s *table.Sharded, now int64, budget, bound int) int {
+	evicted := 0
+	// Enough steps for several full laps of the slot space.
+	for i := 0; i < 4*(bound/budget+1)+4; i++ {
+		evicted += s.Advance(now)
+	}
+	return evicted
+}
+
+// TestExpiryIdleTimeoutAllBackends pins the core lifecycle semantics on
+// every registered backend: touched flows survive the idle window,
+// untouched ones are retired with their key and timestamps reported, and
+// the table's Len reflects the reclaim.
+func TestExpiryIdleTimeoutAllBackends(t *testing.T) {
+	for _, backend := range evictableBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			s := expiringTable(t, backend, 2, table.ExpiryConfig{IdleTimeout: 100, SweepBudget: 128})
+			var expired []string
+			var reasons []table.ExpireReason
+			s.OnExpired(func(id uint64, key []byte, first, last int64, reason table.ExpireReason) {
+				expired = append(expired, string(key)) // copy: the slice is reused
+				reasons = append(reasons, reason)
+				if first == 0 && last == 0 {
+					t.Errorf("expired key %x carries zero timestamps", key)
+				}
+			})
+			s.Advance(10) // t=10
+			keys := keys13(0, 200)
+			if _, errs := s.InsertBatch(keys); errs != nil {
+				t.Fatal(table.BatchErr(errs))
+			}
+			// Touch the first half at t=80; the second half stays idle
+			// since t=10.
+			s.Advance(80)
+			s.LookupBatch(keys[:100])
+			// t=130: idle ages are 50 (touched) and 120 (untouched).
+			evicted := drain(s, 130, 128, 4096)
+			if evicted != 100 {
+				t.Fatalf("evicted %d flows, want the 100 untouched ones", evicted)
+			}
+			if got := s.Len(); got != 100 {
+				t.Fatalf("Len after sweep = %d, want 100", got)
+			}
+			for _, r := range reasons {
+				if r != table.ExpireIdle {
+					t.Fatalf("reason %v, want idle", r)
+				}
+			}
+			want := map[string]bool{}
+			for _, k := range keys[100:] {
+				want[string(k)] = true
+			}
+			for _, k := range expired {
+				if !want[k] {
+					t.Fatalf("unexpected expired key %x", k)
+				}
+				delete(want, k)
+			}
+			if len(want) != 0 {
+				t.Fatalf("%d idle keys never reported expired", len(want))
+			}
+			// Survivors still resident and untouched ones gone.
+			_, hits := s.LookupBatch(keys)
+			for i, h := range hits {
+				if (i < 100) != h {
+					t.Fatalf("key %d: present=%v after sweep", i, h)
+				}
+			}
+			if st := s.ExpiryStats(); st.Evicted != 100 || st.IdleEvicted != 100 || st.Sweeps == 0 {
+				t.Fatalf("stats %+v inconsistent with 100 idle evictions", st)
+			}
+		})
+	}
+}
+
+// TestExpiryActiveTimeout pins the forced-progress path: a continuously
+// touched flow still retires once its residency exceeds ActiveTimeout.
+func TestExpiryActiveTimeout(t *testing.T) {
+	s := expiringTable(t, "hashcam", 1, table.ExpiryConfig{IdleTimeout: 1000, ActiveTimeout: 50, SweepBudget: 256})
+	var reasons []table.ExpireReason
+	s.OnExpired(func(_ uint64, _ []byte, _, _ int64, reason table.ExpireReason) {
+		reasons = append(reasons, reason)
+	})
+	key := key13(7)
+	if _, err := s.Insert(key); err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(10); now < 50; now += 10 {
+		s.Advance(now)
+		if _, ok := s.Lookup(key); !ok { // keep it hot
+			t.Fatalf("flow missing at t=%d", now)
+		}
+	}
+	if evicted := drain(s, 50, 256, 4096); evicted != 1 {
+		t.Fatalf("evicted %d flows at t=50, want 1 (active timeout)", evicted)
+	}
+	if len(reasons) != 1 || reasons[0] != table.ExpireActive {
+		t.Fatalf("reasons %v, want [active]", reasons)
+	}
+}
+
+// TestExpiryReinsertAfterExpiryReusesSlot pins the reclaim story end to
+// end: a retired flow's slot is genuinely freed (a full bucket accepts
+// the population again after expiry), a re-inserted flow carries fresh
+// timestamps, and is not immediately re-expired by the next sweep.
+func TestExpiryReinsertAfterExpiryReusesSlot(t *testing.T) {
+	for _, backend := range evictableBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			s := expiringTable(t, backend, 1, table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 512})
+			key := key13(42)
+			if _, err := s.Insert(key); err != nil {
+				t.Fatal(err)
+			}
+			if evicted := drain(s, 100, 512, 4096); evicted != 1 {
+				t.Fatalf("evicted %d, want 1", evicted)
+			}
+			if _, ok := s.Lookup(key); ok {
+				t.Fatal("expired flow still resident")
+			}
+			if _, err := s.Insert(key); err != nil {
+				t.Fatalf("re-insert after expiry: %v", err)
+			}
+			if got := s.Len(); got != 1 {
+				t.Fatalf("Len after expire+re-insert = %d, want 1", got)
+			}
+			// The fresh timestamps must protect it from the next sweep.
+			if evicted := drain(s, 105, 512, 4096); evicted != 0 {
+				t.Fatalf("fresh re-insert swept away (%d evictions at t=105)", evicted)
+			}
+			if _, ok := s.Lookup(key); !ok {
+				t.Fatal("re-inserted flow missing")
+			}
+		})
+	}
+}
+
+// TestExpiryReinsertRefillsFullStructure drives slot reuse at full-bucket
+// granularity on the structure least tolerant of leaks: a single-hash
+// table filled to overflow only re-accepts its population if the sweep
+// genuinely freed the physical slots.
+func TestExpiryReinsertRefillsFullStructure(t *testing.T) {
+	s, err := table.NewSharded("singlehash", 1, table.Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	// Fill until the structure rejects inserts (buckets full).
+	var resident [][]byte
+	for i := uint64(0); i < 4096 && len(resident) < 64; i++ {
+		if _, err := s.Insert(key13(i)); err == nil {
+			resident = append(resident, key13(i))
+		}
+	}
+	if len(resident) == 0 {
+		t.Fatal("nothing inserted")
+	}
+	if evicted := drain(s, 1000, 1024, 4096); evicted != len(resident) {
+		t.Fatalf("evicted %d of %d", evicted, len(resident))
+	}
+	// Every previously resident key must fit again — the exact slots the
+	// population occupied have been reclaimed.
+	for _, k := range resident {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatalf("slot not reusable after expiry: %v", err)
+		}
+	}
+	if got := s.Len(); got != len(resident) {
+		t.Fatalf("Len after refill = %d, want %d", got, len(resident))
+	}
+}
+
+// TestExpirySteadyStateChurn is the tentpole's headline property at table
+// level: a flow population far larger than what fits stays insertable
+// indefinitely because the sweep reclaims idle entries — the workload
+// class that saturates every backend without the lifecycle layer.
+func TestExpirySteadyStateChurn(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 512, CAMCapacity: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 256, SweepBudget: 256}); err != nil {
+		t.Fatal(err)
+	}
+	// 8× more distinct flows than capacity, inserted in waves; each wave
+	// advances the clock past the previous wave's idle window.
+	const waves, perWave = 32, 128
+	var failed int
+	for w := 0; w < waves; w++ {
+		now := int64(w) * 200
+		for i := 0; i < 4; i++ { // several sweep steps per wave
+			s.Advance(now + int64(i))
+		}
+		keys := keys13(uint64(w%8)*4096, uint64(w%8)*4096+perWave)
+		_, errs := s.InsertBatch(keys)
+		if errs != nil {
+			for _, e := range errs {
+				if e != nil {
+					failed++
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d inserts failed across %d waves of %d flows into a 512-slot table; expiry should sustain the churn",
+			failed, waves, perWave)
+	}
+	if st := s.ExpiryStats(); st.Evicted == 0 {
+		t.Fatal("no evictions recorded; the table should have recycled aggressively")
+	}
+}
+
+// TestExpiryRequiresEvictableBackend pins the error path: the byte-key
+// fallback backend has no slot-addressed interface, so EnableExpiry must
+// refuse it rather than silently never expiring.
+func TestExpiryRequiresEvictableBackend(t *testing.T) {
+	s, err := table.NewSharded("testplain", 2, table.Config{Capacity: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10}); err == nil {
+		t.Fatal("EnableExpiry accepted a backend without EvictableBackend")
+	}
+}
+
+// TestExpiryConfigValidation covers the config error paths and the
+// enable-twice / enable-on-nonempty guards.
+func TestExpiryConfigValidation(t *testing.T) {
+	if err := (table.ExpiryConfig{}).Validate(); err == nil {
+		t.Fatal("all-zero ExpiryConfig validated")
+	}
+	if err := (table.ExpiryConfig{IdleTimeout: -1}).Validate(); err == nil {
+		t.Fatal("negative idle timeout validated")
+	}
+	s, err := table.NewSharded("hashcam", 1, table.Config{Capacity: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(key13(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10}); err == nil {
+		t.Fatal("EnableExpiry accepted a non-empty table")
+	}
+	if !s.ExpiryEnabled() {
+		s.Delete(key13(1))
+		if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10}); err == nil {
+			t.Fatal("EnableExpiry accepted a second enable")
+		}
+	}
+}
+
+// TestWalkerContracts exercises the EvictableBackend surface of every
+// registered backend directly: bounds are dense, walks visit exactly the
+// occupied slots, AppendSlotKey round-trips stored keys, and DeleteSlot
+// reclaims without disturbing other entries.
+func TestWalkerContracts(t *testing.T) {
+	for _, backend := range evictableBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			be, err := table.New(backend, table.Config{Capacity: 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ebe := be.(table.EvictableBackend)
+			keys := keys13(0, 300)
+			ids := map[uint64][]byte{}
+			for _, k := range keys {
+				id, err := be.Insert(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids[id] = k
+			}
+			bound := ebe.SlotIDBound()
+			// One full lap from 0 must visit every stored entry once.
+			seen := map[uint64]bool{}
+			cursor := uint64(0)
+			for {
+				var wrapped bool
+				cursor, wrapped = ebe.WalkSlots(cursor, 64, func(slot uint64) bool {
+					if slot >= bound {
+						t.Fatalf("slot %d out of bound %d", slot, bound)
+					}
+					if seen[slot] {
+						t.Fatalf("slot %d visited twice in one lap", slot)
+					}
+					seen[slot] = true
+					key, ok := ebe.AppendSlotKey(nil, slot)
+					if !ok {
+						t.Fatalf("occupied slot %d has no key", slot)
+					}
+					if want, stored := ids[slot], key; !bytes.Equal(want, stored) {
+						t.Fatalf("slot %d key %x, inserted %x", slot, stored, want)
+					}
+					return true
+				})
+				if wrapped {
+					break
+				}
+			}
+			if len(seen) != len(ids) {
+				t.Fatalf("walk found %d occupied slots, inserted %d", len(seen), len(ids))
+			}
+			// DeleteSlot reclaims exactly the targeted entry.
+			victim := keys[137]
+			vid, ok := be.Lookup(victim)
+			if !ok {
+				t.Fatal("victim missing")
+			}
+			if !ebe.DeleteSlot(vid) {
+				t.Fatal("DeleteSlot on occupied slot returned false")
+			}
+			if ebe.DeleteSlot(vid) {
+				t.Fatal("DeleteSlot on freed slot returned true")
+			}
+			if _, ok := be.Lookup(victim); ok {
+				t.Fatal("victim still resident after DeleteSlot")
+			}
+			if got, want := be.Len(), len(keys)-1; got != want {
+				t.Fatalf("Len after DeleteSlot = %d, want %d", got, want)
+			}
+			if _, ok := ebe.AppendSlotKey(nil, vid); ok {
+				t.Fatal("AppendSlotKey on freed slot returned a key")
+			}
+		})
+	}
+}
+
+// TestCuckooRelocationMovesTimestamps pins the RelocatingBackend wiring:
+// kick-chain moves must carry timestamps along, so a hot flow that gets
+// relocated by someone else's insert is not retired as idle. The geometry
+// (1 slot per bucket) makes kicks deterministic and frequent.
+func TestCuckooRelocationMovesTimestamps(t *testing.T) {
+	s, err := table.NewSharded("cuckoo", 1, table.Config{Capacity: 64, SlotsPerBucket: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 100, SweepBudget: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	var expired [][]byte
+	s.OnExpired(func(_ uint64, key []byte, _, _ int64, _ table.ExpireReason) {
+		expired = append(expired, append([]byte(nil), key...))
+	})
+	s.Advance(0)
+	// Fill to a load where kick chains certainly occur, touching all keys
+	// as we go (insert stamps them at their current Advance time).
+	var keys [][]byte
+	for i := uint64(0); len(keys) < 48; i++ {
+		k := key13(i)
+		if _, err := s.Insert(k); err == nil {
+			keys = append(keys, k)
+		}
+	}
+	// Keep everything hot at t=90, then sweep at t=120: idle ages are 30,
+	// well under the 100 timeout — nothing may expire, even flows whose
+	// slots changed under cuckoo kicks since their stamps.
+	s.Advance(90)
+	for _, k := range keys {
+		if _, ok := s.Lookup(k); !ok {
+			t.Fatalf("key %x lost (cuckoo failure unrelated to expiry)", k)
+		}
+	}
+	if evicted := drain(s, 120, 1024, 4096); evicted != 0 {
+		t.Fatalf("%d hot flows expired after relocation: %v", evicted, expired)
+	}
+	// And the converse: at t=200 every flow's idle age is 110 > 100.
+	if evicted := drain(s, 200, 1024, 4096); evicted != len(keys) {
+		t.Fatalf("evicted %d of %d idle flows", evicted, len(keys))
+	}
+}
+
+// TestExpirySweepBudgetBoundsLockHold checks the incremental contract: a
+// single Advance examines at most SweepBudget slots per shard, so
+// reclaiming a large idle population takes multiple calls.
+func TestExpirySweepBudgetBoundsLockHold(t *testing.T) {
+	s := expiringTable(t, "hashcam", 1, table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 64})
+	keys := keys13(0, 512)
+	if _, errs := s.InsertBatch(keys); errs != nil {
+		t.Fatal(table.BatchErr(errs))
+	}
+	total := 0
+	calls := 0
+	for total < len(keys) {
+		n := s.Advance(1000)
+		if n > 64 {
+			t.Fatalf("one Advance evicted %d flows, budget is 64 slots", n)
+		}
+		total += n
+		if calls++; calls > 10000 {
+			t.Fatalf("sweep failed to drain: %d of %d after %d calls", total, len(keys), calls)
+		}
+	}
+	if calls < len(keys)/64 {
+		t.Fatalf("drained %d flows in %d calls; budget 64 should need >= %d", len(keys), calls, len(keys)/64)
+	}
+	if st := s.ExpiryStats(); st.SlotsExamined < int64(calls*64)/2 {
+		t.Fatalf("stats %+v do not reflect %d budgeted sweeps", st, calls)
+	}
+}
+
+// TestExpiryAdvanceClockNeverRewinds pins the monotonic-clock guard: a
+// stale Advance(now) must not rewind the published clock.
+func TestExpiryAdvanceClockNeverRewinds(t *testing.T) {
+	s := expiringTable(t, "hashcam", 1, table.ExpiryConfig{IdleTimeout: 10})
+	s.Advance(100)
+	s.Advance(50)
+	if got := s.Now(); got != 100 {
+		t.Fatalf("clock rewound to %d, want 100", got)
+	}
+}
+
+// walkBits is a minimal SlotSpace over a bitmap, for exercising
+// WalkLinear's edges directly.
+type walkBits []bool
+
+// SlotOccupied implements table.SlotSpace.
+func (w walkBits) SlotOccupied(id uint64) bool { return w[id] }
+
+// TestWalkLinearEdges pins the shared walker core: the budget clamp (one
+// lap per call, never re-scanning), cursor normalisation, wrap reporting,
+// and the early-exit cursor.
+func TestWalkLinearEdges(t *testing.T) {
+	bits := walkBits{true, false, true, true}
+	collect := func(cursor uint64, budget int) (visited []uint64, next uint64, wrapped bool) {
+		next, wrapped = table.WalkLinear(bits, uint64(len(bits)), cursor, budget, func(s uint64) bool {
+			visited = append(visited, s)
+			return true
+		})
+		return visited, next, wrapped
+	}
+	// Budget far beyond the bound: exactly one lap, no duplicates.
+	visited, next, wrapped := collect(0, 1000)
+	if len(visited) != 3 || !wrapped || next != 0 {
+		t.Fatalf("full lap visited %v (next %d, wrapped %v), want [0 2 3] once", visited, next, wrapped)
+	}
+	// Out-of-range cursor normalises to 0.
+	if visited, _, _ := collect(99, 2); len(visited) != 1 || visited[0] != 0 {
+		t.Fatalf("cursor normalisation visited %v, want [0]", visited)
+	}
+	// Budgeted partial walk resumes where it stopped.
+	visited, next, wrapped = collect(1, 2)
+	if len(visited) != 1 || visited[0] != 2 || next != 3 || wrapped {
+		t.Fatalf("partial walk visited %v (next %d, wrapped %v), want [2] next 3", visited, next, wrapped)
+	}
+	// Early exit: fn returning false stops the walk, cursor lands after
+	// the visited slot; stopping on the last slot reports the wrap.
+	stops := 0
+	next, wrapped = table.WalkLinear(bits, uint64(len(bits)), 3, 4, func(s uint64) bool {
+		stops++
+		return false
+	})
+	if stops != 1 || next != 0 || !wrapped {
+		t.Fatalf("early exit at slot 3: %d visits, next %d, wrapped %v", stops, next, wrapped)
+	}
+	next, wrapped = table.WalkLinear(bits, uint64(len(bits)), 2, 4, func(s uint64) bool { return false })
+	if next != 3 || wrapped {
+		t.Fatalf("early exit at slot 2: next %d wrapped %v, want 3 false", next, wrapped)
+	}
+	// Empty slot space is a no-op lap.
+	if next, wrapped := table.WalkLinear(walkBits{}, 0, 5, 10, func(uint64) bool { return true }); next != 0 || !wrapped {
+		t.Fatalf("empty space: next %d wrapped %v", next, wrapped)
+	}
+}
+
+// TestExpiryReasonString covers the reason formatter.
+func TestExpiryReasonString(t *testing.T) {
+	if table.ExpireIdle.String() != "idle" || table.ExpireActive.String() != "active" {
+		t.Fatal("reason names changed")
+	}
+	if s := table.ExpireReason(99).String(); s != fmt.Sprintf("ExpireReason(%d)", 99) {
+		t.Fatalf("unknown reason renders %q", s)
+	}
+}

@@ -1,0 +1,208 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file defines the flow-lifecycle layer of the table stack: the
+// backend extensions that let a sweeper enumerate and reclaim occupied
+// slots without byte-key round-trips (Walker, EvictableBackend), and the
+// configuration/reporting types of the NetFlow-style expiry machinery
+// that Sharded builds on top of them (idle/active timeouts, bounded
+// incremental sweep, export callback). The paper's prototype delegates
+// the same job to "the housekeeping function in the Flow State block,
+// which periodically checks and removes timeout flow entries" (§IV-B);
+// the software generalisation keys per-slot timestamps by the backends'
+// location-derived IDs, so the sweep walks physical slots instead of
+// rehashing keys.
+
+// Walker is implemented by backends that can enumerate their occupied
+// slots by local (backend-assigned) ID. Slot IDs are exactly the IDs the
+// backend's Lookup/Insert return, which every structure in this
+// repository derives from the physical location of the entry — so a walk
+// is a linear scan of the slot space, never a hash computation.
+type Walker interface {
+	// WalkSlots visits slots in physical order starting at cursor,
+	// examining at most budget slots (occupied or not), and calls fn for
+	// each occupied slot found. fn returning false stops the walk early.
+	// It returns the cursor to resume from and whether the walk reached
+	// the end of the slot space and wrapped back to 0 — one full lap of
+	// wrapped==true observations means every slot has been examined once.
+	WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (next uint64, wrapped bool)
+}
+
+// EvictableBackend is the optional lifecycle extension of Backend: a
+// structure whose occupied slots can be enumerated, read back and
+// reclaimed purely by slot ID. It is what the Sharded expiry layer
+// requires of its per-shard backends — the eviction sweep holds a shard's
+// write lock for a bounded number of slot visits, and none of them hash
+// or compare keys.
+type EvictableBackend interface {
+	Backend
+	Walker
+	// SlotIDBound returns an exclusive upper bound on the slot IDs this
+	// backend can assign. The expiry layer sizes its per-slot timestamp
+	// side-tables from it, so the bound must be dense (proportional to
+	// capacity, not a hash-space bound) and constant over the backend's
+	// lifetime.
+	SlotIDBound() uint64
+	// AppendSlotKey appends the key bytes stored in slot onto dst,
+	// reporting false (and returning dst unchanged) when the slot is
+	// unoccupied. The sweep snapshots keys for the export callback with
+	// it before reclaiming the slot.
+	AppendSlotKey(dst []byte, slot uint64) ([]byte, bool)
+	// DeleteSlot removes the entry in slot without any key search,
+	// reporting whether one was present. Counting discipline matches
+	// Delete: the entry leaves Len and the write is charged to Probes.
+	DeleteSlot(slot uint64) bool
+}
+
+// RelocatingBackend is implemented by backends whose inserts may move
+// resident entries to different slots (cuckoo kick chains). The expiry
+// layer registers a hook so per-slot timestamps follow relocated entries;
+// backends must invoke it under the same exclusive lock as the insert
+// that caused the moves.
+type RelocatingBackend interface {
+	// SetRelocateHook registers fn, called at most once per insert with
+	// every resident move the insert performed: moves[k] = {from, to}
+	// slot pairs in chain order. The moves slice is only valid for the
+	// duration of the call. A nil fn clears the hook.
+	//
+	// Chain order carries an invariant consumers need: when
+	// moves[k][0] == moves[k-1][1], the entry relocated by move k is the
+	// one displaced by move k-1 landing in its slot, so per-slot metadata
+	// must travel hand-over-hand (carry the in-flight entry's metadata
+	// instead of reading the already-overwritten source slot). When the
+	// chain breaks (moves[k][0] != moves[k-1][1], e.g. because the hop in
+	// between was the inserted key itself, which has no metadata yet),
+	// the source slot is guaranteed untouched by earlier moves and can be
+	// read directly. The expiry layer's timestamp replay implements
+	// exactly this.
+	SetRelocateHook(fn func(moves [][2]uint64))
+}
+
+// SlotSpace is the occupancy view WalkLinear scans; backends satisfy it
+// with their used-bit arrays.
+type SlotSpace interface {
+	// SlotOccupied reports whether slot id currently holds an entry.
+	SlotOccupied(id uint64) bool
+}
+
+// WalkLinear implements Walker.WalkSlots for any dense slot space: a
+// linear scan of [0, bound) from cursor, examining at most
+// min(budget, bound) slots (one lap covers everything; re-scanning within
+// a call buys nothing), wrapping at the end, calling fn for occupied
+// slots. fn may delete the slot it is visiting. Every backend delegates
+// here so the cursor/wrap/early-exit arithmetic lives once.
+func WalkLinear(t SlotSpace, bound, cursor uint64, budget int, fn func(slot uint64) bool) (next uint64, wrapped bool) {
+	if bound == 0 {
+		return 0, true
+	}
+	if uint64(budget) > bound {
+		budget = int(bound)
+	}
+	if cursor >= bound {
+		cursor = 0
+	}
+	for step := 0; step < budget; step++ {
+		if t.SlotOccupied(cursor) && !fn(cursor) {
+			cursor++
+			if cursor >= bound {
+				return 0, true
+			}
+			return cursor, wrapped
+		}
+		cursor++
+		if cursor >= bound {
+			cursor = 0
+			wrapped = true
+		}
+	}
+	return cursor, wrapped
+}
+
+// ExpireReason classifies why the sweep retired a flow.
+type ExpireReason uint8
+
+// Expire reasons.
+const (
+	// ExpireIdle marks a flow unseen for at least IdleTimeout time units.
+	ExpireIdle ExpireReason = iota + 1
+	// ExpireActive marks a flow resident for at least ActiveTimeout time
+	// units regardless of traffic (NetFlow's forced progress export).
+	ExpireActive
+)
+
+// String returns the reason name.
+func (r ExpireReason) String() string {
+	switch r {
+	case ExpireIdle:
+		return "idle"
+	case ExpireActive:
+		return "active"
+	default:
+		return fmt.Sprintf("ExpireReason(%d)", int(r))
+	}
+}
+
+// ExpiryConfig parameterises the flow-lifecycle layer of a Sharded table.
+// Timeouts are measured on the caller-supplied logical clock passed to
+// Advance — any monotonic int64 works (packet counts, sim.Clock cycles,
+// wall nanoseconds); the layer never reads wall time itself.
+type ExpiryConfig struct {
+	// IdleTimeout retires a flow whose last-seen timestamp is at least
+	// this many time units old. Zero disables idle expiry.
+	IdleTimeout int64
+	// ActiveTimeout retires a flow first seen at least this many time
+	// units ago, even if it is still receiving traffic. Zero disables
+	// active expiry.
+	ActiveTimeout int64
+	// SweepBudget bounds the slots examined per shard per Advance call,
+	// keeping the shard's write lock hold — and therefore reader tail
+	// latency — flat regardless of table size (default 256).
+	SweepBudget int
+}
+
+// withDefaults fills zero fields.
+func (c ExpiryConfig) withDefaults() ExpiryConfig {
+	if c.SweepBudget <= 0 {
+		c.SweepBudget = 256
+	}
+	return c
+}
+
+// Validate reports an error for unusable parameters.
+func (c ExpiryConfig) Validate() error {
+	switch {
+	case c.IdleTimeout < 0 || c.ActiveTimeout < 0:
+		return fmt.Errorf("table: expiry timeouts must be non-negative (idle %d, active %d)",
+			c.IdleTimeout, c.ActiveTimeout)
+	case c.IdleTimeout == 0 && c.ActiveTimeout == 0:
+		return errors.New("table: expiry requires at least one of IdleTimeout/ActiveTimeout")
+	}
+	return nil
+}
+
+// ExpiredFunc receives one retired flow per call from Advance: the global
+// (shard-encoded) ID the entry was stored under, its key bytes, its
+// first-seen/last-seen timestamps, and the retirement reason. The key
+// slice is only valid for the duration of the call — the sweep reuses the
+// backing buffer; callers keeping it must copy. The callback runs after
+// the owning shard's lock is released, so it may safely re-enter the
+// table's lookup/insert/delete paths; it must NOT call Advance, which
+// still holds the sweep mutex and would self-deadlock.
+type ExpiredFunc func(id uint64, key []byte, firstSeen, lastSeen int64, reason ExpireReason)
+
+// ExpiryStats aggregates lifecycle activity across all shards.
+type ExpiryStats struct {
+	// Sweeps counts Advance calls.
+	Sweeps int64
+	// SlotsExamined counts slots visited by the sweep (occupied or not).
+	SlotsExamined int64
+	// Evicted counts retired flows; IdleEvicted and ActiveEvicted split
+	// it by reason.
+	Evicted       int64
+	IdleEvicted   int64
+	ActiveEvicted int64
+}

@@ -47,6 +47,11 @@ type Sharded struct {
 	name      string
 
 	scratch sync.Pool // *batchScratch
+
+	// expiry is the optional flow-lifecycle layer (nil until
+	// EnableExpiry): per-slot timestamp side-tables and the incremental
+	// eviction sweep. The non-expiring hot path pays one nil check.
+	expiry *expiryState
 }
 
 // shardState pairs a backend with its lock. hbe is the same backend
@@ -150,20 +155,43 @@ func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	var local uint64
+	var ok bool
 	if hashed {
-		return sh.hbe.LookupHashed(key, kh)
+		local, ok = sh.hbe.LookupHashed(key, kh)
+	} else {
+		local, ok = sh.be.Lookup(key)
 	}
-	return sh.be.Lookup(key)
+	if ok {
+		if exp := s.expiry; exp != nil {
+			exp.touch(i, local, exp.now.Load())
+		}
+	}
+	return local, ok
 }
 
 func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, error) {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if hashed {
-		return sh.hbe.InsertHashed(key, kh)
+	exp := s.expiry
+	lenBefore := 0
+	if exp != nil {
+		lenBefore = sh.be.Len()
 	}
-	return sh.be.Insert(key)
+	var local uint64
+	var err error
+	if hashed {
+		local, err = sh.hbe.InsertHashed(key, kh)
+	} else {
+		local, err = sh.be.Insert(key)
+	}
+	if exp != nil && err == nil {
+		// Len grew: fresh placement (stamp first-seen); unchanged: the
+		// flow was already resident and the insert was a touch.
+		exp.stamp(i, local, sh.be.Len() > lenBefore)
+	}
+	return local, err
 }
 
 func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) bool {
@@ -368,11 +396,19 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 	sh := &s.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	exp := s.expiry
+	var now int64
+	if exp != nil {
+		now = exp.now.Load() // one clock read per shard sub-batch
+	}
 	if s.hashed {
 		for _, i := range sc.plan[shard] {
 			if local, ok := sh.hbe.LookupHashed(keys[i], sc.khs[i]); ok {
 				ids[i] = s.globalID(shard, local)
 				hits[i] = true
+				if exp != nil {
+					exp.touch(shard, local, now)
+				}
 			}
 		}
 		return
@@ -381,6 +417,9 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 		if local, ok := sh.be.Lookup(keys[i]); ok {
 			ids[i] = s.globalID(shard, local)
 			hits[i] = true
+			if exp != nil {
+				exp.touch(shard, local, now)
+			}
 		}
 	}
 }
@@ -425,7 +464,12 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	exp := s.expiry
 	for _, i := range sc.plan[shard] {
+		lenBefore := 0
+		if exp != nil {
+			lenBefore = sh.be.Len()
+		}
 		var local uint64
 		var err error
 		if s.hashed {
@@ -436,6 +480,9 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 		if err != nil {
 			errs[i] = err
 			continue
+		}
+		if exp != nil {
+			exp.stamp(shard, local, sh.be.Len() > lenBefore)
 		}
 		ids[i] = s.globalID(shard, local)
 	}

@@ -92,6 +92,16 @@ func (z *ZipfTrace) NextIndex() uint64 {
 	return flow
 }
 
+// SampleIndex draws the next packet's flow index without the
+// distinct-flow accounting of NextIndex: the seen-set grows with the
+// distinct draws, which long-running load generators (the expiry churn
+// bench) cannot afford. Emitted still advances; Distinct and NewFlowRatio
+// only reflect NextIndex draws.
+func (z *ZipfTrace) SampleIndex() uint64 {
+	z.emitted++
+	return z.zipf.Uint64()
+}
+
 // Next returns the next packet's 5-tuple.
 func (z *ZipfTrace) Next() packet.FiveTuple { return Flow(z.NextIndex()) }
 
