@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// compareConfig parameterises the bench regression diff.
+type compareConfig struct {
+	oldPath, newPath string
+	// nsThresholdPct is the ns/op regression (percent, new vs old) above
+	// which the diff exits nonzero.
+	nsThresholdPct float64
+	// allocsThreshold is the absolute allocs/op increase above which the
+	// diff exits nonzero (allocations are near-deterministic, so the gate
+	// is much tighter than the wall-clock one).
+	allocsThreshold float64
+}
+
+// rowKey identifies one measurement across two reports.
+type rowKey struct {
+	Backend string
+	Shards  int
+	Workers int
+	Batch   int
+	Mix     string
+}
+
+// errRegression marks a compare run that found regressions above the
+// thresholds; main maps it to a nonzero exit.
+type errRegression struct{ count int }
+
+// Error implements error.
+func (e errRegression) Error() string {
+	return fmt.Sprintf("%d measurement(s) regressed beyond the threshold", e.count)
+}
+
+// loadEngineReport reads one engine bench JSON file.
+func loadEngineReport(path string) (engineJSONReport, error) {
+	var rep engineJSONReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("compare: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("compare: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// pctDelta returns the percent change from old to new (positive = new is
+// worse for cost metrics).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// compareBenchJSON diffs two engine bench JSON reports row by row
+// (matched on backend × shards × workers × batch × mix), prints the
+// ns/op and allocs/op deltas, and returns errRegression when any matched
+// row regresses beyond the configured thresholds. Rows present in only
+// one report are listed but never fail the gate (sweeps legitimately gain
+// and lose configurations); zero matched rows is an error — a vacuous
+// pass would hide a parameter drift between the committed baseline and
+// the fresh run.
+func compareBenchJSON(cfg compareConfig) error {
+	oldRep, err := loadEngineReport(cfg.oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadEngineReport(cfg.newPath)
+	if err != nil {
+		return err
+	}
+	oldRows := map[rowKey]engineJSONResult{}
+	for _, r := range oldRep.Results {
+		oldRows[rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix}] = r
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Bench regression diff — %s → %s (fail: ns/op +%.0f%%, allocs/op +%.2f)",
+			cfg.oldPath, cfg.newPath, cfg.nsThresholdPct, cfg.allocsThreshold),
+		"Backend", "Shards", "Mix", "ns/op old", "ns/op new", "Δ ns/op", "allocs/op old", "allocs/op new", "Δ allocs", "Verdict")
+	matched, regressed := 0, 0
+	for _, r := range newRep.Results {
+		k := rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix}
+		o, ok := oldRows[k]
+		if !ok {
+			t.AddRow(r.Backend, fmt.Sprintf("%d", r.Shards), r.Mix, "—",
+				fmt.Sprintf("%.1f", r.NSPerOp), "new row", "—",
+				fmt.Sprintf("%.3f", r.AllocsPerOp), "new row", "info")
+			continue
+		}
+		delete(oldRows, k)
+		matched++
+		nsPct := pctDelta(o.NSPerOp, r.NSPerOp)
+		allocsDelta := r.AllocsPerOp - o.AllocsPerOp
+		verdict := "ok"
+		if nsPct > cfg.nsThresholdPct || allocsDelta > cfg.allocsThreshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		t.AddRow(r.Backend, fmt.Sprintf("%d", r.Shards), r.Mix,
+			fmt.Sprintf("%.1f", o.NSPerOp), fmt.Sprintf("%.1f", r.NSPerOp),
+			fmt.Sprintf("%+.1f%%", nsPct),
+			fmt.Sprintf("%.3f", o.AllocsPerOp), fmt.Sprintf("%.3f", r.AllocsPerOp),
+			fmt.Sprintf("%+.3f", allocsDelta), verdict)
+	}
+	for k, o := range oldRows {
+		t.AddRow(k.Backend, fmt.Sprintf("%d", k.Shards), k.Mix,
+			fmt.Sprintf("%.1f", o.NSPerOp), "—", "dropped row",
+			fmt.Sprintf("%.3f", o.AllocsPerOp), "—", "dropped row", "info")
+	}
+	fmt.Println(t)
+	if matched == 0 {
+		return fmt.Errorf("compare: no rows matched between %s and %s (parameter drift?)", cfg.oldPath, cfg.newPath)
+	}
+	if regressed > 0 {
+		return errRegression{count: regressed}
+	}
+	fmt.Printf("%d matched row(s), no regression beyond thresholds\n", matched)
+	return nil
+}

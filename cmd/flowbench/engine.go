@@ -55,6 +55,11 @@ type engineJSONResult struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Resident    int     `json:"resident_flows"`
 	Overflows   int64   `json:"overflow_batches"`
+	// BytesPerSlot is the table's slot-storage cost (inline keys,
+	// fingerprint tags, hash caches, expiry side-tables) averaged over its
+	// slot space, so the memory cost of the layout is tracked alongside
+	// speed; 0 when the backend reports no footprint.
+	BytesPerSlot float64 `json:"bytes_per_slot"`
 	// SpeedupVs1Shard is 0 when the sweep had no shards=1 row to compare
 	// against.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard,omitempty"`
@@ -129,7 +134,7 @@ func engineSweep(cfg engineSweepConfig) error {
 	t := metrics.NewTable(
 		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d, %s mix (GOMAXPROCS=%d)",
 			cfg.workers, cfg.ops, cfg.batch, cfg.mixName(), runtime.GOMAXPROCS(0)),
-		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
+		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "B/slot", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
 	var jsonResults []engineJSONResult
 	for _, backend := range cfg.backends {
 		// Run every configuration first, then derive speedups from the
@@ -159,6 +164,7 @@ func engineSweep(cfg engineSweepConfig) error {
 				fmt.Sprintf("%.2f", res.mops),
 				fmt.Sprintf("%.1f", res.nsPerOp),
 				fmt.Sprintf("%.3f", res.allocsPerOp),
+				fmt.Sprintf("%.1f", res.bytesPerSlot),
 				res.wall.Round(time.Millisecond).String(),
 				fmt.Sprintf("%d", res.resident), fmt.Sprintf("%d", res.overflows), speedup)
 			jsonResults = append(jsonResults, engineJSONResult{
@@ -175,6 +181,7 @@ func engineSweep(cfg engineSweepConfig) error {
 				BytesPerOp:      res.bytesPerOp,
 				Resident:        res.resident,
 				Overflows:       res.overflows,
+				BytesPerSlot:    res.bytesPerSlot,
 				SpeedupVs1Shard: speedupVal,
 			})
 		}
@@ -191,14 +198,15 @@ func engineSweep(cfg engineSweepConfig) error {
 
 // engineLoadResult summarises one backend/shard configuration run.
 type engineLoadResult struct {
-	mops        float64
-	nsPerOp     float64
-	allocsPerOp float64
-	bytesPerOp  float64
-	totalOps    int64
-	wall        time.Duration
-	resident    int
-	overflows   int64
+	mops         float64
+	nsPerOp      float64
+	allocsPerOp  float64
+	bytesPerOp   float64
+	totalOps     int64
+	wall         time.Duration
+	resident     int
+	overflows    int64
+	bytesPerSlot float64
 }
 
 // runEngineLoad drives one backend/shard configuration with cfg.workers
@@ -240,14 +248,15 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 	}
 	totalOps := int64(cfg.workers) * int64(cfg.ops)
 	return engineLoadResult{
-		mops:        float64(totalOps) / wall.Seconds() / 1e6,
-		nsPerOp:     float64(wall.Nanoseconds()) / float64(totalOps),
-		allocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
-		bytesPerOp:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
-		totalOps:    totalOps,
-		wall:        wall,
-		resident:    eng.Len(),
-		overflows:   overflows.Load(),
+		mops:         float64(totalOps) / wall.Seconds() / 1e6,
+		nsPerOp:      float64(wall.Nanoseconds()) / float64(totalOps),
+		allocsPerOp:  float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
+		bytesPerOp:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
+		totalOps:     totalOps,
+		wall:         wall,
+		resident:     eng.Len(),
+		overflows:    overflows.Load(),
+		bytesPerSlot: eng.BytesPerSlot(),
 	}, nil
 }
 

@@ -6,6 +6,7 @@
 //
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
 //	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] engine
+//	flowbench -compare [-threshold pct] [-allocthreshold n] old.json new.json
 //
 // The default experiment scale matches the paper (10 k descriptors, input
 // injected at the 100 MHz ceiling); -quick runs a reduced scale for smoke
@@ -14,6 +15,12 @@
 // counts, -workers the concurrent goroutines driving the load; -writers
 // switches the workload from the read-mostly mix to a write-heavy
 // insert/delete mix over the zero-allocation *Into writer pipeline.
+//
+// The compare mode diffs two engine bench JSON files (rows matched on
+// backend × shards × workers × batch × mix) and exits nonzero when any
+// matched row's ns/op regresses by more than -threshold percent or its
+// allocs/op grows by more than -allocthreshold — the regression gate CI
+// runs against the committed bench JSONs.
 package main
 
 import (
@@ -42,11 +49,32 @@ func main() {
 	lifetime := flag.Int64("lifetime", 0, "expiry mode: flow lifetime (generation length) in packets (default 8x idle)")
 	skew := flag.Float64("skew", 1.2, "expiry mode: Zipf skew of the arrival distribution (> 1)")
 	jsonOut := flag.String("json", "", "engine mode: also write machine-readable results to this file (e.g. BENCH_engine.json)")
+	compare := flag.Bool("compare", false, "compare mode: diff two engine bench JSON files (old new); nonzero exit on regression")
+	threshold := flag.Float64("threshold", 25, "compare mode: ns/op regression percentage that fails the diff")
+	allocThreshold := flag.Float64("allocthreshold", 0.5, "compare mode: absolute allocs/op increase that fails the diff")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|engine|all]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "flowbench: -compare requires exactly two JSON paths (old new), got %v\n", flag.Args())
+			os.Exit(1)
+		}
+		err := compareBenchJSON(compareConfig{
+			oldPath:         flag.Arg(0),
+			newPath:         flag.Arg(1),
+			nsThresholdPct:  *threshold,
+			allocsThreshold: *allocThreshold,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.DefaultScale()
 	if *quick {

@@ -191,6 +191,11 @@ func (e *Engine) Delete(ft FiveTuple) bool {
 // Len returns the stored flow count across all shards.
 func (e *Engine) Len() int { return e.sharded.Len() }
 
+// BytesPerSlot reports the average slot-storage cost of the underlying
+// table in bytes per slot (inline keys, fingerprint tags, hash caches,
+// expiry side-tables), or 0 when the backend does not report a footprint.
+func (e *Engine) BytesPerSlot() float64 { return e.sharded.BytesPerSlot() }
+
 // ShardLens returns the per-shard flow counts, the partition-balance
 // gauge.
 func (e *Engine) ShardLens() []int { return e.sharded.ShardLens() }

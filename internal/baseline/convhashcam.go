@@ -126,3 +126,11 @@ func (p *Proposed) Probes() int64 { return p.Table.Stats().Probes }
 
 // Name implements LookupTable.
 func (p *Proposed) Name() string { return "proposed-hashcam" }
+
+// PrefetchHashed implements table.PrefetchBackend, delegating to the
+// inner table (same geometry, same candidate buckets).
+func (c *ConvHashCAM) PrefetchHashed(kh hashfn.KeyHashes) uint64 { return c.table.Prefetch(kh) }
+
+// StorageBytes implements table.StorageSized, delegating to the inner
+// table.
+func (c *ConvHashCAM) StorageBytes() int64 { return c.table.Bytes() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hashfn"
+	"repro/internal/table/slotarr"
 )
 
 // Cuckoo is two-function cuckoo hashing after Thinh et al. [7]: a key
@@ -20,15 +21,24 @@ type Cuckoo struct {
 	keyLen  int
 	maxKick int
 
-	keys [2][]byte
-	used [2][]bool
+	// stores holds each table's slot arena (inline keys + fingerprint
+	// tags); table t's tags derive from hash word t, the word that indexes
+	// its buckets.
+	stores [2]*slotarr.Store
 	// hashw caches both full hash words per slot (16 bytes/slot), written
 	// at every placement: kick-chain evictions derive the victim's
-	// alternate bucket from the cache instead of rehashing its key bytes,
-	// so a whole eviction chain performs zero hash computations.
+	// alternate bucket (and its tag) from the cache instead of rehashing
+	// its key bytes, so a whole eviction chain performs zero hash
+	// computations.
 	hashw  [2][]uint64 // per table: slots × {H1 word, H2 word}
 	count  int
 	probes atomic.Int64 // atomic: lookups may run under a shared lock
+
+	// kickBufs are the two retained ping-pong buffers evicted keys travel
+	// in along a kick chain, so steady-state chains allocate nothing; the
+	// in-flight key always aliases the buffer the next eviction does not
+	// write.
+	kickBufs [2][]byte
 
 	// relocate, when set (table.RelocatingBackend), receives each
 	// insert's resident moves in chain order; moveBuf stages them
@@ -59,35 +69,28 @@ func NewCuckoo(pair hashfn.Pair, buckets, slots, keyLen, maxKick int) (*Cuckoo, 
 		return nil, fmt.Errorf("baseline: cuckoo maxKick must be positive, got %d", maxKick)
 	}
 	c := &Cuckoo{pair: pair, buckets: buckets, slots: slots, keyLen: keyLen, maxKick: maxKick}
-	for i := range c.keys {
-		c.keys[i] = make([]byte, buckets*slots*keyLen)
-		c.used[i] = make([]bool, buckets*slots)
+	for i := range c.stores {
+		c.stores[i] = slotarr.New(buckets*slots, keyLen)
 		c.hashw[i] = make([]uint64, buckets*slots*2)
 	}
 	return c, nil
 }
 
-func (c *Cuckoo) slotKey(table, bucket, slot int) []byte {
-	base := (bucket*c.slots + slot) * c.keyLen
-	return c.keys[table][base : base+c.keyLen]
+// id folds a table and arena offset into a slot ID (the ID layout
+// concatenates the two table arenas).
+func (c *Cuckoo) id(table, off int) uint64 {
+	return uint64(table*c.buckets*c.slots + off)
 }
 
-func (c *Cuckoo) id(table, bucket, slot int) uint64 {
-	perTable := c.buckets * c.slots
-	return uint64(table*perTable + bucket*c.slots + slot)
+// slotWords returns the cached hash words of arena offset off in table.
+func (c *Cuckoo) slotWords(table, off int) [2]uint64 {
+	return [2]uint64{c.hashw[table][off*2], c.hashw[table][off*2+1]}
 }
 
-// slotWords returns the cached hash words of (table, bucket, slot).
-func (c *Cuckoo) slotWords(table, bucket, slot int) [2]uint64 {
-	base := (bucket*c.slots + slot) * 2
-	return [2]uint64{c.hashw[table][base], c.hashw[table][base+1]}
-}
-
-// setSlotWords stores the hash words of the key just placed in
-// (table, bucket, slot).
-func (c *Cuckoo) setSlotWords(table, bucket, slot int, w [2]uint64) {
-	base := (bucket*c.slots + slot) * 2
-	c.hashw[table][base], c.hashw[table][base+1] = w[0], w[1]
+// setSlotWords stores the hash words of the key just placed at arena
+// offset off in table.
+func (c *Cuckoo) setSlotWords(table, off int, w [2]uint64) {
+	c.hashw[table][off*2], c.hashw[table][off*2+1] = w[0], w[1]
 }
 
 func (c *Cuckoo) checkKey(key []byte) {
@@ -96,17 +99,31 @@ func (c *Cuckoo) checkKey(key []byte) {
 	}
 }
 
-// lookupAt scans the two candidate buckets given by b1/b2 for key. Probes
-// are charged in one atomic add at exit (1 for a first-bucket hit, else
-// 2), keeping the read path to a single shared-counter operation.
-func (c *Cuckoo) lookupAt(key []byte, b1, b2 int) (uint64, bool) {
-	buckets := [2]int{b1, b2}
+// lookupAt scans the two candidate buckets derived from the key's full
+// hash words (table t's bucket and tag both come from w[t]). Probes are
+// charged in one atomic add at exit (1 for a first-bucket hit, else 2),
+// keeping the read path to a single shared-counter operation.
+func (c *Cuckoo) lookupAt(key []byte, w [2]uint64) (uint64, bool) {
 	for table := 0; table < 2; table++ {
-		b := buckets[table]
-		for slot := 0; slot < c.slots; slot++ {
-			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
+		b := hashfn.Reduce(w[table], c.buckets)
+		st := c.stores[table]
+		base := b * c.slots
+		if c.slots > 8 {
+			if off, ok := st.FindTagged(base, c.slots, slotarr.TagOf(w[table]), key); ok {
 				c.probes.Add(int64(table) + 1)
-				return c.id(table, b, slot), true
+				return c.id(table, off), true
+			}
+			continue
+		}
+		// The candidate loop runs in this frame over the inlinable
+		// TagMatches leaf: one probe costs no function calls beyond the
+		// key compare on a tag hit.
+		for m := st.TagMatches(base, c.slots, slotarr.TagOf(w[table])); m != 0; {
+			var off int
+			off, m = slotarr.NextMatch(m)
+			if bytes.Equal(st.Key(base+off), key) {
+				c.probes.Add(int64(table) + 1)
+				return c.id(table, base+off), true
 			}
 		}
 	}
@@ -118,14 +135,14 @@ func (c *Cuckoo) lookupAt(key []byte, b1, b2 int) (uint64, bool) {
 // O(1) lookup time ... as only two locations need to be searched").
 func (c *Cuckoo) Lookup(key []byte) (uint64, bool) {
 	c.checkKey(key)
-	return c.lookupAt(key, c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets))
+	return c.lookupAt(key, [2]uint64{c.pair.H1.Hash(key), c.pair.H2.Hash(key)})
 }
 
 // LookupHashed implements the hashed fast path (table.HashedBackend): both
 // candidate buckets come from the caller's precomputed hashes.
 func (c *Cuckoo) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
 	c.checkKey(key)
-	return c.lookupAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
+	return c.lookupAt(key, [2]uint64{kh.H1, kh.H2})
 }
 
 // Insert implements LookupTable with kick-out relocation. The key is
@@ -174,15 +191,15 @@ func (c *Cuckoo) flushMoves() {
 // excluded from the relocation moves (it has no per-slot metadata to
 // carry yet), and the moves list reaches the hook in chain order.
 func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
-	b1, b2 := hashfn.Reduce(w[0], c.buckets), hashfn.Reduce(w[1], c.buckets)
-	if id, ok := c.lookupAt(key, b1, b2); ok {
+	if id, ok := c.lookupAt(key, w); ok {
 		return id, nil
 	}
-	// cur borrows the caller's key until the first eviction forces a copy:
-	// the common no-kick insert then allocates nothing (the writer-path
-	// zero-alloc bound counts on it), and the arena copy below never
-	// aliases the borrowed bytes. curW rides along — it is the cache
-	// content for cur's eventual slot.
+	// cur borrows the caller's key until the first eviction moves it into
+	// a retained kick buffer: the common no-kick insert then copies the
+	// key exactly once, straight into the arena (the writer-path
+	// zero-alloc bound counts on it). curW rides along — it is the cache
+	// content for cur's eventual slot, and its per-table word is also the
+	// slot's fingerprint tag source.
 	cur := key
 	curW := w
 	curIsNew := true     // cur is the inserted key, not a relocated resident
@@ -191,39 +208,44 @@ func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
 	newResident := false
 	table := 0
 	chain := 0
+	bi := 0 // kickBufs ping-pong cursor
 	for kick := 0; kick <= c.maxKick; kick++ {
 		b := hashfn.Reduce(curW[table], c.buckets)
+		st := c.stores[table]
 		// Free slot in the candidate bucket?
-		for slot := 0; slot < c.slots; slot++ {
-			if !c.used[table][b*c.slots+slot] {
-				copy(c.slotKey(table, b, slot), cur)
-				c.setSlotWords(table, b, slot, curW)
-				c.used[table][b*c.slots+slot] = true
-				c.count++
-				c.probes.Add(1)
-				if chain > c.MaxChain {
-					c.MaxChain = chain
-				}
-				if curIsNew {
-					newID = c.id(table, b, slot)
-				} else {
-					c.recordMove(curOrigin, c.id(table, b, slot))
-				}
-				c.flushMoves()
-				return newID, nil
+		if off, ok := st.FindFree(b*c.slots, c.slots); ok {
+			st.Set(off, slotarr.TagOf(curW[table]), cur)
+			c.setSlotWords(table, off, curW)
+			c.count++
+			c.probes.Add(1)
+			if chain > c.MaxChain {
+				c.MaxChain = chain
 			}
+			if curIsNew {
+				newID = c.id(table, off)
+			} else {
+				c.recordMove(curOrigin, c.id(table, off))
+			}
+			c.flushMoves()
+			return newID, nil
 		}
 		// Kick out the resident of a deterministic victim slot; rotate by
 		// chain depth so repeated kicks in one bucket vary the victim.
 		// The victim's cached words leave with it — its next hop reduces
 		// them instead of rehashing its key.
-		victim := chain % c.slots
-		victimID := c.id(table, b, victim)
+		victim := b*c.slots + chain%c.slots
+		victimID := c.id(table, victim)
 		victimIsNew := newResident && victimID == newID
-		victimW := c.slotWords(table, b, victim)
-		evicted := append([]byte(nil), c.slotKey(table, b, victim)...)
-		copy(c.slotKey(table, b, victim), cur)
-		c.setSlotWords(table, b, victim, curW)
+		victimW := c.slotWords(table, victim)
+		// The evicted key travels in a retained ping-pong buffer: cur
+		// aliases the other buffer (or still the caller's key), so the
+		// copy never clobbers the in-flight bytes and steady-state chains
+		// allocate nothing once the buffers have grown.
+		evicted := append(c.kickBufs[bi][:0], st.Key(victim)...)
+		c.kickBufs[bi] = evicted
+		bi ^= 1
+		st.Set(victim, slotarr.TagOf(curW[table]), cur)
+		c.setSlotWords(table, victim, curW)
 		c.probes.Add(2) // read victim + write new
 		c.Relocations++
 		chain++
@@ -258,13 +280,25 @@ func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
 }
 
 // deleteAt removes key from whichever of its candidate buckets holds it.
-func (c *Cuckoo) deleteAt(key []byte, b1, b2 int) bool {
-	buckets := [2]int{b1, b2}
+func (c *Cuckoo) deleteAt(key []byte, w [2]uint64) bool {
 	for table := 0; table < 2; table++ {
-		b := buckets[table]
-		for slot := 0; slot < c.slots; slot++ {
-			if c.used[table][b*c.slots+slot] && bytes.Equal(c.slotKey(table, b, slot), key) {
-				c.used[table][b*c.slots+slot] = false
+		b := hashfn.Reduce(w[table], c.buckets)
+		st := c.stores[table]
+		base := b * c.slots
+		if c.slots > 8 {
+			if off, ok := st.FindTagged(base, c.slots, slotarr.TagOf(w[table]), key); ok {
+				st.Clear(off)
+				c.count--
+				c.probes.Add(int64(table) + 1)
+				return true
+			}
+			continue
+		}
+		for m := st.TagMatches(base, c.slots, slotarr.TagOf(w[table])); m != 0; {
+			var off int
+			off, m = slotarr.NextMatch(m)
+			if bytes.Equal(st.Key(base+off), key) {
+				st.Clear(base + off)
 				c.count--
 				c.probes.Add(int64(table) + 1)
 				return true
@@ -278,13 +312,13 @@ func (c *Cuckoo) deleteAt(key []byte, b1, b2 int) bool {
 // Delete implements LookupTable.
 func (c *Cuckoo) Delete(key []byte) bool {
 	c.checkKey(key)
-	return c.deleteAt(key, c.pair.Index1(key, c.buckets), c.pair.Index2(key, c.buckets))
+	return c.deleteAt(key, [2]uint64{c.pair.H1.Hash(key), c.pair.H2.Hash(key)})
 }
 
 // DeleteHashed implements the hashed fast path.
 func (c *Cuckoo) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	c.checkKey(key)
-	return c.deleteAt(key, hashfn.Reduce(kh.H1, c.buckets), hashfn.Reduce(kh.H2, c.buckets))
+	return c.deleteAt(key, [2]uint64{kh.H1, kh.H2})
 }
 
 // Len implements LookupTable.
@@ -295,3 +329,19 @@ func (c *Cuckoo) Probes() int64 { return c.probes.Load() }
 
 // Name implements LookupTable.
 func (c *Cuckoo) Name() string { return "cuckoo" }
+
+// PrefetchHashed implements table.PrefetchBackend: both candidate buckets
+// are touched so a batched operation's misses overlap.
+func (c *Cuckoo) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
+	return c.stores[0].Touch(hashfn.Reduce(kh.H1, c.buckets)*c.slots) ^
+		c.stores[1].Touch(hashfn.Reduce(kh.H2, c.buckets)*c.slots)
+}
+
+// StorageBytes implements table.StorageSized: both slot arenas plus the
+// per-slot hash-word cache and the retained kick buffers.
+func (c *Cuckoo) StorageBytes() int64 {
+	n := c.stores[0].Bytes() + c.stores[1].Bytes()
+	n += int64(len(c.hashw[0])+len(c.hashw[1])) * 8
+	n += int64(cap(c.kickBufs[0]) + cap(c.kickBufs[1]))
+	return n
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hashfn"
+	"repro/internal/table/slotarr"
 )
 
 // DLeft is d-choice (d-left) hashing after Azar et al. [6]: d sub-tables,
@@ -21,8 +22,7 @@ type DLeft struct {
 	slots   int
 	keyLen  int
 
-	keys   [][]byte // per sub-table arenas
-	used   [][]bool
+	stores []*slotarr.Store // per sub-table arenas (inline keys + tags)
 	counts []int
 	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
@@ -44,14 +44,12 @@ func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) 
 		buckets: buckets,
 		slots:   slots,
 		keyLen:  keyLen,
-		keys:    make([][]byte, len(hashes)),
-		used:    make([][]bool, len(hashes)),
+		stores:  make([]*slotarr.Store, len(hashes)),
 		counts:  make([]int, len(hashes)),
 	}
 	for i := range hashes {
 		d.khWords[i] = khNone
-		d.keys[i] = make([]byte, buckets*slots*keyLen)
-		d.used[i] = make([]bool, buckets*slots)
+		d.stores[i] = slotarr.New(buckets*slots, keyLen)
 	}
 	return d, nil
 }
@@ -71,14 +69,10 @@ func NewDLeftPair(pair hashfn.Pair, buckets, slots, keyLen int) (*DLeft, error) 
 	return d, nil
 }
 
-func (d *DLeft) slotKey(table, bucket, slot int) []byte {
-	base := (bucket*d.slots + slot) * d.keyLen
-	return d.keys[table][base : base+d.keyLen]
-}
-
-func (d *DLeft) id(table, bucket, slot int) uint64 {
-	perTable := d.buckets * d.slots
-	return uint64(table*perTable + bucket*d.slots + slot)
+// id folds a sub-table and arena offset into a slot ID (the ID layout
+// concatenates the sub-table arenas).
+func (d *DLeft) id(table, off int) uint64 {
+	return uint64(table*d.buckets*d.slots + off)
 }
 
 func (d *DLeft) checkKey(key []byte) {
@@ -87,21 +81,23 @@ func (d *DLeft) checkKey(key []byte) {
 	}
 }
 
-// bucketOf derives the key's bucket in sub-table t: from the aligned
-// KeyHashes word when the caller supplied hashes and the sub-table is
-// pair-bound, otherwise by hashing the key bytes. Evaluation stays lazy per
-// sub-table — a lookup resolving in sub-table 0 never pays for sub-table
-// 1's hash on the byte-key path, exactly as before.
-func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) int {
+// bucketOf derives the key's bucket and fingerprint tag in sub-table t
+// from one hash word: the aligned KeyHashes word when the caller supplied
+// hashes and the sub-table is pair-bound, otherwise by hashing the key
+// bytes. Evaluation stays lazy per sub-table — a lookup resolving in
+// sub-table 0 never pays for sub-table 1's hash on the byte-key path,
+// exactly as before.
+func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) (int, uint8) {
 	if kh != nil {
 		switch d.khWords[t] {
 		case khH1:
-			return hashfn.Reduce(kh.H1, d.buckets)
+			return hashfn.Reduce(kh.H1, d.buckets), slotarr.TagOf(kh.H1)
 		case khH2:
-			return hashfn.Reduce(kh.H2, d.buckets)
+			return hashfn.Reduce(kh.H2, d.buckets), slotarr.TagOf(kh.H2)
 		}
 	}
-	return hashfn.Reduce(d.hashes[t].Hash(key), d.buckets)
+	w := d.hashes[t].Hash(key)
+	return hashfn.Reduce(w, d.buckets), slotarr.TagOf(w)
 }
 
 // lookup probes the candidate buckets in sub-table order (hardware searches
@@ -109,11 +105,23 @@ func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) int {
 // charged in one atomic add at exit.
 func (d *DLeft) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
 	for t := range d.hashes {
-		b := d.bucketOf(t, key, kh)
-		for slot := 0; slot < d.slots; slot++ {
-			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
+		b, tag := d.bucketOf(t, key, kh)
+		st := d.stores[t]
+		base := b * d.slots
+		if d.slots > 8 {
+			if off, ok := st.FindTagged(base, d.slots, tag, key); ok {
 				d.probes.Add(int64(t) + 1)
-				return d.id(t, b, slot), true
+				return d.id(t, off), true
+			}
+			continue
+		}
+		// Candidate loop in this frame over the inlinable TagMatches leaf.
+		for m := st.TagMatches(base, d.slots, tag); m != 0; {
+			var off int
+			off, m = slotarr.NextMatch(m)
+			if bytes.Equal(st.Key(base+off), key) {
+				d.probes.Add(int64(t) + 1)
+				return d.id(t, base+off), true
 			}
 		}
 	}
@@ -140,31 +148,25 @@ func (d *DLeft) insert(key []byte, kh *hashfn.KeyHashes) (uint64, error) {
 		return id, nil
 	}
 	bestTable, bestBucket, bestLoad := -1, -1, d.slots+1
+	var bestTag uint8
 	for t := range d.hashes {
-		b := d.bucketOf(t, key, kh)
-		load := 0
-		for slot := 0; slot < d.slots; slot++ {
-			if d.used[t][b*d.slots+slot] {
-				load++
-			}
-		}
+		b, tag := d.bucketOf(t, key, kh)
+		load := d.stores[t].Load(b*d.slots, d.slots)
 		if load < bestLoad {
-			bestTable, bestBucket, bestLoad = t, b, load
+			bestTable, bestBucket, bestLoad, bestTag = t, b, load, tag
 		}
 	}
 	if bestLoad >= d.slots {
 		return 0, fmt.Errorf("baseline: d-left: all %d candidate buckets full: %w", len(d.hashes), ErrTableFull)
 	}
-	for slot := 0; slot < d.slots; slot++ {
-		if !d.used[bestTable][bestBucket*d.slots+slot] {
-			copy(d.slotKey(bestTable, bestBucket, slot), key)
-			d.used[bestTable][bestBucket*d.slots+slot] = true
-			d.counts[bestTable]++
-			d.probes.Add(1)
-			return d.id(bestTable, bestBucket, slot), nil
-		}
+	off, ok := d.stores[bestTable].FindFree(bestBucket*d.slots, d.slots)
+	if !ok {
+		panic("baseline: d-left free slot vanished") // unreachable
 	}
-	panic("baseline: d-left free slot vanished") // unreachable
+	d.stores[bestTable].Set(off, bestTag, key)
+	d.counts[bestTable]++
+	d.probes.Add(1)
+	return d.id(bestTable, off), nil
 }
 
 // Insert implements LookupTable: least-loaded candidate bucket, leftmost
@@ -183,14 +185,12 @@ func (d *DLeft) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 // delete removes key from whichever candidate bucket holds it.
 func (d *DLeft) delete(key []byte, kh *hashfn.KeyHashes) bool {
 	for t := range d.hashes {
-		b := d.bucketOf(t, key, kh)
-		for slot := 0; slot < d.slots; slot++ {
-			if d.used[t][b*d.slots+slot] && bytes.Equal(d.slotKey(t, b, slot), key) {
-				d.used[t][b*d.slots+slot] = false
-				d.counts[t]--
-				d.probes.Add(int64(t) + 1)
-				return true
-			}
+		b, tag := d.bucketOf(t, key, kh)
+		if off, ok := d.stores[t].FindTagged(b*d.slots, d.slots, tag, key); ok {
+			d.stores[t].Clear(off)
+			d.counts[t]--
+			d.probes.Add(int64(t) + 1)
+			return true
 		}
 	}
 	d.probes.Add(int64(len(d.hashes)))
@@ -226,3 +226,28 @@ func (d *DLeft) Name() string { return fmt.Sprintf("%d-left", len(d.hashes)) }
 
 // TableLoads returns the per-sub-table entry counts (left-skew check).
 func (d *DLeft) TableLoads() []int { return append([]int(nil), d.counts...) }
+
+// PrefetchHashed implements table.PrefetchBackend: every pair-bound
+// sub-table's candidate bucket is touched (khNone sub-tables would need a
+// hash evaluation, which a prefetch hint must not spend).
+func (d *DLeft) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
+	var acc uint64
+	for t := range d.stores {
+		switch d.khWords[t] {
+		case khH1:
+			acc ^= d.stores[t].Touch(hashfn.Reduce(kh.H1, d.buckets) * d.slots)
+		case khH2:
+			acc ^= d.stores[t].Touch(hashfn.Reduce(kh.H2, d.buckets) * d.slots)
+		}
+	}
+	return acc
+}
+
+// StorageBytes implements table.StorageSized: the sub-table arenas.
+func (d *DLeft) StorageBytes() int64 {
+	var n int64
+	for _, st := range d.stores {
+		n += st.Bytes()
+	}
+	return n
+}

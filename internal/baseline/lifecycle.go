@@ -23,7 +23,7 @@ var (
 func (s *SingleHash) SlotIDBound() uint64 { return uint64(s.buckets * s.slots) }
 
 // SlotOccupied implements table.SlotSpace.
-func (s *SingleHash) SlotOccupied(id uint64) bool { return s.used[id] }
+func (s *SingleHash) SlotOccupied(id uint64) bool { return s.store.Occupied(int(id)) }
 
 // WalkSlots implements table.Walker.
 func (s *SingleHash) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
@@ -32,20 +32,19 @@ func (s *SingleHash) WalkSlots(cursor uint64, budget int, fn func(slot uint64) b
 
 // AppendSlotKey implements table.EvictableBackend.
 func (s *SingleHash) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
-	if slot >= s.SlotIDBound() || !s.used[slot] {
+	if slot >= s.SlotIDBound() {
 		return dst, false
 	}
-	base := int(slot) * s.keyLen
-	return append(dst, s.keys[base:base+s.keyLen]...), true
+	return s.store.AppendKey(dst, int(slot))
 }
 
 // DeleteSlot implements table.EvictableBackend: the single slot write is
 // charged one probe, matching Delete's accounting for the entry removal.
 func (s *SingleHash) DeleteSlot(slot uint64) bool {
-	if slot >= s.SlotIDBound() || !s.used[slot] {
+	if slot >= s.SlotIDBound() || !s.store.Occupied(int(slot)) {
 		return false
 	}
-	s.used[slot] = false
+	s.store.Clear(int(slot))
 	s.count--
 	s.probes.Add(1)
 	return true
@@ -64,7 +63,7 @@ func (d *DLeft) dleftLoc(slot uint64) (t int, off int) {
 // SlotOccupied implements table.SlotSpace.
 func (d *DLeft) SlotOccupied(id uint64) bool {
 	t, off := d.dleftLoc(id)
-	return d.used[t][off]
+	return d.stores[t].Occupied(off)
 }
 
 // WalkSlots implements table.Walker.
@@ -78,11 +77,7 @@ func (d *DLeft) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
 		return dst, false
 	}
 	t, off := d.dleftLoc(slot)
-	if !d.used[t][off] {
-		return dst, false
-	}
-	base := off * d.keyLen
-	return append(dst, d.keys[t][base:base+d.keyLen]...), true
+	return d.stores[t].AppendKey(dst, off)
 }
 
 // DeleteSlot implements table.EvictableBackend.
@@ -91,10 +86,10 @@ func (d *DLeft) DeleteSlot(slot uint64) bool {
 		return false
 	}
 	t, off := d.dleftLoc(slot)
-	if !d.used[t][off] {
+	if !d.stores[t].Occupied(off) {
 		return false
 	}
-	d.used[t][off] = false
+	d.stores[t].Clear(off)
 	d.counts[t]--
 	d.probes.Add(1)
 	return true
@@ -112,7 +107,7 @@ func (c *Cuckoo) cuckooLoc(slot uint64) (t int, off int) {
 // SlotOccupied implements table.SlotSpace.
 func (c *Cuckoo) SlotOccupied(id uint64) bool {
 	t, off := c.cuckooLoc(id)
-	return c.used[t][off]
+	return c.stores[t].Occupied(off)
 }
 
 // WalkSlots implements table.Walker.
@@ -126,11 +121,7 @@ func (c *Cuckoo) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
 		return dst, false
 	}
 	t, off := c.cuckooLoc(slot)
-	if !c.used[t][off] {
-		return dst, false
-	}
-	base := off * c.keyLen
-	return append(dst, c.keys[t][base:base+c.keyLen]...), true
+	return c.stores[t].AppendKey(dst, off)
 }
 
 // DeleteSlot implements table.EvictableBackend.
@@ -139,10 +130,10 @@ func (c *Cuckoo) DeleteSlot(slot uint64) bool {
 		return false
 	}
 	t, off := c.cuckooLoc(slot)
-	if !c.used[t][off] {
+	if !c.stores[t].Occupied(off) {
 		return false
 	}
-	c.used[t][off] = false
+	c.stores[t].Clear(off)
 	c.count--
 	c.probes.Add(1)
 	return true

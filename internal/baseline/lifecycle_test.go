@@ -31,11 +31,11 @@ func TestCuckooHashCacheBitIdentity(t *testing.T) {
 	// slot (walk all slots directly).
 	for table := 0; table < 2; table++ {
 		for off := 0; off < c.buckets*c.slots; off++ {
-			if !c.used[table][off] {
+			if !c.stores[table].Occupied(off) {
 				continue
 			}
-			key := c.keys[table][off*c.keyLen : (off+1)*c.keyLen]
-			w := c.slotWords(table, off/c.slots, off%c.slots)
+			key := c.stores[table].Key(off)
+			w := c.slotWords(table, off)
 			if w[0] != pair.H1.Hash(key) || w[1] != pair.H2.Hash(key) {
 				t.Fatalf("slot (%d,%d) cached words stale for key %x", table, off, key)
 			}

@@ -15,6 +15,16 @@ var (
 	_ table.HashedBackend = (*DLeft)(nil)
 	_ table.HashedBackend = (*Cuckoo)(nil)
 	_ table.HashedBackend = (*ConvHashCAM)(nil)
+
+	_ table.PrefetchBackend = (*SingleHash)(nil)
+	_ table.PrefetchBackend = (*DLeft)(nil)
+	_ table.PrefetchBackend = (*Cuckoo)(nil)
+	_ table.PrefetchBackend = (*ConvHashCAM)(nil)
+
+	_ table.StorageSized = (*SingleHash)(nil)
+	_ table.StorageSized = (*DLeft)(nil)
+	_ table.StorageSized = (*Cuckoo)(nil)
+	_ table.StorageSized = (*ConvHashCAM)(nil)
 )
 
 func init() {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hashfn"
+	"repro/internal/table/slotarr"
 )
 
 // Key-hash word bindings for the hashed fast path: which word of a
@@ -30,8 +31,7 @@ type SingleHash struct {
 	slots   int
 	keyLen  int
 
-	keys   []byte
-	used   []bool
+	store  *slotarr.Store // inline keys + fingerprint tags, buckets × slots
 	count  int
 	probes atomic.Int64 // atomic: lookups may run under a shared lock
 }
@@ -54,8 +54,7 @@ func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, e
 		buckets: buckets,
 		slots:   slots,
 		keyLen:  keyLen,
-		keys:    make([]byte, buckets*slots*keyLen),
-		used:    make([]bool, buckets*slots),
+		store:   slotarr.New(buckets*slots, keyLen),
 	}, nil
 }
 
@@ -87,42 +86,47 @@ func checkGeometry(buckets, slots, keyLen int) error {
 	return nil
 }
 
-func (s *SingleHash) slotKey(bucket, slot int) []byte {
-	base := (bucket*s.slots + slot) * s.keyLen
-	return s.keys[base : base+s.keyLen]
-}
-
-func (s *SingleHash) id(bucket, slot int) uint64 {
-	return uint64(bucket*s.slots + slot)
-}
-
 func (s *SingleHash) checkKey(key []byte) {
 	if len(key) != s.keyLen {
 		panic(fmt.Sprintf("baseline: key of %d bytes, table configured for %d", len(key), s.keyLen))
 	}
 }
 
-// bucketOf derives the key's bucket: from the precomputed word when the
-// table is pair-bound and the caller supplied hashes, otherwise by hashing
-// the key bytes.
-func (s *SingleHash) bucketOf(key []byte, kh *hashfn.KeyHashes) int {
+// bucketOf derives the key's bucket and fingerprint tag from one hash
+// word: the precomputed word when the table is pair-bound and the caller
+// supplied hashes, otherwise by hashing the key bytes. The bucket consumes
+// the word's low bits, the tag its top bits, so both come from the same
+// single evaluation.
+func (s *SingleHash) bucketOf(key []byte, kh *hashfn.KeyHashes) (int, uint8) {
 	if kh != nil {
 		switch s.khWord {
 		case khH1:
-			return hashfn.Reduce(kh.H1, s.buckets)
+			return hashfn.Reduce(kh.H1, s.buckets), slotarr.TagOf(kh.H1)
 		case khH2:
-			return hashfn.Reduce(kh.H2, s.buckets)
+			return hashfn.Reduce(kh.H2, s.buckets), slotarr.TagOf(kh.H2)
 		}
 	}
-	return hashfn.Reduce(s.hash.Hash(key), s.buckets)
+	w := s.hash.Hash(key)
+	return hashfn.Reduce(w, s.buckets), slotarr.TagOf(w)
 }
 
-// lookupAt scans bucket b for key; probe accounting matches Lookup.
-func (s *SingleHash) lookupAt(key []byte, b int) (uint64, bool) {
+// lookupAt scans bucket b for key via the tag-word probe; probe accounting
+// matches Lookup. The candidate loop runs in this frame over the
+// inlinable TagMatches leaf (FindTagged for the rare >8-slot geometry).
+func (s *SingleHash) lookupAt(key []byte, b int, tag uint8) (uint64, bool) {
 	s.probes.Add(1)
-	for slot := 0; slot < s.slots; slot++ {
-		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
-			return s.id(b, slot), true
+	base := b * s.slots
+	if s.slots > 8 {
+		if slot, ok := s.store.FindTagged(base, s.slots, tag, key); ok {
+			return uint64(slot), true
+		}
+		return 0, false
+	}
+	for m := s.store.TagMatches(base, s.slots, tag); m != 0; {
+		var off int
+		off, m = slotarr.NextMatch(m)
+		if bytes.Equal(s.store.Key(base+off), key) {
+			return uint64(base + off), true
 		}
 	}
 	return 0, false
@@ -131,30 +135,29 @@ func (s *SingleHash) lookupAt(key []byte, b int) (uint64, bool) {
 // Lookup implements LookupTable.
 func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
 	s.checkKey(key)
-	return s.lookupAt(key, s.bucketOf(key, nil))
+	b, tag := s.bucketOf(key, nil)
+	return s.lookupAt(key, b, tag)
 }
 
 // LookupHashed implements the hashed fast path (table.HashedBackend).
 func (s *SingleHash) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
 	s.checkKey(key)
-	return s.lookupAt(key, s.bucketOf(key, &kh))
+	b, tag := s.bucketOf(key, &kh)
+	return s.lookupAt(key, b, tag)
 }
 
 // insertAt places key in bucket b unless present; the duplicate pre-check
-// reuses the derived bucket, so a byte-key Insert hashes once (not twice as
-// it historically did) and a hashed insert not at all.
-func (s *SingleHash) insertAt(key []byte, b int) (uint64, error) {
-	if id, ok := s.lookupAt(key, b); ok {
+// reuses the derived bucket and tag, so a byte-key Insert hashes once (not
+// twice as it historically did) and a hashed insert not at all.
+func (s *SingleHash) insertAt(key []byte, b int, tag uint8) (uint64, error) {
+	if id, ok := s.lookupAt(key, b, tag); ok {
 		return id, nil
 	}
-	for slot := 0; slot < s.slots; slot++ {
-		if !s.used[b*s.slots+slot] {
-			copy(s.slotKey(b, slot), key)
-			s.used[b*s.slots+slot] = true
-			s.count++
-			s.probes.Add(1)
-			return s.id(b, slot), nil
-		}
+	if slot, ok := s.store.FindFree(b*s.slots, s.slots); ok {
+		s.store.Set(slot, tag, key)
+		s.count++
+		s.probes.Add(1)
+		return uint64(slot), nil
 	}
 	return 0, fmt.Errorf("baseline: single-hash bucket %d overflow: %w", b, ErrTableFull)
 }
@@ -162,24 +165,24 @@ func (s *SingleHash) insertAt(key []byte, b int) (uint64, error) {
 // Insert implements LookupTable.
 func (s *SingleHash) Insert(key []byte) (uint64, error) {
 	s.checkKey(key)
-	return s.insertAt(key, s.bucketOf(key, nil))
+	b, tag := s.bucketOf(key, nil)
+	return s.insertAt(key, b, tag)
 }
 
 // InsertHashed implements the hashed fast path.
 func (s *SingleHash) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	s.checkKey(key)
-	return s.insertAt(key, s.bucketOf(key, &kh))
+	b, tag := s.bucketOf(key, &kh)
+	return s.insertAt(key, b, tag)
 }
 
-// deleteAt removes key from bucket b if present.
-func (s *SingleHash) deleteAt(key []byte, b int) bool {
-	s.probes.Add(1)
-	for slot := 0; slot < s.slots; slot++ {
-		if s.used[b*s.slots+slot] && bytes.Equal(s.slotKey(b, slot), key) {
-			s.used[b*s.slots+slot] = false
-			s.count--
-			return true
-		}
+// deleteAt removes key from bucket b if present. The single bucket probe
+// is charged by lookupAt, matching the historical one-probe delete cost.
+func (s *SingleHash) deleteAt(key []byte, b int, tag uint8) bool {
+	if id, ok := s.lookupAt(key, b, tag); ok {
+		s.store.Clear(int(id))
+		s.count--
+		return true
 	}
 	return false
 }
@@ -187,13 +190,15 @@ func (s *SingleHash) deleteAt(key []byte, b int) bool {
 // Delete implements LookupTable.
 func (s *SingleHash) Delete(key []byte) bool {
 	s.checkKey(key)
-	return s.deleteAt(key, s.bucketOf(key, nil))
+	b, tag := s.bucketOf(key, nil)
+	return s.deleteAt(key, b, tag)
 }
 
 // DeleteHashed implements the hashed fast path.
 func (s *SingleHash) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	s.checkKey(key)
-	return s.deleteAt(key, s.bucketOf(key, &kh))
+	b, tag := s.bucketOf(key, &kh)
+	return s.deleteAt(key, b, tag)
 }
 
 // Len implements LookupTable.
@@ -204,3 +209,19 @@ func (s *SingleHash) Probes() int64 { return s.probes.Load() }
 
 // Name implements LookupTable.
 func (s *SingleHash) Name() string { return "single-hash" }
+
+// PrefetchHashed implements table.PrefetchBackend for the pair-bound
+// table; an arbitrary-Func table has no precomputed word to reduce and
+// touches nothing.
+func (s *SingleHash) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
+	switch s.khWord {
+	case khH1:
+		return s.store.Touch(hashfn.Reduce(kh.H1, s.buckets) * s.slots)
+	case khH2:
+		return s.store.Touch(hashfn.Reduce(kh.H2, s.buckets) * s.slots)
+	}
+	return 0
+}
+
+// StorageBytes implements table.StorageSized: the slot arena.
+func (s *SingleHash) StorageBytes() int64 { return s.store.Bytes() }

@@ -5,14 +5,23 @@
 // contract (a Search is one pipeline stage regardless of occupancy) while
 // providing exact-match semantics, insert/delete, and occupancy stats.
 //
+// Storage is the repository-wide cache-conscious slot layout
+// (internal/table/slotarr): keys inline in one contiguous arena plus a
+// one-byte fingerprint tag per entry, so a search SWAR-scans eight tags
+// per word load — the software rendition of the hardware's all-entries
+// parallel match — and only reads key memory on a tag hit. Tags derive
+// from the key bytes (ByteTag), because the pipelined table searches the
+// CAM before computing any hash.
+//
 // A TCAM variant with per-entry masks supports wildcard tuples, covering
 // the paper's "number of tuples for lookup" scalability claim.
 package cam
 
 import (
-	"bytes"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/table/slotarr"
 )
 
 // ErrFull is returned by Insert when every CAM entry is occupied — the
@@ -20,7 +29,9 @@ import (
 var ErrFull = fmt.Errorf("cam: all entries occupied")
 
 // Entry is one stored key/value pair. Value is the match index the flow
-// table associates with the key (a flow ID or location index).
+// table associates with the key (a flow ID or location index). Entries
+// returned by EntryAt and Range alias the CAM's arena: the Key slice is
+// valid until the next mutation and must not be modified.
 type Entry struct {
 	Key   []byte
 	Value uint64
@@ -53,11 +64,15 @@ type counters struct {
 // CAM is a binary (exact-match) content-addressable memory with a fixed
 // number of entries. Search is safe to call concurrently with other
 // Searches; Insert and Delete require exclusive access.
+//
+// The entry width is fixed by the first key inserted; hardware CAM lines
+// are fixed-width, and every table in this repository stores keys of one
+// configured length.
 type CAM struct {
-	entries []Entry
-	used    []bool
-	inUse   int
-	stats   counters
+	store  *slotarr.Store // nil until the first insert fixes the key width
+	values []uint64
+	inUse  int
+	stats  counters
 }
 
 // New returns a CAM with the given entry count. The paper's reference
@@ -67,14 +82,11 @@ func New(capacity int) *CAM {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cam: capacity must be positive, got %d", capacity))
 	}
-	return &CAM{
-		entries: make([]Entry, capacity),
-		used:    make([]bool, capacity),
-	}
+	return &CAM{values: make([]uint64, capacity)}
 }
 
 // Capacity returns the total entry count.
-func (c *CAM) Capacity() int { return len(c.entries) }
+func (c *CAM) Capacity() int { return len(c.values) }
 
 // InUse returns the number of occupied entries.
 func (c *CAM) InUse() int { return c.inUse }
@@ -89,6 +101,14 @@ func (c *CAM) Stats() Stats {
 		MaxInUse:  c.stats.maxInUse,
 		InsertErr: c.stats.insertErr,
 	}
+}
+
+// find locates key's entry index via the tag scan.
+func (c *CAM) find(key []byte) (int, bool) {
+	if c.store == nil || c.store.KeyLen() != len(key) {
+		return 0, false
+	}
+	return c.store.FindTagged(0, c.store.Slots(), slotarr.ByteTag(key), key)
 }
 
 // Search performs the parallel match against all occupied entries. It
@@ -108,66 +128,70 @@ func (c *CAM) Search(key []byte) (uint64, bool) {
 // lookup charges the CAM stage through its stage-outcome counter; paying
 // two more atomic adds here would double-count the cost).
 func (c *CAM) Find(key []byte) (uint64, bool) {
-	for i, e := range c.entries {
-		if c.used[i] && bytes.Equal(e.Key, key) {
-			return e.Value, true
-		}
+	i, ok := c.find(key)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return c.values[i], true
 }
 
 // Insert stores key→value in a free entry and returns the entry index it
 // occupied (flow tables derive location-based IDs from it). Inserting a
 // key that is already present overwrites its value in place. It returns
-// ErrFull when no entry is free.
+// ErrFull when no entry is free. The key bytes are copied into the CAM's
+// inline arena — a steady-state insert allocates nothing.
 func (c *CAM) Insert(key []byte, value uint64) (int, error) {
+	if c.store == nil {
+		c.store = slotarr.New(len(c.values), len(key))
+	} else if c.store.KeyLen() != len(key) {
+		panic(fmt.Sprintf("cam: key of %d bytes, CAM fixed at %d by its first insert",
+			len(key), c.store.KeyLen()))
+	}
+	tag := slotarr.ByteTag(key)
 	// Overwrite an existing match first: duplicate keys in a CAM would
 	// make match priority ambiguous.
-	for i, e := range c.entries {
-		if c.used[i] && bytes.Equal(e.Key, key) {
-			c.entries[i].Value = value
-			c.stats.inserts++
-			return i, nil
-		}
+	if i, ok := c.store.FindTagged(0, c.store.Slots(), tag, key); ok {
+		c.values[i] = value
+		c.stats.inserts++
+		return i, nil
 	}
-	for i := range c.entries {
-		if !c.used[i] {
-			c.entries[i] = Entry{Key: append([]byte(nil), key...), Value: value}
-			c.used[i] = true
-			c.inUse++
-			if c.inUse > c.stats.maxInUse {
-				c.stats.maxInUse = c.inUse
-			}
-			c.stats.inserts++
-			return i, nil
-		}
+	i, ok := c.store.FindFree(0, c.store.Slots())
+	if !ok {
+		c.stats.insertErr++
+		return 0, ErrFull
 	}
-	c.stats.insertErr++
-	return 0, ErrFull
+	c.store.Set(i, tag, key)
+	c.values[i] = value
+	c.inUse++
+	if c.inUse > c.stats.maxInUse {
+		c.stats.maxInUse = c.inUse
+	}
+	c.stats.inserts++
+	return i, nil
 }
 
 // Delete removes the entry matching key and reports whether one existed.
 func (c *CAM) Delete(key []byte) bool {
-	for i, e := range c.entries {
-		if c.used[i] && bytes.Equal(e.Key, key) {
-			c.entries[i] = Entry{}
-			c.used[i] = false
-			c.inUse--
-			c.stats.deletes++
-			return true
-		}
+	i, ok := c.find(key)
+	if !ok {
+		return false
 	}
-	return false
+	c.store.Clear(i)
+	c.values[i] = 0
+	c.inUse--
+	c.stats.deletes++
+	return true
 }
 
 // EntryAt returns the entry at physical index i and whether it is
 // occupied. The lifecycle sweep uses it to snapshot a key before
-// reclaiming the entry by index.
+// reclaiming the entry by index; the Key slice aliases the arena (see
+// Entry).
 func (c *CAM) EntryAt(i int) (Entry, bool) {
-	if i < 0 || i >= len(c.entries) || !c.used[i] {
+	if i < 0 || i >= len(c.values) || c.store == nil || !c.store.Occupied(i) {
 		return Entry{}, false
 	}
-	return c.entries[i], true
+	return Entry{Key: c.store.Key(i), Value: c.values[i]}, true
 }
 
 // DeleteAt removes the entry at physical index i without a key search,
@@ -175,24 +199,39 @@ func (c *CAM) EntryAt(i int) (Entry, bool) {
 // housekeeping sweep (a hardware CAM invalidates an entry by clearing its
 // valid bit).
 func (c *CAM) DeleteAt(i int) bool {
-	if i < 0 || i >= len(c.entries) || !c.used[i] {
+	if i < 0 || i >= len(c.values) || c.store == nil || !c.store.Occupied(i) {
 		return false
 	}
-	c.entries[i] = Entry{}
-	c.used[i] = false
+	c.store.Clear(i)
+	c.values[i] = 0
 	c.inUse--
 	c.stats.deletes++
 	return true
 }
 
 // Range calls fn for every occupied entry until fn returns false. The
-// iteration order is the physical entry order.
+// iteration order is the physical entry order; the Key slices alias the
+// arena (see Entry).
 func (c *CAM) Range(fn func(Entry) bool) {
-	for i, e := range c.entries {
-		if c.used[i] && !fn(e) {
+	if c.store == nil {
+		return
+	}
+	for i := range c.values {
+		if c.store.Occupied(i) && !fn(Entry{Key: c.store.Key(i), Value: c.values[i]}) {
 			return
 		}
 	}
+}
+
+// Bytes returns the storage footprint of the CAM: the slot arena (keys +
+// tags) plus the value array. A CAM that has never seen an insert charges
+// only its values.
+func (c *CAM) Bytes() int64 {
+	n := int64(len(c.values)) * 8
+	if c.store != nil {
+		n += c.store.Bytes()
+	}
+	return n
 }
 
 // BitCost returns the storage cost of the CAM in bits for the given key

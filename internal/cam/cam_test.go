@@ -271,3 +271,30 @@ func ExampleCAM() {
 	}
 	// Output: flow ID: 42
 }
+
+// TestInsertAllocFree pins the inline-storage story: a steady-state
+// insert/delete cycle over the slot arena allocates nothing (the
+// historical implementation cloned every inserted key with append).
+func TestInsertAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	c := New(8)
+	key := make([]byte, 13)
+	// First insert sizes the arena; everything after must be free.
+	if _, err := c.Insert(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Delete(key)
+	if n := testing.AllocsPerRun(200, func() {
+		key[0]++
+		if _, err := c.Insert(key, 7); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Delete(key) {
+			t.Fatal("inserted key not deletable")
+		}
+	}); n != 0 {
+		t.Fatalf("CAM insert/delete cycle allocates %.1f per op, want 0", n)
+	}
+}

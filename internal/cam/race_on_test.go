@@ -1,0 +1,5 @@
+//go:build race
+
+package cam
+
+const raceEnabled = true

@@ -64,9 +64,19 @@ func (e Exact) Probes() int64 { return e.Table.Stats().Probes }
 // Name implements table.Backend.
 func (e Exact) Name() string { return "hashcam" }
 
+// PrefetchHashed implements table.PrefetchBackend, touching both memory
+// halves' candidate buckets (the CAM is small enough to stay hot on its
+// own).
+func (e Exact) PrefetchHashed(kh hashfn.KeyHashes) uint64 { return e.Table.Prefetch(kh) }
+
+// StorageBytes implements table.StorageSized.
+func (e Exact) StorageBytes() int64 { return e.Table.Bytes() }
+
 var (
 	_ table.HashedBackend    = Exact{}
 	_ table.EvictableBackend = Exact{} // lifecycle methods promote from *Table
+	_ table.PrefetchBackend  = Exact{}
+	_ table.StorageSized     = Exact{}
 )
 
 // BackendConfig derives a hashcam Config from the generic backend Config;

@@ -10,7 +10,11 @@
 //
 // The table is laid out as flat arenas mirroring the DRAM layout: bucket b
 // of table T occupies one contiguous block of K fixed-width entries, the
-// unit the timed model fetches as a burst group.
+// unit the timed model fetches as a burst group. Each half is a
+// cache-conscious slotarr store — inline keys plus a one-byte fingerprint
+// tag per slot derived from the same hash word that indexed the bucket, so
+// a bucket probe SWAR-scans the K tags in one word load and only reads key
+// memory on a tag hit.
 package hashcam
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"repro/internal/cam"
 	"repro/internal/hashfn"
+	"repro/internal/table/slotarr"
 )
 
 // Stage identifies the pipeline stage at which a lookup resolved.
@@ -178,10 +183,10 @@ func (c *counters) snapshot() Stats {
 	return s
 }
 
-// half is one memory block (Mem1 or Mem2) as a flat arena.
+// half is one memory block (Mem1 or Mem2): a flat slotarr arena of
+// Buckets × K slots.
 type half struct {
-	keys  []byte // buckets × K × keyLen
-	used  []bool // buckets × K
+	store *slotarr.Store
 	count int
 }
 
@@ -207,10 +212,7 @@ func New(cfg Config) (*Table, error) {
 	t := &Table{cfg: cfg, cam: cam.New(cfg.CAMCapacity)}
 	n := cfg.Buckets * cfg.SlotsPerBucket
 	for i := range t.mem {
-		t.mem[i] = half{
-			keys: make([]byte, n*cfg.KeyLen),
-			used: make([]bool, n),
-		}
+		t.mem[i] = half{store: slotarr.New(n, cfg.KeyLen)}
 	}
 	return t, nil
 }
@@ -228,12 +230,6 @@ func (t *Table) Len() int {
 
 // CAMInUse returns the occupied CAM entries (the overflow pressure gauge).
 func (t *Table) CAMInUse() int { return t.cam.InUse() }
-
-// slotKey returns the stored key bytes of (bucket, slot) in half h.
-func (t *Table) slotKey(h, bucket, slot int) []byte {
-	base := (bucket*t.cfg.SlotsPerBucket + slot) * t.cfg.KeyLen
-	return t.mem[h].keys[base : base+t.cfg.KeyLen]
-}
 
 // fid encodes a location as a flow ID: CAM entries occupy [0, cam), half 0
 // occupies [cam, cam+n), half 1 the block above. Location-derived IDs are
@@ -273,95 +269,113 @@ func (t *Table) checkKey(key []byte) {
 	}
 }
 
-// searchBucket scans bucket b of half h for key, returning the slot. The
-// caller accounts the access (lookups via the stage outcome, deletes via
-// xprobes).
-func (t *Table) searchBucket(h, bucket int, key []byte) (int, bool) {
-	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
-		if t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] &&
-			bytes.Equal(t.slotKey(h, bucket, slot), key) {
-			return slot, true
+// keyWords carries the two full hash words of one operation, derived
+// lazily so the early-exit hash-count contract is preserved: a CAM hit
+// computes no hash, a Mem1 hit only H1. The full words (not just bucket
+// indices, as before the slotarr layout) travel because both the bucket
+// reduction and the fingerprint tag derive from the same word.
+type keyWords struct {
+	w1, w2       uint64
+	have1, have2 bool
+}
+
+// word1 returns H1's full word, computing it at most once.
+func (t *Table) word1(key []byte, kw *keyWords) uint64 {
+	if !kw.have1 {
+		kw.w1 = t.cfg.Hash.H1.Hash(key)
+		kw.have1 = true
+	}
+	return kw.w1
+}
+
+// word2 returns H2's full word, computing it at most once.
+func (t *Table) word2(key []byte, kw *keyWords) uint64 {
+	if !kw.have2 {
+		kw.w2 = t.cfg.Hash.H2.Hash(key)
+		kw.have2 = true
+	}
+	return kw.w2
+}
+
+// searchBucket scans bucket b of half h for key via the tag-word probe.
+// The caller accounts the access (lookups via the stage outcome, deletes
+// via xprobes). w is the hash word that indexed the bucket; its top bits
+// are the tag the key was stored under. The candidate loop runs in this
+// frame over the inlinable TagMatches leaf, so a probe costs no function
+// calls beyond the key compare on a tag hit.
+func (t *Table) searchBucket(h, bucket int, w uint64, key []byte) (int, bool) {
+	k := t.cfg.SlotsPerBucket
+	st := t.mem[h].store
+	base := bucket * k
+	if k > 8 {
+		slot, ok := st.FindTagged(base, k, slotarr.TagOf(w), key)
+		return slot - base, ok
+	}
+	for m := st.TagMatches(base, k, slotarr.TagOf(w)); m != 0; {
+		var off int
+		off, m = slotarr.NextMatch(m)
+		if bytes.Equal(st.Key(base+off), key) {
+			return off, true
 		}
 	}
 	return 0, false
 }
 
-// lookupAt runs the three-stage search with bucket indices that may be
-// precomputed by the caller: b1/b2 < 0 means "derive on demand". The
-// possibly-derived indices are returned so a following insert never hashes
-// the key a second time; after a full miss both are always valid. The
-// single outcome add per stage exit is the lookup's whole stats cost.
-func (t *Table) lookupAt(key []byte, b1, b2 int) (fid uint64, stage Stage, ok bool, ob1, ob2 int) {
+// lookupAt runs the three-stage search, deriving hash words through kw at
+// most once each (callers on the hashed fast path pre-fill kw, so the
+// whole search hashes nothing). The derived words persist in kw so a
+// following insert never hashes the key a second time; after a full miss
+// both are always valid. The single outcome add per stage exit is the
+// lookup's whole stats cost.
+func (t *Table) lookupAt(key []byte, kw *keyWords) (fid uint64, stage Stage, ok bool) {
 	// Stage 1: CAM (single-cycle parallel search).
 	if v, hit := t.cam.Find(key); hit {
 		t.stats.outcome[StageCAM-1].Add(1)
-		return v, StageCAM, true, b1, b2
+		return v, StageCAM, true
 	}
 	// Stage 2: Hash1 → Mem1.
-	if b1 < 0 {
-		b1 = t.cfg.Hash.Index1(key, t.cfg.Buckets)
-	}
-	if slot, hit := t.searchBucket(0, b1, key); hit {
+	w1 := t.word1(key, kw)
+	b1 := hashfn.Reduce(w1, t.cfg.Buckets)
+	if slot, hit := t.searchBucket(0, b1, w1, key); hit {
 		t.stats.outcome[StageMem1-1].Add(1)
-		return t.fid(0, b1, slot), StageMem1, true, b1, b2
+		return t.fid(0, b1, slot), StageMem1, true
 	}
 	// Stage 3: Hash2 → Mem2.
-	if b2 < 0 {
-		b2 = t.cfg.Hash.Index2(key, t.cfg.Buckets)
-	}
-	if slot, hit := t.searchBucket(1, b2, key); hit {
+	w2 := t.word2(key, kw)
+	b2 := hashfn.Reduce(w2, t.cfg.Buckets)
+	if slot, hit := t.searchBucket(1, b2, w2, key); hit {
 		t.stats.outcome[StageMem2-1].Add(1)
-		return t.fid(1, b2, slot), StageMem2, true, b1, b2
+		return t.fid(1, b2, slot), StageMem2, true
 	}
 	t.stats.outcome[StageMiss-1].Add(1)
-	return 0, StageMiss, false, b1, b2
+	return 0, StageMiss, false
 }
 
 // Lookup searches for key through the three pipeline stages and returns
 // the flow ID, the stage that resolved the query, and whether it matched.
 // Hash words are derived lazily: an early-stage hit never computes the
-// later stage's bucket index.
+// later stage's word.
 func (t *Table) Lookup(key []byte) (uint64, Stage, bool) {
 	t.checkKey(key)
-	fid, stage, ok, _, _ := t.lookupAt(key, -1, -1)
-	return fid, stage, ok
+	var kw keyWords
+	return t.lookupAt(key, &kw)
 }
 
 // LookupHashed is Lookup over precomputed key hashes: the caller has
 // already made the single hash pass (hashfn.Pair.Compute with this
-// table's pair), so both bucket indices are free reductions. Results are
-// bit-identical to Lookup over the same key.
+// table's pair), so both bucket indices and tags are free derivations.
+// Results are bit-identical to Lookup over the same key.
 func (t *Table) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, Stage, bool) {
 	t.checkKey(key)
-	fid, stage, ok, _, _ := t.lookupAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
-	return fid, stage, ok
+	kw := keyWords{w1: kh.H1, w2: kh.H2, have1: true, have2: true}
+	return t.lookupAt(key, &kw)
 }
 
-// freeSlot returns the first free slot of bucket b in half h.
-func (t *Table) freeSlot(h, bucket int) (int, bool) {
-	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
-		if !t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] {
-			return slot, true
-		}
-	}
-	return 0, false
-}
-
-// bucketLoad returns the occupied slot count of bucket b in half h.
-func (t *Table) bucketLoad(h, bucket int) int {
-	n := 0
-	for slot := 0; slot < t.cfg.SlotsPerBucket; slot++ {
-		if t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] {
-			n++
-		}
-	}
-	return n
-}
-
-// place writes key into (h, bucket, slot).
-func (t *Table) place(h, bucket, slot int, key []byte) uint64 {
-	copy(t.slotKey(h, bucket, slot), key)
-	t.mem[h].used[bucket*t.cfg.SlotsPerBucket+slot] = true
+// place writes key into (h, bucket, slot) under the tag of the word that
+// indexed the bucket.
+func (t *Table) place(h, bucket, slot int, w uint64, key []byte) uint64 {
+	k := t.cfg.SlotsPerBucket
+	t.mem[h].store.Set(bucket*k+slot, slotarr.TagOf(w), key)
 	t.mem[h].count++
 	t.stats.xprobes.Add(1) // the write access
 	return t.fid(h, bucket, slot)
@@ -373,38 +387,43 @@ func (t *Table) place(h, bucket, slot int, key []byte) uint64 {
 // flow entries). When both buckets are full and the CAM is full, Insert
 // returns cam.ErrFull.
 //
-// Each bucket index is computed at most once per insert: the duplicate
-// pre-check shares its derived indices with the placement step instead of
+// Each hash word is computed at most once per insert: the duplicate
+// pre-check shares its derived words with the placement step instead of
 // rehashing the key.
 func (t *Table) Insert(key []byte) (uint64, error) {
 	t.checkKey(key)
-	return t.insertAt(key, -1, -1)
+	var kw keyWords
+	return t.insertAt(key, &kw)
 }
 
 // InsertHashed is Insert over precomputed key hashes; the whole insert
 // performs zero hash computations.
 func (t *Table) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	t.checkKey(key)
-	return t.insertAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
+	kw := keyWords{w1: kh.H1, w2: kh.H2, have1: true, have2: true}
+	return t.insertAt(key, &kw)
 }
 
-// insertAt implements Insert with optionally precomputed bucket indices
-// (negative means "derive on demand").
-func (t *Table) insertAt(key []byte, b1, b2 int) (uint64, error) {
-	fidV, _, ok, b1, b2 := t.lookupAt(key, b1, b2)
+// insertAt implements Insert over kw's lazily derived hash words.
+func (t *Table) insertAt(key []byte, kw *keyWords) (uint64, error) {
+	fidV, _, ok := t.lookupAt(key, kw)
 	if ok {
 		return fidV, nil
 	}
-	// The duplicate pre-check missed everywhere, so it derived both bucket
-	// indices on the way through; they are reused verbatim below.
+	// The duplicate pre-check missed everywhere, so it derived both hash
+	// words on the way through; they are reused verbatim below.
 	t.stats.inserts.Add(1)
 
+	w := [2]uint64{kw.w1, kw.w2}
+	buckets := [2]int{hashfn.Reduce(kw.w1, t.cfg.Buckets), hashfn.Reduce(kw.w2, t.cfg.Buckets)}
+	k := t.cfg.SlotsPerBucket
 	order := [2]int{0, 1}
 	switch t.cfg.Policy {
 	case PolicyFirstFit:
 		// keep order
 	case PolicyLeastLoaded:
-		l1, l2 := t.bucketLoad(0, b1), t.bucketLoad(1, b2)
+		l1 := t.mem[0].store.Load(buckets[0]*k, k)
+		l2 := t.mem[1].store.Load(buckets[1]*k, k)
 		switch {
 		case l2 < l1:
 			order = [2]int{1, 0}
@@ -422,10 +441,9 @@ func (t *Table) insertAt(key []byte, b1, b2 int) (uint64, error) {
 		}
 		t.altToggle = !t.altToggle
 	}
-	buckets := [2]int{b1, b2}
 	for _, h := range order {
-		if slot, ok := t.freeSlot(h, buckets[h]); ok {
-			return t.place(h, buckets[h], slot, key), nil
+		if slot, ok := t.mem[h].store.FindFree(buckets[h]*k, k); ok {
+			return t.place(h, buckets[h], slot-buckets[h]*k, w[h], key), nil
 		}
 	}
 	// Both buckets full: overflow to the CAM.
@@ -448,39 +466,39 @@ func (t *Table) insertAt(key []byte, b1, b2 int) (uint64, error) {
 // path the housekeeping function uses to retire timed-out flows.
 func (t *Table) Delete(key []byte) bool {
 	t.checkKey(key)
-	return t.deleteAt(key, -1, -1)
+	var kw keyWords
+	return t.deleteAt(key, &kw)
 }
 
 // DeleteHashed is Delete over precomputed key hashes.
 func (t *Table) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	t.checkKey(key)
-	return t.deleteAt(key, kh.Index1(t.cfg.Buckets), kh.Index2(t.cfg.Buckets))
+	kw := keyWords{w1: kh.H1, w2: kh.H2, have1: true, have2: true}
+	return t.deleteAt(key, &kw)
 }
 
-// deleteAt implements Delete with optionally precomputed bucket indices
-// (negative means "derive on demand").
-func (t *Table) deleteAt(key []byte, b1, b2 int) bool {
+// deleteAt implements Delete over kw's lazily derived hash words.
+func (t *Table) deleteAt(key []byte, kw *keyWords) bool {
 	if t.cam.Delete(key) {
 		t.stats.deletes.Add(1)
 		t.stats.xprobes.Add(1)
 		return true
 	}
-	if b1 < 0 {
-		b1 = t.cfg.Hash.Index1(key, t.cfg.Buckets)
-	}
+	k := t.cfg.SlotsPerBucket
+	w1 := t.word1(key, kw)
+	b1 := hashfn.Reduce(w1, t.cfg.Buckets)
 	t.stats.xprobes.Add(1)
-	if slot, ok := t.searchBucket(0, b1, key); ok {
-		t.mem[0].used[b1*t.cfg.SlotsPerBucket+slot] = false
+	if slot, ok := t.searchBucket(0, b1, w1, key); ok {
+		t.mem[0].store.Clear(b1*k + slot)
 		t.mem[0].count--
 		t.stats.deletes.Add(1)
 		return true
 	}
-	if b2 < 0 {
-		b2 = t.cfg.Hash.Index2(key, t.cfg.Buckets)
-	}
+	w2 := t.word2(key, kw)
+	b2 := hashfn.Reduce(w2, t.cfg.Buckets)
 	t.stats.xprobes.Add(1)
-	if slot, ok := t.searchBucket(1, b2, key); ok {
-		t.mem[1].used[b2*t.cfg.SlotsPerBucket+slot] = false
+	if slot, ok := t.searchBucket(1, b2, w2, key); ok {
+		t.mem[1].store.Clear(b2*k + slot)
 		t.mem[1].count--
 		t.stats.deletes.Add(1)
 		return true
@@ -493,6 +511,24 @@ func (t *Table) deleteAt(key []byte, b1, b2 int) bool {
 func (t *Table) BucketIndices(key []byte) (int, int) {
 	t.checkKey(key)
 	return t.cfg.Hash.Index1(key, t.cfg.Buckets), t.cfg.Hash.Index2(key, t.cfg.Buckets)
+}
+
+// Prefetch touches the two candidate buckets of a key whose hashes are
+// already computed — tag words and leading key bytes — pulling the lines
+// the subsequent probe will read toward the cache. The batch pipelines
+// call it across a whole sub-batch before resolving it, so the misses
+// overlap. The returned fold must be sunk by the caller so the compiler
+// cannot discard the loads.
+func (t *Table) Prefetch(kh hashfn.KeyHashes) uint64 {
+	k := t.cfg.SlotsPerBucket
+	return t.mem[0].store.Touch(hashfn.Reduce(kh.H1, t.cfg.Buckets)*k) ^
+		t.mem[1].store.Touch(hashfn.Reduce(kh.H2, t.cfg.Buckets)*k)
+}
+
+// Bytes returns the slot-storage footprint of the table: both halves'
+// arenas (inline keys + tags) plus the CAM.
+func (t *Table) Bytes() int64 {
+	return t.mem[0].store.Bytes() + t.mem[1].store.Bytes() + t.cam.Bytes()
 }
 
 // OnChipBits returns the block-memory bit cost of the on-chip side (the

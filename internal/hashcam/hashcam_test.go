@@ -352,3 +352,49 @@ type constHash struct{}
 
 func (constHash) Hash([]byte) uint64 { return 0 }
 func (constHash) Name() string       { return "const0" }
+
+// TestCAMStageInsertAllocFree pins the CAM-overflow insert path's
+// allocation bound: with both candidate buckets full, every insert lands
+// in the CAM, and with inline slot storage the whole path — three-stage
+// duplicate pre-check, CAM placement, value fixup — allocates nothing.
+// (Before the slotarr layout, every CAM placement cloned the key.)
+func TestCAMStageInsertAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	cfg := DefaultConfig()
+	cfg.Buckets = 1 // one bucket per half: trivially saturated
+	cfg.SlotsPerBucket = 1
+	cfg.CAMCapacity = 8
+	tbl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, cfg.KeyLen)
+	// Fill both halves (and size the CAM arena with one throwaway round).
+	for i := byte(0); i < 3; i++ {
+		key[1] = i
+		if _, err := tbl.Insert(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.CAMInUse() != 1 {
+		t.Fatalf("CAM holds %d entries after saturation, want 1", tbl.CAMInUse())
+	}
+	tbl.Delete(key)
+	if n := testing.AllocsPerRun(200, func() {
+		key[0]++
+		id, err := tbl.Insert(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stage, _, _ := tbl.DecodeFID(id); stage != StageCAM {
+			t.Fatalf("insert resolved at %v, want the CAM stage", stage)
+		}
+		if !tbl.Delete(key) {
+			t.Fatal("inserted key not deletable")
+		}
+	}); n != 0 {
+		t.Fatalf("CAM-stage insert/delete cycle allocates %.1f per op, want 0", n)
+	}
+}

@@ -29,9 +29,9 @@ func (t *Table) SlotOccupied(id uint64) bool {
 	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
 	off := id - camCap
 	if off < n {
-		return t.mem[0].used[off]
+		return t.mem[0].store.Occupied(int(off))
 	}
-	return t.mem[1].used[off-n]
+	return t.mem[1].store.Occupied(int(off - n))
 }
 
 // WalkSlots implements table.Walker over the fid space. fn may delete the
@@ -56,11 +56,10 @@ func (t *Table) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
 	if off >= n {
 		h, off = 1, off-n
 	}
-	if off >= n || !t.mem[h].used[off] {
+	if off >= n {
 		return dst, false
 	}
-	base := int(off) * t.cfg.KeyLen
-	return append(dst, t.mem[h].keys[base:base+t.cfg.KeyLen]...), true
+	return t.mem[h].store.AppendKey(dst, int(off))
 }
 
 // DeleteSlot implements table.EvictableBackend: it reclaims fid slot
@@ -82,10 +81,10 @@ func (t *Table) DeleteSlot(slot uint64) bool {
 	if off >= n {
 		h, off = 1, off-n
 	}
-	if off >= n || !t.mem[h].used[off] {
+	if off >= n || !t.mem[h].store.Occupied(int(off)) {
 		return false
 	}
-	t.mem[h].used[off] = false
+	t.mem[h].store.Clear(int(off))
 	t.mem[h].count--
 	t.stats.deletes.Add(1)
 	t.stats.xprobes.Add(1)

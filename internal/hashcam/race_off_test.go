@@ -1,0 +1,8 @@
+//go:build !race
+
+package hashcam
+
+// raceEnabled reports whether the race detector is active; the
+// AllocsPerRun bounds are skipped under -race because the race runtime
+// itself allocates.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package hashcam
+
+const raceEnabled = true

@@ -9,10 +9,12 @@ import (
 	_ "repro/internal/baseline" // register every backend
 	"repro/internal/hashfn"
 	"repro/internal/table"
+	"repro/internal/table/slotarr"
 )
 
 // TestDifferentialOpStreamAllBackends is the differential harness that
-// pins the hashed fast path across the whole registry: for every
+// pins the hashed fast path across the whole registry over the standard
+// 13-byte inline-stored keys: for every
 // registered backend, one seeded random op-stream (lookups, duplicate
 // inserts, deletes, enough load for evictions and fullness) is driven
 // simultaneously through
@@ -27,9 +29,33 @@ import (
 // the harness that lets the remaining backends be refactored without
 // losing bit-identity with the seed semantics.
 func TestDifferentialOpStreamAllBackends(t *testing.T) {
+	cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
+	runDifferentialOpStream(t, cfg, key13)
+}
+
+// TestDifferentialOpStreamSpilledKeys re-runs the differential harness
+// with 48-byte keys — beyond slotarr.MaxInline, so every backend stores
+// keys through the rare-case spill path instead of the inline arena. The
+// probe discipline (tags, first-match order, probe counters) must be
+// bit-identical to the byte-key reference regardless of layout.
+func TestDifferentialOpStreamSpilledKeys(t *testing.T) {
+	if slotarr.MaxInline >= spillKeyLen {
+		t.Fatalf("spill test key length %d does not exceed MaxInline %d", spillKeyLen, slotarr.MaxInline)
+	}
+	cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, KeyLen: spillKeyLen, Hash: hashfn.DefaultPair()}
+	runDifferentialOpStream(t, cfg, func(i uint64) []byte { return keyN(i, spillKeyLen) })
+}
+
+// spillKeyLen is the oversized key length of the spill-path differential
+// run (an IPv6-scale descriptor).
+const spillKeyLen = 48
+
+// runDifferentialOpStream drives the seeded op stream of the differential
+// harness over every registered backend built from cfg, with keys drawn
+// from mkKey.
+func runDifferentialOpStream(t *testing.T, cfg table.Config, mkKey func(uint64) []byte) {
 	for _, name := range table.Backends() {
 		t.Run(name, func(t *testing.T) {
-			cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
 			plainBE, err := table.New(name, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -63,7 +89,7 @@ func TestDifferentialOpStreamAllBackends(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
 			inserted, deleted, fullErrs := 0, 0, 0
 			for op := 0; op < 8000; op++ {
-				k := key13(uint64(rng.Intn(900)))
+				k := mkKey(uint64(rng.Intn(900)))
 				kh := cfg.Hash.Compute(k)
 				switch rng.Intn(4) {
 				case 0: // insert
@@ -309,4 +335,120 @@ func TestShardedWriterPipelineRaceStress(t *testing.T) {
 			}
 		})
 	}
+}
+
+// collisionSigBuckets is the bucket count tag collisions are forced at in
+// TestTagCollisionProbingAllBackends. Reduce masks low bits for powers of
+// two, so two keys sharing a bucket at 4096 share it at every smaller
+// power-of-two bucket count — i.e. in every backend built from the small
+// test config, whatever its internal geometry.
+const collisionSigBuckets = 4096
+
+// findTagCollision returns two distinct 13-byte keys that share both
+// their H1 bucket (at collisionSigBuckets) and their H1-derived
+// fingerprint tag — the adversarial input for the tag-probe layout: a
+// probe for either key encounters the other as a tag-matching candidate
+// and must reject it on the full key compare.
+func findTagCollision(t *testing.T, pair hashfn.Pair) ([]byte, []byte) {
+	t.Helper()
+	seen := map[uint32]uint64{}
+	for i := uint64(0); i < 1<<22; i++ {
+		k := key13(i)
+		w := pair.H1.Hash(k)
+		sig := uint32(hashfn.Reduce(w, collisionSigBuckets)) | uint32(slotarr.TagOf(w))<<12
+		if j, dup := seen[sig]; dup {
+			return key13(j), k
+		}
+		seen[sig] = i
+	}
+	t.Fatal("no tag collision found in 4M keys — tag derivation broken?")
+	return nil, nil
+}
+
+// TestTagCollisionProbingAllBackends forces two keys to share a bucket
+// and a fingerprint tag in every registered backend, then pins the
+// collision semantics: both keys are resident under distinct IDs, probe
+// results stay bit-identical between the byte-key and hashed paths, and
+// deleting one collider neither loses nor corrupts the other.
+func TestTagCollisionProbingAllBackends(t *testing.T) {
+	cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
+	k1, k2 := findTagCollision(t, cfg.Hash)
+	w1, w2 := cfg.Hash.H1.Hash(k1), cfg.Hash.H1.Hash(k2)
+	if slotarr.TagOf(w1) != slotarr.TagOf(w2) || hashfn.Reduce(w1, collisionSigBuckets) != hashfn.Reduce(w2, collisionSigBuckets) {
+		t.Fatalf("collision search returned a non-colliding pair (%x, %x)", k1, k2)
+	}
+	for _, name := range table.Backends() {
+		t.Run(name, func(t *testing.T) {
+			plainBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashedBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, ok := hashedBE.(table.HashedBackend)
+			if !ok {
+				t.Skipf("%s has no hashed fast path", name)
+			}
+			kh1, kh2 := cfg.Hash.Compute(k1), cfg.Hash.Compute(k2)
+			// both returns the plain-path result after checking the hashed
+			// path agreed bit-for-bit.
+			bothLookup := func(k []byte, kh hashfn.KeyHashes) (uint64, bool) {
+				t.Helper()
+				idA, okA := plainBE.Lookup(k)
+				idB, okB := hb.LookupHashed(k, kh)
+				if idA != idB || okA != okB {
+					t.Fatalf("lookup %x: plain (%d,%v) vs hashed (%d,%v)", k, idA, okA, idB, okB)
+				}
+				return idA, okA
+			}
+			id1p, err1 := plainBE.Insert(k1)
+			id1h, err1h := hb.InsertHashed(k1, kh1)
+			id2p, err2 := plainBE.Insert(k2)
+			id2h, err2h := hb.InsertHashed(k2, kh2)
+			if err1 != nil || err1h != nil || err2 != nil || err2h != nil {
+				t.Fatalf("inserts failed: %v %v %v %v", err1, err1h, err2, err2h)
+			}
+			if id1p != id1h || id2p != id2h {
+				t.Fatalf("IDs diverge between paths: (%d,%d) vs (%d,%d)", id1p, id2p, id1h, id2h)
+			}
+			if id1p == id2p {
+				t.Fatalf("colliding keys stored under one ID %d", id1p)
+			}
+			if id, ok := bothLookup(k1, kh1); !ok || id != id1p {
+				t.Fatalf("k1 lookup (%d,%v), want (%d,true)", id, ok, id1p)
+			}
+			if id, ok := bothLookup(k2, kh2); !ok || id != id2p {
+				t.Fatalf("k2 lookup (%d,%v), want (%d,true)", id, ok, id2p)
+			}
+			// Removing the first collider must expose nothing stale: k2
+			// still resolves (the probe continues past the cleared slot),
+			// k1 misses even though k2's slot still carries its tag.
+			if a, b := plainBE.Delete(k1), hb.DeleteHashed(k1, kh1); !a || !b {
+				t.Fatalf("delete k1: plain %v hashed %v", a, b)
+			}
+			if _, ok := bothLookup(k1, kh1); ok {
+				t.Fatal("k1 still resident after delete")
+			}
+			if id, ok := bothLookup(k2, kh2); !ok || id != id2p {
+				t.Fatalf("k2 lost after deleting its tag collider: (%d,%v)", id, ok)
+			}
+			if plainBE.Probes() != hashedBE.Probes() {
+				t.Fatalf("probes diverged: plain %d vs hashed %d", plainBE.Probes(), hashedBE.Probes())
+			}
+		})
+	}
+}
+
+// TestDifferentialOpStreamWideBuckets re-runs the differential harness
+// with 16-slot buckets — probe ranges spanning two SWAR tag words, the
+// geometry that exercises every backend's wide-bucket fallback (the
+// single-word TagMatches leaf is only valid for K <= 8; a missing
+// fallback loses keys placed beyond slot 8).
+func TestDifferentialOpStreamWideBuckets(t *testing.T) {
+	// Capacity shrinks with the wider buckets so the op stream still
+	// saturates the structures (the harness requires fullness errors).
+	cfg := table.Config{Capacity: 128, SlotsPerBucket: 16, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
+	runDifferentialOpStream(t, cfg, key13)
 }

@@ -6,25 +6,45 @@ import (
 	"sync/atomic"
 )
 
+// epochRing is the number of recent Advance epochs whose exact clock
+// values the lifecycle layer retains (a power of two; 32 KiB of ring per
+// table). Timestamps are stored per slot as 4-byte epoch indices instead
+// of 8-byte clock values — halving the side-table from 16 to 8 bytes per
+// slot — and resolved back through the ring. An entry stamped more than
+// epochRing clock-moving Advances ago has fallen out of the ring: its
+// true age is unknowable, so the sweep treats it as older than any
+// timeout and retires it on sight (reporting the oldest retained time).
+// Exporting such a flow early is benign — it re-creates on its next
+// packet — whereas under-estimating its age could leak it forever. This
+// is the "coarse" in coarse epoch quantisation: timestamps are exact
+// across the last epochRing Advances and saturate beyond.
+const epochRing = 4096
+
 // shardExpiryState is one shard's slice of the lifecycle layer: the
 // timestamp side-tables keyed by backend slot ID, the eviction-sweep
 // cursor, and the backend downcast once so the sweep never type-asserts.
 type shardExpiryState struct {
 	ebe EvictableBackend
-	// firstSeen[slot] is the insertion timestamp of the entry occupying
-	// slot. Written under the shard's write lock (insert, sweep,
-	// relocation) and read under it (sweep), so plain stores suffice.
-	firstSeen []int64
-	// lastSeen[slot] is the most recent touch timestamp. Lookups refresh
-	// it under the shared lock — concurrently with each other — so every
+	// firstSeen[slot] is the insertion epoch of the entry occupying slot.
+	// Written under the shard's write lock (insert, sweep, relocation)
+	// and read under it (sweep), so plain stores suffice.
+	firstSeen []uint32
+	// lastSeen[slot] is the most recent touch epoch. Lookups refresh it
+	// under the shared lock — concurrently with each other — so every
 	// access is atomic.
-	lastSeen []int64
+	lastSeen []uint32
 	// cursor is the slot the next sweep step resumes from.
 	cursor uint64
 	// sweepNow parameterises visit for the current sweep step; visit is
 	// built once at EnableExpiry so Advance allocates no closures.
 	sweepNow int64
 	visit    func(slot uint64) bool
+}
+
+// sideTableBytes returns the timestamp side-tables' footprint, for the
+// bytes-per-slot gauge.
+func (st *shardExpiryState) sideTableBytes() int64 {
+	return int64(len(st.firstSeen))*4 + int64(len(st.lastSeen))*4
 }
 
 // expiryState is the lifecycle layer of a Sharded table: per-shard
@@ -35,9 +55,21 @@ type shardExpiryState struct {
 type expiryState struct {
 	cfg    ExpiryConfig
 	shards []shardExpiryState
-	// now is the logical clock, published by Advance and read by lookups
-	// stamping last-seen under the shared lock.
+	// now is the logical clock, published by Advance for Now() and the
+	// sweep's timeout arithmetic.
 	now atomic.Int64
+	// epoch counts the Advance calls that moved the clock; it is what
+	// lookups and inserts stamp into the side-tables (4 bytes instead of
+	// the 8-byte clock value). Epoch 0 is the pre-Advance state at clock
+	// 0. The counter wraps at 2^32; an entry untouched across a full wrap
+	// would alias a recent epoch, which epochRing's clamping already
+	// treats as approximate.
+	epoch atomic.Uint32
+	// epochTimes rings the clock value of the last epochRing epochs:
+	// epochTimes[e % epochRing] is epoch e's clock. Written only by
+	// Advance (under sweepMu) before the epoch counter is published; read
+	// by the sweep under sweepMu.
+	epochTimes []int64
 	// onExpired is the export callback; set before the first Advance.
 	onExpired ExpiredFunc
 
@@ -53,6 +85,19 @@ type expiryState struct {
 	slotsExamined atomic.Int64
 	idleEvicted   atomic.Int64
 	activeEvicted atomic.Int64
+}
+
+// timeOf resolves a stamped epoch back to its clock value: exact (and
+// exact=true) for the last epochRing epochs; for anything older it
+// returns the oldest retained epoch's time with exact=false, which the
+// sweep treats as "older than any timeout" (see epochRing). Called under
+// sweepMu.
+func (exp *expiryState) timeOf(e uint32) (int64, bool) {
+	cur := exp.epoch.Load()
+	if cur-e < epochRing { // uint32 arithmetic: distance modulo 2^32
+		return exp.epochTimes[e&(epochRing-1)], true
+	}
+	return exp.epochTimes[(cur+1)&(epochRing-1)], false // oldest retained
 }
 
 // expiredRec stages one retired flow between DeleteSlot (under the shard
@@ -84,7 +129,11 @@ func (s *Sharded) EnableExpiry(cfg ExpiryConfig) error {
 	if n := s.Len(); n != 0 {
 		return fmt.Errorf("table: expiry must be enabled on an empty table, %s holds %d entries", s.Name(), n)
 	}
-	exp := &expiryState{cfg: cfg.withDefaults(), shards: make([]shardExpiryState, len(s.shards))}
+	exp := &expiryState{
+		cfg:        cfg.withDefaults(),
+		shards:     make([]shardExpiryState, len(s.shards)),
+		epochTimes: make([]int64, epochRing),
+	}
 	for i := range s.shards {
 		ebe, ok := s.shards[i].be.(EvictableBackend)
 		if !ok {
@@ -93,8 +142,8 @@ func (s *Sharded) EnableExpiry(cfg ExpiryConfig) error {
 		bound := ebe.SlotIDBound()
 		exp.shards[i] = shardExpiryState{
 			ebe:       ebe,
-			firstSeen: make([]int64, bound),
-			lastSeen:  make([]int64, bound),
+			firstSeen: make([]uint32, bound),
+			lastSeen:  make([]uint32, bound),
 		}
 		st := &exp.shards[i]
 		st.visit = exp.makeVisit(st)
@@ -156,24 +205,24 @@ func (s *Sharded) ExpiryStats() ExpiryStats {
 // was the inserted key, which has no timestamps yet) the source slot is
 // untouched and re-seeds the carry. Runs under the shard's write lock.
 func (st *shardExpiryState) applyRelocations(moves [][2]uint64) {
-	var cf, cl int64
+	var cf, cl uint32
 	for k, m := range moves {
 		if k == 0 || m[0] != moves[k-1][1] {
 			cf = st.firstSeen[m[0]]
-			cl = atomic.LoadInt64(&st.lastSeen[m[0]])
+			cl = atomic.LoadUint32(&st.lastSeen[m[0]])
 		}
-		nf, nl := st.firstSeen[m[1]], atomic.LoadInt64(&st.lastSeen[m[1]])
+		nf, nl := st.firstSeen[m[1]], atomic.LoadUint32(&st.lastSeen[m[1]])
 		st.firstSeen[m[1]] = cf
-		atomic.StoreInt64(&st.lastSeen[m[1]], cl)
+		atomic.StoreUint32(&st.lastSeen[m[1]], cl)
 		cf, cl = nf, nl
 	}
 }
 
-// touch refreshes the last-seen timestamp of (shard, slot) at the current
-// logical time. Called on every lookup hit under the shard's shared lock;
-// the store is atomic because concurrent lookups may touch the same slot.
-func (exp *expiryState) touch(shard int, slot uint64, now int64) {
-	atomic.StoreInt64(&exp.shards[shard].lastSeen[slot], now)
+// touch refreshes the last-seen epoch of (shard, slot). Called on every
+// lookup hit under the shard's shared lock; the store is atomic because
+// concurrent lookups may touch the same slot.
+func (exp *expiryState) touch(shard int, slot uint64, epoch uint32) {
+	atomic.StoreUint32(&exp.shards[shard].lastSeen[slot], epoch)
 }
 
 // stamp records the timestamps of an insert under the shard's write lock:
@@ -181,11 +230,11 @@ func (exp *expiryState) touch(shard int, slot uint64, now int64) {
 // flow already resident) refreshes last-seen only.
 func (exp *expiryState) stamp(shard int, slot uint64, fresh bool) {
 	st := &exp.shards[shard]
-	now := exp.now.Load()
+	epoch := exp.epoch.Load()
 	if fresh {
-		st.firstSeen[slot] = now
+		st.firstSeen[slot] = epoch
 	}
-	atomic.StoreInt64(&st.lastSeen[slot], now)
+	atomic.StoreUint32(&st.lastSeen[slot], epoch)
 }
 
 // Advance moves the lifecycle clock to now and runs one bounded eviction
@@ -193,7 +242,11 @@ func (exp *expiryState) stamp(shard int, slot uint64, fresh bool) {
 // this call. now is the caller's logical clock (packet count, sim.Clock
 // cycles, wall nanoseconds — any monotonic non-decreasing int64); lookups
 // between Advance calls stamp last-seen with the most recent now, so
-// timestamp resolution equals the Advance cadence.
+// timestamp resolution equals the Advance cadence. (Internally a stamp is
+// a 4-byte epoch index resolved back through a ring of recent Advance
+// times; a flow untouched for more than epochRing clock-moving Advances
+// is treated as exceeding any timeout and retired on sight — see
+// epochRing.)
 //
 // Each shard's write lock is held for at most SweepBudget slot visits per
 // call; the sweep cursor persists across calls, so successive Advances
@@ -212,7 +265,13 @@ func (s *Sharded) Advance(now int64) int {
 	// a faster one for the shared counter) must not rewind timestamps
 	// other workers just wrote.
 	if prev := exp.now.Load(); now > prev {
+		// A clock move opens a new epoch: record its time in the ring
+		// before publishing the counter, so a concurrent stamp of the new
+		// epoch can never resolve through an unwritten ring entry.
+		e := exp.epoch.Load() + 1
+		exp.epochTimes[e&(epochRing-1)] = now
 		exp.now.Store(now)
+		exp.epoch.Store(e)
 	} else {
 		now = prev
 	}
@@ -230,13 +289,15 @@ func (s *Sharded) Advance(now int64) int {
 func (exp *expiryState) makeVisit(st *shardExpiryState) func(slot uint64) bool {
 	return func(slot uint64) bool {
 		now := st.sweepNow
-		first := st.firstSeen[slot]
-		last := atomic.LoadInt64(&st.lastSeen[slot])
+		first, firstExact := exp.timeOf(st.firstSeen[slot])
+		last, lastExact := exp.timeOf(atomic.LoadUint32(&st.lastSeen[slot]))
+		// A stamp that fell out of the epoch ring counts as exceeding any
+		// timeout; the check order (active before idle) is unchanged.
 		var reason ExpireReason
 		switch {
-		case exp.cfg.ActiveTimeout > 0 && now-first >= exp.cfg.ActiveTimeout:
+		case exp.cfg.ActiveTimeout > 0 && (!firstExact || now-first >= exp.cfg.ActiveTimeout):
 			reason = ExpireActive
-		case exp.cfg.IdleTimeout > 0 && now-last >= exp.cfg.IdleTimeout:
+		case exp.cfg.IdleTimeout > 0 && (!lastExact || now-last >= exp.cfg.IdleTimeout):
 			reason = ExpireIdle
 		default:
 			return true

@@ -519,3 +519,90 @@ func TestExpiryReasonString(t *testing.T) {
 		t.Fatalf("unknown reason renders %q", s)
 	}
 }
+
+// TestExpiryEpochRingSaturation pins the coarse edge of the
+// epoch-quantised timestamps: a flow untouched for more than the epoch
+// ring's depth of clock-moving Advances has an unknowable true age and
+// must be retired on sight — even when its configured timeout is far
+// larger than the elapsed clock — rather than leak. The reported
+// timestamps clamp to the oldest retained epoch's time.
+func TestExpiryEpochRingSaturation(t *testing.T) {
+	const ring = 4096 // keep in sync with table.epochRing
+	s := expiringTable(t, "hashcam", 1, table.ExpiryConfig{IdleTimeout: 1 << 40, SweepBudget: 8192})
+	var reported []int64
+	s.OnExpired(func(_ uint64, _ []byte, first, last int64, reason table.ExpireReason) {
+		if reason != table.ExpireIdle {
+			t.Errorf("reason %v, want idle (idle-only config)", reason)
+		}
+		reported = append(reported, first, last)
+	})
+	if _, err := s.Insert(key13(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup(key13(1)); !ok { // touches at epoch 0; idle ever after
+		t.Fatal("flow missing right after insert")
+	}
+	// While the stamp is within the ring, the huge timeout protects it.
+	for now := int64(1); now <= ring-100; now++ {
+		if s.Advance(now) != 0 {
+			t.Fatalf("flow expired at t=%d, within the epoch ring and under timeout", now)
+		}
+	}
+	// Push the stamp out of the ring: it must now be retired on sight.
+	evicted := 0
+	for now := int64(ring - 99); now <= ring+200 && evicted == 0; now++ {
+		evicted = s.Advance(now)
+	}
+	if evicted != 1 {
+		t.Fatal("flow untouched beyond the epoch ring never expired (leak)")
+	}
+	if len(reported) != 2 {
+		t.Fatalf("callback fired %d times", len(reported)/2)
+	}
+	for _, ts := range reported {
+		if ts <= 0 || ts > ring+200 {
+			t.Fatalf("clamped timestamp %d outside the retained window", ts)
+		}
+	}
+}
+
+// TestBytesPerSlot covers the storage gauge: canonical backends report a
+// plausible per-slot cost that grows when the expiry side-tables are
+// enabled, and the byte-key fallback (no footprint interface) reports 0.
+func TestBytesPerSlot(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.BytesPerSlot()
+	// 13 inline key bytes + 1 tag per slot, plus CAM values and padding
+	// (fractionally under 14: the CAM's value array is counted against the
+	// whole slot space until its arena exists).
+	if base < 13.5 || base > 32 {
+		t.Fatalf("hashcam BytesPerSlot = %.1f, want ~14", base)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10}); err != nil {
+		t.Fatal(err)
+	}
+	withExp := s.BytesPerSlot()
+	// The epoch side-tables add 2×uint32 = 8 bytes per slot.
+	if withExp < base+7.5 || withExp > base+8.5 {
+		t.Fatalf("BytesPerSlot with expiry = %.1f, want %.1f + ~8", withExp, base)
+	}
+	plain, err := table.NewSharded("testplain", 1, table.Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.BytesPerSlot(); got != 0 {
+		t.Fatalf("testplain BytesPerSlot = %.1f, want 0 (no footprint interface)", got)
+	}
+	for _, backend := range evictableBackends(t) {
+		be, err := table.NewSharded(backend, 1, table.Config{Capacity: 1024}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := be.BytesPerSlot(); got < 13.5 {
+			t.Fatalf("%s BytesPerSlot = %.1f, below the inline key + tag floor", backend, got)
+		}
+	}
+}

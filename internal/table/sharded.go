@@ -54,12 +54,14 @@ type Sharded struct {
 	expiry *expiryState
 }
 
-// shardState pairs a backend with its lock. hbe is the same backend
-// downcast once at construction, so the hot path never type-asserts.
+// shardState pairs a backend with its lock. hbe and pbe are the same
+// backend downcast once at construction, so the hot path never
+// type-asserts.
 type shardState struct {
 	mu  sync.RWMutex
 	be  Backend
-	hbe HashedBackend // nil when be has no hashed fast path
+	hbe HashedBackend   // nil when be has no hashed fast path
+	pbe PrefetchBackend // nil when be cannot prefetch buckets
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
@@ -100,6 +102,7 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		}
 		s.shards[i].be = be
 		s.shards[i].hbe, _ = be.(HashedBackend)
+		s.shards[i].pbe, _ = be.(PrefetchBackend)
 	}
 	s.hashed = s.shards[0].hbe != nil
 	if s.sel == nil && !s.hashed {
@@ -164,7 +167,7 @@ func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	}
 	if ok {
 		if exp := s.expiry; exp != nil {
-			exp.touch(i, local, exp.now.Load())
+			exp.touch(i, local, exp.epoch.Load())
 		}
 	}
 	return local, ok
@@ -276,6 +279,41 @@ func (s *Sharded) Probes() int64 {
 
 // Name implements Backend.
 func (s *Sharded) Name() string { return s.name }
+
+// BytesPerSlot reports the average slot-storage cost of the table in
+// bytes per slot: the backends' own footprint (inline keys, fingerprint
+// tags, hash caches, value arrays, spill) plus the expiry layer's
+// timestamp side-tables when enabled, divided by the total slot-ID bound.
+// It returns 0 when any shard's backend reports no footprint (no
+// StorageSized) or no dense slot space (no EvictableBackend).
+func (s *Sharded) BytesPerSlot() float64 {
+	var bytes, slots int64
+	for i := range s.shards {
+		ok := true
+		s.readShard(i, func(be Backend) {
+			ss, okS := be.(StorageSized)
+			ebe, okE := be.(EvictableBackend)
+			if !okS || !okE {
+				ok = false
+				return
+			}
+			bytes += ss.StorageBytes()
+			slots += int64(ebe.SlotIDBound())
+		})
+		if !ok {
+			return 0
+		}
+	}
+	if exp := s.expiry; exp != nil {
+		for i := range exp.shards {
+			bytes += exp.shards[i].sideTableBytes()
+		}
+	}
+	if slots == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(slots)
+}
 
 // ShardLens returns the per-shard entry counts (the partition-balance
 // gauge, analogous to the paper's per-path load split).
@@ -391,15 +429,41 @@ func (s *Sharded) planBatch(keys [][]byte) *batchScratch {
 
 func (s *Sharded) putScratch(sc *batchScratch) { s.scratch.Put(sc) }
 
+// prefetchSink receives the folded prefetch reads. The call boundary is
+// the point: a non-inlined callee forces its argument to be materialised,
+// so the compiler cannot discard the bucket touches as dead loads.
+//
+//go:noinline
+func prefetchSink(v uint64) uint64 { return v }
+
+// prefetchShard touches every candidate bucket of one shard's sub-batch
+// at the head of the locked section, before any key is resolved: the flat
+// slot layout makes the lines each probe will read predictable, so the
+// touches issue a run of independent cache misses that overlap instead of
+// serialising behind one another. Costs nothing when the backend cannot
+// prefetch. Callers must hold the shard's lock (shared suffices:
+// PrefetchHashed is read-only).
+func (s *Sharded) prefetchShard(sh *shardState, sc *batchScratch, shard int) {
+	if sh.pbe == nil || !s.hashed {
+		return
+	}
+	var acc uint64
+	for _, i := range sc.plan[shard] {
+		acc ^= sh.pbe.PrefetchHashed(sc.khs[i])
+	}
+	prefetchSink(acc)
+}
+
 // lookupShard resolves one shard's slice of the batch under a shared lock.
 func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []uint64, hits []bool) {
 	sh := &s.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	s.prefetchShard(sh, sc, shard)
 	exp := s.expiry
-	var now int64
+	var epoch uint32
 	if exp != nil {
-		now = exp.now.Load() // one clock read per shard sub-batch
+		epoch = exp.epoch.Load() // one clock read per shard sub-batch
 	}
 	if s.hashed {
 		for _, i := range sc.plan[shard] {
@@ -407,7 +471,7 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 				ids[i] = s.globalID(shard, local)
 				hits[i] = true
 				if exp != nil {
-					exp.touch(shard, local, now)
+					exp.touch(shard, local, epoch)
 				}
 			}
 		}
@@ -418,7 +482,7 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 			ids[i] = s.globalID(shard, local)
 			hits[i] = true
 			if exp != nil {
-				exp.touch(shard, local, now)
+				exp.touch(shard, local, epoch)
 			}
 		}
 	}
@@ -464,6 +528,7 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	s.prefetchShard(sh, sc, shard)
 	exp := s.expiry
 	for _, i := range sc.plan[shard] {
 		lenBefore := 0

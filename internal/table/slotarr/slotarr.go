@@ -1,0 +1,326 @@
+// Package slotarr provides the cache-conscious slot storage shared by
+// every lookup structure in this repository: keys held inline in one
+// contiguous fixed-stride arena (flow keys are small and bounded — the
+// packed IPv4 5-tuple is 13 bytes) plus a parallel one-byte fingerprint
+// tag array, so a bucket probe first scans up to eight tags in a single
+// word-wide SWAR compare and only touches key memory on a tag hit.
+//
+// The paper's argument (conf_socc_YangSO14) is that flow-lookup
+// throughput is bounded by memory behaviour, not hash compute; this
+// layout is the software rendition of its flat bucket RAMs. A negative
+// probe costs one 8-byte tag load instead of K key reads, and a positive
+// probe costs the tag load plus exactly one key compare (tag collisions
+// add compares but never change results — every candidate is verified
+// against the full key, in slot order, so match semantics are
+// bit-identical to a plain linear scan).
+//
+// Keys longer than MaxInline take a rare-case spill path: the tag array
+// and probe discipline are unchanged, but key bytes live in per-slot heap
+// buffers (retained across slot reuse, so steady-state churn does not
+// allocate).
+package slotarr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// MaxInline is the largest key length (bytes) stored inline in the
+// contiguous arena; longer keys spill to per-slot heap buffers. 32 covers
+// every descriptor in this repository (the packed IPv4 5-tuple is 13
+// bytes, an IPv6 5-tuple would be 37 and spill).
+const MaxInline = 32
+
+// tagPad is the slack appended to the tag array so an 8-byte SWAR load at
+// any valid slot index never reads out of range.
+const tagPad = 8
+
+// SWAR constants: lo1 broadcasts a byte across the word, lo7 masks the
+// low seven bits of every byte, hi1 isolates the per-byte high bits.
+const (
+	lo1 = 0x0101010101010101
+	lo7 = 0x7f7f7f7f7f7f7f7f
+	hi1 = 0x8080808080808080
+)
+
+// zeroBytes returns a word whose per-byte high bit is set exactly for the
+// zero bytes of x. This is the exact formulation (no false positives for
+// any byte values), not the cheaper borrow-propagating approximation — the
+// free-slot scan picks a slot from the result without re-verifying, so
+// approximate detection would corrupt occupied slots.
+func zeroBytes(x uint64) uint64 {
+	return ^(((x & lo7) + lo7) | x | lo7)
+}
+
+// TagOf derives a slot's fingerprint tag from a full hash word — the same
+// word whose low bits index the bucket, so tagging adds zero hash
+// computations. The tag takes the top seven bits (disjoint from the
+// low-bit bucket reduction, so tags stay uniform within one bucket) and
+// forces the high bit, reserving tag 0 for "slot free".
+func TagOf(w uint64) uint8 {
+	return 0x80 | uint8(w>>57)
+}
+
+// ByteTag derives a fingerprint directly from key bytes, for stores probed
+// without a hash word in hand (the CAM is searched before any hash is
+// computed — that laziness is load-bearing for the early-exit pipeline's
+// hash-count contract, so its tags cannot come from H1/H2). One cheap
+// multiplicative fold per search replaces a key compare per occupied slot.
+func ByteTag(key []byte) uint8 {
+	h := uint64(len(key)) * 0x9e3779b97f4a7c15
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	// Finalize so the top bits TagOf consumes depend on every byte.
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	return TagOf(h)
+}
+
+// Store is one fixed-geometry slot array: n slots of keyLen-byte keys.
+// Slot indices are the caller's location-derived IDs; the store itself
+// imposes no bucket structure — callers probe ranges ([bucket*K, K) for a
+// bucketed table, [0, n) for a CAM-style full scan).
+//
+// Concurrency contract: any number of concurrent readers (Find*, Load,
+// Occupied, Key, AppendKey, Touch), or one writer (Set, Clear) with no
+// readers — the same discipline as the tables built on it, which the
+// sharded layer's RWMutex enforces.
+type Store struct {
+	n      int
+	keyLen int
+	keys   []byte   // inline arena (n × keyLen); nil on the spill path
+	spill  [][]byte // per-slot key buffers; nil on the inline path
+	tags   []byte   // n + tagPad; tags[i] == 0 marks slot i free
+}
+
+// New returns a store of n slots over keyLen-byte keys. Keys up to
+// MaxInline bytes are stored inline; longer keys spill to per-slot heap
+// buffers.
+func New(n, keyLen int) *Store {
+	if n <= 0 || keyLen <= 0 {
+		panic(fmt.Sprintf("slotarr: need positive slots and key length, got %d, %d", n, keyLen))
+	}
+	s := &Store{n: n, keyLen: keyLen, tags: make([]byte, n+tagPad)}
+	if keyLen <= MaxInline {
+		s.keys = make([]byte, n*keyLen)
+	} else {
+		s.spill = make([][]byte, n)
+	}
+	return s
+}
+
+// Slots returns the slot count.
+func (s *Store) Slots() int { return s.n }
+
+// KeyLen returns the fixed key length in bytes.
+func (s *Store) KeyLen() int { return s.keyLen }
+
+// Inline reports whether keys live in the contiguous arena (false: the
+// oversized-key spill path).
+func (s *Store) Inline() bool { return s.keys != nil }
+
+// Occupied reports whether slot i holds an entry.
+func (s *Store) Occupied(i int) bool { return s.tags[i] != 0 }
+
+// Key returns the stored key bytes of slot i. The slice aliases the
+// store; it is valid until the next Set or Clear of the slot and must not
+// be mutated. Calling Key on a free slot returns stale bytes — guard with
+// Occupied.
+func (s *Store) Key(i int) []byte {
+	if s.keys != nil {
+		return s.keys[i*s.keyLen : i*s.keyLen+s.keyLen : i*s.keyLen+s.keyLen]
+	}
+	return s.spill[i]
+}
+
+// AppendKey appends slot i's key bytes onto dst, reporting false (dst
+// unchanged) when the slot is free.
+func (s *Store) AppendKey(dst []byte, i int) ([]byte, bool) {
+	if s.tags[i] == 0 {
+		return dst, false
+	}
+	return append(dst, s.Key(i)...), true
+}
+
+// Set stores key in slot i under tag. tag must be nonzero (TagOf and
+// ByteTag guarantee it) and key must have the store's key length. The key
+// bytes are copied — inline into the arena (no allocation), or into the
+// slot's retained spill buffer (allocating only the first time a slot
+// grows).
+func (s *Store) Set(i int, tag uint8, key []byte) {
+	if tag == 0 {
+		panic("slotarr: tag 0 is reserved for free slots")
+	}
+	if len(key) != s.keyLen {
+		panic(fmt.Sprintf("slotarr: key of %d bytes, store configured for %d", len(key), s.keyLen))
+	}
+	if s.keys != nil {
+		copy(s.keys[i*s.keyLen:], key)
+	} else {
+		s.spill[i] = append(s.spill[i][:0], key...)
+	}
+	s.tags[i] = tag
+}
+
+// Clear frees slot i. Key bytes are left in place (spill buffers are
+// retained for reuse); only the tag is reset.
+func (s *Store) Clear(i int) { s.tags[i] = 0 }
+
+// keyEq reports whether slot i stores exactly key.
+func (s *Store) keyEq(i int, key []byte) bool {
+	if s.keys != nil {
+		base := i * s.keyLen
+		return bytes.Equal(s.keys[base:base+s.keyLen], key)
+	}
+	return bytes.Equal(s.spill[i], key)
+}
+
+// loadWord reads the 8 tags at [base+off, base+off+8), zeroing any bytes
+// beyond the probed range of n slots so neighbouring buckets can never
+// match (a zero byte equals no nonzero tag).
+func (s *Store) loadWord(base, off, n int) uint64 {
+	w := binary.LittleEndian.Uint64(s.tags[base+off:])
+	if rem := n - off; rem < 8 {
+		w &= 1<<(8*rem) - 1
+	}
+	return w
+}
+
+// TagMatches returns the SWAR candidate mask of the probe range
+// [base, base+n), n <= 8: the high bit of result byte i is set exactly
+// when slot base+i carries tag. It is a small inlinable leaf — the
+// innermost read-path operation — so hot paths iterate the mask in their
+// own frame (NextMatch, then a Key compare) without a function call per
+// probe; FindTagged packages the same loop for paths that are not
+// call-count-bound.
+func (s *Store) TagMatches(base, n int, tag uint8) uint64 {
+	w := binary.LittleEndian.Uint64(s.tags[base:])
+	if n < 8 {
+		w &= 1<<(8*n) - 1
+	}
+	return zeroBytes(w ^ lo1*uint64(tag))
+}
+
+// NextMatch pops the lowest candidate from a TagMatches mask, returning
+// the slot offset within the probe range and the remaining mask.
+func NextMatch(m uint64) (offset int, rest uint64) {
+	return bits.TrailingZeros64(m) >> 3, m & (m - 1)
+}
+
+// FindTagged returns the first slot in [base, base+n) whose tag equals
+// tag and whose stored key equals key. Candidates are verified in slot
+// order, so the result is bit-identical to a plain first-match linear
+// scan; tag collisions only cost extra key compares. A probe that misses
+// never reads key memory at all.
+func (s *Store) FindTagged(base, n int, tag uint8, key []byte) (int, bool) {
+	if n > 8 {
+		return s.findTaggedWide(base, n, tag, key)
+	}
+	m := s.TagMatches(base, n, tag)
+	if s.keys == nil {
+		for m != 0 {
+			slot := base + bits.TrailingZeros64(m)>>3
+			if bytes.Equal(s.spill[slot], key) {
+				return slot, true
+			}
+			m &= m - 1
+		}
+		return 0, false
+	}
+	kl := s.keyLen
+	for m != 0 {
+		slot := base + bits.TrailingZeros64(m)>>3
+		if o := slot * kl; bytes.Equal(s.keys[o:o+kl], key) {
+			return slot, true
+		}
+		m &= m - 1
+	}
+	return 0, false
+}
+
+// findTaggedWide is FindTagged for probe ranges spanning several tag
+// words.
+func (s *Store) findTaggedWide(base, n int, tag uint8, key []byte) (int, bool) {
+	spread := lo1 * uint64(tag)
+	for off := 0; off < n; off += 8 {
+		m := zeroBytes(s.loadWord(base, off, n) ^ spread)
+		for m != 0 {
+			slot := base + off + bits.TrailingZeros64(m)>>3
+			if s.keyEq(slot, key) {
+				return slot, true
+			}
+			m &= m - 1
+		}
+	}
+	return 0, false
+}
+
+// FreeSlots returns the SWAR mask of free slots in the probe range
+// [base, base+n), n <= 8, in TagMatches' format — the inlinable leaf of
+// the placement path.
+func (s *Store) FreeSlots(base, n int) uint64 {
+	w := binary.LittleEndian.Uint64(s.tags[base:])
+	if n < 8 {
+		// Force out-of-range bytes nonzero so they never look free.
+		w |= ^uint64(0) << (8 * n)
+	}
+	return zeroBytes(w)
+}
+
+// FindFree returns the first free slot in [base, base+n).
+func (s *Store) FindFree(base, n int) (int, bool) {
+	for off := 0; off < n; off += 8 {
+		group := n - off
+		if group > 8 {
+			group = 8
+		}
+		if m := s.FreeSlots(base+off, group); m != 0 {
+			return base + off + bits.TrailingZeros64(m)>>3, true
+		}
+	}
+	return 0, false
+}
+
+// Load returns the occupied-slot count of [base, base+n).
+func (s *Store) Load(base, n int) int {
+	occ := 0
+	for off := 0; off < n; off += 8 {
+		group, inRange := n-off, uint64(hi1)
+		if group > 8 {
+			group = 8
+		} else if group < 8 {
+			inRange = hi1 & (1<<(8*group) - 1)
+		}
+		occ += group - bits.OnesCount64(zeroBytes(s.loadWord(base, off, n))&inRange)
+	}
+	return occ
+}
+
+// Touch reads the tag word and leading key byte of the slot group at
+// base, pulling both lines toward the cache ahead of a probe — the
+// software prefetch of the batch pipelines. The returned fold exists so
+// callers can sink it where the compiler cannot prove the loads dead.
+func (s *Store) Touch(base int) uint64 {
+	w := binary.LittleEndian.Uint64(s.tags[base:])
+	if s.keys != nil {
+		w ^= uint64(s.keys[base*s.keyLen])
+	}
+	return w
+}
+
+// Bytes returns the storage footprint of the store: arena plus tags
+// (inline), or tags plus slice headers plus retained spill buffers.
+func (s *Store) Bytes() int64 {
+	n := int64(len(s.tags))
+	if s.keys != nil {
+		return n + int64(len(s.keys))
+	}
+	n += int64(len(s.spill)) * 24 // slice headers
+	for _, b := range s.spill {
+		n += int64(cap(b))
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package slotarr
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refStore is the obvious reference implementation the SWAR store is
+// differentially checked against.
+type refStore struct {
+	keys [][]byte
+	tags []uint8
+}
+
+func newRef(n int) *refStore { return &refStore{keys: make([][]byte, n), tags: make([]uint8, n)} }
+
+func (r *refStore) set(i int, tag uint8, key []byte) {
+	r.keys[i] = append([]byte(nil), key...)
+	r.tags[i] = tag
+}
+
+func (r *refStore) clear(i int) { r.tags[i] = 0 }
+
+func (r *refStore) findTagged(base, n int, tag uint8, key []byte) (int, bool) {
+	for i := base; i < base+n; i++ {
+		if r.tags[i] == tag && bytes.Equal(r.keys[i], key) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (r *refStore) findFree(base, n int) (int, bool) {
+	for i := base; i < base+n; i++ {
+		if r.tags[i] == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (r *refStore) load(base, n int) int {
+	occ := 0
+	for i := base; i < base+n; i++ {
+		if r.tags[i] != 0 {
+			occ++
+		}
+	}
+	return occ
+}
+
+// TestDifferentialVsReference drives a random op stream over bucket sizes
+// that straddle every SWAR word boundary (1..19 slots per probe range) on
+// both the inline and spill layouts, checking every probe result against
+// the reference scan.
+func TestDifferentialVsReference(t *testing.T) {
+	for _, keyLen := range []int{13, MaxInline, MaxInline + 16} {
+		for _, bucket := range []int{1, 2, 4, 7, 8, 9, 15, 16, 19} {
+			t.Run(fmt.Sprintf("keyLen=%d/bucket=%d", keyLen, bucket), func(t *testing.T) {
+				const buckets = 8
+				n := buckets * bucket
+				s := New(n, keyLen)
+				if s.Inline() != (keyLen <= MaxInline) {
+					t.Fatalf("Inline() = %v for keyLen %d", s.Inline(), keyLen)
+				}
+				ref := newRef(n)
+				rng := rand.New(rand.NewSource(int64(keyLen*100 + bucket)))
+				mkKey := func(id int) []byte {
+					k := make([]byte, keyLen)
+					rng2 := rand.New(rand.NewSource(int64(id)))
+					rng2.Read(k)
+					return k
+				}
+				// Deliberately tiny tag alphabet so tag collisions between
+				// different keys are common in every bucket.
+				tagOf := func(id int) uint8 { return 0x80 | uint8(id%3) }
+				for op := 0; op < 4000; op++ {
+					id := rng.Intn(64)
+					key, tag := mkKey(id), tagOf(id)
+					base := rng.Intn(buckets) * bucket
+					switch rng.Intn(4) {
+					case 0: // place in this bucket if free
+						if slot, ok := ref.findFree(base, bucket); ok {
+							gotSlot, gotOK := s.FindFree(base, bucket)
+							if !gotOK || gotSlot != slot {
+								t.Fatalf("op %d FindFree(%d,%d) = (%d,%v), ref (%d,true)", op, base, bucket, gotSlot, gotOK, slot)
+							}
+							s.Set(slot, tag, key)
+							ref.set(slot, tag, key)
+						} else if _, gotOK := s.FindFree(base, bucket); gotOK {
+							t.Fatalf("op %d FindFree found a slot in a full bucket", op)
+						}
+					case 1: // probe
+						slot, ok := ref.findTagged(base, bucket, tag, key)
+						gotSlot, gotOK := s.FindTagged(base, bucket, tag, key)
+						if gotOK != ok || (ok && gotSlot != slot) {
+							t.Fatalf("op %d FindTagged = (%d,%v), ref (%d,%v)", op, gotSlot, gotOK, slot, ok)
+						}
+					case 2: // clear a matching slot
+						if slot, ok := ref.findTagged(base, bucket, tag, key); ok {
+							s.Clear(slot)
+							ref.clear(slot)
+						}
+					case 3: // load
+						if got, want := s.Load(base, bucket), ref.load(base, bucket); got != want {
+							t.Fatalf("op %d Load(%d,%d) = %d, ref %d", op, base, bucket, got, want)
+						}
+					}
+				}
+				// Full sweep: occupancy, keys and appends agree everywhere.
+				for i := 0; i < n; i++ {
+					if s.Occupied(i) != (ref.tags[i] != 0) {
+						t.Fatalf("slot %d occupancy mismatch", i)
+					}
+					got, ok := s.AppendKey(nil, i)
+					if ok != (ref.tags[i] != 0) {
+						t.Fatalf("slot %d AppendKey ok=%v", i, ok)
+					}
+					if ok && !bytes.Equal(got, ref.keys[i]) {
+						t.Fatalf("slot %d key %x, ref %x", i, got, ref.keys[i])
+					}
+					if ok && !bytes.Equal(s.Key(i), ref.keys[i]) {
+						t.Fatalf("slot %d Key view %x, ref %x", i, s.Key(i), ref.keys[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTagCollisionFirstMatchOrder pins the bit-identity property the
+// tables rely on: when several slots in one probe range share a tag, the
+// match is the first slot in slot order whose full key equals the probe —
+// exactly what a plain linear scan returns.
+func TestTagCollisionFirstMatchOrder(t *testing.T) {
+	s := New(16, 13)
+	tag := uint8(0xAA)
+	k1 := bytes.Repeat([]byte{1}, 13)
+	k2 := bytes.Repeat([]byte{2}, 13)
+	k3 := bytes.Repeat([]byte{3}, 13)
+	s.Set(3, tag, k1) // collides with k2's tag
+	s.Set(5, tag, k2)
+	s.Set(9, tag, k2) // duplicate key later in slot order: must not win
+	s.Set(1, 0x81, k3)
+	if slot, ok := s.FindTagged(0, 16, tag, k2); !ok || slot != 5 {
+		t.Fatalf("FindTagged(k2) = (%d,%v), want first match at 5", slot, ok)
+	}
+	if slot, ok := s.FindTagged(0, 16, tag, k1); !ok || slot != 3 {
+		t.Fatalf("FindTagged(k1) = (%d,%v), want 3", slot, ok)
+	}
+	// Same key under a different tag must not match: the store trusts the
+	// caller's tag derivation to be a pure function of the key.
+	if _, ok := s.FindTagged(0, 16, 0x81, k1); ok {
+		t.Fatal("FindTagged matched a key stored under a different tag")
+	}
+	// Clearing the first collider exposes nothing stale.
+	s.Clear(3)
+	if slot, ok := s.FindTagged(0, 16, tag, k1); ok {
+		t.Fatalf("cleared key still found at %d", slot)
+	}
+	if slot, ok := s.FindTagged(0, 16, tag, k2); !ok || slot != 5 {
+		t.Fatalf("survivor lost after Clear: (%d,%v)", slot, ok)
+	}
+}
+
+// TestTagDerivations covers the two fingerprint derivations: nonzero
+// always, stable per input, and spread over the alphabet.
+func TestTagDerivations(t *testing.T) {
+	seen := map[uint8]bool{}
+	for i := 0; i < 4096; i++ {
+		w := uint64(i) * 0x9e3779b97f4a7c15
+		tg := TagOf(w)
+		if tg == 0 {
+			t.Fatal("TagOf produced the reserved free tag")
+		}
+		if tg&0x80 == 0 {
+			t.Fatal("TagOf high bit clear")
+		}
+		if tg != TagOf(w) {
+			t.Fatal("TagOf unstable")
+		}
+		seen[tg] = true
+	}
+	if len(seen) != 128 {
+		t.Fatalf("TagOf covered %d of 128 tag values over 4096 words", len(seen))
+	}
+	seen = map[uint8]bool{}
+	key := make([]byte, 13)
+	for i := 0; i < 4096; i++ {
+		key[i%13]++
+		tg := ByteTag(key)
+		if tg == 0 || tg&0x80 == 0 {
+			t.Fatalf("ByteTag(%x) = %#x", key, tg)
+		}
+		if tg != ByteTag(key) {
+			t.Fatal("ByteTag unstable")
+		}
+		seen[tg] = true
+	}
+	if len(seen) < 120 {
+		t.Fatalf("ByteTag covered only %d of 128 tag values", len(seen))
+	}
+}
+
+// TestSpillBufferReuse pins the steady-state allocation story of the
+// oversized-key path: once a slot has grown its spill buffer, re-Setting
+// the slot reuses it.
+func TestSpillBufferReuse(t *testing.T) {
+	s := New(8, MaxInline+8)
+	key := bytes.Repeat([]byte{7}, MaxInline+8)
+	s.Set(2, 0x80, key)
+	s.Clear(2)
+	if n := testing.AllocsPerRun(100, func() {
+		key[0]++
+		s.Set(2, 0x80, key)
+		s.Clear(2)
+	}); n != 0 {
+		t.Fatalf("spill slot reuse allocates %.1f per op", n)
+	}
+}
+
+// TestStoreContractPanics pins the constructor and Set guard rails.
+func TestStoreContractPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("New(0, 13)", func() { New(0, 13) })
+	expectPanic("New(8, 0)", func() { New(8, 0) })
+	s := New(8, 13)
+	expectPanic("Set with tag 0", func() { s.Set(0, 0, make([]byte, 13)) })
+	expectPanic("Set with short key", func() { s.Set(0, 0x80, make([]byte, 5)) })
+}
+
+// TestBytesAndTouch covers the footprint report and the prefetch read on
+// both layouts.
+func TestBytesAndTouch(t *testing.T) {
+	in := New(64, 13)
+	if got := in.Bytes(); got != 64*13+64+tagPad {
+		t.Fatalf("inline Bytes() = %d", got)
+	}
+	in.Set(0, 0x90, bytes.Repeat([]byte{5}, 13))
+	if in.Touch(0) == 0 {
+		t.Fatal("Touch folded to zero on an occupied slot group") // 0x90^5 != 0
+	}
+	sp := New(4, MaxInline+1)
+	base := sp.Bytes()
+	sp.Set(1, 0x80, make([]byte, MaxInline+1))
+	if sp.Bytes() <= base {
+		t.Fatal("spill Bytes() did not grow with a retained buffer")
+	}
+	sp.Touch(1) // must not fault on the spill layout
+}

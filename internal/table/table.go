@@ -61,6 +61,35 @@ type HashedBackend interface {
 	DeleteHashed(key []byte, kh hashfn.KeyHashes) bool
 }
 
+// PrefetchBackend is the optional prefetch extension of HashedBackend: a
+// structure that can touch the memory a subsequent hashed operation on
+// the same key will probe — candidate buckets' tag words and leading key
+// bytes — so the batch pipelines can issue a whole sub-batch of
+// independent cache misses before resolving any of them. kh follows the
+// HashedBackend contract (the backend's own pair over the key bytes).
+//
+// PrefetchHashed must be safe under the same locking discipline as
+// Lookup (shared lock, concurrent with other readers) and must not
+// mutate any state, including stats counters — it is a hint, not an
+// access the cost model charges. The returned fold of the touched bytes
+// exists so callers can sink it where the compiler cannot prove the
+// loads dead; callers must not interpret it.
+type PrefetchBackend interface {
+	// PrefetchHashed touches the candidate buckets of kh's key.
+	PrefetchHashed(kh hashfn.KeyHashes) uint64
+}
+
+// StorageSized is the optional footprint extension of Backend: a
+// structure that can report the bytes of slot storage it has allocated —
+// inline key arenas, fingerprint tags, per-slot hash caches, spill
+// buffers and value arrays. The bench tooling divides it by SlotIDBound
+// to report bytes per slot next to throughput, so the memory cost of the
+// slot layout is tracked alongside speed.
+type StorageSized interface {
+	// StorageBytes returns the allocated slot-storage footprint in bytes.
+	StorageBytes() int64
+}
+
 // Config parameterises a backend constructor. Constructors derive their
 // internal geometry (bucket counts, sub-tables) from the approximate
 // capacity; zero-valued fields take the defaults below.

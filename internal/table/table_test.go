@@ -25,6 +25,15 @@ func keys13(lo, hi uint64) [][]byte {
 	return out
 }
 
+// keyN builds an n-byte key whose tail bytes also vary with i, so
+// oversized (spill-path) keys differ beyond the first word.
+func keyN(i uint64, n int) []byte {
+	k := make([]byte, n)
+	binary.LittleEndian.PutUint64(k, i)
+	binary.LittleEndian.PutUint64(k[n-8:], i^0x9e3779b97f4a7c15)
+	return k
+}
+
 func TestRegistryListsCanonicalBackends(t *testing.T) {
 	have := map[string]bool{}
 	for _, name := range table.Backends() {
