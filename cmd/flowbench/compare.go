@@ -20,13 +20,23 @@ type compareConfig struct {
 	allocsThreshold float64
 }
 
-// rowKey identifies one measurement across two reports.
+// rowKey identifies one measurement across two reports. Cpus and
+// Optimistic are part of the identity: a row measured at GOMAXPROCS=1 or
+// through the RLock path must never gate one measured at GOMAXPROCS=4 or
+// through the seqlock path — different machines, different cost models.
 type rowKey struct {
-	Backend string
-	Shards  int
-	Workers int
-	Batch   int
-	Mix     string
+	Backend    string
+	Shards     int
+	Workers    int
+	Batch      int
+	Mix        string
+	Cpus       int
+	Optimistic bool
+}
+
+// key derives the compare identity of one measurement row.
+func (r engineJSONResult) key() rowKey {
+	return rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix, r.Cpus, r.Optimistic}
 }
 
 // errRegression marks a compare run that found regressions above the
@@ -61,7 +71,8 @@ func pctDelta(oldV, newV float64) float64 {
 }
 
 // compareBenchJSON diffs two engine bench JSON reports row by row
-// (matched on backend × shards × workers × batch × mix), prints the
+// (matched on backend × shards × workers × batch × mix × cpus ×
+// optimistic), prints the
 // ns/op and allocs/op deltas, and returns errRegression when any matched
 // row regresses beyond the configured thresholds. Rows present in only
 // one report are listed but never fail the gate (sweeps legitimately gain
@@ -79,7 +90,7 @@ func compareBenchJSON(cfg compareConfig) error {
 	}
 	oldRows := map[rowKey]engineJSONResult{}
 	for _, r := range oldRep.Results {
-		oldRows[rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix}] = r
+		oldRows[r.key()] = r
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Bench regression diff — %s → %s (fail: ns/op +%.0f%%, allocs/op +%.2f)",
@@ -87,7 +98,7 @@ func compareBenchJSON(cfg compareConfig) error {
 		"Backend", "Shards", "Mix", "ns/op old", "ns/op new", "Δ ns/op", "allocs/op old", "allocs/op new", "Δ allocs", "Verdict")
 	matched, regressed := 0, 0
 	for _, r := range newRep.Results {
-		k := rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix}
+		k := r.key()
 		o, ok := oldRows[k]
 		if !ok {
 			t.AddRow(r.Backend, fmt.Sprintf("%d", r.Shards), r.Mix, "—",
@@ -117,7 +128,10 @@ func compareBenchJSON(cfg compareConfig) error {
 	}
 	fmt.Println(t)
 	if matched == 0 {
-		return fmt.Errorf("compare: no rows matched between %s and %s (parameter drift?)", cfg.oldPath, cfg.newPath)
+		return fmt.Errorf("compare: no rows matched between %s and %s — "+
+			"rows match on backend, shards, workers, batch, mix, cpus and optimistic; "+
+			"check for parameter drift, a runner with a different CPU count, or a baseline recorded before the cpus/optimistic fields existed (re-record it)",
+			cfg.oldPath, cfg.newPath)
 	}
 	if regressed > 0 {
 		return errRegression{count: regressed}

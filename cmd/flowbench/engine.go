@@ -20,14 +20,15 @@ import (
 
 // engineSweepConfig parameterises the concurrent engine sweep.
 type engineSweepConfig struct {
-	backends []string
-	shards   []int
-	workers  int
-	ops      int
-	capacity int
-	batch    int
-	writers  bool   // write-heavy mix through the *Into writer pipeline
-	jsonPath string // non-empty: also write machine-readable results
+	backends   []string
+	shards     []int
+	workers    int
+	ops        int
+	capacity   int
+	batch      int
+	writers    bool   // write-heavy mix through the *Into writer pipeline
+	optimistic bool   // serve lookups via the seqlock lock-free path
+	jsonPath   string // non-empty: also write machine-readable results
 }
 
 // mixName labels the workload mix in table and JSON output.
@@ -42,19 +43,34 @@ func (c engineSweepConfig) mixName() string {
 // machine-readable output (BENCH_engine.json), the format CI archives so
 // the perf trajectory of the engine is recorded per commit.
 type engineJSONResult struct {
-	Backend     string  `json:"backend"`
-	Shards      int     `json:"shards"`
-	Workers     int     `json:"workers"`
-	Batch       int     `json:"batch"`
-	Mix         string  `json:"mix"`
-	TotalOps    int64   `json:"total_ops"`
-	WallNS      int64   `json:"wall_ns"`
-	NSPerOp     float64 `json:"ns_per_op"`
-	MopsPerSec  float64 `json:"mops_per_sec"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	Resident    int     `json:"resident_flows"`
-	Overflows   int64   `json:"overflow_batches"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	Batch   int    `json:"batch"`
+	Mix     string `json:"mix"`
+	// Cpus is the GOMAXPROCS the row was measured under. It is part of the
+	// row identity in compare mode: a 1-core baseline must never gate a
+	// 4-core run (lock-contention profiles differ completely), so rows
+	// recorded on differently shaped runners simply do not match.
+	Cpus int `json:"cpus"`
+	// Optimistic reports whether lookups were served by the seqlock
+	// lock-free read path (backend-capable and not disabled by
+	// -optimistic=false). Also part of the compare row identity: the two
+	// paths are different machines with different cost models.
+	Optimistic bool `json:"optimistic"`
+	// ReadRetries / ReadFallbacks are the seqlock's cumulative conflict
+	// counters over the run: probes invalidated by a concurrent writer and
+	// reads that exhausted the retry budget and took the RLock slow path.
+	ReadRetries   int64   `json:"read_retries"`
+	ReadFallbacks int64   `json:"read_fallbacks"`
+	TotalOps      int64   `json:"total_ops"`
+	WallNS        int64   `json:"wall_ns"`
+	NSPerOp       float64 `json:"ns_per_op"`
+	MopsPerSec    float64 `json:"mops_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	Resident      int     `json:"resident_flows"`
+	Overflows     int64   `json:"overflow_batches"`
 	// BytesPerSlot is the table's slot-storage cost (inline keys,
 	// fingerprint tags, hash caches, expiry side-tables) averaged over its
 	// slot space, so the memory cost of the layout is tracked alongside
@@ -131,10 +147,14 @@ func parseBackends(s string) ([]string, error) {
 // worker drives a mixed batched workload (insert, lookup, delete) over a
 // shared engine.
 func engineSweep(cfg engineSweepConfig) error {
+	readPath := "optimistic reads"
+	if !cfg.optimistic {
+		readPath = "locked reads"
+	}
 	t := metrics.NewTable(
-		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d, %s mix (GOMAXPROCS=%d)",
-			cfg.workers, cfg.ops, cfg.batch, cfg.mixName(), runtime.GOMAXPROCS(0)),
-		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "B/slot", "Wall time", "Flows resident", "Overflow batches", "Speedup vs 1 shard")
+		fmt.Sprintf("Engine sweep — %d workers, %d ops each, batch %d, %s mix, %s (GOMAXPROCS=%d)",
+			cfg.workers, cfg.ops, cfg.batch, cfg.mixName(), readPath, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Throughput (Mops/s)", "ns/op", "allocs/op", "B/slot", "Wall time", "Flows resident", "Overflow batches", "Seqlock retry/fb", "Speedup vs 1 shard")
 	var jsonResults []engineJSONResult
 	for _, backend := range cfg.backends {
 		// Run every configuration first, then derive speedups from the
@@ -166,13 +186,18 @@ func engineSweep(cfg engineSweepConfig) error {
 				fmt.Sprintf("%.3f", res.allocsPerOp),
 				fmt.Sprintf("%.1f", res.bytesPerSlot),
 				res.wall.Round(time.Millisecond).String(),
-				fmt.Sprintf("%d", res.resident), fmt.Sprintf("%d", res.overflows), speedup)
+				fmt.Sprintf("%d", res.resident), fmt.Sprintf("%d", res.overflows),
+				fmt.Sprintf("%d/%d", res.readRetries, res.readFallbacks), speedup)
 			jsonResults = append(jsonResults, engineJSONResult{
 				Backend:         backend,
 				Shards:          shards,
 				Workers:         cfg.workers,
 				Batch:           cfg.batch,
 				Mix:             cfg.mixName(),
+				Cpus:            runtime.GOMAXPROCS(0),
+				Optimistic:      res.optimistic,
+				ReadRetries:     res.readRetries,
+				ReadFallbacks:   res.readFallbacks,
 				TotalOps:        res.totalOps,
 				WallNS:          res.wall.Nanoseconds(),
 				NSPerOp:         res.nsPerOp,
@@ -198,24 +223,28 @@ func engineSweep(cfg engineSweepConfig) error {
 
 // engineLoadResult summarises one backend/shard configuration run.
 type engineLoadResult struct {
-	mops         float64
-	nsPerOp      float64
-	allocsPerOp  float64
-	bytesPerOp   float64
-	totalOps     int64
-	wall         time.Duration
-	resident     int
-	overflows    int64
-	bytesPerSlot float64
+	mops          float64
+	nsPerOp       float64
+	allocsPerOp   float64
+	bytesPerOp    float64
+	totalOps      int64
+	wall          time.Duration
+	resident      int
+	overflows     int64
+	bytesPerSlot  float64
+	optimistic    bool
+	readRetries   int64
+	readFallbacks int64
 }
 
 // runEngineLoad drives one backend/shard configuration with cfg.workers
 // goroutines.
 func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoadResult, error) {
 	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
-		Backend:  backend,
-		Shards:   shards,
-		Capacity: cfg.capacity,
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		DisableOptimisticReads: !cfg.optimistic,
 	})
 	if err != nil {
 		return engineLoadResult{}, err
@@ -247,16 +276,20 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 		return engineLoadResult{}, err
 	}
 	totalOps := int64(cfg.workers) * int64(cfg.ops)
+	rs := eng.ReadStats()
 	return engineLoadResult{
-		mops:         float64(totalOps) / wall.Seconds() / 1e6,
-		nsPerOp:      float64(wall.Nanoseconds()) / float64(totalOps),
-		allocsPerOp:  float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
-		bytesPerOp:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
-		totalOps:     totalOps,
-		wall:         wall,
-		resident:     eng.Len(),
-		overflows:    overflows.Load(),
-		bytesPerSlot: eng.BytesPerSlot(),
+		mops:          float64(totalOps) / wall.Seconds() / 1e6,
+		nsPerOp:       float64(wall.Nanoseconds()) / float64(totalOps),
+		allocsPerOp:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
+		bytesPerOp:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
+		totalOps:      totalOps,
+		wall:          wall,
+		resident:      eng.Len(),
+		overflows:     overflows.Load(),
+		bytesPerSlot:  eng.BytesPerSlot(),
+		optimistic:    rs.Optimistic,
+		readRetries:   rs.Retries,
+		readFallbacks: rs.Fallbacks,
 	}, nil
 }
 

@@ -21,19 +21,20 @@ import (
 // lifetimes (generation turnover) so old flows stop arriving and must be
 // reclaimed by the expiry sweep for inserts to keep succeeding.
 type expirySweepConfig struct {
-	backends []string
-	shards   []int
-	workers  int
-	ops      int // packets per worker
-	capacity int
-	batch    int
-	flows    int   // offered flow population (per generation)
-	idle     int64 // idle timeout in packets
-	active   int64 // active timeout in packets (0 = disabled)
-	sweep    int   // sweep budget (slots per shard per Advance)
-	lifetime int64 // generation length in packets (0 = no turnover)
-	skew     float64
-	jsonPath string
+	backends   []string
+	shards     []int
+	workers    int
+	ops        int // packets per worker
+	capacity   int
+	batch      int
+	optimistic bool  // serve lookups via the seqlock lock-free path
+	flows      int   // offered flow population (per generation)
+	idle       int64 // idle timeout in packets
+	active     int64 // active timeout in packets (0 = disabled)
+	sweep      int   // sweep budget (slots per shard per Advance)
+	lifetime   int64 // generation length in packets (0 = no turnover)
+	skew       float64
+	jsonPath   string
 }
 
 // withExpiryDefaults derives the dependent defaults: the population is 4×
@@ -68,10 +69,16 @@ func (c expirySweepConfig) withExpiryDefaults() expirySweepConfig {
 // OccupancyEnd/OccupancyRatio are the steady-state columns; EvictedPerSec
 // and EvictedPerKPkt the reclaim-rate columns.
 type expiryJSONResult struct {
-	Backend        string  `json:"backend"`
-	Shards         int     `json:"shards"`
-	Workers        int     `json:"workers"`
-	Batch          int     `json:"batch"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	Batch   int    `json:"batch"`
+	// Cpus (GOMAXPROCS) and Optimistic identify the measurement shape,
+	// mirroring the engine sweep schema.
+	Cpus           int     `json:"cpus"`
+	Optimistic     bool    `json:"optimistic"`
+	ReadRetries    int64   `json:"read_retries"`
+	ReadFallbacks  int64   `json:"read_fallbacks"`
 	Capacity       int     `json:"capacity"`
 	Flows          int     `json:"flow_population"`
 	IdleTimeout    int64   `json:"idle_timeout_pkts"`
@@ -165,9 +172,10 @@ type expiryShared struct {
 // runExpiryLoad drives one backend/shard configuration.
 func runExpiryLoad(backend string, shards int, cfg expirySweepConfig) (expiryJSONResult, error) {
 	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
-		Backend:  backend,
-		Shards:   shards,
-		Capacity: cfg.capacity,
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		DisableOptimisticReads: !cfg.optimistic,
 		Expiry: flowproc.ExpiryConfig{
 			IdleTimeout:   cfg.idle,
 			ActiveTimeout: cfg.active,
@@ -206,11 +214,16 @@ func runExpiryLoad(backend string, shards int, cfg expirySweepConfig) (expiryJSO
 	if occ > peak {
 		peak = occ
 	}
+	rs := eng.ReadStats()
 	return expiryJSONResult{
 		Backend:        backend,
 		Shards:         shards,
 		Workers:        cfg.workers,
 		Batch:          cfg.batch,
+		Cpus:           runtime.GOMAXPROCS(0),
+		Optimistic:     rs.Optimistic,
+		ReadRetries:    rs.Retries,
+		ReadFallbacks:  rs.Fallbacks,
 		Capacity:       cfg.capacity,
 		Flows:          cfg.flows,
 		IdleTimeout:    cfg.idle,

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
-//	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] engine
+//	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] [-optimistic=false] [-cpuprofile f] [-mutexprofile f] engine
 //	flowbench -compare [-threshold pct] [-allocthreshold n] old.json new.json
 //
 // The default experiment scale matches the paper (10 k descriptors, input
@@ -15,9 +15,12 @@
 // counts, -workers the concurrent goroutines driving the load; -writers
 // switches the workload from the read-mostly mix to a write-heavy
 // insert/delete mix over the zero-allocation *Into writer pipeline.
+// -optimistic=false forces lookups back onto the RLock path — the
+// before/after pair behind the seqlock scaling claim — and -cpuprofile /
+// -mutexprofile capture pprof profiles of the measured section.
 //
 // The compare mode diffs two engine bench JSON files (rows matched on
-// backend × shards × workers × batch × mix) and exits nonzero when any
+// backend × shards × workers × batch × mix × cpus × optimistic) and exits nonzero when any
 // matched row's ns/op regresses by more than -threshold percent or its
 // allocs/op grows by more than -allocthreshold — the regression gate CI
 // runs against the committed bench JSONs.
@@ -28,9 +31,58 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
+
+// startProfiles turns on the profilers requested for the engine sweep and
+// returns the function that flushes and closes them once the measured
+// section is over. Either path may be empty; the returned stop is always
+// safe to call exactly once.
+func startProfiles(cpuPath, mutexPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if mutexPath != "" {
+		// Sample every 5th contention event: cheap enough to leave on for a
+		// whole sweep, dense enough to rank the shard locks.
+		runtime.SetMutexProfileFraction(5)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			fmt.Printf("cpu profile written to %s\n", cpuPath)
+		}
+		if mutexPath != "" {
+			runtime.SetMutexProfileFraction(0)
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				return fmt.Errorf("mutexprofile: %w", err)
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("mutexprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("mutexprofile: %w", err)
+			}
+			fmt.Printf("mutex profile written to %s\n", mutexPath)
+		}
+		return nil
+	}, nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
@@ -41,6 +93,9 @@ func main() {
 	capacity := flag.Int("capacity", 1<<20, "engine mode: total flow capacity")
 	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
 	writers := flag.Bool("writers", false, "engine mode: write-heavy mix (InsertBatchInto/DeleteBatchInto writer pipeline) instead of the read-mostly default")
+	optimistic := flag.Bool("optimistic", true, "engine mode: serve lookups through the seqlock lock-free read path where the backend supports it; false forces the RLock path (the before/after pair for the scaling claim)")
+	cpuProfile := flag.String("cpuprofile", "", "engine mode: write a CPU profile of the sweep to this file")
+	mutexProfile := flag.String("mutexprofile", "", "engine mode: write a mutex-contention profile of the sweep to this file")
 	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
 	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
 	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
@@ -111,38 +166,44 @@ func main() {
 		if *quick {
 			opsPerWorker = min(opsPerWorker, 100_000)
 		}
-		if *expiry {
-			err := expirySweep(expirySweepConfig{
-				backends: backendList,
-				shards:   shardList,
-				workers:  *workers,
-				ops:      opsPerWorker,
-				capacity: *capacity,
-				batch:    *batch,
-				flows:    *flows,
-				idle:     *idle,
-				active:   *active,
-				sweep:    *sweepBudget,
-				lifetime: *lifetime,
-				skew:     *skew,
-				jsonPath: *jsonOut,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
-				os.Exit(1)
-			}
-			return
+		stopProfiles, err := startProfiles(*cpuProfile, *mutexProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+			os.Exit(1)
 		}
-		err = engineSweep(engineSweepConfig{
-			backends: backendList,
-			shards:   shardList,
-			workers:  *workers,
-			ops:      opsPerWorker,
-			capacity: *capacity,
-			batch:    *batch,
-			writers:  *writers,
-			jsonPath: *jsonOut,
-		})
+		if *expiry {
+			err = expirySweep(expirySweepConfig{
+				backends:   backendList,
+				shards:     shardList,
+				workers:    *workers,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				optimistic: *optimistic,
+				flows:      *flows,
+				idle:       *idle,
+				active:     *active,
+				sweep:      *sweepBudget,
+				lifetime:   *lifetime,
+				skew:       *skew,
+				jsonPath:   *jsonOut,
+			})
+		} else {
+			err = engineSweep(engineSweepConfig{
+				backends:   backendList,
+				shards:     shardList,
+				workers:    *workers,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				writers:    *writers,
+				optimistic: *optimistic,
+				jsonPath:   *jsonOut,
+			})
+		}
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
 			os.Exit(1)

@@ -78,6 +78,14 @@ type EngineConfig struct {
 	// timeouts enforced by an incremental eviction sweep driven through
 	// Advance. The zero value leaves it disabled; see ExpiryConfig.
 	Expiry ExpiryConfig
+	// DisableOptimisticReads forces every lookup through the shared
+	// (RLock) shard locks even when the backend qualifies for the
+	// seqlock-validated lock-free read path. The default (false) lets the
+	// table serve optimistic reads whenever it can; results are
+	// bit-identical either way, so this is a measurement and debugging
+	// knob, not a correctness one. See table.Sharded and
+	// docs/ARCHITECTURE.md "Concurrency model".
+	DisableOptimisticReads bool
 }
 
 // Backends returns the registered backend names an Engine can use.
@@ -98,6 +106,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	sharded, err := table.NewSharded(cfg.Backend, cfg.Shards, tcfg, nil)
 	if err != nil {
 		return nil, fmt.Errorf("flowproc: engine: %w", err)
+	}
+	if cfg.DisableOptimisticReads {
+		sharded.SetOptimisticReads(false)
 	}
 	e := &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}
 	e.scratch.New = func() any { return new(engineScratch) }
@@ -199,6 +210,12 @@ func (e *Engine) BytesPerSlot() float64 { return e.sharded.BytesPerSlot() }
 // ShardLens returns the per-shard flow counts, the partition-balance
 // gauge.
 func (e *Engine) ShardLens() []int { return e.sharded.ShardLens() }
+
+// ReadStats reports the optimistic read path's state and counters:
+// whether lock-free reads are active, and the cumulative seqlock retries
+// and RLock fallbacks across all shards. All-zero counters with
+// Optimistic true simply mean readers never raced a writer.
+func (e *Engine) ReadStats() table.ReadStats { return e.sharded.ReadStats() }
 
 // validKeys serialises the storable subset of fts into the scratch's
 // shared backing buffer (zero allocations once the pooled buffers have

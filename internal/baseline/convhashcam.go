@@ -131,6 +131,26 @@ func (p *Proposed) Name() string { return "proposed-hashcam" }
 // inner table (same geometry, same candidate buckets).
 func (c *ConvHashCAM) PrefetchHashed(kh hashfn.KeyHashes) uint64 { return c.table.Prefetch(kh) }
 
+// ReadHashed implements table.OptimisticBackend: the inner table's
+// stats-free search runs as usual (its early exit changes cost accounting,
+// never results), and the outcome token is the inner resolving stage so
+// CommitReads can replay both ledgers — this adapter's always-3 probe
+// charge and the inner table's stage outcome.
+func (c *ConvHashCAM) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
+	id, stage, ok := c.table.ReadHashed(key, kh)
+	return id, uint8(stage - 1), ok
+}
+
+// CommitReads implements table.OptimisticBackend.
+func (c *ConvHashCAM) CommitReads(outcome uint8, n int64) {
+	c.probes.Add(3 * n)
+	c.table.CommitLookups(hashcam.Stage(outcome)+1, n)
+}
+
+// ReadLockFree implements table.OptimisticBackend, delegating to the
+// inner table.
+func (c *ConvHashCAM) ReadLockFree() bool { return c.table.ReadLockFree() }
+
 // StorageBytes implements table.StorageSized, delegating to the inner
 // table.
 func (c *ConvHashCAM) StorageBytes() int64 { return c.table.Bytes() }

@@ -99,36 +99,59 @@ func (c *Cuckoo) checkKey(key []byte) {
 	}
 }
 
-// lookupAt scans the two candidate buckets derived from the key's full
-// hash words (table t's bucket and tag both come from w[t]). Probes are
-// charged in one atomic add at exit (1 for a first-bucket hit, else 2),
-// keeping the read path to a single shared-counter operation.
-func (c *Cuckoo) lookupAt(key []byte, w [2]uint64) (uint64, bool) {
-	for table := 0; table < 2; table++ {
-		b := hashfn.Reduce(w[table], c.buckets)
-		st := c.stores[table]
-		base := b * c.slots
-		if c.slots > 8 {
-			if off, ok := st.FindTagged(base, c.slots, slotarr.TagOf(w[table]), key); ok {
-				c.probes.Add(int64(table) + 1)
-				return c.id(table, off), true
+// scanBucket finds key in bucket base..base+slots of store st, returning
+// the arena offset. For bucket widths above 2 it runs the SWAR tag probe;
+// at K <= 2 it compares the one or two resident keys directly — with so
+// few candidates the tag word load and mask arithmetic cost more than the
+// key compares they might skip (the cache-resident regression PR 5
+// recorded for narrow cuckoo geometries). Both forms verify candidates in
+// slot order, so results are bit-identical.
+func (c *Cuckoo) scanBucket(st *slotarr.Store, base int, w uint64, key []byte) (int, bool) {
+	if c.slots <= 2 {
+		for i := base; i < base+c.slots; i++ {
+			if st.Occupied(i) && bytes.Equal(st.Key(i), key) {
+				return i, true
 			}
-			continue
 		}
-		// The candidate loop runs in this frame over the inlinable
-		// TagMatches leaf: one probe costs no function calls beyond the
-		// key compare on a tag hit.
-		for m := st.TagMatches(base, c.slots, slotarr.TagOf(w[table])); m != 0; {
-			var off int
-			off, m = slotarr.NextMatch(m)
-			if bytes.Equal(st.Key(base+off), key) {
-				c.probes.Add(int64(table) + 1)
-				return c.id(table, base+off), true
-			}
+		return 0, false
+	}
+	if c.slots > 8 {
+		return st.FindTagged(base, c.slots, slotarr.TagOf(w), key)
+	}
+	// The candidate loop runs in this frame over the inlinable TagMatches
+	// leaf: one probe costs no function calls beyond the key compare on a
+	// tag hit.
+	for m := st.TagMatches(base, c.slots, slotarr.TagOf(w)); m != 0; {
+		var off int
+		off, m = slotarr.NextMatch(m)
+		if bytes.Equal(st.Key(base+off), key) {
+			return base + off, true
 		}
 	}
-	c.probes.Add(2)
 	return 0, false
+}
+
+// readAt scans the two candidate buckets derived from the key's full hash
+// words (table t's bucket and tag both come from w[t]) with zero stats
+// writes — the lock-free read core. The outcome token is the probe count
+// the access cost model charges: 1 for a first-bucket hit, else 2.
+func (c *Cuckoo) readAt(key []byte, w [2]uint64) (uint64, uint8, bool) {
+	for table := 0; table < 2; table++ {
+		b := hashfn.Reduce(w[table], c.buckets)
+		if off, ok := c.scanBucket(c.stores[table], b*c.slots, w[table], key); ok {
+			return c.id(table, off), uint8(table) + 1, true
+		}
+	}
+	return 0, 2, false
+}
+
+// lookupAt is readAt plus the accounting: probes are charged in one
+// atomic add at exit, keeping the read path to a single shared-counter
+// operation.
+func (c *Cuckoo) lookupAt(key []byte, w [2]uint64) (uint64, bool) {
+	id, probes, ok := c.readAt(key, w)
+	c.probes.Add(int64(probes))
+	return id, ok
 }
 
 // Lookup implements LookupTable: exactly two bucket probes ("a constant
@@ -279,30 +302,17 @@ func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
 		c.maxKick, cur, ErrTableFull)
 }
 
-// deleteAt removes key from whichever of its candidate buckets holds it.
+// deleteAt removes key from whichever of its candidate buckets holds it,
+// through the same scan (and K <= 2 tag skip) as the lookup path.
 func (c *Cuckoo) deleteAt(key []byte, w [2]uint64) bool {
 	for table := 0; table < 2; table++ {
 		b := hashfn.Reduce(w[table], c.buckets)
 		st := c.stores[table]
-		base := b * c.slots
-		if c.slots > 8 {
-			if off, ok := st.FindTagged(base, c.slots, slotarr.TagOf(w[table]), key); ok {
-				st.Clear(off)
-				c.count--
-				c.probes.Add(int64(table) + 1)
-				return true
-			}
-			continue
-		}
-		for m := st.TagMatches(base, c.slots, slotarr.TagOf(w[table])); m != 0; {
-			var off int
-			off, m = slotarr.NextMatch(m)
-			if bytes.Equal(st.Key(base+off), key) {
-				st.Clear(base + off)
-				c.count--
-				c.probes.Add(int64(table) + 1)
-				return true
-			}
+		if off, ok := c.scanBucket(st, b*c.slots, w[table], key); ok {
+			st.Clear(off)
+			c.count--
+			c.probes.Add(int64(table) + 1)
+			return true
 		}
 	}
 	c.probes.Add(2)
@@ -336,6 +346,25 @@ func (c *Cuckoo) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
 	return c.stores[0].Touch(hashfn.Reduce(kh.H1, c.buckets)*c.slots) ^
 		c.stores[1].Touch(hashfn.Reduce(kh.H2, c.buckets)*c.slots)
 }
+
+// ReadHashed implements table.OptimisticBackend: the outcome token is the
+// probe count the scan charged (1 or 2). The scan touches only the fixed
+// slot arenas and tag arrays — never the hash-word cache, which only the
+// write paths read — so a racing writer can make it misread but not
+// fault.
+func (c *Cuckoo) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
+	c.checkKey(key)
+	return c.readAt(key, [2]uint64{kh.H1, kh.H2})
+}
+
+// CommitReads implements table.OptimisticBackend.
+func (c *Cuckoo) CommitReads(outcome uint8, n int64) {
+	c.probes.Add(int64(outcome) * n)
+}
+
+// ReadLockFree implements table.OptimisticBackend: true on the inline
+// slot path, false for key widths on the slotarr spill path.
+func (c *Cuckoo) ReadLockFree() bool { return c.stores[0].Inline() }
 
 // StorageBytes implements table.StorageSized: both slot arenas plus the
 // per-slot hash-word cache and the retained kick buffers.

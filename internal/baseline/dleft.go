@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hashfn"
+	"repro/internal/table"
 	"repro/internal/table/slotarr"
 )
 
@@ -100,18 +101,19 @@ func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) (int, uint8) {
 	return hashfn.Reduce(w, d.buckets), slotarr.TagOf(w)
 }
 
-// lookup probes the candidate buckets in sub-table order (hardware searches
-// the sub-tables in parallel, but each is a memory access); probes are
-// charged in one atomic add at exit.
-func (d *DLeft) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
+// read probes the candidate buckets in sub-table order (hardware searches
+// the sub-tables in parallel, but each is a memory access) with zero
+// stats writes — the lock-free read core. The outcome token is the probe
+// count the access model charges: t+1 for a hit in sub-table t, d on a
+// full miss.
+func (d *DLeft) read(key []byte, kh *hashfn.KeyHashes) (uint64, uint8, bool) {
 	for t := range d.hashes {
 		b, tag := d.bucketOf(t, key, kh)
 		st := d.stores[t]
 		base := b * d.slots
 		if d.slots > 8 {
 			if off, ok := st.FindTagged(base, d.slots, tag, key); ok {
-				d.probes.Add(int64(t) + 1)
-				return d.id(t, off), true
+				return d.id(t, off), uint8(t) + 1, true
 			}
 			continue
 		}
@@ -120,13 +122,19 @@ func (d *DLeft) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
 			var off int
 			off, m = slotarr.NextMatch(m)
 			if bytes.Equal(st.Key(base+off), key) {
-				d.probes.Add(int64(t) + 1)
-				return d.id(t, base+off), true
+				return d.id(t, base+off), uint8(t) + 1, true
 			}
 		}
 	}
-	d.probes.Add(int64(len(d.hashes)))
-	return 0, false
+	return 0, uint8(len(d.hashes)), false
+}
+
+// lookup is read plus the accounting: probes are charged in one atomic
+// add at exit.
+func (d *DLeft) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
+	id, probes, ok := d.read(key, kh)
+	d.probes.Add(int64(probes))
+	return id, ok
 }
 
 // Lookup implements LookupTable.
@@ -241,6 +249,26 @@ func (d *DLeft) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
 		}
 	}
 	return acc
+}
+
+// ReadHashed implements table.OptimisticBackend: the outcome token is the
+// probe count the scan charged (1..d).
+func (d *DLeft) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
+	d.checkKey(key)
+	return d.read(key, &kh)
+}
+
+// CommitReads implements table.OptimisticBackend.
+func (d *DLeft) CommitReads(outcome uint8, n int64) {
+	d.probes.Add(int64(outcome) * n)
+}
+
+// ReadLockFree implements table.OptimisticBackend: the inline slot path
+// only, and only while the probe-count outcome of a full miss (= d) fits
+// the token bound (a NewDLeft with that many sub-tables is out-of-tree
+// territory; the registry's 2-left always qualifies).
+func (d *DLeft) ReadLockFree() bool {
+	return d.stores[0].Inline() && len(d.hashes) < table.MaxReadOutcomes
 }
 
 // StorageBytes implements table.StorageSized: the sub-table arenas.

@@ -25,6 +25,11 @@ var (
 	_ table.StorageSized = (*DLeft)(nil)
 	_ table.StorageSized = (*Cuckoo)(nil)
 	_ table.StorageSized = (*ConvHashCAM)(nil)
+
+	_ table.OptimisticBackend = (*SingleHash)(nil)
+	_ table.OptimisticBackend = (*DLeft)(nil)
+	_ table.OptimisticBackend = (*Cuckoo)(nil)
+	_ table.OptimisticBackend = (*ConvHashCAM)(nil)
 )
 
 func init() {

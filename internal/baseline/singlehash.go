@@ -110,11 +110,11 @@ func (s *SingleHash) bucketOf(key []byte, kh *hashfn.KeyHashes) (int, uint8) {
 	return hashfn.Reduce(w, s.buckets), slotarr.TagOf(w)
 }
 
-// lookupAt scans bucket b for key via the tag-word probe; probe accounting
-// matches Lookup. The candidate loop runs in this frame over the
-// inlinable TagMatches leaf (FindTagged for the rare >8-slot geometry).
-func (s *SingleHash) lookupAt(key []byte, b int, tag uint8) (uint64, bool) {
-	s.probes.Add(1)
+// readAt scans bucket b for key via the tag-word probe with zero stats
+// writes — the lock-free read core. The candidate loop runs in this frame
+// over the inlinable TagMatches leaf (FindTagged for the rare >8-slot
+// geometry).
+func (s *SingleHash) readAt(key []byte, b int, tag uint8) (uint64, bool) {
 	base := b * s.slots
 	if s.slots > 8 {
 		if slot, ok := s.store.FindTagged(base, s.slots, tag, key); ok {
@@ -130,6 +130,13 @@ func (s *SingleHash) lookupAt(key []byte, b int, tag uint8) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// lookupAt is readAt plus the accounting: the single bucket probe is
+// charged up front, matching the historical cost.
+func (s *SingleHash) lookupAt(key []byte, b int, tag uint8) (uint64, bool) {
+	s.probes.Add(1)
+	return s.readAt(key, b, tag)
 }
 
 // Lookup implements LookupTable.
@@ -222,6 +229,24 @@ func (s *SingleHash) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
 	}
 	return 0
 }
+
+// ReadHashed implements table.OptimisticBackend: every single-hash lookup
+// costs exactly one bucket probe, so the outcome token is always 1.
+func (s *SingleHash) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
+	s.checkKey(key)
+	b, tag := s.bucketOf(key, &kh)
+	id, ok := s.readAt(key, b, tag)
+	return id, 1, ok
+}
+
+// CommitReads implements table.OptimisticBackend.
+func (s *SingleHash) CommitReads(outcome uint8, n int64) {
+	s.probes.Add(int64(outcome) * n)
+}
+
+// ReadLockFree implements table.OptimisticBackend: the inline slot path
+// only.
+func (s *SingleHash) ReadLockFree() bool { return s.store.Inline() }
 
 // StorageBytes implements table.StorageSized: the slot arena.
 func (s *SingleHash) StorageBytes() int64 { return s.store.Bytes() }

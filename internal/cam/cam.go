@@ -88,6 +88,24 @@ func New(capacity int) *CAM {
 // Capacity returns the total entry count.
 func (c *CAM) Capacity() int { return len(c.values) }
 
+// Preallocate fixes the CAM's key width to keyLen and allocates its slot
+// store up front, exactly as the first Insert of a keyLen-byte key would.
+// Tables that serve lock-free reads call it at construction: the lazy
+// first-insert allocation swings c.store from nil to a fresh pointer,
+// which a reader racing that insert without a lock could observe torn.
+// With the store preallocated, no CAM pointer ever changes after New.
+// Preallocate on an already-fixed CAM of the same width is a no-op; a
+// different width panics like a mismatched Insert would.
+func (c *CAM) Preallocate(keyLen int) {
+	if c.store != nil {
+		if c.store.KeyLen() != keyLen {
+			panic(fmt.Sprintf("cam: Preallocate(%d) on a CAM fixed at %d", keyLen, c.store.KeyLen()))
+		}
+		return
+	}
+	c.store = slotarr.New(len(c.values), keyLen)
+}
+
 // InUse returns the number of occupied entries.
 func (c *CAM) InUse() int { return c.inUse }
 

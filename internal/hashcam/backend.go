@@ -69,14 +69,33 @@ func (e Exact) Name() string { return "hashcam" }
 // own).
 func (e Exact) PrefetchHashed(kh hashfn.KeyHashes) uint64 { return e.Table.Prefetch(kh) }
 
+// ReadHashed implements table.OptimisticBackend: the outcome token is the
+// resolving pipeline stage (Stage-1, so CAM/Mem1/Mem2/Miss fit the
+// MaxReadOutcomes bound), committed back as the exact outcome add the
+// locked lookup would have recorded.
+func (e Exact) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
+	id, stage, ok := e.Table.ReadHashed(key, kh)
+	return id, uint8(stage - 1), ok
+}
+
+// CommitReads implements table.OptimisticBackend.
+func (e Exact) CommitReads(outcome uint8, n int64) {
+	e.Table.CommitLookups(Stage(outcome)+1, n)
+}
+
+// ReadLockFree implements table.OptimisticBackend (method promotes from
+// *Table; restated here only for the doc trail: true on the inline slot
+// path, false for spilled key widths).
+
 // StorageBytes implements table.StorageSized.
 func (e Exact) StorageBytes() int64 { return e.Table.Bytes() }
 
 var (
-	_ table.HashedBackend    = Exact{}
-	_ table.EvictableBackend = Exact{} // lifecycle methods promote from *Table
-	_ table.PrefetchBackend  = Exact{}
-	_ table.StorageSized     = Exact{}
+	_ table.HashedBackend     = Exact{}
+	_ table.EvictableBackend  = Exact{} // lifecycle methods promote from *Table
+	_ table.PrefetchBackend   = Exact{}
+	_ table.OptimisticBackend = Exact{}
+	_ table.StorageSized      = Exact{}
 )
 
 // BackendConfig derives a hashcam Config from the generic backend Config;

@@ -210,6 +210,10 @@ func New(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{cfg: cfg, cam: cam.New(cfg.CAMCapacity)}
+	// Fix the CAM's arena now rather than on its first insert: the lazy
+	// allocation would swing an internal pointer mid-traffic, which the
+	// lock-free read path (ReadHashed) cannot tolerate.
+	t.cam.Preallocate(cfg.KeyLen)
 	n := cfg.Buckets * cfg.SlotsPerBucket
 	for i := range t.mem {
 		t.mem[i] = half{store: slotarr.New(n, cfg.KeyLen)}
@@ -321,34 +325,73 @@ func (t *Table) searchBucket(h, bucket int, w uint64, key []byte) (int, bool) {
 	return 0, false
 }
 
-// lookupAt runs the three-stage search, deriving hash words through kw at
-// most once each (callers on the hashed fast path pre-fill kw, so the
-// whole search hashes nothing). The derived words persist in kw so a
-// following insert never hashes the key a second time; after a full miss
-// both are always valid. The single outcome add per stage exit is the
-// lookup's whole stats cost.
-func (t *Table) lookupAt(key []byte, kw *keyWords) (fid uint64, stage Stage, ok bool) {
+// searchAt runs the three-stage search with zero stats writes, deriving
+// hash words through kw at most once each (callers on the hashed fast
+// path pre-fill kw, so the whole search hashes nothing). The derived
+// words persist in kw so a following insert never hashes the key a
+// second time; after a full miss both are always valid.
+//
+// Because it writes no shared memory at all, searchAt is also the
+// lock-free read core behind ReadHashed: all state it touches — CAM
+// arena (preallocated at New, see cam.Preallocate), both halves' slotarr
+// stores — is fixed-geometry and never moves, so a search racing a
+// writer can misread but never fault (the slotarr seqlock contract).
+// Callers account the outcome themselves: lookupAt inline, the
+// optimistic path deferred through CommitLookups.
+func (t *Table) searchAt(key []byte, kw *keyWords) (fid uint64, stage Stage, ok bool) {
 	// Stage 1: CAM (single-cycle parallel search).
 	if v, hit := t.cam.Find(key); hit {
-		t.stats.outcome[StageCAM-1].Add(1)
 		return v, StageCAM, true
 	}
 	// Stage 2: Hash1 → Mem1.
 	w1 := t.word1(key, kw)
 	b1 := hashfn.Reduce(w1, t.cfg.Buckets)
 	if slot, hit := t.searchBucket(0, b1, w1, key); hit {
-		t.stats.outcome[StageMem1-1].Add(1)
 		return t.fid(0, b1, slot), StageMem1, true
 	}
 	// Stage 3: Hash2 → Mem2.
 	w2 := t.word2(key, kw)
 	b2 := hashfn.Reduce(w2, t.cfg.Buckets)
 	if slot, hit := t.searchBucket(1, b2, w2, key); hit {
-		t.stats.outcome[StageMem2-1].Add(1)
 		return t.fid(1, b2, slot), StageMem2, true
 	}
-	t.stats.outcome[StageMiss-1].Add(1)
 	return 0, StageMiss, false
+}
+
+// lookupAt is searchAt plus the accounting: the single outcome add per
+// stage exit is the lookup's whole stats cost.
+func (t *Table) lookupAt(key []byte, kw *keyWords) (fid uint64, stage Stage, ok bool) {
+	fid, stage, ok = t.searchAt(key, kw)
+	t.stats.outcome[stage-1].Add(1)
+	return fid, stage, ok
+}
+
+// ReadHashed is LookupHashed with the accounting deferred: it performs no
+// shared-memory writes at all, returning the resolving stage for the
+// caller to commit through CommitLookups once its seqlock validates. The
+// sharded layer's optimistic read path (and the convhashcam adapter) run
+// it locklessly, concurrent with one writer; results over quiescent state
+// are bit-identical to LookupHashed.
+func (t *Table) ReadHashed(key []byte, kh hashfn.KeyHashes) (fid uint64, stage Stage, ok bool) {
+	t.checkKey(key)
+	kw := keyWords{w1: kh.H1, w2: kh.H2, have1: true, have2: true}
+	return t.searchAt(key, &kw)
+}
+
+// CommitLookups applies the deferred accounting of n validated ReadHashed
+// calls that resolved at stage — exactly the outcome add lookupAt would
+// have performed per call. Safe without any lock (the outcome counters
+// are atomic).
+func (t *Table) CommitLookups(stage Stage, n int64) {
+	t.stats.outcome[stage-1].Add(n)
+}
+
+// ReadLockFree reports whether ReadHashed may race a writer on this
+// table: true on the inline slotarr path, false when the configured key
+// width spills to per-slot heap buffers (torn slice headers are not
+// seqlock-safe; see the slotarr package comment).
+func (t *Table) ReadLockFree() bool {
+	return t.mem[0].store.Inline()
 }
 
 // Lookup searches for key through the three pipeline stages and returns

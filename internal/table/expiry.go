@@ -219,10 +219,23 @@ func (st *shardExpiryState) applyRelocations(moves [][2]uint64) {
 }
 
 // touch refreshes the last-seen epoch of (shard, slot). Called on every
-// lookup hit under the shard's shared lock; the store is atomic because
-// concurrent lookups may touch the same slot.
+// lookup hit — under the shard's shared lock on the locked path, with no
+// lock at all on the seqlock path — so every access is atomic.
+//
+// The store is elided when the slot is already stamped with a
+// current-or-newer epoch: epochs move at the Advance cadence (way slower
+// than lookups), so on a hot flow every touch after the first per epoch
+// is a pure load and the read-mostly fast path stays write-free. The
+// wrap-safe signed comparison also makes the touch newer-only, which
+// bounds the one race the lock-free path admits: a reader that validated
+// a hit, then lost the slot to a delete+reinsert before touching, cannot
+// regress the new occupant's fresher stamp — at worst it re-stores the
+// epoch the occupant already carries.
 func (exp *expiryState) touch(shard int, slot uint64, epoch uint32) {
-	atomic.StoreUint32(&exp.shards[shard].lastSeen[slot], epoch)
+	p := &exp.shards[shard].lastSeen[slot]
+	if old := atomic.LoadUint32(p); int32(epoch-old) > 0 {
+		atomic.StoreUint32(p, epoch)
+	}
 }
 
 // stamp records the timestamps of an insert under the shard's write lock:
@@ -330,9 +343,11 @@ func (s *Sharded) sweepShard(i int, now int64) int {
 	sh := &s.shards[i]
 
 	sh.mu.Lock()
+	sh.beginWrite() // the sweep's DeleteSlot calls mutate the arenas
 	st.sweepNow = now
 	cursor, _ := st.ebe.WalkSlots(st.cursor, exp.cfg.SweepBudget, st.visit)
 	st.cursor = cursor
+	sh.endWrite()
 	sh.mu.Unlock()
 
 	if bound := int64(st.ebe.SlotIDBound()); bound < int64(exp.cfg.SweepBudget) {

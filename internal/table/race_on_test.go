@@ -1,0 +1,9 @@
+//go:build race
+
+package table_test
+
+// raceEnabled mirrors the build's race-detector state for the seqlock
+// tests: under -race the optimistic read path is compiled out
+// (seqlockCapable), so assertions about retry counters and path
+// engagement only apply to non-race builds.
+const raceEnabled = true

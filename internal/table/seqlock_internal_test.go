@@ -1,0 +1,187 @@
+package table
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hashfn"
+)
+
+// TestSeqlockFallbackDeterministic drives the one schedule the stress
+// tests cannot force on demand: a writer that owns a shard for longer
+// than the whole retry budget. The test seizes shard 0's write lock and
+// stamps the seqlock odd by hand, fires scalar and batched lookups that
+// must burn their retries, count a fallback, and park on the RLock, then
+// releases the shard and requires every read to complete with correct
+// results. Runs only where the optimistic path is compiled in.
+func TestSeqlockFallbackDeterministic(t *testing.T) {
+	if !seqlockCapable {
+		t.Skip("optimistic path compiled out under -race")
+	}
+	s, err := NewSharded("hashcam", 1, Config{Capacity: 1024, Hash: hashfn.DefaultPair()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.OptimisticReads() {
+		t.Fatal("optimistic path off for hashcam on a capable build")
+	}
+	keys := make([][]byte, 64)
+	ids := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = make([]byte, 13)
+		keys[i][0], keys[i][1] = byte(i), byte(i>>8)
+		id, err := s.Insert(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.beginWrite() // seq odd: every lock-free attempt must be refused
+
+	type result struct {
+		id uint64
+		ok bool
+	}
+	scalar := make(chan result, 1)
+	batch := make(chan []uint64, 1)
+	go func() {
+		id, ok := s.Lookup(keys[3])
+		scalar <- result{id, ok}
+	}()
+	go func() {
+		got, hits := s.LookupBatch(keys)
+		for i := range hits {
+			if !hits[i] {
+				got = nil
+				break
+			}
+		}
+		batch <- got
+	}()
+
+	// Both readers must exhaust seqlockAttempts refused probes, record a
+	// fallback, and block on the held RLock — observable as the retry and
+	// fallback counters settling while neither channel delivers.
+	deadline := time.After(2 * time.Second)
+	for sh.fallbacks.Load() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("readers did not fall back while the shard was write-held (retries %d, fallbacks %d)",
+				sh.retries.Load(), sh.fallbacks.Load())
+		case r := <-scalar:
+			t.Fatalf("scalar read completed (%d,%v) while the writer held the shard", r.id, r.ok)
+		case got := <-batch:
+			t.Fatalf("batch read completed (%v) while the writer held the shard", got)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := sh.retries.Load(); got < 2*seqlockAttempts {
+		t.Fatalf("retries %d, want at least %d (both readers × full budget)", got, 2*seqlockAttempts)
+	}
+
+	sh.endWrite()
+	sh.mu.Unlock()
+
+	if r := <-scalar; !r.ok || r.id != ids[3] {
+		t.Fatalf("scalar fallback read (%d,%v), want (%d,true)", r.id, r.ok, ids[3])
+	}
+	got := <-batch
+	if got == nil {
+		t.Fatal("batch fallback read lost hits")
+	}
+	for i := range keys {
+		if got[i] != ids[i] {
+			t.Fatalf("batch fallback key %d: ID %d, want %d", i, got[i], ids[i])
+		}
+	}
+	st := s.ReadStats()
+	if !st.Optimistic || st.Fallbacks < 2 || st.Retries < 2*seqlockAttempts {
+		t.Fatalf("ReadStats %+v does not reflect the forced fallbacks", st)
+	}
+
+	// The toggle must drain back to pure RLock reads and return cleanly.
+	if s.SetOptimisticReads(false) {
+		t.Fatal("SetOptimisticReads(false) reported the path still on")
+	}
+	before := s.ReadStats()
+	if id, ok := s.Lookup(keys[5]); !ok || id != ids[5] {
+		t.Fatalf("locked-path lookup (%d,%v), want (%d,true)", id, ok, ids[5])
+	}
+	if after := s.ReadStats(); after.Retries != before.Retries || after.Fallbacks != before.Fallbacks {
+		t.Fatal("locked-path lookup moved the seqlock counters")
+	}
+	if !s.SetOptimisticReads(true) {
+		t.Fatal("SetOptimisticReads(true) failed to re-enable a capable table")
+	}
+}
+
+// TestSeqlockBatchMidSubBatchFallback pins the batch fallback's resume
+// point: when the retry budget dies at plan position pi, the locked
+// resume must re-resolve exactly the positions from pi on — the earlier
+// ones already validated. The concurrent half forces the fallback against
+// a writer-held shard; the direct half calls the locked resume with a
+// nonzero start position and requires the handled/untouched split to land
+// exactly at it.
+func TestSeqlockBatchMidSubBatchFallback(t *testing.T) {
+	if !seqlockCapable {
+		t.Skip("optimistic path compiled out under -race")
+	}
+	s, err := NewSharded("cuckoo", 1, Config{Capacity: 1024, Hash: hashfn.DefaultPair()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([][]byte, 128)
+	want := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = make([]byte, 13)
+		keys[i][2], keys[i][3] = byte(i), 0xa5
+		id, err := s.Insert(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = id
+	}
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.beginWrite()
+	done := make(chan struct{})
+	var ids []uint64
+	var hits []bool
+	go func() {
+		ids, hits = s.LookupBatch(keys)
+		close(done)
+	}()
+	for sh.fallbacks.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	sh.endWrite()
+	sh.mu.Unlock()
+	<-done
+	for i := range keys {
+		if !hits[i] || ids[i] != want[i] {
+			t.Fatalf("key %d after mid-batch fallback: (%d,%v), want (%d,true)", i, ids[i], hits[i], want[i])
+		}
+	}
+
+	// Direct resume-point check: from position 64, only [64, len) may be
+	// resolved; earlier positions stay exactly as the caller left them.
+	sc := s.planBatch(keys)
+	ids2 := make([]uint64, len(keys))
+	hits2 := make([]bool, len(keys))
+	s.lookupShardLocked(0, keys, sc, ids2, hits2, 64)
+	s.putScratch(sc)
+	for i := range keys {
+		if i < 64 {
+			if hits2[i] || ids2[i] != 0 {
+				t.Fatalf("position %d before the resume point was touched: (%d,%v)", i, ids2[i], hits2[i])
+			}
+			continue
+		}
+		if !hits2[i] || ids2[i] != want[i] {
+			t.Fatalf("position %d after the resume point: (%d,%v), want (%d,true)", i, ids2[i], hits2[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package table
+
+// seqlockCapable is false under the race detector: the optimistic read
+// path's deliberate reader/writer race on the slot arenas (torn results
+// are discarded by sequence validation) would be reported as a data
+// race, so race builds serve every read through the shard RLock instead.
+// See seqlock_on.go for the non-race value.
+const seqlockCapable = false

@@ -1,0 +1,14 @@
+//go:build !race
+
+package table
+
+// seqlockCapable reports whether this build can run the optimistic
+// (seqlock-validated, lock-free) read path. The path is compiled out
+// under the race detector: a seqlock reader intentionally races the
+// writer on the slot arenas and discards torn results after validation —
+// a benign-by-construction race the detector cannot be taught about, so
+// race builds keep every read under the shard RLock. The concurrency
+// stress tests run in both modes: under -race they exercise the locked
+// interleavings race-clean, under !race they exercise (and assert
+// retries on) the optimistic protocol itself.
+const seqlockCapable = true

@@ -1,0 +1,317 @@
+package table_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	_ "repro/internal/baseline" // register every backend
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// TestOptimisticReadsBitIdentity pins the core seqlock promise over
+// quiescent state: for every backend, the lock-free read path must be
+// bit-identical to the RLock path — same IDs, same hits, and the same
+// probe accounting once the deferred CommitReads tokens are applied. Two
+// identically built and loaded tables are driven through the same scalar
+// and batched lookups (hits, misses, and re-lookups), one with optimistic
+// reads on and one forced onto the locked path; any divergence in results
+// or in the final Probes() total is a contract violation.
+func TestOptimisticReadsBitIdentity(t *testing.T) {
+	cfg := table.Config{Capacity: 4096, SlotsPerBucket: 2, CAMCapacity: 32, Hash: hashfn.DefaultPair()}
+	for _, name := range table.Backends() {
+		t.Run(name, func(t *testing.T) {
+			mk := func() *table.Sharded {
+				s, err := table.NewSharded(name, 4, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			opt, locked := mk(), mk()
+			if locked.SetOptimisticReads(false) {
+				t.Fatal("SetOptimisticReads(false) reported the path still on")
+			}
+			if !raceEnabled && opt.OptimisticReads() != optimisticExpected(name) {
+				t.Fatalf("OptimisticReads() = %v, want %v for %s",
+					opt.OptimisticReads(), optimisticExpected(name), name)
+			}
+			keys := keys13(0, 1500)
+			for _, s := range []*table.Sharded{opt, locked} {
+				if _, errs := s.InsertBatch(keys); errs != nil {
+					for i, e := range errs {
+						if e != nil && !errors.Is(e, table.ErrTableFull) {
+							t.Fatalf("preload %d: %v", i, e)
+						}
+					}
+				}
+			}
+			// Mixed scalar traffic: residents, misses, interleaved.
+			for i := uint64(0); i < 3000; i++ {
+				k := key13(i % 2000) // [1500,2000) are never-inserted misses
+				idA, okA := opt.Lookup(k)
+				idB, okB := locked.Lookup(k)
+				if idA != idB || okA != okB {
+					t.Fatalf("scalar lookup %d: optimistic (%d,%v) vs locked (%d,%v)", i, idA, okA, idB, okB)
+				}
+			}
+			// Batched traffic over the same mix.
+			batch := keys13(0, 2000)
+			idsA, hitsA := opt.LookupBatch(batch)
+			idsB, hitsB := locked.LookupBatch(batch)
+			for i := range batch {
+				if idsA[i] != idsB[i] || hitsA[i] != hitsB[i] {
+					t.Fatalf("batch lookup %d: optimistic (%d,%v) vs locked (%d,%v)",
+						i, idsA[i], hitsA[i], idsB[i], hitsB[i])
+				}
+			}
+			if pa, pb := opt.Probes(), locked.Probes(); pa != pb {
+				t.Fatalf("probe accounting diverged: optimistic %d vs locked %d — CommitReads does not replay the locked ledger", pa, pb)
+			}
+			if st := locked.ReadStats(); st.Optimistic || st.Retries != 0 || st.Fallbacks != 0 {
+				t.Fatalf("locked table recorded optimistic activity: %+v", st)
+			}
+		})
+	}
+}
+
+// optimisticExpected reports whether the named backend should serve
+// lock-free reads for the standard 13-byte inline config on a non-race
+// build: every canonical backend must (they all implement
+// table.OptimisticBackend over inline slotarr storage); test-only
+// byte-key fallbacks must not.
+func optimisticExpected(name string) bool {
+	for _, canonical := range canonicalBackends {
+		if name == canonical {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOptimisticReadsSpilledKeysStayLocked pins the ReadLockFree gate:
+// keys beyond slotarr.MaxInline are stored through per-slot heap buffers
+// whose slice headers are not torn-read-safe, so the sharded layer must
+// keep the RLock path even on a capable build.
+func TestOptimisticReadsSpilledKeysStayLocked(t *testing.T) {
+	cfg := table.Config{Capacity: 1024, KeyLen: spillKeyLen, Hash: hashfn.DefaultPair()}
+	for _, name := range canonicalBackends {
+		t.Run(name, func(t *testing.T) {
+			s, err := table.NewSharded(name, 2, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.OptimisticReads() {
+				t.Fatal("optimistic reads active on the spill path")
+			}
+			if s.SetOptimisticReads(true) {
+				t.Fatal("SetOptimisticReads(true) claimed to enable the path on the spill path")
+			}
+			k := keyN(7, spillKeyLen)
+			if _, err := s.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Lookup(k); !ok {
+				t.Fatal("spilled key lost")
+			}
+		})
+	}
+}
+
+// TestOptimisticTornReadStress is the torn-read certificate and the
+// concurrent-reader extension of the differential harness: per backend,
+// a writer goroutine churns a seeded op stream (scalar and batched
+// inserts/deletes over its own range, maintaining the differential model)
+// and periodically advances the expiry clock (sweep mutations), while
+// reader goroutines hammer the lock-free path and validate every result
+// against invariants a torn read would break:
+//
+//   - the stable resident set always hits, with its original IDs on
+//     non-relocating backends;
+//   - never-inserted keys always miss;
+//   - churned keys may hit or miss (the writer owns their truth), but a
+//     hit must carry a plausible shard-decoded ID.
+//
+// Under -race the same schedule runs entirely through the RLock path
+// (seqlock compiled out) as the race-detector certificate; on non-race
+// builds the test additionally requires the seqlock to have actually been
+// exercised — retries or fallbacks observed — and the final differential
+// sweep compares the writer's model against the quiesced table.
+func TestOptimisticTornReadStress(t *testing.T) {
+	cfg := table.Config{Capacity: 1 << 14, SlotsPerBucket: 2, CAMCapacity: 64, Hash: hashfn.DefaultPair()}
+	for _, name := range canonicalBackends {
+		t.Run(name, func(t *testing.T) {
+			s, err := table.NewSharded(name, 2, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40}); err != nil {
+				t.Fatal(err)
+			}
+			const resident = 1000
+			stable := keys13(0, resident)
+			stableIDs := make(map[string]uint64, resident)
+			ids, errs := s.InsertBatch(stable)
+			if errs != nil {
+				t.Fatalf("stable preload failed: %v", table.BatchErr(errs))
+			}
+			for i, k := range stable {
+				stableIDs[string(k)] = ids[i]
+			}
+			idStable := name != "cuckoo" // kicks relocate residents
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// The single writer owns the churn range and its model.
+			model := map[string]uint64{}
+			var modelDegraded bool
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(11))
+				span := keys13(1<<20, 1<<20+256)
+				bids := make([]uint64, len(span))
+				berrs := make([]error, len(span))
+				boks := make([]bool, len(span))
+				clock := int64(0)
+				for round := 0; ; round++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Scalar churn with model maintenance.
+					for op := 0; op < 64; op++ {
+						k := key13(uint64(1<<21 + rng.Intn(512)))
+						if rng.Intn(2) == 0 {
+							id, err := s.Insert(k)
+							switch {
+							case err == nil:
+								model[string(k)] = id
+							case errors.Is(err, table.ErrTableFull):
+								if name == "cuckoo" {
+									modelDegraded = true // failed chain rearranged residents
+								}
+							default:
+								t.Errorf("writer insert: %v", err)
+								return
+							}
+						} else {
+							if s.Delete(k) {
+								delete(model, string(k))
+							}
+						}
+					}
+					// Batched churn over a disjoint range (no model: the
+					// round inserts then deletes the whole span).
+					s.InsertBatchInto(span, bids, berrs)
+					for i, e := range berrs {
+						if e != nil && !errors.Is(e, table.ErrTableFull) {
+							t.Errorf("writer batch insert %d: %v", i, e)
+							return
+						}
+					}
+					s.DeleteBatchInto(span, boks)
+					// Sweep mutations interleave with lock-free readers.
+					if round%8 == 0 {
+						clock++
+						s.Advance(clock)
+					}
+				}
+			}()
+
+			// Readers: scalar + batch over stable, churned and absent keys.
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					window := stable[r*256 : r*256+256]
+					bids := make([]uint64, len(window))
+					bhits := make([]bool, len(window))
+					for i := uint64(0); ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.LookupBatchInto(window, bids, bhits)
+						for j, k := range window {
+							if !bhits[j] {
+								t.Errorf("reader %d: stable key %x vanished", r, k)
+								return
+							}
+							if idStable && bids[j] != stableIDs[string(k)] {
+								t.Errorf("reader %d: stable key %x ID drifted %d -> %d",
+									r, k, stableIDs[string(k)], bids[j])
+								return
+							}
+						}
+						k := stable[(i*13+uint64(r))%resident]
+						if id, ok := s.Lookup(k); !ok || (idStable && id != stableIDs[string(k)]) {
+							t.Errorf("reader %d: scalar stable lookup (%d,%v)", r, id, ok)
+							return
+						}
+						if _, ok := s.Lookup(key13(1<<30 + i%512)); ok {
+							t.Errorf("reader %d: never-inserted key hit", r)
+							return
+						}
+						s.Lookup(key13(uint64(1<<21 + int(i)%512))) // churned: no assertion
+					}
+				}(r)
+			}
+
+			// Run until the seqlock demonstrably engaged (non-race builds)
+			// or a fixed schedule elapsed (race builds, where the path is
+			// compiled out and the same load certifies the locked paths).
+			deadline := time.After(5 * time.Second)
+			tick := time.NewTicker(10 * time.Millisecond)
+			rounds := 0
+			for engaged := false; !engaged; {
+				select {
+				case <-tick.C:
+					rounds++
+					st := s.ReadStats()
+					engaged = raceEnabled && rounds >= 20 ||
+						st.Retries+st.Fallbacks > 0 && rounds >= 5
+				case <-deadline:
+					engaged = true
+					if st := s.ReadStats(); !raceEnabled && st.Retries+st.Fallbacks == 0 {
+						t.Error("5s of writer churn never invalidated a lock-free read; seqlock path inert?")
+					}
+				}
+			}
+			tick.Stop()
+			close(stop)
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if !raceEnabled {
+				if st := s.ReadStats(); !st.Optimistic {
+					t.Fatalf("optimistic path off on a capable build: %+v", st)
+				}
+			}
+			// Quiesced differential sweep: the writer's model must be a
+			// subset of the table (exact residency for non-evictive
+			// backends).
+			for k, want := range model {
+				id, ok := s.Lookup([]byte(k))
+				if !ok && !modelDegraded {
+					t.Fatalf("churned key %x in model but not in table", k)
+				}
+				if ok && idStable && !modelDegraded && id != want {
+					t.Fatalf("churned key %x ID %d, model says %d", k, id, want)
+				}
+			}
+			for _, k := range stable {
+				if _, ok := s.Lookup(k); !ok {
+					t.Fatalf("stable key %x missing after quiesce", k)
+				}
+			}
+		})
+	}
+}

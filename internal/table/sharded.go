@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 )
@@ -30,6 +31,15 @@ const shardSelectorSeed = 0x5ca1ab1e_0ddba11
 // lookups-concurrent-with-lookups safety, which the registry's structures
 // provide via atomic stat counters.
 //
+// When every shard backend additionally implements OptimisticBackend (and
+// the build is not race-instrumented — see seqlockCapable), lookups skip
+// the RLock entirely: each shard carries a sequence counter that writers
+// stamp odd/even around every mutation, and readers probe the slot arenas
+// locklessly, validating the counter before and after. A torn read is
+// retried a bounded number of times and then falls back to the RLock slow
+// path, which waits the writer out instead of spinning. See ReadStats for
+// the health counters and docs/ARCHITECTURE.md for the full protocol.
+//
 // When the backend implements HashedBackend, every operation makes a
 // single hash pass per key (hashfn.Pair.Compute): the resulting KeyHashes
 // both routes the shard (via the Mix word) and indexes the buckets, and
@@ -39,12 +49,14 @@ const shardSelectorSeed = 0x5ca1ab1e_0ddba11
 // (local<<shardBits | shard); they are stable for the lifetime of an entry
 // but differ numerically from the IDs an unsharded backend would assign.
 type Sharded struct {
-	shards    []shardState
-	pair      hashfn.Pair // the backends' configured pair, for Compute
-	sel       hashfn.Func // non-nil: route by sel instead of KeyHashes.Mix
-	hashed    bool        // every shard backend implements HashedBackend
-	shardBits uint
-	name      string
+	shards     []shardState
+	pair       hashfn.Pair // the backends' configured pair, for Compute
+	sel        hashfn.Func // non-nil: route by sel instead of KeyHashes.Mix
+	hashed     bool        // every shard backend implements HashedBackend
+	optCapable bool        // every shard backend can serve seqlock reads
+	optimistic bool        // lock-free read path active (<= optCapable)
+	shardBits  uint
+	name       string
 
 	scratch sync.Pool // *batchScratch
 
@@ -54,14 +66,32 @@ type Sharded struct {
 	expiry *expiryState
 }
 
-// shardState pairs a backend with its lock. hbe and pbe are the same
-// backend downcast once at construction, so the hot path never
-// type-asserts.
+// shardState pairs a backend with its lock and seqlock word. hbe, pbe and
+// obe are the same backend downcast once at construction, so the hot path
+// never type-asserts.
+//
+// seq is the shard's sequence counter: even when the arenas are quiescent,
+// odd while a writer holds mu exclusively and is mutating them. Writers
+// bump it twice per locked section (once per section, not per key, so a
+// 64-key insert sub-batch costs two atomic adds); lock-free readers
+// snapshot it, probe, and discard the result unless the snapshot was even
+// and unchanged after the probe.
+//
+// The struct is padded to two cache lines so one shard's write traffic
+// (mu, seq, retry counters — all on the line a writer dirties) never
+// false-shares with a neighbouring shard's state in the shards slice.
 type shardState struct {
 	mu  sync.RWMutex
 	be  Backend
-	hbe HashedBackend   // nil when be has no hashed fast path
-	pbe PrefetchBackend // nil when be cannot prefetch buckets
+	hbe HashedBackend     // nil when be has no hashed fast path
+	pbe PrefetchBackend   // nil when be cannot prefetch buckets
+	obe OptimisticBackend // nil when be cannot serve seqlock reads
+
+	seq       atomic.Uint64 // seqlock word: odd = writer in the arenas
+	retries   atomic.Int64  // lock-free probes discarded by validation
+	fallbacks atomic.Int64  // reads that exhausted retries, took the RLock
+
+	_ [16]byte // pad to 128 B: no false sharing between adjacent shards
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
@@ -103,8 +133,16 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		s.shards[i].be = be
 		s.shards[i].hbe, _ = be.(HashedBackend)
 		s.shards[i].pbe, _ = be.(PrefetchBackend)
+		s.shards[i].obe, _ = be.(OptimisticBackend)
 	}
 	s.hashed = s.shards[0].hbe != nil
+	// The lock-free read path needs the hashed fast path (ReadHashed
+	// consumes KeyHashes), a backend that upholds the torn-read contract
+	// for this key width (ReadLockFree — the slotarr spill path does not),
+	// and a build without the race detector (seqlockCapable).
+	s.optCapable = seqlockCapable && s.hashed &&
+		s.shards[0].obe != nil && s.shards[0].obe.ReadLockFree()
+	s.optimistic = s.optCapable
 	if s.sel == nil && !s.hashed {
 		// No hashed pass to piggyback on: fall back to the historical
 		// dedicated selector so routing costs one cheap Mix64, not a
@@ -148,6 +186,107 @@ func (s *Sharded) DecodeID(id uint64) (shard int, local uint64) {
 	return int(id & (1<<s.shardBits - 1)), id >> s.shardBits
 }
 
+// seqlockAttempts bounds how often a lock-free read re-probes after a
+// failed sequence validation before giving up and taking the RLock. A
+// failed validation means a writer owned the shard during the probe;
+// spinning a few times rides out a short scalar write, while a long
+// batched write is better waited out in the mutex queue (the fallback),
+// which also bounds reader work when writers saturate a shard.
+const seqlockAttempts = 4
+
+// ReadStats aggregates the optimistic read path's health counters across
+// shards. Retries counts individual lock-free probes discarded by
+// sequence validation (each was retried or fell back); Fallbacks counts
+// reads that exhausted the retry budget and were served under the RLock.
+// Both stay zero on an uncontended table — the gauge of how often writers
+// actually perturb the lock-free path.
+type ReadStats struct {
+	Optimistic bool  // lock-free read path active
+	Retries    int64 // probes discarded by seqlock validation
+	Fallbacks  int64 // reads served by the RLock slow path after retries
+}
+
+// ReadStats returns the table's optimistic-read health counters.
+func (s *Sharded) ReadStats() ReadStats {
+	rs := ReadStats{Optimistic: s.optimistic}
+	for i := range s.shards {
+		rs.Retries += s.shards[i].retries.Load()
+		rs.Fallbacks += s.shards[i].fallbacks.Load()
+	}
+	return rs
+}
+
+// OptimisticReads reports whether lookups use the lock-free path.
+func (s *Sharded) OptimisticReads() bool { return s.optimistic }
+
+// SetOptimisticReads switches the lock-free read path on or off and
+// reports the resulting state: enabling is honoured only when the build
+// and every shard backend support it (it silently stays off under the
+// race detector, for non-optimistic backends, and for key widths on the
+// slotarr spill path). It must not be called concurrently with table
+// operations — flip it during setup, as flowbench does to measure the
+// RLock baseline.
+func (s *Sharded) SetOptimisticReads(enable bool) bool {
+	s.optimistic = enable && s.optCapable
+	return s.optimistic
+}
+
+// beginWrite/endWrite stamp the seqlock word around a locked mutating
+// section: odd while the arenas may be torn, even again before the lock
+// is released. Callers pair them as
+//
+//	sh.mu.Lock()
+//	defer sh.mu.Unlock()
+//	sh.beginWrite()
+//	defer sh.endWrite()
+//
+// — LIFO defers run endWrite before Unlock, so the counter is even by the
+// time the mutex admits blocked readers. A backend panic escaping the
+// section leaves seq odd forever, which fails safe: every later lock-free
+// read falls back to the (released) RLock path.
+func (sh *shardState) beginWrite() { sh.seq.Add(1) }
+func (sh *shardState) endWrite()   { sh.seq.Add(1) }
+
+// readOn attempts one scalar lookup on the lock-free path. done=false
+// means every attempt was invalidated by writer traffic and the caller
+// must fall back to the locked path; no stats were committed for the
+// failed attempts (the locked lookup will record its own).
+func (s *Sharded) readOn(sh *shardState, shard int, key []byte, kh hashfn.KeyHashes) (id uint64, ok, done bool) {
+	for attempt := 0; attempt < seqlockAttempts; attempt++ {
+		s1 := sh.seq.Load()
+		if s1&1 != 0 { // writer mid-mutation: don't touch the arenas
+			sh.retries.Add(1)
+			continue
+		}
+		local, outcome, hit := sh.obe.ReadHashed(key, kh)
+		if sh.seq.Load() != s1 { // torn window: discard, retry
+			sh.retries.Add(1)
+			continue
+		}
+		sh.obe.CommitReads(outcome, 1)
+		if hit {
+			if exp := s.expiry; exp != nil {
+				exp.touch(shard, local, exp.epoch.Load())
+			}
+		}
+		return local, hit, true
+	}
+	return 0, false, false
+}
+
+// commitDeferred flushes a batch's deferred per-outcome read accounting:
+// one CommitReads per distinct outcome per sub-batch instead of one
+// atomic add per key, so a 64-key lock-free sub-batch touches each stats
+// line at most MaxReadOutcomes times.
+func commitDeferred(obe OptimisticBackend, deferred *[MaxReadOutcomes]int64) {
+	for o, n := range deferred {
+		if n != 0 {
+			obe.CommitReads(uint8(o), n)
+			deferred[o] = 0
+		}
+	}
+}
+
 // The scalar per-shard helpers below hold the lock for exactly one
 // backend call. The deferred unlock (open-coded by the compiler, so free
 // on the hot path) means a panicking backend (e.g. a key-length
@@ -156,6 +295,12 @@ func (s *Sharded) DecodeID(id uint64) (shard int, local uint64) {
 
 func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, bool) {
 	sh := &s.shards[i]
+	if s.optimistic && hashed {
+		if local, ok, done := s.readOn(sh, i, key, kh); done {
+			return local, ok
+		}
+		sh.fallbacks.Add(1)
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var local uint64
@@ -177,6 +322,8 @@ func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.beginWrite()
+	defer sh.endWrite()
 	exp := s.expiry
 	lenBefore := 0
 	if exp != nil {
@@ -201,6 +348,8 @@ func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.beginWrite()
+	defer sh.endWrite()
 	if hashed {
 		return sh.hbe.DeleteHashed(key, kh)
 	}
@@ -454,8 +603,75 @@ func (s *Sharded) prefetchShard(sh *shardState, sc *batchScratch, shard int) {
 	prefetchSink(acc)
 }
 
-// lookupShard resolves one shard's slice of the batch under a shared lock.
+// lookupShard resolves one shard's slice of the batch, on the lock-free
+// path when active and under a shared lock otherwise.
 func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []uint64, hits []bool) {
+	if s.optimistic { // implies s.hashed: khs are populated
+		s.lookupShardOptimistic(shard, keys, sc, ids, hits)
+		return
+	}
+	s.lookupShardLocked(shard, keys, sc, ids, hits, 0)
+}
+
+// lookupShardOptimistic resolves one shard's sub-batch without taking the
+// lock: every key is probed through ReadHashed under its own seqlock
+// window (per-key validation, so one writer invalidates one probe, not
+// the whole sub-batch), with the deferred stats accumulated on the stack
+// and committed once per sub-batch. If any key exhausts its retry budget
+// — a writer owned the shard throughout — the remainder of the sub-batch
+// is finished under the RLock, which waits the writer out.
+func (s *Sharded) lookupShardOptimistic(shard int, keys [][]byte, sc *batchScratch, ids []uint64, hits []bool) {
+	sh := &s.shards[shard]
+	// Prefetching needs no lock: PrefetchHashed is read-only by contract
+	// and the flat arenas tolerate torn loads (the touches are hints, not
+	// results).
+	s.prefetchShard(sh, sc, shard)
+	exp := s.expiry
+	var epoch uint32
+	if exp != nil {
+		epoch = exp.epoch.Load() // one clock read per shard sub-batch
+	}
+	var deferred [MaxReadOutcomes]int64
+	plan := sc.plan[shard]
+	for pi := 0; pi < len(plan); pi++ {
+		i := plan[pi]
+		resolved := false
+		for attempt := 0; attempt < seqlockAttempts; attempt++ {
+			s1 := sh.seq.Load()
+			if s1&1 != 0 {
+				sh.retries.Add(1)
+				continue
+			}
+			local, outcome, hit := sh.obe.ReadHashed(keys[i], sc.khs[i])
+			if sh.seq.Load() != s1 {
+				sh.retries.Add(1)
+				continue
+			}
+			deferred[outcome]++
+			if hit {
+				ids[i] = s.globalID(shard, local)
+				hits[i] = true
+				if exp != nil {
+					exp.touch(shard, local, epoch)
+				}
+			}
+			resolved = true
+			break
+		}
+		if !resolved {
+			sh.fallbacks.Add(1)
+			commitDeferred(sh.obe, &deferred)
+			s.lookupShardLocked(shard, keys, sc, ids, hits, pi)
+			return
+		}
+	}
+	commitDeferred(sh.obe, &deferred)
+}
+
+// lookupShardLocked resolves one shard's sub-batch from plan position
+// `from` under a shared lock (from > 0 only on the optimistic path's
+// fallback, which has already resolved the earlier positions).
+func (s *Sharded) lookupShardLocked(shard int, keys [][]byte, sc *batchScratch, ids []uint64, hits []bool, from int) {
 	sh := &s.shards[shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -465,8 +681,9 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 	if exp != nil {
 		epoch = exp.epoch.Load() // one clock read per shard sub-batch
 	}
+	plan := sc.plan[shard][from:]
 	if s.hashed {
-		for _, i := range sc.plan[shard] {
+		for _, i := range plan {
 			if local, ok := sh.hbe.LookupHashed(keys[i], sc.khs[i]); ok {
 				ids[i] = s.globalID(shard, local)
 				hits[i] = true
@@ -477,7 +694,7 @@ func (s *Sharded) lookupShard(shard int, keys [][]byte, sc *batchScratch, ids []
 		}
 		return
 	}
-	for _, i := range sc.plan[shard] {
+	for _, i := range plan {
 		if local, ok := sh.be.Lookup(keys[i]); ok {
 			ids[i] = s.globalID(shard, local)
 			hits[i] = true
@@ -528,6 +745,8 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.beginWrite()
+	defer sh.endWrite()
 	s.prefetchShard(sh, sc, shard)
 	exp := s.expiry
 	for _, i := range sc.plan[shard] {
@@ -619,6 +838,8 @@ func (s *Sharded) deleteShard(shard int, keys [][]byte, sc *batchScratch, ok []b
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.beginWrite()
+	defer sh.endWrite()
 	if s.hashed {
 		for _, i := range sc.plan[shard] {
 			ok[i] = sh.hbe.DeleteHashed(keys[i], sc.khs[i])

@@ -88,6 +88,32 @@ func ByteTag(key []byte) uint8 {
 // Occupied, Key, AppendKey, Touch), or one writer (Set, Clear) with no
 // readers — the same discipline as the tables built on it, which the
 // sharded layer's RWMutex enforces.
+//
+// Seqlock extension (inline path only): the sharded layer's optimistic
+// read path runs the read operations concurrently with one writer,
+// protected by a sequence counter validated around the read instead of a
+// lock. The inline layout upholds the torn-read leg of
+// table.OptimisticBackend by construction:
+//
+//   - Every array (keys, tags) is allocated once at New and never grows
+//     or moves, so a racing reader can never follow a stale pointer or
+//     index out of bounds — the worst outcome is reading a byte mix of
+//     old and new content, which the caller's sequence validation
+//     discards.
+//   - Set writes the key bytes before the tag, and Clear touches only the
+//     tag. The ordering is single-goroutine program order, not a publish
+//     barrier: a racing reader may still observe the new tag with old key
+//     bytes (store buffering, cache timing), and correctness never
+//     depends on it not doing so — the seqlock discards the whole read.
+//     The ordering merely shrinks the torn window on TSO hosts, where
+//     stores retire in order.
+//
+// The spill path does NOT uphold the contract: spill[i] is a 3-word slice
+// header whose first Set swings it from nil to a fresh allocation, and a
+// reader that loads a torn header (new pointer, old length — or a pointer
+// no happens-before edge has published) can fault rather than misread.
+// Backends must therefore report ReadLockFree() == Inline(), and the
+// sharded layer keeps the RLock for spilled key widths.
 type Store struct {
 	n      int
 	keyLen int

@@ -61,6 +61,54 @@ type HashedBackend interface {
 	DeleteHashed(key []byte, kh hashfn.KeyHashes) bool
 }
 
+// MaxReadOutcomes bounds the outcome tokens OptimisticBackend.ReadHashed
+// may return; the batch read pipeline accumulates deferred stats in a
+// fixed stack array indexed by token.
+const MaxReadOutcomes = 8
+
+// OptimisticBackend is the optional lock-free-read extension of
+// HashedBackend: a structure whose hashed lookup core can execute while a
+// writer is concurrently mutating the slot arenas, protected only by the
+// caller's seqlock validation. The contract has three legs:
+//
+//   - ReadHashed must perform no shared-memory writes at all — no stats
+//     counters, no scratch reuse — so a read-mostly workload generates
+//     zero cache-line invalidations. Lookup accounting is deferred: the
+//     call returns an opaque outcome token (< MaxReadOutcomes) and the
+//     caller commits it through CommitReads only after the seqlock
+//     validates, so committed counts are exactly what the locked path
+//     would have recorded.
+//   - ReadHashed must tolerate torn state: a concurrent writer may be
+//     mid-placement, so key bytes, tags and values can be inconsistent.
+//     The call may return a wrong result (the caller detects the torn
+//     window via the sequence counter and discards it) but must never
+//     panic, read out of bounds, follow a transiently invalid pointer, or
+//     loop unboundedly. Flat fixed-geometry arenas satisfy this by
+//     construction; lazily allocated or growable structures do not,
+//     unless every swap is published atomically.
+//   - ReadLockFree reports whether the instance as configured upholds the
+//     torn-read guarantee. Structures storing keys through per-slot heap
+//     buffers (the slotarr spill path, KeyLen > slotarr.MaxInline) must
+//     return false: a torn 3-word slice header could dangle past its
+//     allocation. The sharded layer then keeps the RLock path.
+//
+// Results of a seqlock-validated ReadHashed must be bit-identical to
+// LookupHashed over the same quiescent state: same IDs, same resolving
+// stages, same deferred probe accounting.
+type OptimisticBackend interface {
+	HashedBackend
+	// ReadLockFree reports whether ReadHashed may run concurrently with a
+	// writer on this instance (false: the caller must keep using locks).
+	ReadLockFree() bool
+	// ReadHashed is LookupHashed with zero shared-memory writes; outcome
+	// is the deferred-stats token (< MaxReadOutcomes) for CommitReads.
+	ReadHashed(key []byte, kh hashfn.KeyHashes) (id uint64, outcome uint8, ok bool)
+	// CommitReads applies the deferred lookup accounting of n validated
+	// ReadHashed calls that resolved with outcome. It is called outside
+	// any lock and must use atomic counters.
+	CommitReads(outcome uint8, n int64)
+}
+
 // PrefetchBackend is the optional prefetch extension of HashedBackend: a
 // structure that can touch the memory a subsequent hashed operation on
 // the same key will probe — candidate buckets' tag words and leading key
