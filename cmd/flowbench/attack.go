@@ -1,0 +1,371 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/hashfn"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// This file is the adversarial half of the engine bench: -scenario runs
+// attack workloads (collision flood, SYN-flood churn, flash crowd, IPv6
+// mix) through the same ingest shape a deployment uses — look up every
+// packet, insert the misses, advance the lifecycle clock — and emits rows
+// into the same JSON format as the throughput sweep, so -compare gates
+// attack-path regressions against the committed BENCH_engine_attack.json
+// exactly like the benign rows. The collision-flood scenario runs twice,
+// once with FixedHash (the unkeyed CRC pair the miner defeats) and once
+// keyed, so the baseline file itself records the degradation the keyed
+// default prevents.
+
+// attackSeed keys every keyed-row engine so the committed baseline is
+// reproducible; deployments use the random default instead.
+const attackSeed = 0x20140a
+
+const (
+	// attackFloodSize is the number of mined colliding flows the flood
+	// cycles — far above the bucket+CAM capacity the collision pins them
+	// to, so the unkeyed engine can never absorb the set.
+	attackFloodSize = 512
+	// attackMineBuckets is the power-of-two bucket count the miner
+	// targets; by mask subsumption the mined set collides at every
+	// per-shard bucket count up to this.
+	attackMineBuckets = 1 << 14
+	// attackFloodFrac is the fraction of collision-flood packets that are
+	// attack traffic (the rest is the benign Zipf mix).
+	attackFloodFrac = 0.3
+)
+
+// attackScenarioNames lists the sweep's scenarios in run order.
+var attackScenarioNames = []string{"zipf-baseline", "collision-flood", "synflood", "flashcrowd", "ipv6mix"}
+
+// parseScenarios resolves the -scenario list; "all" expands to every
+// scenario.
+func parseScenarios(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "all" {
+		return attackScenarioNames, nil
+	}
+	known := map[string]bool{}
+	for _, n := range attackScenarioNames {
+		known[n] = true
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(attackScenarioNames, ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// attackSweepConfig parameterises the adversarial sweep. Rows are
+// single-threaded: these scenarios measure policy and hash-path cost
+// under hostile input, not lock scaling (the throughput sweep covers
+// that).
+type attackSweepConfig struct {
+	backends   []string
+	shards     []int
+	scenarios  []string
+	ops        int // packets per scenario row
+	capacity   int
+	batch      int
+	optimistic bool
+	jsonPath   string
+}
+
+// attackRow is one scenario variant: an engine configuration plus a
+// deterministic packet source driven through the shared ingest loop.
+type attackRow struct {
+	mix     string // row label, e.g. "atk:collision-flood:fixed"
+	cfg     flowproc.EngineConfig
+	preload []flowproc.FiveTuple
+	// next fills dst with the packets starting at packet index p.
+	next    func(p int64, dst []flowproc.FiveTuple)
+	packets int64
+	advance bool // drive Advance(packets) once per batch
+}
+
+// attackRowResult carries the measured row plus its scenario metrics.
+type attackRowResult struct {
+	engineJSONResult
+	wall time.Duration
+}
+
+// runAttackRow drives one scenario variant through the ingest loop:
+// every packet is looked up, misses are inserted (under the engine's
+// configured overload policy), and the lifecycle clock advances once per
+// batch. Reused caller-owned buffers keep the loop on the zero-alloc
+// *Into paths so allocs/op measures the engine, not the harness.
+func runAttackRow(row attackRow, batchSize int) (attackRowResult, error) {
+	eng, err := flowproc.NewEngine(row.cfg)
+	if err != nil {
+		return attackRowResult{}, err
+	}
+	if len(row.preload) > 0 {
+		if _, err := eng.InsertBatch(row.preload); err != nil {
+			return attackRowResult{}, fmt.Errorf("preload: %w", err)
+		}
+	}
+	batch := make([]flowproc.FiveTuple, batchSize)
+	ids := make([]uint64, batchSize)
+	hit := make([]bool, batchSize)
+	miss := make([]flowproc.FiveTuple, batchSize)
+	mids := make([]uint64, batchSize)
+	merrs := make([]error, batchSize)
+	var lookups, hits, failed int64
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for p := int64(0); p < row.packets; p += int64(batchSize) {
+		n := batchSize
+		if rem := row.packets - p; rem < int64(n) {
+			n = int(rem)
+		}
+		b := batch[:n]
+		row.next(p, b)
+		eng.LookupBatchInto(b, ids[:n], hit[:n])
+		m := 0
+		for i, h := range hit[:n] {
+			if h {
+				hits++
+				continue
+			}
+			miss[m] = b[i]
+			m++
+		}
+		lookups += int64(n)
+		if m > 0 {
+			eng.InsertBatchInto(miss[:m], mids[:m], merrs[:m])
+			for _, e := range merrs[:m] {
+				if e == nil {
+					continue
+				}
+				if !errors.Is(e, table.ErrTableFull) {
+					return attackRowResult{}, e
+				}
+				failed++
+			}
+		}
+		if row.advance {
+			eng.Advance(p + int64(n))
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	rs := eng.ReadStats()
+	os := eng.OverloadStats()
+	res := attackRowResult{wall: wall}
+	res.engineJSONResult = engineJSONResult{
+		Backend:           row.cfg.Backend,
+		Shards:            row.cfg.Shards,
+		Workers:           1,
+		Batch:             batchSize,
+		Mix:               row.mix,
+		Cpus:              runtime.GOMAXPROCS(0),
+		Optimistic:        rs.Optimistic,
+		ReadRetries:       rs.Retries,
+		ReadFallbacks:     rs.Fallbacks,
+		TotalOps:          row.packets,
+		WallNS:            wall.Nanoseconds(),
+		NSPerOp:           float64(wall.Nanoseconds()) / float64(row.packets),
+		MopsPerSec:        float64(row.packets) / wall.Seconds() / 1e6,
+		AllocsPerOp:       float64(msAfter.Mallocs-msBefore.Mallocs) / float64(row.packets),
+		BytesPerOp:        float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(row.packets),
+		Resident:          eng.Len(),
+		BytesPerSlot:      eng.BytesPerSlot(),
+		HitRate:           float64(hits) / float64(max(lookups, 1)),
+		FailedInserts:     failed,
+		PressureEvictions: os.PressureEvictions,
+	}
+	return res, nil
+}
+
+// buildAttackRows materialises the rows of one scenario for one
+// backend/shard configuration.
+func buildAttackRows(scenario, backend string, shards int, cfg attackSweepConfig) ([]attackRow, error) {
+	packets := int64(cfg.ops)
+	base := flowproc.EngineConfig{
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		HashSeed:               attackSeed,
+		DisableOptimisticReads: !cfg.optimistic,
+	}
+	// The benign side everywhere is the same shifted-Zipf mix over a
+	// universe half the table, hot head preloaded — so the flood rows and
+	// the baseline row differ only in the attack traffic.
+	zipfCfg := trafficgen.ZipfConfig{
+		Universe: uint64(max(cfg.capacity/2, 2)), Skew: 1.2, HeadOffset: 8, Seed: 2014,
+	}
+	preloadHead := func() []flowproc.FiveTuple {
+		head := make([]flowproc.FiveTuple, cfg.capacity/4)
+		for i := range head {
+			head[i] = trafficgen.Flow(uint64(i))
+		}
+		return head
+	}
+	switch scenario {
+	case "zipf-baseline":
+		z, err := trafficgen.NewZipfTrace(zipfCfg)
+		if err != nil {
+			return nil, err
+		}
+		return []attackRow{{
+			mix: "atk:zipf-baseline", cfg: base, preload: preloadHead(), packets: packets,
+			next: func(_ int64, dst []flowproc.FiveTuple) {
+				for i := range dst {
+					dst[i] = trafficgen.Flow(z.SampleIndex())
+				}
+			},
+		}}, nil
+	case "collision-flood":
+		// Mine against the unkeyed CRC pair — the offline attack a public
+		// hash family permits — and feed the identical trace to a FixedHash
+		// engine and a keyed one.
+		flood, ok := trafficgen.MineCollidingFlows(hashfn.DefaultPair(), attackMineBuckets, attackFloodSize)
+		if !ok {
+			return nil, fmt.Errorf("collision miner failed against the CRC pair")
+		}
+		trace, err := buildFloodTrace(flood, zipfCfg, packets)
+		if err != nil {
+			return nil, err
+		}
+		next := func(p int64, dst []flowproc.FiveTuple) { copy(dst, trace[p:]) }
+		fixed := base
+		fixed.HashSeed, fixed.FixedHash = 0, true
+		return []attackRow{
+			{mix: "atk:collision-flood:fixed", cfg: fixed, preload: preloadHead(), next: next, packets: packets},
+			{mix: "atk:collision-flood:keyed", cfg: base, preload: preloadHead(), next: next, packets: packets},
+		}, nil
+	case "synflood":
+		// 4x-oversubscribed one-packet-flow churn: cap the table so the
+		// distinct-flow count always oversubscribes it 4x regardless of
+		// -ops.
+		synCap := min(cfg.capacity, max(int(packets)/4, 1))
+		reject, evict := base, base
+		reject.Capacity, evict.Capacity = synCap, synCap
+		evict.OnFull = flowproc.FullEvictIdlest
+		// An effectively infinite idle timeout keeps every reclamation on
+		// the pressure path, which is what this row measures.
+		evict.Expiry = flowproc.ExpiryConfig{IdleTimeout: 1 << 40}
+		next := func(p int64, dst []flowproc.FiveTuple) {
+			for i := range dst {
+				dst[i] = trafficgen.SYNFlood(uint64(p) + uint64(i))
+			}
+		}
+		return []attackRow{
+			{mix: "atk:synflood:reject", cfg: reject, next: next, packets: packets},
+			{mix: "atk:synflood:evict", cfg: evict, next: next, packets: packets, advance: true},
+		}, nil
+	case "flashcrowd":
+		fc := trafficgen.NewFlashCrowd(max(cfg.capacity/2, 1), max(int64(packets/4), 1), 2014)
+		crowd := base
+		crowd.OnFull = flowproc.FullEvictIdlest
+		crowd.Expiry = flowproc.ExpiryConfig{IdleTimeout: max(int64(cfg.capacity), 1)}
+		return []attackRow{{
+			mix: "atk:flashcrowd", cfg: crowd, packets: packets, advance: true,
+			next: func(_ int64, dst []flowproc.FiveTuple) {
+				for i := range dst {
+					dst[i] = fc.Next()
+				}
+			},
+		}}, nil
+	case "ipv6mix":
+		universe := trafficgen.MixedFamilyFlows(max(cfg.capacity/2, 1), 0.4, 2014)
+		rng := sim.NewRand(2014)
+		dual := base
+		dual.DualStack = true
+		return []attackRow{{
+			mix: "atk:ipv6mix", cfg: dual, packets: packets,
+			next: func(_ int64, dst []flowproc.FiveTuple) {
+				for i := range dst {
+					dst[i] = universe[rng.Intn(len(universe))]
+				}
+			},
+		}}, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q", scenario)
+}
+
+// buildFloodTrace interleaves the benign Zipf mix with the mined flood
+// (attackFloodFrac of packets, cycling the mined set uniformly) into one
+// materialised trace, so the fixed and keyed rows replay byte-identical
+// input.
+func buildFloodTrace(flood []flowproc.FiveTuple, zipfCfg trafficgen.ZipfConfig, packets int64) ([]flowproc.FiveTuple, error) {
+	z, err := trafficgen.NewZipfTrace(zipfCfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(2014)
+	trace := make([]flowproc.FiveTuple, packets)
+	for i := range trace {
+		if rng.Float64() < attackFloodFrac {
+			trace[i] = flood[rng.Intn(len(flood))]
+		} else {
+			trace[i] = trafficgen.Flow(z.SampleIndex())
+		}
+	}
+	return trace, nil
+}
+
+// attackSweep runs the requested adversarial scenarios across backend ×
+// shard configurations and writes the same JSON format as the throughput
+// sweep for -compare gating.
+func attackSweep(cfg attackSweepConfig) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Adversarial sweep — %d packets/row, batch %d (GOMAXPROCS=%d)",
+			cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Scenario", "ns/pkt", "Mpkts/s", "Hit rate", "Failed inserts", "Pressure evictions", "allocs/op", "Resident", "Wall time")
+	var jsonResults []engineJSONResult
+	for _, backend := range cfg.backends {
+		for _, shards := range cfg.shards {
+			for _, scenario := range cfg.scenarios {
+				rows, err := buildAttackRows(scenario, backend, shards, cfg)
+				if err != nil {
+					return fmt.Errorf("scenario %s: %w", scenario, err)
+				}
+				for _, row := range rows {
+					res, err := runAttackRow(row, cfg.batch)
+					if err != nil {
+						return fmt.Errorf("scenario %s (%s/%d): %w", row.mix, backend, shards, err)
+					}
+					t.AddRow(backend, fmt.Sprintf("%d", shards), res.Mix,
+						fmt.Sprintf("%.1f", res.NSPerOp),
+						fmt.Sprintf("%.2f", res.MopsPerSec),
+						fmt.Sprintf("%.3f", res.HitRate),
+						fmt.Sprintf("%d", res.FailedInserts),
+						fmt.Sprintf("%d", res.PressureEvictions),
+						fmt.Sprintf("%.3f", res.AllocsPerOp),
+						fmt.Sprintf("%d", res.Resident),
+						res.wall.Round(time.Millisecond).String())
+					jsonResults = append(jsonResults, res.engineJSONResult)
+				}
+			}
+		}
+	}
+	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		rep := engineJSONReport{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			OpsPerWkr:  cfg.ops,
+			Results:    jsonResults,
+		}
+		if err := writeJSONReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}

@@ -79,6 +79,15 @@ type engineJSONResult struct {
 	// SpeedupVs1Shard is 0 when the sweep had no shards=1 row to compare
 	// against.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard,omitempty"`
+	// HitRate is the fraction of lookups that hit, on rows whose workload
+	// tracks it (the adversarial scenarios); 0 on throughput rows.
+	HitRate float64 `json:"hit_rate,omitempty"`
+	// FailedInserts counts per-key ErrTableFull rejections on adversarial
+	// rows (the overflow signature of an unabsorbed attack).
+	FailedInserts int64 `json:"failed_inserts,omitempty"`
+	// PressureEvictions counts FullEvictIdlest reclamations on adversarial
+	// rows running the degradation policy.
+	PressureEvictions int64 `json:"pressure_evictions,omitempty"`
 }
 
 // engineJSONReport is the top-level structure of the -json output.
@@ -91,12 +100,16 @@ type engineJSONReport struct {
 
 // writeEngineJSON writes the sweep results to path.
 func writeEngineJSON(path string, cfg engineSweepConfig, results []engineJSONResult) error {
-	rep := engineJSONReport{
+	return writeJSONReport(path, engineJSONReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		OpsPerWkr:  cfg.ops,
 		Results:    results,
-	}
+	})
+}
+
+// writeJSONReport writes one bench report to path.
+func writeJSONReport(path string, rep engineJSONReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encode engine results: %w", err)

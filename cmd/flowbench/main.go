@@ -6,6 +6,7 @@
 //
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
 //	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] [-optimistic=false] [-cpuprofile f] [-mutexprofile f] engine
+//	flowbench [-engine list] [-shards list] [-ops n] [-capacity n] -scenario all|list engine
 //	flowbench -compare [-threshold pct] [-allocthreshold n] old.json new.json
 //
 // The default experiment scale matches the paper (10 k descriptors, input
@@ -18,6 +19,14 @@
 // -optimistic=false forces lookups back onto the RLock path — the
 // before/after pair behind the seqlock scaling claim — and -cpuprofile /
 // -mutexprofile capture pprof profiles of the measured section.
+//
+// -scenario switches the engine mode to the adversarial sweep: attack
+// workloads (mined collision flood against the unkeyed CRC pair vs the
+// keyed default, SYN-flood one-packet churn under both overload policies,
+// a flash-crowd ramp, a dual-stack IPv6 mix) driven through the
+// lookup-then-insert-misses ingest loop, with hit rate, failed inserts
+// and pressure evictions recorded per row. The rows land in the same JSON
+// format, so -compare gates them against BENCH_engine_attack.json.
 //
 // The compare mode diffs two engine bench JSON files (rows matched on
 // backend × shards × workers × batch × mix × cpus × optimistic) and exits nonzero when any
@@ -97,6 +106,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "engine mode: write a CPU profile of the sweep to this file")
 	mutexProfile := flag.String("mutexprofile", "", "engine mode: write a mutex-contention profile of the sweep to this file")
 	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
+	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix")
 	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
 	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
 	active := flag.Int64("active", 0, "expiry mode: active timeout in packets (0 = disabled)")
@@ -171,7 +181,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
 			os.Exit(1)
 		}
-		if *expiry {
+		if *scenario != "" {
+			if *expiry || *writers {
+				fmt.Fprintf(os.Stderr, "flowbench: -scenario is its own workload; drop -expiry/-writers\n")
+				os.Exit(1)
+			}
+			scenarioList, serr := parseScenarios(*scenario)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "flowbench: %v\n", serr)
+				os.Exit(1)
+			}
+			err = attackSweep(attackSweepConfig{
+				backends:   backendList,
+				shards:     shardList,
+				scenarios:  scenarioList,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				optimistic: *optimistic,
+				jsonPath:   *jsonOut,
+			})
+		} else if *expiry {
 			err = expirySweep(expirySweepConfig{
 				backends:   backendList,
 				shards:     shardList,

@@ -1,0 +1,191 @@
+package flowproc_test
+
+import (
+	"testing"
+
+	"repro/flowproc"
+	"repro/internal/hashfn"
+	"repro/internal/trafficgen"
+)
+
+// ingest pushes trace through eng in batches with the deployment shape —
+// look up, insert the misses — and returns the lookup hit rate and the
+// number of per-key insert failures.
+func ingest(t *testing.T, eng *flowproc.Engine, trace []flowproc.FiveTuple, batch int) (hitRate float64, failed int) {
+	t.Helper()
+	var hits, lookups int
+	for p := 0; p < len(trace); p += batch {
+		b := trace[p:min(p+batch, len(trace))]
+		ids, hit := eng.LookupBatch(b)
+		_ = ids
+		var miss []flowproc.FiveTuple
+		for i, h := range hit {
+			if h {
+				hits++
+			} else {
+				miss = append(miss, b[i])
+			}
+		}
+		lookups += len(b)
+		if len(miss) == 0 {
+			continue
+		}
+		if _, err := eng.InsertBatch(miss); err != nil {
+			// Count per-key failures; the batch error is their summary.
+			_, errs := eng.LookupBatch(miss)
+			for _, ok := range errs {
+				if !ok {
+					failed++
+				}
+			}
+		}
+	}
+	return float64(hits) / float64(lookups), failed
+}
+
+// TestCollisionFloodKeyedHolds is the PR's headline resilience bound: the
+// identical mined collision-flood trace is replayed against a FixedHash
+// engine (the unkeyed CRC pair the flood was mined against) and a keyed
+// one. The unkeyed engine must visibly degrade — flood flows rejected,
+// hit rate collapsing toward the benign fraction — while the keyed engine
+// absorbs the same bytes as ordinary traffic and holds a hit rate within
+// 25% of a benign run.
+func TestCollisionFloodKeyedHolds(t *testing.T) {
+	const capacity, floodSize, packets, batch = 1 << 14, 512, 60_000, 64
+	flood, ok := trafficgen.MineCollidingFlows(hashfn.DefaultPair(), 1<<12, floodSize)
+	if !ok {
+		t.Fatal("miner failed against the CRC pair")
+	}
+
+	// Benign side: Zipf revisits over a universe half the table. Flood
+	// side: 30% of packets cycling the mined set. One materialised trace,
+	// replayed bit-identically against every engine.
+	z, err := trafficgen.NewZipfTrace(trafficgen.ZipfConfig{
+		Universe: capacity / 2, Skew: 1.2, HeadOffset: 8, Seed: 2014})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]flowproc.FiveTuple, packets)
+	for i := range trace {
+		if i%10 < 3 {
+			trace[i] = flood[(i/10)%floodSize]
+		} else {
+			trace[i] = trafficgen.Flow(z.SampleIndex())
+		}
+	}
+
+	mk := func(cfg flowproc.EngineConfig) *flowproc.Engine {
+		cfg.Backend, cfg.Shards, cfg.Capacity = "hashcam", 4, capacity
+		e, err := flowproc.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	fixedHit, fixedFailed := ingest(t, mk(flowproc.EngineConfig{FixedHash: true}), trace, batch)
+	keyedHit, keyedFailed := ingest(t, mk(flowproc.EngineConfig{HashSeed: 0x2014}), trace, batch)
+
+	// The keyed engine absorbs the flood completely: every mined flow
+	// spreads like a random key and is admitted, so after the first visit
+	// the flood is pure hits.
+	if keyedFailed != 0 {
+		t.Fatalf("keyed engine failed %d inserts under the flood, want 0", keyedFailed)
+	}
+	// The unkeyed engine cannot admit the mined set (it exceeds the one
+	// bucket pair per shard it is pinned to), so flood packets keep
+	// missing and failing forever.
+	if fixedFailed == 0 {
+		t.Fatal("unkeyed engine admitted the whole mined flood — collision pinning is broken")
+	}
+	// Resilience bound: keyed hit rate within 25% of a same-length benign
+	// run; unkeyed hit rate degraded by well over that relative to keyed.
+	benignEng := mk(flowproc.EngineConfig{HashSeed: 0x2014})
+	zb, err := trafficgen.NewZipfTrace(trafficgen.ZipfConfig{
+		Universe: capacity / 2, Skew: 1.2, HeadOffset: 8, Seed: 2015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := make([]flowproc.FiveTuple, packets)
+	for i := range benign {
+		benign[i] = trafficgen.Flow(zb.SampleIndex())
+	}
+	benignHit, _ := ingest(t, benignEng, benign, batch)
+	if keyedHit < benignHit*0.75 {
+		t.Fatalf("keyed hit rate %.3f fell more than 25%% below benign %.3f under the flood",
+			keyedHit, benignHit)
+	}
+	if fixedHit > keyedHit*0.85 {
+		t.Fatalf("unkeyed hit rate %.3f did not degrade vs keyed %.3f — the flood had no effect",
+			fixedHit, keyedHit)
+	}
+	t.Logf("hit rates: benign %.3f, keyed-under-flood %.3f, unkeyed-under-flood %.3f (failed inserts %d)",
+		benignHit, keyedHit, fixedHit, fixedFailed)
+}
+
+// TestSYNFloodEvictIdlestAbsorbs pins the degradation-policy acceptance
+// bound: a 4x-oversubscribed SYN flood (every packet a distinct
+// one-packet flow) against FullEvictIdlest is admitted in full — zero
+// per-key failures, zero rejections in OverloadStats — with the overflow
+// converted into pressure evictions; the same flood against the default
+// FullReject policy rejects the overflow instead.
+func TestSYNFloodEvictIdlestAbsorbs(t *testing.T) {
+	const capacity, batch = 1 << 10, 64
+	packets := 4 * capacity
+	mk := func(policy flowproc.FullPolicy) *flowproc.Engine {
+		cfg := flowproc.EngineConfig{
+			Backend: "hashcam", Shards: 2, Capacity: capacity,
+			HashSeed: 0x2014, OnFull: policy,
+		}
+		if policy == flowproc.FullEvictIdlest {
+			cfg.Expiry = flowproc.ExpiryConfig{IdleTimeout: 1 << 40}
+		}
+		e, err := flowproc.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	run := func(e *flowproc.Engine) (failed int) {
+		b := make([]flowproc.FiveTuple, batch)
+		ids := make([]uint64, batch)
+		errs := make([]error, batch)
+		for p := 0; p < packets; p += batch {
+			for i := range b {
+				b[i] = trafficgen.SYNFlood(uint64(p + i))
+			}
+			e.InsertBatchInto(b, ids, errs)
+			for _, err := range errs {
+				if err != nil {
+					failed++
+				}
+			}
+			if e.ExpiryEnabled() {
+				e.Advance(int64(p + batch))
+			}
+		}
+		return failed
+	}
+
+	evict := mk(flowproc.FullEvictIdlest)
+	if failed := run(evict); failed != 0 {
+		t.Fatalf("evict-idlest engine failed %d of %d oversubscribed inserts, want 0", failed, packets)
+	}
+	os := evict.OverloadStats()
+	if os.RejectedInserts != 0 {
+		t.Fatalf("evict-idlest engine counted %d rejections, want 0", os.RejectedInserts)
+	}
+	// Exact conservation: every admitted flow beyond the resident set was
+	// reclaimed by a pressure eviction.
+	if want := int64(packets - evict.Len()); os.PressureEvictions != want {
+		t.Fatalf("%d pressure evictions, want %d (admitted %d - resident %d)",
+			os.PressureEvictions, want, packets, evict.Len())
+	}
+
+	reject := mk(flowproc.FullReject)
+	if failed := run(reject); failed == 0 {
+		t.Fatal("reject engine absorbed a 4x-oversubscribed flood without a single rejection")
+	}
+	if ros := reject.OverloadStats(); ros.RejectedInserts == 0 || ros.PressureEvictions != 0 {
+		t.Fatalf("reject engine stats %+v, want rejections > 0 and no evictions", ros)
+	}
+}

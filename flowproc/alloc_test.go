@@ -212,7 +212,10 @@ func TestEngineScalarMutatorsZeroAllocs(t *testing.T) {
 // non-storable scatter path.
 func TestEngineInsertBatchIntoMatchesInsertBatch(t *testing.T) {
 	mk := func() *flowproc.Engine {
-		e, err := flowproc.NewEngine(flowproc.EngineConfig{Backend: "hashcam", Shards: 4, Capacity: 1 << 16})
+		// Flow IDs are location-derived and placement is keyed, so the two
+		// engines must share an explicit seed to agree on IDs.
+		e, err := flowproc.NewEngine(flowproc.EngineConfig{
+			Backend: "hashcam", Shards: 4, Capacity: 1 << 16, HashSeed: 0x7e57})
 		if err != nil {
 			t.Fatal(err)
 		}

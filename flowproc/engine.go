@@ -8,14 +8,21 @@ import (
 	"sync/atomic"
 
 	_ "repro/internal/baseline" // register the §II baseline backends
+	"repro/internal/hashfn"
 	"repro/internal/packet"
 	"repro/internal/table"
 )
 
 // ErrNotIPv4 is returned (or implied by a miss) for tuples the engine
-// cannot store: its backends are configured for the 13-byte IPv4 5-tuple
-// key; IPv6 support is a capacity-planning decision left to a future PR.
-var ErrNotIPv4 = errors.New("flowproc: engine requires a valid IPv4 5-tuple")
+// cannot store: invalid tuples always, and IPv6 tuples unless the engine
+// was built with DualStack (which adds a second table for the 37-byte
+// IPv6 key).
+var ErrNotIPv4 = errors.New("flowproc: engine requires a valid IPv4 5-tuple (enable DualStack for IPv6)")
+
+// v6IDBit tags the flow IDs of the dual-stack engine's IPv6 table so IDs
+// stay unique across both address families. Table-local IDs are derived
+// from physical slot locations and never approach bit 63.
+const v6IDBit = uint64(1) << 63
 
 // Engine is the goroutine-safe, N-way sharded flow table: the software
 // generalisation of the paper's dual-path design, where two DDR3 channels
@@ -34,8 +41,10 @@ var ErrNotIPv4 = errors.New("flowproc: engine requires a valid IPv4 5-tuple")
 // allocation-free form).
 type Engine struct {
 	sharded *table.Sharded
+	v6      *table.Sharded // IPv6 twin table; nil unless DualStack
 	spec    packet.TupleSpec
 	backend string
+	seed    uint64 // resolved hash seed; 0 under FixedHash
 	scratch sync.Pool // *engineScratch
 
 	// scalarCache is the scalar ops' single-slot scratch cache: one atomic
@@ -51,13 +60,15 @@ type Engine struct {
 // keys (headers + one shared backing buffer), original positions, and the
 // sub-batch result buffers handed to the sharded table.
 type engineScratch struct {
-	keys [][]byte
-	pos  []int
-	buf  []byte
-	ids  []uint64
-	hits []bool
-	oks  []bool
-	errs []error
+	keys  [][]byte
+	pos   []int
+	keys6 [][]byte // IPv6 partition (dual-stack engines only)
+	pos6  []int
+	buf   []byte
+	ids   []uint64
+	hits  []bool
+	oks   []bool
+	errs  []error
 }
 
 // EngineConfig parameterises an Engine.
@@ -86,6 +97,35 @@ type EngineConfig struct {
 	// knob, not a correctness one. See table.Sharded and
 	// docs/ARCHITECTURE.md "Concurrency model".
 	DisableOptimisticReads bool
+	// HashSeed keys the engine's hash functions and shard selector. Zero
+	// (the default) draws a fresh random seed at construction, so bucket
+	// placement is unpredictable to senders — the defence against
+	// algorithmic-complexity attacks that mine hash-colliding tuples
+	// offline. Set a non-zero seed only to reproduce placement across
+	// runs (tests, differential harnesses); flow IDs are location-derived,
+	// so they are only stable across engines sharing a seed. Ignored under
+	// FixedHash.
+	HashSeed uint64
+	// FixedHash restores the historical unkeyed hash family (the CRC pair
+	// with the fixed selector constant). CRC's collision structure is
+	// seed-independent and minable offline, so a fixed-hash engine is
+	// degradable by crafted traffic — the knob exists for measurement
+	// (the attack suite demonstrates the failure mode against it) and for
+	// bit-compatibility with pre-keyed deployments, not for production.
+	FixedHash bool
+	// DualStack adds a second sharded table for IPv6 flows (37-byte
+	// 5-tuple keys, the spill-path storage layout), with the same
+	// backend, shard count, capacity and seed as the IPv4 table. IPv6
+	// flow IDs carry bit 63 so IDs stay unique across families. Off by
+	// default: a v4-only deployment pays nothing.
+	DualStack bool
+	// OnFull selects the full-table degradation policy (default
+	// table.FullReject: surface ErrTableFull and count it).
+	// table.FullEvictIdlest reclaims the least-recently-seen candidate
+	// slot and admits the new flow instead; it requires Expiry, whose
+	// timestamps define "idlest". See docs/ARCHITECTURE.md "Threat model
+	// & degradation".
+	OnFull table.FullPolicy
 }
 
 // Backends returns the registered backend names an Engine can use.
@@ -102,15 +142,38 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Capacity < 0 {
 		return nil, fmt.Errorf("flowproc: engine capacity must not be negative, got %d", cfg.Capacity)
 	}
-	tcfg := table.Config{Capacity: cfg.Capacity, CAMCapacity: cfg.CAMEntries}
+	if cfg.OnFull == table.FullEvictIdlest && !cfg.Expiry.enabled() {
+		return nil, errors.New("flowproc: OnFull=FullEvictIdlest requires Expiry (its timestamps define the idlest slot)")
+	}
+	seed := uint64(0)
+	if !cfg.FixedHash {
+		seed = cfg.HashSeed
+		if seed == 0 {
+			seed = hashfn.RandomSeed()
+		}
+	}
+	tcfg := table.Config{
+		Capacity: cfg.Capacity, CAMCapacity: cfg.CAMEntries,
+		HashSeed: seed, OnFull: cfg.OnFull,
+	}
 	sharded, err := table.NewSharded(cfg.Backend, cfg.Shards, tcfg, nil)
 	if err != nil {
 		return nil, fmt.Errorf("flowproc: engine: %w", err)
 	}
-	if cfg.DisableOptimisticReads {
-		sharded.SetOptimisticReads(false)
+	e := &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend, seed: seed}
+	if cfg.DualStack {
+		tcfg6 := tcfg
+		tcfg6.KeyLen = e.spec.KeyLen(false)
+		e.v6, err = table.NewSharded(cfg.Backend, cfg.Shards, tcfg6, nil)
+		if err != nil {
+			return nil, fmt.Errorf("flowproc: engine (IPv6 table): %w", err)
+		}
 	}
-	e := &Engine{sharded: sharded, spec: packet.FiveTupleSpec(), backend: cfg.Backend}
+	if cfg.DisableOptimisticReads {
+		for _, s := range e.tables() {
+			s.SetOptimisticReads(false)
+		}
+	}
 	e.scratch.New = func() any { return new(engineScratch) }
 	if cfg.Expiry.enabled() {
 		if err := e.enableExpiry(cfg.Expiry); err != nil {
@@ -120,19 +183,64 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
+// tables returns the engine's live sharded tables (IPv4 always, IPv6 when
+// dual-stack).
+func (e *Engine) tables() []*table.Sharded {
+	if e.v6 == nil {
+		return []*table.Sharded{e.sharded}
+	}
+	return []*table.Sharded{e.sharded, e.v6}
+}
+
+// HashSeed returns the seed keying the engine's hash functions and shard
+// selector — the value to pass as EngineConfig.HashSeed to rebuild an
+// engine with identical placement. It is 0 under FixedHash.
+func (e *Engine) HashSeed() uint64 { return e.seed }
+
+// DualStack reports whether the engine stores IPv6 flows.
+func (e *Engine) DualStack() bool { return e.v6 != nil }
+
+// FullPolicy returns the active full-table degradation policy.
+func (e *Engine) FullPolicy() table.FullPolicy { return e.sharded.FullPolicy() }
+
+// OverloadStats aggregates the full-table pressure counters across both
+// address families' tables: inserts rejected with ErrTableFull and flows
+// evicted to make room under table.FullEvictIdlest.
+func (e *Engine) OverloadStats() table.OverloadStats {
+	var os table.OverloadStats
+	for _, s := range e.tables() {
+		t := s.OverloadStats()
+		os.RejectedInserts += t.RejectedInserts
+		os.PressureEvictions += t.PressureEvictions
+	}
+	return os
+}
+
 // Backend returns the name of the per-shard structure.
 func (e *Engine) Backend() string { return e.backend }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.sharded.ShardCount() }
 
-// storable reports whether ft serialises to the key the backends expect.
-func storable(ft FiveTuple) bool { return ft.Valid() && ft.IsIPv4() }
+// storable reports whether ft serialises to a key one of the engine's
+// tables accepts.
+func (e *Engine) storable(ft FiveTuple) bool {
+	return ft.Valid() && (ft.IsIPv4() || e.v6 != nil)
+}
+
+// route returns the table serving ft's address family and the ID tag its
+// flow IDs carry. Callers must have checked storable first.
+func (e *Engine) route(ft FiveTuple) (*table.Sharded, uint64) {
+	if ft.IsIPv4() {
+		return e.sharded, 0
+	}
+	return e.v6, v6IDBit
+}
 
 // scalarKey serialises ft into sc's pooled buffer. The returned key is
 // only valid until the scratch is released.
 func (sc *engineScratch) scalarKey(spec packet.TupleSpec, ft FiveTuple) []byte {
-	if cap(sc.buf) < 16 {
+	if cap(sc.buf) < 37 {
 		sc.buf = make([]byte, 0, 64)
 	}
 	return spec.AppendKey(sc.buf[:0], ft)
@@ -160,68 +268,111 @@ func (e *Engine) releaseScalar(sc *engineScratch, buf []byte) {
 
 // Insert stores the flow if absent and returns its flow ID.
 func (e *Engine) Insert(ft FiveTuple) (uint64, error) {
-	if !storable(ft) {
+	if !e.storable(ft) {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, ErrNotIPv4)
 	}
+	tbl, tag := e.route(ft)
 	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
-	fid, err := e.sharded.Insert(key)
+	fid, err := tbl.Insert(key)
 	e.releaseScalar(sc, key)
 	if err != nil {
 		return 0, fmt.Errorf("flowproc: engine insert %v: %w", ft, err)
 	}
-	return fid, nil
+	return fid | tag, nil
 }
 
 // Lookup returns the flow ID of ft. A tuple the engine cannot store
-// (non-IPv4) is simply never present. The steady-state path performs no
-// heap allocations and no sync.Pool traffic.
+// (invalid, or IPv6 without DualStack) is simply never present. The
+// steady-state path performs no heap allocations and no sync.Pool
+// traffic.
 func (e *Engine) Lookup(ft FiveTuple) (uint64, bool) {
-	if !storable(ft) {
+	if !e.storable(ft) {
 		return 0, false
 	}
+	tbl, tag := e.route(ft)
 	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
-	fid, ok := e.sharded.Lookup(key)
+	fid, ok := tbl.Lookup(key)
 	e.releaseScalar(sc, key)
-	return fid, ok
+	if !ok {
+		return 0, false
+	}
+	return fid | tag, true
 }
 
 // Delete removes ft, reporting whether it was present.
 func (e *Engine) Delete(ft FiveTuple) bool {
-	if !storable(ft) {
+	if !e.storable(ft) {
 		return false
 	}
+	tbl, _ := e.route(ft)
 	sc := e.getScalar()
 	key := sc.scalarKey(e.spec, ft)
-	ok := e.sharded.Delete(key)
+	ok := tbl.Delete(key)
 	e.releaseScalar(sc, key)
 	return ok
 }
 
-// Len returns the stored flow count across all shards.
-func (e *Engine) Len() int { return e.sharded.Len() }
+// Len returns the stored flow count across all shards of both address
+// families.
+func (e *Engine) Len() int {
+	n := e.sharded.Len()
+	if e.v6 != nil {
+		n += e.v6.Len()
+	}
+	return n
+}
 
 // BytesPerSlot reports the average slot-storage cost of the underlying
 // table in bytes per slot (inline keys, fingerprint tags, hash caches,
 // expiry side-tables), or 0 when the backend does not report a footprint.
-func (e *Engine) BytesPerSlot() float64 { return e.sharded.BytesPerSlot() }
+// A dual-stack engine reports the mean of the two family tables (the
+// IPv6 table stores 37-byte spilled keys and costs more per slot).
+func (e *Engine) BytesPerSlot() float64 {
+	b := e.sharded.BytesPerSlot()
+	if e.v6 != nil {
+		b = (b + e.v6.BytesPerSlot()) / 2
+	}
+	return b
+}
 
 // ShardLens returns the per-shard flow counts, the partition-balance
-// gauge.
-func (e *Engine) ShardLens() []int { return e.sharded.ShardLens() }
+// gauge; on a dual-stack engine shard i sums both families' shard i.
+func (e *Engine) ShardLens() []int {
+	lens := e.sharded.ShardLens()
+	if e.v6 != nil {
+		for i, n := range e.v6.ShardLens() {
+			lens[i] += n
+		}
+	}
+	return lens
+}
 
 // ReadStats reports the optimistic read path's state and counters:
 // whether lock-free reads are active, and the cumulative seqlock retries
 // and RLock fallbacks across all shards. All-zero counters with
-// Optimistic true simply mean readers never raced a writer.
-func (e *Engine) ReadStats() table.ReadStats { return e.sharded.ReadStats() }
+// Optimistic true simply mean readers never raced a writer. A dual-stack
+// engine sums both tables' counters and reports the IPv4 table's
+// Optimistic bit (the 37-byte IPv6 keys spill past the inline slot
+// layout, so that table always reads under RLock).
+func (e *Engine) ReadStats() table.ReadStats {
+	rs := e.sharded.ReadStats()
+	if e.v6 != nil {
+		rs6 := e.v6.ReadStats()
+		rs.Retries += rs6.Retries
+		rs.Fallbacks += rs6.Fallbacks
+	}
+	return rs
+}
 
 // validKeys serialises the storable subset of fts into the scratch's
 // shared backing buffer (zero allocations once the pooled buffers have
-// grown to the workload's batch size), populating sc.keys and sc.pos with
-// the keys and their original positions. Non-IPv4 tuples are excluded —
-// their keys would violate the backends' fixed 13-byte geometry.
+// grown to the workload's batch size), partitioning by address family:
+// sc.keys/sc.pos carry the IPv4 keys and their original positions,
+// sc.keys6/sc.pos6 the IPv6 ones (always empty on a single-stack
+// engine). Non-storable tuples are excluded — their keys would violate
+// the tables' fixed key geometry.
 func (e *Engine) validKeys(sc *engineScratch, fts []FiveTuple) {
 	if cap(sc.keys) < len(fts) {
 		sc.keys = make([][]byte, 0, len(fts))
@@ -230,24 +381,41 @@ func (e *Engine) validKeys(sc *engineScratch, fts []FiveTuple) {
 		sc.pos = make([]int, 0, len(fts))
 	}
 	need := len(fts) * e.spec.KeyLen(true)
+	if e.v6 != nil {
+		// Worst case every tuple is IPv6-sized; both partitions share buf.
+		need = len(fts) * e.spec.KeyLen(false)
+		if cap(sc.keys6) < len(fts) {
+			sc.keys6 = make([][]byte, 0, len(fts))
+		}
+		if cap(sc.pos6) < len(fts) {
+			sc.pos6 = make([]int, 0, len(fts))
+		}
+	}
 	if cap(sc.buf) < need {
 		sc.buf = make([]byte, 0, need)
 	}
 	// The buffer never grows inside the loop (capacity ensured above), so
 	// earlier key headers keep pointing into the live array.
 	keys, pos, buf := sc.keys[:0], sc.pos[:0], sc.buf[:0]
+	keys6, pos6 := sc.keys6[:0], sc.pos6[:0]
 	for i, ft := range fts {
-		if !storable(ft) {
+		if !e.storable(ft) {
 			continue
 		}
 		start := len(buf)
 		buf = e.spec.AppendKey(buf, ft)
 		// Full slice expression: a key slice never grows into its
 		// neighbour even if a caller appends to it.
-		keys = append(keys, buf[start:len(buf):len(buf)])
-		pos = append(pos, i)
+		if ft.IsIPv4() {
+			keys = append(keys, buf[start:len(buf):len(buf)])
+			pos = append(pos, i)
+		} else {
+			keys6 = append(keys6, buf[start:len(buf):len(buf)])
+			pos6 = append(pos6, i)
+		}
 	}
 	sc.keys, sc.pos, sc.buf = keys, pos, buf
+	sc.keys6, sc.pos6 = keys6, pos6
 }
 
 // subResults sizes the scratch's sub-batch result buffers for n keys.
@@ -286,19 +454,30 @@ func (e *Engine) LookupBatchInto(fts []FiveTuple, ids []uint64, hits []bool) {
 	sc := e.scratch.Get().(*engineScratch)
 	e.validKeys(sc, fts)
 	if len(sc.keys) == len(fts) {
-		// Every tuple serialised: results are already positional, skip the
-		// scatter through pos.
+		// Every tuple serialised as IPv4: results are already positional,
+		// skip the scatter through pos.
 		e.sharded.LookupBatchInto(sc.keys, ids, hits)
 		e.scratch.Put(sc)
 		return
 	}
-	subIDs, subHits := sc.subResults(len(sc.keys))
-	e.sharded.LookupBatchInto(sc.keys, subIDs, subHits)
+	n4 := len(sc.keys)
+	subIDs, subHits := sc.subResults(n4 + len(sc.keys6))
+	if n4 > 0 {
+		e.sharded.LookupBatchInto(sc.keys, subIDs[:n4], subHits[:n4])
+	}
+	if len(sc.keys6) > 0 {
+		e.v6.LookupBatchInto(sc.keys6, subIDs[n4:], subHits[n4:])
+	}
 	for i := range ids {
 		ids[i], hits[i] = 0, false
 	}
 	for j, i := range sc.pos {
 		ids[i], hits[i] = subIDs[j], subHits[j]
+	}
+	for j, i := range sc.pos6 {
+		if subHits[n4+j] {
+			ids[i], hits[i] = subIDs[n4+j]|v6IDBit, true
+		}
 	}
 	e.scratch.Put(sc)
 }
@@ -312,10 +491,13 @@ func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
 	e.validKeys(sc, fts)
 	ids = make([]uint64, len(fts))
 	var errs []error
-	if len(sc.pos) < len(fts) {
+	if len(sc.pos)+len(sc.pos6) < len(fts) {
 		errs = make([]error, len(fts))
 		valid := make([]bool, len(fts))
 		for _, i := range sc.pos {
+			valid[i] = true
+		}
+		for _, i := range sc.pos6 {
 			valid[i] = true
 		}
 		for i := range fts {
@@ -332,6 +514,19 @@ func (e *Engine) InsertBatch(fts []FiveTuple) (ids []uint64, err error) {
 				errs = make([]error, len(fts))
 			}
 			errs[i] = subErrs[j]
+		}
+	}
+	if len(sc.keys6) > 0 {
+		subIDs6, subErrs6 := e.v6.InsertBatch(sc.keys6)
+		for j, i := range sc.pos6 {
+			if subErrs6 != nil && subErrs6[j] != nil {
+				if errs == nil {
+					errs = make([]error, len(fts))
+				}
+				errs[i] = subErrs6[j]
+				continue
+			}
+			ids[i] = subIDs6[j] | v6IDBit
 		}
 	}
 	e.scratch.Put(sc)
@@ -355,17 +550,24 @@ func (e *Engine) InsertBatchInto(fts []FiveTuple, ids []uint64, errs []error) {
 	sc := e.scratch.Get().(*engineScratch)
 	e.validKeys(sc, fts)
 	if len(sc.keys) == len(fts) {
-		// Every tuple serialised: results are already positional.
+		// Every tuple serialised as IPv4: results are already positional.
 		e.sharded.InsertBatchInto(sc.keys, ids, errs)
 		e.scratch.Put(sc)
 		return
 	}
-	subIDs, _ := sc.subResults(len(sc.keys))
-	if cap(sc.errs) < len(sc.keys) {
-		sc.errs = make([]error, len(sc.keys))
+	n4 := len(sc.keys)
+	nAll := n4 + len(sc.keys6)
+	subIDs, _ := sc.subResults(nAll)
+	if cap(sc.errs) < nAll {
+		sc.errs = make([]error, nAll)
 	}
-	subErrs := sc.errs[:len(sc.keys)]
-	e.sharded.InsertBatchInto(sc.keys, subIDs, subErrs)
+	subErrs := sc.errs[:nAll]
+	if n4 > 0 {
+		e.sharded.InsertBatchInto(sc.keys, subIDs[:n4], subErrs[:n4])
+	}
+	if len(sc.keys6) > 0 {
+		e.v6.InsertBatchInto(sc.keys6, subIDs[n4:], subErrs[n4:])
+	}
 	for i := range ids {
 		ids[i] = 0
 		errs[i] = ErrNotIPv4
@@ -373,6 +575,13 @@ func (e *Engine) InsertBatchInto(fts []FiveTuple, ids []uint64, errs []error) {
 	for j, i := range sc.pos {
 		ids[i], errs[i] = subIDs[j], subErrs[j]
 		subErrs[j] = nil // failures must not outlive the call inside the pool
+	}
+	for j, i := range sc.pos6 {
+		ids[i], errs[i] = subIDs[n4+j], subErrs[n4+j]
+		if errs[i] == nil {
+			ids[i] |= v6IDBit
+		}
+		subErrs[n4+j] = nil
 	}
 	e.scratch.Put(sc)
 }
@@ -399,16 +608,26 @@ func (e *Engine) DeleteBatchInto(fts []FiveTuple, ok []bool) {
 		e.scratch.Put(sc)
 		return
 	}
-	if cap(sc.oks) < len(sc.keys) {
-		sc.oks = make([]bool, len(sc.keys))
+	n4 := len(sc.keys)
+	nAll := n4 + len(sc.keys6)
+	if cap(sc.oks) < nAll {
+		sc.oks = make([]bool, nAll)
 	}
-	sc.oks = sc.oks[:len(sc.keys)]
-	e.sharded.DeleteBatchInto(sc.keys, sc.oks)
+	sc.oks = sc.oks[:nAll]
+	if n4 > 0 {
+		e.sharded.DeleteBatchInto(sc.keys, sc.oks[:n4])
+	}
+	if len(sc.keys6) > 0 {
+		e.v6.DeleteBatchInto(sc.keys6, sc.oks[n4:])
+	}
 	for i := range ok {
 		ok[i] = false
 	}
 	for j, i := range sc.pos {
 		ok[i] = sc.oks[j]
+	}
+	for j, i := range sc.pos6 {
+		ok[i] = sc.oks[n4+j]
 	}
 	e.scratch.Put(sc)
 }

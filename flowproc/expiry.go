@@ -43,7 +43,25 @@ const (
 	ExpireIdle = table.ExpireIdle
 	// ExpireActive marks an active-timeout retirement.
 	ExpireActive = table.ExpireActive
+	// ExpireEvicted marks a capacity-pressure reclamation by the
+	// FullEvictIdlest overload policy (fired from the insert path).
+	ExpireEvicted = table.ExpireEvicted
 )
+
+// FullPolicy re-exports the table layer's full-table degradation policy.
+type FullPolicy = table.FullPolicy
+
+// Full-table policies, re-exported for EngineConfig.OnFull.
+const (
+	// FullReject surfaces ErrTableFull to the inserter (the default).
+	FullReject = table.FullReject
+	// FullEvictIdlest evicts the least-recently-seen candidate slot and
+	// admits the new flow; requires Expiry.
+	FullEvictIdlest = table.FullEvictIdlest
+)
+
+// OverloadStats re-exports the table layer's pressure counters.
+type OverloadStats = table.OverloadStats
 
 // ExpiryStats re-exports the table layer's lifecycle counters.
 type ExpiryStats = table.ExpiryStats
@@ -69,17 +87,25 @@ type ExpiredFlow struct {
 // EngineConfig (like Advance, it has no lifecycle layer to attach to).
 func (e *Engine) Expired(fn func(ExpiredFlow)) {
 	if fn == nil {
-		e.sharded.OnExpired(nil)
+		for _, s := range e.tables() {
+			s.OnExpired(nil)
+		}
 		return
 	}
 	spec := e.spec
-	e.sharded.OnExpired(func(id uint64, key []byte, first, last int64, reason table.ExpireReason) {
-		ft, ok := spec.ParseKey(key)
-		if !ok {
-			return // cannot happen: the engine only stores keys it serialised
+	hook := func(tag uint64) table.ExpiredFunc {
+		return func(id uint64, key []byte, first, last int64, reason table.ExpireReason) {
+			ft, ok := spec.ParseKey(key)
+			if !ok {
+				return // cannot happen: the engine only stores keys it serialised
+			}
+			fn(ExpiredFlow{Tuple: ft, ID: id | tag, FirstSeen: first, LastSeen: last, Reason: reason})
 		}
-		fn(ExpiredFlow{Tuple: ft, ID: id, FirstSeen: first, LastSeen: last, Reason: reason})
-	})
+	}
+	e.sharded.OnExpired(hook(0))
+	if e.v6 != nil {
+		e.v6.OnExpired(hook(v6IDBit))
+	}
 }
 
 // Advance moves the engine's lifecycle clock to now and runs one bounded
@@ -89,29 +115,51 @@ func (e *Engine) Expired(fn func(ExpiredFlow)) {
 // write lock is held for at most SweepBudget slot visits, and the sweep
 // cursor persists so successive calls cover the whole table. Lookups and
 // inserts between Advance calls are timestamped with the latest now.
-// Advance panics when expiry was not enabled in EngineConfig.
-func (e *Engine) Advance(now int64) int { return e.sharded.Advance(now) }
+// Advance panics when expiry was not enabled in EngineConfig. A
+// dual-stack engine sweeps both family tables with the same clock.
+func (e *Engine) Advance(now int64) int {
+	n := e.sharded.Advance(now)
+	if e.v6 != nil {
+		n += e.v6.Advance(now)
+	}
+	return n
+}
 
 // ExpiryEnabled reports whether the lifecycle layer is active.
 func (e *Engine) ExpiryEnabled() bool { return e.sharded.ExpiryEnabled() }
 
 // ExpiryStats returns a snapshot of the lifecycle counters (sweeps, slots
 // examined, evictions by reason); the zero value when expiry is disabled.
-func (e *Engine) ExpiryStats() ExpiryStats { return e.sharded.ExpiryStats() }
+// A dual-stack engine sums both family tables.
+func (e *Engine) ExpiryStats() ExpiryStats {
+	st := e.sharded.ExpiryStats()
+	if e.v6 != nil {
+		st6 := e.v6.ExpiryStats()
+		st.Sweeps += st6.Sweeps
+		st.SlotsExamined += st6.SlotsExamined
+		st.Evicted += st6.Evicted
+		st.IdleEvicted += st6.IdleEvicted
+		st.ActiveEvicted += st6.ActiveEvicted
+		st.PressureEvicted += st6.PressureEvicted
+	}
+	return st
+}
 
 // Now returns the lifecycle clock's current value (the last Advance), or
 // 0 when expiry is disabled.
 func (e *Engine) Now() int64 { return e.sharded.Now() }
 
-// enableExpiry wires cfg into the sharded table at construction.
+// enableExpiry wires cfg into every sharded table at construction.
 func (e *Engine) enableExpiry(cfg ExpiryConfig) error {
-	err := e.sharded.EnableExpiry(table.ExpiryConfig{
-		IdleTimeout:   cfg.IdleTimeout,
-		ActiveTimeout: cfg.ActiveTimeout,
-		SweepBudget:   cfg.SweepBudget,
-	})
-	if err != nil {
-		return fmt.Errorf("flowproc: engine expiry: %w", err)
+	for _, s := range e.tables() {
+		err := s.EnableExpiry(table.ExpiryConfig{
+			IdleTimeout:   cfg.IdleTimeout,
+			ActiveTimeout: cfg.ActiveTimeout,
+			SweepBudget:   cfg.SweepBudget,
+		})
+		if err != nil {
+			return fmt.Errorf("flowproc: engine expiry: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,277 @@
+package flowproc_test
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"repro/flowproc"
+)
+
+// tuple6 builds a distinct IPv6 5-tuple per index.
+func tuple6(i uint32) flowproc.FiveTuple {
+	var src, dst [16]byte
+	src[0], src[1] = 0x20, 0x01
+	dst[0], dst[1] = 0x20, 0x01
+	src[12], src[13], src[14], src[15] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+	dst[15] = 0x99
+	return flowproc.FiveTuple{
+		Src:     netip.AddrFrom16(src),
+		Dst:     netip.AddrFrom16(dst),
+		SrcPort: uint16(i) | 1024,
+		DstPort: 443,
+		Proto:   6,
+	}
+}
+
+// TestEngineHashSeed pins the keyed-hashing surface: a fresh engine draws
+// a non-zero random seed, an explicit seed is honoured and reproduces
+// placement across engines, and FixedHash restores the deterministic
+// unkeyed family (seed 0, placement equal across engines with no seed).
+func TestEngineHashSeed(t *testing.T) {
+	mk := func(cfg flowproc.EngineConfig) *flowproc.Engine {
+		cfg.Backend, cfg.Shards, cfg.Capacity = "hashcam", 4, 1<<14
+		e, err := flowproc.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if seed := mk(flowproc.EngineConfig{}).HashSeed(); seed == 0 {
+		t.Fatal("default engine reports seed 0; keyed hashing is not on by default")
+	}
+	if seed := mk(flowproc.EngineConfig{FixedHash: true}).HashSeed(); seed != 0 {
+		t.Fatalf("FixedHash engine reports seed %#x, want 0", seed)
+	}
+
+	fts := make([]flowproc.FiveTuple, 512)
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	place := func(e *flowproc.Engine) []uint64 {
+		ids, err := e.InsertBatch(fts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	a := place(mk(flowproc.EngineConfig{HashSeed: 0xabcdef}))
+	b := place(mk(flowproc.EngineConfig{HashSeed: 0xabcdef}))
+	c := place(mk(flowproc.EngineConfig{HashSeed: 0x123456}))
+	diff := 0
+	for i := range fts {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d: seed-equal engines placed at %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("512 flows placed identically under different seeds")
+	}
+	// An engine rebuilt from HashSeed() reproduces a random-seeded one.
+	r := mk(flowproc.EngineConfig{})
+	r2 := place(mk(flowproc.EngineConfig{HashSeed: r.HashSeed()}))
+	for i, id := range place(r) {
+		if id != r2[i] {
+			t.Fatalf("flow %d: engine rebuilt from HashSeed() placed at %d vs %d", i, r2[i], id)
+		}
+	}
+}
+
+// TestEngineDualStack covers the IPv6 twin table: scalar and batch
+// operations over a mixed-family workload, family-unique IDs (bit 63
+// tags IPv6), summed Len/ShardLens, and lifecycle expiry surfacing IPv6
+// tuples with tagged IDs.
+func TestEngineDualStack(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 4, Capacity: 1 << 12, DualStack: true,
+		Expiry: flowproc.ExpiryConfig{IdleTimeout: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.DualStack() {
+		t.Fatal("DualStack() false on a dual-stack engine")
+	}
+	var expired []flowproc.ExpiredFlow
+	e.Expired(func(f flowproc.ExpiredFlow) { expired = append(expired, f) })
+	e.Advance(10)
+
+	// Scalar round-trip per family.
+	v4, v6 := tuple(7), tuple6(7)
+	id4, err4 := e.Insert(v4)
+	id6, err6 := e.Insert(v6)
+	if err4 != nil || err6 != nil {
+		t.Fatalf("scalar inserts: %v / %v", err4, err6)
+	}
+	if id4>>63 != 0 || id6>>63 != 1 {
+		t.Fatalf("family ID tags wrong: v4 %#x, v6 %#x", id4, id6)
+	}
+	if got, ok := e.Lookup(v6); !ok || got != id6 {
+		t.Fatalf("v6 lookup (%d,%v), want (%d,true)", got, ok, id6)
+	}
+	if !e.Delete(v6) || e.Delete(v6) {
+		t.Fatal("v6 delete did not remove exactly once")
+	}
+	e.Delete(v4)
+
+	// Mixed batch: positions interleave families plus one invalid tuple.
+	mixed := make([]flowproc.FiveTuple, 0, 61)
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			mixed = append(mixed, tuple(uint32(i)))
+		} else {
+			mixed = append(mixed, tuple6(uint32(i)))
+		}
+	}
+	mixed = append(mixed, flowproc.FiveTuple{})
+	ids, insErr := e.InsertBatch(mixed)
+	if !errors.Is(insErr, flowproc.ErrNotIPv4) {
+		t.Fatalf("invalid tuple not surfaced: %v", insErr)
+	}
+	gotIDs, hits := e.LookupBatch(mixed)
+	for i := 0; i < 60; i++ {
+		if !hits[i] || gotIDs[i] != ids[i] {
+			t.Fatalf("flow %d: batch lookup (%d,%v), want (%d,true)", i, gotIDs[i], hits[i], ids[i])
+		}
+		if want := uint64(i%2) << 63; gotIDs[i]&(1<<63) != want {
+			t.Fatalf("flow %d: family tag %#x, want %#x", i, gotIDs[i]&(1<<63), want)
+		}
+		if sid, ok := e.Lookup(mixed[i]); !ok || sid != ids[i] {
+			t.Fatalf("flow %d: scalar lookup (%d,%v) disagrees with batch ID %d", i, sid, ok, ids[i])
+		}
+	}
+	if hits[60] {
+		t.Fatal("invalid tuple reported resident")
+	}
+	if got := e.Len(); got != 60 {
+		t.Fatalf("Len %d, want 60 across both families", got)
+	}
+	total := 0
+	for _, n := range e.ShardLens() {
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("ShardLens sum %d, want 60", total)
+	}
+
+	// Idle-expire everything; the v6 flows must surface as v6 tuples with
+	// tagged IDs.
+	for i := 0; i < 40; i++ {
+		e.Advance(200)
+	}
+	got6 := 0
+	for _, f := range expired {
+		if !f.Tuple.Valid() {
+			t.Fatalf("expired flow carries invalid tuple %v", f.Tuple)
+		}
+		if !f.Tuple.IsIPv4() {
+			got6++
+			if f.ID>>63 != 1 {
+				t.Fatalf("expired v6 flow %v carries untagged ID %#x", f.Tuple, f.ID)
+			}
+		}
+	}
+	if got6 != 30 {
+		t.Fatalf("%d v6 flows expired, want 30", got6)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len %d after full expiry, want 0", e.Len())
+	}
+
+	// Batch deletes route per family too (reinsert, then delete).
+	if _, err := e.InsertBatch(mixed[:60]); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range e.DeleteBatch(mixed) {
+		if (i < 60) != ok {
+			t.Fatalf("delete %d = %v", i, ok)
+		}
+	}
+}
+
+// TestEngineOnFullEvictIdlest pins the engine-level degradation policy:
+// construction is rejected without Expiry, and with it a 4x-oversubscribed
+// insert load is fully admitted — zero ErrTableFull — by evicting idlest
+// flows, all surfaced through the Expired callback with reason
+// ExpireEvicted and counted in OverloadStats.
+func TestEngineOnFullEvictIdlest(t *testing.T) {
+	if _, err := flowproc.NewEngine(flowproc.EngineConfig{OnFull: flowproc.FullEvictIdlest}); err == nil {
+		t.Fatal("OnFull=FullEvictIdlest accepted without Expiry")
+	}
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 2, Capacity: 1 << 10,
+		Expiry: flowproc.ExpiryConfig{IdleTimeout: 1 << 30},
+		OnFull: flowproc.FullEvictIdlest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FullPolicy() != flowproc.FullEvictIdlest {
+		t.Fatalf("policy %v, want evict-idlest", e.FullPolicy())
+	}
+	evictions := 0
+	e.Expired(func(f flowproc.ExpiredFlow) {
+		if f.Reason != flowproc.ExpireEvicted {
+			t.Errorf("reason %v, want evicted", f.Reason)
+		}
+		evictions++
+	})
+	e.Advance(10)
+	for i := 0; i < 4<<10; i++ {
+		if _, err := e.Insert(tuple(uint32(i))); err != nil {
+			t.Fatalf("flow %d rejected under evict-idlest: %v", i, err)
+		}
+	}
+	os := e.OverloadStats()
+	if os.RejectedInserts != 0 {
+		t.Fatalf("%d rejections surfaced, want 0", os.RejectedInserts)
+	}
+	if evictions == 0 || os.PressureEvictions != int64(evictions) {
+		t.Fatalf("PressureEvictions %d, callbacks %d — want equal and non-zero",
+			os.PressureEvictions, evictions)
+	}
+	if st := e.ExpiryStats(); st.PressureEvicted != os.PressureEvictions {
+		t.Fatalf("ExpiryStats.PressureEvicted %d != OverloadStats %d",
+			st.PressureEvicted, os.PressureEvictions)
+	}
+}
+
+// TestEngineDualStackLookupZeroAllocs extends the zero-alloc pin to the
+// dual-stack read path: a mixed-family LookupBatchInto performs no heap
+// allocations in steady state (the 37-byte IPv6 keys serialise into the
+// same pooled buffer; only the table-side spill compare differs).
+func TestEngineDualStackLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 4, Capacity: 1 << 12, DualStack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]flowproc.FiveTuple, 128)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i] = tuple(uint32(i))
+		} else {
+			batch[i] = tuple6(uint32(i))
+		}
+	}
+	if _, err := e.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(batch))
+	hits := make([]bool, len(batch))
+	e.LookupBatchInto(batch, ids, hits) // warm the pooled scratch
+	if n := testing.AllocsPerRun(200, func() { e.LookupBatchInto(batch, ids, hits) }); n != 0 {
+		t.Fatalf("dual-stack LookupBatchInto allocates %.2f per 128-key batch, want 0", n)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("flow %d missing after insert", i)
+		}
+	}
+}

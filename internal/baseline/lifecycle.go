@@ -1,6 +1,9 @@
 package baseline
 
-import "repro/internal/table"
+import (
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
 
 // This file implements the slot-addressed lifecycle extension
 // (table.EvictableBackend) on every §II baseline, so the expiry sweep
@@ -16,8 +19,81 @@ var (
 	_ table.EvictableBackend = (*Cuckoo)(nil)
 	_ table.EvictableBackend = (*ConvHashCAM)(nil)
 
+	_ table.CandidateSlotter = (*SingleHash)(nil)
+	_ table.CandidateSlotter = (*DLeft)(nil)
+	_ table.CandidateSlotter = (*Cuckoo)(nil)
+	_ table.CandidateSlotter = (*ConvHashCAM)(nil)
+
 	_ table.RelocatingBackend = (*Cuckoo)(nil)
 )
+
+// appendOccupied appends the occupied slots of one K-slot bucket, with
+// IDs formed as idBase + arena offset.
+func appendOccupied(dst []uint64, st interface{ Occupied(int) bool }, base, slots int, idBase uint64) []uint64 {
+	for s := 0; s < slots; s++ {
+		if st.Occupied(base + s) {
+			dst = append(dst, idBase+uint64(base+s))
+		}
+	}
+	return dst
+}
+
+// AppendCandidateSlots implements table.CandidateSlotter: the occupied
+// slots of the key's single bucket. Only meaningful on a pair-bound table
+// (NewSingleHashPair); an arbitrary-Func table has no KeyHashes word to
+// reduce and appends nothing, which the caller treats as "cannot evict".
+func (s *SingleHash) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	var w uint64
+	switch s.khWord {
+	case khH1:
+		w = kh.H1
+	case khH2:
+		w = kh.H2
+	default:
+		return dst
+	}
+	return appendOccupied(dst, s.store, hashfn.Reduce(w, s.buckets)*s.slots, s.slots, 0)
+}
+
+// AppendCandidateSlots implements table.CandidateSlotter: the occupied
+// slots of every pair-bound sub-table's candidate bucket (khNone
+// sub-tables are skipped — no word to reduce without rehashing).
+func (d *DLeft) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	for t := range d.stores {
+		var w uint64
+		switch d.khWords[t] {
+		case khH1:
+			w = kh.H1
+		case khH2:
+			w = kh.H2
+		default:
+			continue
+		}
+		dst = appendOccupied(dst, d.stores[t],
+			hashfn.Reduce(w, d.buckets)*d.slots, d.slots, d.id(t, 0))
+	}
+	return dst
+}
+
+// AppendCandidateSlots implements table.CandidateSlotter: the occupied
+// slots of the key's two direct buckets. Freeing one does not guarantee a
+// kick-free retry (the freed slot may sit in the bucket the kick chain
+// visits second), but it does guarantee a reachable hole one hop away,
+// which bounds the common retry to a short chain.
+func (c *Cuckoo) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	w := [2]uint64{kh.H1, kh.H2}
+	for t := 0; t < 2; t++ {
+		dst = appendOccupied(dst, c.stores[t],
+			hashfn.Reduce(w[t], c.buckets)*c.slots, c.slots, c.id(t, 0))
+	}
+	return dst
+}
+
+// AppendCandidateSlots implements table.CandidateSlotter, delegating to
+// the inner Hash-CAM (same fid layout).
+func (c *ConvHashCAM) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	return c.table.AppendCandidateSlots(dst, kh)
+}
 
 // SlotIDBound implements table.EvictableBackend: buckets × slots.
 func (s *SingleHash) SlotIDBound() uint64 { return uint64(s.buckets * s.slots) }

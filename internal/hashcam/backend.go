@@ -93,6 +93,7 @@ func (e Exact) StorageBytes() int64 { return e.Table.Bytes() }
 var (
 	_ table.HashedBackend     = Exact{}
 	_ table.EvictableBackend  = Exact{} // lifecycle methods promote from *Table
+	_ table.CandidateSlotter  = Exact{}
 	_ table.PrefetchBackend   = Exact{}
 	_ table.OptimisticBackend = Exact{}
 	_ table.StorageSized      = Exact{}

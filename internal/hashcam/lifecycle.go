@@ -1,6 +1,9 @@
 package hashcam
 
-import "repro/internal/table"
+import (
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
 
 // This file implements the slot-addressed lifecycle extension
 // (table.EvictableBackend) on the Hash-CAM: the eviction sweep enumerates
@@ -60,6 +63,31 @@ func (t *Table) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
 		return dst, false
 	}
 	return t.mem[h].store.AppendKey(dst, int(off))
+}
+
+// AppendCandidateSlots implements table.CandidateSlotter: the occupied
+// slots an insert of kh's key could have used — its Mem1 bucket, its Mem2
+// bucket, and every occupied CAM entry (any key can overflow into the
+// CAM, so freeing a CAM slot also unblocks the retry). Freeing any
+// appended slot guarantees the retried insert places without relocation.
+func (t *Table) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	k := t.cfg.SlotsPerBucket
+	b1 := hashfn.Reduce(kh.H1, t.cfg.Buckets)
+	b2 := hashfn.Reduce(kh.H2, t.cfg.Buckets)
+	for s := 0; s < k; s++ {
+		if off := b1*k + s; t.mem[0].store.Occupied(off) {
+			dst = append(dst, t.fid(0, b1, s))
+		}
+		if off := b2*k + s; t.mem[1].store.Occupied(off) {
+			dst = append(dst, t.fid(1, b2, s))
+		}
+	}
+	for i := 0; i < t.cfg.CAMCapacity; i++ {
+		if _, ok := t.cam.EntryAt(i); ok {
+			dst = append(dst, t.camFID(i))
+		}
+	}
+	return dst
 }
 
 // DeleteSlot implements table.EvictableBackend: it reclaims fid slot

@@ -11,6 +11,7 @@
 package hashfn
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -278,6 +279,11 @@ func (t *Tabulation) Name() string { return t.name }
 // Index1/Index2 reduce the hashes onto a table of the given bucket count.
 type Pair struct {
 	H1, H2 Func
+	// SelSeed keys the shard-selector mix of Compute. Zero selects the
+	// historical fixed constant (bit-compatible with pre-keying callers);
+	// a nonzero value makes shard routing unpredictable to a traffic
+	// source that knows — or can infer — the bucket hash functions.
+	SelSeed uint64
 }
 
 // KeyHashes carries every hash word the table stack needs for one key,
@@ -296,21 +302,48 @@ type KeyHashes struct {
 }
 
 // mixSeed decorrelates the selector word from any other finalizer use of
-// the same hash words.
+// the same hash words. It is the *unkeyed* default only: a pair built by
+// SeededPair (or any Pair with a nonzero SelSeed) mixes with a secret
+// seed instead, so an attacker who can predict bucket indices still
+// cannot steer keys onto one shard.
 const mixSeed = 0x5ca1ab1e_0ddba11
 
-// MixWords derives the selector word of KeyHashes from the two hash words.
-// Rotating H2 before the XOR keeps the combination from collapsing when
-// H1 == H2 on the low word.
+// Domain-separation constants for deriving the per-role seeds of a keyed
+// pair from one engine seed. Arbitrary odd constants; they only need to
+// be distinct so H1, H2 and the selector draw independent SplitMix64
+// outputs.
+const (
+	seedDomainH1  = 0x9e3779b97f4a7c15
+	seedDomainH2  = 0xc2b2ae3d27d4eb4f
+	seedDomainSel = 0x165667b19e3779f9
+)
+
+// MixWords derives the selector word of KeyHashes from the two hash words
+// using the fixed historical constant. Rotating H2 before the XOR keeps
+// the combination from collapsing when H1 == H2 on the low word.
 func MixWords(h1, h2 uint64) uint64 {
 	return mix64(h1 ^ bits.RotateLeft64(h2, 32) ^ mixSeed)
+}
+
+// MixWordsSeeded is MixWords with a caller-supplied selector seed in
+// place of the fixed constant. MixWordsSeeded(h1, h2, 0) == MixWords(h1,
+// h2), matching Pair.Compute's treatment of a zero SelSeed.
+func MixWordsSeeded(h1, h2, seed uint64) uint64 {
+	if seed == 0 {
+		seed = mixSeed
+	}
+	return mix64(h1 ^ bits.RotateLeft64(h2, 32) ^ seed)
 }
 
 // Compute hashes key once with both functions and derives the selector
 // word — the single hash pass of the hot path.
 func (p Pair) Compute(key []byte) KeyHashes {
 	h1, h2 := p.H1.Hash(key), p.H2.Hash(key)
-	return KeyHashes{H1: h1, H2: h2, Mix: MixWords(h1, h2)}
+	seed := p.SelSeed
+	if seed == 0 {
+		seed = mixSeed
+	}
+	return KeyHashes{H1: h1, H2: h2, Mix: mix64(h1 ^ bits.RotateLeft64(h2, 32) ^ seed)}
 }
 
 // Index1 reduces the precomputed H1 word onto [0, buckets); identical to
@@ -323,11 +356,55 @@ func (k KeyHashes) Index2(buckets int) int { return reduce(k.H2, buckets) }
 
 // DefaultPair returns the pair used by the prototype configuration: two
 // CRC-32 instances over independent polynomials, the standard choice for
-// FPGA flow hashing.
+// FPGA flow hashing. CRCs are GF(2)-affine, so their collision structure
+// is public and seed-independent — an attacker can mine colliding keys
+// offline (see trafficgen's collision miner). Public-facing deployments
+// should use SeededPair instead; DefaultPair remains for bit-reproducible
+// experiments and as the hardware-model reference.
 func DefaultPair() Pair {
 	return Pair{
 		H1: NewCRC(crc32.Castagnoli, "crc32c"),
 		H2: NewCRC(crc32.Koopman, "crc32k"),
+	}
+}
+
+// SeededPair returns a keyed hash pair derived from one engine seed. The
+// bucket functions are Mix64 instances with independently derived seeds —
+// a non-linear family, unlike the CRC default, so collision pairs cannot
+// be computed without the seed — and the selector mix is keyed through
+// SelSeed so shard routing is equally unpredictable. Equal seeds give
+// identical pairs (reproducible experiments); distinct seeds give
+// unrelated bucket placements, which also relocates every
+// location-derived flow ID.
+func SeededPair(seed uint64) Pair {
+	return Pair{
+		H1:      &Mix64{Seed: mix64(seed ^ seedDomainH1)},
+		H2:      &Mix64{Seed: mix64(seed ^ seedDomainH2)},
+		SelSeed: SelectorSeed(seed),
+	}
+}
+
+// SelectorSeed derives the shard-selector mix seed a keyed deployment
+// uses for the given engine seed. Exposed so a caller pinning explicit
+// bucket functions (e.g. the CRC reference pair) can still key its shard
+// routing from the same engine seed.
+func SelectorSeed(seed uint64) uint64 { return mix64(seed ^ seedDomainSel) }
+
+// RandomSeed draws a fresh engine seed from the operating system's
+// CSPRNG. The result is never zero, so it can be stored in "zero means
+// unset" configuration fields without losing the keying.
+func RandomSeed() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := crand.Read(buf[:]); err != nil {
+			// crypto/rand never fails on the supported platforms; if it
+			// somehow does, refusing to start is safer than silently
+			// falling back to a predictable seed.
+			panic(fmt.Sprintf("hashfn: reading random seed: %v", err))
+		}
+		if s := binary.LittleEndian.Uint64(buf[:]); s != 0 {
+			return s
+		}
 	}
 }
 

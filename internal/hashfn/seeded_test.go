@@ -1,0 +1,108 @@
+package hashfn
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestSeededPairDeterministicPerSeed pins the reproducibility contract:
+// equal seeds give bit-identical hash words and selector mixes, distinct
+// seeds give unrelated ones.
+func TestSeededPairDeterministicPerSeed(t *testing.T) {
+	a, b := SeededPair(42), SeededPair(42)
+	c := SeededPair(43)
+	key := make([]byte, 13)
+	same, diff1, diffMix := 0, 0, 0
+	for i := 0; i < 2000; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i)*0x9e3779b97f4a7c15)
+		ka, kb, kc := a.Compute(key), b.Compute(key), c.Compute(key)
+		if ka != kb {
+			t.Fatalf("key %d: same seed disagrees: %+v vs %+v", i, ka, kb)
+		}
+		if ka == kc {
+			same++
+		}
+		if ka.H1 == kc.H1 {
+			diff1++
+		}
+		if ka.Mix == kc.Mix {
+			diffMix++
+		}
+	}
+	if same > 0 || diff1 > 0 || diffMix > 0 {
+		t.Fatalf("seeds 42 vs 43 collided on %d full bundles, %d H1 words, %d Mix words (want 0)",
+			same, diff1, diffMix)
+	}
+}
+
+// TestSeededPairKeysSelector checks that the selector mix of a seeded
+// pair differs from the unkeyed MixWords constant path, and that
+// MixWordsSeeded(_, _, 0) stays bit-compatible with MixWords.
+func TestSeededPairKeysSelector(t *testing.T) {
+	p := SeededPair(7)
+	if p.SelSeed == 0 {
+		t.Fatal("SeededPair left SelSeed at the unkeyed zero value")
+	}
+	if p.SelSeed != SelectorSeed(7) {
+		t.Fatalf("SelSeed %#x != SelectorSeed(7) %#x", p.SelSeed, SelectorSeed(7))
+	}
+	key := []byte("thirteen-byte")
+	kh := p.Compute(key)
+	if kh.Mix == MixWords(kh.H1, kh.H2) {
+		t.Fatal("seeded pair produced the unkeyed selector word")
+	}
+	if kh.Mix != MixWordsSeeded(kh.H1, kh.H2, p.SelSeed) {
+		t.Fatal("Compute's Mix disagrees with MixWordsSeeded over the same seed")
+	}
+	if MixWordsSeeded(kh.H1, kh.H2, 0) != MixWords(kh.H1, kh.H2) {
+		t.Fatal("MixWordsSeeded with zero seed must match the historical MixWords")
+	}
+}
+
+// TestSeededPairSelectorIndependence repeats the sharded table's
+// selector/bucket independence requirement under a keyed pair: keys
+// pinned to one bucket must still spread across shards.
+func TestSeededPairSelectorIndependence(t *testing.T) {
+	pair := SeededPair(0x5eed)
+	const (
+		buckets = 64
+		shards  = 8
+	)
+	counts := make([]int, shards)
+	total := 0
+	key := make([]byte, 13)
+	for i := 0; total < 4000 && i < 2_000_000; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i))
+		kh := pair.Compute(key)
+		if kh.Index1(buckets) != 0 {
+			continue
+		}
+		counts[Reduce(kh.Mix, shards)]++
+		total++
+	}
+	if total < 4000 {
+		t.Fatalf("only %d keys landed in the probe bucket", total)
+	}
+	want := total / shards
+	for s, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("shard %d holds %d of %d same-bucket keys (want ≈%d)", s, n, total, want)
+		}
+	}
+}
+
+// TestRandomSeedNonZeroAndVarying sanity-checks the CSPRNG draw: never
+// zero (the "unset" sentinel) and vanishingly unlikely to repeat.
+func TestRandomSeedNonZeroAndVarying(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		s := RandomSeed()
+		if s == 0 {
+			t.Fatal("RandomSeed returned the zero sentinel")
+		}
+		if seen[s] {
+			t.Fatalf("RandomSeed repeated %#x within 64 draws", s)
+		}
+		seen[s] = true
+	}
+}

@@ -46,6 +46,11 @@ func FuzzAppendKey(f *testing.F) {
 	f.Add([]byte{192, 168, 1, 1}, []byte{8, 8, 8, 8}, uint16(53), uint16(53), byte(17), false, []byte("prefix"))
 	f.Add([]byte{0, 0, 0, 0}, []byte{255, 255, 255, 255}, uint16(0), uint16(65535), byte(1), false, []byte{0xff})
 	f.Add(bytes.Repeat([]byte{0x20}, 16), bytes.Repeat([]byte{0x01}, 16), uint16(80), uint16(8080), byte(6), true, []byte(nil))
+	// IPv4-mapped-in-IPv6: Is4() is false, so these serialise as 16-byte
+	// addresses through the v6 fast path.
+	f.Add(append(bytes.Repeat([]byte{0}, 10), 0xff, 0xff, 10, 0, 0, 1),
+		append(bytes.Repeat([]byte{0}, 10), 0xff, 0xff, 10, 0, 0, 2),
+		uint16(443), uint16(51234), byte(6), true, []byte("pfx"))
 	f.Fuzz(func(t *testing.T, srcRaw, dstRaw []byte, sport, dport uint16, proto byte, v6 bool, prefix []byte) {
 		ft := FiveTuple{
 			Src:     addrFrom(srcRaw, v6),
@@ -72,9 +77,9 @@ func FuzzAppendKey(f *testing.F) {
 		if want := spec.KeyLen(!v6); len(body) != want {
 			t.Fatalf("key is %d bytes, spec says %d", len(body), want)
 		}
-		// Differential: fast path (std5 + IPv4) vs the reference generic
-		// loop. For IPv6 both sides take the generic shape; the property
-		// still pins the layout.
+		// Differential: the fixed-block fast paths (std5 + same-family
+		// addresses, 13-byte v4 or 37-byte v6 block) vs the reference
+		// generic loop.
 		if ref := refAppendKey(nil, ft); !bytes.Equal(body, ref) {
 			t.Fatalf("AppendKey %x disagrees with reference serialisation %x", body, ref)
 		}

@@ -77,6 +77,40 @@ func TestFiveTupleSpecKeyLayout(t *testing.T) {
 	}
 }
 
+func TestAppendKeyIPv6FixedBlock(t *testing.T) {
+	spec := FiveTupleSpec()
+	ft := FiveTuple{
+		Src:     netip.MustParseAddr("2001:db8::1"),
+		Dst:     netip.MustParseAddr("2001:db8:ff::2:9"),
+		SrcPort: 51724,
+		DstPort: 443,
+		Proto:   ProtoTCP,
+	}
+	src, dst := ft.Src.As16(), ft.Dst.As16()
+	want := append(append(append([]byte{}, src[:]...), dst[:]...),
+		0xCA, 0x0C, 0x01, 0xBB, 6)
+	if key := spec.Key(ft); !bytes.Equal(key, want) {
+		t.Fatalf("v6 key = %x, want %x", key, want)
+	}
+	// The in-place fast path (ample capacity) and the growth path must
+	// agree and preserve prior dst contents, as for IPv4.
+	prefix := []byte("hdr")
+	roomy := append(make([]byte, 0, 64), prefix...)
+	tight := append(make([]byte, 0, len(prefix)), prefix...)
+	kr := spec.AppendKey(roomy, ft)
+	kt := spec.AppendKey(tight, ft)
+	if !bytes.Equal(kr, kt) || !bytes.Equal(kr[:3], prefix) || !bytes.Equal(kr[3:], want) {
+		t.Fatalf("append paths diverge: roomy %x tight %x", kr, kt)
+	}
+	// A mixed-family tuple (invalid for flows, but serialisable) must take
+	// the generic loop: 4-byte source, 16-byte destination.
+	mixed := ft
+	mixed.Src = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	if got := spec.Key(mixed); len(got) != 4+16+5 {
+		t.Fatalf("mixed-family key length = %d, want 25", len(got))
+	}
+}
+
 func TestTupleSpecSubsets(t *testing.T) {
 	spec, err := NewTupleSpec(FieldDstAddr, FieldProto)
 	if err != nil {

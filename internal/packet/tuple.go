@@ -170,6 +170,26 @@ func (s TupleSpec) AppendKey(dst []byte, ft FiveTuple) []byte {
 		k[12] = ft.Proto
 		return dst
 	}
+	if s.std5 && !ft.Src.Is4() && !ft.Dst.Is4() {
+		// Same fixed-block treatment for the 37-byte IPv6 5-tuple: the
+		// spill-path descriptor is assembled in place instead of walking
+		// the dispatch loop, which matters once v6-heavy mixes hit the
+		// per-packet key build. Byte-for-byte the loop's output (As16 of
+		// an invalid address is all zeros on both paths).
+		n := len(dst)
+		if cap(dst)-n < 37 {
+			dst = append(dst, make([]byte, 37)...)[:n]
+		}
+		dst = dst[:n+37]
+		k := dst[n:]
+		src, dst16 := ft.Src.As16(), ft.Dst.As16()
+		copy(k[0:16], src[:])
+		copy(k[16:32], dst16[:])
+		binary.BigEndian.PutUint16(k[32:34], ft.SrcPort)
+		binary.BigEndian.PutUint16(k[34:36], ft.DstPort)
+		k[36] = ft.Proto
+		return dst
+	}
 	for _, f := range s.fields {
 		switch f {
 		case FieldSrcAddr:

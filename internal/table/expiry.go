@@ -67,8 +67,11 @@ type expiryState struct {
 	epoch atomic.Uint32
 	// epochTimes rings the clock value of the last epochRing epochs:
 	// epochTimes[e % epochRing] is epoch e's clock. Written only by
-	// Advance (under sweepMu) before the epoch counter is published; read
-	// by the sweep under sweepMu.
+	// Advance (under sweepMu) before the epoch counter is published.
+	// Entries are accessed atomically: besides the sweep (under sweepMu),
+	// the FullEvictIdlest insert path resolves victim timestamps through
+	// timeOf while holding only a shard lock — it cannot take sweepMu,
+	// which Advance holds while waiting for shard locks.
 	epochTimes []int64
 	// onExpired is the export callback; set before the first Advance.
 	onExpired ExpiredFunc
@@ -81,23 +84,25 @@ type expiryState struct {
 	recs   []expiredRec
 	keyBuf []byte
 
-	sweeps        atomic.Int64
-	slotsExamined atomic.Int64
-	idleEvicted   atomic.Int64
-	activeEvicted atomic.Int64
+	sweeps          atomic.Int64
+	slotsExamined   atomic.Int64
+	idleEvicted     atomic.Int64
+	activeEvicted   atomic.Int64
+	pressureEvicted atomic.Int64
 }
 
 // timeOf resolves a stamped epoch back to its clock value: exact (and
 // exact=true) for the last epochRing epochs; for anything older it
 // returns the oldest retained epoch's time with exact=false, which the
-// sweep treats as "older than any timeout" (see epochRing). Called under
-// sweepMu.
+// sweep treats as "older than any timeout" (see epochRing). Callers hold
+// either sweepMu (the sweep) or a shard write lock (the FullEvictIdlest
+// path), so ring entries are read atomically.
 func (exp *expiryState) timeOf(e uint32) (int64, bool) {
 	cur := exp.epoch.Load()
 	if cur-e < epochRing { // uint32 arithmetic: distance modulo 2^32
-		return exp.epochTimes[e&(epochRing-1)], true
+		return atomic.LoadInt64(&exp.epochTimes[e&(epochRing-1)]), true
 	}
-	return exp.epochTimes[(cur+1)&(epochRing-1)], false // oldest retained
+	return atomic.LoadInt64(&exp.epochTimes[(cur+1)&(epochRing-1)]), false // oldest retained
 }
 
 // expiredRec stages one retired flow between DeleteSlot (under the shard
@@ -152,6 +157,14 @@ func (s *Sharded) EnableExpiry(cfg ExpiryConfig) error {
 		}
 	}
 	s.expiry = exp
+	if s.pendingEvictIdlest {
+		// Config.OnFull requested the graceful policy; now that the
+		// timestamps exist it can be validated and switched on.
+		if err := s.SetFullPolicy(FullEvictIdlest); err != nil {
+			s.expiry = nil
+			return err
+		}
+	}
 	return nil
 }
 
@@ -186,12 +199,14 @@ func (s *Sharded) ExpiryStats() ExpiryStats {
 		return ExpiryStats{}
 	}
 	idle, active := exp.idleEvicted.Load(), exp.activeEvicted.Load()
+	pressure := exp.pressureEvicted.Load()
 	return ExpiryStats{
-		Sweeps:        exp.sweeps.Load(),
-		SlotsExamined: exp.slotsExamined.Load(),
-		Evicted:       idle + active,
-		IdleEvicted:   idle,
-		ActiveEvicted: active,
+		Sweeps:          exp.sweeps.Load(),
+		SlotsExamined:   exp.slotsExamined.Load(),
+		Evicted:         idle + active + pressure,
+		IdleEvicted:     idle,
+		ActiveEvicted:   active,
+		PressureEvicted: pressure,
 	}
 }
 
@@ -282,7 +297,7 @@ func (s *Sharded) Advance(now int64) int {
 		// before publishing the counter, so a concurrent stamp of the new
 		// epoch can never resolve through an unwritten ring entry.
 		e := exp.epoch.Load() + 1
-		exp.epochTimes[e&(epochRing-1)] = now
+		atomic.StoreInt64(&exp.epochTimes[e&(epochRing-1)], now)
 		exp.now.Store(now)
 		exp.epoch.Store(e)
 	} else {

@@ -132,6 +132,11 @@ const (
 	// ExpireActive marks a flow resident for at least ActiveTimeout time
 	// units regardless of traffic (NetFlow's forced progress export).
 	ExpireActive
+	// ExpireEvicted marks a flow reclaimed under capacity pressure by the
+	// FullEvictIdlest policy: it was the least-recently-seen occupant of a
+	// full bucket a new flow needed. Fired from the insert path, not the
+	// sweep.
+	ExpireEvicted
 )
 
 // String returns the reason name.
@@ -141,6 +146,8 @@ func (r ExpireReason) String() string {
 		return "idle"
 	case ExpireActive:
 		return "active"
+	case ExpireEvicted:
+		return "evicted"
 	default:
 		return fmt.Sprintf("ExpireReason(%d)", int(r))
 	}
@@ -200,9 +207,12 @@ type ExpiryStats struct {
 	Sweeps int64
 	// SlotsExamined counts slots visited by the sweep (occupied or not).
 	SlotsExamined int64
-	// Evicted counts retired flows; IdleEvicted and ActiveEvicted split
-	// it by reason.
-	Evicted       int64
-	IdleEvicted   int64
-	ActiveEvicted int64
+	// Evicted counts retired flows; IdleEvicted, ActiveEvicted and
+	// PressureEvicted split it by reason (PressureEvicted counts
+	// FullEvictIdlest reclamations from the insert path, mirrored in
+	// OverloadStats).
+	Evicted         int64
+	IdleEvicted     int64
+	ActiveEvicted   int64
+	PressureEvicted int64
 }

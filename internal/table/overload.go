@@ -1,0 +1,209 @@
+package table
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+)
+
+// Errors explaining a rejected SetFullPolicy switch.
+var (
+	errNeedExpiry     = errors.New("table: FullEvictIdlest requires EnableExpiry (last-seen timestamps define the idlest slot)")
+	errNeedCandidates = errors.New("table: FullEvictIdlest requires hashed backends implementing CandidateSlotter")
+)
+
+// This file defines the overload-degradation layer of the Sharded table:
+// what happens when a shard's backend cannot place a new key. The default
+// (FullReject) surfaces ErrTableFull and counts the rejection; the
+// graceful policy (FullEvictIdlest) reclaims the least-recently-seen slot
+// among the failing key's own candidate slots — reusing the lifecycle
+// layer's timestamp side-tables — and retries, so a flooded table sheds
+// idle mice instead of refusing new elephants.
+
+// FullPolicy selects how a Sharded table responds when a backend insert
+// fails with ErrTableFull.
+type FullPolicy uint8
+
+// Full-table policies.
+const (
+	// FullReject surfaces ErrTableFull to the caller — the historical
+	// behaviour, now with the rejection counted in OverloadStats.
+	FullReject FullPolicy = iota
+	// FullEvictIdlest reclaims the candidate slot with the oldest
+	// last-seen stamp, reports it through the expiry callback with reason
+	// ExpireEvicted, and retries the insert once. Requires EnableExpiry
+	// (the timestamps) and backends implementing CandidateSlotter.
+	FullEvictIdlest
+)
+
+// String returns the policy name.
+func (p FullPolicy) String() string {
+	switch p {
+	case FullReject:
+		return "reject"
+	case FullEvictIdlest:
+		return "evict-idlest"
+	default:
+		return "FullPolicy(?)"
+	}
+}
+
+// CandidateSlotter is the optional overload-degradation extension of
+// EvictableBackend: a structure that can enumerate the occupied slots an
+// insert of the given key could have used. Freeing any one of them must
+// let an immediately retried insert of the same key succeed without
+// relocations wherever the structure can guarantee it (two-choice and
+// d-left tables can; a cuckoo retry may still kick, and in a pathological
+// chain still fail, which the caller counts rather than loops on).
+//
+// kh follows the HashedBackend contract (the backend's own pair over the
+// key bytes). Only currently occupied slots are appended — the backend
+// owns the occupancy bits, so the caller never needs a second interface
+// to filter. Callers must hold the same exclusive lock as Insert.
+type CandidateSlotter interface {
+	// AppendCandidateSlots appends the occupied candidate slot IDs of
+	// kh's key onto dst and returns the extended slice.
+	AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64
+}
+
+// OverloadStats aggregates the full-table pressure counters across
+// shards. RejectedInserts counts inserts that surfaced ErrTableFull to
+// the caller (after any eviction retry); PressureEvictions counts
+// resident flows reclaimed by FullEvictIdlest. Both stay zero while the
+// table has headroom — the gauge of how hard the working set presses
+// against capacity.
+type OverloadStats struct {
+	// RejectedInserts counts inserts that returned ErrTableFull.
+	RejectedInserts int64
+	// PressureEvictions counts flows evicted to make room under
+	// FullEvictIdlest.
+	PressureEvictions int64
+}
+
+// OverloadStats returns a snapshot of the table's pressure counters.
+func (s *Sharded) OverloadStats() OverloadStats {
+	var os OverloadStats
+	for i := range s.shards {
+		os.RejectedInserts += s.shards[i].rejected.Load()
+		os.PressureEvictions += s.shards[i].evicted.Load()
+	}
+	return os
+}
+
+// FullPolicy returns the active full-table policy.
+func (s *Sharded) FullPolicy() FullPolicy { return s.onFull }
+
+// SetFullPolicy switches the full-table policy. FullEvictIdlest requires
+// the lifecycle layer (EnableExpiry supplies the last-seen timestamps
+// that define "idlest") and shard backends that implement
+// CandidateSlotter over the hashed fast path; the switch is rejected
+// otherwise. Like SetOptimisticReads it must not be called concurrently
+// with table operations — flip it during setup.
+func (s *Sharded) SetFullPolicy(p FullPolicy) error {
+	if p == FullEvictIdlest {
+		if s.expiry == nil {
+			return errNeedExpiry
+		}
+		if !s.hashed || !s.evictCapable {
+			return errNeedCandidates
+		}
+	}
+	s.onFull = p
+	return nil
+}
+
+// pendingEvictRec stages one pressure-evicted flow between DeleteSlot
+// (under the shard's write lock) and the expiry callback (after release).
+// Key bytes live in the owning pendingEvictions.key buffer.
+type pendingEvictRec struct {
+	id     uint64
+	first  int64
+	last   int64
+	keyOff int
+	keyLen int
+}
+
+// pendingEvictions is the pooled working set of one insert call's
+// pressure evictions: the candidate-slot scratch, the victims' key
+// snapshots, and the staged records. Pooled per call (not per shard) so
+// concurrent inserts on different shards never share a buffer.
+type pendingEvictions struct {
+	cand []uint64
+	key  []byte
+	recs []pendingEvictRec
+}
+
+// getEvictScratch returns a cleared pendingEvictions from the pool.
+func (s *Sharded) getEvictScratch() *pendingEvictions {
+	pe := s.evPool.Get().(*pendingEvictions)
+	pe.cand = pe.cand[:0]
+	pe.key = pe.key[:0]
+	pe.recs = pe.recs[:0]
+	return pe
+}
+
+// evictIdlestLocked reclaims the least-recently-seen occupied candidate
+// slot of kh's key on shard, staging the victim's export record in pe. It
+// returns whether a slot was freed. Caller holds the shard's write lock
+// inside a beginWrite/endWrite section and must fire pe's records through
+// fireEvictions after releasing the lock.
+func (s *Sharded) evictIdlestLocked(sh *shardState, shard int, kh hashfn.KeyHashes, pe *pendingEvictions) bool {
+	exp := s.expiry
+	if exp == nil || sh.cbe == nil {
+		return false
+	}
+	st := &exp.shards[shard]
+	pe.cand = sh.cbe.AppendCandidateSlots(pe.cand[:0], kh)
+	if len(pe.cand) == 0 {
+		return false
+	}
+	// Idlest = largest epoch distance since the last touch. The signed
+	// cast keeps a concurrent Advance (which can publish epoch cur+1 into
+	// a racing touch) from making a just-touched slot look ancient.
+	cur := exp.epoch.Load()
+	victim, bestAge := uint64(0), int64(-1)
+	for _, slot := range pe.cand {
+		d := int32(cur - atomic.LoadUint32(&st.lastSeen[slot]))
+		if d < 0 {
+			d = 0
+		}
+		if int64(d) > bestAge {
+			victim, bestAge = slot, int64(d)
+		}
+	}
+	off := len(pe.key)
+	kb, ok := st.ebe.AppendSlotKey(pe.key, victim)
+	if !ok {
+		return false // unreachable: candidates are occupied by contract
+	}
+	pe.key = kb
+	first, _ := exp.timeOf(st.firstSeen[victim])
+	last, _ := exp.timeOf(atomic.LoadUint32(&st.lastSeen[victim]))
+	if !st.ebe.DeleteSlot(victim) {
+		pe.key = pe.key[:off]
+		return false
+	}
+	sh.evicted.Add(1)
+	exp.pressureEvicted.Add(1)
+	pe.recs = append(pe.recs, pendingEvictRec{
+		id: s.globalID(shard, victim), first: first, last: last,
+		keyOff: off, keyLen: len(pe.key) - off,
+	})
+	return true
+}
+
+// fireEvictions reports pe's staged pressure evictions to the expiry
+// callback (reason ExpireEvicted) and returns pe to the pool. Called
+// after every shard lock is released, so the callback may re-enter any
+// table operation, including Advance.
+func (s *Sharded) fireEvictions(pe *pendingEvictions) {
+	exp := s.expiry
+	if exp != nil && exp.onExpired != nil {
+		for _, rec := range pe.recs {
+			key := pe.key[rec.keyOff : rec.keyOff+rec.keyLen]
+			exp.onExpired(rec.id, key, rec.first, rec.last, ExpireEvicted)
+		}
+	}
+	s.evPool.Put(pe)
+}

@@ -1,0 +1,494 @@
+package table_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	_ "repro/internal/baseline" // register every backend
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// evictedRec is one ExpireEvicted callback capture.
+type evictedRec struct {
+	id          uint64
+	key         []byte
+	first, last int64
+	reason      table.ExpireReason
+}
+
+// captureEvictions registers an OnExpired hook that copies every callback
+// into the returned slice pointer (keys are copied: the slice is reused).
+func captureEvictions(s *table.Sharded) *[]evictedRec {
+	out := &[]evictedRec{}
+	s.OnExpired(func(id uint64, key []byte, first, last int64, reason table.ExpireReason) {
+		*out = append(*out, evictedRec{
+			id: id, key: append([]byte(nil), key...), first: first, last: last, reason: reason,
+		})
+	})
+	return out
+}
+
+// TestSetFullPolicyValidation pins the policy switch contract:
+// FullEvictIdlest is rejected until the lifecycle layer exists, FullReject
+// is always accepted, and Config.OnFull defers activation to EnableExpiry.
+func TestSetFullPolicyValidation(t *testing.T) {
+	s, err := table.NewSharded("singlehash", 2, table.Config{Capacity: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFullPolicy(table.FullEvictIdlest); err == nil {
+		t.Fatal("FullEvictIdlest accepted without EnableExpiry")
+	}
+	if got := s.FullPolicy(); got != table.FullReject {
+		t.Fatalf("policy %v after rejected switch, want reject", got)
+	}
+	if err := s.SetFullPolicy(table.FullReject); err != nil {
+		t.Fatalf("FullReject rejected: %v", err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFullPolicy(table.FullEvictIdlest); err != nil {
+		t.Fatalf("FullEvictIdlest rejected with expiry enabled: %v", err)
+	}
+	if got := s.FullPolicy(); got != table.FullEvictIdlest {
+		t.Fatalf("policy %v, want evict-idlest", got)
+	}
+	if table.FullReject.String() != "reject" || table.FullEvictIdlest.String() != "evict-idlest" {
+		t.Fatalf("policy names %q/%q drifted", table.FullReject, table.FullEvictIdlest)
+	}
+
+	// Config.OnFull stays pending until the timestamps exist.
+	s2, err := table.NewSharded("hashcam", 2,
+		table.Config{Capacity: 256, OnFull: table.FullEvictIdlest}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.FullPolicy(); got != table.FullReject {
+		t.Fatalf("policy %v before EnableExpiry, want reject (pending)", got)
+	}
+	if err := s2.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.FullPolicy(); got != table.FullEvictIdlest {
+		t.Fatalf("policy %v after EnableExpiry, want evict-idlest", got)
+	}
+}
+
+// evictOnly hides everything but the EvictableBackend method set of the
+// wrapped structure: the lifecycle layer works, but the hashed fast path
+// (and with it CandidateSlotter) is gone — the one shape SetFullPolicy
+// must reject even with expiry enabled.
+type evictOnly struct {
+	table.EvictableBackend
+	table.StorageSized
+}
+
+func init() {
+	table.Register("testevictonly", func(cfg table.Config) (table.Backend, error) {
+		be, err := table.New("hashcam", cfg)
+		if err != nil {
+			return nil, err
+		}
+		return evictOnly{be.(table.EvictableBackend), be.(table.StorageSized)}, nil
+	})
+}
+
+// candidateBackends filters evictableBackends down to those implementing
+// CandidateSlotter — the set FullEvictIdlest can run on (testevictonly is
+// evictable but candidate-blind by construction).
+func candidateBackends(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, name := range evictableBackends(t) {
+		be, err := table.New(name, table.Config{Capacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := be.(table.CandidateSlotter); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestFullPolicyRequiresCandidateSlots pins the second validation leg:
+// a backend that supports expiry but not the hashed candidate-slot
+// enumeration cannot run FullEvictIdlest — neither via SetFullPolicy nor
+// via Config.OnFull (where EnableExpiry must fail atomically, leaving the
+// lifecycle layer off).
+func TestFullPolicyRequiresCandidateSlots(t *testing.T) {
+	s, err := table.NewSharded("testevictonly", 2, table.Config{Capacity: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFullPolicy(table.FullEvictIdlest); err == nil {
+		t.Fatal("FullEvictIdlest accepted without CandidateSlotter backends")
+	}
+
+	s2, err := table.NewSharded("testevictonly", 2,
+		table.Config{Capacity: 256, OnFull: table.FullEvictIdlest}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30}); err == nil {
+		t.Fatal("EnableExpiry activated a pending FullEvictIdlest the backends cannot serve")
+	}
+	if s2.ExpiryEnabled() {
+		t.Fatal("failed EnableExpiry left the lifecycle layer half-on")
+	}
+}
+
+// TestLifecycleDisabledAccessors pins the no-expiry surface: zero values
+// from the read accessors, a panic from OnExpired (a callback that could
+// never fire is a setup bug), a rejected invalid ExpiryConfig, and the
+// fallback names of the enum stringers.
+func TestLifecycleDisabledAccessors(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Now(); got != 0 {
+		t.Fatalf("Now() = %d without expiry, want 0", got)
+	}
+	if got := s.ExpiryStats(); got != (table.ExpiryStats{}) {
+		t.Fatalf("ExpiryStats() = %+v without expiry, want zero", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("OnExpired before EnableExpiry did not panic")
+			}
+		}()
+		s.OnExpired(func(uint64, []byte, int64, int64, table.ExpireReason) {})
+	}()
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: -1}); err == nil {
+		t.Fatal("EnableExpiry accepted a negative timeout")
+	}
+	if got := table.FullPolicy(42).String(); got != "FullPolicy(?)" {
+		t.Fatalf("unknown policy stringer %q", got)
+	}
+	if got := table.ExpireReason(42).String(); got != "ExpireReason(42)" {
+		t.Fatalf("unknown reason stringer %q", got)
+	}
+}
+
+// TestFullRejectCountsRejections pins the accounting half of the default
+// policy: every surfaced ErrTableFull — scalar and batch path — advances
+// OverloadStats.RejectedInserts, and nothing is evicted.
+func TestFullRejectCountsRejections(t *testing.T) {
+	// One shard, one 8-slot bucket: every key collides, so fullness is
+	// exact at 8 residents.
+	mk := func() *table.Sharded {
+		s, err := table.NewSharded("singlehash", 1,
+			table.Config{Capacity: 8, SlotsPerBucket: 8}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := mk()
+	scalarFull := 0
+	for _, k := range keys13(0, 32) {
+		if _, err := s.Insert(k); errors.Is(err, table.ErrTableFull) {
+			scalarFull++
+		} else if err != nil {
+			t.Fatalf("unexpected insert error: %v", err)
+		}
+	}
+	if scalarFull != 32-8 {
+		t.Fatalf("%d scalar rejections, want %d", scalarFull, 32-8)
+	}
+	if os := s.OverloadStats(); os.RejectedInserts != int64(scalarFull) || os.PressureEvictions != 0 {
+		t.Fatalf("stats %+v, want %d rejections and no evictions", os, scalarFull)
+	}
+
+	b := mk()
+	_, errs := b.InsertBatch(keys13(0, 32))
+	batchFull := 0
+	for _, err := range errs {
+		if errors.Is(err, table.ErrTableFull) {
+			batchFull++
+		}
+	}
+	if batchFull != 32-8 {
+		t.Fatalf("%d batch rejections, want %d", batchFull, 32-8)
+	}
+	if os := b.OverloadStats(); os.RejectedInserts != int64(batchFull) {
+		t.Fatalf("stats %+v disagree with %d batch rejections", os, batchFull)
+	}
+}
+
+// TestFullEvictIdlestDeterministicVictim drives the eviction policy on a
+// geometry where the victim choice is fully determined — one shard, one
+// 8-slot bucket, so the candidate set is the whole table and "idlest"
+// means globally least-recently-seen — and pins the exported record:
+// exactly the untouched flow is reclaimed, with its true first/last
+// timestamps and reason ExpireEvicted, while the insert that triggered it
+// succeeds.
+func TestFullEvictIdlestDeterministicVictim(t *testing.T) {
+	s, err := table.NewSharded("singlehash", 1,
+		table.Config{Capacity: 8, SlotsPerBucket: 8, OnFull: table.FullEvictIdlest}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30, SweepBudget: 16}); err != nil {
+		t.Fatal(err)
+	}
+	evs := captureEvictions(s)
+
+	s.Advance(10)
+	keys := keys13(0, 8)
+	for _, k := range keys {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatalf("fill insert: %v", err)
+		}
+	}
+	// t=20: touch everything except key 7, leaving it the unique idlest.
+	s.Advance(20)
+	for _, k := range keys[:7] {
+		if _, ok := s.Lookup(k); !ok {
+			t.Fatalf("resident key %x missing before overload", k)
+		}
+	}
+	s.Advance(30)
+	newID, err := s.Insert(key13(100))
+	if err != nil {
+		t.Fatalf("overloaded insert under evict-idlest: %v", err)
+	}
+	if len(*evs) != 1 {
+		t.Fatalf("%d evictions fired, want 1", len(*evs))
+	}
+	ev := (*evs)[0]
+	if !bytes.Equal(ev.key, key13(7)) {
+		t.Fatalf("evicted %x, want the untouched key %x", ev.key, key13(7))
+	}
+	if ev.reason != table.ExpireEvicted {
+		t.Fatalf("reason %v, want evicted", ev.reason)
+	}
+	if ev.first != 10 || ev.last != 10 {
+		t.Fatalf("victim timestamps (%d,%d), want (10,10)", ev.first, ev.last)
+	}
+	if _, ok := s.Lookup(key13(7)); ok {
+		t.Fatal("victim still resident after eviction")
+	}
+	if id, ok := s.Lookup(key13(100)); !ok || id != newID {
+		t.Fatalf("new flow lookup (%d,%v), want (%d,true)", id, ok, newID)
+	}
+	if got := s.Len(); got != 8 {
+		t.Fatalf("Len %d after one-for-one eviction, want 8", got)
+	}
+
+	// Second round through the batch path: key 3 is now the unique idlest
+	// (last touched at t=40 for everything else).
+	s.Advance(40)
+	for i, k := range keys[:7] {
+		if i != 3 {
+			s.Lookup(k)
+		}
+	}
+	s.Lookup(key13(100))
+	s.Advance(50)
+	_, errs := s.InsertBatch([][]byte{key13(101)})
+	if errs != nil {
+		t.Fatalf("batch insert under evict-idlest: %v", table.BatchErr(errs))
+	}
+	if len(*evs) != 2 {
+		t.Fatalf("%d evictions after second overload, want 2", len(*evs))
+	}
+	ev = (*evs)[1]
+	if !bytes.Equal(ev.key, key13(3)) {
+		t.Fatalf("second victim %x, want %x", ev.key, key13(3))
+	}
+	if ev.first != 10 || ev.last != 20 {
+		t.Fatalf("second victim timestamps (%d,%d), want (10,20)", ev.first, ev.last)
+	}
+
+	os := s.OverloadStats()
+	if os.PressureEvictions != 2 || os.RejectedInserts != 0 {
+		t.Fatalf("overload stats %+v, want 2 evictions and 0 rejections", os)
+	}
+	st := s.ExpiryStats()
+	if st.PressureEvicted != 2 || st.Evicted != 2 {
+		t.Fatalf("expiry stats %+v disagree with 2 pressure evictions", st)
+	}
+}
+
+// TestFullEvictIdlestOversubscribedAllBackends floods every evictable
+// backend with 4x its capacity under FullEvictIdlest, half through the
+// scalar path and half through batches. Backends whose candidate-slot
+// contract guarantees a kick-free retry (every one but cuckoo) must admit
+// every flow with zero rejections; cuckoo may reject on a pathological
+// re-kick but must still shed load through evictions. Counters and the
+// callback stream must agree everywhere.
+func TestFullEvictIdlestOversubscribedAllBackends(t *testing.T) {
+	for _, backend := range candidateBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 2,
+				table.Config{Capacity: 128, SlotsPerBucket: 2, CAMCapacity: 8,
+					OnFull: table.FullEvictIdlest}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 30, SweepBudget: 256}); err != nil {
+				t.Fatal(err)
+			}
+			evs := captureEvictions(s)
+			s.Advance(10)
+
+			inserted := map[string]bool{}
+			rejected := 0
+			keys := keys13(0, 512)
+			offered := map[string]bool{}
+			for _, k := range keys {
+				offered[string(k)] = true
+			}
+			for _, k := range keys[:256] {
+				_, err := s.Insert(k)
+				switch {
+				case err == nil:
+					inserted[string(k)] = true
+				case errors.Is(err, table.ErrTableFull):
+					rejected++
+				default:
+					t.Fatalf("insert: %v", err)
+				}
+			}
+			_, errs := s.InsertBatch(keys[256:]) // nil errs == every key admitted
+			for i, k := range keys[256:] {
+				var err error
+				if errs != nil {
+					err = errs[i]
+				}
+				switch {
+				case err == nil:
+					inserted[string(k)] = true
+				case errors.Is(err, table.ErrTableFull):
+					rejected++
+				default:
+					t.Fatalf("batch insert %d: %v", i, err)
+				}
+			}
+
+			if backend != "cuckoo" && rejected != 0 {
+				t.Fatalf("%d rejections on a kick-free backend; evict-idlest must admit every flow", rejected)
+			}
+			if len(*evs) == 0 {
+				t.Fatal("4x oversubscription produced no pressure evictions")
+			}
+			for _, ev := range *evs {
+				if ev.reason != table.ExpireEvicted {
+					t.Fatalf("reason %v, want evicted", ev.reason)
+				}
+				// A victim earlier in the same batch as its evictor is
+				// reported before the batch's bookkeeping returns, so the
+				// check is against the offered set, not the admitted one.
+				if !offered[string(ev.key)] {
+					t.Fatalf("evicted key %x was never offered", ev.key)
+				}
+			}
+			os := s.OverloadStats()
+			if os.PressureEvictions != int64(len(*evs)) {
+				t.Fatalf("PressureEvictions %d, callbacks %d", os.PressureEvictions, len(*evs))
+			}
+			if os.RejectedInserts != int64(rejected) {
+				t.Fatalf("RejectedInserts %d, observed %d", os.RejectedInserts, rejected)
+			}
+			if st := s.ExpiryStats(); st.PressureEvicted != os.PressureEvictions {
+				t.Fatalf("ExpiryStats.PressureEvicted %d != OverloadStats %d",
+					st.PressureEvicted, os.PressureEvictions)
+			}
+			// Conservation: everything admitted is either resident or was
+			// reported evicted. Cuckoo only bounds it — an exhausted kick
+			// chain places the new key but orphans its final evictee without
+			// a callback, so residents can leak out silently.
+			got, want := s.Len(), len(inserted)-len(*evs)
+			if backend == "cuckoo" {
+				if got > want || got == 0 {
+					t.Fatalf("Len %d outside (0, %d admitted - %d evicted]",
+						got, len(inserted), len(*evs))
+				}
+			} else if got != want {
+				t.Fatalf("Len %d, want %d admitted - %d evicted = %d",
+					got, len(inserted), len(*evs), want)
+			}
+		})
+	}
+}
+
+// TestHashSeedDeterministicPlacement pins the keyed-hashing contract at
+// the table layer: equal seeds reproduce placement (location-derived IDs)
+// exactly, different seeds place differently, and the seed reaches the
+// shard selector as well as the per-backend hash words.
+func TestHashSeedDeterministicPlacement(t *testing.T) {
+	build := func(seed uint64) *table.Sharded {
+		s, err := table.NewSharded("hashcam", 4,
+			table.Config{Capacity: 4096, HashSeed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	keys := keys13(0, 512)
+	a, b, c := build(0xfeedface), build(0xfeedface), build(0xdecafbad)
+	idsA, errsA := a.InsertBatch(keys)
+	idsB, _ := b.InsertBatch(keys)
+	idsC, _ := c.InsertBatch(keys)
+	if errsA != nil {
+		t.Fatal(table.BatchErr(errsA))
+	}
+	diff := 0
+	for i := range keys {
+		if idsA[i] != idsB[i] {
+			t.Fatalf("key %d: seed-equal tables placed at %d vs %d", i, idsA[i], idsB[i])
+		}
+		if idsA[i] != idsC[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("512 keys placed identically under different seeds; the seed is not reaching the hash")
+	}
+}
+
+// TestHashSeedKeysShardSelector pins the satellite fix: with an explicit
+// hash pair (so H1/H2 are seed-independent), HashSeed alone must still
+// re-key the shard selector — the per-key shard assignment changes with
+// the seed instead of riding the fixed mix constant.
+func TestHashSeedKeysShardSelector(t *testing.T) {
+	const shards = 8
+	build := func(seed uint64) *table.Sharded {
+		s, err := table.NewSharded("singlehash", shards,
+			table.Config{Capacity: 8192, Hash: hashfn.DefaultPair(), HashSeed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	keys := keys13(0, 512)
+	unseeded, seeded, seeded2 := build(0), build(12345), build(12345)
+	idsU, errsU := unseeded.InsertBatch(keys)
+	idsS, errsS := seeded.InsertBatch(keys)
+	idsS2, _ := seeded2.InsertBatch(keys)
+	if errsU != nil || errsS != nil {
+		t.Fatal(table.BatchErr(errsU), table.BatchErr(errsS))
+	}
+	moved := 0
+	for i := range keys {
+		if idsS[i] != idsS2[i] {
+			t.Fatalf("key %d: equal selector seeds routed to IDs %d vs %d", i, idsS[i], idsS2[i])
+		}
+		// Global IDs encode the shard in the low bits.
+		if idsU[i]%shards != idsS[i]%shards {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key changed shard under a selector seed; HashSeed is not keying the selector")
+	}
+}

@@ -10,12 +10,15 @@ import (
 )
 
 // shardSelectorSeed seeds the fallback shard-selector hash used for
-// backends without a hashed fast path. The selector must be independent of
-// the backends' own H1/H2 pair: selecting shards with bits of the same
-// hash that indexes buckets would correlate the partition with bucket
-// placement and unbalance the shards. Backends with a hashed fast path
-// route off hashfn.KeyHashes.Mix instead, which provides the same
-// independence without a third hash pass.
+// backends without a hashed fast path when the table is not keyed. The
+// selector must be independent of the backends' own H1/H2 pair: selecting
+// shards with bits of the same hash that indexes buckets would correlate
+// the partition with bucket placement and unbalance the shards. Backends
+// with a hashed fast path route off hashfn.KeyHashes.Mix instead, which
+// provides the same independence without a third hash pass. A keyed
+// configuration (Config.HashSeed or an explicit Pair.SelSeed) replaces
+// this constant with the pair's selector seed, so shard routing is not
+// attacker-predictable even on the fallback path.
 const shardSelectorSeed = 0x5ca1ab1e_0ddba11
 
 // Sharded partitions one logical table across N independently locked
@@ -59,11 +62,20 @@ type Sharded struct {
 	name       string
 
 	scratch sync.Pool // *batchScratch
+	evPool  sync.Pool // *pendingEvictions
 
 	// expiry is the optional flow-lifecycle layer (nil until
 	// EnableExpiry): per-slot timestamp side-tables and the incremental
 	// eviction sweep. The non-expiring hot path pays one nil check.
 	expiry *expiryState
+
+	// onFull is the active full-table policy; evictCapable records
+	// whether every shard backend implements CandidateSlotter (downcast
+	// once into shardState.cbe); pendingEvictIdlest carries a
+	// Config.OnFull request until EnableExpiry can validate it.
+	onFull             FullPolicy
+	evictCapable       bool
+	pendingEvictIdlest bool
 }
 
 // shardState pairs a backend with its lock and seqlock word. hbe, pbe and
@@ -86,12 +98,15 @@ type shardState struct {
 	hbe HashedBackend     // nil when be has no hashed fast path
 	pbe PrefetchBackend   // nil when be cannot prefetch buckets
 	obe OptimisticBackend // nil when be cannot serve seqlock reads
+	cbe CandidateSlotter  // nil when be cannot enumerate candidate slots
 
 	seq       atomic.Uint64 // seqlock word: odd = writer in the arenas
 	retries   atomic.Int64  // lock-free probes discarded by validation
 	fallbacks atomic.Int64  // reads that exhausted retries, took the RLock
+	rejected  atomic.Int64  // inserts that surfaced ErrTableFull
+	evicted   atomic.Int64  // flows reclaimed by FullEvictIdlest
 
-	_ [16]byte // pad to 128 B: no false sharing between adjacent shards
+	_ [48]byte // pad to 192 B: no false sharing between adjacent shards
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
@@ -125,6 +140,9 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		shardBits: bits,
 	}
 	s.scratch.New = func() any { return new(batchScratch) }
+	s.evPool.New = func() any { return new(pendingEvictions) }
+	s.pendingEvictIdlest = cfg.OnFull == FullEvictIdlest
+	s.evictCapable = true
 	for i := range s.shards {
 		be, err := New(backend, per)
 		if err != nil {
@@ -134,6 +152,10 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		s.shards[i].hbe, _ = be.(HashedBackend)
 		s.shards[i].pbe, _ = be.(PrefetchBackend)
 		s.shards[i].obe, _ = be.(OptimisticBackend)
+		s.shards[i].cbe, _ = be.(CandidateSlotter)
+		if s.shards[i].cbe == nil {
+			s.evictCapable = false
+		}
 	}
 	s.hashed = s.shards[0].hbe != nil
 	// The lock-free read path needs the hashed fast path (ReadHashed
@@ -144,10 +166,16 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		s.shards[0].obe != nil && s.shards[0].obe.ReadLockFree()
 	s.optimistic = s.optCapable
 	if s.sel == nil && !s.hashed {
-		// No hashed pass to piggyback on: fall back to the historical
-		// dedicated selector so routing costs one cheap Mix64, not a
-		// pair computation used for nothing else.
-		s.sel = &hashfn.Mix64{Seed: shardSelectorSeed}
+		// No hashed pass to piggyback on: fall back to a dedicated
+		// selector so routing costs one cheap Mix64, not a pair
+		// computation used for nothing else. A keyed configuration seeds
+		// it from the pair's selector seed (derived from the engine
+		// seed); only the unkeyed default keeps the historical constant.
+		seed := uint64(shardSelectorSeed)
+		if cfg.Hash.SelSeed != 0 {
+			seed = cfg.Hash.SelSeed
+		}
+		s.sel = &hashfn.Mix64{Seed: seed}
 	}
 	s.name = fmt.Sprintf("sharded(%s,%d)", s.shards[0].be.Name(), shards)
 	return s, nil
@@ -319,6 +347,17 @@ func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 }
 
 func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, error) {
+	local, pe, err := s.insertOnLocked(i, key, kh, hashed)
+	if pe != nil {
+		s.fireEvictions(pe)
+	}
+	return local, err
+}
+
+// insertOnLocked is insertOn's locked section. A non-nil pe carries
+// pressure evictions staged by the FullEvictIdlest policy; the caller
+// fires them once the lock is released.
+func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, *pendingEvictions, error) {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -331,17 +370,34 @@ func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	}
 	var local uint64
 	var err error
+	var pe *pendingEvictions
 	if hashed {
 		local, err = sh.hbe.InsertHashed(key, kh)
 	} else {
 		local, err = sh.be.Insert(key)
 	}
-	if exp != nil && err == nil {
+	if err != nil && s.onFull == FullEvictIdlest && errors.Is(err, ErrTableFull) {
+		pe = s.getEvictScratch()
+		if s.evictIdlestLocked(sh, i, kh, pe) {
+			// The eviction freed one of this key's own candidate slots;
+			// re-measure the length so the retry's fresh/touch decision
+			// stays correct.
+			lenBefore = sh.be.Len()
+			local, err = sh.hbe.InsertHashed(key, kh)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrTableFull) {
+			sh.rejected.Add(1)
+		}
+		return 0, pe, err
+	}
+	if exp != nil {
 		// Len grew: fresh placement (stamp first-seen); unchanged: the
 		// flow was already resident and the insert was a touch.
 		exp.stamp(i, local, sh.be.Len() > lenBefore)
 	}
-	return local, err
+	return local, pe, err
 }
 
 func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) bool {
@@ -739,9 +795,18 @@ func (s *Sharded) LookupBatchInto(keys [][]byte, ids []uint64, hits []bool) {
 	s.putScratch(sc)
 }
 
-// insertShardInto resolves one shard's slice of the batch under an
-// exclusive lock, recording per-key failures positionally in errs.
+// insertShardInto resolves one shard's slice of the batch, recording
+// per-key failures positionally in errs. Pressure evictions staged under
+// the lock are fired after it is released, before the next shard.
 func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs []error) {
+	if pe := s.insertShardLocked(shard, keys, sc, ids, errs); pe != nil {
+		s.fireEvictions(pe)
+	}
+}
+
+// insertShardLocked is insertShardInto's exclusive-lock section; a
+// non-nil result carries the sub-batch's staged pressure evictions.
+func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs []error) *pendingEvictions {
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -749,6 +814,7 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 	defer sh.endWrite()
 	s.prefetchShard(sh, sc, shard)
 	exp := s.expiry
+	var pe *pendingEvictions
 	for _, i := range sc.plan[shard] {
 		lenBefore := 0
 		if exp != nil {
@@ -761,7 +827,19 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 		} else {
 			local, err = sh.be.Insert(keys[i])
 		}
+		if err != nil && s.onFull == FullEvictIdlest && errors.Is(err, ErrTableFull) {
+			if pe == nil {
+				pe = s.getEvictScratch()
+			}
+			if s.evictIdlestLocked(sh, shard, sc.khs[i], pe) {
+				lenBefore = sh.be.Len()
+				local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
+			}
+		}
 		if err != nil {
+			if errors.Is(err, ErrTableFull) {
+				sh.rejected.Add(1)
+			}
 			errs[i] = err
 			continue
 		}
@@ -770,6 +848,7 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 		}
 		ids[i] = s.globalID(shard, local)
 	}
+	return pe
 }
 
 // InsertBatch inserts all keys. ids is positional; errs is nil when every

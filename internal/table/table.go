@@ -149,13 +149,28 @@ type Config struct {
 	// 5-tuple).
 	KeyLen int
 	// Hash supplies the hash functions; pairs are consumed as H1/H2
-	// (default the prototype CRC pair).
+	// (default the prototype CRC pair, or hashfn.SeededPair(HashSeed)
+	// when HashSeed is nonzero).
 	Hash hashfn.Pair
+	// HashSeed keys the hash family. When nonzero and Hash is unset, the
+	// backend hashes with hashfn.SeededPair(HashSeed) — non-linear keyed
+	// bucket functions plus a keyed shard-selector mix, so neither bucket
+	// placement nor shard routing is predictable without the seed. When
+	// Hash is set explicitly, a nonzero HashSeed still keys the selector
+	// mix (unless the pair already carries its own SelSeed), covering
+	// deployments that pin the CRC reference functions. Zero keeps the
+	// historical fixed hashing end to end.
+	HashSeed uint64
 	// SlotsPerBucket is K of Fig. 1 (default 4).
 	SlotsPerBucket int
 	// CAMCapacity bounds collision overflow for the Hash-CAM family
 	// (default 64).
 	CAMCapacity int
+	// OnFull selects the Sharded layer's full-table policy: FullReject
+	// (default, Insert surfaces ErrTableFull) or FullEvictIdlest (reclaim
+	// the idlest candidate slot and retry; requires EnableExpiry). Plain
+	// backends ignore it — degradation is a Sharded-layer concern.
+	OnFull FullPolicy
 }
 
 // MaxCapacity bounds Config.Capacity: beyond ~10^12 entries the
@@ -177,7 +192,13 @@ func (c Config) withDefaults() Config {
 		c.KeyLen = 13
 	}
 	if c.Hash.H1 == nil || c.Hash.H2 == nil {
-		c.Hash = hashfn.DefaultPair()
+		if c.HashSeed != 0 {
+			c.Hash = hashfn.SeededPair(c.HashSeed)
+		} else {
+			c.Hash = hashfn.DefaultPair()
+		}
+	} else if c.HashSeed != 0 && c.Hash.SelSeed == 0 {
+		c.Hash.SelSeed = hashfn.SelectorSeed(c.HashSeed)
 	}
 	if c.SlotsPerBucket <= 0 {
 		c.SlotsPerBucket = 4

@@ -1,0 +1,237 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/bits"
+	"net/netip"
+
+	"repro/internal/hashfn"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file generates the adversarial workloads of the robustness
+// evaluation: an offline GF(2) collision miner that defeats the unkeyed
+// CRC hash pair (and demonstrably fails against the keyed Mix64 pair), a
+// SYN-flood one-packet-flow churn source, a flash-crowd ramp, and the
+// IPv6/mixed-family generators. Like everything else in this package,
+// every generator is deterministic under its inputs, so attack traces are
+// reproducible across runs and committable as benchmark baselines.
+
+// Disjoint flow-index ranges so adversarial universes never alias the
+// benign Flow/MatchRateSet/Zipf universes (which live near zero and at
+// 1<<32).
+const (
+	synFloodBase   = uint64(1) << 40
+	flashCrowdBase = uint64(1) << 41
+	mixedBase      = uint64(1) << 42
+)
+
+// Flow6 materialises flow index i as a distinct IPv6 5-tuple, the
+// dual-stack sibling of Flow. The mapping is a fixed bijection: the index
+// is embedded verbatim in the source address, and a finalized spread of it
+// drives the remaining header fields.
+func Flow6(i uint64) packet.FiveTuple {
+	z := hashfn.Finalize64(i)
+	var src, dst [16]byte
+	// 2001:db8::/32 — the IPv6 documentation prefix.
+	src[0], src[1], src[2], src[3] = 0x20, 0x01, 0x0d, 0xb8
+	dst[0], dst[1], dst[2], dst[3] = 0x20, 0x01, 0x0d, 0xb8
+	for b := 0; b < 8; b++ {
+		src[8+b] = byte(i >> (56 - 8*b))
+		dst[8+b] = byte(z >> (56 - 8*b))
+	}
+	dst[4] = 0xff // distinct /40 so src and dst never collide
+	proto := uint8(packet.ProtoTCP)
+	if z&2 == 2 {
+		proto = packet.ProtoUDP
+	}
+	return packet.FiveTuple{
+		Src:     netip.AddrFrom16(src),
+		Dst:     netip.AddrFrom16(dst),
+		SrcPort: uint16(z>>16) | 1024,
+		DstPort: uint16(z) % 1024,
+		Proto:   proto,
+	}
+}
+
+// SYNFlood returns packet i of a SYN flood against one victim service:
+// every packet is a TCP "connection attempt" from a fresh spoofed source,
+// so each opens a brand-new one-packet flow and none is ever looked up
+// again — the pure state-exhaustion churn case for a flow table. Tuples
+// are distinct for i < 1<<31.
+func SYNFlood(i uint64) packet.FiveTuple {
+	z := hashfn.Finalize64(synFloodBase + i)
+	return packet.FiveTuple{
+		// Spoofed source: the index is embedded injectively (31 bits),
+		// the port drawn from the spread for an ephemeral look.
+		Src:     netip.AddrFrom4([4]byte{byte(1 + (i>>24)&0x7f), byte(i >> 16), byte(i >> 8), byte(i)}),
+		Dst:     netip.AddrFrom4([4]byte{203, 0, 113, 10}), // the one victim
+		SrcPort: uint16(z) | 1024,
+		DstPort: 443,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// FlashCrowd generates a flash-crowd trace: packets drawn uniformly from
+// an active flow population that ramps linearly from 1 to peak flows over
+// the first ramp packets, then holds at peak — the benign-but-abrupt
+// overload case (every flow is legitimate and repeatedly revisited, but
+// the arrival rate of *new* flows spikes far above steady state).
+type FlashCrowd struct {
+	peak int
+	ramp int64
+	t    int64
+	rng  *sim.Rand
+}
+
+// NewFlashCrowd returns a flash-crowd source ramping to peak flows over
+// ramp packets, deterministic under seed.
+func NewFlashCrowd(peak int, ramp int64, seed uint64) *FlashCrowd {
+	if peak <= 0 || ramp <= 0 {
+		panic(fmt.Sprintf("trafficgen: flash crowd needs positive peak (%d) and ramp (%d)", peak, ramp))
+	}
+	return &FlashCrowd{peak: peak, ramp: ramp, rng: sim.NewRand(seed)}
+}
+
+// Next returns the next packet's 5-tuple.
+func (f *FlashCrowd) Next() packet.FiveTuple {
+	k := f.peak
+	if f.t < f.ramp {
+		k = 1 + int(int64(f.peak-1)*f.t/f.ramp)
+	}
+	f.t++
+	return Flow(flashCrowdBase + uint64(f.rng.Intn(k)))
+}
+
+// MixedFamilyFlows returns n distinct flows of which a fraction v6Ratio
+// (in expectation, deterministic under seed) are IPv6, the rest IPv4 —
+// the dual-stack ingress mix. Families draw from disjoint index ranges.
+func MixedFamilyFlows(n int, v6Ratio float64, seed uint64) []packet.FiveTuple {
+	if v6Ratio < 0 || v6Ratio > 1 {
+		panic(fmt.Sprintf("trafficgen: v6 ratio %v out of [0,1]", v6Ratio))
+	}
+	rng := sim.NewRand(seed)
+	out := make([]packet.FiveTuple, n)
+	for i := range out {
+		if rng.Float64() < v6Ratio {
+			out[i] = Flow6(mixedBase + uint64(i))
+		} else {
+			out[i] = Flow(mixedBase + uint64(i))
+		}
+	}
+	return out
+}
+
+// attackBase is the anchor tuple the collision miner perturbs. Fixed so
+// mined traces are identical across runs.
+func attackBase() packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:     netip.AddrFrom4([4]byte{10, 11, 12, 13}),
+		Dst:     netip.AddrFrom4([4]byte{192, 168, 200, 100}),
+		SrcPort: 40000,
+		DstPort: 443,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// minerBits is the number of header bits the miner is free to flip: the
+// low 3 source-address bytes, the low 2 destination-address bytes and the
+// 16 source-port bits — fields a spoofing sender controls without
+// changing the victim service or leaving its address block.
+const minerBits = 56
+
+// applyMask returns attackBase with the mask's set bits flipped into the
+// controllable header fields. Distinct masks give distinct tuples.
+func applyMask(mask uint64) packet.FiveTuple {
+	ft := attackBase()
+	s, d := ft.Src.As4(), ft.Dst.As4()
+	s[1] ^= byte(mask)
+	s[2] ^= byte(mask >> 8)
+	s[3] ^= byte(mask >> 16)
+	d[2] ^= byte(mask >> 24)
+	d[3] ^= byte(mask >> 32)
+	ft.Src, ft.Dst = netip.AddrFrom4(s), netip.AddrFrom4(d)
+	ft.SrcPort ^= uint16(mask >> 40)
+	return ft
+}
+
+// MineCollidingFlows mines n distinct 5-tuples that all collide with each
+// other on BOTH bucket indices of pair, for any power-of-two bucket count
+// up to buckets — the worst-case input for a two-choice table, defeating
+// the second choice entirely.
+//
+// The miner treats the pair as GF(2)-affine (true of the CRC default:
+// H(x ^ y) == H(x) ^ H(y) ^ H(0)), measures the bucket-bit delta of each
+// controllable header bit with 56 probe evaluations, and Gauss-eliminates
+// the deltas to a null-space basis; every combination of basis masks then
+// leaves both bucket indices unchanged. No seed or table access is needed
+// — this is the offline attack a public hash family permits.
+//
+// Every mined tuple is verified against pair. ok reports whether all n
+// actually collide: true for DefaultPair (and any affine pair), false for
+// the keyed SeededPair family, whose non-linear finalizer breaks the
+// superposition the miner depends on — the property keyed hashing buys.
+// The flows are returned either way (a keyed table sees them as ordinary
+// spread-out traffic, which is exactly the comparison the attack
+// benchmarks run).
+func MineCollidingFlows(pair hashfn.Pair, buckets, n int) (flows []packet.FiveTuple, ok bool) {
+	if buckets < 2 || buckets&(buckets-1) != 0 {
+		panic(fmt.Sprintf("trafficgen: miner needs a power-of-two bucket count >= 2, got %d", buckets))
+	}
+	b := bits.Len64(uint64(buckets)) - 1 // index bits per hash
+	if 2*b > 60 {
+		panic(fmt.Sprintf("trafficgen: bucket count %d too large for the miner's signature word", buckets))
+	}
+	spec := packet.FiveTupleSpec()
+	// sig packs both bucket indices of a candidate into one GF(2) vector.
+	sig := func(mask uint64) uint64 {
+		key := spec.Key(applyMask(mask))
+		return uint64(pair.Index1(key, buckets)) | uint64(pair.Index2(key, buckets))<<b
+	}
+	base := sig(0)
+
+	// Per-bit deltas, then Gaussian elimination tracking which header bits
+	// combine into each reduced row. Rows that cancel to zero are
+	// null-space masks: flipping that bit set provably (for an affine
+	// pair) preserves both indices.
+	var pivots [64]struct{ vec, mask uint64 }
+	var null []uint64
+	for i := 0; i < minerBits; i++ {
+		v, m := sig(1<<i)^base, uint64(1)<<i
+		for v != 0 {
+			p := bits.Len64(v) - 1
+			if pivots[p].vec == 0 {
+				pivots[p].vec, pivots[p].mask = v, m
+				break
+			}
+			v ^= pivots[p].vec
+			m ^= pivots[p].mask
+		}
+		if v == 0 {
+			null = append(null, m)
+		}
+	}
+	if len(null) >= 64 || n > 1<<len(null) {
+		panic(fmt.Sprintf("trafficgen: null space of %d masks cannot yield %d distinct flows", len(null), n))
+	}
+
+	// Enumerate combinations of the null basis. Counter c selects which
+	// basis masks to XOR; distinct c give distinct header masks, hence
+	// distinct tuples. c = 0 is the base tuple itself.
+	flows = make([]packet.FiveTuple, n)
+	ok = true
+	for c := 0; c < n; c++ {
+		mask := uint64(0)
+		for k, bm := range null {
+			if c&(1<<k) != 0 {
+				mask ^= bm
+			}
+		}
+		flows[c] = applyMask(mask)
+		if sig(mask) != base {
+			ok = false
+		}
+	}
+	return flows, ok
+}

@@ -1,0 +1,172 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"repro/internal/hashfn"
+	"repro/internal/packet"
+)
+
+// TestMineCollidingFlowsDefeatsCRC pins the attack the unkeyed default
+// invites: the GF(2) miner produces flows that all collide on both bucket
+// indices of the CRC pair — and, by mask subsumption, at every smaller
+// power-of-two bucket count too.
+func TestMineCollidingFlowsDefeatsCRC(t *testing.T) {
+	pair := hashfn.DefaultPair()
+	const buckets, n = 4096, 512
+	flows, ok := MineCollidingFlows(pair, buckets, n)
+	if !ok {
+		t.Fatal("miner reported failure against the affine CRC pair")
+	}
+	spec := packet.FiveTupleSpec()
+	baseKey := spec.Key(flows[0])
+	seen := make(map[packet.FiveTuple]bool, n)
+	for i, ft := range flows {
+		if !ft.Valid() || !ft.IsIPv4() {
+			t.Fatalf("mined flow %d invalid: %v", i, ft)
+		}
+		if seen[ft] {
+			t.Fatalf("mined flow %d duplicates an earlier tuple", i)
+		}
+		seen[ft] = true
+		key := spec.Key(ft)
+		for _, bk := range []int{buckets, 256, 8} {
+			if pair.Index1(key, bk) != pair.Index1(baseKey, bk) ||
+				pair.Index2(key, bk) != pair.Index2(baseKey, bk) {
+				t.Fatalf("mined flow %d does not collide at %d buckets", i, bk)
+			}
+		}
+	}
+	// Determinism: the trace is a pure function of (pair, buckets, n).
+	again, _ := MineCollidingFlows(pair, buckets, n)
+	for i := range flows {
+		if again[i] != flows[i] {
+			t.Fatalf("mined trace not deterministic at flow %d", i)
+		}
+	}
+}
+
+// TestMineCollidingFlowsFailsAgainstKeyedPair pins the defence: the same
+// miner run against the keyed Mix64 pair reports failure, and its output
+// spreads over the table instead of concentrating — collision mining
+// needs the affinity the keyed family removes.
+func TestMineCollidingFlowsFailsAgainstKeyedPair(t *testing.T) {
+	pair := hashfn.SeededPair(0xfeedface)
+	const buckets, n = 4096, 512
+	flows, ok := MineCollidingFlows(pair, buckets, n)
+	if ok {
+		t.Fatal("miner claimed success against the keyed pair")
+	}
+	spec := packet.FiveTupleSpec()
+	dist := make(map[int]bool)
+	for _, ft := range flows {
+		dist[pair.Index1(spec.Key(ft), buckets)] = true
+	}
+	// 512 flows over 4096 buckets: a spread placement occupies hundreds of
+	// distinct buckets; a successful attack would occupy one.
+	if len(dist) < n/4 {
+		t.Fatalf("mined flows occupy only %d distinct buckets under the keyed pair", len(dist))
+	}
+}
+
+// TestSYNFlood pins the churn source: all-TCP, one victim, distinct
+// spoofed sources, deterministic.
+func TestSYNFlood(t *testing.T) {
+	const n = 1 << 14
+	seen := make(map[packet.FiveTuple]bool, n)
+	victim := SYNFlood(0).Dst
+	for i := uint64(0); i < n; i++ {
+		ft := SYNFlood(i)
+		if !ft.Valid() || !ft.IsIPv4() || ft.Proto != packet.ProtoTCP {
+			t.Fatalf("packet %d: not a valid TCP tuple: %v", i, ft)
+		}
+		if ft.Dst != victim || ft.DstPort != 443 {
+			t.Fatalf("packet %d: strayed from the victim service: %v", i, ft)
+		}
+		if seen[ft] {
+			t.Fatalf("packet %d: reused a source tuple", i)
+		}
+		seen[ft] = true
+		if ft != SYNFlood(i) {
+			t.Fatalf("packet %d: not deterministic", i)
+		}
+	}
+}
+
+// TestFlashCrowd pins the ramp: the active population grows to peak and
+// no further, early packets draw from a small set, and the trace is
+// deterministic under its seed.
+func TestFlashCrowd(t *testing.T) {
+	const peak, ramp, n = 100, 1000, 5000
+	a, b := NewFlashCrowd(peak, ramp, 7), NewFlashCrowd(peak, ramp, 7)
+	flows := make(map[packet.FiveTuple]bool)
+	earlyFlows := make(map[packet.FiveTuple]bool)
+	for i := 0; i < n; i++ {
+		ft := a.Next()
+		if bt := b.Next(); bt != ft {
+			t.Fatalf("packet %d: traces diverge under equal seeds", i)
+		}
+		if !ft.Valid() || !ft.IsIPv4() {
+			t.Fatalf("packet %d: invalid tuple %v", i, ft)
+		}
+		flows[ft] = true
+		if i < ramp/10 {
+			earlyFlows[ft] = true
+		}
+	}
+	if len(flows) > peak {
+		t.Fatalf("%d distinct flows, want <= peak %d", len(flows), peak)
+	}
+	// During the first tenth of the ramp at most ~peak/10 flows exist.
+	if len(earlyFlows) > peak/5 {
+		t.Fatalf("%d distinct flows in the early ramp, want a small head", len(earlyFlows))
+	}
+	if c := NewFlashCrowd(peak, ramp, 8).Next(); c != Flow(flashCrowdBase) {
+		t.Fatalf("first ramp packet is %v, want the population-of-one flow", c)
+	}
+}
+
+// TestFlow6AndMixedFamily pins the dual-stack generators: Flow6 is a
+// stable bijection onto valid IPv6 tuples, and MixedFamilyFlows hits the
+// requested family ratio on distinct flows.
+func TestFlow6AndMixedFamily(t *testing.T) {
+	seen := make(map[packet.FiveTuple]bool)
+	for i := uint64(0); i < 1<<12; i++ {
+		ft := Flow6(i)
+		if !ft.Valid() || ft.IsIPv4() {
+			t.Fatalf("Flow6(%d) = %v, want a valid IPv6 tuple", i, ft)
+		}
+		if seen[ft] {
+			t.Fatalf("Flow6(%d) duplicates an earlier index", i)
+		}
+		seen[ft] = true
+		if ft != Flow6(i) {
+			t.Fatalf("Flow6(%d) not stable", i)
+		}
+	}
+
+	mixed := MixedFamilyFlows(4000, 0.75, 11)
+	got6 := 0
+	dup := make(map[packet.FiveTuple]bool, len(mixed))
+	for i, ft := range mixed {
+		if !ft.Valid() {
+			t.Fatalf("mixed flow %d invalid: %v", i, ft)
+		}
+		if dup[ft] {
+			t.Fatalf("mixed flow %d duplicated", i)
+		}
+		dup[ft] = true
+		if !ft.IsIPv4() {
+			got6++
+		}
+	}
+	if ratio := float64(got6) / float64(len(mixed)); ratio < 0.70 || ratio > 0.80 {
+		t.Fatalf("v6 ratio %.3f, want ~0.75", ratio)
+	}
+	for i := range mixed {
+		if MixedFamilyFlows(4000, 0.75, 11)[i] != mixed[i] {
+			t.Fatalf("mixed trace not deterministic at %d", i)
+		}
+		break
+	}
+}
