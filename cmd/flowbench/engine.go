@@ -88,6 +88,16 @@ type engineJSONResult struct {
 	// PressureEvictions counts FullEvictIdlest reclamations on adversarial
 	// rows running the degradation policy.
 	PressureEvictions int64 `json:"pressure_evictions,omitempty"`
+	// MigrateSteps / OldArenaReads are the elastic-capacity counters on
+	// -grow rows: budgeted migration batches executed during the phase and
+	// hit-path reads that had to consult the retiring arena. Zero (and
+	// omitted) on rows that never grew.
+	MigrateSteps  int64 `json:"migrate_steps,omitempty"`
+	OldArenaReads int64 `json:"old_arena_reads,omitempty"`
+	// Capacity is the engine's real slot capacity at the end of a -grow
+	// phase, so the before/after rows record the resize itself and not just
+	// its cost.
+	Capacity int64 `json:"capacity,omitempty"`
 }
 
 // engineJSONReport is the top-level structure of the -json output.

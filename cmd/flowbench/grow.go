@@ -1,0 +1,303 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// This file is the elastic-capacity half of the engine bench: -grow runs
+// a capacity ramp — populate to ~70% of the configured capacity and
+// measure steady-state lookups, then double the population so the armed
+// auto-grow resizes every shard in place while the mixed insert+lookup
+// cost is measured (budgeted migration steps piggyback on the writes),
+// and finally measure lookups again once migration has converged. The
+// three phases land as separate rows (grow:before / grow:during /
+// grow:after) in the same JSON format as the throughput sweep, so
+// -compare gates the migration-path cost against the committed
+// BENCH_engine_grow.json.
+
+const (
+	// growMaxLoadFactor arms auto-growth well below saturation so the ramp
+	// triggers growth from real occupancy, not from per-bucket overflow
+	// alone.
+	growMaxLoadFactor = 0.85
+	// growStepBudget bounds slots migrated per pumped write — the knob
+	// trading migration latency against per-op jitter during the ramp.
+	growStepBudget = 256
+	// growConvergePasses bounds the unmeasured drain between the during
+	// and after phases; a migration still active after this many full
+	// passes over the population is a bug, not slowness.
+	growConvergePasses = 1024
+)
+
+// growSweepConfig parameterises the elastic-capacity ramp. Rows are
+// single-threaded: the ramp measures migration cost on the op path, not
+// lock scaling (the throughput sweep covers that).
+type growSweepConfig struct {
+	backends   []string
+	shards     []int
+	ops        int // lookups per measured steady-state phase
+	capacity   int
+	batch      int
+	optimistic bool
+	jsonPath   string
+}
+
+// growPhase is one measured window of the ramp: op count, wall time,
+// allocation deltas, and the migration-counter deltas attributable to
+// the window.
+type growPhase struct {
+	ops           int64
+	wall          time.Duration
+	allocsPerOp   float64
+	bytesPerOp    float64
+	migrateSteps  int64
+	oldArenaReads int64
+	capacity      int64
+	resident      int
+	hitRate       float64
+	failedInserts int64
+}
+
+// growMeter brackets a measured window with MemStats and GrowStats
+// snapshots so each phase reports only its own deltas.
+type growMeter struct {
+	eng      *flowproc.Engine
+	msBefore runtime.MemStats
+	gsBefore table.GrowStats
+	start    time.Time
+}
+
+// begin snapshots the counters and starts the clock.
+func (m *growMeter) begin() {
+	runtime.ReadMemStats(&m.msBefore)
+	m.gsBefore = m.eng.GrowStats()
+	m.start = time.Now()
+}
+
+// end stops the clock and fills the delta-derived fields of p.
+func (m *growMeter) end(p *growPhase) {
+	p.wall = time.Since(m.start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	gsAfter := m.eng.GrowStats()
+	if p.ops > 0 {
+		p.allocsPerOp = float64(msAfter.Mallocs-m.msBefore.Mallocs) / float64(p.ops)
+		p.bytesPerOp = float64(msAfter.TotalAlloc-m.msBefore.TotalAlloc) / float64(p.ops)
+	}
+	p.migrateSteps = gsAfter.MigrateSteps - m.gsBefore.MigrateSteps
+	p.oldArenaReads = gsAfter.OldArenaReads - m.gsBefore.OldArenaReads
+	p.capacity = m.eng.Capacity()
+	p.resident = m.eng.Len()
+}
+
+// runGrowRamp drives one backend/shard configuration through the three
+// ramp phases, returning them in before/during/after order along with
+// whether lookups were actually served by the lock-free read path.
+func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase, bool, error) {
+	var phases [3]growPhase
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		HashSeed:               attackSeed,
+		DisableOptimisticReads: !cfg.optimistic,
+		Growth:                 table.GrowthConfig{MaxLoadFactor: growMaxLoadFactor, StepBudget: growStepBudget},
+	})
+	if err != nil {
+		return phases, false, err
+	}
+	// Two equal populations: the first fills ~70% of nominal capacity
+	// (under the auto-grow threshold), the second doubles the resident set
+	// mid-run and forces the resize.
+	pop := max(cfg.capacity*7/10, cfg.batch)
+	flows := make([]flowproc.FiveTuple, 2*pop)
+	for i := range flows {
+		flows[i] = trafficgen.Flow(uint64(i))
+	}
+	first, second := flows[:pop], flows[pop:]
+	ids := make([]uint64, cfg.batch)
+	hit := make([]bool, cfg.batch)
+	merrs := make([]error, cfg.batch)
+	insertAll := func(fts []flowproc.FiveTuple) (failed int64, err error) {
+		for off := 0; off < len(fts); off += cfg.batch {
+			b := fts[off:min(off+cfg.batch, len(fts))]
+			eng.InsertBatchInto(b, ids[:len(b)], merrs[:len(b)])
+			for _, e := range merrs[:len(b)] {
+				if e == nil {
+					continue
+				}
+				if !errors.Is(e, table.ErrTableFull) {
+					return failed, e
+				}
+				failed++
+			}
+		}
+		return failed, nil
+	}
+	// lookupOps cycles batched lookups over fts until ops operations are
+	// done, returning the hit rate.
+	lookupOps := func(fts []flowproc.FiveTuple, ops int) (int64, float64) {
+		var done, hits int64
+		for off := 0; done < int64(ops); off = (off + cfg.batch) % len(fts) {
+			b := fts[off:min(off+cfg.batch, len(fts))]
+			eng.LookupBatchInto(b, ids[:len(b)], hit[:len(b)])
+			for _, h := range hit[:len(b)] {
+				if h {
+					hits++
+				}
+			}
+			done += int64(len(b))
+		}
+		return done, float64(hits) / float64(done)
+	}
+	meter := growMeter{eng: eng}
+
+	// settle re-inserts fts until a pass is rejection-free and no
+	// migration is in flight: per-bucket overflow can reject keys well
+	// below the load-factor threshold (the single-hash overflow problem the
+	// paper opens with), each rejection arms a grow-on-full resize, and the
+	// duplicate passes pump the budgeted migration steps to completion.
+	settle := func(fts []flowproc.FiveTuple, what string) error {
+		for pass := 0; ; pass++ {
+			if pass >= growConvergePasses {
+				return fmt.Errorf("%s never converged: %+v", what, eng.GrowStats())
+			}
+			failed, err := insertAll(fts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", what, err)
+			}
+			if failed == 0 && eng.GrowStats().ActiveGrows == 0 {
+				return nil
+			}
+		}
+	}
+
+	// Phase 1 — grow:before. Populate under the threshold (unmeasured),
+	// then measure steady-state lookups at the settled capacity.
+	if err := settle(first, "preload"); err != nil {
+		return phases, false, err
+	}
+	meter.begin()
+	phases[0].ops, phases[0].hitRate = lookupOps(first, cfg.ops)
+	meter.end(&phases[0])
+
+	// Phase 2 — grow:during. Double the population: each insert batch
+	// trips the load-factor (or grow-on-full) trigger and pumps budgeted
+	// migration steps; a lookup batch over the combined prefix after every
+	// insert batch keeps the mixed read cost in the measurement.
+	meter.begin()
+	var duringHits int64
+	for off := 0; off < len(second); off += cfg.batch {
+		b := second[off:min(off+cfg.batch, len(second))]
+		eng.InsertBatchInto(b, ids[:len(b)], merrs[:len(b)])
+		for _, e := range merrs[:len(b)] {
+			if e == nil {
+				continue
+			}
+			if !errors.Is(e, table.ErrTableFull) {
+				return phases, false, e
+			}
+			phases[1].failedInserts++
+		}
+		lb := flows[off : off+len(b)] // settled prefix: inserted in phase 1
+		eng.LookupBatchInto(lb, ids[:len(lb)], hit[:len(lb)])
+		for _, h := range hit[:len(lb)] {
+			if h {
+				duringHits++
+			}
+		}
+		phases[1].ops += int64(len(b) + len(lb))
+	}
+	meter.end(&phases[1])
+	phases[1].hitRate = float64(duringHits) / float64(phases[1].ops/2)
+
+	// Drain: settle the doubled population (unmeasured — operational
+	// housekeeping, not op-path cost) so the after phase sees a converged
+	// table holding every flow.
+	if err := settle(flows, "drain"); err != nil {
+		return phases, false, err
+	}
+
+	// Phase 3 — grow:after. Steady-state lookups over the doubled
+	// population at the grown capacity.
+	meter.begin()
+	phases[2].ops, phases[2].hitRate = lookupOps(flows, cfg.ops)
+	meter.end(&phases[2])
+	return phases, eng.ReadStats().Optimistic, nil
+}
+
+// growSweep runs the capacity ramp across backend × shard configurations
+// and writes the same JSON format as the throughput sweep for -compare
+// gating.
+func growSweep(cfg growSweepConfig) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Elastic-capacity ramp — %d lookups/phase, batch %d, capacity %d (GOMAXPROCS=%d)",
+			cfg.ops, cfg.batch, cfg.capacity, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Phase", "ns/op", "Mops/s", "Migrate steps", "Old-arena reads", "Capacity", "Resident", "Hit rate", "allocs/op", "Wall time")
+	phaseNames := [3]string{"grow:before", "grow:during", "grow:after"}
+	var jsonResults []engineJSONResult
+	for _, backend := range cfg.backends {
+		for _, shards := range cfg.shards {
+			phases, optimistic, err := runGrowRamp(backend, shards, cfg)
+			if err != nil {
+				return fmt.Errorf("grow ramp %s/%d: %w", backend, shards, err)
+			}
+			for i, p := range phases {
+				nsPerOp := float64(p.wall.Nanoseconds()) / float64(p.ops)
+				t.AddRow(backend, fmt.Sprintf("%d", shards), phaseNames[i],
+					fmt.Sprintf("%.1f", nsPerOp),
+					fmt.Sprintf("%.2f", float64(p.ops)/p.wall.Seconds()/1e6),
+					fmt.Sprintf("%d", p.migrateSteps),
+					fmt.Sprintf("%d", p.oldArenaReads),
+					fmt.Sprintf("%d", p.capacity),
+					fmt.Sprintf("%d", p.resident),
+					fmt.Sprintf("%.3f", p.hitRate),
+					fmt.Sprintf("%.3f", p.allocsPerOp),
+					p.wall.Round(time.Millisecond).String())
+				jsonResults = append(jsonResults, engineJSONResult{
+					Backend:       backend,
+					Shards:        shards,
+					Workers:       1,
+					Batch:         cfg.batch,
+					Mix:           phaseNames[i],
+					Cpus:          runtime.GOMAXPROCS(0),
+					Optimistic:    optimistic,
+					TotalOps:      p.ops,
+					WallNS:        p.wall.Nanoseconds(),
+					NSPerOp:       nsPerOp,
+					MopsPerSec:    float64(p.ops) / p.wall.Seconds() / 1e6,
+					AllocsPerOp:   p.allocsPerOp,
+					BytesPerOp:    p.bytesPerOp,
+					Resident:      p.resident,
+					HitRate:       p.hitRate,
+					FailedInserts: p.failedInserts,
+					MigrateSteps:  p.migrateSteps,
+					OldArenaReads: p.oldArenaReads,
+					Capacity:      p.capacity,
+				})
+			}
+		}
+	}
+	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		rep := engineJSONReport{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			OpsPerWkr:  cfg.ops,
+			Results:    jsonResults,
+		}
+		if err := writeJSONReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	flowbench [-quick] [fig3|table1|table2a|table2b|fig6|discussion|ablations|all]
 //	flowbench [-engine list] [-shards list] [-workers n] [-ops n] [-writers] [-optimistic=false] [-cpuprofile f] [-mutexprofile f] engine
 //	flowbench [-engine list] [-shards list] [-ops n] [-capacity n] -scenario all|list engine
+//	flowbench [-engine list] [-shards list] [-ops n] [-capacity n] -grow engine
 //	flowbench -compare [-threshold pct] [-allocthreshold n] old.json new.json
 //
 // The default experiment scale matches the paper (10 k descriptors, input
@@ -27,6 +28,14 @@
 // lookup-then-insert-misses ingest loop, with hit rate, failed inserts
 // and pressure evictions recorded per row. The rows land in the same JSON
 // format, so -compare gates them against BENCH_engine_attack.json.
+//
+// -grow switches the engine mode to the elastic-capacity ramp: populate
+// to ~70% of capacity, measure steady-state lookups, double the
+// population so the armed auto-grow resizes every shard in place while
+// the mixed cost is measured, and measure again after migration
+// converges. The before/during/after rows record migration steps,
+// old-arena reads and the real capacity, and -compare gates them against
+// BENCH_engine_grow.json.
 //
 // The compare mode diffs two engine bench JSON files (rows matched on
 // backend × shards × workers × batch × mix × cpus × optimistic) and exits nonzero when any
@@ -106,6 +115,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "engine mode: write a CPU profile of the sweep to this file")
 	mutexProfile := flag.String("mutexprofile", "", "engine mode: write a mutex-contention profile of the sweep to this file")
 	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
+	grow := flag.Bool("grow", false, "engine mode: elastic-capacity ramp (population doubles mid-run; auto-grow resizes shards in place; rows for before/during/after migration)")
 	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix")
 	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
 	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
@@ -181,11 +191,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
 			os.Exit(1)
 		}
-		if *scenario != "" {
-			if *expiry || *writers {
-				fmt.Fprintf(os.Stderr, "flowbench: -scenario is its own workload; drop -expiry/-writers\n")
-				os.Exit(1)
+		modes := 0
+		for _, on := range []bool{*scenario != "", *expiry, *grow} {
+			if on {
+				modes++
 			}
+		}
+		if modes > 1 || (modes == 1 && *writers && (*scenario != "" || *grow)) {
+			fmt.Fprintf(os.Stderr, "flowbench: -scenario, -expiry and -grow are separate workloads; pick one (and -writers only applies to the default mix)\n")
+			os.Exit(1)
+		}
+		if *scenario != "" {
 			scenarioList, serr := parseScenarios(*scenario)
 			if serr != nil {
 				fmt.Fprintf(os.Stderr, "flowbench: %v\n", serr)
@@ -195,6 +211,16 @@ func main() {
 				backends:   backendList,
 				shards:     shardList,
 				scenarios:  scenarioList,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				optimistic: *optimistic,
+				jsonPath:   *jsonOut,
+			})
+		} else if *grow {
+			err = growSweep(growSweepConfig{
+				backends:   backendList,
+				shards:     shardList,
 				ops:        opsPerWorker,
 				capacity:   *capacity,
 				batch:      *batch,

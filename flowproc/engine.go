@@ -44,7 +44,7 @@ type Engine struct {
 	v6      *table.Sharded // IPv6 twin table; nil unless DualStack
 	spec    packet.TupleSpec
 	backend string
-	seed    uint64 // resolved hash seed; 0 under FixedHash
+	seed    uint64    // resolved hash seed; 0 under FixedHash
 	scratch sync.Pool // *engineScratch
 
 	// scalarCache is the scalar ops' single-slot scratch cache: one atomic
@@ -126,6 +126,15 @@ type EngineConfig struct {
 	// timestamps define "idlest". See docs/ARCHITECTURE.md "Threat model
 	// & degradation".
 	OnFull table.FullPolicy
+	// Growth configures elastic capacity: a non-zero MaxLoadFactor arms
+	// per-shard auto-grow when real occupancy (against Capacity(), the
+	// post-rounding slot count) crosses the threshold, with migration
+	// amortised over subsequent writes and Advance calls in StepBudget
+	// slot examinations per step. Requires a backend implementing
+	// table.GrowableBackend (hashcam, dleft, singlehash); the zero value
+	// keeps the historical fixed-capacity behaviour. See
+	// docs/ARCHITECTURE.md "Elastic capacity".
+	Growth table.GrowthConfig
 }
 
 // Backends returns the registered backend names an Engine can use.
@@ -172,6 +181,13 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.DisableOptimisticReads {
 		for _, s := range e.tables() {
 			s.SetOptimisticReads(false)
+		}
+	}
+	if cfg.Growth != (table.GrowthConfig{}) {
+		for _, s := range e.tables() {
+			if err := s.SetGrowth(cfg.Growth); err != nil {
+				return nil, fmt.Errorf("flowproc: engine growth: %w", err)
+			}
 		}
 	}
 	e.scratch.New = func() any { return new(engineScratch) }
@@ -221,6 +237,55 @@ func (e *Engine) Backend() string { return e.backend }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.sharded.ShardCount() }
+
+// Capacity returns the engine's real slot capacity — the sum of every
+// shard's backend slot bound across both address families' tables. This
+// is the post-rounding figure (per-shard bucket counts round up to powers
+// of two, so it can exceed EngineConfig.Capacity by up to ~2×) and the
+// denominator auto-grow measures occupancy against; during a grow it
+// reflects the already-enlarged live arenas. Returns 0 if any table's
+// backend does not expose a slot bound.
+func (e *Engine) Capacity() int64 {
+	var n int64
+	for _, s := range e.tables() {
+		c := s.SlotCapacity()
+		if c == 0 {
+			return 0
+		}
+		n += c
+	}
+	return n
+}
+
+// Grow starts an explicit online grow of every shard of both address
+// families' tables to factor × the current capacity target. It returns
+// once migration has begun everywhere; draining is amortised over
+// subsequent writes and Advance calls. Fails if the backend does not
+// implement table.GrowableBackend.
+func (e *Engine) Grow(factor int) error {
+	for _, s := range e.tables() {
+		if err := s.Grow(factor); err != nil {
+			return fmt.Errorf("flowproc: engine grow: %w", err)
+		}
+	}
+	return nil
+}
+
+// GrowStats aggregates the elastic-capacity counters across both address
+// families' tables.
+func (e *Engine) GrowStats() table.GrowStats {
+	var gs table.GrowStats
+	for _, s := range e.tables() {
+		t := s.GrowStats()
+		gs.Grows += t.Grows
+		gs.ActiveGrows += t.ActiveGrows
+		gs.MigrateSteps += t.MigrateSteps
+		gs.MigratedSlots += t.MigratedSlots
+		gs.DroppedSlots += t.DroppedSlots
+		gs.OldArenaReads += t.OldArenaReads
+	}
+	return gs
+}
 
 // storable reports whether ft serialises to a key one of the engine's
 // tables accepts.

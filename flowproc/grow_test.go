@@ -1,0 +1,137 @@
+package flowproc_test
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"repro/flowproc"
+	"repro/internal/table"
+)
+
+// TestEngineAutoGrowOversubscribed is the elastic-capacity acceptance
+// test: an engine 4×-oversubscribed against its configured capacity, with
+// auto-grow armed, must absorb the whole population — zero failed inserts
+// once growth has converged and a final hit rate of at least 0.95 — where
+// a fixed-capacity engine would reject or evict.
+func TestEngineAutoGrowOversubscribed(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:  "hashcam",
+		Shards:   4,
+		Capacity: 4096,
+		HashSeed: 42,
+		Growth:   table.GrowthConfig{MaxLoadFactor: 0.7, StepBudget: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Capacity() < 4096 {
+		t.Fatalf("Capacity() = %d, below nominal 4096", e.Capacity())
+	}
+	fts := make([]flowproc.FiveTuple, 16384) // 4× nominal capacity
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	// Repeated passes: inserts both trigger growth and pump the budgeted
+	// migration steps until every shard has converged.
+	for pass := 0; pass < 64; pass++ {
+		clean := true
+		if _, errsIns := e.InsertBatch(fts); errsIns != nil {
+			clean = false
+		}
+		if clean && e.GrowStats().ActiveGrows == 0 {
+			break
+		}
+	}
+	gs := e.GrowStats()
+	if gs.Grows == 0 {
+		t.Fatalf("auto-grow never triggered: %+v", gs)
+	}
+	if gs.ActiveGrows != 0 {
+		t.Fatalf("migration never converged: %+v", gs)
+	}
+	// Growth has converged: the next pass must be rejection-free.
+	if _, errsIns := e.InsertBatch(fts); errsIns != nil {
+		t.Fatalf("failed inserts after growth converged: %v", errsIns)
+	}
+	_, hits := e.LookupBatch(fts)
+	hit := 0
+	for _, h := range hits {
+		if h {
+			hit++
+		}
+	}
+	if rate := float64(hit) / float64(len(fts)); rate < 0.95 {
+		t.Fatalf("hit rate %.3f after growth, want >= 0.95", rate)
+	}
+	if got := e.Capacity(); got < int64(len(fts)) {
+		t.Fatalf("Capacity() = %d after growth, want >= %d", got, len(fts))
+	}
+	if os := e.OverloadStats(); os.PressureEvictions != 0 {
+		t.Fatalf("pressure evictions %d with growth enabled, want 0", os.PressureEvictions)
+	}
+}
+
+// TestEngineExplicitGrow pins the explicit path and the dual-stack fanout:
+// Engine.Grow resizes both address families' tables and the population
+// survives the migration.
+func TestEngineExplicitGrow(t *testing.T) {
+	e, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:   "hashcam",
+		Shards:    2,
+		Capacity:  2048,
+		HashSeed:  7,
+		DualStack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := make([]flowproc.FiveTuple, 512)
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	if _, errsIns := e.InsertBatch(fts); errsIns != nil {
+		t.Fatal(errsIns)
+	}
+	before := e.Capacity()
+	if err := e.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	// Pump migration through writes: scratch flows varied across shards,
+	// v4 and v6 alternating so both families' tables drain.
+	for i := uint32(0); i < 10000 && e.GrowStats().ActiveGrows > 0; i++ {
+		scratch := tuple(1<<20 + i%64)
+		if i%2 == 1 {
+			scratch.Src = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 15: byte(i % 64)})
+			scratch.Dst = netip.MustParseAddr("2001:db8::2")
+		}
+		if _, err := e.Insert(scratch); err != nil {
+			t.Fatal(err)
+		}
+		e.Delete(scratch)
+	}
+	if gs := e.GrowStats(); gs.ActiveGrows != 0 {
+		t.Fatalf("migration never converged: %+v", gs)
+	}
+	if after := e.Capacity(); after <= before {
+		t.Fatalf("Capacity %d after Grow(2), want > %d", after, before)
+	}
+	_, hits := e.LookupBatch(fts)
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("flow %d lost across migration", i)
+		}
+	}
+}
+
+// TestEngineGrowthUnsupportedBackend pins the constructor-time rejection:
+// auto-grow on a backend without online growth fails loudly.
+func TestEngineGrowthUnsupportedBackend(t *testing.T) {
+	_, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend: "cuckoo",
+		Growth:  table.GrowthConfig{MaxLoadFactor: 0.7},
+	})
+	if !errors.Is(err, table.ErrGrowUnsupported) {
+		t.Fatalf("NewEngine(cuckoo, auto-grow) = %v, want ErrGrowUnsupported", err)
+	}
+}

@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"bytes"
 	"fmt"
 	"sync/atomic"
 
@@ -9,6 +8,19 @@ import (
 	"repro/internal/table"
 	"repro/internal/table/slotarr"
 )
+
+// dlArena is one d-left generation: the per-sub-table slot arenas plus
+// their entry counts. The table holds a live arena and, mid-grow, a
+// retiring one (see grow.go); counts live here so each generation's
+// occupancy follows it through the swap.
+type dlArena struct {
+	buckets int
+	stores  []*slotarr.Store // per sub-table arenas (inline keys + tags)
+	counts  []int
+}
+
+// slots returns the arena's per-sub-table slot count.
+func (a *dlArena) slots(k int) int { return a.buckets * k }
 
 // DLeft is d-choice (d-left) hashing after Azar et al. [6]: d sub-tables,
 // each with its own hash function; a key is placed in the least-loaded of
@@ -19,13 +31,32 @@ type DLeft struct {
 	// precomputed hashfn.KeyHashes (khH1/khH2), the per-sub-table hash
 	// list of the hashed fast path. khNone entries rehash the key bytes.
 	khWords []int8
-	buckets int
 	slots   int
 	keyLen  int
 
-	stores []*slotarr.Store // per sub-table arenas (inline keys + tags)
-	counts []int
-	probes atomic.Int64 // atomic: lookups may run under a shared lock
+	// live is the generation inserts target; old is non-nil only while a
+	// grow is migrating entries out of the previous generation (grow.go).
+	// Atomic pointers so the sharded layer's lock-free readers can race
+	// the swap; all writes happen under the caller's exclusive lock.
+	live, old atomic.Pointer[dlArena]
+	probes    atomic.Int64 // atomic: lookups may run under a shared lock
+
+	growCursor uint64
+	moveBuf    [][2]uint64
+	relocate   func([][2]uint64)
+}
+
+// newDLArena builds one generation's sub-table arenas.
+func newDLArena(d, buckets, slots, keyLen int) *dlArena {
+	a := &dlArena{
+		buckets: buckets,
+		stores:  make([]*slotarr.Store, d),
+		counts:  make([]int, d),
+	}
+	for i := range a.stores {
+		a.stores[i] = slotarr.New(buckets*slots, keyLen)
+	}
+	return a
 }
 
 // NewDLeft builds a d-left table with one sub-table per hash function. The
@@ -42,16 +73,13 @@ func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) 
 	d := &DLeft{
 		hashes:  hashes,
 		khWords: make([]int8, len(hashes)),
-		buckets: buckets,
 		slots:   slots,
 		keyLen:  keyLen,
-		stores:  make([]*slotarr.Store, len(hashes)),
-		counts:  make([]int, len(hashes)),
 	}
 	for i := range hashes {
 		d.khWords[i] = khNone
-		d.stores[i] = slotarr.New(buckets*slots, keyLen)
 	}
+	d.live.Store(newDLArena(len(hashes), buckets, slots, keyLen))
 	return d, nil
 }
 
@@ -70,10 +98,16 @@ func NewDLeftPair(pair hashfn.Pair, buckets, slots, keyLen int) (*DLeft, error) 
 	return d, nil
 }
 
-// id folds a sub-table and arena offset into a slot ID (the ID layout
-// concatenates the sub-table arenas).
-func (d *DLeft) id(table, off int) uint64 {
-	return uint64(table*d.buckets*d.slots + off)
+// liveID folds a live-generation sub-table and arena offset into a slot ID
+// (the ID layout concatenates the sub-table arenas).
+func (d *DLeft) liveID(g *dlArena, table, off int) uint64 {
+	return uint64(table*g.slots(d.slots) + off)
+}
+
+// oldBase is the first retiring-generation slot ID: the region above the
+// live generation's IDs (table.GrowLayout's OldBase).
+func (d *DLeft) oldBase(g *dlArena) uint64 {
+	return uint64(len(d.hashes) * g.slots(d.slots))
 }
 
 func (d *DLeft) checkKey(key []byte) {
@@ -82,51 +116,55 @@ func (d *DLeft) checkKey(key []byte) {
 	}
 }
 
-// bucketOf derives the key's bucket and fingerprint tag in sub-table t
-// from one hash word: the aligned KeyHashes word when the caller supplied
-// hashes and the sub-table is pair-bound, otherwise by hashing the key
-// bytes. Evaluation stays lazy per sub-table — a lookup resolving in
-// sub-table 0 never pays for sub-table 1's hash on the byte-key path,
-// exactly as before.
-func (d *DLeft) bucketOf(t int, key []byte, kh *hashfn.KeyHashes) (int, uint8) {
+// wordOf derives the key's hash word and fingerprint tag for sub-table t:
+// the aligned KeyHashes word when the caller supplied hashes and the
+// sub-table is pair-bound, otherwise by hashing the key bytes. Callers
+// reduce the word against the generation they are probing — live and
+// retiring have different bucket counts. Evaluation stays lazy per
+// sub-table — a lookup resolving in sub-table 0 never pays for sub-table
+// 1's hash on the byte-key path, exactly as before.
+func (d *DLeft) wordOf(t int, key []byte, kh *hashfn.KeyHashes) (uint64, uint8) {
 	if kh != nil {
 		switch d.khWords[t] {
 		case khH1:
-			return hashfn.Reduce(kh.H1, d.buckets), slotarr.TagOf(kh.H1)
+			return kh.H1, slotarr.TagOf(kh.H1)
 		case khH2:
-			return hashfn.Reduce(kh.H2, d.buckets), slotarr.TagOf(kh.H2)
+			return kh.H2, slotarr.TagOf(kh.H2)
 		}
 	}
 	w := d.hashes[t].Hash(key)
-	return hashfn.Reduce(w, d.buckets), slotarr.TagOf(w)
+	return w, slotarr.TagOf(w)
 }
 
 // read probes the candidate buckets in sub-table order (hardware searches
 // the sub-tables in parallel, but each is a memory access) with zero
-// stats writes — the lock-free read core. The outcome token is the probe
-// count the access model charges: t+1 for a hit in sub-table t, d on a
-// full miss.
+// stats writes — the lock-free read core. Mid-migration the retiring
+// generation's candidates follow the live ones. The outcome token is the
+// probe count the access model charges: t+1 for a live hit in sub-table
+// t, d+t+1 for a retiring hit, d on a full single-generation miss, 2d on
+// a full two-generation miss.
 func (d *DLeft) read(key []byte, kh *hashfn.KeyHashes) (uint64, uint8, bool) {
+	g := d.live.Load()
+	n := len(d.hashes)
 	for t := range d.hashes {
-		b, tag := d.bucketOf(t, key, kh)
-		st := d.stores[t]
-		base := b * d.slots
-		if d.slots > 8 {
-			if off, ok := st.FindTagged(base, d.slots, tag, key); ok {
-				return d.id(t, off), uint8(t) + 1, true
-			}
-			continue
-		}
-		// Candidate loop in this frame over the inlinable TagMatches leaf.
-		for m := st.TagMatches(base, d.slots, tag); m != 0; {
-			var off int
-			off, m = slotarr.NextMatch(m)
-			if bytes.Equal(st.Key(base+off), key) {
-				return d.id(t, base+off), uint8(t) + 1, true
-			}
+		w, tag := d.wordOf(t, key, kh)
+		base := hashfn.Reduce(w, g.buckets) * d.slots
+		if off, ok := bucketSearch(g.stores[t], base, d.slots, tag, key); ok {
+			return d.liveID(g, t, off), uint8(t) + 1, true
 		}
 	}
-	return 0, uint8(len(d.hashes)), false
+	og := d.old.Load()
+	if og == nil {
+		return 0, uint8(n), false
+	}
+	for t := range d.hashes {
+		w, tag := d.wordOf(t, key, kh)
+		base := hashfn.Reduce(w, og.buckets) * d.slots
+		if off, ok := bucketSearch(og.stores[t], base, d.slots, tag, key); ok {
+			return d.oldBase(g) + uint64(t*og.slots(d.slots)+off), uint8(n+t) + 1, true
+		}
+	}
+	return 0, uint8(2 * n), false
 }
 
 // lookup is read plus the accounting: probes are charged in one atomic
@@ -149,32 +187,45 @@ func (d *DLeft) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
 	return d.lookup(key, &kh)
 }
 
-// insert places key in the least-loaded candidate bucket, ties breaking to
-// the leftmost sub-table.
-func (d *DLeft) insert(key []byte, kh *hashfn.KeyHashes) (uint64, error) {
-	if id, ok := d.lookup(key, kh); ok {
-		return id, nil
-	}
+// placeLeast puts key in the least-loaded live candidate bucket, ties
+// breaking to the leftmost sub-table. Shared by insert and the migration
+// re-placement, so a grow preserves the structure's placement policy.
+func (d *DLeft) placeLeast(g *dlArena, key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
 	bestTable, bestBucket, bestLoad := -1, -1, d.slots+1
 	var bestTag uint8
 	for t := range d.hashes {
-		b, tag := d.bucketOf(t, key, kh)
-		load := d.stores[t].Load(b*d.slots, d.slots)
+		w, tag := d.wordOf(t, key, kh)
+		b := hashfn.Reduce(w, g.buckets)
+		load := g.stores[t].Load(b*d.slots, d.slots)
 		if load < bestLoad {
 			bestTable, bestBucket, bestLoad, bestTag = t, b, load, tag
 		}
 	}
 	if bestLoad >= d.slots {
-		return 0, fmt.Errorf("baseline: d-left: all %d candidate buckets full: %w", len(d.hashes), ErrTableFull)
+		return 0, false
 	}
-	off, ok := d.stores[bestTable].FindFree(bestBucket*d.slots, d.slots)
+	off, ok := g.stores[bestTable].FindFree(bestBucket*d.slots, d.slots)
 	if !ok {
 		panic("baseline: d-left free slot vanished") // unreachable
 	}
-	d.stores[bestTable].Set(off, bestTag, key)
-	d.counts[bestTable]++
+	g.stores[bestTable].Set(off, bestTag, key)
+	g.counts[bestTable]++
+	return d.liveID(g, bestTable, off), true
+}
+
+// insert places key in the least-loaded live candidate bucket unless
+// present in either generation. Inserts never target the retiring
+// generation — it only drains.
+func (d *DLeft) insert(key []byte, kh *hashfn.KeyHashes) (uint64, error) {
+	if id, ok := d.lookup(key, kh); ok {
+		return id, nil
+	}
+	id, ok := d.placeLeast(d.live.Load(), key, kh)
+	if !ok {
+		return 0, fmt.Errorf("baseline: d-left: all %d candidate buckets full: %w", len(d.hashes), ErrTableFull)
+	}
 	d.probes.Add(1)
-	return d.id(bestTable, off), nil
+	return id, nil
 }
 
 // Insert implements LookupTable: least-loaded candidate bucket, leftmost
@@ -190,19 +241,33 @@ func (d *DLeft) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	return d.insert(key, &kh)
 }
 
-// delete removes key from whichever candidate bucket holds it.
-func (d *DLeft) delete(key []byte, kh *hashfn.KeyHashes) bool {
-	for t := range d.hashes {
-		b, tag := d.bucketOf(t, key, kh)
-		if off, ok := d.stores[t].FindTagged(b*d.slots, d.slots, tag, key); ok {
-			d.stores[t].Clear(off)
-			d.counts[t]--
-			d.probes.Add(int64(t) + 1)
-			return true
-		}
+// clearID reclaims the slot behind a read-resolved ID, decrementing the
+// owning generation's count. Requires the caller's exclusive lock.
+func (d *DLeft) clearID(id uint64) {
+	g := d.live.Load()
+	if base := d.oldBase(g); id >= base {
+		og := d.old.Load()
+		t, off := int(id-base)/og.slots(d.slots), int(id-base)%og.slots(d.slots)
+		og.stores[t].Clear(off)
+		og.counts[t]--
+		return
 	}
-	d.probes.Add(int64(len(d.hashes)))
-	return false
+	t, off := int(id)/g.slots(d.slots), int(id)%g.slots(d.slots)
+	g.stores[t].Clear(off)
+	g.counts[t]--
+}
+
+// delete removes key from whichever generation holds it. The probe charge
+// is the read's token — t+1 on a live hit, d on a miss — matching the
+// historical accounting in the single-generation case.
+func (d *DLeft) delete(key []byte, kh *hashfn.KeyHashes) bool {
+	id, probes, ok := d.read(key, kh)
+	d.probes.Add(int64(probes))
+	if !ok {
+		return false
+	}
+	d.clearID(id)
+	return true
 }
 
 // Delete implements LookupTable.
@@ -217,11 +282,16 @@ func (d *DLeft) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	return d.delete(key, &kh)
 }
 
-// Len implements LookupTable.
+// Len implements LookupTable: entries across both generations.
 func (d *DLeft) Len() int {
 	n := 0
-	for _, c := range d.counts {
+	for _, c := range d.live.Load().counts {
 		n += c
+	}
+	if og := d.old.Load(); og != nil {
+		for _, c := range og.counts {
+			n += c
+		}
 	}
 	return n
 }
@@ -232,27 +302,29 @@ func (d *DLeft) Probes() int64 { return d.probes.Load() }
 // Name implements LookupTable.
 func (d *DLeft) Name() string { return fmt.Sprintf("%d-left", len(d.hashes)) }
 
-// TableLoads returns the per-sub-table entry counts (left-skew check).
-func (d *DLeft) TableLoads() []int { return append([]int(nil), d.counts...) }
+// TableLoads returns the live generation's per-sub-table entry counts
+// (left-skew check).
+func (d *DLeft) TableLoads() []int { return append([]int(nil), d.live.Load().counts...) }
 
 // PrefetchHashed implements table.PrefetchBackend: every pair-bound
-// sub-table's candidate bucket is touched (khNone sub-tables would need a
-// hash evaluation, which a prefetch hint must not spend).
+// sub-table's live candidate bucket is touched (khNone sub-tables would
+// need a hash evaluation, which a prefetch hint must not spend).
 func (d *DLeft) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
+	g := d.live.Load()
 	var acc uint64
-	for t := range d.stores {
+	for t := range g.stores {
 		switch d.khWords[t] {
 		case khH1:
-			acc ^= d.stores[t].Touch(hashfn.Reduce(kh.H1, d.buckets) * d.slots)
+			acc ^= g.stores[t].Touch(hashfn.Reduce(kh.H1, g.buckets) * d.slots)
 		case khH2:
-			acc ^= d.stores[t].Touch(hashfn.Reduce(kh.H2, d.buckets) * d.slots)
+			acc ^= g.stores[t].Touch(hashfn.Reduce(kh.H2, g.buckets) * d.slots)
 		}
 	}
 	return acc
 }
 
 // ReadHashed implements table.OptimisticBackend: the outcome token is the
-// probe count the scan charged (1..d).
+// probe count the scan charged (1..d, or up to 2d mid-migration).
 func (d *DLeft) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
 	d.checkKey(key)
 	return d.read(key, &kh)
@@ -264,18 +336,25 @@ func (d *DLeft) CommitReads(outcome uint8, n int64) {
 }
 
 // ReadLockFree implements table.OptimisticBackend: the inline slot path
-// only, and only while the probe-count outcome of a full miss (= d) fits
-// the token bound (a NewDLeft with that many sub-tables is out-of-tree
-// territory; the registry's 2-left always qualifies).
+// only, and only while the worst-case probe-count outcome — a full miss
+// across both generations mid-migration (= 2d) — fits the token bound (a
+// NewDLeft with that many sub-tables is out-of-tree territory; the
+// registry's 2-left always qualifies).
 func (d *DLeft) ReadLockFree() bool {
-	return d.stores[0].Inline() && len(d.hashes) < table.MaxReadOutcomes
+	return d.live.Load().stores[0].Inline() && 2*len(d.hashes) < table.MaxReadOutcomes
 }
 
-// StorageBytes implements table.StorageSized: the sub-table arenas.
+// StorageBytes implements table.StorageSized: the sub-table arenas of
+// both generations.
 func (d *DLeft) StorageBytes() int64 {
 	var n int64
-	for _, st := range d.stores {
+	for _, st := range d.live.Load().stores {
 		n += st.Bytes()
+	}
+	if og := d.old.Load(); og != nil {
+		for _, st := range og.stores {
+			n += st.Bytes()
+		}
 	}
 	return n
 }

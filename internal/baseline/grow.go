@@ -1,0 +1,223 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/table"
+	"repro/internal/table/slotarr"
+)
+
+// This file implements table.GrowableBackend on the growable §II
+// baselines — single-hash and d-left. Both follow the Hash-CAM's scheme:
+// BeginGrow swaps in a fresh arena as live and demotes the current one to
+// "old"; MigrateStep drains the old arena a bounded number of slots at a
+// time, re-placing each occupied entry in the live arena under the
+// structure's normal placement policy; FinishGrow drops the drained
+// arena. Entries are re-placed by rehashing their key bytes — the arenas
+// store 1-byte fingerprint tags, which cannot reconstruct the bucket
+// index a doubled geometry needs.
+//
+// Cuckoo and the conventional arrangement deliberately opt out: a cuckoo
+// migration would have to replay kick chains against a half-populated
+// arena (a different structure than the paper measures), and the
+// conventional arrangement is the fixed-provisioning foil the comparison
+// needs. The sharded layer rejects growth config on them up front.
+
+// BeginGrow implements table.GrowableBackend: it allocates the smallest
+// power-of-two-factor arena holding at least newCap entries and enters
+// migration mode. No entries move yet; MigrateStep drains the retiring
+// arena incrementally. Requires the caller's exclusive lock.
+func (s *SingleHash) BeginGrow(newCap int) (table.GrowLayout, error) {
+	if s.old.Load() != nil {
+		return table.GrowLayout{}, fmt.Errorf("baseline: single-hash grow already in flight")
+	}
+	cur := s.live.Load()
+	nb := cur.buckets
+	for nb*s.slots < newCap {
+		nb <<= 1
+	}
+	if nb <= cur.buckets {
+		return table.GrowLayout{}, fmt.Errorf("baseline: single-hash grow target %d does not exceed current capacity %d",
+			newCap, cur.buckets*s.slots)
+	}
+	ng := &shArena{buckets: nb, store: slotarr.New(nb*s.slots, s.keyLen)}
+	s.growCursor = 0
+	// Publication order: demote the current arena to old before the new
+	// one becomes live, so a racing lock-free reader always sees at least
+	// one arena holding every resident entry; the shard seqlock discards
+	// any result read mid-swap.
+	s.old.Store(cur)
+	s.live.Store(ng)
+	nLive := uint64(nb * s.slots)
+	nOld := uint64(cur.buckets * s.slots)
+	return table.GrowLayout{
+		Stable:   0,
+		NewBound: nLive,
+		OldBase:  nLive,
+		OldBound: nLive + nOld,
+	}, nil
+}
+
+// MigrateStep implements table.GrowableBackend: it examines up to budget
+// retiring-arena slots from the migration cursor and re-places each
+// occupied one in its live-arena bucket. An entry whose live bucket is
+// full — possible when hot buckets collide harder in the new geometry —
+// is dropped and counted; the caller surfaces the count. Set-before-Clear
+// ordering means a concurrent lock-free reader can transiently see both
+// copies (it resolves to the live one, searched first) but never neither.
+// Requires the caller's exclusive lock.
+func (s *SingleHash) MigrateStep(budget int) (moved, dropped int, done bool) {
+	og := s.old.Load()
+	if og == nil {
+		return 0, 0, true
+	}
+	g := s.live.Load()
+	total := uint64(og.buckets * s.slots)
+	base := uint64(g.buckets * s.slots)
+	s.moveBuf = s.moveBuf[:0]
+	for budget > 0 && s.growCursor < total {
+		off := s.growCursor
+		s.growCursor++
+		budget--
+		if !og.store.Occupied(int(off)) {
+			continue
+		}
+		key := og.store.Key(int(off))
+		w := s.hash.Hash(key)
+		slot, ok := g.store.FindFree(hashfn.Reduce(w, g.buckets)*s.slots, s.slots)
+		if ok {
+			g.store.Set(slot, slotarr.TagOf(w), key)
+			g.count++
+		}
+		og.store.Clear(int(off))
+		og.count--
+		if !ok {
+			dropped++
+			continue
+		}
+		moved++
+		s.moveBuf = append(s.moveBuf, [2]uint64{base + off, uint64(slot)})
+	}
+	if len(s.moveBuf) > 0 && s.relocate != nil {
+		s.relocate(s.moveBuf)
+	}
+	return moved, dropped, s.growCursor >= total
+}
+
+// FinishGrow implements table.GrowableBackend: it retires the drained
+// arena, returning the table to single-arena operation. Requires the
+// caller's exclusive lock.
+func (s *SingleHash) FinishGrow() {
+	s.old.Store(nil)
+	s.growCursor = 0
+}
+
+// Growing implements table.GrowableBackend.
+func (s *SingleHash) Growing() bool { return s.old.Load() != nil }
+
+// SetRelocateHook implements table.RelocatingBackend: fn observes the
+// slot moves each MigrateStep performs (old-region ID → live-region ID,
+// per table.GrowLayout), so the expiry side-tables follow migrated
+// entries. Single-hash performs no other relocations.
+func (s *SingleHash) SetRelocateHook(fn func(moves [][2]uint64)) { s.relocate = fn }
+
+// BeginGrow implements table.GrowableBackend: it allocates the smallest
+// power-of-two-factor generation whose d sub-tables hold at least newCap
+// entries and enters migration mode. Requires the caller's exclusive
+// lock.
+func (d *DLeft) BeginGrow(newCap int) (table.GrowLayout, error) {
+	if d.old.Load() != nil {
+		return table.GrowLayout{}, fmt.Errorf("baseline: d-left grow already in flight")
+	}
+	cur := d.live.Load()
+	n := len(d.hashes)
+	nb := cur.buckets
+	for n*nb*d.slots < newCap {
+		nb <<= 1
+	}
+	if nb <= cur.buckets {
+		return table.GrowLayout{}, fmt.Errorf("baseline: d-left grow target %d does not exceed current capacity %d",
+			newCap, n*cur.buckets*d.slots)
+	}
+	ng := newDLArena(n, nb, d.slots, d.keyLen)
+	d.growCursor = 0
+	// Same publication order as single-hash: old before live, so a racing
+	// lock-free reader never sees an empty pair of generations.
+	d.old.Store(cur)
+	d.live.Store(ng)
+	nLive := uint64(n * ng.slots(d.slots))
+	nOld := uint64(n * cur.slots(d.slots))
+	return table.GrowLayout{
+		Stable:   0,
+		NewBound: nLive,
+		OldBase:  nLive,
+		OldBound: nLive + nOld,
+	}, nil
+}
+
+// MigrateStep implements table.GrowableBackend: it examines up to budget
+// retiring-generation slots from the migration cursor (sub-table-major
+// order) and re-places each occupied one under the live generation's
+// least-loaded policy — a grow preserves d-left's placement behaviour.
+// An entry whose d candidate buckets are all full is dropped and counted.
+// Requires the caller's exclusive lock.
+func (d *DLeft) MigrateStep(budget int) (moved, dropped int, done bool) {
+	og := d.old.Load()
+	if og == nil {
+		return 0, 0, true
+	}
+	g := d.live.Load()
+	nOldPer := uint64(og.slots(d.slots))
+	total := uint64(len(d.hashes)) * nOldPer
+	base := d.oldBase(g)
+	d.moveBuf = d.moveBuf[:0]
+	for budget > 0 && d.growCursor < total {
+		off := d.growCursor
+		d.growCursor++
+		budget--
+		t := int(off / nOldPer)
+		so := int(off % nOldPer)
+		if !og.stores[t].Occupied(so) {
+			continue
+		}
+		key := og.stores[t].Key(so)
+		newID, ok := d.placeLeast(g, key, nil)
+		og.stores[t].Clear(so)
+		og.counts[t]--
+		if !ok {
+			dropped++
+			continue
+		}
+		moved++
+		d.moveBuf = append(d.moveBuf, [2]uint64{base + off, newID})
+	}
+	if len(d.moveBuf) > 0 && d.relocate != nil {
+		d.relocate(d.moveBuf)
+	}
+	return moved, dropped, d.growCursor >= total
+}
+
+// FinishGrow implements table.GrowableBackend: it retires the drained
+// generation. Requires the caller's exclusive lock.
+func (d *DLeft) FinishGrow() {
+	d.old.Store(nil)
+	d.growCursor = 0
+}
+
+// Growing implements table.GrowableBackend.
+func (d *DLeft) Growing() bool { return d.old.Load() != nil }
+
+// SetRelocateHook implements table.RelocatingBackend: fn observes the
+// slot moves each MigrateStep performs, so the expiry side-tables follow
+// migrated entries. D-left performs no other relocations.
+func (d *DLeft) SetRelocateHook(fn func(moves [][2]uint64)) { d.relocate = fn }
+
+// The growable baselines satisfy the grow contract; cuckoo and the
+// conventional arrangement intentionally do not (see the file comment).
+var (
+	_ table.GrowableBackend   = (*SingleHash)(nil)
+	_ table.GrowableBackend   = (*DLeft)(nil)
+	_ table.RelocatingBackend = (*SingleHash)(nil)
+	_ table.RelocatingBackend = (*DLeft)(nil)
+)

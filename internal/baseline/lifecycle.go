@@ -39,9 +39,11 @@ func appendOccupied(dst []uint64, st interface{ Occupied(int) bool }, base, slot
 }
 
 // AppendCandidateSlots implements table.CandidateSlotter: the occupied
-// slots of the key's single bucket. Only meaningful on a pair-bound table
-// (NewSingleHashPair); an arbitrary-Func table has no KeyHashes word to
-// reduce and appends nothing, which the caller treats as "cannot evict".
+// slots of the key's single live-arena bucket (inserts place in live, so
+// mid-migration the retiring arena's occupants cannot unblock a retry).
+// Only meaningful on a pair-bound table (NewSingleHashPair); an
+// arbitrary-Func table has no KeyHashes word to reduce and appends
+// nothing, which the caller treats as "cannot evict".
 func (s *SingleHash) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
 	var w uint64
 	switch s.khWord {
@@ -52,14 +54,16 @@ func (s *SingleHash) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []u
 	default:
 		return dst
 	}
-	return appendOccupied(dst, s.store, hashfn.Reduce(w, s.buckets)*s.slots, s.slots, 0)
+	g := s.live.Load()
+	return appendOccupied(dst, g.store, hashfn.Reduce(w, g.buckets)*s.slots, s.slots, 0)
 }
 
 // AppendCandidateSlots implements table.CandidateSlotter: the occupied
-// slots of every pair-bound sub-table's candidate bucket (khNone
+// slots of every pair-bound sub-table's live candidate bucket (khNone
 // sub-tables are skipped — no word to reduce without rehashing).
 func (d *DLeft) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
-	for t := range d.stores {
+	g := d.live.Load()
+	for t := range g.stores {
 		var w uint64
 		switch d.khWords[t] {
 		case khH1:
@@ -69,8 +73,8 @@ func (d *DLeft) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64
 		default:
 			continue
 		}
-		dst = appendOccupied(dst, d.stores[t],
-			hashfn.Reduce(w, d.buckets)*d.slots, d.slots, d.id(t, 0))
+		dst = appendOccupied(dst, g.stores[t],
+			hashfn.Reduce(w, g.buckets)*d.slots, d.slots, d.liveID(g, t, 0))
 	}
 	return dst
 }
@@ -95,11 +99,39 @@ func (c *ConvHashCAM) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []
 	return c.table.AppendCandidateSlots(dst, kh)
 }
 
-// SlotIDBound implements table.EvictableBackend: buckets × slots.
-func (s *SingleHash) SlotIDBound() uint64 { return uint64(s.buckets * s.slots) }
+// shLoc resolves a slot ID to its owning arena and offset: the live
+// arena's IDs come first, the retiring arena's (mid-migration only) in
+// the region above (table.GrowLayout). ok is false beyond the bound.
+func (s *SingleHash) shLoc(id uint64) (a *shArena, off int, ok bool) {
+	g := s.live.Load()
+	n := uint64(g.buckets * s.slots)
+	if id < n {
+		return g, int(id), true
+	}
+	og := s.old.Load()
+	if og == nil || id-n >= uint64(og.buckets*s.slots) {
+		return nil, 0, false
+	}
+	return og, int(id - n), true
+}
+
+// SlotIDBound implements table.EvictableBackend: buckets × slots of the
+// live arena, extended by the retiring arena's span while a migration is
+// in flight (table.GrowLayout's OldBound), then falling back at
+// FinishGrow.
+func (s *SingleHash) SlotIDBound() uint64 {
+	n := uint64(s.live.Load().buckets * s.slots)
+	if og := s.old.Load(); og != nil {
+		n += uint64(og.buckets * s.slots)
+	}
+	return n
+}
 
 // SlotOccupied implements table.SlotSpace.
-func (s *SingleHash) SlotOccupied(id uint64) bool { return s.store.Occupied(int(id)) }
+func (s *SingleHash) SlotOccupied(id uint64) bool {
+	a, off, ok := s.shLoc(id)
+	return ok && a.store.Occupied(off)
+}
 
 // WalkSlots implements table.Walker.
 func (s *SingleHash) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) (uint64, bool) {
@@ -108,38 +140,64 @@ func (s *SingleHash) WalkSlots(cursor uint64, budget int, fn func(slot uint64) b
 
 // AppendSlotKey implements table.EvictableBackend.
 func (s *SingleHash) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
-	if slot >= s.SlotIDBound() {
+	a, off, ok := s.shLoc(slot)
+	if !ok {
 		return dst, false
 	}
-	return s.store.AppendKey(dst, int(slot))
+	return a.store.AppendKey(dst, off)
 }
 
 // DeleteSlot implements table.EvictableBackend: the single slot write is
 // charged one probe, matching Delete's accounting for the entry removal.
 func (s *SingleHash) DeleteSlot(slot uint64) bool {
-	if slot >= s.SlotIDBound() || !s.store.Occupied(int(slot)) {
+	a, off, ok := s.shLoc(slot)
+	if !ok || !a.store.Occupied(off) {
 		return false
 	}
-	s.store.Clear(int(slot))
-	s.count--
+	a.store.Clear(off)
+	a.count--
 	s.probes.Add(1)
 	return true
 }
 
-// SlotIDBound implements table.EvictableBackend: sub-tables × buckets ×
-// slots (the ID layout concatenates the sub-table arenas).
-func (d *DLeft) SlotIDBound() uint64 { return uint64(len(d.hashes) * d.buckets * d.slots) }
+// dleftLoc resolves a slot ID to its owning generation, sub-table, and
+// arena offset: the live generation's IDs come first, the retiring
+// generation's (mid-migration only) in the region above
+// (table.GrowLayout). ok is false beyond the bound.
+func (d *DLeft) dleftLoc(slot uint64) (a *dlArena, t int, off int, ok bool) {
+	g := d.live.Load()
+	if base := d.oldBase(g); slot >= base {
+		og := d.old.Load()
+		if og == nil {
+			return nil, 0, 0, false
+		}
+		per := uint64(og.slots(d.slots))
+		rel := slot - base
+		if rel >= uint64(len(d.hashes))*per {
+			return nil, 0, 0, false
+		}
+		return og, int(rel / per), int(rel % per), true
+	}
+	per := uint64(g.slots(d.slots))
+	return g, int(slot / per), int(slot % per), true
+}
 
-// dleftLoc splits a slot ID into its sub-table and arena offset.
-func (d *DLeft) dleftLoc(slot uint64) (t int, off int) {
-	perTable := uint64(d.buckets * d.slots)
-	return int(slot / perTable), int(slot % perTable)
+// SlotIDBound implements table.EvictableBackend: sub-tables × buckets ×
+// slots of the live generation (the ID layout concatenates the sub-table
+// arenas), extended by the retiring generation's span while a migration
+// is in flight.
+func (d *DLeft) SlotIDBound() uint64 {
+	n := d.oldBase(d.live.Load())
+	if og := d.old.Load(); og != nil {
+		n += uint64(len(d.hashes) * og.slots(d.slots))
+	}
+	return n
 }
 
 // SlotOccupied implements table.SlotSpace.
 func (d *DLeft) SlotOccupied(id uint64) bool {
-	t, off := d.dleftLoc(id)
-	return d.stores[t].Occupied(off)
+	a, t, off, ok := d.dleftLoc(id)
+	return ok && a.stores[t].Occupied(off)
 }
 
 // WalkSlots implements table.Walker.
@@ -149,24 +207,21 @@ func (d *DLeft) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) 
 
 // AppendSlotKey implements table.EvictableBackend.
 func (d *DLeft) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
-	if slot >= d.SlotIDBound() {
+	a, t, off, ok := d.dleftLoc(slot)
+	if !ok {
 		return dst, false
 	}
-	t, off := d.dleftLoc(slot)
-	return d.stores[t].AppendKey(dst, off)
+	return a.stores[t].AppendKey(dst, off)
 }
 
 // DeleteSlot implements table.EvictableBackend.
 func (d *DLeft) DeleteSlot(slot uint64) bool {
-	if slot >= d.SlotIDBound() {
+	a, t, off, ok := d.dleftLoc(slot)
+	if !ok || !a.stores[t].Occupied(off) {
 		return false
 	}
-	t, off := d.dleftLoc(slot)
-	if !d.stores[t].Occupied(off) {
-		return false
-	}
-	d.stores[t].Clear(off)
-	d.counts[t]--
+	a.stores[t].Clear(off)
+	a.counts[t]--
 	d.probes.Add(1)
 	return true
 }

@@ -33,18 +33,34 @@ var (
 )
 
 func init() {
+	// Every constructor validates the generic config first (the same check
+	// table.New and table.NewSharded run), so an out-of-range capacity is
+	// an error on every path — never a silent clamp.
 	table.Register("singlehash", func(cfg table.Config) (table.Backend, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 		return NewSingleHashPair(cfg.Hash, cfg.BucketsFor(1), cfg.SlotsPerBucket, cfg.KeyLen)
 	})
 	table.Register("dleft", func(cfg table.Config) (table.Backend, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 		return NewDLeftPair(cfg.Hash, cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen)
 	})
 	table.Register("cuckoo", func(cfg table.Config) (table.Backend, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 		// maxKick 128 bounds the eviction chain well past the loads the
 		// engine drives; beyond it the structure is effectively full.
 		return NewCuckoo(cfg.Hash, cfg.BucketsFor(2), cfg.SlotsPerBucket, cfg.KeyLen, 128)
 	})
 	table.Register("convhashcam", func(cfg table.Config) (table.Backend, error) {
-		return NewConvHashCAM(hashcam.BackendConfig(cfg))
+		hcfg, err := hashcam.BackendConfig(cfg) // validates cfg itself
+		if err != nil {
+			return nil, err
+		}
+		return NewConvHashCAM(hcfg)
 	})
 }

@@ -20,20 +20,55 @@ const (
 	khH2
 )
 
+// shArena is one single-hash bucket array: the slot arena plus its entry
+// count. The table holds a live arena and, mid-grow, a retiring one (see
+// grow.go); counts live here so each arena's occupancy follows it through
+// the swap.
+type shArena struct {
+	buckets int
+	store   *slotarr.Store // inline keys + fingerprint tags, buckets × slots
+	count   int
+}
+
 // SingleHash is the conventional single-hash-function table: one bucket
 // array of K-slot buckets; keys that miss their bucket are lost to
 // overflow. It is the structure whose collision rate motivates
 // multi-choice hashing in §II.
 type SingleHash struct {
-	hash    hashfn.Func
-	khWord  int8 // KeyHashes word of hash (khH1/khH2), or khNone
-	buckets int
-	slots   int
-	keyLen  int
+	hash   hashfn.Func
+	khWord int8 // KeyHashes word of hash (khH1/khH2), or khNone
+	slots  int
+	keyLen int
 
-	store  *slotarr.Store // inline keys + fingerprint tags, buckets × slots
-	count  int
-	probes atomic.Int64 // atomic: lookups may run under a shared lock
+	// live is the arena inserts target; old is non-nil only while a grow
+	// is migrating entries out of the previous arena (grow.go). Atomic
+	// pointers so the sharded layer's lock-free readers can race the swap;
+	// all writes happen under the caller's exclusive lock.
+	live, old atomic.Pointer[shArena]
+	probes    atomic.Int64 // atomic: lookups may run under a shared lock
+
+	growCursor uint64
+	moveBuf    [][2]uint64
+	relocate   func([][2]uint64)
+}
+
+// bucketSearch scans one K-slot bucket of st for key via the tag-word
+// probe (FindTagged for the rare >8-slot geometry), returning the absolute
+// arena offset. Zero stats writes — shared by every baseline's lock-free
+// read core.
+func bucketSearch(st *slotarr.Store, base, slots int, tag uint8, key []byte) (int, bool) {
+	if slots > 8 {
+		return st.FindTagged(base, slots, tag, key)
+	}
+	// Candidate loop in this frame over the inlinable TagMatches leaf.
+	for m := st.TagMatches(base, slots, tag); m != 0; {
+		var off int
+		off, m = slotarr.NextMatch(m)
+		if bytes.Equal(st.Key(base+off), key) {
+			return base + off, true
+		}
+	}
+	return 0, false
 }
 
 // NewSingleHash builds a single-hash table of buckets × slots entries over
@@ -48,14 +83,14 @@ func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, e
 	if hash == nil {
 		return nil, fmt.Errorf("baseline: single-hash requires a hash function")
 	}
-	return &SingleHash{
-		hash:    hash,
-		khWord:  khNone,
-		buckets: buckets,
-		slots:   slots,
-		keyLen:  keyLen,
-		store:   slotarr.New(buckets*slots, keyLen),
-	}, nil
+	s := &SingleHash{
+		hash:   hash,
+		khWord: khNone,
+		slots:  slots,
+		keyLen: keyLen,
+	}
+	s.live.Store(&shArena{buckets: buckets, store: slotarr.New(buckets*slots, keyLen)})
+	return s, nil
 }
 
 // NewSingleHashPair builds a single-hash table over pair.H1 whose hashed
@@ -92,77 +127,85 @@ func (s *SingleHash) checkKey(key []byte) {
 	}
 }
 
-// bucketOf derives the key's bucket and fingerprint tag from one hash
-// word: the precomputed word when the table is pair-bound and the caller
-// supplied hashes, otherwise by hashing the key bytes. The bucket consumes
-// the word's low bits, the tag its top bits, so both come from the same
-// single evaluation.
-func (s *SingleHash) bucketOf(key []byte, kh *hashfn.KeyHashes) (int, uint8) {
+// wordOf derives the key's hash word and fingerprint tag: the precomputed
+// word when the table is pair-bound and the caller supplied hashes,
+// otherwise by hashing the key bytes. Callers reduce the word against the
+// arena they are probing — the live and retiring arenas have different
+// bucket counts, so the reduction cannot be folded in here.
+func (s *SingleHash) wordOf(key []byte, kh *hashfn.KeyHashes) (uint64, uint8) {
 	if kh != nil {
 		switch s.khWord {
 		case khH1:
-			return hashfn.Reduce(kh.H1, s.buckets), slotarr.TagOf(kh.H1)
+			return kh.H1, slotarr.TagOf(kh.H1)
 		case khH2:
-			return hashfn.Reduce(kh.H2, s.buckets), slotarr.TagOf(kh.H2)
+			return kh.H2, slotarr.TagOf(kh.H2)
 		}
 	}
 	w := s.hash.Hash(key)
-	return hashfn.Reduce(w, s.buckets), slotarr.TagOf(w)
+	return w, slotarr.TagOf(w)
 }
 
-// readAt scans bucket b for key via the tag-word probe with zero stats
-// writes — the lock-free read core. The candidate loop runs in this frame
-// over the inlinable TagMatches leaf (FindTagged for the rare >8-slot
-// geometry).
-func (s *SingleHash) readAt(key []byte, b int, tag uint8) (uint64, bool) {
-	base := b * s.slots
-	if s.slots > 8 {
-		if slot, ok := s.store.FindTagged(base, s.slots, tag, key); ok {
-			return uint64(slot), true
-		}
-		return 0, false
+// read resolves key against the live arena and then, mid-migration, the
+// retiring one, with zero stats writes — the lock-free read core. The
+// returned token is the bucket-probe count the access model charges: 1
+// for the single-arena case, 2 when the retiring arena was consulted.
+func (s *SingleHash) read(key []byte, w uint64, tag uint8) (uint64, uint8, bool) {
+	g := s.live.Load()
+	if off, ok := bucketSearch(g.store, hashfn.Reduce(w, g.buckets)*s.slots, s.slots, tag, key); ok {
+		return uint64(off), 1, true
 	}
-	for m := s.store.TagMatches(base, s.slots, tag); m != 0; {
-		var off int
-		off, m = slotarr.NextMatch(m)
-		if bytes.Equal(s.store.Key(base+off), key) {
-			return uint64(base + off), true
-		}
+	og := s.old.Load()
+	if og == nil {
+		return 0, 1, false
 	}
-	return 0, false
+	if off, ok := bucketSearch(og.store, hashfn.Reduce(w, og.buckets)*s.slots, s.slots, tag, key); ok {
+		return s.oldID(g, uint64(off)), 2, true
+	}
+	return 0, 2, false
 }
 
-// lookupAt is readAt plus the accounting: the single bucket probe is
-// charged up front, matching the historical cost.
-func (s *SingleHash) lookupAt(key []byte, b int, tag uint8) (uint64, bool) {
-	s.probes.Add(1)
-	return s.readAt(key, b, tag)
+// oldID re-addresses a retiring-arena offset into the region above the
+// live arena's IDs (table.GrowLayout's OldBase).
+func (s *SingleHash) oldID(g *shArena, off uint64) uint64 {
+	return uint64(g.buckets*s.slots) + off
+}
+
+// lookup is read plus the accounting, charged in one atomic add at exit.
+func (s *SingleHash) lookup(key []byte, kh *hashfn.KeyHashes) (uint64, bool) {
+	w, tag := s.wordOf(key, kh)
+	id, probes, ok := s.read(key, w, tag)
+	s.probes.Add(int64(probes))
+	return id, ok
 }
 
 // Lookup implements LookupTable.
 func (s *SingleHash) Lookup(key []byte) (uint64, bool) {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, nil)
-	return s.lookupAt(key, b, tag)
+	return s.lookup(key, nil)
 }
 
 // LookupHashed implements the hashed fast path (table.HashedBackend).
 func (s *SingleHash) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, bool) {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, &kh)
-	return s.lookupAt(key, b, tag)
+	return s.lookup(key, &kh)
 }
 
-// insertAt places key in bucket b unless present; the duplicate pre-check
-// reuses the derived bucket and tag, so a byte-key Insert hashes once (not
-// twice as it historically did) and a hashed insert not at all.
-func (s *SingleHash) insertAt(key []byte, b int, tag uint8) (uint64, error) {
-	if id, ok := s.lookupAt(key, b, tag); ok {
+// insert places key in its live-arena bucket unless present in either
+// arena; the duplicate pre-check reuses the derived word and tag, so a
+// byte-key Insert hashes once and a hashed insert not at all. Inserts
+// never target the retiring arena — it only drains.
+func (s *SingleHash) insert(key []byte, kh *hashfn.KeyHashes) (uint64, error) {
+	w, tag := s.wordOf(key, kh)
+	id, probes, ok := s.read(key, w, tag)
+	s.probes.Add(int64(probes))
+	if ok {
 		return id, nil
 	}
-	if slot, ok := s.store.FindFree(b*s.slots, s.slots); ok {
-		s.store.Set(slot, tag, key)
-		s.count++
+	g := s.live.Load()
+	b := hashfn.Reduce(w, g.buckets)
+	if slot, ok := g.store.FindFree(b*s.slots, s.slots); ok {
+		g.store.Set(slot, tag, key)
+		g.count++
 		s.probes.Add(1)
 		return uint64(slot), nil
 	}
@@ -172,44 +215,64 @@ func (s *SingleHash) insertAt(key []byte, b int, tag uint8) (uint64, error) {
 // Insert implements LookupTable.
 func (s *SingleHash) Insert(key []byte) (uint64, error) {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, nil)
-	return s.insertAt(key, b, tag)
+	return s.insert(key, nil)
 }
 
 // InsertHashed implements the hashed fast path.
 func (s *SingleHash) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, &kh)
-	return s.insertAt(key, b, tag)
+	return s.insert(key, &kh)
 }
 
-// deleteAt removes key from bucket b if present. The single bucket probe
-// is charged by lookupAt, matching the historical one-probe delete cost.
-func (s *SingleHash) deleteAt(key []byte, b int, tag uint8) bool {
-	if id, ok := s.lookupAt(key, b, tag); ok {
-		s.store.Clear(int(id))
-		s.count--
-		return true
+// clearID reclaims the slot behind a read-resolved ID, decrementing the
+// owning arena's count. Requires the caller's exclusive lock.
+func (s *SingleHash) clearID(id uint64) {
+	g := s.live.Load()
+	n := uint64(g.buckets * s.slots)
+	if id < n {
+		g.store.Clear(int(id))
+		g.count--
+		return
 	}
-	return false
+	og := s.old.Load()
+	og.store.Clear(int(id - n))
+	og.count--
+}
+
+// delete removes key from whichever arena holds it. The bucket probes are
+// charged by the read, matching the historical one-probe delete cost in
+// the single-arena case.
+func (s *SingleHash) delete(key []byte, kh *hashfn.KeyHashes) bool {
+	w, tag := s.wordOf(key, kh)
+	id, probes, ok := s.read(key, w, tag)
+	s.probes.Add(int64(probes))
+	if !ok {
+		return false
+	}
+	s.clearID(id)
+	return true
 }
 
 // Delete implements LookupTable.
 func (s *SingleHash) Delete(key []byte) bool {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, nil)
-	return s.deleteAt(key, b, tag)
+	return s.delete(key, nil)
 }
 
 // DeleteHashed implements the hashed fast path.
 func (s *SingleHash) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, &kh)
-	return s.deleteAt(key, b, tag)
+	return s.delete(key, &kh)
 }
 
-// Len implements LookupTable.
-func (s *SingleHash) Len() int { return s.count }
+// Len implements LookupTable: entries across both arenas.
+func (s *SingleHash) Len() int {
+	n := s.live.Load().count
+	if og := s.old.Load(); og != nil {
+		n += og.count
+	}
+	return n
+}
 
 // Probes implements LookupTable.
 func (s *SingleHash) Probes() int64 { return s.probes.Load() }
@@ -219,24 +282,26 @@ func (s *SingleHash) Name() string { return "single-hash" }
 
 // PrefetchHashed implements table.PrefetchBackend for the pair-bound
 // table; an arbitrary-Func table has no precomputed word to reduce and
-// touches nothing.
+// touches nothing. Only the live arena — the insert/lookup first stop —
+// is touched.
 func (s *SingleHash) PrefetchHashed(kh hashfn.KeyHashes) uint64 {
+	g := s.live.Load()
 	switch s.khWord {
 	case khH1:
-		return s.store.Touch(hashfn.Reduce(kh.H1, s.buckets) * s.slots)
+		return g.store.Touch(hashfn.Reduce(kh.H1, g.buckets) * s.slots)
 	case khH2:
-		return s.store.Touch(hashfn.Reduce(kh.H2, s.buckets) * s.slots)
+		return g.store.Touch(hashfn.Reduce(kh.H2, g.buckets) * s.slots)
 	}
 	return 0
 }
 
-// ReadHashed implements table.OptimisticBackend: every single-hash lookup
-// costs exactly one bucket probe, so the outcome token is always 1.
+// ReadHashed implements table.OptimisticBackend: the outcome token is the
+// bucket-probe count — 1 normally, 2 when the mid-migration scan also
+// consulted the retiring arena.
 func (s *SingleHash) ReadHashed(key []byte, kh hashfn.KeyHashes) (uint64, uint8, bool) {
 	s.checkKey(key)
-	b, tag := s.bucketOf(key, &kh)
-	id, ok := s.readAt(key, b, tag)
-	return id, 1, ok
+	w, tag := s.wordOf(key, &kh)
+	return s.read(key, w, tag)
 }
 
 // CommitReads implements table.OptimisticBackend.
@@ -245,8 +310,14 @@ func (s *SingleHash) CommitReads(outcome uint8, n int64) {
 }
 
 // ReadLockFree implements table.OptimisticBackend: the inline slot path
-// only.
-func (s *SingleHash) ReadLockFree() bool { return s.store.Inline() }
+// only (both arenas share the key width, so one check covers the pair).
+func (s *SingleHash) ReadLockFree() bool { return s.live.Load().store.Inline() }
 
-// StorageBytes implements table.StorageSized: the slot arena.
-func (s *SingleHash) StorageBytes() int64 { return s.store.Bytes() }
+// StorageBytes implements table.StorageSized: the slot arenas.
+func (s *SingleHash) StorageBytes() int64 {
+	n := s.live.Load().store.Bytes()
+	if og := s.old.Load(); og != nil {
+		n += og.store.Bytes()
+	}
+	return n
+}

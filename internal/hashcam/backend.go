@@ -97,23 +97,35 @@ var (
 	_ table.PrefetchBackend   = Exact{}
 	_ table.OptimisticBackend = Exact{}
 	_ table.StorageSized      = Exact{}
+	_ table.GrowableBackend   = Exact{} // grow methods promote from *Table
+	_ table.RelocatingBackend = Exact{} // migration moves feed the expiry hook
 )
 
 // BackendConfig derives a hashcam Config from the generic backend Config;
-// the conventional-arrangement baseline reuses it for equal geometry.
-func BackendConfig(cfg table.Config) Config {
+// the conventional-arrangement baseline reuses it for equal geometry. The
+// generic config is validated first, so direct construction through this
+// path rejects an out-of-range capacity with the same error the registry
+// and sharded constructors surface (never the silent clamp).
+func BackendConfig(cfg table.Config) (Config, error) {
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
 	hcfg := DefaultConfig()
 	hcfg.Buckets = cfg.BucketsFor(2) // two halves
 	hcfg.SlotsPerBucket = cfg.SlotsPerBucket
 	hcfg.KeyLen = cfg.KeyLen
 	hcfg.CAMCapacity = cfg.CAMCapacity
 	hcfg.Hash = cfg.Hash
-	return hcfg
+	return hcfg, nil
 }
 
 func init() {
 	table.Register("hashcam", func(cfg table.Config) (table.Backend, error) {
-		t, err := New(BackendConfig(cfg))
+		hcfg, err := BackendConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t, err := New(hcfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,163 @@
+package hashcam
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// This file implements table.GrowableBackend on the Hash-CAM: budgeted
+// online grow-in-place. BeginGrow allocates a fresh two-half geometry and
+// atomically swaps it in as live, demoting the current one to "old";
+// MigrateStep drains the old geometry a bounded number of slots at a
+// time, re-placing each occupied entry in the live geometry under the
+// normal insert policy; FinishGrow drops the drained geometry. Lookups
+// and deletes consult live-then-old throughout (see searchAt), inserts go
+// only to live, and the CAM — the paper's fixed on-chip overflow — is
+// shared by both geometries and never moves, so CAM flow IDs are stable
+// across a grow (GrowLayout.Stable).
+//
+// Entries are re-placed by rehashing their key bytes with the table's own
+// pair: the slotarr arenas store a 1-byte fingerprint tag (the hash
+// word's top bits), which cannot reconstruct the bucket index a doubled
+// geometry needs (the low bits), so a migration step pays K hash passes
+// per occupied slot. The step budget bounds that cost exactly like the
+// expiry sweep bounds its key snapshots.
+
+// BeginGrow implements table.GrowableBackend: it allocates the new
+// geometry — the smallest power-of-two bucket count whose two halves plus
+// CAM hold at least newCap — and enters migration mode. No entries move
+// yet; MigrateStep drains the retiring geometry incrementally. Requires
+// the caller's exclusive lock.
+func (t *Table) BeginGrow(newCap int) (table.GrowLayout, error) {
+	if t.old.Load() != nil {
+		return table.GrowLayout{}, fmt.Errorf("hashcam: grow already in flight")
+	}
+	cur := t.live.Load()
+	k := t.cfg.SlotsPerBucket
+	nb := cur.buckets
+	for 2*nb*k+t.cfg.CAMCapacity < newCap {
+		nb <<= 1
+	}
+	if nb <= cur.buckets {
+		return table.GrowLayout{}, fmt.Errorf("hashcam: grow target %d does not exceed current capacity %d",
+			newCap, 2*cur.buckets*k+t.cfg.CAMCapacity)
+	}
+	ng := newGeom(nb, k, t.cfg.KeyLen)
+	t.growCursor = 0
+	// Publication order: demote the current geometry to old before the
+	// new one becomes live. Lock-free readers racing this window see one
+	// of three states — pre-swap, both pointers naming the same geometry,
+	// or post-swap — each of which searches only internally consistent
+	// arenas; the shard seqlock discards any result read mid-swap.
+	t.old.Store(cur)
+	t.live.Store(ng)
+	camCap := uint64(t.cfg.CAMCapacity)
+	nLive := uint64(ng.slots(k))
+	nOld := uint64(cur.slots(k))
+	return table.GrowLayout{
+		Stable:   camCap,
+		NewBound: camCap + 2*nLive,
+		OldBase:  camCap + 2*nLive,
+		OldBound: camCap + 2*nLive + 2*nOld,
+	}, nil
+}
+
+// MigrateStep implements table.GrowableBackend: it examines up to budget
+// retiring-geometry slots from the migration cursor and re-places each
+// occupied one in the live geometry (bucket pair by rehash, then the
+// insert policy, then CAM overflow). An entry that fits nowhere — both
+// live buckets and the CAM full — is dropped and counted; the caller
+// surfaces the count. Set-before-Clear ordering means a concurrent
+// lock-free reader can transiently see both copies (it resolves to the
+// live one, searched first) but never neither. Moves are reported to the
+// relocation hook in the GrowLayout ID space. Requires the caller's
+// exclusive lock.
+func (t *Table) MigrateStep(budget int) (moved, dropped int, done bool) {
+	og := t.old.Load()
+	if og == nil {
+		return 0, 0, true
+	}
+	g := t.live.Load()
+	k := t.cfg.SlotsPerBucket
+	nOld := uint64(og.slots(k))
+	total := 2 * nOld
+	base := t.oldBase(g)
+	t.moveBuf = t.moveBuf[:0]
+	for budget > 0 && t.growCursor < total {
+		off := t.growCursor
+		t.growCursor++
+		budget--
+		h := int(off / nOld)
+		so := int(off % nOld)
+		st := og.mem[h].store
+		if !st.Occupied(so) {
+			continue
+		}
+		key := st.Key(so)
+		newFID, ok := t.placeMigrated(g, key)
+		// The key bytes were copied into the live arena by Set before the
+		// old slot clears, so no window exists where the entry is gone.
+		st.Clear(so)
+		og.mem[h].count--
+		if !ok {
+			dropped++
+			continue
+		}
+		moved++
+		t.moveBuf = append(t.moveBuf, [2]uint64{base + off, newFID})
+	}
+	if len(t.moveBuf) > 0 && t.relocate != nil {
+		t.relocate(t.moveBuf)
+	}
+	return moved, dropped, t.growCursor >= total
+}
+
+// placeMigrated re-places one draining entry in the live geometry: the
+// insert-policy bucket choice first, CAM overflow second. It reports
+// false when the entry fits nowhere (counted as dropped by the caller).
+func (t *Table) placeMigrated(g *geom, key []byte) (uint64, bool) {
+	w1 := t.cfg.Hash.H1.Hash(key)
+	w2 := t.cfg.Hash.H2.Hash(key)
+	w := [2]uint64{w1, w2}
+	buckets := [2]int{hashfn.Reduce(w1, g.buckets), hashfn.Reduce(w2, g.buckets)}
+	k := t.cfg.SlotsPerBucket
+	for _, h := range t.placeOrder(g, buckets) {
+		if slot, ok := g.mem[h].store.FindFree(buckets[h]*k, k); ok {
+			return t.place(g, h, buckets[h], slot-buckets[h]*k, w[h], key), true
+		}
+	}
+	idx, err := t.cam.Insert(key, 0)
+	if err != nil {
+		t.stats.failedIns.Add(1)
+		return 0, false
+	}
+	camV := t.camFID(idx)
+	if _, err := t.cam.Insert(key, camV); err != nil {
+		return 0, false
+	}
+	t.stats.camInserts.Add(1)
+	t.stats.xprobes.Add(1)
+	return camV, true
+}
+
+// FinishGrow implements table.GrowableBackend: it retires the drained
+// geometry, returning the table to single-geometry operation on the grown
+// arenas. Requires the caller's exclusive lock.
+func (t *Table) FinishGrow() {
+	t.old.Store(nil)
+	t.growCursor = 0
+}
+
+// Growing implements table.GrowableBackend.
+func (t *Table) Growing() bool { return t.old.Load() != nil }
+
+// SetRelocateHook implements table.RelocatingBackend: fn observes the
+// slot moves each MigrateStep performs (old-region ID → live-region ID,
+// per GrowLayout), so the expiry side-tables follow migrated entries. The
+// Hash-CAM performs no other relocations — ordinary inserts never move
+// resident entries — so outside a migration the hook is never invoked.
+func (t *Table) SetRelocateHook(fn func(moves [][2]uint64)) {
+	t.relocate = fn
+}

@@ -190,18 +190,57 @@ type half struct {
 	count int
 }
 
+// geom is one complete two-half memory geometry: the bucket count and
+// both halves' arenas. The table holds its geometry behind an atomic
+// pointer so an online grow can run a second geometry next to the live
+// one and swap them without moving either arena — the publication
+// discipline the lock-free read path requires (a torn interleaving reads
+// one internally consistent geometry or the other, never a fault; the
+// seqlock discards any wrong result).
+type geom struct {
+	buckets int
+	mem     [2]half
+}
+
+// slots returns one half's slot count (Buckets × K).
+func (g *geom) slots(k int) int { return g.buckets * k }
+
 // Table is the untimed Hash-CAM table. The lookup path (Lookup,
 // LookupHashed) is safe to call concurrently with itself; mutations
 // (Insert, Delete and their hashed variants) require exclusive access —
 // the locking discipline of the sharded table's RWMutex. The hardware it
 // models is a single pipeline.
+//
+// live is the current geometry; old is non-nil only while an online grow
+// is migrating entries out of the previous geometry (see BeginGrow), in
+// which case searches consult live first and old second, and all
+// placements go to live.
 type Table struct {
 	cfg   Config
-	mem   [2]half
+	live  atomic.Pointer[geom]
+	old   atomic.Pointer[geom]
 	cam   *cam.CAM
 	stats counters
 
 	altToggle bool // PolicyAlternate state
+
+	// growCursor is the next retiring-arena offset MigrateStep examines;
+	// moveBuf and relocate carry each step's slot moves to the expiry
+	// side-tables (table.RelocatingBackend). All three are guarded by the
+	// caller's exclusive lock.
+	growCursor uint64
+	moveBuf    [][2]uint64
+	relocate   func(moves [][2]uint64)
+}
+
+// newGeom allocates a geometry of the given bucket count.
+func newGeom(buckets, slotsPerBucket, keyLen int) *geom {
+	g := &geom{buckets: buckets}
+	n := buckets * slotsPerBucket
+	for i := range g.mem {
+		g.mem[i] = half{store: slotarr.New(n, keyLen)}
+	}
+	return g
 }
 
 // New builds a table from cfg.
@@ -214,44 +253,64 @@ func New(cfg Config) (*Table, error) {
 	// allocation would swing an internal pointer mid-traffic, which the
 	// lock-free read path (ReadHashed) cannot tolerate.
 	t.cam.Preallocate(cfg.KeyLen)
-	n := cfg.Buckets * cfg.SlotsPerBucket
-	for i := range t.mem {
-		t.mem[i] = half{store: slotarr.New(n, cfg.KeyLen)}
-	}
+	t.live.Store(newGeom(cfg.Buckets, cfg.SlotsPerBucket, cfg.KeyLen))
 	return t, nil
 }
 
-// Config returns the table's configuration.
-func (t *Table) Config() Config { return t.cfg }
+// Config returns the table's configuration. Buckets reflects the live
+// geometry, which an online grow enlarges past the constructed value.
+func (t *Table) Config() Config {
+	c := t.cfg
+	c.Buckets = t.live.Load().buckets
+	return c
+}
 
 // Stats returns a snapshot of the counters.
 func (t *Table) Stats() Stats { return t.stats.snapshot() }
 
-// Len returns the number of stored entries.
+// Len returns the number of stored entries (spanning both geometries
+// while a grow is migrating).
 func (t *Table) Len() int {
-	return t.mem[0].count + t.mem[1].count + t.cam.InUse()
+	g := t.live.Load()
+	n := g.mem[0].count + g.mem[1].count + t.cam.InUse()
+	if og := t.old.Load(); og != nil {
+		n += og.mem[0].count + og.mem[1].count
+	}
+	return n
 }
 
 // CAMInUse returns the occupied CAM entries (the overflow pressure gauge).
 func (t *Table) CAMInUse() int { return t.cam.InUse() }
 
-// fid encodes a location as a flow ID: CAM entries occupy [0, cam), half 0
-// occupies [cam, cam+n), half 1 the block above. Location-derived IDs are
-// what the paper's FID_GEN emits ("output the corresponding location
-// index").
-func (t *Table) fid(h, bucket, slot int) uint64 {
-	n := t.cfg.Buckets * t.cfg.SlotsPerBucket
-	return uint64(t.cfg.CAMCapacity + h*n + bucket*t.cfg.SlotsPerBucket + slot)
+// fidIn encodes a location in geometry g as a flow ID at the given region
+// base: CAM entries occupy [0, cam); a geometry's half 0 occupies
+// [base, base+n), half 1 the block above, with n = g's slots per half.
+// The live geometry sits at base CAMCapacity; during a migration the
+// retiring geometry's IDs are re-addressed above the live region (see
+// GrowLayout). Location-derived IDs are what the paper's FID_GEN emits
+// ("output the corresponding location index").
+func (t *Table) fidIn(g *geom, base uint64, h, bucket, slot int) uint64 {
+	return base + uint64(h*g.slots(t.cfg.SlotsPerBucket)+bucket*t.cfg.SlotsPerBucket+slot)
+}
+
+// liveBase returns the live geometry's first non-CAM flow ID.
+func (t *Table) liveBase() uint64 { return uint64(t.cfg.CAMCapacity) }
+
+// oldBase returns the retiring geometry's first flow ID during a
+// migration: the live region's exclusive end.
+func (t *Table) oldBase(g *geom) uint64 {
+	return uint64(t.cfg.CAMCapacity + 2*g.slots(t.cfg.SlotsPerBucket))
 }
 
 // camFID encodes a CAM entry index as a flow ID.
 func (t *Table) camFID(index int) uint64 { return uint64(index) }
 
-// DecodeFID reports the region and position of a flow ID, for diagnostics
-// and tests.
+// DecodeFID reports the region and position of a flow ID in the live
+// geometry, for diagnostics and tests (retiring-geometry IDs, which only
+// exist mid-migration, decode as StageMiss).
 func (t *Table) DecodeFID(fid uint64) (stage Stage, bucket, slot int) {
 	camCap := uint64(t.cfg.CAMCapacity)
-	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
+	n := uint64(t.live.Load().slots(t.cfg.SlotsPerBucket))
 	switch {
 	case fid < camCap:
 		return StageCAM, int(fid), 0
@@ -301,15 +360,14 @@ func (t *Table) word2(key []byte, kw *keyWords) uint64 {
 	return kw.w2
 }
 
-// searchBucket scans bucket b of half h for key via the tag-word probe.
-// The caller accounts the access (lookups via the stage outcome, deletes
-// via xprobes). w is the hash word that indexed the bucket; its top bits
-// are the tag the key was stored under. The candidate loop runs in this
-// frame over the inlinable TagMatches leaf, so a probe costs no function
-// calls beyond the key compare on a tag hit.
-func (t *Table) searchBucket(h, bucket int, w uint64, key []byte) (int, bool) {
+// searchBucket scans one bucket of arena st for key via the tag-word
+// probe. The caller accounts the access (lookups via the stage outcome,
+// deletes via xprobes). w is the hash word that indexed the bucket; its
+// top bits are the tag the key was stored under. The candidate loop runs
+// in this frame over the inlinable TagMatches leaf, so a probe costs no
+// function calls beyond the key compare on a tag hit.
+func (t *Table) searchBucket(st *slotarr.Store, bucket int, w uint64, key []byte) (int, bool) {
 	k := t.cfg.SlotsPerBucket
-	st := t.mem[h].store
 	base := bucket * k
 	if k > 8 {
 		slot, ok := st.FindTagged(base, k, slotarr.TagOf(w), key)
@@ -331,29 +389,51 @@ func (t *Table) searchBucket(h, bucket int, w uint64, key []byte) (int, bool) {
 // words persist in kw so a following insert never hashes the key a
 // second time; after a full miss both are always valid.
 //
+// While a grow is migrating, the search extends to the retiring
+// geometry after the live one misses — new-then-old, so a key that has
+// already migrated resolves to its live slot even before the old copy is
+// cleared. Old-geometry hits report the stage of the half they matched
+// in (Mem1/Mem2), and the stage's steady-state probe cost; the transient
+// extra probes of the two-arena search are not modelled, as migration
+// windows are short and bounded.
+//
 // Because it writes no shared memory at all, searchAt is also the
 // lock-free read core behind ReadHashed: all state it touches — CAM
-// arena (preallocated at New, see cam.Preallocate), both halves' slotarr
-// stores — is fixed-geometry and never moves, so a search racing a
-// writer can misread but never fault (the slotarr seqlock contract).
-// Callers account the outcome themselves: lookupAt inline, the
-// optimistic path deferred through CommitLookups.
+// arena (preallocated at New, see cam.Preallocate), each geometry's
+// slotarr stores — is reached through atomically published pointers to
+// internally consistent geometries, so a search racing a writer (even a
+// mid-grow geometry swap) can misread but never fault (the slotarr
+// seqlock contract). Callers account the outcome themselves: lookupAt
+// inline, the optimistic path deferred through CommitLookups.
 func (t *Table) searchAt(key []byte, kw *keyWords) (fid uint64, stage Stage, ok bool) {
 	// Stage 1: CAM (single-cycle parallel search).
 	if v, hit := t.cam.Find(key); hit {
 		return v, StageCAM, true
 	}
+	g := t.live.Load()
 	// Stage 2: Hash1 → Mem1.
 	w1 := t.word1(key, kw)
-	b1 := hashfn.Reduce(w1, t.cfg.Buckets)
-	if slot, hit := t.searchBucket(0, b1, w1, key); hit {
-		return t.fid(0, b1, slot), StageMem1, true
+	b1 := hashfn.Reduce(w1, g.buckets)
+	if slot, hit := t.searchBucket(g.mem[0].store, b1, w1, key); hit {
+		return t.fidIn(g, t.liveBase(), 0, b1, slot), StageMem1, true
 	}
 	// Stage 3: Hash2 → Mem2.
 	w2 := t.word2(key, kw)
-	b2 := hashfn.Reduce(w2, t.cfg.Buckets)
-	if slot, hit := t.searchBucket(1, b2, w2, key); hit {
-		return t.fid(1, b2, slot), StageMem2, true
+	b2 := hashfn.Reduce(w2, g.buckets)
+	if slot, hit := t.searchBucket(g.mem[1].store, b2, w2, key); hit {
+		return t.fidIn(g, t.liveBase(), 1, b2, slot), StageMem2, true
+	}
+	// Mid-migration: the key may still reside in the retiring geometry.
+	if og := t.old.Load(); og != nil {
+		base := t.oldBase(g)
+		ob1 := hashfn.Reduce(w1, og.buckets)
+		if slot, hit := t.searchBucket(og.mem[0].store, ob1, w1, key); hit {
+			return t.fidIn(og, base, 0, ob1, slot), StageMem1, true
+		}
+		ob2 := hashfn.Reduce(w2, og.buckets)
+		if slot, hit := t.searchBucket(og.mem[1].store, ob2, w2, key); hit {
+			return t.fidIn(og, base, 1, ob2, slot), StageMem2, true
+		}
 	}
 	return 0, StageMiss, false
 }
@@ -389,9 +469,10 @@ func (t *Table) CommitLookups(stage Stage, n int64) {
 // ReadLockFree reports whether ReadHashed may race a writer on this
 // table: true on the inline slotarr path, false when the configured key
 // width spills to per-slot heap buffers (torn slice headers are not
-// seqlock-safe; see the slotarr package comment).
+// seqlock-safe; see the slotarr package comment). Online growth keeps the
+// guarantee — every geometry swap is an atomic pointer publication.
 func (t *Table) ReadLockFree() bool {
-	return t.mem[0].store.Inline()
+	return t.live.Load().mem[0].store.Inline()
 }
 
 // Lookup searches for key through the three pipeline stages and returns
@@ -414,14 +495,46 @@ func (t *Table) LookupHashed(key []byte, kh hashfn.KeyHashes) (uint64, Stage, bo
 	return t.lookupAt(key, &kw)
 }
 
-// place writes key into (h, bucket, slot) under the tag of the word that
-// indexed the bucket.
-func (t *Table) place(h, bucket, slot int, w uint64, key []byte) uint64 {
+// place writes key into live-geometry location (h, bucket, slot) under
+// the tag of the word that indexed the bucket.
+func (t *Table) place(g *geom, h, bucket, slot int, w uint64, key []byte) uint64 {
 	k := t.cfg.SlotsPerBucket
-	t.mem[h].store.Set(bucket*k+slot, slotarr.TagOf(w), key)
-	t.mem[h].count++
+	g.mem[h].store.Set(bucket*k+slot, slotarr.TagOf(w), key)
+	g.mem[h].count++
 	t.stats.xprobes.Add(1) // the write access
-	return t.fid(h, bucket, slot)
+	return t.fidIn(g, t.liveBase(), h, bucket, slot)
+}
+
+// placeOrder resolves the insert policy's half preference for one key's
+// bucket pair in geometry g, mutating the alternation toggle exactly as
+// the pre-grow insert path always has.
+func (t *Table) placeOrder(g *geom, buckets [2]int) [2]int {
+	k := t.cfg.SlotsPerBucket
+	order := [2]int{0, 1}
+	switch t.cfg.Policy {
+	case PolicyFirstFit:
+		// keep order
+	case PolicyLeastLoaded:
+		l1 := g.mem[0].store.Load(buckets[0]*k, k)
+		l2 := g.mem[1].store.Load(buckets[1]*k, k)
+		switch {
+		case l2 < l1:
+			order = [2]int{1, 0}
+		case l2 == l1:
+			// Ties alternate between halves, as the dual-path load
+			// balancer keeps both memory channels evenly occupied.
+			if t.altToggle {
+				order = [2]int{1, 0}
+			}
+			t.altToggle = !t.altToggle
+		}
+	case PolicyAlternate:
+		if t.altToggle {
+			order = [2]int{1, 0}
+		}
+		t.altToggle = !t.altToggle
+	}
+	return order
 }
 
 // Insert stores key if absent and returns its flow ID. Inserting an
@@ -447,7 +560,10 @@ func (t *Table) InsertHashed(key []byte, kh hashfn.KeyHashes) (uint64, error) {
 	return t.insertAt(key, &kw)
 }
 
-// insertAt implements Insert over kw's lazily derived hash words.
+// insertAt implements Insert over kw's lazily derived hash words. New
+// placements always target the live geometry — during a migration the
+// retiring arena only drains (the duplicate pre-check still finds keys
+// that have not yet migrated, via searchAt's two-arena search).
 func (t *Table) insertAt(key []byte, kw *keyWords) (uint64, error) {
 	fidV, _, ok := t.lookupAt(key, kw)
 	if ok {
@@ -457,36 +573,13 @@ func (t *Table) insertAt(key []byte, kw *keyWords) (uint64, error) {
 	// words on the way through; they are reused verbatim below.
 	t.stats.inserts.Add(1)
 
+	g := t.live.Load()
 	w := [2]uint64{kw.w1, kw.w2}
-	buckets := [2]int{hashfn.Reduce(kw.w1, t.cfg.Buckets), hashfn.Reduce(kw.w2, t.cfg.Buckets)}
+	buckets := [2]int{hashfn.Reduce(kw.w1, g.buckets), hashfn.Reduce(kw.w2, g.buckets)}
 	k := t.cfg.SlotsPerBucket
-	order := [2]int{0, 1}
-	switch t.cfg.Policy {
-	case PolicyFirstFit:
-		// keep order
-	case PolicyLeastLoaded:
-		l1 := t.mem[0].store.Load(buckets[0]*k, k)
-		l2 := t.mem[1].store.Load(buckets[1]*k, k)
-		switch {
-		case l2 < l1:
-			order = [2]int{1, 0}
-		case l2 == l1:
-			// Ties alternate between halves, as the dual-path load
-			// balancer keeps both memory channels evenly occupied.
-			if t.altToggle {
-				order = [2]int{1, 0}
-			}
-			t.altToggle = !t.altToggle
-		}
-	case PolicyAlternate:
-		if t.altToggle {
-			order = [2]int{1, 0}
-		}
-		t.altToggle = !t.altToggle
-	}
-	for _, h := range order {
-		if slot, ok := t.mem[h].store.FindFree(buckets[h]*k, k); ok {
-			return t.place(h, buckets[h], slot-buckets[h]*k, w[h], key), nil
+	for _, h := range t.placeOrder(g, buckets) {
+		if slot, ok := g.mem[h].store.FindFree(buckets[h]*k, k); ok {
+			return t.place(g, h, buckets[h], slot-buckets[h]*k, w[h], key), nil
 		}
 	}
 	// Both buckets full: overflow to the CAM.
@@ -520,58 +613,87 @@ func (t *Table) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 	return t.deleteAt(key, &kw)
 }
 
-// deleteAt implements Delete over kw's lazily derived hash words.
+// deleteAt implements Delete over kw's lazily derived hash words,
+// searching new-then-old like lookups so a not-yet-migrated entry can be
+// removed mid-grow.
 func (t *Table) deleteAt(key []byte, kw *keyWords) bool {
 	if t.cam.Delete(key) {
 		t.stats.deletes.Add(1)
 		t.stats.xprobes.Add(1)
 		return true
 	}
+	g := t.live.Load()
 	k := t.cfg.SlotsPerBucket
 	w1 := t.word1(key, kw)
-	b1 := hashfn.Reduce(w1, t.cfg.Buckets)
+	b1 := hashfn.Reduce(w1, g.buckets)
 	t.stats.xprobes.Add(1)
-	if slot, ok := t.searchBucket(0, b1, w1, key); ok {
-		t.mem[0].store.Clear(b1*k + slot)
-		t.mem[0].count--
+	if slot, ok := t.searchBucket(g.mem[0].store, b1, w1, key); ok {
+		g.mem[0].store.Clear(b1*k + slot)
+		g.mem[0].count--
 		t.stats.deletes.Add(1)
 		return true
 	}
 	w2 := t.word2(key, kw)
-	b2 := hashfn.Reduce(w2, t.cfg.Buckets)
+	b2 := hashfn.Reduce(w2, g.buckets)
 	t.stats.xprobes.Add(1)
-	if slot, ok := t.searchBucket(1, b2, w2, key); ok {
-		t.mem[1].store.Clear(b2*k + slot)
-		t.mem[1].count--
+	if slot, ok := t.searchBucket(g.mem[1].store, b2, w2, key); ok {
+		g.mem[1].store.Clear(b2*k + slot)
+		g.mem[1].count--
 		t.stats.deletes.Add(1)
 		return true
+	}
+	if og := t.old.Load(); og != nil {
+		for h := 0; h < 2; h++ {
+			w := w1
+			if h == 1 {
+				w = w2
+			}
+			b := hashfn.Reduce(w, og.buckets)
+			t.stats.xprobes.Add(1)
+			if slot, ok := t.searchBucket(og.mem[h].store, b, w, key); ok {
+				og.mem[h].store.Clear(b*k + slot)
+				og.mem[h].count--
+				t.stats.deletes.Add(1)
+				return true
+			}
+		}
 	}
 	return false
 }
 
-// BucketIndices returns the two bucket choices of key, used by the timed
-// model to generate memory addresses.
+// BucketIndices returns the two bucket choices of key in the live
+// geometry, used by the timed model to generate memory addresses.
 func (t *Table) BucketIndices(key []byte) (int, int) {
 	t.checkKey(key)
-	return t.cfg.Hash.Index1(key, t.cfg.Buckets), t.cfg.Hash.Index2(key, t.cfg.Buckets)
+	buckets := t.live.Load().buckets
+	return t.cfg.Hash.Index1(key, buckets), t.cfg.Hash.Index2(key, buckets)
 }
 
 // Prefetch touches the two candidate buckets of a key whose hashes are
 // already computed — tag words and leading key bytes — pulling the lines
 // the subsequent probe will read toward the cache. The batch pipelines
 // call it across a whole sub-batch before resolving it, so the misses
-// overlap. The returned fold must be sunk by the caller so the compiler
-// cannot discard the loads.
+// overlap. Only the live geometry is touched: mid-migration the retiring
+// arena is a cold shrinking tail not worth the extra prefetch traffic.
+// The returned fold must be sunk by the caller so the compiler cannot
+// discard the loads.
 func (t *Table) Prefetch(kh hashfn.KeyHashes) uint64 {
+	g := t.live.Load()
 	k := t.cfg.SlotsPerBucket
-	return t.mem[0].store.Touch(hashfn.Reduce(kh.H1, t.cfg.Buckets)*k) ^
-		t.mem[1].store.Touch(hashfn.Reduce(kh.H2, t.cfg.Buckets)*k)
+	return g.mem[0].store.Touch(hashfn.Reduce(kh.H1, g.buckets)*k) ^
+		g.mem[1].store.Touch(hashfn.Reduce(kh.H2, g.buckets)*k)
 }
 
 // Bytes returns the slot-storage footprint of the table: both halves'
-// arenas (inline keys + tags) plus the CAM.
+// arenas (inline keys + tags) plus the CAM, and mid-migration the
+// retiring geometry's arenas too.
 func (t *Table) Bytes() int64 {
-	return t.mem[0].store.Bytes() + t.mem[1].store.Bytes() + t.cam.Bytes()
+	g := t.live.Load()
+	n := g.mem[0].store.Bytes() + g.mem[1].store.Bytes() + t.cam.Bytes()
+	if og := t.old.Load(); og != nil {
+		n += og.mem[0].store.Bytes() + og.mem[1].store.Bytes()
+	}
+	return n
 }
 
 // OnChipBits returns the block-memory bit cost of the on-chip side (the

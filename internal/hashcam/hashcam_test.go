@@ -245,8 +245,9 @@ func TestPolicies(t *testing.T) {
 		}
 		if policy == PolicyFirstFit {
 			// First-fit loads Mem1 preferentially.
-			if tbl.mem[0].count <= tbl.mem[1].count {
-				t.Fatalf("first-fit: mem1=%d not above mem2=%d", tbl.mem[0].count, tbl.mem[1].count)
+			g := tbl.live.Load()
+			if g.mem[0].count <= g.mem[1].count {
+				t.Fatalf("first-fit: mem1=%d not above mem2=%d", g.mem[0].count, g.mem[1].count)
 			}
 		}
 	}

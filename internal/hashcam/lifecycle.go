@@ -13,28 +13,68 @@ import (
 //
 // The slot ID space is exactly the fid layout: CAM entries occupy
 // [0, CAMCapacity), Mem1 slots [CAMCapacity, CAMCapacity+n), Mem2 slots
-// the block above, with n = Buckets × SlotsPerBucket.
+// the block above, with n = Buckets × SlotsPerBucket of the live
+// geometry. While a grow is migrating, the retiring geometry's slots are
+// additionally addressable in the region above the live one (see
+// table.GrowLayout), so the sweep covers both arenas until FinishGrow.
+
+// locate resolves a slot ID to its owning geometry and arena offset:
+// region 0 is the CAM, 1 the live geometry, 2 the retiring geometry
+// (mid-migration only). ok is false for IDs beyond the current bound.
+func (t *Table) locate(id uint64) (region int, g *geom, h int, off uint64, ok bool) {
+	camCap := uint64(t.cfg.CAMCapacity)
+	if id < camCap {
+		return 0, nil, 0, id, true
+	}
+	g = t.live.Load()
+	n := uint64(g.slots(t.cfg.SlotsPerBucket))
+	off = id - camCap
+	if off < 2*n {
+		if off >= n {
+			return 1, g, 1, off - n, true
+		}
+		return 1, g, 0, off, true
+	}
+	og := t.old.Load()
+	if og == nil {
+		return 0, nil, 0, 0, false
+	}
+	off -= 2 * n
+	on := uint64(og.slots(t.cfg.SlotsPerBucket))
+	if off >= 2*on {
+		return 0, nil, 0, 0, false
+	}
+	if off >= on {
+		return 2, og, 1, off - on, true
+	}
+	return 2, og, 0, off, true
+}
 
 // SlotIDBound returns the exclusive upper bound of the fid space:
-// CAMCapacity + 2 × Buckets × SlotsPerBucket.
+// CAMCapacity + 2n of the live geometry, extended by the retiring
+// geometry's 2n while a migration is in flight (table.GrowLayout's
+// OldBound), then falling back at FinishGrow.
 func (t *Table) SlotIDBound() uint64 {
-	return uint64(t.cfg.CAMCapacity + 2*t.cfg.Buckets*t.cfg.SlotsPerBucket)
+	k := t.cfg.SlotsPerBucket
+	bound := uint64(t.cfg.CAMCapacity + 2*t.live.Load().slots(k))
+	if og := t.old.Load(); og != nil {
+		bound += uint64(2 * og.slots(k))
+	}
+	return bound
 }
 
 // SlotOccupied implements table.SlotSpace: whether fid id currently holds
 // an entry.
 func (t *Table) SlotOccupied(id uint64) bool {
-	camCap := uint64(t.cfg.CAMCapacity)
-	if id < camCap {
-		_, ok := t.cam.EntryAt(int(id))
+	region, g, h, off, ok := t.locate(id)
+	if !ok {
+		return false
+	}
+	if region == 0 {
+		_, ok := t.cam.EntryAt(int(off))
 		return ok
 	}
-	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
-	off := id - camCap
-	if off < n {
-		return t.mem[0].store.Occupied(int(off))
-	}
-	return t.mem[1].store.Occupied(int(off - n))
+	return g.mem[h].store.Occupied(int(off))
 }
 
 // WalkSlots implements table.Walker over the fid space. fn may delete the
@@ -46,23 +86,18 @@ func (t *Table) WalkSlots(cursor uint64, budget int, fn func(slot uint64) bool) 
 // AppendSlotKey implements table.EvictableBackend: it appends the key
 // stored at fid slot onto dst, reporting false for an unoccupied slot.
 func (t *Table) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
-	camCap := uint64(t.cfg.CAMCapacity)
-	if slot < camCap {
-		e, ok := t.cam.EntryAt(int(slot))
+	region, g, h, off, ok := t.locate(slot)
+	if !ok {
+		return dst, false
+	}
+	if region == 0 {
+		e, ok := t.cam.EntryAt(int(off))
 		if !ok {
 			return dst, false
 		}
 		return append(dst, e.Key...), true
 	}
-	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
-	h, off := 0, slot-camCap
-	if off >= n {
-		h, off = 1, off-n
-	}
-	if off >= n {
-		return dst, false
-	}
-	return t.mem[h].store.AppendKey(dst, int(off))
+	return g.mem[h].store.AppendKey(dst, int(off))
 }
 
 // AppendCandidateSlots implements table.CandidateSlotter: the occupied
@@ -70,16 +105,21 @@ func (t *Table) AppendSlotKey(dst []byte, slot uint64) ([]byte, bool) {
 // bucket, and every occupied CAM entry (any key can overflow into the
 // CAM, so freeing a CAM slot also unblocks the retry). Freeing any
 // appended slot guarantees the retried insert places without relocation.
+// Only the live geometry's buckets are candidates: inserts place in live,
+// so mid-migration the retiring arena's occupants cannot unblock a retry
+// and are left to the migration or the sweep.
 func (t *Table) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64 {
+	g := t.live.Load()
 	k := t.cfg.SlotsPerBucket
-	b1 := hashfn.Reduce(kh.H1, t.cfg.Buckets)
-	b2 := hashfn.Reduce(kh.H2, t.cfg.Buckets)
+	base := t.liveBase()
+	b1 := hashfn.Reduce(kh.H1, g.buckets)
+	b2 := hashfn.Reduce(kh.H2, g.buckets)
 	for s := 0; s < k; s++ {
-		if off := b1*k + s; t.mem[0].store.Occupied(off) {
-			dst = append(dst, t.fid(0, b1, s))
+		if off := b1*k + s; g.mem[0].store.Occupied(off) {
+			dst = append(dst, t.fidIn(g, base, 0, b1, s))
 		}
-		if off := b2*k + s; t.mem[1].store.Occupied(off) {
-			dst = append(dst, t.fid(1, b2, s))
+		if off := b2*k + s; g.mem[1].store.Occupied(off) {
+			dst = append(dst, t.fidIn(g, base, 1, b2, s))
 		}
 	}
 	for i := 0; i < t.cfg.CAMCapacity; i++ {
@@ -95,25 +135,23 @@ func (t *Table) AppendCandidateSlots(dst []uint64, kh hashfn.KeyHashes) []uint64
 // Len, the deletes counter advances, and the single slot write is charged
 // one probe.
 func (t *Table) DeleteSlot(slot uint64) bool {
-	camCap := uint64(t.cfg.CAMCapacity)
-	if slot < camCap {
-		if !t.cam.DeleteAt(int(slot)) {
+	region, g, h, off, ok := t.locate(slot)
+	if !ok {
+		return false
+	}
+	if region == 0 {
+		if !t.cam.DeleteAt(int(off)) {
 			return false
 		}
 		t.stats.deletes.Add(1)
 		t.stats.xprobes.Add(1)
 		return true
 	}
-	n := uint64(t.cfg.Buckets * t.cfg.SlotsPerBucket)
-	h, off := 0, slot-camCap
-	if off >= n {
-		h, off = 1, off-n
-	}
-	if off >= n || !t.mem[h].store.Occupied(int(off)) {
+	if !g.mem[h].store.Occupied(int(off)) {
 		return false
 	}
-	t.mem[h].store.Clear(int(off))
-	t.mem[h].count--
+	g.mem[h].store.Clear(int(off))
+	g.mem[h].count--
 	t.stats.deletes.Add(1)
 	t.stats.xprobes.Add(1)
 	return true

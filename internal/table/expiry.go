@@ -20,11 +20,10 @@ import (
 // across the last epochRing Advances and saturate beyond.
 const epochRing = 4096
 
-// shardExpiryState is one shard's slice of the lifecycle layer: the
-// timestamp side-tables keyed by backend slot ID, the eviction-sweep
-// cursor, and the backend downcast once so the sweep never type-asserts.
-type shardExpiryState struct {
-	ebe EvictableBackend
+// expiryTabs is one shard's pair of timestamp side-tables, published as a
+// unit through an atomic pointer so an online grow can swap in re-sized,
+// re-addressed tables while lock-free readers are touching the old ones.
+type expiryTabs struct {
 	// firstSeen[slot] is the insertion epoch of the entry occupying slot.
 	// Written under the shard's write lock (insert, sweep, relocation)
 	// and read under it (sweep), so plain stores suffice.
@@ -33,6 +32,18 @@ type shardExpiryState struct {
 	// under the shared lock — concurrently with each other — so every
 	// access is atomic.
 	lastSeen []uint32
+}
+
+// shardExpiryState is one shard's slice of the lifecycle layer: the
+// timestamp side-tables keyed by backend slot ID, the eviction-sweep
+// cursor, and the backend downcast once so the sweep never type-asserts.
+type shardExpiryState struct {
+	ebe EvictableBackend
+	// tabs holds the side-tables, swapped atomically by growTables/
+	// shrinkTables (both under the shard's write lock). Writers that hold
+	// the write lock may cache the Load across a section; the lock-free
+	// touch path must Load per call and bounds-check (see touch).
+	tabs atomic.Pointer[expiryTabs]
 	// cursor is the slot the next sweep step resumes from.
 	cursor uint64
 	// sweepNow parameterises visit for the current sweep step; visit is
@@ -44,7 +55,48 @@ type shardExpiryState struct {
 // sideTableBytes returns the timestamp side-tables' footprint, for the
 // bytes-per-slot gauge.
 func (st *shardExpiryState) sideTableBytes() int64 {
-	return int64(len(st.firstSeen))*4 + int64(len(st.lastSeen))*4
+	t := st.tabs.Load()
+	if t == nil {
+		return 0
+	}
+	return int64(len(t.firstSeen))*4 + int64(len(t.lastSeen))*4
+}
+
+// growTables re-addresses the side-tables for a migration per layout:
+// both tables are reallocated at the transient bound (OldBound), the
+// stable ID prefix copies across unchanged, and the retiring arena's
+// stamps move from their pre-grow IDs [Stable, oldBound) to the layout's
+// relocated region [OldBase, OldBound). Called under the shard's write
+// lock; lastSeen is read atomically because lock-free readers may still
+// be touching the outgoing tables mid-copy (a touch racing the swap can
+// lose one refresh — it delays that flow's idle expiry by at most one
+// epoch, the same tolerance the elided-store touch already accepts).
+func (st *shardExpiryState) growTables(layout GrowLayout) {
+	old := st.tabs.Load()
+	nf := make([]uint32, layout.OldBound)
+	nl := make([]uint32, layout.OldBound)
+	copy(nf[:layout.Stable], old.firstSeen[:layout.Stable])
+	copy(nf[layout.OldBase:], old.firstSeen[layout.Stable:])
+	for i := uint64(0); i < layout.Stable; i++ {
+		nl[i] = atomic.LoadUint32(&old.lastSeen[i])
+	}
+	for i := layout.Stable; i < uint64(len(old.lastSeen)); i++ {
+		nl[layout.OldBase+(i-layout.Stable)] = atomic.LoadUint32(&old.lastSeen[i])
+	}
+	st.tabs.Store(&expiryTabs{firstSeen: nf, lastSeen: nl})
+}
+
+// shrinkTables drops the retired arena's tail once a migration finishes,
+// restoring the side-tables to the live bound. The backing arrays are
+// kept (reslicing, not reallocating) so a straggling lock-free touch of a
+// below-bound slot stays in bounds; the excess memory is reclaimed by the
+// next grow's reallocation. Called under the shard's write lock.
+func (st *shardExpiryState) shrinkTables(newBound uint64) {
+	t := st.tabs.Load()
+	st.tabs.Store(&expiryTabs{
+		firstSeen: t.firstSeen[:newBound],
+		lastSeen:  t.lastSeen[:newBound],
+	})
 }
 
 // expiryState is the lifecycle layer of a Sharded table: per-shard
@@ -145,12 +197,12 @@ func (s *Sharded) EnableExpiry(cfg ExpiryConfig) error {
 			return fmt.Errorf("table: backend %s does not support expiry (no EvictableBackend)", s.shards[i].be.Name())
 		}
 		bound := ebe.SlotIDBound()
-		exp.shards[i] = shardExpiryState{
-			ebe:       ebe,
+		exp.shards[i] = shardExpiryState{ebe: ebe}
+		st := &exp.shards[i]
+		st.tabs.Store(&expiryTabs{
 			firstSeen: make([]uint32, bound),
 			lastSeen:  make([]uint32, bound),
-		}
-		st := &exp.shards[i]
+		})
 		st.visit = exp.makeVisit(st)
 		if rb, ok := s.shards[i].be.(RelocatingBackend); ok {
 			rb.SetRelocateHook(st.applyRelocations)
@@ -220,15 +272,16 @@ func (s *Sharded) ExpiryStats() ExpiryStats {
 // was the inserted key, which has no timestamps yet) the source slot is
 // untouched and re-seeds the carry. Runs under the shard's write lock.
 func (st *shardExpiryState) applyRelocations(moves [][2]uint64) {
+	t := st.tabs.Load()
 	var cf, cl uint32
 	for k, m := range moves {
 		if k == 0 || m[0] != moves[k-1][1] {
-			cf = st.firstSeen[m[0]]
-			cl = atomic.LoadUint32(&st.lastSeen[m[0]])
+			cf = t.firstSeen[m[0]]
+			cl = atomic.LoadUint32(&t.lastSeen[m[0]])
 		}
-		nf, nl := st.firstSeen[m[1]], atomic.LoadUint32(&st.lastSeen[m[1]])
-		st.firstSeen[m[1]] = cf
-		atomic.StoreUint32(&st.lastSeen[m[1]], cl)
+		nf, nl := t.firstSeen[m[1]], atomic.LoadUint32(&t.lastSeen[m[1]])
+		t.firstSeen[m[1]] = cf
+		atomic.StoreUint32(&t.lastSeen[m[1]], cl)
 		cf, cl = nf, nl
 	}
 }
@@ -246,8 +299,21 @@ func (st *shardExpiryState) applyRelocations(moves [][2]uint64) {
 // a hit, then lost the slot to a delete+reinsert before touching, cannot
 // regress the new occupant's fresher stamp — at worst it re-stores the
 // epoch the occupant already carries.
+//
+// The bounds check covers the grow window: a lock-free reader that
+// validated an old-arena hit just before FinishGrow retired that arena
+// may arrive here after shrinkTables, with a slot ID beyond the live
+// bound. Dropping the touch is the same benign outcome as losing the
+// race to a delete. A stale *pre-grow* slot ID (reader validated before
+// growTables re-addressed the retiring region) lands on an unrelated
+// in-bounds slot and at worst refreshes it one epoch early — within the
+// layer's stated one-epoch tolerance.
 func (exp *expiryState) touch(shard int, slot uint64, epoch uint32) {
-	p := &exp.shards[shard].lastSeen[slot]
+	t := exp.shards[shard].tabs.Load()
+	if slot >= uint64(len(t.lastSeen)) {
+		return
+	}
+	p := &t.lastSeen[slot]
 	if old := atomic.LoadUint32(p); int32(epoch-old) > 0 {
 		atomic.StoreUint32(p, epoch)
 	}
@@ -257,12 +323,12 @@ func (exp *expiryState) touch(shard int, slot uint64, epoch uint32) {
 // a fresh placement sets first-seen and last-seen, a duplicate insert (the
 // flow already resident) refreshes last-seen only.
 func (exp *expiryState) stamp(shard int, slot uint64, fresh bool) {
-	st := &exp.shards[shard]
+	t := exp.shards[shard].tabs.Load()
 	epoch := exp.epoch.Load()
 	if fresh {
-		st.firstSeen[slot] = epoch
+		t.firstSeen[slot] = epoch
 	}
-	atomic.StoreUint32(&st.lastSeen[slot], epoch)
+	atomic.StoreUint32(&t.lastSeen[slot], epoch)
 }
 
 // Advance moves the lifecycle clock to now and runs one bounded eviction
@@ -298,6 +364,16 @@ func (s *Sharded) Advance(now int64) int {
 		// epoch can never resolve through an unwritten ring entry.
 		e := exp.epoch.Load() + 1
 		atomic.StoreInt64(&exp.epochTimes[e&(epochRing-1)], now)
+		if e == 1 {
+			// First clock move: epoch 0 (the pre-Advance warm-up) has no
+			// recorded clock of its own, and leaving its ring entry at 0
+			// would age warm-up entries by the caller's absolute clock
+			// value — a caller whose clock starts large (wall nanoseconds)
+			// would see its whole warm-up population mass-expired on the
+			// first sweep. Backfill epoch 0 with the first observed clock,
+			// i.e. treat pre-first-Advance stamps as "inserted now".
+			atomic.StoreInt64(&exp.epochTimes[0], now)
+		}
 		exp.now.Store(now)
 		exp.epoch.Store(e)
 	} else {
@@ -317,8 +393,9 @@ func (s *Sharded) Advance(now int64) int {
 func (exp *expiryState) makeVisit(st *shardExpiryState) func(slot uint64) bool {
 	return func(slot uint64) bool {
 		now := st.sweepNow
-		first, firstExact := exp.timeOf(st.firstSeen[slot])
-		last, lastExact := exp.timeOf(atomic.LoadUint32(&st.lastSeen[slot]))
+		t := st.tabs.Load()
+		first, firstExact := exp.timeOf(t.firstSeen[slot])
+		last, lastExact := exp.timeOf(atomic.LoadUint32(&t.lastSeen[slot]))
 		// A stamp that fell out of the epoch ring counts as exceeding any
 		// timeout; the check order (active before idle) is unchanged.
 		var reason ExpireReason
@@ -362,6 +439,9 @@ func (s *Sharded) sweepShard(i int, now int64) int {
 	st.sweepNow = now
 	cursor, _ := st.ebe.WalkSlots(st.cursor, exp.cfg.SweepBudget, st.visit)
 	st.cursor = cursor
+	// Advance also pumps any in-flight migration, so a table that has
+	// gone read-only still converges at the sweep cadence.
+	s.pumpMigrationLocked(sh, i)
 	sh.endWrite()
 	sh.mu.Unlock()
 

@@ -134,8 +134,14 @@ func TestExpiryActiveTimeout(t *testing.T) {
 			t.Fatalf("flow missing at t=%d", now)
 		}
 	}
-	if evicted := drain(s, 50, 256, 4096); evicted != 1 {
-		t.Fatalf("evicted %d flows at t=50, want 1 (active timeout)", evicted)
+	// The flow was inserted before the first Advance, so its firstSeen
+	// resolves to the first observed clock (t=10); residency crosses the
+	// active timeout at t=60.
+	if evicted := drain(s, 55, 256, 4096); evicted != 0 {
+		t.Fatalf("evicted %d flows at t=55, want 0 (residency 45 < 50)", evicted)
+	}
+	if evicted := drain(s, 60, 256, 4096); evicted != 1 {
+		t.Fatalf("evicted %d flows at t=60, want 1 (active timeout)", evicted)
 	}
 	if len(reasons) != 1 || reasons[0] != table.ExpireActive {
 		t.Fatalf("reasons %v, want [active]", reasons)
@@ -150,6 +156,7 @@ func TestExpiryReinsertAfterExpiryReusesSlot(t *testing.T) {
 	for _, backend := range evictableBackends(t) {
 		t.Run(backend, func(t *testing.T) {
 			s := expiringTable(t, backend, 1, table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 512})
+			s.Advance(1) // anchor the clock base before the first insert
 			key := key13(42)
 			if _, err := s.Insert(key); err != nil {
 				t.Fatal(err)
@@ -189,6 +196,7 @@ func TestExpiryReinsertRefillsFullStructure(t *testing.T) {
 	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 1024}); err != nil {
 		t.Fatal(err)
 	}
+	s.Advance(1) // anchor the clock base before the first insert
 	// Fill until the structure rejects inserts (buckets full).
 	var resident [][]byte
 	for i := uint64(0); i < 4096 && len(resident) < 64; i++ {
@@ -422,6 +430,7 @@ func TestCuckooRelocationMovesTimestamps(t *testing.T) {
 // reclaiming a large idle population takes multiple calls.
 func TestExpirySweepBudgetBoundsLockHold(t *testing.T) {
 	s := expiringTable(t, "hashcam", 1, table.ExpiryConfig{IdleTimeout: 10, SweepBudget: 64})
+	s.Advance(1) // anchor the clock base before the first insert
 	keys := keys13(0, 512)
 	if _, errs := s.InsertBatch(keys); errs != nil {
 		t.Fatal(table.BatchErr(errs))
@@ -443,6 +452,36 @@ func TestExpirySweepBudgetBoundsLockHold(t *testing.T) {
 	}
 	if st := s.ExpiryStats(); st.SlotsExamined < int64(calls*64)/2 {
 		t.Fatalf("stats %+v do not reflect %d budgeted sweeps", st, calls)
+	}
+}
+
+// TestExpiryLargeStartingClock is the regression test for the
+// pre-first-Advance mass-expiry bug: a caller whose logical clock starts
+// away from 0 (e.g. wall-clock nanoseconds) must not see its warm-up
+// population — everything inserted before the first Advance — retired on
+// the first sweep. Epoch 0 has no recorded clock of its own, so those
+// stamps are treated as "inserted at the first observed clock".
+func TestExpiryLargeStartingClock(t *testing.T) {
+	const epoch0 = int64(1_700_000_000_000_000_000) // wall nanos
+	s := expiringTable(t, "hashcam", 2, table.ExpiryConfig{IdleTimeout: 100, ActiveTimeout: 1000, SweepBudget: 512})
+	keys := keys13(0, 64)
+	if _, errs := s.InsertBatch(keys); errs != nil {
+		t.Fatal(table.BatchErr(errs))
+	}
+	// Sweeps inside the idle window relative to the first observed clock
+	// must evict nothing, no matter how large the absolute value is.
+	if evicted := drain(s, epoch0, 512, 4096); evicted != 0 {
+		t.Fatalf("first Advance mass-expired %d warm-up flows", evicted)
+	}
+	if evicted := drain(s, epoch0+50, 512, 4096); evicted != 0 {
+		t.Fatalf("sweep inside the idle window evicted %d flows", evicted)
+	}
+	if got := s.Len(); got != len(keys) {
+		t.Fatalf("Len %d after warm-up sweeps, want %d", got, len(keys))
+	}
+	// Past the idle window the ordinary lifecycle applies.
+	if evicted := drain(s, epoch0+200, 512, 4096); evicted != len(keys) {
+		t.Fatalf("evicted %d flows past the idle window, want %d", evicted, len(keys))
 	}
 }
 

@@ -1,0 +1,341 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file defines the elastic-capacity layer of the table stack: the
+// GrowableBackend contract for budgeted online grow-in-place, and the
+// Sharded-level orchestration that amortises a resize exactly like the
+// expiry sweep — a bounded migration step piggybacked on writes and on
+// Advance, inside the existing per-shard write lock and seqlock stamps.
+// The paper's Hash-CAM is fixed-function hardware; a software flow table
+// serving real traffic growth must resize without a restart.
+
+// ErrGrowUnsupported is returned when a grow is requested on a backend
+// that cannot resize online (cuckoo and convhashcam opt out; byte-key
+// backends without the lifecycle contracts cannot be migrated at all).
+var ErrGrowUnsupported = errors.New("table: backend does not support online growth")
+
+// GrowLayout describes the slot-ID space during one migration, returned
+// by GrowableBackend.BeginGrow. The new arena takes over the live ID
+// range immediately; the retiring arena's slots are re-addressed into a
+// region above it so both arenas stay enumerable (and expiry side-tables
+// addressable) until FinishGrow:
+//
+//	[0, Stable)        IDs untouched by the grow (hashcam's CAM region)
+//	[Stable, NewBound) the new arena's slots
+//	[OldBase, OldBound) the retiring arena's slots, shifted up from
+//	                   their pre-grow IDs: old ID x (x >= Stable) is
+//	                   re-addressed to OldBase + (x - Stable)
+//
+// OldBase == NewBound, and SlotIDBound reports OldBound while the
+// migration is in flight, then NewBound after FinishGrow.
+type GrowLayout struct {
+	// NewBound is the exclusive end of the post-migration slot-ID space.
+	NewBound uint64
+	// OldBase is the first slot ID of the retiring arena's region.
+	OldBase uint64
+	// OldBound is the exclusive end of the retiring region (equal to
+	// SlotIDBound during the migration).
+	OldBound uint64
+	// Stable is the exclusive end of the ID prefix the grow leaves
+	// untouched (0 when the whole space is re-addressed).
+	Stable uint64
+}
+
+// GrowableBackend is the optional elastic-capacity extension of
+// EvictableBackend: a structure that can resize online by running a
+// second slot arena next to the live one and migrating occupied slots a
+// budgeted step at a time. Between BeginGrow and FinishGrow the backend
+// must serve lookups and deletes from both arenas (new arena first) and
+// place inserts only in the new arena; Len spans both.
+//
+// All three methods require the caller's exclusive lock (the same
+// discipline as Insert), and the Sharded layer additionally wraps every
+// call in its beginWrite/endWrite seqlock stamps so the optimistic read
+// path discards results torn by a migration step. Backends whose
+// relocations are observed by a RelocatingBackend hook must report each
+// step's moves (old slot ID → new slot ID, both in the layout's ID
+// space) through the hook before the step returns, so expiry
+// side-tables follow migrated entries.
+type GrowableBackend interface {
+	EvictableBackend
+	// BeginGrow allocates the new arena sized for at least newCap
+	// entries and switches the backend into migration mode. It fails if
+	// a migration is already in flight or newCap does not exceed the
+	// current capacity. No slots move yet.
+	BeginGrow(newCap int) (GrowLayout, error)
+	// MigrateStep examines at most budget retiring-arena slots (occupied
+	// or not, mirroring the sweep's budget discipline) and moves each
+	// occupied one into the new arena via the backend's normal placement
+	// policy. An entry the new arena cannot place (a lossy structure's
+	// bucket overflow) is dropped and counted rather than wedging the
+	// migration. done reports that every retiring slot has been
+	// examined; the caller must then call FinishGrow.
+	MigrateStep(budget int) (moved, dropped int, done bool)
+	// FinishGrow retires the old arena and returns the backend to
+	// fixed-geometry operation on the new one.
+	FinishGrow()
+	// Growing reports whether a migration is in flight. Unlike the other
+	// three methods it is safe under a shared lock.
+	Growing() bool
+}
+
+// GrowthConfig parameterises the Sharded layer's elastic capacity: the
+// auto-grow trigger and the per-step migration budget. The zero value
+// disables auto-growth (explicit Grow still works).
+type GrowthConfig struct {
+	// MaxLoadFactor triggers an automatic grow of a shard whose
+	// occupancy crosses this fraction of its real slot capacity
+	// (SlotCapacity, not the nominal Config.Capacity). While armed, an
+	// insert rejected with ErrTableFull also starts a grow and retries —
+	// per-bucket overflow can reject keys well below the global
+	// threshold. Zero disables auto-growth.
+	MaxLoadFactor float64
+	// StepBudget bounds the retiring-arena slots examined per migration
+	// step (default 512). Steps piggyback on writes and on Advance, so
+	// the budget caps the write-lock hold exactly like the expiry
+	// sweep's SweepBudget.
+	StepBudget int
+	// Factor is the capacity multiplier of an automatic grow (default 2).
+	Factor int
+}
+
+// withDefaults fills zero fields.
+func (g GrowthConfig) withDefaults() GrowthConfig {
+	if g.StepBudget <= 0 {
+		g.StepBudget = 512
+	}
+	if g.Factor < 2 {
+		g.Factor = 2
+	}
+	return g
+}
+
+// Validate reports an error for unusable parameters.
+func (g GrowthConfig) Validate() error {
+	if g.MaxLoadFactor < 0 || g.MaxLoadFactor > 1 {
+		return fmt.Errorf("table: growth MaxLoadFactor must be in [0,1], got %g", g.MaxLoadFactor)
+	}
+	if g.Factor < 0 || g.Factor == 1 {
+		return fmt.Errorf("table: growth Factor must be >= 2 (or 0 for the default), got %d", g.Factor)
+	}
+	return nil
+}
+
+// GrowStats aggregates the elastic-capacity counters across shards.
+type GrowStats struct {
+	// Grows counts shard migrations started (explicit and automatic).
+	Grows int64
+	// ActiveGrows counts shards whose migration is currently in flight.
+	ActiveGrows int64
+	// MigrateSteps counts budgeted migration steps executed.
+	MigrateSteps int64
+	// MigratedSlots counts entries moved old arena → new arena.
+	MigratedSlots int64
+	// DroppedSlots counts entries the new arena could not place (lossy
+	// structures' bucket overflow); they leave the table like an
+	// eviction without a callback.
+	DroppedSlots int64
+	// OldArenaReads counts lookup hits served from a retiring arena
+	// while a migration was in flight.
+	OldArenaReads int64
+}
+
+// SetGrowth configures the table's elastic-capacity behaviour. A config
+// with auto-growth (MaxLoadFactor > 0) requires every shard backend to
+// implement GrowableBackend. Like SetOptimisticReads it must not be
+// called concurrently with table operations — set it up front.
+func (s *Sharded) SetGrowth(cfg GrowthConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.MaxLoadFactor > 0 && !s.growCapable {
+		return fmt.Errorf("table: auto-growth on %s: %w", s.Name(), ErrGrowUnsupported)
+	}
+	s.growth = cfg.withDefaults()
+	return nil
+}
+
+// Growth returns the active elastic-capacity configuration.
+func (s *Sharded) Growth() GrowthConfig { return s.growth }
+
+// Grow starts an online resize of every shard to factor times its
+// current nominal capacity. It returns ErrGrowUnsupported (wrapped) when
+// any shard backend cannot resize online; shards already migrating are
+// left to converge. Migration is amortised, not synchronous: the entries
+// move a budgeted step at a time, piggybacked on subsequent writes and
+// Advance calls, and lookups consult both arenas meanwhile. GrowStats
+// reports progress; ActiveGrows reaching zero means the resize is done.
+func (s *Sharded) Grow(factor int) error {
+	if factor < 2 {
+		return fmt.Errorf("table: grow factor must be >= 2, got %d", factor)
+	}
+	if !s.growCapable {
+		return fmt.Errorf("table: grow %s: %w", s.Name(), ErrGrowUnsupported)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if err := func() error {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			sh.beginWrite()
+			defer sh.endWrite()
+			if sh.gbe.Growing() {
+				return nil
+			}
+			return s.beginGrowShardLocked(sh, i, sh.capTarget*factor)
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GrowStats returns a snapshot of the elastic-capacity counters.
+func (s *Sharded) GrowStats() GrowStats {
+	gs := GrowStats{
+		Grows:         s.grows.Load(),
+		MigrateSteps:  s.migrateSteps.Load(),
+		MigratedSlots: s.migratedSlots.Load(),
+		DroppedSlots:  s.droppedSlots.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		gs.OldArenaReads += sh.oldHits.Load()
+		if sh.gbe != nil {
+			sh.mu.RLock()
+			if sh.gbe.Growing() {
+				gs.ActiveGrows++
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	return gs
+}
+
+// SlotCapacity returns the table's real slot capacity: the sum of the
+// shard backends' slot-ID bounds (the new layout's bound while a
+// migration is in flight). Because each shard rounds its bucket count up
+// to a power of two independently, this can be up to ~2× the nominal
+// Config.Capacity — occupancy gauges and the auto-grow trigger use this
+// figure, not the nominal one. Returns 0 when any shard backend has no
+// dense slot space.
+func (s *Sharded) SlotCapacity() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		bound := sh.slotCap
+		sh.mu.RUnlock()
+		if bound == 0 {
+			return 0
+		}
+		n += int64(bound)
+	}
+	return n
+}
+
+// beginGrowShardLocked starts one shard's migration: the backend
+// allocates its new arena, the expiry side-tables (when enabled) are
+// re-addressed per the layout, and the old-arena read watermark is
+// published. Caller holds the shard's write lock inside a
+// beginWrite/endWrite section.
+func (s *Sharded) beginGrowShardLocked(sh *shardState, shard int, newCap int) error {
+	layout, err := sh.gbe.BeginGrow(newCap)
+	if err != nil {
+		return err
+	}
+	sh.capTarget = newCap
+	sh.slotCap = layout.NewBound
+	if exp := s.expiry; exp != nil {
+		exp.shards[shard].growTables(layout)
+	}
+	// Publish the watermark last: the ID region [OldBase, OldBound) only
+	// exists from this point on, and a lookup hit at or above it is a
+	// read served by the retiring arena.
+	sh.oldBase.Store(layout.OldBase)
+	s.grows.Add(1)
+	return nil
+}
+
+// pumpMigrationLocked runs one budgeted migration step on shard if one
+// is in flight — the amortisation hook called at the tail of every
+// exclusive-lock section (inserts, deletes, the expiry sweep), mirroring
+// how the sweep itself is driven. Caller holds the shard's write lock
+// inside a beginWrite/endWrite section.
+func (s *Sharded) pumpMigrationLocked(sh *shardState, shard int) {
+	if sh.gbe == nil || !sh.gbe.Growing() {
+		return
+	}
+	moved, dropped, done := sh.gbe.MigrateStep(s.growth.withDefaults().StepBudget)
+	s.migrateSteps.Add(1)
+	s.migratedSlots.Add(int64(moved))
+	s.droppedSlots.Add(int64(dropped))
+	if done {
+		s.finishGrowShardLocked(sh, shard)
+	}
+}
+
+// finishGrowShardLocked retires one shard's old arena: the backend drops
+// it, the expiry side-tables shrink back to the new bound, and the
+// old-arena watermark is reset. Caller holds the shard's write lock
+// inside a beginWrite/endWrite section.
+func (s *Sharded) finishGrowShardLocked(sh *shardState, shard int) {
+	sh.gbe.FinishGrow()
+	sh.oldBase.Store(^uint64(0))
+	if exp := s.expiry; exp != nil {
+		exp.shards[shard].shrinkTables(sh.slotCap)
+	}
+}
+
+// maybeGrowLocked is the auto-grow trigger, checked once per insert
+// locked section: when the shard's real occupancy crosses
+// MaxLoadFactor × its real slot capacity, a migration to Factor × the
+// current nominal capacity begins. Caller holds the shard's write lock
+// inside a beginWrite/endWrite section.
+func (s *Sharded) maybeGrowLocked(sh *shardState, shard int) {
+	lf := s.growth.MaxLoadFactor
+	if lf <= 0 || sh.gbe == nil || sh.slotCap == 0 || sh.gbe.Growing() {
+		return
+	}
+	if float64(sh.be.Len()) < lf*float64(sh.slotCap) {
+		return
+	}
+	// The only BeginGrow failures are "already growing" (excluded above)
+	// and a non-increasing target, which Factor >= 2 rules out.
+	_ = s.beginGrowShardLocked(sh, shard, sh.capTarget*s.growth.Factor)
+}
+
+// growOnFullLocked is the second auto-grow trigger: an insert that hit
+// ErrTableFull while auto-growth is armed begins a grow at once, even
+// below the load-factor threshold — per-bucket overflow can reject keys
+// long before global occupancy looks full, and the caller retries the
+// insert against the fresh arena. Reports whether a grow started. Caller
+// holds the shard's write lock inside a beginWrite/endWrite section.
+func (s *Sharded) growOnFullLocked(sh *shardState, shard int) bool {
+	if s.growth.MaxLoadFactor <= 0 || sh.gbe == nil || sh.gbe.Growing() {
+		return false
+	}
+	return s.beginGrowShardLocked(sh, shard, sh.capTarget*s.growth.Factor) == nil
+}
+
+// growPumps is the per-write migration drive shared by the scalar and
+// batch write paths: the auto-grow check, then one budgeted step.
+func (s *Sharded) growPumps(sh *shardState, shard int, insert bool) {
+	if insert {
+		s.maybeGrowLocked(sh, shard)
+	}
+	s.pumpMigrationLocked(sh, shard)
+}
+
+// oldHitCheck counts a lookup hit served from the retiring arena. The
+// watermark is ^uint64(0) outside a migration, so the branch never
+// taken costs one atomic load on the hit path.
+func (sh *shardState) oldHitCheck(local uint64) {
+	if local >= sh.oldBase.Load() {
+		sh.oldHits.Add(1)
+	}
+}

@@ -1,0 +1,589 @@
+package table_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	_ "repro/internal/baseline" // register every backend
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// growableBackends returns the registered backends implementing
+// table.GrowableBackend (the elastic-capacity set: hashcam, dleft,
+// singlehash).
+func growableBackends(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, name := range table.Backends() {
+		be, err := table.New(name, table.Config{Capacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := be.(table.GrowableBackend); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestGrowDifferentialMidStream extends the differential harness across a
+// migration: a seeded op stream runs through a byte-key instance, a
+// hashed instance, and a plain-map model, and mid-stream both instances
+// grow in lock-step — BeginGrow, then budgeted MigrateSteps interleaved
+// with further ops, then FinishGrow. Every op must stay bit-identical
+// between the two instances throughout (IDs, presence, error identity,
+// probe counters); the model pins membership. IDs drift as entries
+// migrate, so ID-vs-model assertions stop at the first BeginGrow — the
+// instance-vs-instance ID equality keeps running.
+func TestGrowDifferentialMidStream(t *testing.T) {
+	cfg := table.Config{Capacity: 512, SlotsPerBucket: 2, CAMCapacity: 16, Hash: hashfn.DefaultPair()}
+	for _, name := range growableBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			plainBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashedBE, err := table.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb := hashedBE.(table.HashedBackend)
+			ga, gb := plainBE.(table.GrowableBackend), hashedBE.(table.GrowableBackend)
+
+			model := make(map[string]bool)
+			rng := rand.New(rand.NewSource(11))
+			grew := false // a grow has begun: stored IDs may have drifted
+			dropped := 0  // migration drops (lossy re-placement) on either instance
+			migrating := false
+			doneSteps := 0
+			for op := 0; op < 12000; op++ {
+				switch {
+				case op == 4000:
+					// Mid-stream grow, driven identically on both instances.
+					la, errA := ga.BeginGrow(2 * 512)
+					lb, errB := gb.BeginGrow(2 * 512)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("BeginGrow: plain %v vs hashed %v", errA, errB)
+					}
+					if errA != nil {
+						t.Fatalf("BeginGrow: %v", errA)
+					}
+					if la != lb {
+						t.Fatalf("GrowLayout: plain %+v vs hashed %+v", la, lb)
+					}
+					if la.OldBase != la.NewBound || la.OldBound <= la.OldBase || la.Stable > la.NewBound {
+						t.Fatalf("malformed layout %+v", la)
+					}
+					if ga.SlotIDBound() != la.OldBound {
+						t.Fatalf("SlotIDBound %d during migration, layout says %d", ga.SlotIDBound(), la.OldBound)
+					}
+					grew, migrating = true, true
+				case migrating && op%16 == 0:
+					mA, dA, doneA := ga.MigrateStep(48)
+					mB, dB, doneB := gb.MigrateStep(48)
+					if mA != mB || dA != dB || doneA != doneB {
+						t.Fatalf("MigrateStep: plain (%d,%d,%v) vs hashed (%d,%d,%v)", mA, dA, doneA, mB, dB, doneB)
+					}
+					dropped += dA
+					if doneA {
+						ga.FinishGrow()
+						gb.FinishGrow()
+						migrating = false
+						doneSteps++
+					}
+				}
+				k := key13(uint64(rng.Intn(900)))
+				kh := cfg.Hash.Compute(k)
+				switch rng.Intn(4) {
+				case 0: // insert
+					idA, errA := plainBE.Insert(k)
+					idB, errB := hb.InsertHashed(k, kh)
+					if idA != idB || (errA == nil) != (errB == nil) ||
+						errors.Is(errA, table.ErrTableFull) != errors.Is(errB, table.ErrTableFull) {
+						t.Fatalf("op %d insert: plain (%d,%v) vs hashed (%d,%v)", op, idA, errA, idB, errB)
+					}
+					if errA == nil {
+						model[string(k)] = true
+					} else if !errors.Is(errA, table.ErrTableFull) {
+						t.Fatalf("op %d insert failed with a non-fullness error: %v", op, errA)
+					}
+				case 1, 2: // lookup
+					idA, okA := plainBE.Lookup(k)
+					idB, okB := hb.LookupHashed(k, kh)
+					if idA != idB || okA != okB {
+						t.Fatalf("op %d lookup: plain (%d,%v) vs hashed (%d,%v)", op, idA, okA, idB, okB)
+					}
+					if dropped == 0 && model[string(k)] != okA {
+						t.Fatalf("op %d lookup: table says %v, model says %v (grew=%v)", op, okA, model[string(k)], grew)
+					}
+				case 3: // delete
+					okA := plainBE.Delete(k)
+					okB := hb.DeleteHashed(k, kh)
+					if okA != okB {
+						t.Fatalf("op %d delete: plain %v vs hashed %v", op, okA, okB)
+					}
+					if dropped == 0 && model[string(k)] != okA {
+						t.Fatalf("op %d delete: table says %v, model says %v", op, okA, model[string(k)])
+					}
+					delete(model, string(k))
+				}
+			}
+			if !grew || doneSteps == 0 {
+				t.Fatal("migration never ran to completion; rebalance the schedule")
+			}
+			if migrating {
+				t.Fatal("migration still in flight at stream end; raise the step cadence")
+			}
+			if plainBE.Len() != hashedBE.Len() {
+				t.Fatalf("Len: plain %d vs hashed %d", plainBE.Len(), hashedBE.Len())
+			}
+			if dropped == 0 && plainBE.Len() != len(model) {
+				t.Fatalf("Len %d disagrees with model %d", plainBE.Len(), len(model))
+			}
+			if plainBE.Probes() != hashedBE.Probes() {
+				t.Fatalf("Probes: plain %d vs hashed %d", plainBE.Probes(), hashedBE.Probes())
+			}
+		})
+	}
+}
+
+// TestShardedGrowConvergesAndPreservesEntries drives the orchestrated
+// path end to end on every growable backend: a populated, expiry-enabled
+// sharded table grows 2×, the migration drains through piggybacked
+// Advance pumps, every entry survives with its ID-tracked timestamps
+// (the final mass-expiry reports non-zero stamps for all of them), and
+// the capacity accounting reflects the new geometry.
+func TestShardedGrowConvergesAndPreservesEntries(t *testing.T) {
+	for _, backend := range growableBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 2, table.Config{Capacity: 2048}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40, SweepBudget: 256}); err != nil {
+				t.Fatal(err)
+			}
+			s.Advance(1)
+			keys := keys13(0, 600)
+			if _, errs := s.InsertBatch(keys); errs != nil {
+				t.Fatal(table.BatchErr(errs))
+			}
+			before := s.SlotCapacity()
+			if before < 2048 {
+				t.Fatalf("SlotCapacity %d below nominal 2048", before)
+			}
+			if err := s.Grow(2); err != nil {
+				t.Fatal(err)
+			}
+			if gs := s.GrowStats(); gs.Grows != 2 || gs.ActiveGrows != 2 {
+				t.Fatalf("after Grow: stats %+v, want 2 started and 2 active", gs)
+			}
+			// The Stable region (hashcam's CAM) does not grow, so the bound
+			// is the doubled nominal capacity, not double the real one.
+			if after := s.SlotCapacity(); after < 2*2048 || after <= before {
+				t.Fatalf("SlotCapacity %d after Grow(2), want >= %d and > %d", after, 2*2048, before)
+			}
+			// Drain via the Advance piggyback alone — the sweep pump must
+			// converge a read-mostly table.
+			for i := 0; i < 10000 && s.GrowStats().ActiveGrows > 0; i++ {
+				s.Advance(1)
+			}
+			gs := s.GrowStats()
+			if gs.ActiveGrows != 0 {
+				t.Fatalf("migration never converged: %+v", gs)
+			}
+			if gs.MigrateSteps == 0 || gs.MigratedSlots != 600 || gs.DroppedSlots != 0 {
+				t.Fatalf("migration stats %+v, want 600 moved, 0 dropped", gs)
+			}
+			_, hits := s.LookupBatch(keys)
+			for i, h := range hits {
+				if !h {
+					t.Fatalf("key %d lost across migration", i)
+				}
+			}
+			if got := s.Len(); got != 600 {
+				t.Fatalf("Len %d after migration, want 600", got)
+			}
+			// The expiry side-tables must have followed the migrated slots:
+			// every entry still expires exactly once, with real timestamps.
+			zeroStamps := 0
+			s.OnExpired(func(_ uint64, _ []byte, first, last int64, _ table.ExpireReason) {
+				if first == 0 && last == 0 {
+					zeroStamps++
+				}
+			})
+			evicted := 0
+			for i := 0; i < 200 && evicted < 600; i++ {
+				evicted += s.Advance(1 << 41)
+			}
+			if evicted != 600 || zeroStamps != 0 {
+				t.Fatalf("mass expiry after migration: %d evicted (%d with zero stamps), want 600 and 0",
+					evicted, zeroStamps)
+			}
+		})
+	}
+}
+
+// TestShardedAutoGrow pins the load-factor trigger: a table armed with
+// MaxLoadFactor auto-grows under insert pressure alone and, once the
+// population fits, retains every flow with zero failed inserts on the
+// final pass — the elastic answer to oversubscription.
+func TestShardedAutoGrow(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 512, CAMCapacity: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 0.7, StepBudget: 128}); err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 2048) // 4× nominal capacity
+	// Repeated passes: inserts both trigger growth and pump migration.
+	for pass := 0; pass < 64; pass++ {
+		ok := true
+		for _, k := range keys {
+			if _, err := s.Insert(k); err != nil {
+				ok = false
+			}
+		}
+		if ok && s.GrowStats().ActiveGrows == 0 {
+			break
+		}
+	}
+	gs := s.GrowStats()
+	if gs.Grows == 0 {
+		t.Fatalf("auto-grow never triggered: %+v", gs)
+	}
+	if gs.ActiveGrows != 0 {
+		t.Fatalf("migration never converged: %+v", gs)
+	}
+	for i, k := range keys {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatalf("failed insert for key %d after growth converged: %v", i, err)
+		}
+	}
+	if got := s.Len(); got != len(keys) {
+		t.Fatalf("Len %d after auto-grow, want %d", got, len(keys))
+	}
+}
+
+// TestGrowUnsupportedBackends pins the clean rejection: cuckoo and the
+// conventional arrangement opt out of online growth, so explicit Grow and
+// auto-growth configs fail with ErrGrowUnsupported up front — while a
+// growth config without auto-grow (a bare StepBudget) stays accepted
+// everywhere, since it arms nothing.
+func TestGrowUnsupportedBackends(t *testing.T) {
+	for _, backend := range []string{"cuckoo", "convhashcam"} {
+		t.Run(backend, func(t *testing.T) {
+			s, err := table.NewSharded(backend, 2, table.Config{Capacity: 512}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Grow(2); !errors.Is(err, table.ErrGrowUnsupported) {
+				t.Fatalf("Grow on %s: %v, want ErrGrowUnsupported", backend, err)
+			}
+			if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 0.7}); !errors.Is(err, table.ErrGrowUnsupported) {
+				t.Fatalf("SetGrowth(auto) on %s: %v, want ErrGrowUnsupported", backend, err)
+			}
+			if err := s.SetGrowth(table.GrowthConfig{StepBudget: 64}); err != nil {
+				t.Fatalf("SetGrowth(no auto) on %s: %v, want nil", backend, err)
+			}
+		})
+	}
+}
+
+// TestGrowthConfigValidate pins the config edges.
+func TestGrowthConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		cfg table.GrowthConfig
+		ok  bool
+	}{
+		{table.GrowthConfig{}, true},
+		{table.GrowthConfig{MaxLoadFactor: 0.9, StepBudget: 64, Factor: 4}, true},
+		{table.GrowthConfig{MaxLoadFactor: -0.1}, false},
+		{table.GrowthConfig{MaxLoadFactor: 1.5}, false},
+		{table.GrowthConfig{Factor: 1}, false},
+		{table.GrowthConfig{Factor: -2}, false},
+	} {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.cfg, err, tc.ok)
+		}
+	}
+}
+
+// TestCapacityValidationAllConstructorPaths pins the oversized-capacity
+// contract on every path: the registry constructors, table.New and
+// NewSharded all reject Capacity > MaxCapacity with an error — never the
+// silent clamp the per-package defaults apply.
+func TestCapacityValidationAllConstructorPaths(t *testing.T) {
+	over := table.Config{Capacity: table.MaxCapacity + 1}
+	for _, name := range table.Backends() {
+		if _, err := table.New(name, over); err == nil {
+			t.Errorf("table.New(%q) accepted Capacity > MaxCapacity", name)
+		}
+		if _, err := table.NewSharded(name, 2, over, nil); err == nil {
+			t.Errorf("NewSharded(%q) accepted Capacity > MaxCapacity", name)
+		}
+	}
+	if _, err := table.New("hashcam", table.Config{Capacity: -1}); err == nil {
+		t.Error("table.New accepted a negative capacity")
+	}
+}
+
+// TestSlotCapacityRealVsNominal pins the capacity-accounting distinction:
+// SlotCapacity reports the real (post-rounding) slot bound, at least the
+// nominal capacity and 0 for backends with no dense slot space.
+func TestSlotCapacityRealVsNominal(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 4, table.Config{Capacity: 1000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlotCapacity(); got < 1000 {
+		t.Fatalf("SlotCapacity %d below nominal 1000", got)
+	}
+	p, err := table.NewSharded("testplain", 1, table.Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Skipf("testplain unavailable: %v", err)
+	}
+	if got := p.SlotCapacity(); got != 0 {
+		t.Fatalf("SlotCapacity on a slot-space-less backend = %d, want 0", got)
+	}
+}
+
+// TestShardedGrowRaceStress exercises the full concurrent surface across
+// a migration: optimistic readers, writers, the expiry sweep and an
+// explicit Grow all running together. Run under -race this is the
+// memory-model check for the two-arena swap; in any mode it checks
+// convergence and that the stable population survives.
+func TestShardedGrowRaceStress(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 4, table.Config{Capacity: 4096, CAMCapacity: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40, SweepBudget: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGrowth(table.GrowthConfig{StepBudget: 64}); err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(1)
+	stable := keys13(0, 1024) // never deleted; must survive everything
+	if _, errs := s.InsertBatch(stable); errs != nil {
+		t.Fatal(table.BatchErr(errs))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, hits := s.LookupBatch(stable)
+				for i, h := range hits {
+					if !h {
+						t.Errorf("stable key %d missing mid-stress", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			churn := keys13(uint64(2048+512*w), uint64(2048+512*(w+1)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := churn[i%len(churn)]
+				if i%3 == 2 {
+					s.Delete(k)
+				} else {
+					_, _ = s.Insert(k)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for now := int64(2); ; now++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Advance(now)
+		}
+	}()
+	if err := s.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000 && s.GrowStats().ActiveGrows > 0; i++ {
+		s.Advance(1 << 20)
+	}
+	close(stop)
+	wg.Wait()
+	if gs := s.GrowStats(); gs.ActiveGrows != 0 {
+		t.Fatalf("migration never converged under stress: %+v", gs)
+	}
+	_, hits := s.LookupBatch(stable)
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("stable key %d lost across concurrent migration", i)
+		}
+	}
+}
+
+// TestGrowAccessorsAndErrors pins the small control surface: the Growth
+// accessor round-trips the stored config, SetGrowth rejects an unusable
+// one, Grow rejects factors below 2, and a Grow issued while a shard's
+// migration is still in flight is a clean no-op on that shard rather than
+// a second overlapping resize.
+func TestGrowAccessorsAndErrors(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 1, table.Config{Capacity: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 0.5, StepBudget: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Growth(); got.MaxLoadFactor != 0.5 || got.StepBudget != 7 {
+		t.Fatalf("Growth() = %+v, want the stored config back", got)
+	}
+	if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 1.5}); err == nil {
+		t.Fatal("SetGrowth accepted MaxLoadFactor > 1")
+	}
+	if err := s.Grow(1); err == nil {
+		t.Fatal("Grow(1) accepted")
+	}
+	for _, k := range keys13(0, 64) {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GrowStats().ActiveGrows; got != 1 {
+		t.Fatalf("ActiveGrows = %d after Grow, want 1", got)
+	}
+	if err := s.Grow(2); err != nil {
+		t.Fatalf("Grow during an active migration should no-op, got %v", err)
+	}
+	if got := s.GrowStats().Grows; got != 1 {
+		t.Fatalf("Grows = %d after overlapping Grow calls, want 1", got)
+	}
+}
+
+// TestGrowOnFullTrigger pins the second auto-grow trigger at the table
+// layer: with a threshold so high the load-factor check can never fire
+// first, per-bucket overflow (ErrTableFull) must start the grow and the
+// retried inserts must converge with every key admitted.
+func TestGrowOnFullTrigger(t *testing.T) {
+	for _, mode := range []string{"scalar", "batch"} {
+		t.Run(mode, func(t *testing.T) {
+			s, err := table.NewSharded("hashcam", 1, table.Config{Capacity: 256, CAMCapacity: 8}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 0.999, StepBudget: 64}); err != nil {
+				t.Fatal(err)
+			}
+			keys := keys13(0, 1024)
+			for pass := 0; pass < 64; pass++ {
+				ok := true
+				if mode == "batch" {
+					_, errs := s.InsertBatch(keys)
+					for _, e := range errs {
+						if e != nil {
+							ok = false
+						}
+					}
+				} else {
+					for _, k := range keys {
+						if _, err := s.Insert(k); err != nil {
+							ok = false
+						}
+					}
+				}
+				if ok && s.GrowStats().ActiveGrows == 0 {
+					break
+				}
+			}
+			gs := s.GrowStats()
+			if gs.Grows == 0 {
+				t.Fatalf("grow-on-full never triggered: %+v", gs)
+			}
+			if gs.ActiveGrows != 0 {
+				t.Fatalf("migration never converged: %+v", gs)
+			}
+			if got := s.Len(); got != len(keys) {
+				t.Fatalf("Len %d after grow-on-full convergence, want %d", got, len(keys))
+			}
+		})
+	}
+}
+
+// TestOldArenaReadsCounted pins the migration-visibility counter: with a
+// grow begun but nothing pumping (lookups never migrate), resident
+// entries are served from the retiring arena and each such hit counts.
+func TestOldArenaReadsCounted(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 1, table.Config{Capacity: 1024, CAMCapacity: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keys13(0, 512)
+	for _, k := range keys {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if _, ok := s.Lookup(k); !ok {
+			t.Fatalf("key %d lost at migration start", i)
+		}
+	}
+	if got := s.GrowStats().OldArenaReads; got == 0 {
+		t.Fatal("no old-arena reads counted while the whole population sat in the retiring arena")
+	}
+}
+
+// TestShardedMiscAccounting covers two small accounting corners: a
+// backend with no dense slot storage reports a zero per-slot footprint,
+// and a seeded config routes shards through the keyed selector.
+func TestShardedMiscAccounting(t *testing.T) {
+	plain, err := table.NewSharded("testplain", 1, table.Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.BytesPerSlot(); got != 0 {
+		t.Fatalf("BytesPerSlot = %g for storage-less backend, want 0", got)
+	}
+	keyed, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 256, HashSeed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys13(0, 32) {
+		if _, err := keyed.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := keyed.Lookup(k); !ok {
+			t.Fatal("keyed table lost a key")
+		}
+	}
+}

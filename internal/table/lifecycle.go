@@ -44,8 +44,10 @@ type EvictableBackend interface {
 	// SlotIDBound returns an exclusive upper bound on the slot IDs this
 	// backend can assign. The expiry layer sizes its per-slot timestamp
 	// side-tables from it, so the bound must be dense (proportional to
-	// capacity, not a hash-space bound) and constant over the backend's
-	// lifetime.
+	// capacity, not a hash-space bound). It may change only at the grow
+	// boundaries of a GrowableBackend — rising at BeginGrow (the retiring
+	// arena's slots are re-addressed above the new layout, per GrowLayout)
+	// and falling back at FinishGrow — and is constant between them.
 	SlotIDBound() uint64
 	// AppendSlotKey appends the key bytes stored in slot onto dst,
 	// reporting false (and returning dst unchanged) when the slot is

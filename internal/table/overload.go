@@ -154,6 +154,11 @@ func (s *Sharded) evictIdlestLocked(sh *shardState, shard int, kh hashfn.KeyHash
 		return false
 	}
 	st := &exp.shards[shard]
+	t := st.tabs.Load()
+	// During a migration, candidates span live placements only (inserts
+	// go to the live arena, and freeing a live candidate is what unblocks
+	// the retry); the retiring arena's occupants are reclaimed by the
+	// migration itself or the sweep, never by overload pressure.
 	pe.cand = sh.cbe.AppendCandidateSlots(pe.cand[:0], kh)
 	if len(pe.cand) == 0 {
 		return false
@@ -164,7 +169,7 @@ func (s *Sharded) evictIdlestLocked(sh *shardState, shard int, kh hashfn.KeyHash
 	cur := exp.epoch.Load()
 	victim, bestAge := uint64(0), int64(-1)
 	for _, slot := range pe.cand {
-		d := int32(cur - atomic.LoadUint32(&st.lastSeen[slot]))
+		d := int32(cur - atomic.LoadUint32(&t.lastSeen[slot]))
 		if d < 0 {
 			d = 0
 		}
@@ -178,8 +183,8 @@ func (s *Sharded) evictIdlestLocked(sh *shardState, shard int, kh hashfn.KeyHash
 		return false // unreachable: candidates are occupied by contract
 	}
 	pe.key = kb
-	first, _ := exp.timeOf(st.firstSeen[victim])
-	last, _ := exp.timeOf(atomic.LoadUint32(&st.lastSeen[victim]))
+	first, _ := exp.timeOf(t.firstSeen[victim])
+	last, _ := exp.timeOf(atomic.LoadUint32(&t.lastSeen[victim]))
 	if !st.ebe.DeleteSlot(victim) {
 		pe.key = pe.key[:off]
 		return false

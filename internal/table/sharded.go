@@ -76,6 +76,17 @@ type Sharded struct {
 	onFull             FullPolicy
 	evictCapable       bool
 	pendingEvictIdlest bool
+
+	// growth is the elastic-capacity configuration (SetGrowth);
+	// growCapable records whether every shard backend implements
+	// GrowableBackend (downcast once into shardState.gbe). The counters
+	// aggregate migration work across shards for GrowStats.
+	growth        GrowthConfig
+	growCapable   bool
+	grows         atomic.Int64
+	migrateSteps  atomic.Int64
+	migratedSlots atomic.Int64
+	droppedSlots  atomic.Int64
 }
 
 // shardState pairs a backend with its lock and seqlock word. hbe, pbe and
@@ -89,7 +100,7 @@ type Sharded struct {
 // snapshot it, probe, and discard the result unless the snapshot was even
 // and unchanged after the probe.
 //
-// The struct is padded to two cache lines so one shard's write traffic
+// The struct is sized to two cache lines so one shard's write traffic
 // (mu, seq, retry counters — all on the line a writer dirties) never
 // false-shares with a neighbouring shard's state in the shards slice.
 type shardState struct {
@@ -99,6 +110,7 @@ type shardState struct {
 	pbe PrefetchBackend   // nil when be cannot prefetch buckets
 	obe OptimisticBackend // nil when be cannot serve seqlock reads
 	cbe CandidateSlotter  // nil when be cannot enumerate candidate slots
+	gbe GrowableBackend   // nil when be cannot resize online
 
 	seq       atomic.Uint64 // seqlock word: odd = writer in the arenas
 	retries   atomic.Int64  // lock-free probes discarded by validation
@@ -106,7 +118,19 @@ type shardState struct {
 	rejected  atomic.Int64  // inserts that surfaced ErrTableFull
 	evicted   atomic.Int64  // flows reclaimed by FullEvictIdlest
 
-	_ [48]byte // pad to 192 B: no false sharing between adjacent shards
+	// oldBase is the retiring arena's first slot ID while a migration is
+	// in flight, ^uint64(0) otherwise — the watermark the read paths
+	// compare hit IDs against to count old-arena reads. oldHits is that
+	// count. slotCap is the real slot capacity of the live layout
+	// (GrowLayout.NewBound; guarded by mu) and capTarget the shard's
+	// nominal capacity, doubled by each grow (guarded by mu).
+	oldBase   atomic.Uint64
+	oldHits   atomic.Int64
+	slotCap   uint64
+	capTarget int
+
+	// 24 (mu) + 6×16 (interfaces) + 7×8 (atomics) + 16 = 192 B exactly:
+	// two cache lines, no false sharing between adjacent shards.
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
@@ -119,8 +143,8 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 	if shards < 1 {
 		return nil, fmt.Errorf("table: shard count must be >= 1, got %d", shards)
 	}
-	if cfg.Capacity > MaxCapacity {
-		return nil, fmt.Errorf("table: capacity %d exceeds maximum %d", cfg.Capacity, MaxCapacity)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	per := cfg
@@ -143,6 +167,7 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 	s.evPool.New = func() any { return new(pendingEvictions) }
 	s.pendingEvictIdlest = cfg.OnFull == FullEvictIdlest
 	s.evictCapable = true
+	s.growCapable = true
 	for i := range s.shards {
 		be, err := New(backend, per)
 		if err != nil {
@@ -153,9 +178,18 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 		s.shards[i].pbe, _ = be.(PrefetchBackend)
 		s.shards[i].obe, _ = be.(OptimisticBackend)
 		s.shards[i].cbe, _ = be.(CandidateSlotter)
+		s.shards[i].gbe, _ = be.(GrowableBackend)
 		if s.shards[i].cbe == nil {
 			s.evictCapable = false
 		}
+		if s.shards[i].gbe == nil {
+			s.growCapable = false
+		}
+		if ebe, ok := be.(EvictableBackend); ok {
+			s.shards[i].slotCap = ebe.SlotIDBound()
+		}
+		s.shards[i].capTarget = per.Capacity
+		s.shards[i].oldBase.Store(^uint64(0))
 	}
 	s.hashed = s.shards[0].hbe != nil
 	// The lock-free read path needs the hashed fast path (ReadHashed
@@ -293,6 +327,7 @@ func (s *Sharded) readOn(sh *shardState, shard int, key []byte, kh hashfn.KeyHas
 		}
 		sh.obe.CommitReads(outcome, 1)
 		if hit {
+			sh.oldHitCheck(local)
 			if exp := s.expiry; exp != nil {
 				exp.touch(shard, local, exp.epoch.Load())
 			}
@@ -339,6 +374,7 @@ func (s *Sharded) lookupOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 		local, ok = sh.be.Lookup(key)
 	}
 	if ok {
+		sh.oldHitCheck(local)
 		if exp := s.expiry; exp != nil {
 			exp.touch(i, local, exp.epoch.Load())
 		}
@@ -363,6 +399,9 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 	defer sh.mu.Unlock()
 	sh.beginWrite()
 	defer sh.endWrite()
+	// LIFO defers: the growth pump (auto-grow check + one migration step)
+	// runs inside the seqlock write section, before endWrite.
+	defer s.growPumps(sh, i, true)
 	exp := s.expiry
 	lenBefore := 0
 	if exp != nil {
@@ -386,6 +425,16 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 			local, err = sh.hbe.InsertHashed(key, kh)
 		}
 	}
+	if err != nil && errors.Is(err, ErrTableFull) && s.growOnFullLocked(sh, i) {
+		// Auto-growth armed: a full structure starts a grow and the
+		// insert retries against the fresh arena.
+		lenBefore = sh.be.Len()
+		if hashed {
+			local, err = sh.hbe.InsertHashed(key, kh)
+		} else {
+			local, err = sh.be.Insert(key)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, ErrTableFull) {
 			sh.rejected.Add(1)
@@ -406,6 +455,7 @@ func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 	defer sh.mu.Unlock()
 	sh.beginWrite()
 	defer sh.endWrite()
+	defer s.growPumps(sh, i, false)
 	if hashed {
 		return sh.hbe.DeleteHashed(key, kh)
 	}
@@ -705,6 +755,7 @@ func (s *Sharded) lookupShardOptimistic(shard int, keys [][]byte, sc *batchScrat
 			}
 			deferred[outcome]++
 			if hit {
+				sh.oldHitCheck(local)
 				ids[i] = s.globalID(shard, local)
 				hits[i] = true
 				if exp != nil {
@@ -741,6 +792,7 @@ func (s *Sharded) lookupShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 	if s.hashed {
 		for _, i := range plan {
 			if local, ok := sh.hbe.LookupHashed(keys[i], sc.khs[i]); ok {
+				sh.oldHitCheck(local)
 				ids[i] = s.globalID(shard, local)
 				hits[i] = true
 				if exp != nil {
@@ -752,6 +804,7 @@ func (s *Sharded) lookupShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 	}
 	for _, i := range plan {
 		if local, ok := sh.be.Lookup(keys[i]); ok {
+			sh.oldHitCheck(local)
 			ids[i] = s.globalID(shard, local)
 			hits[i] = true
 			if exp != nil {
@@ -812,6 +865,7 @@ func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 	defer sh.mu.Unlock()
 	sh.beginWrite()
 	defer sh.endWrite()
+	defer s.growPumps(sh, shard, true)
 	s.prefetchShard(sh, sc, shard)
 	exp := s.expiry
 	var pe *pendingEvictions
@@ -834,6 +888,16 @@ func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 			if s.evictIdlestLocked(sh, shard, sc.khs[i], pe) {
 				lenBefore = sh.be.Len()
 				local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
+			}
+		}
+		if err != nil && errors.Is(err, ErrTableFull) && s.growOnFullLocked(sh, shard) {
+			// Auto-growth armed: a full structure starts a grow and the
+			// insert retries against the fresh arena.
+			lenBefore = sh.be.Len()
+			if s.hashed {
+				local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
+			} else {
+				local, err = sh.be.Insert(keys[i])
 			}
 		}
 		if err != nil {
@@ -919,6 +983,7 @@ func (s *Sharded) deleteShard(shard int, keys [][]byte, sc *batchScratch, ok []b
 	defer sh.mu.Unlock()
 	sh.beginWrite()
 	defer sh.endWrite()
+	defer s.growPumps(sh, shard, false)
 	if s.hashed {
 		for _, i := range sc.plan[shard] {
 			ok[i] = sh.hbe.DeleteHashed(keys[i], sc.khs[i])

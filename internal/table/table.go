@@ -178,8 +178,28 @@ type Config struct {
 // table is meaningfully larger.
 const MaxCapacity = 1 << 40
 
+// Validate reports an error for out-of-range parameters. Every
+// constructor path — table.New, NewSharded and the per-package direct
+// constructors (hashcam.BackendConfig, the baseline registry closures) —
+// routes through this single check, so an oversized capacity is always a
+// loud error rather than a silent clamp. withDefaults still clamps as a
+// belt-and-braces overflow guard for direct BucketsFor callers, but no
+// constructor reaches it with an invalid capacity.
+func (c Config) Validate() error {
+	if c.Capacity > MaxCapacity {
+		return fmt.Errorf("table: capacity %d exceeds maximum %d", c.Capacity, MaxCapacity)
+	}
+	if c.Capacity < 0 {
+		return fmt.Errorf("table: capacity %d is negative", c.Capacity)
+	}
+	if c.KeyLen < 0 {
+		return fmt.Errorf("table: key length %d is negative", c.KeyLen)
+	}
+	return nil
+}
+
 // withDefaults fills zero fields and clamps Capacity to MaxCapacity
-// (constructors reject out-of-range capacities with an error before
+// (constructors reject out-of-range capacities via Validate before
 // clamping can matter; the clamp keeps direct BucketsFor callers safe).
 func (c Config) withDefaults() Config {
 	if c.Capacity <= 0 {
@@ -253,8 +273,8 @@ func Register(name string, ctor Constructor) {
 // "convhashcam", "cuckoo", "dleft" and "singlehash"; Backends lists what
 // is actually registered.
 func New(name string, cfg Config) (Backend, error) {
-	if cfg.Capacity > MaxCapacity {
-		return nil, fmt.Errorf("table: capacity %d exceeds maximum %d", cfg.Capacity, MaxCapacity)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	registryMu.RLock()
 	ctor, ok := registry[name]

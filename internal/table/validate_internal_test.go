@@ -1,0 +1,59 @@
+package table
+
+import "testing"
+
+// TestWithDefaultsClampVsValidateError pins both halves of the oversized
+// capacity contract from inside the package: Validate (the path every
+// constructor routes through) rejects Capacity > MaxCapacity with an
+// error, while withDefaults still clamps — the belt-and-braces for code
+// that derives geometry (BucketsFor) from an unvalidated config.
+func TestWithDefaultsClampVsValidateError(t *testing.T) {
+	over := Config{Capacity: MaxCapacity + 1}
+	if err := over.Validate(); err == nil {
+		t.Fatal("Validate accepted Capacity > MaxCapacity")
+	}
+	if got := over.withDefaults().Capacity; got != MaxCapacity {
+		t.Fatalf("withDefaults clamped to %d, want MaxCapacity (%d)", got, int64(MaxCapacity))
+	}
+	if err := (Config{Capacity: -1}).Validate(); err == nil {
+		t.Fatal("Validate accepted a negative capacity")
+	}
+	if err := (Config{Capacity: 1024}).Validate(); err != nil {
+		t.Fatalf("Validate rejected an in-range config: %v", err)
+	}
+}
+
+// TestExpiryDefensiveBranches covers two straggler guards from inside
+// the package: a touch aimed at a slot ID retired by a post-migration
+// shrink must be dropped by the bounds check, and a shard expiry state
+// whose tables were never published reports a zero footprint.
+func TestExpiryDefensiveBranches(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(ExpiryConfig{IdleTimeout: 100, SweepBudget: 32}); err != nil {
+		t.Fatal(err)
+	}
+	s.expiry.touch(0, 1<<30, 1) // out of bounds: must be a silent no-op
+	var st shardExpiryState
+	if got := st.sideTableBytes(); got != 0 {
+		t.Fatalf("sideTableBytes = %d with no published tables, want 0", got)
+	}
+}
+
+// TestAdvanceWithoutExpiryPanics pins the misuse guard: driving the
+// lifecycle clock on a table that never enabled the layer is a
+// programming error, not a silent no-op.
+func TestAdvanceWithoutExpiryPanics(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{Capacity: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance before EnableExpiry did not panic")
+		}
+	}()
+	s.Advance(1)
+}
