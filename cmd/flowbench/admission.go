@@ -1,0 +1,301 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// This file is the admission-gating sweep: -scenario admission replays a
+// mice-heavy Zipf trace (half the packets are one-packet flows, half a
+// skewed elephant mix) through the same lookup-then-insert-misses ingest
+// loop as the adversarial sweep, once ungated and once per gate
+// threshold, over two skews. Each threshold within a skew sees a
+// byte-identical trace, so the occupancy and hit-rate columns isolate the
+// gate's effect: elephants in the table, mice in the sketch. Rows land in
+// the engine JSON format so -compare gates them against the committed
+// BENCH_engine_admission.json, and the sweep itself asserts the headline
+// claim — at threshold 2 the steady-state occupancy is at least 2x lower
+// than ungated with no multi-packet hit-rate loss.
+
+// admissionSeed keys every row's engine (and, derived through the sketch
+// domain constant, its counter placement) so the committed baseline is
+// reproducible; deployments use the random default instead.
+const admissionSeed = 0x20140b
+
+// admissionThresholds are the gate settings swept per skew; 0 is the
+// ungated control the others are judged against.
+var admissionThresholds = []int{0, 2, 4}
+
+// admissionSkews are the Zipf exponents of the elephant half of the
+// trace: a flatter and a steeper head over the same universe.
+var admissionSkews = []float64{1.1, 1.3}
+
+// admissionFPRProbes is the never-inserted probe count behind each row's
+// sketch false-positive gauge.
+const admissionFPRProbes = 20_000
+
+// admissionSweepConfig parameterises the admission sweep. Rows are
+// single-threaded: the sweep measures gate policy (occupancy, hit rate,
+// sketch precision), not lock scaling.
+type admissionSweepConfig struct {
+	backends   []string
+	shards     []int
+	ops        int // packets per row
+	capacity   int
+	batch      int
+	optimistic bool
+	jsonPath   string
+}
+
+// admissionRowResult carries one measured row plus the derived workload
+// figures the in-sweep acceptance check compares.
+type admissionRowResult struct {
+	engineJSONResult
+	wall time.Duration
+}
+
+// runAdmissionRow replays the trace for one threshold. The trace is
+// regenerated deterministically from (skew, admissionSeed), so every
+// threshold row within a skew ingests identical packets: p-even packets
+// are fresh mice (a strictly increasing index — each flow appears exactly
+// once), p-odd packets sample the Zipf elephant universe. Every packet is
+// looked up, misses are inserted (ErrAdmissionDeferred is the gate
+// working, not a failure), and the lifecycle clock advances once per
+// batch so idle mice age out of the table — and, on a cadence ~8x the
+// idle window, out of the sketch, long enough that returning elephants
+// never re-earn the threshold.
+func runAdmissionRow(backend string, shards, threshold int, skew float64, cfg admissionSweepConfig) (admissionRowResult, error) {
+	packets := int64(cfg.ops)
+	universe := max(cfg.capacity/4, 16)
+	idle := int64(cfg.capacity) // packets; the clock below advances one per packet
+	ecfg := flowproc.EngineConfig{
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		HashSeed:               admissionSeed,
+		DisableOptimisticReads: !cfg.optimistic,
+		Expiry:                 flowproc.ExpiryConfig{IdleTimeout: idle, SweepBudget: 1 << 12},
+	}
+	if threshold > 0 {
+		ecfg.Admission = flowproc.AdmissionConfig{
+			Threshold: threshold,
+			// Generous width: counter-collision admits are measured by the
+			// FPR gauge, not hidden in the occupancy column.
+			Width: max(4*cfg.capacity, 1<<16),
+			// Sketch memory must comfortably outlast the table's idle
+			// window: resident flows never touch the sketch, so a decay
+			// period shorter than ~8 idle windows makes returning elephants
+			// re-earn the threshold and shed hits.
+			DecayEpochs: max(1, 8*cfg.capacity/cfg.batch),
+		}
+	}
+	eng, err := flowproc.NewEngine(ecfg)
+	if err != nil {
+		return admissionRowResult{}, err
+	}
+	zipf, err := trafficgen.NewZipfTrace(trafficgen.ZipfConfig{
+		Universe: uint64(universe), Skew: skew, HeadOffset: 1, Seed: admissionSeed,
+	})
+	if err != nil {
+		return admissionRowResult{}, err
+	}
+	// Mice live at a disjoint index range above the elephant universe;
+	// trafficgen.Flow is a bijection over the full 64-bit index.
+	const miceBase = uint64(1) << 32
+	var mouseSeq uint64
+	occ := make(map[uint64]int32, universe+cfg.ops/2)
+	batch := make([]flowproc.FiveTuple, cfg.batch)
+	idx := make([]uint64, cfg.batch)
+	ids := make([]uint64, cfg.batch)
+	hit := make([]bool, cfg.batch)
+	miss := make([]flowproc.FiveTuple, cfg.batch)
+	mids := make([]uint64, cfg.batch)
+	merrs := make([]error, cfg.batch)
+	var gatedSeen, failed, multiTotal, multiHits int64
+	var occSum, occSamples int64
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for p := int64(0); p < packets; p += int64(cfg.batch) {
+		n := cfg.batch
+		if rem := packets - p; rem < int64(n) {
+			n = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			if (p+int64(i))%2 == 0 {
+				idx[i] = miceBase + mouseSeq
+				mouseSeq++
+			} else {
+				idx[i] = zipf.SampleIndex()
+			}
+			batch[i] = trafficgen.Flow(idx[i])
+		}
+		eng.LookupBatchInto(batch[:n], ids[:n], hit[:n])
+		m := 0
+		for i := 0; i < n; i++ {
+			occ[idx[i]]++
+			if occ[idx[i]] >= 3 {
+				multiTotal++
+				if hit[i] {
+					multiHits++
+				}
+			}
+			if !hit[i] {
+				miss[m] = batch[i]
+				m++
+			}
+		}
+		if m > 0 {
+			eng.InsertBatchInto(miss[:m], mids[:m], merrs[:m])
+			for _, e := range merrs[:m] {
+				switch {
+				case e == nil:
+				case errors.Is(e, flowproc.ErrAdmissionDeferred):
+					gatedSeen++
+				case errors.Is(e, table.ErrTableFull):
+					failed++
+				default:
+					return admissionRowResult{}, e
+				}
+			}
+		}
+		eng.Advance(p + int64(n))
+		if p >= packets/2 {
+			occSum += int64(eng.Len())
+			occSamples++
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	st := eng.AdmissionStats()
+	if st.Gated != gatedSeen {
+		return admissionRowResult{}, fmt.Errorf("admission row t=%d: stats count %d gated inserts, ingest saw %d",
+			threshold, st.Gated, gatedSeen)
+	}
+	var single int64
+	for _, c := range occ {
+		if c == 1 {
+			single++
+		}
+	}
+	rs := eng.ReadStats()
+	os := eng.OverloadStats()
+	res := admissionRowResult{wall: wall}
+	res.engineJSONResult = engineJSONResult{
+		Backend:            backend,
+		Shards:             shards,
+		Workers:            1,
+		Batch:              cfg.batch,
+		Mix:                fmt.Sprintf("adm:t%d:skew%.1f", threshold, skew),
+		Cpus:               runtime.GOMAXPROCS(0),
+		Optimistic:         rs.Optimistic,
+		ReadRetries:        rs.Retries,
+		ReadFallbacks:      rs.Fallbacks,
+		TotalOps:           packets,
+		WallNS:             wall.Nanoseconds(),
+		NSPerOp:            float64(wall.Nanoseconds()) / float64(packets),
+		MopsPerSec:         float64(packets) / wall.Seconds() / 1e6,
+		AllocsPerOp:        float64(msAfter.Mallocs-msBefore.Mallocs) / float64(packets),
+		BytesPerOp:         float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(packets),
+		Resident:           eng.Len(),
+		BytesPerSlot:       eng.BytesPerSlot(),
+		FailedInserts:      failed,
+		PressureEvictions:  os.PressureEvictions,
+		AdmissionThreshold: threshold,
+		AdmissionGated:     st.Gated,
+		AdmissionAdmitted:  st.Admitted,
+		SketchBytes:        st.SketchBytes,
+		SketchFPR:          eng.AdmissionFPR(admissionFPRProbes, admissionSeed),
+		OccupancyMean:      float64(occSum) / float64(max(occSamples, 1)),
+		MultiHitRate:       float64(multiHits) / float64(max(multiTotal, 1)),
+		SinglePacketFrac:   float64(single) / float64(max(int64(len(occ)), 1)),
+	}
+	return res, nil
+}
+
+// checkAdmissionClaim asserts the sweep's headline acceptance criterion
+// on one backend/shards/skew group: the trace is mice-dominated (>= 60%
+// one-packet flows), the threshold-2 row holds steady-state occupancy at
+// least 2x below the ungated control, and its multi-packet hit rate gives
+// up no more than a point of noise.
+func checkAdmissionClaim(rows map[int]admissionRowResult, backend string, shards int, skew float64) error {
+	ctl, okCtl := rows[0]
+	gated, okGated := rows[2]
+	if !okCtl || !okGated {
+		return nil // sweep variant without both rows; nothing to judge
+	}
+	label := fmt.Sprintf("%s/%d skew %.1f", backend, shards, skew)
+	if ctl.SinglePacketFrac < 0.6 {
+		return fmt.Errorf("%s: trace is only %.0f%% one-packet flows, want >= 60%% for the mice claim",
+			label, 100*ctl.SinglePacketFrac)
+	}
+	if gated.OccupancyMean*2 > ctl.OccupancyMean {
+		return fmt.Errorf("%s: gated occupancy %.0f not 2x below ungated %.0f",
+			label, gated.OccupancyMean, ctl.OccupancyMean)
+	}
+	if gated.MultiHitRate < ctl.MultiHitRate-0.01 {
+		return fmt.Errorf("%s: gated multi-packet hit rate %.4f lost more than a point vs ungated %.4f",
+			label, gated.MultiHitRate, ctl.MultiHitRate)
+	}
+	return nil
+}
+
+// admissionSweep runs threshold x skew rows per backend/shard
+// configuration, asserts the occupancy/hit-rate claim per group, and
+// writes the shared JSON format for -compare gating.
+func admissionSweep(cfg admissionSweepConfig) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Admission sweep — %d packets/row, batch %d (GOMAXPROCS=%d)",
+			cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Mix", "ns/pkt", "Occupancy", "Multi-pkt hit", "Gated", "Admitted", "Sketch FPR", "Sketch KiB", "Failed inserts", "Wall time")
+	var jsonResults []engineJSONResult
+	for _, backend := range cfg.backends {
+		for _, shards := range cfg.shards {
+			for _, skew := range admissionSkews {
+				group := make(map[int]admissionRowResult, len(admissionThresholds))
+				for _, threshold := range admissionThresholds {
+					res, err := runAdmissionRow(backend, shards, threshold, skew, cfg)
+					if err != nil {
+						return fmt.Errorf("admission %s/%d skew %.1f: %w", backend, shards, skew, err)
+					}
+					group[threshold] = res
+					t.AddRow(backend, fmt.Sprintf("%d", shards), res.Mix,
+						fmt.Sprintf("%.1f", res.NSPerOp),
+						fmt.Sprintf("%.0f", res.OccupancyMean),
+						fmt.Sprintf("%.4f", res.MultiHitRate),
+						fmt.Sprintf("%d", res.AdmissionGated),
+						fmt.Sprintf("%d", res.AdmissionAdmitted),
+						fmt.Sprintf("%.4f", res.SketchFPR),
+						fmt.Sprintf("%d", res.SketchBytes/1024),
+						fmt.Sprintf("%d", res.FailedInserts),
+						res.wall.Round(time.Millisecond).String())
+					jsonResults = append(jsonResults, res.engineJSONResult)
+				}
+				if err := checkAdmissionClaim(group, backend, shards, skew); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		rep := engineJSONReport{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			OpsPerWkr:  cfg.ops,
+			Results:    jsonResults,
+		}
+		if err := writeJSONReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}

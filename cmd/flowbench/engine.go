@@ -98,6 +98,28 @@ type engineJSONResult struct {
 	// phase, so the before/after rows record the resize itself and not just
 	// its cost.
 	Capacity int64 `json:"capacity,omitempty"`
+	// AdmissionThreshold / AdmissionGated / AdmissionAdmitted /
+	// SketchBytes / SketchFPR are the admission-sweep columns: the gate
+	// setting (0 on the ungated control row), the deferred and admitted
+	// insert counts, the sketch footprint, and the fraction of
+	// never-inserted probes the sketch would admit on first sight through
+	// counter collisions. Zero (and omitted) outside -scenario admission.
+	AdmissionThreshold int     `json:"admission_threshold,omitempty"`
+	AdmissionGated     int64   `json:"admission_gated,omitempty"`
+	AdmissionAdmitted  int64   `json:"admission_admitted,omitempty"`
+	SketchBytes        int64   `json:"sketch_bytes,omitempty"`
+	SketchFPR          float64 `json:"sketch_fpr,omitempty"`
+	// OccupancyMean is the mean resident-flow count sampled per batch over
+	// the second half of an admission row — the steady-state table
+	// pressure the gate is supposed to relieve.
+	OccupancyMean float64 `json:"occupancy_mean,omitempty"`
+	// MultiHitRate is the lookup hit rate restricted to third-and-later
+	// occurrences of a flow on admission rows: the elephants the gate must
+	// not cost anything.
+	MultiHitRate float64 `json:"multi_hit_rate,omitempty"`
+	// SinglePacketFrac is the fraction of the row's distinct flows seen
+	// exactly once — the mice share of the trace the claim depends on.
+	SinglePacketFrac float64 `json:"single_packet_frac,omitempty"`
 }
 
 // engineJSONReport is the top-level structure of the -json output.

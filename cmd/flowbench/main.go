@@ -28,6 +28,10 @@
 // lookup-then-insert-misses ingest loop, with hit rate, failed inserts
 // and pressure evictions recorded per row. The rows land in the same JSON
 // format, so -compare gates them against BENCH_engine_attack.json.
+// -scenario admission instead sweeps the sketch-gated admission
+// thresholds (0/2/4) against two Zipf skews over a mice-heavy trace,
+// recording steady-state occupancy, multi-packet hit rate, gate counters
+// and sketch FPR per row, gated against BENCH_engine_admission.json.
 //
 // -grow switches the engine mode to the elastic-capacity ramp: populate
 // to ~70% of capacity, measure steady-state lookups, double the
@@ -116,7 +120,7 @@ func main() {
 	mutexProfile := flag.String("mutexprofile", "", "engine mode: write a mutex-contention profile of the sweep to this file")
 	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
 	grow := flag.Bool("grow", false, "engine mode: elastic-capacity ramp (population doubles mid-run; auto-grow resizes shards in place; rows for before/during/after migration)")
-	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix")
+	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix; \"admission\" runs the admission-gate threshold x skew sweep")
 	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
 	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
 	active := flag.Int64("active", 0, "expiry mode: active timeout in packets (0 = disabled)")
@@ -201,7 +205,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flowbench: -scenario, -expiry and -grow are separate workloads; pick one (and -writers only applies to the default mix)\n")
 			os.Exit(1)
 		}
-		if *scenario != "" {
+		if *scenario == "admission" {
+			// The admission sweep is its own workload, not one of the
+			// adversarial scenarios: it sweeps gate thresholds x skews
+			// rather than attack traces, so it dispatches before the
+			// scenario-list parser.
+			err = admissionSweep(admissionSweepConfig{
+				backends:   backendList,
+				shards:     shardList,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				optimistic: *optimistic,
+				jsonPath:   *jsonOut,
+			})
+		} else if *scenario != "" {
 			scenarioList, serr := parseScenarios(*scenario)
 			if serr != nil {
 				fmt.Fprintf(os.Stderr, "flowbench: %v\n", serr)

@@ -1,0 +1,101 @@
+package flowproc
+
+import (
+	"fmt"
+
+	"repro/internal/admit"
+	"repro/internal/table"
+)
+
+// This file is the engine-level surface of the admission-gating
+// subsystem: a counting sketch in front of insert so a flow only earns
+// an exact table slot at its k-th packet, while the one-packet-flow tail
+// of Zipf traffic lives in a few sketch bytes instead of real slots. The
+// table-layer mechanics (per-shard sketch segments under the write
+// locks, the Advance-driven decay) live in internal/table and
+// internal/admit; see docs/ARCHITECTURE.md "Admission gating".
+
+// AdmissionConfig enables the engine's admission gate. The zero value
+// leaves it disabled.
+type AdmissionConfig struct {
+	// Threshold is the packet count at which a flow earns a slot: its
+	// Threshold-th insert attempt is admitted, earlier ones return
+	// ErrAdmissionDeferred. Must be in [1, 255] when set; 0 disables
+	// admission entirely.
+	Threshold int
+	// Width is the total sketch counters per row across all shards
+	// (divided per shard like Capacity, rounded up to a power of two
+	// per shard). 0 defaults to one counter per nominal table slot.
+	Width int
+	// Depth is the sketch row count (default 4).
+	Depth int
+	// DecayEpochs halves every sketch counter after this many
+	// clock-moving Advance epochs, aging mice out of the sketch the way
+	// the expiry sweep ages them out of the table. 0 never decays; a
+	// non-zero value requires Expiry (the Advance clock drives the
+	// cadence).
+	DecayEpochs int
+}
+
+// enabled reports whether the configuration asks for the admission gate.
+func (c AdmissionConfig) enabled() bool { return c.Threshold != 0 }
+
+// ErrAdmissionDeferred re-exports the table layer's admission-gate
+// sentinel: the insert was deferred because the flow's sketch estimate
+// is still below the threshold. Not a failure of the table (the flow
+// simply has not yet earned a slot) and never counted in OverloadStats.
+var ErrAdmissionDeferred = table.ErrAdmissionDeferred
+
+// AdmissionStats re-exports the table layer's admission-gate counters.
+type AdmissionStats = table.AdmissionStats
+
+// AdmissionEnabled reports whether the admission gate is active.
+func (e *Engine) AdmissionEnabled() bool { return e.sharded.AdmissionEnabled() }
+
+// AdmissionStats returns a snapshot of the admission gate's counters
+// (deferred inserts, admitted flows, sketch footprint); the zero value
+// when admission is disabled. A dual-stack engine sums both family
+// tables.
+func (e *Engine) AdmissionStats() AdmissionStats {
+	st := e.sharded.AdmissionStats()
+	if e.v6 != nil {
+		st6 := e.v6.AdmissionStats()
+		st.Gated += st6.Gated
+		st.Admitted += st6.Admitted
+		st.SketchBytes += st6.SketchBytes
+	}
+	return st
+}
+
+// AdmissionFPR measures the admission sketch's false-positive rate at
+// the configured threshold over `probes` never-inserted random IPv4-key
+// probes generated from seed: the fraction of fresh flows the sketch
+// would admit on first sight purely through counter collisions — the
+// gate's precision gauge, reported by the flowbench admission sweep.
+// Returns 0 when admission is disabled. A dual-stack engine measures the
+// IPv4 table (the IPv6 twin shares configuration and differs only in key
+// length).
+func (e *Engine) AdmissionFPR(probes int, seed uint64) float64 {
+	return e.sharded.AdmissionFPR(e.spec.KeyLen(true), probes, seed)
+}
+
+// enableAdmission wires cfg into every sharded table at construction.
+// The sketch index seed derives from the engine's hash seed through its
+// own domain constant, so the keyed engine's counter placement is as
+// unpredictable as its bucket placement (and a FixedHash engine keeps
+// the unkeyed reference derivation).
+func (e *Engine) enableAdmission(cfg AdmissionConfig) error {
+	for _, s := range e.tables() {
+		err := s.SetAdmission(table.AdmissionConfig{
+			Threshold:   cfg.Threshold,
+			Width:       cfg.Width,
+			Depth:       cfg.Depth,
+			DecayEpochs: cfg.DecayEpochs,
+			Seed:        admit.DeriveSeed(e.seed),
+		})
+		if err != nil {
+			return fmt.Errorf("flowproc: engine admission: %w", err)
+		}
+	}
+	return nil
+}

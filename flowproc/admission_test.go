@@ -1,0 +1,389 @@
+package flowproc_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/table"
+)
+
+// gatedEngine builds an engine with the admission gate armed over an
+// expiry clock (decay needs one).
+func gatedEngine(t testing.TB, cfg flowproc.EngineConfig) *flowproc.Engine {
+	t.Helper()
+	e, err := flowproc.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineAdmissionConfigValidation pins the constructor contract: a
+// decay cadence without the Advance clock it rides on is rejected, as is
+// a threshold beyond the sketch's counter ceiling; the zero Admission
+// value leaves the gate off.
+func TestEngineAdmissionConfigValidation(t *testing.T) {
+	if _, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Admission: flowproc.AdmissionConfig{Threshold: 2, DecayEpochs: 4},
+	}); err == nil {
+		t.Fatal("Admission.DecayEpochs without Expiry accepted")
+	}
+	if _, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Admission: flowproc.AdmissionConfig{Threshold: 300},
+	}); err == nil {
+		t.Fatal("threshold beyond the counter ceiling accepted")
+	}
+	e := gatedEngine(t, flowproc.EngineConfig{Backend: "hashcam", Shards: 2, Capacity: 1 << 10})
+	if e.AdmissionEnabled() {
+		t.Fatal("zero Admission config armed the gate")
+	}
+	if fpr := e.AdmissionFPR(100, 1); fpr != 0 {
+		t.Fatalf("disabled AdmissionFPR = %v, want 0", fpr)
+	}
+}
+
+// TestEngineAdmissionGateEndToEnd drives the k=2 gate through the engine
+// surface: first packets deferred with the re-exported sentinel, second
+// packets admitted, resident flows touched without accounting, and the
+// stats/FPR gauges live. A dual-stack engine gates both families and
+// sums their counters.
+func TestEngineAdmissionGateEndToEnd(t *testing.T) {
+	e := gatedEngine(t, flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 4, Capacity: 1 << 12, DualStack: true,
+		HashSeed:  0x2014,
+		Admission: flowproc.AdmissionConfig{Threshold: 2, Width: 1 << 16},
+	})
+	if !e.AdmissionEnabled() {
+		t.Fatal("gate not armed")
+	}
+	const flows = 256
+	for i := uint32(0); i < flows; i++ {
+		if _, err := e.Insert(tuple(i)); !errors.Is(err, flowproc.ErrAdmissionDeferred) {
+			t.Fatalf("v4 flow %d first packet: %v, want deferred", i, err)
+		}
+		if _, err := e.Insert(tuple6(i)); !errors.Is(err, flowproc.ErrAdmissionDeferred) {
+			t.Fatalf("v6 flow %d first packet: %v, want deferred", i, err)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len %d after deferred-only traffic", e.Len())
+	}
+	for i := uint32(0); i < flows; i++ {
+		if _, err := e.Insert(tuple(i)); err != nil {
+			t.Fatalf("v4 flow %d second packet: %v", i, err)
+		}
+		if _, err := e.Insert(tuple6(i)); err != nil {
+			t.Fatalf("v6 flow %d second packet: %v", i, err)
+		}
+	}
+	if e.Len() != 2*flows {
+		t.Fatalf("Len %d, want %d", e.Len(), 2*flows)
+	}
+	st := e.AdmissionStats()
+	if st.Gated != 2*flows || st.Admitted != 2*flows {
+		t.Fatalf("stats %+v, want Gated/Admitted %d across both families", st, 2*flows)
+	}
+	if st.SketchBytes <= 0 {
+		t.Fatalf("SketchBytes %d", st.SketchBytes)
+	}
+	// Resident touch: batch reinsert moves nothing.
+	fts := make([]flowproc.FiveTuple, flows)
+	for i := range fts {
+		fts[i] = tuple(uint32(i))
+	}
+	if _, err := e.InsertBatch(fts); err != nil {
+		t.Fatalf("resident batch reinsert: %v", err)
+	}
+	if got := e.AdmissionStats(); got != st {
+		t.Fatalf("resident touches moved stats %+v -> %+v", st, got)
+	}
+	// The generously sized sketch holds a few hundred flows: first-sight
+	// false admits must be rare.
+	if fpr := e.AdmissionFPR(2000, 99); fpr > 0.01 {
+		t.Fatalf("AdmissionFPR %v with an oversized sketch, want <= 0.01", fpr)
+	}
+}
+
+// TestEngineAdmissionRaceStressConservation is the race-detector
+// certificate for the gated writer path and the flow-conservation audit
+// in one: concurrent gated inserts, batched lookups, Advance-driven
+// sweeps and sketch decay, FullEvictIdlest pressure evictions and a
+// mid-run online Grow all interleave; at quiescence every deferred
+// insert observed by a worker must be accounted in Gated, and every
+// admitted flow must be exactly one of resident, expired/pressure
+// evicted, migration-dropped, or rejected full:
+//
+//	Admitted - RejectedInserts == Len + Evicted + DroppedSlots
+func TestEngineAdmissionRaceStressConservation(t *testing.T) {
+	e := gatedEngine(t, flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 4, Capacity: 1 << 12,
+		HashSeed:  0x20140c,
+		Expiry:    flowproc.ExpiryConfig{IdleTimeout: 64, SweepBudget: 512},
+		OnFull:    flowproc.FullEvictIdlest,
+		Admission: flowproc.AdmissionConfig{Threshold: 2, DecayEpochs: 8},
+	})
+	var (
+		deferredSeen atomic.Int64
+		stop         = make(chan struct{})
+		wg           sync.WaitGroup
+	)
+	// Writers: each hammers an overlapping window of a shared flow space,
+	// so the same flow is gated/admitted from several goroutines.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const span = 512
+			fts := make([]flowproc.FiveTuple, span)
+			ids := make([]uint64, span)
+			errs := make([]error, span)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				base := uint32(rng.Intn(8)) * 256 // overlapping windows
+				for i := range fts {
+					fts[i] = tuple(base + uint32(i))
+				}
+				e.InsertBatchInto(fts, ids, errs)
+				for i, err := range errs {
+					switch {
+					case err == nil:
+					case errors.Is(err, flowproc.ErrAdmissionDeferred):
+						deferredSeen.Add(1)
+					case errors.Is(err, table.ErrTableFull):
+					default:
+						t.Errorf("writer %d key %d: unexpected %v", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: batched and scalar lookups race the gated writers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			const span = 256
+			fts := make([]flowproc.FiveTuple, span)
+			for i := range fts {
+				fts[i] = tuple(uint32(r*128 + i))
+			}
+			ids := make([]uint64, span)
+			hits := make([]bool, span)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.LookupBatchInto(fts, ids, hits)
+				e.Lookup(fts[i%span])
+				e.Len()
+				e.AdmissionStats()
+			}
+		}(r)
+	}
+	// Clock: Advance drives sweeps, sketch decay and migration pumping.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for now := int64(1); ; now++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Advance(now)
+		}
+	}()
+	// Mid-run online resize under full load, then a clock jump that mass
+	// idle-expires the resident population while writers keep going.
+	time.Sleep(30 * time.Millisecond)
+	if err := e.Grow(2); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	e.Advance(1 << 30)
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := e.AdmissionStats()
+	if st.Gated != deferredSeen.Load() {
+		t.Fatalf("Gated %d but workers observed %d deferred inserts", st.Gated, deferredSeen.Load())
+	}
+	got := st.Admitted - e.OverloadStats().RejectedInserts
+	want := int64(e.Len()) + e.ExpiryStats().Evicted + e.GrowStats().DroppedSlots
+	if got != want {
+		t.Fatalf("conservation broken: Admitted-Rejected %d != Len+Evicted+Dropped %d\nadmission %+v\noverload %+v\nexpiry %+v\ngrow %+v",
+			got, want, st, e.OverloadStats(), e.ExpiryStats(), e.GrowStats())
+	}
+	if st.Gated == 0 || st.Admitted == 0 {
+		t.Fatalf("stress too tame: %+v", st)
+	}
+}
+
+// TestEngineAdmissionInsertBatchIntoZeroAllocs extends the writer
+// zero-alloc pin to the gated path: with admission armed, both steady
+// states — resident touches (gate bypassed via the residency probe) and
+// a gated mice flood (sketch touch + sentinel error per key) — must
+// allocate nothing per call.
+func TestEngineAdmissionInsertBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are not meaningful under the race detector")
+	}
+	e := gatedEngine(t, flowproc.EngineConfig{
+		Backend: "hashcam", Shards: 4, Capacity: 1 << 14,
+		Admission: flowproc.AdmissionConfig{Threshold: 2, Width: 1 << 16},
+	})
+	resident := make([]flowproc.FiveTuple, 256)
+	for i := range resident {
+		resident[i] = tuple(uint32(i))
+	}
+	ids := make([]uint64, len(resident))
+	errs := make([]error, len(resident))
+	e.InsertBatchInto(resident, ids, errs) // round 1: all gated
+	e.InsertBatchInto(resident, ids, errs) // round 2: all admitted
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("flow %d not admitted at threshold: %v", i, err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() { e.InsertBatchInto(resident, ids, errs) }); n != 0 {
+		t.Fatalf("resident-touch InsertBatchInto allocates %.2f per batch with admission on, want 0", n)
+	}
+	// A below-threshold flood: every key defers through the sentinel.
+	// Deferred flows never become resident, so the rounds stay on the
+	// gated path forever — no allocations there either. (tuple() encodes
+	// the low 24 bits of its argument, so the mice bases stay below 1<<24
+	// to remain disjoint from the resident range.)
+	mice := make([]flowproc.FiveTuple, 256)
+	fresh := func(base uint32) {
+		for i := range mice {
+			mice[i] = tuple(1<<22 + base + uint32(i))
+		}
+	}
+	fresh(0)
+	e.InsertBatchInto(mice, ids, errs) // warm
+	if n := testing.AllocsPerRun(50, func() { e.InsertBatchInto(mice, ids, errs) }); n != 0 {
+		t.Fatalf("gated InsertBatchInto allocates %.2f per batch, want 0", n)
+	}
+	fresh(1 << 20) // first-sight keys, so every error is the gate's
+	e.InsertBatchInto(mice, ids, errs)
+	for i, err := range errs {
+		if !errors.Is(err, flowproc.ErrAdmissionDeferred) {
+			t.Fatalf("fresh mouse %d: %v, want deferred", i, err)
+		}
+	}
+}
+
+// TestEngineAdmissionZipfAcceptance is the PR's acceptance criterion: on
+// a trace where well over 60% of distinct flows are single-packet mice,
+// the k=2 gated engine must hold steady-state occupancy at least 2×
+// below the ungated twin at equal capacity, without losing hit rate on
+// the multi-packet (3rd-and-later-occurrence) traffic.
+func TestEngineAdmissionZipfAcceptance(t *testing.T) {
+	const (
+		packets  = 100_000
+		capacity = 4096
+		universe = 1024 // elephant flow population
+		advEvery = 256
+		idle     = 4096
+		warmup   = packets / 2
+		// tuple() encodes the low 24 bits of its argument; the mouse ID
+		// range must stay below 1<<24 and disjoint from the elephants.
+		miceBase = 1 << 20
+	)
+	run := func(threshold int) (meanOcc float64, multiHit float64, e *flowproc.Engine) {
+		cfg := flowproc.EngineConfig{
+			Backend: "hashcam", Shards: 4, Capacity: capacity,
+			HashSeed: 0x2014,
+			Expiry:   flowproc.ExpiryConfig{IdleTimeout: idle, SweepBudget: 1 << 12},
+		}
+		if threshold > 0 {
+			// The sketch's memory (decay cadence x advEvery packets) must
+			// comfortably outlast the table's idle window: a resident flow
+			// never touches the sketch, so its earned credit only decays —
+			// if it reaches zero within an idle window, a returning
+			// elephant re-earns the threshold and loses hits the ungated
+			// twin keeps. Eight idle windows keeps that loss negligible
+			// while still halving the mice residue three times per trace.
+			cfg.Admission = flowproc.AdmissionConfig{Threshold: threshold, Width: 1 << 16, DecayEpochs: 128}
+		}
+		e = gatedEngine(t, cfg)
+		rng := rand.New(rand.NewSource(2014))
+		zipf := rand.NewZipf(rng, 1.3, 1, universe-1)
+		seen := make(map[uint32]int)
+		mouseID, occSamples, occSum := uint32(0), 0, 0
+		counted, hit := 0, 0
+		for p := 0; p < packets; p++ {
+			var id uint32
+			if p%2 == 0 { // mice: fresh single-packet flow
+				id = miceBase + mouseID
+				mouseID++
+			} else { // elephants: Zipf-recurring flow
+				id = uint32(zipf.Uint64())
+			}
+			seen[id]++
+			ft := tuple(id)
+			if _, ok := e.Lookup(ft); ok {
+				if seen[id] >= 3 {
+					counted, hit = counted+1, hit+1
+				}
+			} else {
+				if seen[id] >= 3 {
+					counted++
+				}
+				if _, err := e.Insert(ft); err != nil &&
+					!errors.Is(err, flowproc.ErrAdmissionDeferred) &&
+					!errors.Is(err, table.ErrTableFull) {
+					t.Fatalf("packet %d: %v", p, err)
+				}
+			}
+			if p%advEvery == advEvery-1 {
+				e.Advance(int64(p))
+				if p >= warmup {
+					occSum += e.Len()
+					occSamples++
+				}
+			}
+		}
+		// The trace's flow population is dominated by single-packet mice —
+		// the regime the gate exists for.
+		single := 0
+		for _, n := range seen {
+			if n == 1 {
+				single++
+			}
+		}
+		if frac := float64(single) / float64(len(seen)); frac < 0.6 {
+			t.Fatalf("trace too elephantine: %.2f single-packet flows, need >= 0.6", frac)
+		}
+		return float64(occSum) / float64(occSamples), float64(hit) / float64(counted), e
+	}
+
+	ungatedOcc, ungatedHit, _ := run(0)
+	gatedOcc, gatedHit, ge := run(2)
+	t.Logf("occupancy ungated %.0f gated %.0f (%.1fx); multi-packet hit rate ungated %.4f gated %.4f; admission %+v; fpr %.4f",
+		ungatedOcc, gatedOcc, ungatedOcc/gatedOcc, ungatedHit, gatedHit, ge.AdmissionStats(), ge.AdmissionFPR(2000, 7))
+	if gatedOcc*2 > ungatedOcc {
+		t.Fatalf("gated occupancy %.0f not 2x below ungated %.0f", gatedOcc, ungatedOcc)
+	}
+	if gatedHit < ungatedHit-0.01 {
+		t.Fatalf("gate cost multi-packet hit rate: gated %.4f vs ungated %.4f", gatedHit, ungatedHit)
+	}
+	st := ge.AdmissionStats()
+	if st.Gated == 0 || st.Admitted == 0 {
+		t.Fatalf("gate idle over the trace: %+v", st)
+	}
+}

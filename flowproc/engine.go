@@ -126,6 +126,15 @@ type EngineConfig struct {
 	// timestamps define "idlest". See docs/ARCHITECTURE.md "Threat model
 	// & degradation".
 	OnFull table.FullPolicy
+	// Admission configures the sketch-gated admission filter: a non-zero
+	// Threshold defers every insert of a new flow with
+	// ErrAdmissionDeferred until the flow's counting-sketch estimate —
+	// bumped once per insert attempt — reaches the threshold, so heavy
+	// hitters get exact slots while the one-packet-flow tail stays in
+	// the sketch's few bytes per counter. Gated flows are invisible to
+	// Len, the load factor and auto-grow. DecayEpochs requires Expiry.
+	// See docs/ARCHITECTURE.md "Admission gating".
+	Admission AdmissionConfig
 	// Growth configures elastic capacity: a non-zero MaxLoadFactor arms
 	// per-shard auto-grow when real occupancy (against Capacity(), the
 	// post-rounding slot count) crosses the threshold, with migration
@@ -153,6 +162,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	if cfg.OnFull == table.FullEvictIdlest && !cfg.Expiry.enabled() {
 		return nil, errors.New("flowproc: OnFull=FullEvictIdlest requires Expiry (its timestamps define the idlest slot)")
+	}
+	if cfg.Admission.enabled() && cfg.Admission.DecayEpochs > 0 && !cfg.Expiry.enabled() {
+		return nil, errors.New("flowproc: Admission.DecayEpochs requires Expiry (the Advance clock drives sketch decay)")
 	}
 	seed := uint64(0)
 	if !cfg.FixedHash {
@@ -193,6 +205,13 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.scratch.New = func() any { return new(engineScratch) }
 	if cfg.Expiry.enabled() {
 		if err := e.enableExpiry(cfg.Expiry); err != nil {
+			return nil, err
+		}
+	}
+	// After expiry: SetAdmission validates DecayEpochs against the
+	// already-armed lifecycle layer.
+	if cfg.Admission.enabled() {
+		if err := e.enableAdmission(cfg.Admission); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,233 @@
+// Package admit implements the counting-sketch admission filter that
+// gates table inserts: a conservative-update count-min sketch indexed by
+// Kirsch–Mitzenmacher double hashing over the two 64-bit words a key's
+// single hash pass already produced (hashfn.KeyHashes.H1/H2), so the
+// gate costs zero extra hash passes on the hot path. A flow's packets
+// bump its sketch counters until the estimate reaches the admission
+// threshold — its k-th packet — at which point the flow earns an exact
+// table slot; the one-packet-flow tail of Zipf traffic lives and dies
+// inside the sketch's few bytes per counter instead of polluting slots.
+//
+// Counters are 8-bit and saturate at 255; the conservative update rule
+// (only counters equal to the row minimum increment) keeps estimates as
+// tight as count-min permits while preserving the no-undercount
+// guarantee. Decay halves every counter in place — floor-halving
+// commutes with the row minimum, so an estimate after one decay is
+// exactly the pre-decay estimate >> 1 — which ages mice out of the
+// sketch at the cadence the caller chooses (table.Sharded drives it from
+// the Advance clock).
+//
+// A non-zero Seed re-keys the index derivation through the SplitMix64
+// finalizer, so the sketch's counter placement is as unpredictable to
+// senders as the keyed table buckets: the offline collision miner that
+// defeats the unkeyed CRC pair cannot aim traffic at one counter set and
+// saturate the gate.
+package admit
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+)
+
+// MaxDepth bounds the row count: beyond 8 rows of 8-bit counters the
+// estimate-tightening returns vanish while every Touch walks more lines.
+const MaxDepth = 8
+
+// DefaultDepth is the row count used when Config.Depth is 0; four rows
+// put the per-row false-positive rate at the threshold to the fourth
+// power, the classic count-min operating point.
+const DefaultDepth = 4
+
+// maxCount is the 8-bit counter ceiling; estimates saturate here and a
+// saturated counter never increments (nor decrements on decay below —
+// halving does shrink it, which is exactly the aging the decay exists
+// for).
+const maxCount = 255
+
+// Seed-derivation domain constants (SplitMix64 increments, following the
+// hashfn convention): the two row-base streams must be independent of
+// each other and of every other consumer of the engine seed, so each
+// XORs its own domain before finalisation.
+const (
+	seedDomainBase   = 0x9e3779b97f4a7c15
+	seedDomainStride = 0xc2b2ae3d27d4eb4f
+	seedDomainSketch = 0x165667b19e3779f9
+)
+
+// DeriveSeed maps an engine-level hash seed to the sketch's index seed
+// through its own domain constant, so the sketch keys its counter
+// placement off the same secret as the table buckets without ever
+// reusing the raw seed words. A zero seed stays zero (the unkeyed
+// reference derivation).
+func DeriveSeed(engineSeed uint64) uint64 {
+	if engineSeed == 0 {
+		return 0
+	}
+	return hashfn.Finalize64(engineSeed ^ seedDomainSketch)
+}
+
+// Config parameterises a Sketch.
+type Config struct {
+	// Width is the number of counters per row; it is rounded up to a
+	// power of two so index reduction is a mask. Must be >= 1.
+	Width int
+	// Depth is the number of rows (1..MaxDepth, default DefaultDepth).
+	Depth int
+	// Seed keys the Kirsch–Mitzenmacher index derivation. Zero uses the
+	// raw KeyHashes words (the unkeyed reference derivation); any other
+	// value re-mixes both row bases through the SplitMix64 finalizer so
+	// counter placement is not attacker-predictable.
+	Seed uint64
+}
+
+// Sketch is a conservative-update count-min sketch over
+// hashfn.KeyHashes. It is not internally synchronised: table.Sharded
+// shards one sketch segment per table shard and touches it only under
+// that shard's write lock.
+type Sketch struct {
+	counters []uint8 // depth rows of width counters, flat
+	mask     uint64  // width - 1
+	width    uint64
+	depth    int
+	seed     uint64
+	// base/stride are the per-sketch XOR masks folded into H1/H2 before
+	// finalisation when seeded; unused (zero) for the unkeyed derivation.
+	base   uint64
+	stride uint64
+}
+
+// New builds a sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Width < 1 {
+		return nil, fmt.Errorf("admit: sketch width must be >= 1, got %d", cfg.Width)
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = DefaultDepth
+	}
+	if depth < 1 || depth > MaxDepth {
+		return nil, fmt.Errorf("admit: sketch depth must be in [1,%d], got %d", MaxDepth, cfg.Depth)
+	}
+	width := uint64(1)
+	for width < uint64(cfg.Width) {
+		width <<= 1
+	}
+	s := &Sketch{
+		counters: make([]uint8, width*uint64(depth)),
+		mask:     width - 1,
+		width:    width,
+		depth:    depth,
+		seed:     cfg.Seed,
+	}
+	if cfg.Seed != 0 {
+		s.base = hashfn.Finalize64(cfg.Seed ^ seedDomainBase)
+		s.stride = hashfn.Finalize64(cfg.Seed ^ seedDomainStride)
+	}
+	return s, nil
+}
+
+// rowBases derives the Kirsch–Mitzenmacher base and stride for kh: row
+// i's counter index is (b1 + i*b2) & mask. The stride is forced odd so
+// it is coprime to the power-of-two width and the rows stay distinct.
+// Unkeyed (seed 0) uses the raw hash words — the derivation the fuzz
+// harness pins against an independent reference; keyed re-mixes each
+// word with its own domain-separated fold of the seed, so a key set
+// mined to collide under the public pair scatters across counters.
+func (s *Sketch) rowBases(kh hashfn.KeyHashes) (b1, b2 uint64) {
+	if s.seed == 0 {
+		return kh.H1, kh.H2 | 1
+	}
+	return hashfn.Finalize64(kh.H1 ^ s.base), hashfn.Finalize64(kh.H2^s.stride) | 1
+}
+
+// AppendPositions appends kh's counter indices for a (seed, width,
+// depth) sketch geometry onto dst and returns the extended slice —
+// the exported form of the index derivation, shared with the
+// property/fuzz harness so the hot-path loop inside Touch/Estimate can
+// never drift from the pinned reference. width must be a power of two.
+func AppendPositions(dst []uint64, kh hashfn.KeyHashes, seed uint64, width uint64, depth int) []uint64 {
+	var b1, b2 uint64
+	if seed == 0 {
+		b1, b2 = kh.H1, kh.H2|1
+	} else {
+		b1 = hashfn.Finalize64(kh.H1 ^ hashfn.Finalize64(seed^seedDomainBase))
+		b2 = hashfn.Finalize64(kh.H2^hashfn.Finalize64(seed^seedDomainStride)) | 1
+	}
+	mask := width - 1
+	for i := 0; i < depth; i++ {
+		dst = append(dst, (b1+uint64(i)*b2)&mask)
+	}
+	return dst
+}
+
+// Estimate returns the sketch's count estimate for kh: the minimum over
+// its row counters. Count-min never undercounts (up to the 255
+// saturation ceiling), so Estimate >= the true touch count as long as
+// the true count itself is <= 255 and no decay has run.
+func (s *Sketch) Estimate(kh hashfn.KeyHashes) uint32 {
+	b1, b2 := s.rowBases(kh)
+	est := uint32(maxCount)
+	for i := 0; i < s.depth; i++ {
+		c := uint32(s.counters[uint64(i)*s.width+((b1+uint64(i)*b2)&s.mask)])
+		if c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Touch records one packet of kh and returns the new estimate: the
+// conservative count-min update, where only counters equal to the
+// pre-update row minimum increment (counters above it already
+// over-count kh and bumping them would only inflate other keys'
+// estimates). Saturated rows stay at 255.
+func (s *Sketch) Touch(kh hashfn.KeyHashes) uint32 {
+	b1, b2 := s.rowBases(kh)
+	var idx [MaxDepth]uint64
+	est := uint32(maxCount)
+	for i := 0; i < s.depth; i++ {
+		idx[i] = uint64(i)*s.width + ((b1 + uint64(i)*b2) & s.mask)
+		if c := uint32(s.counters[idx[i]]); c < est {
+			est = c
+		}
+	}
+	if est == maxCount {
+		return maxCount
+	}
+	for i := 0; i < s.depth; i++ {
+		if uint32(s.counters[idx[i]]) == est {
+			s.counters[idx[i]]++
+		}
+	}
+	return est + 1
+}
+
+// Decay halves every counter in place, aging the whole population by
+// one octave. Floor-halving is monotone and commutes with the row
+// minimum, so for every key Estimate-after == Estimate-before >> 1
+// exactly — the property the decay tests pin.
+func (s *Sketch) Decay() {
+	for i := range s.counters {
+		s.counters[i] >>= 1
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Sketch) Reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+}
+
+// Bytes returns the sketch's counter-array footprint.
+func (s *Sketch) Bytes() int64 { return int64(len(s.counters)) }
+
+// Width returns the rounded-up per-row counter count.
+func (s *Sketch) Width() int { return int(s.width) }
+
+// Depth returns the row count.
+func (s *Sketch) Depth() int { return s.depth }
+
+// Seed returns the index-derivation seed (0 = unkeyed).
+func (s *Sketch) Seed() uint64 { return s.seed }

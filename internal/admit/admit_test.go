@@ -1,0 +1,305 @@
+package admit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+// khOf derives deterministic pseudo-random KeyHashes from a flow number
+// via the public SplitMix64 finalizer, mimicking what a hash pair
+// produces without needing key bytes.
+func khOf(n uint64) hashfn.KeyHashes {
+	return hashfn.KeyHashes{
+		H1:  hashfn.Finalize64(n ^ 0xa5a5a5a5),
+		H2:  hashfn.Finalize64(n ^ 0x5a5a5a5a),
+		Mix: hashfn.Finalize64(n),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Width: 0}); err == nil {
+		t.Fatal("Width 0 accepted")
+	}
+	if _, err := New(Config{Width: 16, Depth: -1}); err == nil {
+		t.Fatal("negative Depth accepted")
+	}
+	if _, err := New(Config{Width: 16, Depth: MaxDepth + 1}); err == nil {
+		t.Fatal("Depth beyond MaxDepth accepted")
+	}
+	s, err := New(Config{Width: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 128 {
+		t.Fatalf("width 100 should round up to 128, got %d", s.Width())
+	}
+	if s.Depth() != DefaultDepth {
+		t.Fatalf("default depth = %d, want %d", s.Depth(), DefaultDepth)
+	}
+	if s.Bytes() != 128*DefaultDepth {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes(), 128*DefaultDepth)
+	}
+	if s.Seed() != 0 {
+		t.Fatalf("Seed = %d, want 0", s.Seed())
+	}
+}
+
+// TestSketchNeverUndercounts is the count-min guarantee the admission
+// gate's correctness rests on: whatever the collision pattern, a flow
+// touched n times estimates at least n (up to counter saturation), so a
+// flow at its threshold-th packet can never be spuriously deferred.
+func TestSketchNeverUndercounts(t *testing.T) {
+	for _, seed := range []uint64{0, 0x20140b} {
+		s, err := New(Config{Width: 64, Depth: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		truth := make(map[uint64]uint32)
+		for op := 0; op < 20000; op++ {
+			f := uint64(rng.Intn(300))
+			truth[f]++
+			got := s.Touch(khOf(f))
+			if want := truth[f]; want <= maxCount && got < want {
+				t.Fatalf("seed %#x: flow %d touched %d times, Touch returned %d", seed, f, want, got)
+			}
+		}
+		for f, n := range truth {
+			if n <= maxCount && s.Estimate(khOf(f)) < n {
+				t.Fatalf("seed %#x: flow %d count %d, Estimate %d", seed, f, n, s.Estimate(khOf(f)))
+			}
+		}
+	}
+}
+
+// plainSketch is a reference count-min with the classic (non-
+// conservative) update — every row counter increments — built on the
+// same exported index derivation. The conservative sketch must stay
+// counter-for-counter at or below it while never dropping below the
+// true count: tighter, never looser.
+type plainSketch struct {
+	counters []uint8
+	width    uint64
+	depth    int
+	seed     uint64
+}
+
+func newPlain(width uint64, depth int, seed uint64) *plainSketch {
+	return &plainSketch{counters: make([]uint8, width*uint64(depth)), width: width, depth: depth, seed: seed}
+}
+
+func (p *plainSketch) touch(kh hashfn.KeyHashes) {
+	var idx []uint64
+	idx = AppendPositions(idx, kh, p.seed, p.width, p.depth)
+	for i, pos := range idx {
+		at := uint64(i)*p.width + pos
+		if p.counters[at] < maxCount {
+			p.counters[at]++
+		}
+	}
+}
+
+func (p *plainSketch) estimate(kh hashfn.KeyHashes) uint32 {
+	var idx []uint64
+	idx = AppendPositions(idx, kh, p.seed, p.width, p.depth)
+	est := uint32(maxCount)
+	for i, pos := range idx {
+		if c := uint32(p.counters[uint64(i)*p.width+pos]); c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+func TestConservativeNeverExceedsPlain(t *testing.T) {
+	for _, seed := range []uint64{0, 7} {
+		s, err := New(Config{Width: 32, Depth: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newPlain(32, 4, seed)
+		rng := rand.New(rand.NewSource(9))
+		truth := make(map[uint64]uint32)
+		for op := 0; op < 30000; op++ {
+			f := uint64(rng.Intn(200))
+			truth[f]++
+			s.Touch(khOf(f))
+			p.touch(khOf(f))
+		}
+		for i := range s.counters {
+			if s.counters[i] > p.counters[i] {
+				t.Fatalf("seed %d: counter %d: conservative %d > plain %d", seed, i, s.counters[i], p.counters[i])
+			}
+		}
+		for f, n := range truth {
+			cons, plain := s.Estimate(khOf(f)), p.estimate(khOf(f))
+			if cons > plain {
+				t.Fatalf("seed %d: flow %d: conservative estimate %d > plain %d", seed, f, cons, plain)
+			}
+			if n <= maxCount && cons < n {
+				t.Fatalf("seed %d: flow %d: conservative estimate %d < true count %d", seed, f, cons, n)
+			}
+		}
+	}
+}
+
+// TestDecayHalvesEstimatesExactly pins the decay law: floor-halving
+// commutes with the row minimum, so every key's estimate after one
+// Decay equals its prior estimate >> 1 — monotone (never up), and exact
+// (not merely bounded).
+func TestDecayHalvesEstimatesExactly(t *testing.T) {
+	s, err := New(Config{Width: 64, Depth: 3, Seed: 0x20140b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for op := 0; op < 10000; op++ {
+		s.Touch(khOf(uint64(rng.Intn(400))))
+	}
+	before := make([]uint32, 400)
+	for f := range before {
+		before[f] = s.Estimate(khOf(uint64(f)))
+	}
+	s.Decay()
+	for f, b := range before {
+		got := s.Estimate(khOf(uint64(f)))
+		if got != b>>1 {
+			t.Fatalf("flow %d: estimate %d after decay, want %d>>1 = %d", f, got, b, b>>1)
+		}
+	}
+	// Repeated decay drains every counter to zero: mice age out entirely.
+	for i := 0; i < 8; i++ {
+		s.Decay()
+	}
+	for f := 0; f < 400; f++ {
+		if got := s.Estimate(khOf(uint64(f))); got != 0 {
+			t.Fatalf("flow %d: estimate %d after full decay, want 0", f, got)
+		}
+	}
+}
+
+func TestTouchSaturates(t *testing.T) {
+	s, err := New(Config{Width: 4, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh := khOf(1)
+	for i := 0; i < 300; i++ {
+		if got := s.Touch(kh); got > maxCount {
+			t.Fatalf("Touch returned %d beyond the counter ceiling", got)
+		}
+	}
+	if got := s.Estimate(kh); got != maxCount {
+		t.Fatalf("estimate after 300 touches = %d, want %d", got, maxCount)
+	}
+	// Saturated counters hold under further touches and halve under decay.
+	if got := s.Touch(kh); got != maxCount {
+		t.Fatalf("saturated Touch = %d, want %d", got, maxCount)
+	}
+	s.Decay()
+	if got := s.Estimate(kh); got != maxCount>>1 {
+		t.Fatalf("estimate after saturation decay = %d, want %d", got, maxCount>>1)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(Config{Width: 16, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := uint64(0); f < 50; f++ {
+		s.Touch(khOf(f))
+	}
+	s.Reset()
+	for f := uint64(0); f < 50; f++ {
+		if got := s.Estimate(khOf(f)); got != 0 {
+			t.Fatalf("flow %d: estimate %d after Reset", f, got)
+		}
+	}
+}
+
+// TestSeededPlacementDiffers: a non-zero seed must re-scatter the
+// counter indices, and different seeds must scatter differently —
+// otherwise the keyed gate would inherit the unkeyed derivation's
+// minable placement.
+func TestSeededPlacementDiffers(t *testing.T) {
+	kh := khOf(99)
+	unkeyed := AppendPositions(nil, kh, 0, 1<<16, 4)
+	keyedA := AppendPositions(nil, kh, 1, 1<<16, 4)
+	keyedB := AppendPositions(nil, kh, 2, 1<<16, 4)
+	same := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(unkeyed, keyedA) || same(unkeyed, keyedB) || same(keyedA, keyedB) {
+		t.Fatalf("seeded index derivations collide: unkeyed %v, seed1 %v, seed2 %v", unkeyed, keyedA, keyedB)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(0) != 0 {
+		t.Fatal("DeriveSeed(0) must stay 0 (the unkeyed derivation)")
+	}
+	if DeriveSeed(1) == 1 || DeriveSeed(1) == DeriveSeed(2) {
+		t.Fatal("DeriveSeed must mix the engine seed through its own domain")
+	}
+}
+
+// FuzzSketchIndices pins the Kirsch–Mitzenmacher index derivation —
+// both the exported AppendPositions and the private hot-path loop the
+// Sketch methods use — against an independently written two-hash
+// reference, across seeds, widths and depths.
+func FuzzSketchIndices(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(0), uint8(4), uint8(4))
+	f.Add(uint64(0), uint64(0), uint64(0x20140b), uint8(10), uint8(1))
+	f.Add(^uint64(0), ^uint64(0), uint64(7), uint8(1), uint8(8))
+	f.Fuzz(func(t *testing.T, h1, h2, seed uint64, widthExp, depthRaw uint8) {
+		width := uint64(1) << (widthExp % 12)
+		depth := int(depthRaw%MaxDepth) + 1
+		kh := hashfn.KeyHashes{H1: h1, H2: h2, Mix: h1 ^ h2}
+
+		// Reference: spelled-out double hashing, no shared helpers.
+		refB1, refB2 := h1, h2
+		if seed != 0 {
+			refB1 = hashfn.Finalize64(h1 ^ hashfn.Finalize64(seed^0x9e3779b97f4a7c15))
+			refB2 = hashfn.Finalize64(h2 ^ hashfn.Finalize64(seed^0xc2b2ae3d27d4eb4f))
+		}
+		refB2 |= 1
+		want := make([]uint64, depth)
+		for i := range want {
+			want[i] = (refB1 + uint64(i)*refB2) % width
+		}
+
+		got := AppendPositions(nil, kh, seed, width, depth)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AppendPositions row %d: got %d, want %d (h1=%#x h2=%#x seed=%#x width=%d)",
+					i, got[i], want[i], h1, h2, seed, width)
+			}
+		}
+
+		// The sketch's own hot-path derivation must agree: a lone Touch on a
+		// fresh sketch raises exactly the reference positions to 1.
+		s, err := New(Config{Width: int(width), Depth: depth, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est := s.Touch(kh); est != 1 {
+			t.Fatalf("first Touch estimate = %d, want 1", est)
+		}
+		for i := 0; i < depth; i++ {
+			for j := uint64(0); j < width; j++ {
+				c := s.counters[uint64(i)*width+j]
+				if (j == want[i]) != (c == 1) {
+					t.Fatalf("row %d counter %d = %d; reference position %d", i, j, c, want[i])
+				}
+			}
+		}
+	})
+}

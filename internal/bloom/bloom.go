@@ -161,18 +161,33 @@ func (c *Counting) Add(key []byte) {
 	c.n++
 }
 
-// Remove decrements the key's counters. Removing a key that was never
-// added corrupts the filter, as in hardware; callers gate removals on
-// their exact-match table.
-func (c *Counting) Remove(key []byte) {
+// Remove decrements the key's counters and reports whether the removal
+// was applied. A key whose counter set contains a zero was provably
+// never added (or already removed): the filter refuses the removal
+// outright — no counter moves and the insert count is untouched —
+// because decrementing the remaining shared counters would silently
+// steal occupancy from other keys and drive N negative on double
+// deletes. Saturated counters (255) are pinned and never decrement, as
+// in the 4-bit hardware variant: once a counter has clipped, its true
+// occupancy is unknowable, so it stays saturated for the filter's
+// lifetime rather than risk a false negative. Removing a present key
+// whose counters all sit at 255 therefore legitimately reports true
+// while moving nothing.
+func (c *Counting) Remove(key []byte) bool {
 	var idx [16]uint64
 	c.positions(key, idx[:c.k])
 	for _, p := range idx[:c.k] {
-		if c.counters[p] > 0 && c.counters[p] < 255 {
+		if c.counters[p] == 0 {
+			return false
+		}
+	}
+	for _, p := range idx[:c.k] {
+		if c.counters[p] < 255 {
 			c.counters[p]--
 		}
 	}
 	c.n--
+	return true
 }
 
 // Contains reports whether key may be present.

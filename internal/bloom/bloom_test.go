@@ -99,7 +99,9 @@ func TestCountingDeleteRestoresMiss(t *testing.T) {
 	if !c.Contains(key(50)) {
 		t.Fatal("false negative before delete")
 	}
-	c.Remove(key(50))
+	if !c.Remove(key(50)) {
+		t.Fatal("Remove refused a present key")
+	}
 	// After removal the key should usually miss (unless all its counters
 	// are shared, which is vanishingly unlikely at this load).
 	if c.Contains(key(50)) {
@@ -112,6 +114,65 @@ func TestCountingDeleteRestoresMiss(t *testing.T) {
 		}
 		if !c.Contains(key(i)) {
 			t.Fatalf("Remove corrupted key %d", i)
+		}
+	}
+}
+
+// TestCountingRemoveUnderflow pins the double-delete contract: removing
+// a key whose counter set contains a zero is refused outright — false
+// return, no counter mutated, insert count untouched — instead of
+// decrementing the surviving shared counters (which would corrupt other
+// keys' occupancy) and driving N negative.
+func TestCountingRemoveUnderflow(t *testing.T) {
+	c, err := NewCounting(1<<12, 4, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		c.Add(key(i))
+	}
+	snapshot := func() []uint8 { return append([]uint8(nil), c.counters...) }
+
+	// A key never added: refused, nothing moves. Its counter positions
+	// may well be nonzero (shared with real keys) at this load, so a
+	// naive decrement would have corrupted them.
+	before := snapshot()
+	if c.Remove(key(9999)) {
+		t.Fatal("Remove of a never-added key reported success")
+	}
+	for i, v := range snapshot() {
+		if v != before[i] {
+			t.Fatalf("refused Remove mutated counter %d: %d -> %d", i, before[i], v)
+		}
+	}
+	if c.n != 200 {
+		t.Fatalf("refused Remove moved N to %d", c.n)
+	}
+
+	// Double delete: the first removal zeroes at least one of the key's
+	// counters at light load, so the second is refused with no mutation.
+	if !c.Remove(key(7)) {
+		t.Fatal("first Remove of a present key refused")
+	}
+	before = snapshot()
+	if c.Remove(key(7)) {
+		t.Fatal("double delete reported success")
+	}
+	for i, v := range snapshot() {
+		if v != before[i] {
+			t.Fatalf("double delete mutated counter %d: %d -> %d", i, before[i], v)
+		}
+	}
+	if c.n != 199 {
+		t.Fatalf("double delete moved N to %d, want 199", c.n)
+	}
+	// The other keys' membership survived both refusals.
+	for i := uint64(0); i < 200; i++ {
+		if i == 7 {
+			continue
+		}
+		if !c.Contains(key(i)) {
+			t.Fatalf("refused removals corrupted key %d", i)
 		}
 	}
 }
@@ -201,8 +262,12 @@ func TestConstructorValidation(t *testing.T) {
 		{"k too large", errOf(New(64, 17, pair))},
 		{"nil hashes", errOf(New(64, 2, hashfn.Pair{}))},
 		{"capacity bad p", errOf(NewForCapacity(100, 1.5, pair))},
+		{"capacity zero n", errOf(NewForCapacity(0, 0.01, pair))},
 		{"counting zero m", errOf(NewCounting(0, 2, pair))},
+		{"counting k too large", errOf(NewCounting(64, 17, pair))},
+		{"counting nil hashes", errOf(NewCounting(64, 2, hashfn.Pair{}))},
 		{"parallel one hash", errOf(NewParallel(64, []hashfn.Func{pair.H1}))},
+		{"parallel zero bits", errOf(NewParallel(0, []hashfn.Func{pair.H1, pair.H2}))},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {
@@ -225,4 +290,43 @@ func TestNewForCapacitySizing(t *testing.T) {
 	if f.K() < 9 || f.K() > 11 {
 		t.Fatalf("K = %d, want ~10", f.K())
 	}
+	// The k clamps: a loose design point rounds k to 0 (clamped up to 1),
+	// an extreme one wants k > 16 (clamped down to the probe ceiling).
+	loose, err := NewForCapacity(1000, 0.99, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.K() != 1 {
+		t.Fatalf("K at p=0.99 = %d, want clamp to 1", loose.K())
+	}
+	tight, err := NewForCapacity(1000, 1e-10, hashfn.DefaultPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.K() != 16 {
+		t.Fatalf("K at p=1e-10 = %d, want clamp to 16", tight.K())
+	}
+}
+
+func TestParallelN(t *testing.T) {
+	p, err := NewParallel(64, []hashfn.Func{hashfn.DefaultPair().H1, hashfn.DefaultPair().H2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 0 {
+		t.Fatalf("fresh N = %d", p.N())
+	}
+	p.Add(key(1))
+	if p.N() != 1 {
+		t.Fatalf("N after one Add = %d", p.N())
+	}
+}
+
+func TestMeasureFPRRejectsZeroProbes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeasureFPR accepted probes <= 0")
+		}
+	}()
+	MeasureFPR(func([]byte) bool { return false }, 13, 0, 1)
 }

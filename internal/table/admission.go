@@ -1,0 +1,214 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/admit"
+	"repro/internal/bloom"
+	"repro/internal/hashfn"
+)
+
+// This file is the admission-gating layer of the Sharded table: a
+// per-shard counting sketch (internal/admit) consulted in front of every
+// insert of a non-resident key. A flow below the admission threshold is
+// counted in the sketch and deferred with ErrAdmissionDeferred instead
+// of claiming an exact slot; its threshold-th insert attempt finds the
+// sketch estimate at the bar and falls through to the backend insert —
+// the deferred insert replays itself, no separate promotion queue. The
+// sketch segment lives beside its shard and is only read or written
+// under that shard's write lock, inside the existing beginWrite/endWrite
+// seqlock section, so lock-free readers never observe it and no new
+// synchronisation is introduced. Decay (halving every counter) rides the
+// Advance clock at a configurable epoch cadence, aging one-packet mice
+// out of the sketch the same way the expiry sweep ages them out of the
+// table.
+
+// ErrAdmissionDeferred reports an insert deferred by the admission gate:
+// the flow's sketch estimate is still below the threshold, so it has not
+// yet earned a table slot. The flow is not resident; its next insert
+// attempt bumps the sketch again and is admitted once the estimate
+// reaches the threshold. Deferred inserts are counted in AdmissionStats
+// (Gated), never in OverloadStats — the table was not full.
+var ErrAdmissionDeferred = errors.New("table: insert deferred by admission gate (flow below threshold)")
+
+// AdmissionConfig parameterises the admission gate.
+type AdmissionConfig struct {
+	// Threshold is the packet count at which a flow earns a slot: its
+	// Threshold-th insert attempt is admitted. Must be in [1, 255]
+	// (estimates saturate at the sketch's 8-bit counter ceiling);
+	// Threshold 1 admits every flow on first sight but still maintains
+	// the sketch counters.
+	Threshold int
+	// Width is the total sketch counters per row across all shards,
+	// divided per shard like Capacity and rounded up to a power of two.
+	// 0 defaults to the table's nominal per-shard capacity — one counter
+	// byte per slot per row.
+	Width int
+	// Depth is the sketch row count (default admit.DefaultDepth).
+	Depth int
+	// DecayEpochs halves every sketch counter after this many
+	// clock-moving Advance epochs, so mice age out of the sketch. 0
+	// never decays; a non-zero value requires EnableExpiry (the Advance
+	// clock drives the cadence).
+	DecayEpochs int
+	// Seed keys the sketch index derivation (see admit.Config.Seed);
+	// 0 keeps the unkeyed reference derivation.
+	Seed uint64
+}
+
+// shardAdmitState is one shard's slice of the admission layer: its
+// sketch segment (guarded by the shard's write lock) and the gate
+// counters.
+type shardAdmitState struct {
+	sk       *admit.Sketch
+	gated    atomic.Int64
+	admitted atomic.Int64
+}
+
+// admitState is the admission layer of a Sharded table; nil until
+// SetAdmission, so the ungated insert path pays one predicted branch.
+type admitState struct {
+	cfg    AdmissionConfig
+	shards []shardAdmitState
+	// lastDecay is the epoch of the last sketch decay, guarded by the
+	// expiry layer's sweepMu (decay is scheduled inside Advance).
+	lastDecay uint32
+}
+
+// AdmissionStats aggregates the admission gate's counters across shards.
+type AdmissionStats struct {
+	// Gated counts inserts deferred with ErrAdmissionDeferred.
+	Gated int64
+	// Admitted counts non-resident inserts that passed the gate (each
+	// then either claimed a slot or surfaced ErrTableFull). Resident
+	// re-inserts (touches) bypass the gate and count in neither figure.
+	Admitted int64
+	// SketchBytes is the total sketch counter footprint across shards.
+	SketchBytes int64
+}
+
+// SetAdmission arms the admission gate. Like EnableExpiry it must be
+// called on an empty table before any traffic; it requires backends with
+// the hashed fast path (the sketch consumes the per-key KeyHashes the
+// insert already computed) and, when DecayEpochs is non-zero, an
+// already-enabled expiry layer whose Advance clock drives the decay.
+func (s *Sharded) SetAdmission(cfg AdmissionConfig) error {
+	if cfg.Threshold < 1 || cfg.Threshold > 255 {
+		return fmt.Errorf("table: admission threshold must be in [1,255], got %d", cfg.Threshold)
+	}
+	if cfg.Width < 0 {
+		return fmt.Errorf("table: admission sketch width must not be negative, got %d", cfg.Width)
+	}
+	if cfg.DecayEpochs < 0 {
+		return fmt.Errorf("table: admission decay epochs must not be negative, got %d", cfg.DecayEpochs)
+	}
+	if s.admit != nil {
+		return fmt.Errorf("table: admission already enabled on %s", s.Name())
+	}
+	if !s.hashed {
+		return fmt.Errorf("table: admission requires hashed backends (the sketch is indexed by KeyHashes), %s has none", s.Name())
+	}
+	if cfg.DecayEpochs > 0 && s.expiry == nil {
+		return fmt.Errorf("table: admission DecayEpochs requires EnableExpiry (the Advance clock drives decay)")
+	}
+	if n := s.Len(); n != 0 {
+		return fmt.Errorf("table: admission must be enabled on an empty table, %s holds %d entries", s.Name(), n)
+	}
+	ad := &admitState{cfg: cfg, shards: make([]shardAdmitState, len(s.shards))}
+	for i := range s.shards {
+		width := s.shards[i].capTarget
+		if cfg.Width > 0 {
+			width = (cfg.Width + len(s.shards) - 1) / len(s.shards)
+		}
+		sk, err := admit.New(admit.Config{Width: width, Depth: cfg.Depth, Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("table: admission sketch: %w", err)
+		}
+		ad.shards[i].sk = sk
+	}
+	s.admit = ad
+	return nil
+}
+
+// AdmissionEnabled reports whether the admission gate is active.
+func (s *Sharded) AdmissionEnabled() bool { return s.admit != nil }
+
+// AdmissionStats returns a snapshot of the admission gate's counters;
+// the zero value when admission is disabled.
+func (s *Sharded) AdmissionStats() AdmissionStats {
+	ad := s.admit
+	if ad == nil {
+		return AdmissionStats{}
+	}
+	var st AdmissionStats
+	for i := range ad.shards {
+		st.Gated += ad.shards[i].gated.Load()
+		st.Admitted += ad.shards[i].admitted.Load()
+		st.SketchBytes += ad.shards[i].sk.Bytes()
+	}
+	return st
+}
+
+// admitGateLocked applies the admission gate to one insert. Caller holds
+// shard's write lock inside a beginWrite/endWrite section. Resident keys
+// pass untouched (a duplicate insert is a touch, and must stay one);
+// non-resident keys bump the sketch and are admitted — counted, then
+// allowed through to the backend insert — once the estimate reaches the
+// threshold, deferred with ErrAdmissionDeferred below it.
+func (s *Sharded) admitGateLocked(sh *shardState, shard int, key []byte, kh hashfn.KeyHashes) error {
+	st := &s.admit.shards[shard]
+	if _, ok := sh.hbe.LookupHashed(key, kh); ok {
+		return nil
+	}
+	if est := st.sk.Touch(kh); est < uint32(s.admit.cfg.Threshold) {
+		st.gated.Add(1)
+		return ErrAdmissionDeferred
+	}
+	st.admitted.Add(1)
+	return nil
+}
+
+// decayDueLocked reports whether the sketches should decay at epoch e,
+// advancing the decay clock when so. Caller holds the expiry layer's
+// sweepMu (Advance).
+func (ad *admitState) decayDueLocked(e uint32) bool {
+	if ad.cfg.DecayEpochs <= 0 {
+		return false
+	}
+	if e-ad.lastDecay < uint32(ad.cfg.DecayEpochs) { // wrap-safe distance
+		return false
+	}
+	ad.lastDecay = e
+	return true
+}
+
+// AdmissionFPR measures the admission sketch's false-positive rate at
+// the configured threshold: the fraction of `probes` uniformly random
+// never-inserted keys of keyLen bytes whose sketch estimate already
+// meets the threshold — flows that would be admitted on their first
+// packet purely by counter collisions. Probing reuses the bloom
+// package's FPR harness (disjoint high-bit key space, deterministic
+// SplitMix64 stream from seed); each probe reads the owning shard's
+// sketch under its read lock. Returns 0 when admission is disabled.
+func (s *Sharded) AdmissionFPR(keyLen, probes int, seed uint64) float64 {
+	ad := s.admit
+	if ad == nil {
+		return 0
+	}
+	return bloom.MeasureFPR(func(key []byte) bool {
+		kh := s.pair.Compute(key)
+		var i int
+		if s.hashedRouting() {
+			i = s.shardOfMix(kh)
+		} else {
+			i = s.shardOf(key)
+		}
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		est := ad.shards[i].sk.Estimate(kh)
+		sh.mu.RUnlock()
+		return est >= uint32(ad.cfg.Threshold)
+	}, keyLen, probes, seed)
+}

@@ -1,0 +1,480 @@
+package table_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/admit"
+	"repro/internal/hashfn"
+	"repro/internal/table"
+)
+
+// admitTable builds a sharded table over backend with the admission gate
+// armed (and, when decayEpochs > 0, the expiry layer the decay clock
+// rides on).
+func admitTable(t *testing.T, backend string, shards int, cfg table.Config, ad table.AdmissionConfig) *table.Sharded {
+	t.Helper()
+	s, err := table.NewSharded(backend, shards, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.DecayEpochs > 0 {
+		if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetAdmission(ad); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSetAdmissionValidation pins every rejection path of SetAdmission:
+// out-of-range thresholds and sizes, decay without the Advance clock,
+// double arming, arming over resident entries, and backends without the
+// hashed fast path the sketch indexing requires.
+func TestSetAdmissionValidation(t *testing.T) {
+	cfg := table.Config{Capacity: 256}
+	mk := func() *table.Sharded {
+		s, err := table.NewSharded("hashcam", 2, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	bad := []struct {
+		name string
+		ad   table.AdmissionConfig
+	}{
+		{"zero threshold", table.AdmissionConfig{}},
+		{"threshold above counter ceiling", table.AdmissionConfig{Threshold: 256}},
+		{"negative width", table.AdmissionConfig{Threshold: 2, Width: -1}},
+		{"negative decay", table.AdmissionConfig{Threshold: 2, DecayEpochs: -1}},
+		{"decay without expiry", table.AdmissionConfig{Threshold: 2, DecayEpochs: 4}},
+		{"depth above sketch ceiling", table.AdmissionConfig{Threshold: 2, Depth: admit.MaxDepth + 1}},
+	}
+	for _, tc := range bad {
+		if err := mk().SetAdmission(tc.ad); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	s := mk()
+	if err := s.SetAdmission(table.AdmissionConfig{Threshold: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAdmission(table.AdmissionConfig{Threshold: 2}); err == nil {
+		t.Fatal("double SetAdmission accepted")
+	}
+
+	s = mk()
+	if _, err := s.Insert(key13(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAdmission(table.AdmissionConfig{Threshold: 2}); err == nil {
+		t.Fatal("SetAdmission over a resident entry accepted")
+	}
+
+	// testplain has no hashed fast path, so the sketch has no KeyHashes
+	// to index by.
+	plain, err := table.NewSharded("testplain", 2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.SetAdmission(table.AdmissionConfig{Threshold: 2}); err == nil {
+		t.Fatal("SetAdmission accepted a backend without the hashed fast path")
+	}
+}
+
+// TestAdmissionGateThreshold pins the gate semantics at threshold k: the
+// first k-1 insert attempts of every flow are deferred (not resident, no
+// slot, ErrAdmissionDeferred), the k-th is admitted, and a resident
+// flow's duplicate insert is a touch that bypasses the gate entirely —
+// on both the scalar and the batched writer paths.
+func TestAdmissionGateThreshold(t *testing.T) {
+	const k = 3
+	// Width is deliberately generous: this test pins gate semantics, so
+	// counter collisions (measured separately by the FPR gauge) must be
+	// out of the picture.
+	s := admitTable(t, "hashcam", 4, table.Config{Capacity: 1 << 12},
+		table.AdmissionConfig{Threshold: k, Width: 1 << 18})
+	const flows = 200
+
+	// Scalar path.
+	for round := 1; round < k; round++ {
+		for i := uint64(0); i < flows; i++ {
+			if _, err := s.Insert(key13(i)); !errors.Is(err, table.ErrAdmissionDeferred) {
+				t.Fatalf("flow %d attempt %d: err %v, want ErrAdmissionDeferred", i, round, err)
+			}
+			if _, ok := s.Lookup(key13(i)); ok {
+				t.Fatalf("flow %d resident after a deferred insert", i)
+			}
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len %d after only deferred inserts, want 0", s.Len())
+	}
+	ids := make(map[uint64]uint64, flows)
+	for i := uint64(0); i < flows; i++ {
+		id, err := s.Insert(key13(i))
+		if err != nil {
+			t.Fatalf("flow %d attempt %d: err %v, want admitted", i, k, err)
+		}
+		ids[i] = id
+	}
+	if s.Len() != flows {
+		t.Fatalf("Len %d after admitting %d flows", s.Len(), flows)
+	}
+	// Duplicate insert of a resident flow is a touch: same ID, nil error,
+	// and no admission accounting.
+	st := s.AdmissionStats()
+	for i := uint64(0); i < flows; i++ {
+		id, err := s.Insert(key13(i))
+		if err != nil || id != ids[i] {
+			t.Fatalf("resident flow %d reinsert: (%d, %v), want (%d, nil)", i, id, err, ids[i])
+		}
+	}
+	if got := s.AdmissionStats(); got != st {
+		t.Fatalf("resident touches moved admission stats: %+v -> %+v", st, got)
+	}
+	if st.Gated != flows*(k-1) || st.Admitted != flows {
+		t.Fatalf("stats %+v, want Gated %d Admitted %d", st, flows*(k-1), flows)
+	}
+	if st.SketchBytes <= 0 {
+		t.Fatalf("SketchBytes %d, want positive", st.SketchBytes)
+	}
+
+	// Batched path: fresh flows must see the identical per-key gating
+	// through InsertBatch, mixed into the same batch as resident touches.
+	batch := append(keys13(1<<20, 1<<20+64), keys13(0, 64)...)
+	for round := 1; round < k; round++ {
+		_, errs := s.InsertBatch(batch)
+		for i := 0; i < 64; i++ {
+			if !errors.Is(errs[i], table.ErrAdmissionDeferred) {
+				t.Fatalf("batch round %d fresh key %d: err %v, want deferred", round, i, errs[i])
+			}
+			if errs[64+i] != nil {
+				t.Fatalf("batch round %d resident key %d gated: %v", round, i, errs[64+i])
+			}
+		}
+	}
+	if _, errs := s.InsertBatch(batch); errs != nil {
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("batch attempt %d key %d: err %v, want admitted", k, i, e)
+			}
+		}
+	}
+}
+
+// TestAdmissionDisabledStats pins the disabled-layer zero values: no
+// stats, no FPR, gate reported off.
+func TestAdmissionDisabledStats(t *testing.T) {
+	s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AdmissionEnabled() {
+		t.Fatal("fresh table reports admission enabled")
+	}
+	if st := s.AdmissionStats(); st != (table.AdmissionStats{}) {
+		t.Fatalf("disabled stats %+v, want zero", st)
+	}
+	if fpr := s.AdmissionFPR(13, 100, 1); fpr != 0 {
+		t.Fatalf("disabled FPR %v, want 0", fpr)
+	}
+}
+
+// TestAdmissionDecayAgesMiceOut pins the decay path end to end: a flow
+// one packet short of the threshold loses its sketch credit once enough
+// clock-moving Advance epochs pass, so its next attempt is deferred
+// again — while an identical table without decay admits it. Decay rides
+// the Advance clock, so a clock that does not move must never decay.
+func TestAdmissionDecayAgesMiceOut(t *testing.T) {
+	const k = 2
+	mk := func(decayEpochs int) *table.Sharded {
+		s, err := table.NewSharded("hashcam", 2, table.Config{Capacity: 1 << 10}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetAdmission(table.AdmissionConfig{Threshold: k, DecayEpochs: decayEpochs}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	decaying, steady := mk(2), mk(0)
+	key := key13(7)
+	for _, s := range []*table.Sharded{decaying, steady} {
+		if _, err := s.Insert(key); !errors.Is(err, table.ErrAdmissionDeferred) {
+			t.Fatalf("first attempt: %v, want deferred", err)
+		}
+	}
+	// A stalled clock (Advance with the same now) opens no epoch: sweeps
+	// run but the decay cadence must not fire.
+	for i := 0; i < 8; i++ {
+		decaying.Advance(1)
+	}
+	// Four clock-moving epochs at DecayEpochs=2: at least one decay halves
+	// the flow's count 1 -> 0.
+	for now := int64(2); now <= 5; now++ {
+		decaying.Advance(now)
+		steady.Advance(now)
+	}
+	if _, err := decaying.Insert(key); !errors.Is(err, table.ErrAdmissionDeferred) {
+		t.Fatalf("post-decay attempt: %v, want deferred again (credit decayed)", err)
+	}
+	if _, err := steady.Insert(key); err != nil {
+		t.Fatalf("no-decay table deferred the threshold-th attempt: %v", err)
+	}
+}
+
+// TestAdmissionGatedTrafficDoesNotGrow pins the composition with
+// auto-growth: deferred flows hold no slots, so a mice flood far beyond
+// capacity must leave the load factor untouched and trigger no grow —
+// while the same flows crossing the threshold count normally and do.
+func TestAdmissionGatedTrafficDoesNotGrow(t *testing.T) {
+	// An oversized sketch keeps collision-admits out of the flood.
+	s := admitTable(t, "hashcam", 2, table.Config{Capacity: 256},
+		table.AdmissionConfig{Threshold: 2, Width: 1 << 18})
+	if err := s.SetGrowth(table.GrowthConfig{MaxLoadFactor: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	capBefore := s.SlotCapacity()
+	// 4x capacity in distinct single-attempt flows: all gated.
+	for i := uint64(0); i < 1024; i++ {
+		if _, err := s.Insert(key13(i)); !errors.Is(err, table.ErrAdmissionDeferred) {
+			t.Fatalf("flow %d: %v, want deferred", i, err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len %d after a gated flood, want 0", s.Len())
+	}
+	if g := s.GrowStats(); g.Grows != 0 {
+		t.Fatalf("gated flood triggered %d grows; deferred flows must not count toward load factor", g.Grows)
+	}
+	if got := s.SlotCapacity(); got != capBefore {
+		t.Fatalf("SlotCapacity moved %d -> %d under gated traffic", capBefore, got)
+	}
+	// Second attempts admit the flows; crossing MaxLoadFactor must now
+	// grow as usual (admission does not mask real occupancy).
+	for i := uint64(0); i < 1024; i++ {
+		if _, err := s.Insert(key13(i)); err != nil && !errors.Is(err, table.ErrTableFull) {
+			t.Fatalf("flow %d second attempt: %v", i, err)
+		}
+	}
+	if g := s.GrowStats(); g.Grows == 0 {
+		t.Fatal("admitted flows crossing MaxLoadFactor triggered no grow")
+	}
+}
+
+// TestAdmissionFPRMeasurement pins the sketch-precision gauge: an empty
+// sketch admits no first-sight probe (FPR 0), and an undersized sketch
+// saturated by distinct flows collides nearly every probe to the
+// threshold (FPR near 1), with the measurement deterministic in seed.
+func TestAdmissionFPRMeasurement(t *testing.T) {
+	s := admitTable(t, "hashcam", 2, table.Config{Capacity: 1 << 12},
+		table.AdmissionConfig{Threshold: 2, Width: 128})
+	if fpr := s.AdmissionFPR(13, 2000, 9); fpr != 0 {
+		t.Fatalf("empty-sketch FPR %v, want 0", fpr)
+	}
+	// 64 counters per shard, 8000 distinct two-packet flows: every
+	// counter saturates well past the threshold.
+	for round := 0; round < 2; round++ {
+		for i := uint64(0); i < 8000; i++ {
+			s.Insert(key13(i))
+		}
+	}
+	fpr := s.AdmissionFPR(13, 2000, 9)
+	if fpr < 0.5 || fpr > 1 {
+		t.Fatalf("saturated undersized sketch FPR %v, want near 1", fpr)
+	}
+	if again := s.AdmissionFPR(13, 2000, 9); again != fpr {
+		t.Fatalf("FPR not deterministic in seed: %v then %v", fpr, again)
+	}
+}
+
+// admitModel is the differential reference for the admission layer: a
+// residency map plus per-shard mirror sketches built with the same
+// geometry, seed and decay cadence as the table's own, fed the same
+// KeyHashes. It predicts every gate decision bit-exactly.
+type admitModel struct {
+	threshold   uint32
+	decayEpochs uint32
+	resident    map[string]bool
+	mirrors     []*admit.Sketch
+	epoch       uint32
+	lastDecay   uint32
+	lastNow     int64
+	gated       int64
+	admitted    int64
+}
+
+func newAdmitModel(t *testing.T, shards, totalCap int, ad table.AdmissionConfig) *admitModel {
+	t.Helper()
+	m := &admitModel{
+		threshold:   uint32(ad.Threshold),
+		decayEpochs: uint32(ad.DecayEpochs),
+		resident:    make(map[string]bool),
+	}
+	// Replicates SetAdmission's per-shard sizing: the nominal per-shard
+	// capacity when Width is defaulted (ceil-divided like Capacity).
+	width := (totalCap + shards - 1) / shards
+	if ad.Width > 0 {
+		width = (ad.Width + shards - 1) / shards
+	}
+	for i := 0; i < shards; i++ {
+		sk, err := admit.New(admit.Config{Width: width, Depth: ad.Depth, Seed: ad.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.mirrors = append(m.mirrors, sk)
+	}
+	return m
+}
+
+// insert mirrors admitGateLocked: residents pass, everyone else bumps
+// the owning shard's sketch and is admitted at the threshold.
+func (m *admitModel) insert(shard int, k []byte, kh hashfn.KeyHashes) error {
+	if m.resident[string(k)] {
+		return nil
+	}
+	if est := m.mirrors[shard].Touch(kh); est < m.threshold {
+		m.gated++
+		return table.ErrAdmissionDeferred
+	}
+	m.admitted++
+	return nil
+}
+
+// advance mirrors the Advance-driven decay schedule: a clock move opens
+// an epoch; every decayEpochs epochs all mirrors halve.
+func (m *admitModel) advance(now int64) {
+	if now <= m.lastNow {
+		return
+	}
+	m.lastNow = now
+	m.epoch++
+	if m.decayEpochs > 0 && m.epoch-m.lastDecay >= m.decayEpochs {
+		m.lastDecay = m.epoch
+		for _, sk := range m.mirrors {
+			sk.Decay()
+		}
+	}
+}
+
+// TestAdmissionDifferentialOpStream is the admission differential
+// harness (growable backends, unkeyed and keyed hashing): a seeded
+// insert/lookup/delete stream runs through a gated table and through the
+// admitModel reference side by side, with periodic Advance driving decay
+// in both and a mid-stream Grow(2) landing while flows sit below the
+// threshold. Every gate decision (admit / ErrAdmissionDeferred),
+// membership answer, Len and the Gated/Admitted counters must stay
+// bit-identical to the model throughout.
+func TestAdmissionDifferentialOpStream(t *testing.T) {
+	for _, seed := range []uint64{0, 0x20140b} {
+		pair := hashfn.DefaultPair()
+		if seed != 0 {
+			pair = hashfn.SeededPair(seed)
+		}
+		name := "unkeyed"
+		if seed != 0 {
+			name = "keyed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, backend := range []string{"hashcam", "dleft", "singlehash"} {
+				t.Run(backend, func(t *testing.T) {
+					const (
+						shards   = 4
+						capacity = 512
+						k        = 3
+					)
+					cfg := table.Config{Capacity: capacity, SlotsPerBucket: 2, CAMCapacity: 16, Hash: pair}
+					ad := table.AdmissionConfig{Threshold: k, DecayEpochs: 4, Seed: admit.DeriveSeed(seed)}
+					s := admitTable(t, backend, shards, cfg, ad)
+					model := newAdmitModel(t, shards, capacity, ad)
+
+					rng := rand.New(rand.NewSource(11))
+					deferred, admitted, full, deleted, grown := 0, 0, 0, 0, false
+					for op := 0; op < 8000; op++ {
+						if op == 4000 {
+							// Mid-stream resize while most flows sit below
+							// the threshold: the sketch state and every
+							// pending gate decision must ride through the
+							// migration untouched.
+							if err := s.Grow(2); err != nil {
+								t.Fatal(err)
+							}
+							grown = true
+						}
+						if op%64 == 63 {
+							s.Advance(int64(op))
+							model.advance(int64(op))
+						}
+						key := key13(uint64(rng.Intn(900)))
+						kh := pair.Compute(key)
+						shard := hashfn.Reduce(kh.Mix, shards)
+						switch rng.Intn(10) {
+						case 0, 1, 2, 3, 4: // insert
+							want := model.insert(shard, key, kh)
+							_, err := s.Insert(key)
+							switch {
+							case errors.Is(want, table.ErrAdmissionDeferred):
+								if !errors.Is(err, table.ErrAdmissionDeferred) {
+									t.Fatalf("op %d: model deferred, table said %v", op, err)
+								}
+								deferred++
+							case err == nil:
+								model.resident[string(key)] = true
+								admitted++
+							case errors.Is(err, table.ErrTableFull):
+								// Admitted by the gate, rejected by the
+								// structure: counted in Admitted on both
+								// sides, resident in neither.
+								full++
+							default:
+								t.Fatalf("op %d: unexpected insert error %v", op, err)
+							}
+						case 5, 6, 7: // lookup
+							_, ok := s.Lookup(key)
+							if want := model.resident[string(key)]; ok != want {
+								t.Fatalf("op %d lookup: table %v, model %v", op, ok, want)
+							}
+						default: // delete
+							ok := s.Delete(key)
+							if want := model.resident[string(key)]; ok != want {
+								t.Fatalf("op %d delete: table %v, model %v", op, ok, want)
+							}
+							if ok {
+								delete(model.resident, string(key))
+								deleted++
+							}
+						}
+						if s.Len() != len(model.resident) {
+							t.Fatalf("op %d: Len %d, model %d", op, s.Len(), len(model.resident))
+						}
+					}
+					st := s.AdmissionStats()
+					if st.Gated != model.gated || st.Admitted != model.admitted {
+						t.Fatalf("stats (gated %d, admitted %d), model (%d, %d)",
+							st.Gated, st.Admitted, model.gated, model.admitted)
+					}
+					if !grown || s.GrowStats().Grows == 0 {
+						t.Fatal("mid-stream grow did not run")
+					}
+					if model.lastDecay == 0 {
+						t.Fatal("stream finished without a decay; cadence untested")
+					}
+					if deferred == 0 || admitted == 0 || deleted == 0 {
+						t.Fatalf("stream too tame (%d deferred, %d admitted, %d full, %d deleted)",
+							deferred, admitted, full, deleted)
+					}
+				})
+			}
+		})
+	}
+}

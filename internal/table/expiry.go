@@ -380,9 +380,18 @@ func (s *Sharded) Advance(now int64) int {
 		now = prev
 	}
 	exp.sweeps.Add(1)
+	// Admission-sketch decay rides the same clock: once every
+	// DecayEpochs clock-moving epochs, this Advance's sweep also halves
+	// every shard's sketch counters (inside the same locked section the
+	// sweep already takes). Scheduled here under sweepMu, where the
+	// epoch counter and the decay clock are stable.
+	decay := false
+	if ad := s.admit; ad != nil {
+		decay = ad.decayDueLocked(exp.epoch.Load())
+	}
 	evicted := 0
 	for i := range s.shards {
-		evicted += s.sweepShard(i, now)
+		evicted += s.sweepShard(i, now, decay)
 	}
 	return evicted
 }
@@ -426,8 +435,11 @@ func (exp *expiryState) makeVisit(st *shardExpiryState) func(slot uint64) bool {
 // sweepShard runs one budgeted sweep step over shard i: under the write
 // lock it walks up to SweepBudget slots from the shard's cursor, stages
 // expired entries (key snapshot first, then DeleteSlot), and after
-// releasing the lock reports them to the export callback.
-func (s *Sharded) sweepShard(i int, now int64) int {
+// releasing the lock reports them to the export callback. decay
+// additionally halves the shard's admission-sketch counters inside the
+// same locked section (scheduled by Advance; always false without an
+// armed admission layer).
+func (s *Sharded) sweepShard(i int, now int64, decay bool) int {
 	exp := s.expiry
 	st := &exp.shards[i]
 	exp.recs = exp.recs[:0]
@@ -439,6 +451,9 @@ func (s *Sharded) sweepShard(i int, now int64) int {
 	st.sweepNow = now
 	cursor, _ := st.ebe.WalkSlots(st.cursor, exp.cfg.SweepBudget, st.visit)
 	st.cursor = cursor
+	if decay {
+		s.admit.shards[i].sk.Decay()
+	}
 	// Advance also pumps any in-flight migration, so a table that has
 	// gone read-only still converges at the sweep cadence.
 	s.pumpMigrationLocked(sh, i)

@@ -69,6 +69,11 @@ type Sharded struct {
 	// eviction sweep. The non-expiring hot path pays one nil check.
 	expiry *expiryState
 
+	// admit is the optional admission-gating layer (nil until
+	// SetAdmission): per-shard counting sketches consulted in front of
+	// non-resident inserts. The ungated insert path pays one nil check.
+	admit *admitState
+
 	// onFull is the active full-table policy; evictCapable records
 	// whether every shard backend implements CandidateSlotter (downcast
 	// once into shardState.cbe); pendingEvictIdlest carries a
@@ -402,6 +407,11 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 	// LIFO defers: the growth pump (auto-grow check + one migration step)
 	// runs inside the seqlock write section, before endWrite.
 	defer s.growPumps(sh, i, true)
+	if s.admit != nil { // SetAdmission guarantees the hashed path
+		if aerr := s.admitGateLocked(sh, i, key, kh); aerr != nil {
+			return 0, nil, aerr
+		}
+	}
 	exp := s.expiry
 	lenBefore := 0
 	if exp != nil {
@@ -870,6 +880,12 @@ func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 	exp := s.expiry
 	var pe *pendingEvictions
 	for _, i := range sc.plan[shard] {
+		if s.admit != nil { // SetAdmission guarantees the hashed path
+			if aerr := s.admitGateLocked(sh, shard, keys[i], sc.khs[i]); aerr != nil {
+				errs[i] = aerr
+				continue
+			}
+		}
 		lenBefore := 0
 		if exp != nil {
 			lenBefore = sh.be.Len()
