@@ -196,7 +196,10 @@ func runAdmissionRow(backend string, shards, threshold int, skew float64, cfg ad
 		Mix:                fmt.Sprintf("adm:t%d:skew%.1f", threshold, skew),
 		Cpus:               runtime.GOMAXPROCS(0),
 		Optimistic:         rs.Optimistic,
+		Stripes:            eng.Stripes(),
 		ReadRetries:        rs.Retries,
+		StripeRetries:      rs.StripeRetries,
+		GlobalRetries:      rs.GlobalRetries,
 		ReadFallbacks:      rs.Fallbacks,
 		TotalOps:           packets,
 		WallNS:             wall.Nanoseconds(),

@@ -174,7 +174,10 @@ func runAttackRow(row attackRow, batchSize int) (attackRowResult, error) {
 		Mix:               row.mix,
 		Cpus:              runtime.GOMAXPROCS(0),
 		Optimistic:        rs.Optimistic,
+		Stripes:           eng.Stripes(),
 		ReadRetries:       rs.Retries,
+		StripeRetries:     rs.StripeRetries,
+		GlobalRetries:     rs.GlobalRetries,
 		ReadFallbacks:     rs.Fallbacks,
 		TotalOps:          row.packets,
 		WallNS:            wall.Nanoseconds(),

@@ -20,10 +20,11 @@ type compareConfig struct {
 	allocsThreshold float64
 }
 
-// rowKey identifies one measurement across two reports. Cpus and
-// Optimistic are part of the identity: a row measured at GOMAXPROCS=1 or
-// through the RLock path must never gate one measured at GOMAXPROCS=4 or
-// through the seqlock path — different machines, different cost models.
+// rowKey identifies one measurement across two reports. Cpus, Optimistic
+// and Stripes are part of the identity: a row measured at GOMAXPROCS=1,
+// through the RLock path, or under the 1-stripe control protocol must
+// never gate one measured at GOMAXPROCS=4, through the seqlock path, or
+// striped — different machines, different cost models.
 type rowKey struct {
 	Backend    string
 	Shards     int
@@ -32,11 +33,12 @@ type rowKey struct {
 	Mix        string
 	Cpus       int
 	Optimistic bool
+	Stripes    int
 }
 
 // key derives the compare identity of one measurement row.
 func (r engineJSONResult) key() rowKey {
-	return rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix, r.Cpus, r.Optimistic}
+	return rowKey{r.Backend, r.Shards, r.Workers, r.Batch, r.Mix, r.Cpus, r.Optimistic, r.Stripes}
 }
 
 // errRegression marks a compare run that found regressions above the
@@ -72,7 +74,7 @@ func pctDelta(oldV, newV float64) float64 {
 
 // compareBenchJSON diffs two engine bench JSON reports row by row
 // (matched on backend × shards × workers × batch × mix × cpus ×
-// optimistic), prints the
+// optimistic × stripes), prints the
 // ns/op and allocs/op deltas, and returns errRegression when any matched
 // row regresses beyond the configured thresholds. Rows present in only
 // one report are listed but never fail the gate (sweeps legitimately gain
@@ -129,8 +131,9 @@ func compareBenchJSON(cfg compareConfig) error {
 	fmt.Println(t)
 	if matched == 0 {
 		return fmt.Errorf("compare: no rows matched between %s and %s — "+
-			"rows match on backend, shards, workers, batch, mix, cpus and optimistic; "+
-			"check for parameter drift, a runner with a different CPU count, or a baseline recorded before the cpus/optimistic fields existed (re-record it)",
+			"rows match on backend, shards, workers, batch, mix, cpus, optimistic and stripes; "+
+			"check for parameter drift, a runner with a different CPU count, or a baseline recorded "+
+			"before the cpus/optimistic/stripes fields existed (the row shape drifted — re-record it)",
 			cfg.oldPath, cfg.newPath)
 	}
 	if regressed > 0 {

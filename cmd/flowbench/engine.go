@@ -28,6 +28,7 @@ type engineSweepConfig struct {
 	batch      int
 	writers    bool   // write-heavy mix through the *Into writer pipeline
 	optimistic bool   // serve lookups via the seqlock lock-free path
+	stripes    int    // seqlock stripes per shard (0 auto, 1 single-word)
 	jsonPath   string // non-empty: also write machine-readable results
 }
 
@@ -58,10 +59,21 @@ type engineJSONResult struct {
 	// -optimistic=false). Also part of the compare row identity: the two
 	// paths are different machines with different cost models.
 	Optimistic bool `json:"optimistic"`
+	// Stripes is the effective per-shard seqlock stripe count the row ran
+	// under (1 = the single-word protocol). Part of the compare row
+	// identity: a 1-stripe control and a striped run see completely
+	// different invalidation rates, so they must never gate each other.
+	Stripes int `json:"stripes"`
 	// ReadRetries / ReadFallbacks are the seqlock's cumulative conflict
 	// counters over the run: probes invalidated by a concurrent writer and
 	// reads that exhausted the retry budget and took the RLock slow path.
+	// StripeRetries / GlobalRetries split the retries by which sequence
+	// word moved: a stripe covering the key's candidate buckets vs the
+	// shard-global word (whole-arena writers and kick-chain escalations) —
+	// ReadRetries is always their sum.
 	ReadRetries   int64   `json:"read_retries"`
+	StripeRetries int64   `json:"stripe_retries"`
+	GlobalRetries int64   `json:"global_retries"`
 	ReadFallbacks int64   `json:"read_fallbacks"`
 	TotalOps      int64   `json:"total_ops"`
 	WallNS        int64   `json:"wall_ns"`
@@ -241,7 +253,10 @@ func engineSweep(cfg engineSweepConfig) error {
 				Mix:             cfg.mixName(),
 				Cpus:            runtime.GOMAXPROCS(0),
 				Optimistic:      res.optimistic,
+				Stripes:         res.stripes,
 				ReadRetries:     res.readRetries,
+				StripeRetries:   res.stripeRetries,
+				GlobalRetries:   res.globalRetries,
 				ReadFallbacks:   res.readFallbacks,
 				TotalOps:        res.totalOps,
 				WallNS:          res.wall.Nanoseconds(),
@@ -278,7 +293,10 @@ type engineLoadResult struct {
 	overflows     int64
 	bytesPerSlot  float64
 	optimistic    bool
+	stripes       int
 	readRetries   int64
+	stripeRetries int64
+	globalRetries int64
 	readFallbacks int64
 }
 
@@ -290,6 +308,7 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 		Shards:                 shards,
 		Capacity:               cfg.capacity,
 		DisableOptimisticReads: !cfg.optimistic,
+		SeqlockStripes:         cfg.stripes,
 	})
 	if err != nil {
 		return engineLoadResult{}, err
@@ -333,7 +352,10 @@ func runEngineLoad(backend string, shards int, cfg engineSweepConfig) (engineLoa
 		overflows:     overflows.Load(),
 		bytesPerSlot:  eng.BytesPerSlot(),
 		optimistic:    rs.Optimistic,
+		stripes:       eng.Stripes(),
 		readRetries:   rs.Retries,
+		stripeRetries: rs.StripeRetries,
+		globalRetries: rs.GlobalRetries,
 		readFallbacks: rs.Fallbacks,
 	}, nil
 }

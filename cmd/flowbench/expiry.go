@@ -77,7 +77,10 @@ type expiryJSONResult struct {
 	// mirroring the engine sweep schema.
 	Cpus           int     `json:"cpus"`
 	Optimistic     bool    `json:"optimistic"`
+	Stripes        int     `json:"stripes"`
 	ReadRetries    int64   `json:"read_retries"`
+	StripeRetries  int64   `json:"stripe_retries"`
+	GlobalRetries  int64   `json:"global_retries"`
 	ReadFallbacks  int64   `json:"read_fallbacks"`
 	Capacity       int     `json:"capacity"`
 	Flows          int     `json:"flow_population"`
@@ -222,7 +225,10 @@ func runExpiryLoad(backend string, shards int, cfg expirySweepConfig) (expiryJSO
 		Batch:          cfg.batch,
 		Cpus:           runtime.GOMAXPROCS(0),
 		Optimistic:     rs.Optimistic,
+		Stripes:        eng.Stripes(),
 		ReadRetries:    rs.Retries,
+		StripeRetries:  rs.StripeRetries,
+		GlobalRetries:  rs.GlobalRetries,
 		ReadFallbacks:  rs.Fallbacks,
 		Capacity:       cfg.capacity,
 		Flows:          cfg.flows,

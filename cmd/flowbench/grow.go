@@ -100,8 +100,9 @@ func (m *growMeter) end(p *growPhase) {
 
 // runGrowRamp drives one backend/shard configuration through the three
 // ramp phases, returning them in before/during/after order along with
-// whether lookups were actually served by the lock-free read path.
-func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase, bool, error) {
+// whether lookups were actually served by the lock-free read path and
+// the effective seqlock stripe count (both part of the row identity).
+func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase, bool, int, error) {
 	var phases [3]growPhase
 	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
 		Backend:                backend,
@@ -112,7 +113,7 @@ func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase,
 		Growth:                 table.GrowthConfig{MaxLoadFactor: growMaxLoadFactor, StepBudget: growStepBudget},
 	})
 	if err != nil {
-		return phases, false, err
+		return phases, false, 0, err
 	}
 	// Two equal populations: the first fills ~70% of nominal capacity
 	// (under the auto-grow threshold), the second doubles the resident set
@@ -183,7 +184,7 @@ func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase,
 	// Phase 1 — grow:before. Populate under the threshold (unmeasured),
 	// then measure steady-state lookups at the settled capacity.
 	if err := settle(first, "preload"); err != nil {
-		return phases, false, err
+		return phases, false, 0, err
 	}
 	meter.begin()
 	phases[0].ops, phases[0].hitRate = lookupOps(first, cfg.ops)
@@ -203,7 +204,7 @@ func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase,
 				continue
 			}
 			if !errors.Is(e, table.ErrTableFull) {
-				return phases, false, e
+				return phases, false, 0, e
 			}
 			phases[1].failedInserts++
 		}
@@ -223,7 +224,7 @@ func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase,
 	// housekeeping, not op-path cost) so the after phase sees a converged
 	// table holding every flow.
 	if err := settle(flows, "drain"); err != nil {
-		return phases, false, err
+		return phases, false, 0, err
 	}
 
 	// Phase 3 — grow:after. Steady-state lookups over the doubled
@@ -231,7 +232,7 @@ func runGrowRamp(backend string, shards int, cfg growSweepConfig) ([3]growPhase,
 	meter.begin()
 	phases[2].ops, phases[2].hitRate = lookupOps(flows, cfg.ops)
 	meter.end(&phases[2])
-	return phases, eng.ReadStats().Optimistic, nil
+	return phases, eng.ReadStats().Optimistic, eng.Stripes(), nil
 }
 
 // growSweep runs the capacity ramp across backend × shard configurations
@@ -246,7 +247,7 @@ func growSweep(cfg growSweepConfig) error {
 	var jsonResults []engineJSONResult
 	for _, backend := range cfg.backends {
 		for _, shards := range cfg.shards {
-			phases, optimistic, err := runGrowRamp(backend, shards, cfg)
+			phases, optimistic, stripes, err := runGrowRamp(backend, shards, cfg)
 			if err != nil {
 				return fmt.Errorf("grow ramp %s/%d: %w", backend, shards, err)
 			}
@@ -270,6 +271,7 @@ func growSweep(cfg growSweepConfig) error {
 					Mix:           phaseNames[i],
 					Cpus:          runtime.GOMAXPROCS(0),
 					Optimistic:    optimistic,
+					Stripes:       stripes,
 					TotalOps:      p.ops,
 					WallNS:        p.wall.Nanoseconds(),
 					NSPerOp:       nsPerOp,

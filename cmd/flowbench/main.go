@@ -32,6 +32,12 @@
 // thresholds (0/2/4) against two Zipf skews over a mice-heavy trace,
 // recording steady-state occupancy, multi-packet hit rate, gate counters
 // and sketch FPR per row, gated against BENCH_engine_admission.json.
+// -scenario writeheavy sweeps write fraction (10/50/90% of rounds) ×
+// seqlock stripe count (1/64/512) with workers on disjoint key spans,
+// recording the stripe/global retry split per row — the measurement
+// behind the striped-seqlock claim — gated against
+// BENCH_engine_stripes.json. The -stripes flag sets the stripe count for
+// the default throughput mix (0 auto, 1 = single-word control).
 //
 // -grow switches the engine mode to the elastic-capacity ramp: populate
 // to ~70% of capacity, measure steady-state lookups, double the
@@ -116,11 +122,12 @@ func main() {
 	batch := flag.Int("batch", 64, "engine mode: keys per batched call")
 	writers := flag.Bool("writers", false, "engine mode: write-heavy mix (InsertBatchInto/DeleteBatchInto writer pipeline) instead of the read-mostly default")
 	optimistic := flag.Bool("optimistic", true, "engine mode: serve lookups through the seqlock lock-free read path where the backend supports it; false forces the RLock path (the before/after pair for the scaling claim)")
+	stripes := flag.Int("stripes", 0, "engine mode: seqlock stripes per shard (0 = auto from slot capacity, 1 = single-word control, else a power of two clamped to the backend bound)")
 	cpuProfile := flag.String("cpuprofile", "", "engine mode: write a CPU profile of the sweep to this file")
 	mutexProfile := flag.String("mutexprofile", "", "engine mode: write a mutex-contention profile of the sweep to this file")
 	expiry := flag.Bool("expiry", false, "engine mode: lifecycle churn scenario (Zipf arrivals over a flow population larger than the table; idle-timeout sweep reclaims)")
 	grow := flag.Bool("grow", false, "engine mode: elastic-capacity ramp (population doubles mid-run; auto-grow resizes shards in place; rows for before/during/after migration)")
-	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix; \"admission\" runs the admission-gate threshold x skew sweep")
+	scenario := flag.String("scenario", "", "engine mode: adversarial scenario sweep (comma-separated names or \"all\": zipf-baseline, collision-flood, synflood, flashcrowd, ipv6mix) instead of the throughput mix; \"admission\" runs the admission-gate threshold x skew sweep; \"writeheavy\" runs the write-fraction x seqlock-stripes contention sweep")
 	flows := flag.Int("flows", 0, "expiry mode: offered flow population per generation (default 4x capacity)")
 	idle := flag.Int64("idle", 0, "expiry mode: idle timeout in packets (default capacity/2)")
 	active := flag.Int64("active", 0, "expiry mode: active timeout in packets (0 = disabled)")
@@ -205,7 +212,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flowbench: -scenario, -expiry and -grow are separate workloads; pick one (and -writers only applies to the default mix)\n")
 			os.Exit(1)
 		}
-		if *scenario == "admission" {
+		if *scenario == "writeheavy" {
+			// The write-fraction x stripes sweep is its own workload: it
+			// measures how striping isolates concurrent readers from
+			// writers, not how a policy absorbs an attack trace, so it
+			// dispatches before the scenario-list parser.
+			err = writeheavySweep(writeheavySweepConfig{
+				backends:   backendList,
+				shards:     shardList,
+				workers:    *workers,
+				ops:        opsPerWorker,
+				capacity:   *capacity,
+				batch:      *batch,
+				optimistic: *optimistic,
+				jsonPath:   *jsonOut,
+			})
+		} else if *scenario == "admission" {
 			// The admission sweep is its own workload, not one of the
 			// adversarial scenarios: it sweeps gate thresholds x skews
 			// rather than attack traces, so it dispatches before the
@@ -272,6 +294,7 @@ func main() {
 				batch:      *batch,
 				writers:    *writers,
 				optimistic: *optimistic,
+				stripes:    *stripes,
 				jsonPath:   *jsonOut,
 			})
 		}

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/flowproc"
+	"repro/internal/metrics"
+	"repro/internal/table"
+	"repro/internal/trafficgen"
+)
+
+// This file is the reader/writer contention half of the engine bench:
+// -scenario writeheavy sweeps write fraction × seqlock stripe count over
+// the concurrent engine. Workers share the engine but own disjoint key
+// spans, so one worker's write rounds never touch the keys another
+// worker's read rounds probe — under the single-word protocol those
+// writes still invalidate the reads (any write bumps the shard's only
+// sequence word), while striping confines the invalidation to the
+// writer's own buckets. The retry/fallback columns therefore measure
+// exactly the false-sharing traffic the striped seqlock exists to
+// remove. Rows land in the engine JSON format so -compare gates them
+// against the committed BENCH_engine_stripes.json; the stripes=1 rows
+// are the pre-striping control, so the baseline file itself records the
+// degradation striping prevents.
+
+// writeheavyFracs are the percentages of rounds that write; each
+// worker's schedule is a 10-round cycle with frac/10 write rounds.
+var writeheavyFracs = []int{10, 50, 90}
+
+// writeheavyStripes are the requested per-shard stripe counts: the
+// single-word control, a mid setting, and the cap. Requests clamp to the
+// backend's stripe bound; clamped-away duplicates are skipped.
+var writeheavyStripes = []int{1, 64, 512}
+
+// writeheavyMinSignal is the single-word contention floor (retries +
+// fallbacks) below which the in-sweep claim check abstains: with almost
+// no observed conflicts the ordering between settings is noise, not a
+// verdict on striping.
+const writeheavyMinSignal = 100
+
+// writeheavySweepConfig parameterises the contention sweep.
+type writeheavySweepConfig struct {
+	backends   []string
+	shards     []int
+	workers    int
+	ops        int // operations per worker per row
+	capacity   int
+	batch      int
+	optimistic bool
+	jsonPath   string
+}
+
+// writeheavySpan is the per-worker key span: combined steady-state
+// residency stays near half the configured capacity (the preloaded spans
+// stay resident apart from the one window a writer is cycling).
+func writeheavySpan(cfg writeheavySweepConfig) uint64 {
+	span := uint64(cfg.capacity / (2 * cfg.workers))
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// runWriteheavyRow measures one backend/shards/frac/stripes cell. Every
+// worker's span is preloaded before the clock starts, so read rounds
+// measure resident-flow lookups — the workload the striping claim is
+// about — rather than misses.
+func runWriteheavyRow(backend string, shards, frac, reqStripes int, cfg writeheavySweepConfig) (engineLoadResult, error) {
+	eng, err := flowproc.NewEngine(flowproc.EngineConfig{
+		Backend:                backend,
+		Shards:                 shards,
+		Capacity:               cfg.capacity,
+		DisableOptimisticReads: !cfg.optimistic,
+		SeqlockStripes:         reqStripes,
+	})
+	if err != nil {
+		return engineLoadResult{}, err
+	}
+	span := writeheavySpan(cfg)
+	pre := make([]flowproc.FiveTuple, 0, cfg.batch)
+	preIDs := make([]uint64, cfg.batch)
+	preErrs := make([]error, cfg.batch)
+	for w := 0; w < cfg.workers; w++ {
+		base := uint64(w) << 32
+		for k := uint64(0); k < span; k += uint64(cfg.batch) {
+			pre = pre[:0]
+			for i := 0; i < cfg.batch && k+uint64(i) < span; i++ {
+				pre = append(pre, trafficgen.Flow(base+k+uint64(i)))
+			}
+			eng.InsertBatchInto(pre, preIDs[:len(pre)], preErrs[:len(pre)])
+			for _, e := range preErrs[:len(pre)] {
+				if e != nil && !errors.Is(e, table.ErrTableFull) {
+					return engineLoadResult{}, e
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	var overflows atomic.Int64
+	errCh := make(chan error, cfg.workers)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := writeheavyWorker(eng, w, frac, cfg, &overflows); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	close(errCh)
+	for err := range errCh {
+		return engineLoadResult{}, err
+	}
+	totalOps := int64(cfg.workers) * int64(cfg.ops)
+	rs := eng.ReadStats()
+	return engineLoadResult{
+		mops:          float64(totalOps) / wall.Seconds() / 1e6,
+		nsPerOp:       float64(wall.Nanoseconds()) / float64(totalOps),
+		allocsPerOp:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalOps),
+		bytesPerOp:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(totalOps),
+		totalOps:      totalOps,
+		wall:          wall,
+		resident:      eng.Len(),
+		overflows:     overflows.Load(),
+		bytesPerSlot:  eng.BytesPerSlot(),
+		optimistic:    rs.Optimistic,
+		stripes:       eng.Stripes(),
+		readRetries:   rs.Retries,
+		stripeRetries: rs.StripeRetries,
+		globalRetries: rs.GlobalRetries,
+		readFallbacks: rs.Fallbacks,
+	}, nil
+}
+
+// writeheavyWorker runs the 10-round schedule: frac/10 write rounds then
+// read rounds, all over the worker's own span on the zero-allocation
+// *Into paths. Write rounds cycle one batch-sized window — delete it,
+// re-insert it, advance — so the span's residency (and with it the read
+// rounds' hit rate) stays stable for the whole run.
+func writeheavyWorker(eng *flowproc.Engine, w, frac int, cfg writeheavySweepConfig, overflows *atomic.Int64) error {
+	span := writeheavySpan(cfg)
+	base := uint64(w) << 32
+	writeRounds := frac / 10
+	batch := make([]flowproc.FiveTuple, cfg.batch)
+	ids := make([]uint64, cfg.batch)
+	hits := make([]bool, cfg.batch)
+	errs := make([]error, cfg.batch)
+	oks := make([]bool, cfg.batch)
+	insertNext := false // the preload left the span resident: delete first
+	var off uint64
+	for done := 0; done < cfg.ops; {
+		for phase := 0; phase < 10 && done < cfg.ops; phase++ {
+			for i := range batch {
+				batch[i] = trafficgen.Flow(base + (off+uint64(i))%span)
+			}
+			if phase < writeRounds {
+				if insertNext {
+					eng.InsertBatchInto(batch, ids, errs)
+					for _, e := range errs {
+						if e == nil {
+							continue
+						}
+						if !errors.Is(e, table.ErrTableFull) {
+							return e
+						}
+						overflows.Add(1)
+						break
+					}
+					// The window is whole again; move to the next one.
+					off = (off + uint64(cfg.batch)) % span
+				} else {
+					eng.DeleteBatchInto(batch, oks)
+				}
+				insertNext = !insertNext
+			} else {
+				eng.LookupBatchInto(batch, ids, hits)
+			}
+			done += cfg.batch
+		}
+	}
+	return nil
+}
+
+// checkWriteheavyClaim asserts the sweep's acceptance criterion on one
+// backend/shards/frac group (keyed by effective stripe count): at the
+// contended write fractions, a striped setting (>= 64) must see strictly
+// fewer reader conflicts (retries + fallbacks) than the single-word
+// control. The check abstains where the claim is unmeasurable — too few
+// procs or workers for real concurrency, fewer than 4 physical CPUs
+// (GOMAXPROCS=4 timeshared onto one core never runs a reader and a
+// writer simultaneously, so the handful of conflicts it observes are
+// preemption artifacts with no ordering meaning), the RLock path, or a
+// control row with no contention signal to beat.
+func checkWriteheavyClaim(group map[int]engineLoadResult, backend string, shards, frac, workers int) error {
+	if frac < 50 || workers < 2 || runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		return nil
+	}
+	s1, ok := group[1]
+	if !ok || !s1.optimistic {
+		return nil
+	}
+	signal := s1.readRetries + s1.readFallbacks
+	if signal < writeheavyMinSignal {
+		return nil
+	}
+	for stripes, r := range group {
+		if stripes < 64 || !r.optimistic {
+			continue
+		}
+		if got := r.readRetries + r.readFallbacks; got >= signal {
+			return fmt.Errorf("writeheavy %s/%d w%d: %d stripes saw %d reader conflicts, not fewer than the single-word control's %d",
+				backend, shards, frac, stripes, got, signal)
+		}
+	}
+	return nil
+}
+
+// writeheavySweep runs write fraction × stripe count rows per
+// backend/shard configuration, asserts the conflict-reduction claim per
+// group, and writes the shared JSON format for -compare gating.
+func writeheavySweep(cfg writeheavySweepConfig) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("Write-heavy contention sweep — %d workers × %d ops, batch %d (GOMAXPROCS=%d)",
+			cfg.workers, cfg.ops, cfg.batch, runtime.GOMAXPROCS(0)),
+		"Backend", "Shards", "Mix", "Stripes", "ns/op", "Mops/s", "Stripe/global retries", "Fallbacks", "allocs/op", "Wall time")
+	var jsonResults []engineJSONResult
+	for _, backend := range cfg.backends {
+		for _, shards := range cfg.shards {
+			for _, frac := range writeheavyFracs {
+				group := make(map[int]engineLoadResult, len(writeheavyStripes))
+				for _, req := range writeheavyStripes {
+					res, err := runWriteheavyRow(backend, shards, frac, req, cfg)
+					if err != nil {
+						return fmt.Errorf("writeheavy %s/%d w%d stripes %d: %w", backend, shards, frac, req, err)
+					}
+					if _, dup := group[res.stripes]; dup {
+						fmt.Printf("writeheavy: requested %d stripes clamps to %d (already measured) — row skipped\n", req, res.stripes)
+						continue
+					}
+					group[res.stripes] = res
+					mix := fmt.Sprintf("wh:w%d", frac)
+					t.AddRow(backend, fmt.Sprintf("%d", shards), mix,
+						fmt.Sprintf("%d", res.stripes),
+						fmt.Sprintf("%.1f", res.nsPerOp),
+						fmt.Sprintf("%.2f", res.mops),
+						fmt.Sprintf("%d/%d", res.stripeRetries, res.globalRetries),
+						fmt.Sprintf("%d", res.readFallbacks),
+						fmt.Sprintf("%.3f", res.allocsPerOp),
+						res.wall.Round(time.Millisecond).String())
+					jsonResults = append(jsonResults, engineJSONResult{
+						Backend:       backend,
+						Shards:        shards,
+						Workers:       cfg.workers,
+						Batch:         cfg.batch,
+						Mix:           mix,
+						Cpus:          runtime.GOMAXPROCS(0),
+						Optimistic:    res.optimistic,
+						Stripes:       res.stripes,
+						ReadRetries:   res.readRetries,
+						StripeRetries: res.stripeRetries,
+						GlobalRetries: res.globalRetries,
+						ReadFallbacks: res.readFallbacks,
+						TotalOps:      res.totalOps,
+						WallNS:        res.wall.Nanoseconds(),
+						NSPerOp:       res.nsPerOp,
+						MopsPerSec:    res.mops,
+						AllocsPerOp:   res.allocsPerOp,
+						BytesPerOp:    res.bytesPerOp,
+						Resident:      res.resident,
+						Overflows:     res.overflows,
+						BytesPerSlot:  res.bytesPerSlot,
+					})
+					if res.stripes < req {
+						// The bound clamps every larger request to the same
+						// effective count; further rows would be duplicates.
+						break
+					}
+				}
+				if err := checkWriteheavyClaim(group, backend, shards, frac, cfg.workers); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Println(t)
+	if cfg.jsonPath != "" {
+		rep := engineJSONReport{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			OpsPerWkr:  cfg.ops,
+			Results:    jsonResults,
+		}
+		if err := writeJSONReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}

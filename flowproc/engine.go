@@ -97,6 +97,17 @@ type EngineConfig struct {
 	// knob, not a correctness one. See table.Sharded and
 	// docs/ARCHITECTURE.md "Concurrency model".
 	DisableOptimisticReads bool
+	// SeqlockStripes sets the per-shard seqlock stripe count for the
+	// lock-free read path's two-level validation: 0 (the default) derives
+	// a power of two from the shard slot capacity, 1 forces the
+	// single-word protocol (every write invalidates every in-flight read
+	// on its shard — the pre-striping behaviour, kept as a measurement
+	// control), and an explicit power of two requests that many stripes,
+	// clamped to the backend's stripe bound and 512. Any other value is a
+	// construction error. Results are bit-identical at every setting; only
+	// contention behaviour changes. See docs/ARCHITECTURE.md "Concurrency
+	// model".
+	SeqlockStripes int
 	// HashSeed keys the engine's hash functions and shard selector. Zero
 	// (the default) draws a fresh random seed at construction, so bucket
 	// placement is unpredictable to senders — the defence against
@@ -176,6 +187,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	tcfg := table.Config{
 		Capacity: cfg.Capacity, CAMCapacity: cfg.CAMEntries,
 		HashSeed: seed, OnFull: cfg.OnFull,
+		SeqlockStripes: cfg.SeqlockStripes,
 	}
 	sharded, err := table.NewSharded(cfg.Backend, cfg.Shards, tcfg, nil)
 	if err != nil {
@@ -256,6 +268,12 @@ func (e *Engine) Backend() string { return e.backend }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.sharded.ShardCount() }
+
+// Stripes returns the effective per-shard seqlock stripe count after
+// auto-sizing and backend clamping — 1 means the single-word protocol.
+// Both address families share one configuration, so one number describes
+// the whole engine.
+func (e *Engine) Stripes() int { return e.sharded.Stripes() }
 
 // Capacity returns the engine's real slot capacity — the sum of every
 // shard's backend slot bound across both address families' tables. This
@@ -444,6 +462,8 @@ func (e *Engine) ReadStats() table.ReadStats {
 	rs := e.sharded.ReadStats()
 	if e.v6 != nil {
 		rs6 := e.v6.ReadStats()
+		rs.StripeRetries += rs6.StripeRetries
+		rs.GlobalRetries += rs6.GlobalRetries
 		rs.Retries += rs6.Retries
 		rs.Fallbacks += rs6.Fallbacks
 	}

@@ -1,0 +1,68 @@
+package flowproc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/flowproc"
+)
+
+// TestEngineSeqlockStripesKnob pins the EngineConfig plumbing of the
+// seqlock stripe knob: 1 forces the single-word protocol, 0 derives a
+// power of two from the shard slot capacity, explicit requests clamp to
+// the backend bound and the cap, and anything else is a construction
+// error. Results must be identical at every setting.
+func TestEngineSeqlockStripesKnob(t *testing.T) {
+	mk := func(stripes int) *flowproc.Engine {
+		t.Helper()
+		// One fixed seed for every engine: bit-identity comparisons need
+		// identical placement, and the zero seed draws a random one.
+		e, err := flowproc.NewEngine(flowproc.EngineConfig{
+			Backend: "hashcam", Shards: 2, Capacity: 1 << 14,
+			SeqlockStripes: stripes, HashSeed: 0xfeedbeef,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if got := mk(1).Stripes(); got != 1 {
+		t.Fatalf("stripes=1 resolved to %d", got)
+	}
+	if got := mk(8).Stripes(); got != 8 {
+		t.Fatalf("stripes=8 resolved to %d", got)
+	}
+	auto := mk(0).Stripes()
+	if auto < 2 || auto&(auto-1) != 0 {
+		t.Fatalf("auto stripes resolved to %d, want a power of two > 1", auto)
+	}
+	if got := mk(1 << 20).Stripes(); got > 512 || got&(got-1) != 0 {
+		t.Fatalf("oversized request resolved to %d, want a power of two <= 512", got)
+	}
+	_, err := flowproc.NewEngine(flowproc.EngineConfig{SeqlockStripes: 3})
+	if err == nil || !strings.Contains(err.Error(), "stripes") {
+		t.Fatalf("non-power-of-two stripe count accepted (err=%v)", err)
+	}
+
+	// Bit-identity across granularities at the engine surface.
+	single, striped := mk(1), mk(512)
+	for _, e := range []*flowproc.Engine{single, striped} {
+		for i := uint32(0); i < 2048; i++ {
+			if _, err := e.Insert(tuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := uint32(0); i < 3000; i++ {
+		idA, okA := single.Lookup(tuple(i))
+		idB, okB := striped.Lookup(tuple(i))
+		if idA != idB || okA != okB {
+			t.Fatalf("tuple %d: stripes=1 (%d,%v) vs stripes=512 (%d,%v)", i, idA, okA, idB, okB)
+		}
+	}
+	// The retry split must aggregate without losing counts.
+	rs := striped.ReadStats()
+	if rs.Retries != rs.StripeRetries+rs.GlobalRetries {
+		t.Fatalf("ReadStats split does not sum: %+v", rs)
+	}
+}

@@ -151,6 +151,14 @@ func (c *ConvHashCAM) CommitReads(outcome uint8, n int64) {
 // inner table.
 func (c *ConvHashCAM) ReadLockFree() bool { return c.table.ReadLockFree() }
 
+// StripeBound implements table.StripedBackend, delegating to the inner
+// table (same geometry, same candidate buckets, same CAM region).
+func (c *ConvHashCAM) StripeBound() int { return c.table.StripeBound() }
+
+// SetEscalateHook implements table.StripedBackend, delegating to the
+// inner table: its CAM mutations are this adapter's CAM mutations.
+func (c *ConvHashCAM) SetEscalateHook(fn func()) { c.table.SetEscalateHook(fn) }
+
 // StorageBytes implements table.StorageSized, delegating to the inner
 // table.
 func (c *ConvHashCAM) StorageBytes() int64 { return c.table.Bytes() }

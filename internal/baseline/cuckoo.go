@@ -47,6 +47,15 @@ type Cuckoo struct {
 	relocate func(moves [][2]uint64)
 	moveBuf  [][2]uint64
 
+	// stripeBound is the bucket count when it is a power of two (so
+	// bucket = word & (buckets-1) and any dividing stripe count stays
+	// congruent), else 1 — striping off. escalate, when set, is called at
+	// the entry to an insert's eviction branch: from the second hop on, a
+	// kick chain writes buckets derived from victims' hash words, which
+	// the inserted key's stripes cannot cover (see table.StripedBackend).
+	stripeBound int
+	escalate    func()
+
 	// Relocations counts kick-out moves over the table lifetime;
 	// MaxChain records the longest single-insert eviction chain —
 	// the nondeterministic build-time behaviour quantified for the
@@ -69,12 +78,26 @@ func NewCuckoo(pair hashfn.Pair, buckets, slots, keyLen, maxKick int) (*Cuckoo, 
 		return nil, fmt.Errorf("baseline: cuckoo maxKick must be positive, got %d", maxKick)
 	}
 	c := &Cuckoo{pair: pair, buckets: buckets, slots: slots, keyLen: keyLen, maxKick: maxKick}
+	c.stripeBound = 1
+	if buckets&(buckets-1) == 0 {
+		c.stripeBound = buckets
+	}
 	for i := range c.stores {
 		c.stores[i] = slotarr.New(buckets*slots, keyLen)
 		c.hashw[i] = make([]uint64, buckets*slots*2)
 	}
 	return c, nil
 }
+
+// StripeBound implements table.StripedBackend: the bucket count when it
+// is a power of two (checkGeometry does not require one, and a non-pow2
+// reduction is not a low-bit fold), else 1. Cuckoo has no online grow, so
+// the construction geometry is the only one.
+func (c *Cuckoo) StripeBound() int { return c.stripeBound }
+
+// SetEscalateHook implements table.StripedBackend; fn fires before the
+// first kick-out of an insert's eviction chain.
+func (c *Cuckoo) SetEscalateHook(fn func()) { c.escalate = fn }
 
 // id folds a table and arena offset into a slot ID (the ID layout
 // concatenates the two table arenas).
@@ -255,7 +278,14 @@ func (c *Cuckoo) insertAt(key []byte, w [2]uint64) (uint64, error) {
 		// Kick out the resident of a deterministic victim slot; rotate by
 		// chain depth so repeated kicks in one bucket vary the victim.
 		// The victim's cached words leave with it — its next hop reduces
-		// them instead of rehashing its key.
+		// them instead of rehashing its key. The chain is about to write
+		// buckets the inserted key's stripes cannot cover (every hop past
+		// this one lands in a victim-derived bucket), so the write section
+		// escalates to the shard-global word first; the hook is idempotent,
+		// making the per-hop call free after the first.
+		if c.escalate != nil {
+			c.escalate()
+		}
 		victim := b*c.slots + chain%c.slots
 		victimID := c.id(table, victim)
 		victimIsNew := newResident && victimID == newID

@@ -33,6 +33,10 @@ type DLeft struct {
 	khWords []int8
 	slots   int
 	keyLen  int
+	// conBuckets is the construction-time bucket count — the minimum any
+	// generation will ever have (grows only enlarge), so the stripe bound
+	// derives from it (see StripeBound).
+	conBuckets int
 
 	// live is the generation inserts target; old is non-nil only while a
 	// grow is migrating entries out of the previous generation (grow.go).
@@ -71,10 +75,11 @@ func NewDLeft(hashes []hashfn.Func, buckets, slots, keyLen int) (*DLeft, error) 
 		return nil, fmt.Errorf("baseline: d-left requires at least 2 hash functions, got %d", len(hashes))
 	}
 	d := &DLeft{
-		hashes:  hashes,
-		khWords: make([]int8, len(hashes)),
-		slots:   slots,
-		keyLen:  keyLen,
+		hashes:     hashes,
+		khWords:    make([]int8, len(hashes)),
+		slots:      slots,
+		keyLen:     keyLen,
+		conBuckets: buckets,
 	}
 	for i := range hashes {
 		d.khWords[i] = khNone
@@ -305,6 +310,29 @@ func (d *DLeft) Name() string { return fmt.Sprintf("%d-left", len(d.hashes)) }
 // TableLoads returns the live generation's per-sub-table entry counts
 // (left-skew check).
 func (d *DLeft) TableLoads() []int { return append([]int(nil), d.live.Load().counts...) }
+
+// StripeBound implements table.StripedBackend: the construction-time
+// bucket count when it is a power of two (so every generation's buckets
+// are low-bit folds of the hash words) and every sub-table is bound to a
+// KeyHashes word (khNone sub-tables hash key bytes the sharded layer
+// never sees, so their buckets are not congruent to any stripe); else 1.
+func (d *DLeft) StripeBound() int {
+	if d.conBuckets&(d.conBuckets-1) != 0 {
+		return 1
+	}
+	for _, w := range d.khWords {
+		if w == khNone {
+			return 1
+		}
+	}
+	return d.conBuckets
+}
+
+// SetEscalateHook implements table.StripedBackend as a no-op: every
+// d-left mutation — the least-loaded placement and the delete of a
+// read-resolved slot — lands in one of the key's candidate buckets, and
+// migration re-placements run under the sharded layer's global sections.
+func (d *DLeft) SetEscalateHook(func()) {}
 
 // PrefetchHashed implements table.PrefetchBackend: every pair-bound
 // sub-table's live candidate bucket is touched (khNone sub-tables would

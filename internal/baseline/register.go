@@ -30,6 +30,11 @@ var (
 	_ table.OptimisticBackend = (*DLeft)(nil)
 	_ table.OptimisticBackend = (*Cuckoo)(nil)
 	_ table.OptimisticBackend = (*ConvHashCAM)(nil)
+
+	_ table.StripedBackend = (*SingleHash)(nil)
+	_ table.StripedBackend = (*DLeft)(nil)
+	_ table.StripedBackend = (*Cuckoo)(nil)
+	_ table.StripedBackend = (*ConvHashCAM)(nil)
 )
 
 func init() {

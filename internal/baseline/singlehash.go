@@ -39,6 +39,10 @@ type SingleHash struct {
 	khWord int8 // KeyHashes word of hash (khH1/khH2), or khNone
 	slots  int
 	keyLen int
+	// conBuckets is the construction-time bucket count — the minimum any
+	// arena will ever have (grows only enlarge) — from which StripeBound
+	// derives.
+	conBuckets int
 
 	// live is the arena inserts target; old is non-nil only while a grow
 	// is migrating entries out of the previous arena (grow.go). Atomic
@@ -84,14 +88,31 @@ func NewSingleHash(hash hashfn.Func, buckets, slots, keyLen int) (*SingleHash, e
 		return nil, fmt.Errorf("baseline: single-hash requires a hash function")
 	}
 	s := &SingleHash{
-		hash:   hash,
-		khWord: khNone,
-		slots:  slots,
-		keyLen: keyLen,
+		hash:       hash,
+		khWord:     khNone,
+		slots:      slots,
+		keyLen:     keyLen,
+		conBuckets: buckets,
 	}
 	s.live.Store(&shArena{buckets: buckets, store: slotarr.New(buckets*slots, keyLen)})
 	return s, nil
 }
+
+// StripeBound implements table.StripedBackend: the construction-time
+// bucket count when it is a power of two and the hash is bound to a
+// KeyHashes word (an unbound function hashes key bytes the sharded layer
+// never sees), else 1.
+func (s *SingleHash) StripeBound() int {
+	if s.khWord == khNone || s.conBuckets&(s.conBuckets-1) != 0 {
+		return 1
+	}
+	return s.conBuckets
+}
+
+// SetEscalateHook implements table.StripedBackend as a no-op: every
+// single-hash mutation lands in the key's one candidate bucket, and
+// migration re-placements run under the sharded layer's global sections.
+func (s *SingleHash) SetEscalateHook(func()) {}
 
 // NewSingleHashPair builds a single-hash table over pair.H1 whose hashed
 // fast path consumes the precomputed KeyHashes.H1 word directly — the

@@ -99,6 +99,7 @@ var (
 	_ table.StorageSized      = Exact{}
 	_ table.GrowableBackend   = Exact{} // grow methods promote from *Table
 	_ table.RelocatingBackend = Exact{} // migration moves feed the expiry hook
+	_ table.StripedBackend    = Exact{} // stripe methods promote from *Table
 )
 
 // BackendConfig derives a hashcam Config from the generic backend Config;

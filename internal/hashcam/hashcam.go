@@ -231,6 +231,16 @@ type Table struct {
 	growCursor uint64
 	moveBuf    [][2]uint64
 	relocate   func(moves [][2]uint64)
+
+	// stripeBound is the construction-time bucket count — the largest
+	// stripe count for which every Mem1/Mem2 bucket stays congruent to
+	// its hash word (grows only double the count, preserving the fold;
+	// see table.StripedBackend). escalate, when set, is called before the
+	// first CAM mutation of an insert or delete: CAM slots are probed by
+	// every read regardless of the key's buckets, so no stripe covers
+	// them. Guarded by the caller's exclusive lock.
+	stripeBound int
+	escalate    func()
 }
 
 // newGeom allocates a geometry of the given bucket count.
@@ -248,7 +258,7 @@ func New(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{cfg: cfg, cam: cam.New(cfg.CAMCapacity)}
+	t := &Table{cfg: cfg, cam: cam.New(cfg.CAMCapacity), stripeBound: cfg.Buckets}
 	// Fix the CAM's arena now rather than on its first insert: the lazy
 	// allocation would swing an internal pointer mid-traffic, which the
 	// lock-free read path (ReadHashed) cannot tolerate.
@@ -267,6 +277,26 @@ func (t *Table) Config() Config {
 
 // Stats returns a snapshot of the counters.
 func (t *Table) Stats() Stats { return t.stats.snapshot() }
+
+// StripeBound reports the construction-time bucket count: Config.Validate
+// enforces a power of two and an online grow only ever doubles it, so any
+// stripe count dividing the constructed count keeps every Mem1/Mem2
+// bucket — in the live and any retiring geometry — congruent to its hash
+// word. CAM slots are outside any bucket; mutations there escalate via
+// the hook instead.
+func (t *Table) StripeBound() int { return t.stripeBound }
+
+// SetEscalateHook registers fn to be called before the first mutation of
+// CAM state within an insert or delete (the sharded layer promotes the
+// write's seqlock stamp from the key's stripes to the shard-global word).
+func (t *Table) SetEscalateHook(fn func()) { t.escalate = fn }
+
+// escalateCAM invokes the escalate hook ahead of a CAM mutation.
+func (t *Table) escalateCAM() {
+	if t.escalate != nil {
+		t.escalate()
+	}
+}
 
 // Len returns the number of stored entries (spanning both geometries
 // while a grow is migrating).
@@ -582,7 +612,10 @@ func (t *Table) insertAt(key []byte, kw *keyWords) (uint64, error) {
 			return t.place(g, h, buckets[h], slot-buckets[h]*k, w[h], key), nil
 		}
 	}
-	// Both buckets full: overflow to the CAM.
+	// Both buckets full: overflow to the CAM — outside any stripe's
+	// coverage, so the write section must own the shard-global word
+	// before the CAM arena changes.
+	t.escalateCAM()
 	idx, err := t.cam.Insert(key, 0)
 	if err != nil {
 		t.stats.failedIns.Add(1)
@@ -617,7 +650,14 @@ func (t *Table) DeleteHashed(key []byte, kh hashfn.KeyHashes) bool {
 // searching new-then-old like lookups so a not-yet-migrated entry can be
 // removed mid-grow.
 func (t *Table) deleteAt(key []byte, kw *keyWords) bool {
-	if t.cam.Delete(key) {
+	// Probe the CAM read-only first (Find is the stats-free core) and
+	// escalate only on a hit: a CAM miss mutates nothing there, and a hit
+	// is about to clear an entry every reader probes regardless of its
+	// buckets. The accounting is unchanged — a miss charged nothing
+	// before, and the hit path's counters bump exactly as they did.
+	if _, hit := t.cam.Find(key); hit {
+		t.escalateCAM()
+		t.cam.Delete(key)
 		t.stats.deletes.Add(1)
 		t.stats.xprobes.Add(1)
 		return true

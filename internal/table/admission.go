@@ -18,9 +18,10 @@ import (
 // sketch estimate at the bar and falls through to the backend insert —
 // the deferred insert replays itself, no separate promotion queue. The
 // sketch segment lives beside its shard and is only read or written
-// under that shard's write lock, inside the existing beginWrite/endWrite
-// seqlock section, so lock-free readers never observe it and no new
-// synchronisation is introduced. Decay (halving every counter) rides the
+// under that shard's write lock, so lock-free readers never observe it
+// and no new synchronisation is introduced — which is also why the gate
+// runs before the insert's seqlock write section opens: a gated insert
+// mutates only sketch state and leaves every sequence word untouched. Decay (halving every counter) rides the
 // Advance clock at a configurable epoch cadence, aging one-packet mice
 // out of the sketch the same way the expiry sweep ages them out of the
 // table.
@@ -152,7 +153,9 @@ func (s *Sharded) AdmissionStats() AdmissionStats {
 }
 
 // admitGateLocked applies the admission gate to one insert. Caller holds
-// shard's write lock inside a beginWrite/endWrite section. Resident keys
+// shard's write lock; no seqlock section is needed (lock-free readers
+// never probe sketch state, and nothing here mutates the arenas —
+// LookupHashed is a read). Resident keys
 // pass untouched (a duplicate insert is a touch, and must stay one);
 // non-resident keys bump the sketch and are admitted — counted, then
 // allowed through to the backend insert — once the estimate reaches the

@@ -54,8 +54,10 @@ type GrowLayout struct {
 //
 // All three methods require the caller's exclusive lock (the same
 // discipline as Insert), and the Sharded layer additionally wraps every
-// call in its beginWrite/endWrite seqlock stamps so the optimistic read
-// path discards results torn by a migration step. Backends whose
+// call in a shard-global seqlock section — migration steps and geometry
+// swaps move slots across the whole arena, beyond anything per-stripe
+// words could cover — so the optimistic read path discards results torn
+// by a migration step. Backends whose
 // relocations are observed by a RelocatingBackend hook must report each
 // step's moves (old slot ID → new slot ID, both in the layout's ID
 // space) through the hook before the step returns, so expiry
@@ -181,12 +183,13 @@ func (s *Sharded) Grow(factor int) error {
 		if err := func() error {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			sh.beginWrite()
-			defer sh.endWrite()
 			if sh.gbe.Growing() {
 				return nil
 			}
-			return s.beginGrowShardLocked(sh, i, sh.capTarget*factor)
+			sh.beginWrite()
+			err := s.beginGrowShardLocked(sh, i, sh.capTarget*factor)
+			sh.endWrite()
+			return err
 		}(); err != nil {
 			return err
 		}
@@ -241,8 +244,9 @@ func (s *Sharded) SlotCapacity() int64 {
 // beginGrowShardLocked starts one shard's migration: the backend
 // allocates its new arena, the expiry side-tables (when enabled) are
 // re-addressed per the layout, and the old-arena read watermark is
-// published. Caller holds the shard's write lock inside a
-// beginWrite/endWrite section.
+// published. Caller holds the shard's write lock inside a global seqlock
+// section (beginWrite/endWrite, or a targeted section escalated onto the
+// global word).
 func (s *Sharded) beginGrowShardLocked(sh *shardState, shard int, newCap int) error {
 	layout, err := sh.gbe.BeginGrow(newCap)
 	if err != nil {
@@ -265,7 +269,7 @@ func (s *Sharded) beginGrowShardLocked(sh *shardState, shard int, newCap int) er
 // is in flight — the amortisation hook called at the tail of every
 // exclusive-lock section (inserts, deletes, the expiry sweep), mirroring
 // how the sweep itself is driven. Caller holds the shard's write lock
-// inside a beginWrite/endWrite section.
+// inside a global seqlock section.
 func (s *Sharded) pumpMigrationLocked(sh *shardState, shard int) {
 	if sh.gbe == nil || !sh.gbe.Growing() {
 		return
@@ -282,7 +286,7 @@ func (s *Sharded) pumpMigrationLocked(sh *shardState, shard int) {
 // finishGrowShardLocked retires one shard's old arena: the backend drops
 // it, the expiry side-tables shrink back to the new bound, and the
 // old-arena watermark is reset. Caller holds the shard's write lock
-// inside a beginWrite/endWrite section.
+// inside a global seqlock section.
 func (s *Sharded) finishGrowShardLocked(sh *shardState, shard int) {
 	sh.gbe.FinishGrow()
 	sh.oldBase.Store(^uint64(0))
@@ -291,22 +295,19 @@ func (s *Sharded) finishGrowShardLocked(sh *shardState, shard int) {
 	}
 }
 
-// maybeGrowLocked is the auto-grow trigger, checked once per insert
-// locked section: when the shard's real occupancy crosses
-// MaxLoadFactor × its real slot capacity, a migration to Factor × the
-// current nominal capacity begins. Caller holds the shard's write lock
-// inside a beginWrite/endWrite section.
-func (s *Sharded) maybeGrowLocked(sh *shardState, shard int) {
+// wantsAutoGrowLocked is the auto-grow trigger predicate, checked once
+// per write locked section: true when auto-growth is armed, no migration
+// is in flight, and the shard's real occupancy has crossed
+// MaxLoadFactor × its real slot capacity. Split from the grow action so
+// growPumps can decide whether a seqlock section is needed at all before
+// stamping anything — an armed but quiescent trigger must not perturb
+// striped readers on every insert.
+func (s *Sharded) wantsAutoGrowLocked(sh *shardState) bool {
 	lf := s.growth.MaxLoadFactor
 	if lf <= 0 || sh.gbe == nil || sh.slotCap == 0 || sh.gbe.Growing() {
-		return
+		return false
 	}
-	if float64(sh.be.Len()) < lf*float64(sh.slotCap) {
-		return
-	}
-	// The only BeginGrow failures are "already growing" (excluded above)
-	// and a non-increasing target, which Factor >= 2 rules out.
-	_ = s.beginGrowShardLocked(sh, shard, sh.capTarget*s.growth.Factor)
+	return float64(sh.be.Len()) >= lf*float64(sh.slotCap)
 }
 
 // growOnFullLocked is the second auto-grow trigger: an insert that hit
@@ -314,21 +315,39 @@ func (s *Sharded) maybeGrowLocked(sh *shardState, shard int) {
 // below the load-factor threshold — per-bucket overflow can reject keys
 // long before global occupancy looks full, and the caller retries the
 // insert against the fresh arena. Reports whether a grow started. Caller
-// holds the shard's write lock inside a beginWrite/endWrite section.
+// holds the shard's write lock inside a write section; the geometry swap
+// mutates state far beyond the caller's candidate buckets, so a targeted
+// section is promoted to the global word before anything moves.
 func (s *Sharded) growOnFullLocked(sh *shardState, shard int) bool {
 	if s.growth.MaxLoadFactor <= 0 || sh.gbe == nil || sh.gbe.Growing() {
 		return false
 	}
+	sh.escalateLocked()
 	return s.beginGrowShardLocked(sh, shard, sh.capTarget*s.growth.Factor) == nil
 }
 
 // growPumps is the per-write migration drive shared by the scalar and
-// batch write paths: the auto-grow check, then one budgeted step.
+// batch write paths: the auto-grow check, then one budgeted step. It
+// runs after the caller's write sections close and brackets the
+// shard-global seqlock word itself, but only when there is actual work —
+// a trigger firing or a migration in flight — so the quiescent per-write
+// call stamps nothing and striped readers stay undisturbed. Caller holds
+// the shard's write lock with no seqlock section open.
 func (s *Sharded) growPumps(sh *shardState, shard int, insert bool) {
-	if insert {
-		s.maybeGrowLocked(sh, shard)
+	grow := insert && s.wantsAutoGrowLocked(sh)
+	pump := sh.gbe != nil && sh.gbe.Growing()
+	if !grow && !pump {
+		return
+	}
+	sh.beginWrite()
+	if grow {
+		// The only BeginGrow failures are "already growing" (excluded by
+		// wantsAutoGrowLocked) and a non-increasing target, which
+		// Factor >= 2 rules out.
+		_ = s.beginGrowShardLocked(sh, shard, sh.capTarget*s.growth.Factor)
 	}
 	s.pumpMigrationLocked(sh, shard)
+	sh.endWrite()
 }
 
 // oldHitCheck counts a lookup hit served from the retiring arena. The

@@ -146,13 +146,17 @@ func (s *Sharded) getEvictScratch() *pendingEvictions {
 // evictIdlestLocked reclaims the least-recently-seen occupied candidate
 // slot of kh's key on shard, staging the victim's export record in pe. It
 // returns whether a slot was freed. Caller holds the shard's write lock
-// inside a beginWrite/endWrite section and must fire pe's records through
-// fireEvictions after releasing the lock.
+// inside a write section and must fire pe's records through
+// fireEvictions after releasing the lock. The victim can live outside
+// the key's stripe-covered buckets (a hashcam candidate set includes CAM
+// slots), so a targeted section is promoted to the global word before
+// the delete.
 func (s *Sharded) evictIdlestLocked(sh *shardState, shard int, kh hashfn.KeyHashes, pe *pendingEvictions) bool {
 	exp := s.expiry
 	if exp == nil || sh.cbe == nil {
 		return false
 	}
+	sh.escalateLocked()
 	st := &exp.shards[shard]
 	t := st.tabs.Load()
 	// During a migration, candidates span live placements only (inserts

@@ -70,7 +70,7 @@ func TestSeqlockFallbackDeterministic(t *testing.T) {
 		select {
 		case <-deadline:
 			t.Fatalf("readers did not fall back while the shard was write-held (retries %d, fallbacks %d)",
-				sh.retries.Load(), sh.fallbacks.Load())
+				sh.gretries.Load(), sh.fallbacks.Load())
 		case r := <-scalar:
 			t.Fatalf("scalar read completed (%d,%v) while the writer held the shard", r.id, r.ok)
 		case got := <-batch:
@@ -78,8 +78,8 @@ func TestSeqlockFallbackDeterministic(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if got := sh.retries.Load(); got < 2*seqlockAttempts {
-		t.Fatalf("retries %d, want at least %d (both readers × full budget)", got, 2*seqlockAttempts)
+	if got := sh.gretries.Load(); got < 2*seqlockAttempts {
+		t.Fatalf("global retries %d, want at least %d (both readers × full budget)", got, 2*seqlockAttempts)
 	}
 
 	sh.endWrite()

@@ -2,6 +2,7 @@ package table_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -144,172 +145,269 @@ func TestOptimisticTornReadStress(t *testing.T) {
 	cfg := table.Config{Capacity: 1 << 14, SlotsPerBucket: 2, CAMCapacity: 64, Hash: hashfn.DefaultPair()}
 	for _, name := range canonicalBackends {
 		t.Run(name, func(t *testing.T) {
-			s, err := table.NewSharded(name, 2, cfg, nil)
+			runTornReadStress(t, name, cfg)
+		})
+	}
+}
+
+// TestOptimisticTornReadStressStripes re-runs the torn-read certificate
+// across the seqlock granularity spectrum — the single-word control, a
+// mid stripe count, and the cap — on the two backends whose writes leave
+// their start buckets (CAM overflow and cuckoo kicks, i.e. the
+// escalation paths): correctness must be independent of how finely the
+// sequence words partition the arenas.
+func TestOptimisticTornReadStressStripes(t *testing.T) {
+	cfg := table.Config{Capacity: 1 << 14, SlotsPerBucket: 2, CAMCapacity: 64, Hash: hashfn.DefaultPair()}
+	for _, stripes := range []int{1, 8, 512} {
+		for _, name := range []string{"hashcam", "cuckoo"} {
+			scfg := cfg
+			scfg.SeqlockStripes = stripes
+			t.Run(fmt.Sprintf("%s/stripes=%d", name, stripes), func(t *testing.T) {
+				runTornReadStress(t, name, scfg)
+			})
+		}
+	}
+}
+
+// runTornReadStress is the shared body of the torn-read stress tests.
+func runTornReadStress(t *testing.T, name string, cfg table.Config) {
+	s, err := table.NewSharded(name, 2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	const resident = 1000
+	stable := keys13(0, resident)
+	stableIDs := make(map[string]uint64, resident)
+	ids, errs := s.InsertBatch(stable)
+	if errs != nil {
+		t.Fatalf("stable preload failed: %v", table.BatchErr(errs))
+	}
+	for i, k := range stable {
+		stableIDs[string(k)] = ids[i]
+	}
+	idStable := name != "cuckoo" // kicks relocate residents
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The single writer owns the churn range and its model.
+	model := map[string]uint64{}
+	var modelDegraded bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		span := keys13(1<<20, 1<<20+256)
+		bids := make([]uint64, len(span))
+		berrs := make([]error, len(span))
+		boks := make([]bool, len(span))
+		clock := int64(0)
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Scalar churn with model maintenance.
+			for op := 0; op < 64; op++ {
+				k := key13(uint64(1<<21 + rng.Intn(512)))
+				if rng.Intn(2) == 0 {
+					id, err := s.Insert(k)
+					switch {
+					case err == nil:
+						model[string(k)] = id
+					case errors.Is(err, table.ErrTableFull):
+						if name == "cuckoo" {
+							modelDegraded = true // failed chain rearranged residents
+						}
+					default:
+						t.Errorf("writer insert: %v", err)
+						return
+					}
+				} else {
+					if s.Delete(k) {
+						delete(model, string(k))
+					}
+				}
+			}
+			// Batched churn over a disjoint range (no model: the
+			// round inserts then deletes the whole span).
+			s.InsertBatchInto(span, bids, berrs)
+			for i, e := range berrs {
+				if e != nil && !errors.Is(e, table.ErrTableFull) {
+					t.Errorf("writer batch insert %d: %v", i, e)
+					return
+				}
+			}
+			s.DeleteBatchInto(span, boks)
+			// Sweep mutations interleave with lock-free readers.
+			if round%8 == 0 {
+				clock++
+				s.Advance(clock)
+			}
+		}
+	}()
+
+	// Readers: scalar + batch over stable, churned and absent keys.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			window := stable[r*256 : r*256+256]
+			bids := make([]uint64, len(window))
+			bhits := make([]bool, len(window))
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.LookupBatchInto(window, bids, bhits)
+				for j, k := range window {
+					if !bhits[j] {
+						t.Errorf("reader %d: stable key %x vanished", r, k)
+						return
+					}
+					if idStable && bids[j] != stableIDs[string(k)] {
+						t.Errorf("reader %d: stable key %x ID drifted %d -> %d",
+							r, k, stableIDs[string(k)], bids[j])
+						return
+					}
+				}
+				k := stable[(i*13+uint64(r))%resident]
+				if id, ok := s.Lookup(k); !ok || (idStable && id != stableIDs[string(k)]) {
+					t.Errorf("reader %d: scalar stable lookup (%d,%v)", r, id, ok)
+					return
+				}
+				if _, ok := s.Lookup(key13(1<<30 + i%512)); ok {
+					t.Errorf("reader %d: never-inserted key hit", r)
+					return
+				}
+				s.Lookup(key13(uint64(1<<21 + int(i)%512))) // churned: no assertion
+			}
+		}(r)
+	}
+
+	// Run until the seqlock demonstrably engaged (non-race builds)
+	// or a fixed schedule elapsed (race builds, where the path is
+	// compiled out and the same load certifies the locked paths).
+	deadline := time.After(5 * time.Second)
+	tick := time.NewTicker(10 * time.Millisecond)
+	rounds := 0
+	for engaged := false; !engaged; {
+		select {
+		case <-tick.C:
+			rounds++
+			st := s.ReadStats()
+			engaged = raceEnabled && rounds >= 20 ||
+				st.Retries+st.Fallbacks > 0 && rounds >= 5
+		case <-deadline:
+			engaged = true
+			if st := s.ReadStats(); !raceEnabled && st.Retries+st.Fallbacks == 0 {
+				t.Error("5s of writer churn never invalidated a lock-free read; seqlock path inert?")
+			}
+		}
+	}
+	tick.Stop()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if !raceEnabled {
+		if st := s.ReadStats(); !st.Optimistic {
+			t.Fatalf("optimistic path off on a capable build: %+v", st)
+		}
+	}
+	// Quiesced differential sweep: the writer's model must be a
+	// subset of the table (exact residency for non-evictive
+	// backends).
+	for k, want := range model {
+		id, ok := s.Lookup([]byte(k))
+		if !ok && !modelDegraded {
+			t.Fatalf("churned key %x in model but not in table", k)
+		}
+		if ok && idStable && !modelDegraded && id != want {
+			t.Fatalf("churned key %x ID %d, model says %d", k, id, want)
+		}
+	}
+	for _, k := range stable {
+		if _, ok := s.Lookup(k); !ok {
+			t.Fatalf("stable key %x missing after quiesce", k)
+		}
+	}
+}
+
+// TestStripedReadsBitIdentity extends the bit-identity pin across the
+// seqlock granularity spectrum: for every canonical backend, tables built
+// at stripes 1 (the single-word control), 8 and 512 — plus a locked-path
+// control at the default granularity — must produce identical IDs, hits
+// and probe totals for the same insert/delete/lookup stream. Striping
+// changes only which sequence words writers stamp, never placement or
+// results.
+func TestStripedReadsBitIdentity(t *testing.T) {
+	base := table.Config{Capacity: 4096, SlotsPerBucket: 2, CAMCapacity: 32, Hash: hashfn.DefaultPair()}
+	for _, name := range canonicalBackends {
+		t.Run(name, func(t *testing.T) {
+			type variant struct {
+				label string
+				s     *table.Sharded
+			}
+			var variants []variant
+			for _, stripes := range []int{1, 8, 512} {
+				cfg := base
+				cfg.SeqlockStripes = stripes
+				s, err := table.NewSharded(name, 4, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				variants = append(variants, variant{fmt.Sprintf("stripes=%d", stripes), s})
+			}
+			locked, err := table.NewSharded(name, 4, base, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := s.EnableExpiry(table.ExpiryConfig{IdleTimeout: 1 << 40}); err != nil {
-				t.Fatal(err)
-			}
-			const resident = 1000
-			stable := keys13(0, resident)
-			stableIDs := make(map[string]uint64, resident)
-			ids, errs := s.InsertBatch(stable)
-			if errs != nil {
-				t.Fatalf("stable preload failed: %v", table.BatchErr(errs))
-			}
-			for i, k := range stable {
-				stableIDs[string(k)] = ids[i]
-			}
-			idStable := name != "cuckoo" // kicks relocate residents
+			locked.SetOptimisticReads(false)
+			variants = append(variants, variant{"locked", locked})
 
-			stop := make(chan struct{})
-			var wg sync.WaitGroup
-
-			// The single writer owns the churn range and its model.
-			model := map[string]uint64{}
-			var modelDegraded bool
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				rng := rand.New(rand.NewSource(11))
-				span := keys13(1<<20, 1<<20+256)
-				bids := make([]uint64, len(span))
-				berrs := make([]error, len(span))
-				boks := make([]bool, len(span))
-				clock := int64(0)
-				for round := 0; ; round++ {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					// Scalar churn with model maintenance.
-					for op := 0; op < 64; op++ {
-						k := key13(uint64(1<<21 + rng.Intn(512)))
-						if rng.Intn(2) == 0 {
-							id, err := s.Insert(k)
-							switch {
-							case err == nil:
-								model[string(k)] = id
-							case errors.Is(err, table.ErrTableFull):
-								if name == "cuckoo" {
-									modelDegraded = true // failed chain rearranged residents
-								}
-							default:
-								t.Errorf("writer insert: %v", err)
-								return
-							}
-						} else {
-							if s.Delete(k) {
-								delete(model, string(k))
-							}
-						}
-					}
-					// Batched churn over a disjoint range (no model: the
-					// round inserts then deletes the whole span).
-					s.InsertBatchInto(span, bids, berrs)
-					for i, e := range berrs {
+			keys := keys13(0, 1500)
+			for _, v := range variants {
+				if _, errs := v.s.InsertBatch(keys); errs != nil {
+					for i, e := range errs {
 						if e != nil && !errors.Is(e, table.ErrTableFull) {
-							t.Errorf("writer batch insert %d: %v", i, e)
-							return
+							t.Fatalf("%s preload %d: %v", v.label, i, e)
 						}
-					}
-					s.DeleteBatchInto(span, boks)
-					// Sweep mutations interleave with lock-free readers.
-					if round%8 == 0 {
-						clock++
-						s.Advance(clock)
 					}
 				}
-			}()
-
-			// Readers: scalar + batch over stable, churned and absent keys.
-			for r := 0; r < 3; r++ {
-				wg.Add(1)
-				go func(r int) {
-					defer wg.Done()
-					window := stable[r*256 : r*256+256]
-					bids := make([]uint64, len(window))
-					bhits := make([]bool, len(window))
-					for i := uint64(0); ; i++ {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						s.LookupBatchInto(window, bids, bhits)
-						for j, k := range window {
-							if !bhits[j] {
-								t.Errorf("reader %d: stable key %x vanished", r, k)
-								return
-							}
-							if idStable && bids[j] != stableIDs[string(k)] {
-								t.Errorf("reader %d: stable key %x ID drifted %d -> %d",
-									r, k, stableIDs[string(k)], bids[j])
-								return
-							}
-						}
-						k := stable[(i*13+uint64(r))%resident]
-						if id, ok := s.Lookup(k); !ok || (idStable && id != stableIDs[string(k)]) {
-							t.Errorf("reader %d: scalar stable lookup (%d,%v)", r, id, ok)
-							return
-						}
-						if _, ok := s.Lookup(key13(1<<30 + i%512)); ok {
-							t.Errorf("reader %d: never-inserted key hit", r)
-							return
-						}
-						s.Lookup(key13(uint64(1<<21 + int(i)%512))) // churned: no assertion
-					}
-				}(r)
+				for i := 0; i < 1500; i += 3 {
+					v.s.Delete(keys[i])
+				}
 			}
-
-			// Run until the seqlock demonstrably engaged (non-race builds)
-			// or a fixed schedule elapsed (race builds, where the path is
-			// compiled out and the same load certifies the locked paths).
-			deadline := time.After(5 * time.Second)
-			tick := time.NewTicker(10 * time.Millisecond)
-			rounds := 0
-			for engaged := false; !engaged; {
-				select {
-				case <-tick.C:
-					rounds++
-					st := s.ReadStats()
-					engaged = raceEnabled && rounds >= 20 ||
-						st.Retries+st.Fallbacks > 0 && rounds >= 5
-				case <-deadline:
-					engaged = true
-					if st := s.ReadStats(); !raceEnabled && st.Retries+st.Fallbacks == 0 {
-						t.Error("5s of writer churn never invalidated a lock-free read; seqlock path inert?")
+			probe := keys13(0, 2000) // residents, deleted, never-inserted
+			ref := variants[0]
+			refIDs, refHits := ref.s.LookupBatch(probe)
+			for i := uint64(0); i < 1000; i++ {
+				id0, ok0 := ref.s.Lookup(key13(i * 2))
+				for _, v := range variants[1:] {
+					if id, ok := v.s.Lookup(key13(i * 2)); id != id0 || ok != ok0 {
+						t.Fatalf("scalar %d: %s (%d,%v) vs %s (%d,%v)",
+							i, ref.label, id0, ok0, v.label, id, ok)
 					}
 				}
 			}
-			tick.Stop()
-			close(stop)
-			wg.Wait()
-			if t.Failed() {
-				return
-			}
-			if !raceEnabled {
-				if st := s.ReadStats(); !st.Optimistic {
-					t.Fatalf("optimistic path off on a capable build: %+v", st)
+			for _, v := range variants[1:] {
+				ids, hits := v.s.LookupBatch(probe)
+				for i := range probe {
+					if ids[i] != refIDs[i] || hits[i] != refHits[i] {
+						t.Fatalf("batch %d: %s (%d,%v) vs %s (%d,%v)",
+							i, ref.label, refIDs[i], refHits[i], v.label, ids[i], hits[i])
+					}
 				}
-			}
-			// Quiesced differential sweep: the writer's model must be a
-			// subset of the table (exact residency for non-evictive
-			// backends).
-			for k, want := range model {
-				id, ok := s.Lookup([]byte(k))
-				if !ok && !modelDegraded {
-					t.Fatalf("churned key %x in model but not in table", k)
-				}
-				if ok && idStable && !modelDegraded && id != want {
-					t.Fatalf("churned key %x ID %d, model says %d", k, id, want)
-				}
-			}
-			for _, k := range stable {
-				if _, ok := s.Lookup(k); !ok {
-					t.Fatalf("stable key %x missing after quiesce", k)
+				if pa, pb := ref.s.Probes(), v.s.Probes(); pa != pb {
+					t.Fatalf("probe accounting diverged: %s %d vs %s %d", ref.label, pa, v.label, pb)
 				}
 			}
 		})

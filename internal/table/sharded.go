@@ -36,12 +36,18 @@ const shardSelectorSeed = 0x5ca1ab1e_0ddba11
 //
 // When every shard backend additionally implements OptimisticBackend (and
 // the build is not race-instrumented — see seqlockCapable), lookups skip
-// the RLock entirely: each shard carries a sequence counter that writers
+// the RLock entirely: each shard carries sequence counters that writers
 // stamp odd/even around every mutation, and readers probe the slot arenas
-// locklessly, validating the counter before and after. A torn read is
+// locklessly, validating the counters before and after. A torn read is
 // retried a bounded number of times and then falls back to the RLock slow
-// path, which waits the writer out instead of spinning. See ReadStats for
-// the health counters and docs/ARCHITECTURE.md for the full protocol.
+// path, which waits the writer out instead of spinning. The counters are
+// two-level: a shard-global word covering whole-arena mutations (sweep
+// steps, migration pumps, geometry swaps) plus — when the backends
+// support it (StripedBackend) — a power-of-two array of per-stripe words,
+// so a targeted write stamps only the stripes covering its candidate
+// buckets and no longer invalidates readers of unrelated buckets. See
+// ReadStats for the health counters (retries split by failing level) and
+// docs/ARCHITECTURE.md for the full protocol.
 //
 // When the backend implements HashedBackend, every operation makes a
 // single hash pass per key (hashfn.Pair.Compute): the resulting KeyHashes
@@ -60,6 +66,15 @@ type Sharded struct {
 	optimistic bool        // lock-free read path active (<= optCapable)
 	shardBits  uint
 	name       string
+
+	// nstripes is the effective per-shard seqlock stripe count (1 = the
+	// single-word protocol), stripeMask its low-bit fold mask, striped
+	// whether targeted writes stamp stripes (nstripes > 1). Resolved once
+	// at construction: the configured (or derived) count clamped to the
+	// backends' StripeBound. See stripes.go.
+	nstripes   int
+	stripeMask uint64
+	striped    bool
 
 	scratch sync.Pool // *batchScratch
 	evPool  sync.Pool // *pendingEvictions
@@ -94,20 +109,22 @@ type Sharded struct {
 	droppedSlots  atomic.Int64
 }
 
-// shardState pairs a backend with its lock and seqlock word. hbe, pbe and
+// shardState pairs a backend with its lock and seqlock words. hbe, pbe and
 // obe are the same backend downcast once at construction, so the hot path
 // never type-asserts.
 //
-// seq is the shard's sequence counter: even when the arenas are quiescent,
-// odd while a writer holds mu exclusively and is mutating them. Writers
-// bump it twice per locked section (once per section, not per key, so a
-// 64-key insert sub-batch costs two atomic adds); lock-free readers
-// snapshot it, probe, and discard the result unless the snapshot was even
+// seq is the shard-global sequence word: even when the arenas are
+// quiescent, odd while a writer holding mu exclusively is mutating state
+// that stripes cannot cover — whole-arena sections (expiry sweep steps,
+// migration pumps, geometry swaps) stamp it directly, and targeted write
+// sections escalate onto it (escalateLocked) before their first mutation
+// outside the key's candidate buckets. In striped mode (stripes non-nil)
+// targeted writes otherwise stamp only the key's stripe pair; in
+// single-word mode every write section stamps seq (once per section, not
+// per key, so a 64-key sub-batch costs two atomic adds). Lock-free
+// readers snapshot the global word plus, in striped mode, their key's
+// stripes, probe, and discard the result unless every snapshot was even
 // and unchanged after the probe.
-//
-// The struct is sized to two cache lines so one shard's write traffic
-// (mu, seq, retry counters — all on the line a writer dirties) never
-// false-shares with a neighbouring shard's state in the shards slice.
 type shardState struct {
 	mu  sync.RWMutex
 	be  Backend
@@ -117,8 +134,9 @@ type shardState struct {
 	cbe CandidateSlotter  // nil when be cannot enumerate candidate slots
 	gbe GrowableBackend   // nil when be cannot resize online
 
-	seq       atomic.Uint64 // seqlock word: odd = writer in the arenas
-	retries   atomic.Int64  // lock-free probes discarded by validation
+	seq       atomic.Uint64 // global seqlock word: odd = writer in the arenas
+	gretries  atomic.Int64  // lock-free probes discarded by global-word validation
+	sretries  atomic.Int64  // lock-free probes discarded by stripe validation
 	fallbacks atomic.Int64  // reads that exhausted retries, took the RLock
 	rejected  atomic.Int64  // inserts that surfaced ErrTableFull
 	evicted   atomic.Int64  // flows reclaimed by FullEvictIdlest
@@ -134,8 +152,22 @@ type shardState struct {
 	slotCap   uint64
 	capTarget int
 
-	// 24 (mu) + 6×16 (interfaces) + 7×8 (atomics) + 16 = 192 B exactly:
-	// two cache lines, no false sharing between adjacent shards.
+	// stripes is the per-stripe sequence-word array (nil in single-word
+	// mode); see stripes.go for the protocol. stamped records whether the
+	// current global section actually stamped seq (false = it found the
+	// word poisoned odd by a panicked predecessor and must leave it so);
+	// inKeyWrite and escalated are the targeted-section state the
+	// escalate hook consults. All three are guarded by mu.
+	stripes    []stripeWord
+	stamped    bool
+	inKeyWrite bool
+	escalated  bool
+
+	// Padding to 256 B (4 cache lines): 24 (mu) + 6×16 (interfaces) +
+	// 8×8 (atomics) + 16 (slotCap/capTarget) + 24 (stripes) + 3 bools
+	// = 227, rounded up so one shard's write traffic never false-shares
+	// with a neighbouring shard's state in the shards slice.
+	_ [29]byte
 }
 
 // NewSharded builds an N-way sharded table over the named backend. Each
@@ -204,6 +236,42 @@ func NewSharded(backend string, shards int, cfg Config, selector hashfn.Func) (*
 	s.optCapable = seqlockCapable && s.hashed &&
 		s.shards[0].obe != nil && s.shards[0].obe.ReadLockFree()
 	s.optimistic = s.optCapable
+	// Resolve the seqlock stripe count: the configured power of two (0 =
+	// derive from the shard's slot capacity) clamped to the backends'
+	// StripeBound and maxStripes. Writers stamp stripes whenever striping
+	// resolves >1 — also under the race detector, where the read path is
+	// compiled out but the stamping code still runs under -race scrutiny,
+	// exactly as PR 6 treated the global word.
+	s.nstripes = 1
+	if s.hashed {
+		bound := maxStripes
+		for i := range s.shards {
+			sb, ok := s.shards[i].be.(StripedBackend)
+			if !ok {
+				bound = 1
+				break
+			}
+			if b := sb.StripeBound(); b < bound {
+				bound = b
+			}
+		}
+		req := cfg.SeqlockStripes
+		if req == 0 {
+			req = defaultStripes(s.shards[0].slotCap)
+		}
+		for s.nstripes*2 <= req && s.nstripes*2 <= bound {
+			s.nstripes *= 2
+		}
+	}
+	if s.nstripes > 1 {
+		s.striped = true
+		s.stripeMask = uint64(s.nstripes - 1)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.stripes = make([]stripeWord, s.nstripes)
+			sh.be.(StripedBackend).SetEscalateHook(sh.escalateLocked)
+		}
+	}
 	if s.sel == nil && !s.hashed {
 		// No hashed pass to piggyback on: fall back to a dedicated
 		// selector so routing costs one cheap Mix64, not a pair
@@ -263,23 +331,33 @@ const seqlockAttempts = 4
 
 // ReadStats aggregates the optimistic read path's health counters across
 // shards. Retries counts individual lock-free probes discarded by
-// sequence validation (each was retried or fell back); Fallbacks counts
-// reads that exhausted the retry budget and were served under the RLock.
-// Both stay zero on an uncontended table — the gauge of how often writers
-// actually perturb the lock-free path.
+// sequence validation (each was retried or fell back), split by the level
+// that failed: GlobalRetries for the shard-global word (a whole-arena
+// writer — sweep, migration, geometry swap, escalated or single-word-mode
+// write — owned the shard), StripeRetries for the key's stripe pair (a
+// targeted writer touched one of the reader's candidate buckets).
+// Fallbacks counts reads that exhausted the retry budget and were served
+// under the RLock. All stay zero on an uncontended table — the gauge of
+// how often writers actually perturb the lock-free path, and striping's
+// win shows up as GlobalRetries shrinking toward the (much rarer)
+// StripeRetries.
 type ReadStats struct {
-	Optimistic bool  // lock-free read path active
-	Retries    int64 // probes discarded by seqlock validation
-	Fallbacks  int64 // reads served by the RLock slow path after retries
+	Optimistic    bool  // lock-free read path active
+	Retries       int64 // probes discarded by seqlock validation (sum of the split)
+	StripeRetries int64 // discards attributed to per-stripe validation
+	GlobalRetries int64 // discards attributed to the shard-global word
+	Fallbacks     int64 // reads served by the RLock slow path after retries
 }
 
 // ReadStats returns the table's optimistic-read health counters.
 func (s *Sharded) ReadStats() ReadStats {
 	rs := ReadStats{Optimistic: s.optimistic}
 	for i := range s.shards {
-		rs.Retries += s.shards[i].retries.Load()
+		rs.GlobalRetries += s.shards[i].gretries.Load()
+		rs.StripeRetries += s.shards[i].sretries.Load()
 		rs.Fallbacks += s.shards[i].fallbacks.Load()
 	}
+	rs.Retries = rs.GlobalRetries + rs.StripeRetries
 	return rs
 }
 
@@ -298,36 +376,71 @@ func (s *Sharded) SetOptimisticReads(enable bool) bool {
 	return s.optimistic
 }
 
-// beginWrite/endWrite stamp the seqlock word around a locked mutating
-// section: odd while the arenas may be torn, even again before the lock
-// is released. Callers pair them as
+// beginWrite/endWrite stamp the shard-global seqlock word around a locked
+// whole-arena section (expiry sweep steps, migration pumps, geometry
+// swaps, single-word-mode sub-batches): odd while the arenas may be torn,
+// even again before the lock is released. Callers pair them non-deferred —
 //
 //	sh.mu.Lock()
-//	defer sh.mu.Unlock()
 //	sh.beginWrite()
-//	defer sh.endWrite()
+//	// ... mutate ...
+//	sh.endWrite()
+//	sh.mu.Unlock()
 //
-// — LIFO defers run endWrite before Unlock, so the counter is even by the
-// time the mutex admits blocked readers. A backend panic escaping the
-// section leaves seq odd forever, which fails safe: every later lock-free
-// read falls back to the (released) RLock path.
-func (sh *shardState) beginWrite() { sh.seq.Add(1) }
-func (sh *shardState) endWrite()   { sh.seq.Add(1) }
+// — so a backend panic escaping the section skips endWrite and leaves seq
+// odd forever, which fails safe: every later lock-free read of the shard
+// falls back to the (released) RLock path. beginWrite refuses to stamp a
+// word that is already odd — poisoned by a panicked predecessor — and
+// records the decision in sh.stamped so the matching endWrite leaves the
+// poison in place. (PR 6 deferred endWrite, which silently re-evened the
+// word once a caller recovered the panic, letting a later section's
+// stamps expose torn state as validly even; the non-deferred pairing
+// plus the parity check is the fix. Targeted single-key sections use
+// beginKeyWrite/endKeyWrite in stripes.go instead.)
+func (sh *shardState) beginWrite() { sh.stamped = sh.stampGlobal() }
+
+func (sh *shardState) endWrite() {
+	if sh.stamped {
+		sh.seq.Add(1)
+		sh.stamped = false
+	}
+}
 
 // readOn attempts one scalar lookup on the lock-free path. done=false
 // means every attempt was invalidated by writer traffic and the caller
 // must fall back to the locked path; no stats were committed for the
-// failed attempts (the locked lookup will record its own).
+// failed attempts (the locked lookup will record its own). In striped
+// mode the snapshot covers the global word plus the key's stripe pair —
+// both must be even before the probe and unchanged after it — so a
+// targeted writer on an unrelated stripe no longer discards this probe.
+// A stripe poisoned odd by a panicked writer makes every attempt fail
+// its pre-check, permanently routing that stripe's readers to the
+// fallback.
 func (s *Sharded) readOn(sh *shardState, shard int, key []byte, kh hashfn.KeyHashes) (id uint64, ok, done bool) {
+	st1, st2 := s.stripePair(kh)
+	striped := s.striped
 	for attempt := 0; attempt < seqlockAttempts; attempt++ {
-		s1 := sh.seq.Load()
-		if s1&1 != 0 { // writer mid-mutation: don't touch the arenas
-			sh.retries.Add(1)
+		g1 := sh.seq.Load()
+		if g1&1 != 0 { // writer mid-mutation: don't touch the arenas
+			sh.gretries.Add(1)
 			continue
 		}
+		var p1, p2 uint64
+		if striped {
+			p1 = sh.stripes[st1].seq.Load()
+			p2 = sh.stripes[st2].seq.Load()
+			if p1&1 != 0 || p2&1 != 0 { // targeted writer on our buckets
+				sh.sretries.Add(1)
+				continue
+			}
+		}
 		local, outcome, hit := sh.obe.ReadHashed(key, kh)
-		if sh.seq.Load() != s1 { // torn window: discard, retry
-			sh.retries.Add(1)
+		if sh.seq.Load() != g1 { // torn window: discard, retry
+			sh.gretries.Add(1)
+			continue
+		}
+		if striped && (sh.stripes[st1].seq.Load() != p1 || sh.stripes[st2].seq.Load() != p2) {
+			sh.sretries.Add(1)
 			continue
 		}
 		sh.obe.CommitReads(outcome, 1)
@@ -397,21 +510,36 @@ func (s *Sharded) insertOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) 
 
 // insertOnLocked is insertOn's locked section. A non-nil pe carries
 // pressure evictions staged by the FullEvictIdlest policy; the caller
-// fires them once the lock is released.
+// fires them once the lock is released. The admission gate runs before
+// the write section opens — sketch state is invisible to lock-free
+// readers, so a gated insert leaves every sequence word untouched — and
+// the growth pump runs after it closes, bracketing the global word
+// itself only when it has work to do.
 func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed bool) (uint64, *pendingEvictions, error) {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.beginWrite()
-	defer sh.endWrite()
-	// LIFO defers: the growth pump (auto-grow check + one migration step)
-	// runs inside the seqlock write section, before endWrite.
-	defer s.growPumps(sh, i, true)
 	if s.admit != nil { // SetAdmission guarantees the hashed path
 		if aerr := s.admitGateLocked(sh, i, key, kh); aerr != nil {
 			return 0, nil, aerr
 		}
 	}
+	st1, st2 := s.stripePair(kh)
+	ws := sh.beginKeyWrite(st1, st2)
+	var pe *pendingEvictions
+	local, err := s.insertKeyLocked(sh, i, key, kh, hashed, &pe)
+	sh.endKeyWrite(ws)
+	s.growPumps(sh, i, true)
+	return local, pe, err
+}
+
+// insertKeyLocked is the single-key insert core shared by the scalar and
+// batch paths: the insert itself, the FullEvictIdlest retry, the
+// auto-grow retry, the rejection counter and the expiry stamp. The caller
+// holds the shard's exclusive lock and an open write section covering the
+// key (the key's stripes or the global word); *pe is allocated lazily
+// when the eviction policy stages work.
+func (s *Sharded) insertKeyLocked(sh *shardState, shard int, key []byte, kh hashfn.KeyHashes, hashed bool, pe **pendingEvictions) (uint64, error) {
 	exp := s.expiry
 	lenBefore := 0
 	if exp != nil {
@@ -419,15 +547,16 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 	}
 	var local uint64
 	var err error
-	var pe *pendingEvictions
 	if hashed {
 		local, err = sh.hbe.InsertHashed(key, kh)
 	} else {
 		local, err = sh.be.Insert(key)
 	}
 	if err != nil && s.onFull == FullEvictIdlest && errors.Is(err, ErrTableFull) {
-		pe = s.getEvictScratch()
-		if s.evictIdlestLocked(sh, i, kh, pe) {
+		if *pe == nil {
+			*pe = s.getEvictScratch()
+		}
+		if s.evictIdlestLocked(sh, shard, kh, *pe) {
 			// The eviction freed one of this key's own candidate slots;
 			// re-measure the length so the retry's fresh/touch decision
 			// stays correct.
@@ -435,7 +564,7 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 			local, err = sh.hbe.InsertHashed(key, kh)
 		}
 	}
-	if err != nil && errors.Is(err, ErrTableFull) && s.growOnFullLocked(sh, i) {
+	if err != nil && errors.Is(err, ErrTableFull) && s.growOnFullLocked(sh, shard) {
 		// Auto-growth armed: a full structure starts a grow and the
 		// insert retries against the fresh arena.
 		lenBefore = sh.be.Len()
@@ -449,27 +578,31 @@ func (s *Sharded) insertOnLocked(i int, key []byte, kh hashfn.KeyHashes, hashed 
 		if errors.Is(err, ErrTableFull) {
 			sh.rejected.Add(1)
 		}
-		return 0, pe, err
+		return 0, err
 	}
 	if exp != nil {
 		// Len grew: fresh placement (stamp first-seen); unchanged: the
 		// flow was already resident and the insert was a touch.
-		exp.stamp(i, local, sh.be.Len() > lenBefore)
+		exp.stamp(shard, local, sh.be.Len() > lenBefore)
 	}
-	return local, pe, err
+	return local, nil
 }
 
 func (s *Sharded) deleteOn(i int, key []byte, kh hashfn.KeyHashes, hashed bool) bool {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.beginWrite()
-	defer sh.endWrite()
-	defer s.growPumps(sh, i, false)
+	st1, st2 := s.stripePair(kh)
+	ws := sh.beginKeyWrite(st1, st2)
+	var ok bool
 	if hashed {
-		return sh.hbe.DeleteHashed(key, kh)
+		ok = sh.hbe.DeleteHashed(key, kh)
+	} else {
+		ok = sh.be.Delete(key)
 	}
-	return sh.be.Delete(key)
+	sh.endKeyWrite(ws)
+	s.growPumps(sh, i, false)
+	return ok
 }
 
 // route performs the scalar per-key preamble shared by every operation:
@@ -748,19 +881,34 @@ func (s *Sharded) lookupShardOptimistic(shard int, keys [][]byte, sc *batchScrat
 		epoch = exp.epoch.Load() // one clock read per shard sub-batch
 	}
 	var deferred [MaxReadOutcomes]int64
+	striped := s.striped
 	plan := sc.plan[shard]
 	for pi := 0; pi < len(plan); pi++ {
 		i := plan[pi]
+		st1, st2 := s.stripePair(sc.khs[i])
 		resolved := false
 		for attempt := 0; attempt < seqlockAttempts; attempt++ {
-			s1 := sh.seq.Load()
-			if s1&1 != 0 {
-				sh.retries.Add(1)
+			g1 := sh.seq.Load()
+			if g1&1 != 0 {
+				sh.gretries.Add(1)
 				continue
 			}
+			var p1, p2 uint64
+			if striped {
+				p1 = sh.stripes[st1].seq.Load()
+				p2 = sh.stripes[st2].seq.Load()
+				if p1&1 != 0 || p2&1 != 0 {
+					sh.sretries.Add(1)
+					continue
+				}
+			}
 			local, outcome, hit := sh.obe.ReadHashed(keys[i], sc.khs[i])
-			if sh.seq.Load() != s1 {
-				sh.retries.Add(1)
+			if sh.seq.Load() != g1 {
+				sh.gretries.Add(1)
+				continue
+			}
+			if striped && (sh.stripes[st1].seq.Load() != p1 || sh.stripes[st2].seq.Load() != p2) {
+				sh.sretries.Add(1)
 				continue
 			}
 			deferred[outcome]++
@@ -868,17 +1016,24 @@ func (s *Sharded) insertShardInto(shard int, keys [][]byte, sc *batchScratch, id
 }
 
 // insertShardLocked is insertShardInto's exclusive-lock section; a
-// non-nil result carries the sub-batch's staged pressure evictions.
+// non-nil result carries the sub-batch's staged pressure evictions. In
+// striped mode each key gets its own targeted write section (stamping
+// two stripe words per key, so concurrent readers of untouched stripes
+// keep validating throughout the sub-batch); in single-word mode one
+// global section covers the whole sub-batch, preserving PR 6's
+// two-atomic-adds-per-sub-batch cost model. The growth pump runs after
+// the write sections, bracketing the global word itself only when it has
+// work to do.
 func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, ids []uint64, errs []error) *pendingEvictions {
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.beginWrite()
-	defer sh.endWrite()
-	defer s.growPumps(sh, shard, true)
 	s.prefetchShard(sh, sc, shard)
-	exp := s.expiry
 	var pe *pendingEvictions
+	striped := s.striped
+	if !striped {
+		sh.beginWrite()
+	}
 	for _, i := range sc.plan[shard] {
 		if s.admit != nil { // SetAdmission guarantees the hashed path
 			if aerr := s.admitGateLocked(sh, shard, keys[i], sc.khs[i]); aerr != nil {
@@ -886,48 +1041,30 @@ func (s *Sharded) insertShardLocked(shard int, keys [][]byte, sc *batchScratch, 
 				continue
 			}
 		}
-		lenBefore := 0
-		if exp != nil {
-			lenBefore = sh.be.Len()
-		}
 		var local uint64
 		var err error
-		if s.hashed {
-			local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
+		if striped { // implies s.hashed
+			st1, st2 := s.stripePair(sc.khs[i])
+			ws := sh.beginKeyWrite(st1, st2)
+			local, err = s.insertKeyLocked(sh, shard, keys[i], sc.khs[i], true, &pe)
+			sh.endKeyWrite(ws)
 		} else {
-			local, err = sh.be.Insert(keys[i])
-		}
-		if err != nil && s.onFull == FullEvictIdlest && errors.Is(err, ErrTableFull) {
-			if pe == nil {
-				pe = s.getEvictScratch()
+			var kh hashfn.KeyHashes
+			if s.hashed { // khs is only populated on the hashed path
+				kh = sc.khs[i]
 			}
-			if s.evictIdlestLocked(sh, shard, sc.khs[i], pe) {
-				lenBefore = sh.be.Len()
-				local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
-			}
-		}
-		if err != nil && errors.Is(err, ErrTableFull) && s.growOnFullLocked(sh, shard) {
-			// Auto-growth armed: a full structure starts a grow and the
-			// insert retries against the fresh arena.
-			lenBefore = sh.be.Len()
-			if s.hashed {
-				local, err = sh.hbe.InsertHashed(keys[i], sc.khs[i])
-			} else {
-				local, err = sh.be.Insert(keys[i])
-			}
+			local, err = s.insertKeyLocked(sh, shard, keys[i], kh, s.hashed, &pe)
 		}
 		if err != nil {
-			if errors.Is(err, ErrTableFull) {
-				sh.rejected.Add(1)
-			}
 			errs[i] = err
 			continue
 		}
-		if exp != nil {
-			exp.stamp(shard, local, sh.be.Len() > lenBefore)
-		}
 		ids[i] = s.globalID(shard, local)
 	}
+	if !striped {
+		sh.endWrite()
+	}
+	s.growPumps(sh, shard, true)
 	return pe
 }
 
@@ -992,23 +1129,34 @@ func (s *Sharded) InsertBatchInto(keys [][]byte, ids []uint64, errs []error) {
 }
 
 // deleteShard resolves one shard's slice of the batch under an exclusive
-// lock.
+// lock: per-key targeted write sections in striped mode, one global
+// section for the whole sub-batch otherwise.
 func (s *Sharded) deleteShard(shard int, keys [][]byte, sc *batchScratch, ok []bool) {
 	sh := &s.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if s.striped { // implies s.hashed
+		for _, i := range sc.plan[shard] {
+			st1, st2 := s.stripePair(sc.khs[i])
+			ws := sh.beginKeyWrite(st1, st2)
+			ok[i] = sh.hbe.DeleteHashed(keys[i], sc.khs[i])
+			sh.endKeyWrite(ws)
+		}
+		s.growPumps(sh, shard, false)
+		return
+	}
 	sh.beginWrite()
-	defer sh.endWrite()
-	defer s.growPumps(sh, shard, false)
 	if s.hashed {
 		for _, i := range sc.plan[shard] {
 			ok[i] = sh.hbe.DeleteHashed(keys[i], sc.khs[i])
 		}
-		return
+	} else {
+		for _, i := range sc.plan[shard] {
+			ok[i] = sh.be.Delete(keys[i])
+		}
 	}
-	for _, i := range sc.plan[shard] {
-		ok[i] = sh.be.Delete(keys[i])
-	}
+	sh.endWrite()
+	s.growPumps(sh, shard, false)
 }
 
 // DeleteBatch deletes all keys, reporting per-key presence positionally.

@@ -1,0 +1,207 @@
+package table
+
+// This file implements the striped half of the Sharded table's
+// hierarchical seqlock. PR 6's single sequence word per shard meant any
+// write invalidated every in-flight lock-free read on the shard; here
+// each shard additionally carries a power-of-two array of cache-line
+// padded sequence words — stripes — and a targeted write (one key's
+// insert or delete) stamps only the stripes covering its candidate
+// buckets. The shard-global word is retained for whole-arena mutations
+// (expiry sweep steps, migration pumps, geometry swaps, pressure
+// evictions, CAM traffic) via escalation, so a reader validates exactly
+// two levels: the global word plus its own key's stripe pair.
+//
+// # Stripe derivation
+//
+// The stripe of a bucket is a low-bit fold of the same hash word that
+// derived the bucket index: stripe = word & (nstripes-1). Because every
+// backend reduces a word w to a power-of-two bucket count B as
+// w & (B-1) (hashfn.Reduce), and nstripes divides B, the stripe is a
+// pure function of the bucket index — bucket & (nstripes-1) — for every
+// geometry the backend will ever run, including mid-grow retiring
+// arenas (grows only double B, so the construction-time bucket count is
+// the minimum). That gives the soundness property the protocol needs:
+// any bucket a write of key K touches is congruent to K's H1 or H2 word
+// mod nstripes, so any reader whose probe set intersects the written
+// bucket shares a stripe with the writer and fails revalidation.
+//
+// Deriving stripes from anything not congruent to the bucket index
+// (e.g. unrelated hash bits) would be unsound: a reader of a deleted
+// key K' could false-hit on K''s stale bytes in a slot a writer is
+// concurrently overwriting, with no shared stripe to catch the tear.
+// StripedBackend.StripeBound is therefore the largest stripe count the
+// backend's geometry keeps bucket-index-pure, and NewSharded clamps to
+// it.
+//
+// # Poison (panic fail-safe)
+//
+// Begin-stamps check parity and refuse to touch a word that is already
+// odd: the only way a word is odd while the shard's write lock is free
+// is that a previous writer panicked mid-mutation, and the word must
+// then stay odd forever so every later lock-free read of that stripe
+// (or, for the global word, of the whole shard) falls back to the
+// RLock path. End-stamps run non-deferred after the mutation — a panic
+// skips them by construction — and only re-even the words their own
+// section actually stamped (the writeStamp token).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/hashfn"
+)
+
+// StripedBackend is the optional striping extension of
+// OptimisticBackend: a structure whose candidate buckets are low-bit
+// reductions of the KeyHashes words, so the Sharded layer can stamp
+// per-stripe sequence words instead of the shard-global one for
+// targeted writes.
+type StripedBackend interface {
+	// StripeBound returns the largest power-of-two stripe count for
+	// which every bucket the structure will ever read or write for a
+	// key is congruent to one of the key's KeyHashes words modulo the
+	// stripe count — in practice the construction-time bucket count
+	// when it is a power of two and every sub-table is bound to a
+	// KeyHashes word, and 1 otherwise (striping disabled).
+	StripeBound() int
+	// SetEscalateHook registers fn, which the structure must call
+	// BEFORE its first mutation of any state outside the key's
+	// candidate buckets during an insert or delete — CAM traffic,
+	// cuckoo kick chains leaving the start buckets. The hook is
+	// idempotent within one write section and must only be invoked
+	// under the same exclusive lock as Insert/Delete.
+	SetEscalateHook(fn func())
+}
+
+// stripeWord is one stripe's sequence word, padded to a cache line so
+// stamping one stripe never invalidates a neighbouring stripe's line in
+// readers' caches (the whole point of striping).
+type stripeWord struct {
+	seq atomic.Uint64
+	_   [56]byte
+}
+
+// maxStripes caps the automatic sizing (and the explicit knob) at 512
+// stripes per shard: 32 KiB of padded words, past which the validation
+// win per stripe is noise but the footprint keeps doubling.
+const maxStripes = 512
+
+// defaultStripes derives the stripe count for a shard of slotCap real
+// slots when the configuration does not pin one: one stripe per ~64
+// slots, rounded down to a power of two and clamped to [1, maxStripes].
+// At the repo-default geometry (64k flows over 8 shards) this lands on
+// 128 stripes per shard.
+func defaultStripes(slotCap uint64) int {
+	n := 1
+	for uint64(n)*2*64 <= slotCap && n*2 <= maxStripes {
+		n *= 2
+	}
+	return n
+}
+
+// stripePair folds a key's two hash words onto its stripe indices. The
+// mask is zero when striping is off, collapsing both to stripe 0
+// (unused in that mode).
+func (s *Sharded) stripePair(kh hashfn.KeyHashes) (uint64, uint64) {
+	return kh.H1 & s.stripeMask, kh.H2 & s.stripeMask
+}
+
+// Stripes returns the effective per-shard stripe count: 1 when the
+// table runs the single-word (PR 6) protocol, the clamped power of two
+// otherwise. Bench row identity includes it.
+func (s *Sharded) Stripes() int { return s.nstripes }
+
+// writeStamp is the stack token of one targeted write section: which
+// stripes the section covers and which words beginKeyWrite actually
+// stamped (false = the word was already odd, i.e. poisoned by a
+// panicked predecessor, and must stay odd). Living on the caller's
+// stack, it is lost on panic — so a panicked section's words are never
+// re-evened.
+type writeStamp struct {
+	s1, s2   uint64
+	st1, st2 bool
+	global   bool // single-word mode: the global word was stamped
+}
+
+// beginKeyWrite opens a targeted write section covering stripes s1 and
+// s2 (the key's H1/H2 stripe pair; equal is fine). In single-word mode
+// it stamps the global word instead. Caller holds the shard's write
+// lock.
+func (sh *shardState) beginKeyWrite(s1, s2 uint64) writeStamp {
+	if sh.stripes == nil {
+		return writeStamp{global: sh.stampGlobal()}
+	}
+	sh.inKeyWrite = true
+	// A predecessor that panicked after escalating leaks escalated=true;
+	// clear it without touching the (poisoned, odd) global word.
+	sh.escalated = false
+	ws := writeStamp{s1: s1, s2: s2}
+	ws.st1 = sh.stampStripe(s1)
+	if s2 != s1 {
+		ws.st2 = sh.stampStripe(s2)
+	}
+	return ws
+}
+
+// endKeyWrite closes a targeted write section: re-evens the stripes the
+// section stamped, then the global word if the section escalated. Must
+// be called directly after the mutation, never deferred — a panicking
+// backend must leave its words odd.
+func (sh *shardState) endKeyWrite(ws writeStamp) {
+	if sh.stripes == nil {
+		if ws.global {
+			sh.seq.Add(1)
+		}
+		return
+	}
+	if ws.st1 {
+		sh.stripes[ws.s1].seq.Add(1)
+	}
+	if ws.st2 {
+		sh.stripes[ws.s2].seq.Add(1)
+	}
+	if sh.escalated {
+		sh.seq.Add(1)
+		sh.escalated = false
+	}
+	sh.inKeyWrite = false
+}
+
+// stampStripe makes stripe i odd, reporting whether it did; a stripe
+// found already odd was poisoned by a panicked writer and is left
+// alone (odd forever). Caller holds the shard's write lock.
+func (sh *shardState) stampStripe(i uint64) bool {
+	if sh.stripes[i].seq.Load()&1 != 0 {
+		return false
+	}
+	sh.stripes[i].seq.Add(1)
+	return true
+}
+
+// stampGlobal makes the global word odd, reporting whether it did (a
+// poisoned word is left odd). Caller holds the shard's write lock.
+func (sh *shardState) stampGlobal() bool {
+	if sh.seq.Load()&1 != 0 {
+		return false
+	}
+	sh.seq.Add(1)
+	return true
+}
+
+// escalateLocked promotes the current targeted write section to the
+// global word: the section is about to mutate state outside the key's
+// candidate buckets (CAM traffic, a cuckoo kick chain leaving its
+// start buckets, a geometry swap, a pressure eviction), which the
+// key's stripes cannot cover. Idempotent per section; a no-op outside
+// a targeted section (whole-arena sections hold the global word
+// already) and on an already-poisoned global word. endKeyWrite re-evens
+// the word. Wired into backends as the StripedBackend escalate hook.
+func (sh *shardState) escalateLocked() {
+	if !sh.inKeyWrite || sh.escalated {
+		return
+	}
+	if sh.seq.Load()&1 != 0 {
+		return // global word already poisoned odd: readers all fall back
+	}
+	sh.escalated = true
+	sh.seq.Add(1)
+}

@@ -1,0 +1,546 @@
+package table
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hashfn"
+)
+
+// stripeKey builds the standard 13-byte test key for index i (the internal
+// twin of the external suite's key13 helper).
+func stripeKey(i uint64) []byte {
+	k := make([]byte, 13)
+	for b := 0; b < 8; b++ {
+		k[b] = byte(i >> (8 * b))
+	}
+	return k
+}
+
+// stripeSetOf folds a key's stripe pair into a small set for overlap
+// queries.
+func stripeSetOf(s *Sharded, key []byte) map[uint64]bool {
+	s1, s2 := s.stripePair(s.pair.Compute(key))
+	return map[uint64]bool{s1: true, s2: true}
+}
+
+func disjointStripes(a, b map[uint64]bool) bool {
+	for st := range a {
+		if b[st] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDefaultStripes pins the automatic sizing curve: one stripe per ~64
+// slots, rounded down to a power of two, clamped to [1, maxStripes].
+func TestDefaultStripes(t *testing.T) {
+	cases := []struct {
+		slotCap uint64
+		want    int
+	}{
+		{0, 1}, {1, 1}, {127, 1}, {128, 2}, {256, 4},
+		{16384, 256}, {1 << 16, maxStripes}, {1 << 30, maxStripes},
+	}
+	for _, c := range cases {
+		if got := defaultStripes(c.slotCap); got != c.want {
+			t.Errorf("defaultStripes(%d) = %d, want %d", c.slotCap, got, c.want)
+		}
+	}
+}
+
+// TestStripeResolution pins the construction-time clamping of the stripe
+// knob: explicit counts are honoured up to the backend bound and
+// maxStripes, 1 selects the single-word protocol, non-powers of two are
+// rejected by validation, and backends without the hashed path never
+// stripe.
+func TestStripeResolution(t *testing.T) {
+	mk := func(stripes, capacity int) (*Sharded, error) {
+		return NewSharded("hashcam", 2, Config{
+			Capacity: capacity, SeqlockStripes: stripes, Hash: hashfn.DefaultPair(),
+		}, nil)
+	}
+	s, err := mk(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 1 || s.striped || s.shards[0].stripes != nil {
+		t.Fatalf("stripes=1 did not select the single-word protocol: n=%d striped=%v", s.Stripes(), s.striped)
+	}
+	s, err = mk(8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != 8 || !s.striped || len(s.shards[0].stripes) != 8 {
+		t.Fatalf("stripes=8 resolved to %d (striped=%v)", s.Stripes(), s.striped)
+	}
+	if s.stripeMask != 7 {
+		t.Fatalf("stripe mask %d for 8 stripes", s.stripeMask)
+	}
+	// A request past every bound clamps to maxStripes on a big table.
+	s, err = mk(1<<20, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stripes() != maxStripes {
+		t.Fatalf("oversized request resolved to %d, want %d", s.Stripes(), maxStripes)
+	}
+	if _, err := mk(3, 4096); err == nil {
+		t.Fatal("non-power-of-two stripe count accepted")
+	}
+	if _, err := mk(-2, 4096); err == nil {
+		t.Fatal("negative stripe count accepted")
+	}
+	// The byte-key fallback wrapper has no hashed path, so striping (which
+	// folds KeyHashes words) must stay off regardless of the request.
+	sp, err := NewSharded("testplain", 2, Config{
+		Capacity: 4096, SeqlockStripes: 64, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stripes() != 1 || sp.striped {
+		t.Fatalf("unhashed backend striped: n=%d", sp.Stripes())
+	}
+}
+
+// TestStripedConflictIsolation is the deterministic heart of the striping
+// claim: with one stripe held odd (a writer parked mid-mutation on those
+// buckets), readers of keys on other stripes must keep completing
+// lock-free, while readers of the written stripe burn stripe retries and
+// fall back — and the conflict must be attributed to the stripe level,
+// never the global word.
+func TestStripedConflictIsolation(t *testing.T) {
+	if !seqlockCapable {
+		t.Skip("optimistic path compiled out under -race")
+	}
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 4096, SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.striped || !s.OptimisticReads() {
+		t.Fatalf("striped optimistic table expected: striped=%v opt=%v", s.striped, s.OptimisticReads())
+	}
+	ids := map[uint64]uint64{}
+	for i := uint64(0); i < 64; i++ {
+		id, err := s.Insert(stripeKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Pick a victim key A and a bystander key B with disjoint stripe pairs.
+	keyA := stripeKey(0)
+	setA := stripeSetOf(s, keyA)
+	var keyB []byte
+	var idB uint64
+	for i := uint64(1); i < 64; i++ {
+		if disjointStripes(setA, stripeSetOf(s, stripeKey(i))) {
+			keyB, idB = stripeKey(i), ids[i]
+			break
+		}
+	}
+	if keyB == nil {
+		t.Fatal("no key with stripes disjoint from key A among 64 keys over 8 stripes")
+	}
+
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	stA1, stA2 := s.stripePair(s.pair.Compute(keyA))
+	sh.stripes[stA1].seq.Add(1)
+	if stA2 != stA1 {
+		sh.stripes[stA2].seq.Add(1)
+	}
+
+	type result struct {
+		id uint64
+		ok bool
+	}
+	blocked := make(chan result, 1)
+	go func() {
+		id, ok := s.Lookup(keyA)
+		blocked <- result{id, ok}
+	}()
+	deadline := time.After(2 * time.Second)
+	for sh.fallbacks.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("reader of the held stripe did not fall back (sretries %d)", sh.sretries.Load())
+		case r := <-blocked:
+			t.Fatalf("reader of the held stripe completed (%d,%v) while the stripe was odd", r.id, r.ok)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := sh.sretries.Load(); got < seqlockAttempts {
+		t.Fatalf("stripe retries %d, want at least the full budget %d", got, seqlockAttempts)
+	}
+	if got := sh.gretries.Load(); got != 0 {
+		t.Fatalf("conflict misattributed to the global word: %d global retries", got)
+	}
+	if sh.seq.Load()&1 != 0 {
+		t.Fatal("global word went odd for a stripe-local conflict")
+	}
+	// The bystander completes lock-free while the shard's write lock and
+	// the victim stripe are both held: no new fallbacks, correct result.
+	f0 := sh.fallbacks.Load()
+	for n := 0; n < 8; n++ {
+		if id, ok := s.Lookup(keyB); !ok || id != idB {
+			t.Fatalf("bystander lookup (%d,%v), want (%d,true)", id, ok, idB)
+		}
+	}
+	if got := sh.fallbacks.Load(); got != f0 {
+		t.Fatalf("bystander reads fell back (%d -> %d) despite disjoint stripes", f0, got)
+	}
+
+	// Release: re-even the stripes, drop the lock, and the parked reader
+	// must complete correctly on the RLock path.
+	sh.stripes[stA1].seq.Add(1)
+	if stA2 != stA1 {
+		sh.stripes[stA2].seq.Add(1)
+	}
+	sh.mu.Unlock()
+	if r := <-blocked; !r.ok || r.id != ids[0] {
+		t.Fatalf("victim fallback read (%d,%v), want (%d,true)", r.id, r.ok, ids[0])
+	}
+	st := s.ReadStats()
+	if st.StripeRetries < seqlockAttempts || st.GlobalRetries != 0 || st.Fallbacks != 1 {
+		t.Fatalf("ReadStats %+v does not attribute the conflict to the stripe level", st)
+	}
+}
+
+// escalations reports how many whole-arena write sections shard sh has
+// completed, assuming a quiescent table: each one advances the global
+// word by exactly 2.
+func escalations(sh *shardState) int64 { return int64(sh.seq.Load() / 2) }
+
+// TestCuckooKickChainEscalation pins the escalation contract on the
+// backend whose writes wander: sparse cuckoo inserts stay within the
+// key's two candidate buckets (no global-word traffic), while the kick
+// chains forced by a filling table must escalate to the global word
+// before relocating anything — observable as the word advancing in even
+// steps. The schedule is deterministic (fixed keys, unkeyed CRC pair).
+func TestCuckooKickChainEscalation(t *testing.T) {
+	s, err := NewSharded("cuckoo", 1, Config{
+		Capacity: 512, SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.striped {
+		t.Fatal("cuckoo backend did not stripe")
+	}
+	sh := &s.shards[0]
+	for i := uint64(0); i < 32; i++ {
+		if _, err := s.Insert(stripeKey(i)); err != nil {
+			t.Fatalf("sparse insert %d: %v", i, err)
+		}
+		if g := sh.seq.Load(); g != 0 {
+			t.Fatalf("sparse insert %d escalated to the global word (seq %d)", i, g)
+		}
+	}
+	// Fill until the first rejection: cuckoo only reports full after a
+	// maximal kick chain, so by then relocation escalations must have
+	// happened.
+	full := false
+	for i := uint64(32); i < 2048 && !full; i++ {
+		_, err := s.Insert(stripeKey(i))
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTableFull):
+			full = true
+		default:
+			t.Fatalf("fill insert %d: %v", i, err)
+		}
+	}
+	if !full {
+		t.Fatal("cuckoo table never filled at 4x capacity inserts")
+	}
+	if escalations(sh) == 0 {
+		t.Fatal("kick chains relocated entries without ever escalating to the global word")
+	}
+	if sh.seq.Load()&1 != 0 {
+		t.Fatal("global word left odd after escalated inserts returned")
+	}
+}
+
+// TestHashcamCAMEscalation pins the other escalation site: hashcam
+// inserts that overflow a bucket into the shared CAM, and deletes that
+// remove a CAM-resident key, both mutate state outside the key's stripe
+// pair and must escalate. Bucket-resident traffic must not.
+func TestHashcamCAMEscalation(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 256, SlotsPerBucket: 2, CAMCapacity: 32,
+		SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &s.shards[0]
+	inserted := make([]uint64, 0, 256)
+	for i := uint64(0); len(inserted) < 200; i++ {
+		if _, err := s.Insert(stripeKey(i)); err != nil {
+			if errors.Is(err, ErrTableFull) {
+				break
+			}
+			t.Fatal(err)
+		}
+		inserted = append(inserted, i)
+	}
+	afterFill := escalations(sh)
+	if afterFill == 0 {
+		t.Fatal("no insert overflowed into the CAM at ~78% load on 2-slot buckets")
+	}
+	if sh.seq.Load()&1 != 0 {
+		t.Fatal("global word left odd after CAM inserts returned")
+	}
+	for _, i := range inserted {
+		if !s.Delete(stripeKey(i)) {
+			t.Fatalf("resident key %d not deleted", i)
+		}
+	}
+	if escalations(sh) == afterFill {
+		t.Fatal("deleting the CAM-resident keys never escalated to the global word")
+	}
+	if sh.seq.Load()&1 != 0 || s.Len() != 0 {
+		t.Fatalf("after delete-all: seq %d, len %d", sh.seq.Load(), s.Len())
+	}
+}
+
+// TestEscalateOutsideKeyWriteIsNoop pins the hook's guard: invoked with
+// no targeted section open (a whole-arena caller already owns the global
+// word), it must not touch anything.
+func TestEscalateOutsideKeyWriteIsNoop(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 1024, SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.escalateLocked()
+	if g := sh.seq.Load(); g != 0 {
+		t.Fatalf("escalate outside a key write moved the global word to %d", g)
+	}
+	sh.mu.Unlock()
+}
+
+// insertMustPanic drives one insert that the backend must reject by
+// panicking (a key violating the configured width reaches the slot
+// store mid-mutation), returning after recovering it.
+func insertMustPanic(t *testing.T, s *Sharded, key []byte) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width key did not panic")
+		}
+	}()
+	s.Insert(key)
+}
+
+// TestPanicPoisonStripe is the striped half of the panic fail-safe: a
+// backend panic inside a targeted write section must leave the key's
+// stripes odd forever — readers of those stripes permanently fall back
+// to the (released) RLock path and stay correct — while the global word
+// and every other stripe keep serving lock-free reads, and no later
+// write section may un-poison the stripe.
+func TestPanicPoisonStripe(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 4096, SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &s.shards[0]
+	ids := map[uint64]uint64{}
+	for i := uint64(0); i < 64; i++ {
+		id, err := s.Insert(stripeKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	bad := make([]byte, 5) // violates the 13-byte slot width mid-mutation
+	insertMustPanic(t, s, bad)
+	p1, p2 := s.stripePair(s.pair.Compute(bad))
+	poisoned := map[uint64]bool{p1: true, p2: true}
+	if sh.stripes[p1].seq.Load()&1 == 0 || sh.stripes[p2].seq.Load()&1 == 0 {
+		t.Fatal("panicked write section left its stripes even")
+	}
+	if sh.seq.Load()&1 != 0 {
+		t.Fatal("stripe-local panic poisoned the global word")
+	}
+
+	// Readers of an unrelated stripe keep the lock-free path; readers of a
+	// poisoned stripe must fall back — and still get correct answers (the
+	// panic released the mutex via the deferred unlock).
+	var hot, cold uint64
+	hotFound, coldFound := false, false
+	for i := uint64(0); i < 64 && (!hotFound || !coldFound); i++ {
+		set := stripeSetOf(s, stripeKey(i))
+		overlaps := !disjointStripes(set, poisoned)
+		if overlaps && !hotFound {
+			hot, hotFound = i, true
+		}
+		if !overlaps && !coldFound {
+			cold, coldFound = i, true
+		}
+	}
+	if !hotFound || !coldFound {
+		t.Fatal("could not find keys on and off the poisoned stripes")
+	}
+	if s.OptimisticReads() {
+		f0 := sh.fallbacks.Load()
+		if id, ok := s.Lookup(stripeKey(cold)); !ok || id != ids[cold] {
+			t.Fatalf("cold-stripe lookup (%d,%v), want (%d,true)", id, ok, ids[cold])
+		}
+		if got := sh.fallbacks.Load(); got != f0 {
+			t.Fatal("cold-stripe reader fell back after an unrelated stripe was poisoned")
+		}
+		if id, ok := s.Lookup(stripeKey(hot)); !ok || id != ids[hot] {
+			t.Fatalf("poisoned-stripe lookup (%d,%v), want (%d,true)", id, ok, ids[hot])
+		}
+		if got := sh.fallbacks.Load(); got != f0+1 {
+			t.Fatalf("poisoned-stripe reader did not fall back (fallbacks %d -> %d)", f0, got)
+		}
+	}
+
+	// A later successful write covering the poisoned stripe must refuse to
+	// stamp it (and so never re-even it): the regression PR 6's deferred
+	// endWrite had, transplanted to stripes.
+	var onPoisoned uint64
+	found := false
+	for i := uint64(1 << 20); i < 1<<20+4096; i++ {
+		s1, s2 := s.stripePair(s.pair.Compute(stripeKey(i)))
+		if poisoned[s1] || poisoned[s2] {
+			onPoisoned, found = i, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no fresh key landing on the poisoned stripes")
+	}
+	if _, err := s.Insert(stripeKey(onPoisoned)); err != nil {
+		t.Fatalf("insert on a poisoned stripe must still work: %v", err)
+	}
+	if sh.stripes[p1].seq.Load()&1 == 0 || sh.stripes[p2].seq.Load()&1 == 0 {
+		t.Fatal("a later write section un-poisoned the stripe")
+	}
+	if _, ok := s.Lookup(stripeKey(onPoisoned)); !ok {
+		t.Fatal("key written over the poisoned stripe not readable")
+	}
+}
+
+// TestPanicPoisonGlobal is the single-word half (and the direct
+// regression test for the PR 6 bug this PR fixes): with stripes=1, a
+// backend panic inside the write section leaves the global word odd, a
+// recovered caller's later successful writes must NOT re-even it, and
+// every read is served — correctly — by the fallback path.
+func TestPanicPoisonGlobal(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 1024, SeqlockStripes: 1, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &s.shards[0]
+	idA, err := s.Insert(stripeKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertMustPanic(t, s, make([]byte, 5))
+	if sh.seq.Load()&1 == 0 {
+		t.Fatal("panicked write section left the global word even")
+	}
+	// The PR 6 regression: a later clean write section silently re-evened
+	// the word via its deferred endWrite, letting readers trust bytes a
+	// panicked writer may have half-written.
+	if _, err := s.Insert(stripeKey(2)); err != nil {
+		t.Fatalf("insert after a recovered panic: %v", err)
+	}
+	if sh.seq.Load()&1 == 0 {
+		t.Fatal("a later write section un-poisoned the global word")
+	}
+	if !s.Delete(stripeKey(2)) {
+		t.Fatal("delete after a recovered panic lost the key")
+	}
+	if sh.seq.Load()&1 == 0 {
+		t.Fatal("a later delete section un-poisoned the global word")
+	}
+	if s.OptimisticReads() {
+		f0 := sh.fallbacks.Load()
+		if id, ok := s.Lookup(stripeKey(1)); !ok || id != idA {
+			t.Fatalf("post-poison lookup (%d,%v), want (%d,true)", id, ok, idA)
+		}
+		if got := sh.fallbacks.Load(); got != f0+1 {
+			t.Fatalf("post-poison read did not fall back (fallbacks %d -> %d)", f0, got)
+		}
+		if got := sh.gretries.Load(); got < seqlockAttempts {
+			t.Fatalf("global retries %d, want the full budget %d", got, seqlockAttempts)
+		}
+	}
+	// Whole-arena sections must also refuse the poisoned word and leave it
+	// odd on exit.
+	sh.mu.Lock()
+	sh.beginWrite()
+	if sh.stamped {
+		t.Fatal("beginWrite stamped a poisoned word")
+	}
+	sh.endWrite()
+	if sh.seq.Load()&1 == 0 {
+		t.Fatal("a whole-arena section un-poisoned the global word")
+	}
+	sh.mu.Unlock()
+}
+
+// TestPanicPoisonEscalated simulates the worst panic point: a targeted
+// section that had already escalated to the global word dies before
+// endKeyWrite. Both the key's stripes and the global word must stay odd
+// through later whole-arena and targeted sections.
+func TestPanicPoisonEscalated(t *testing.T) {
+	s, err := NewSharded("hashcam", 1, Config{
+		Capacity: 4096, SeqlockStripes: 8, Hash: hashfn.DefaultPair(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	_ = sh.beginKeyWrite(2, 5) // the writeStamp dies with the "panicked" frame
+	sh.escalateLocked()
+	sh.mu.Unlock()
+	if sh.seq.Load()&1 == 0 || sh.stripes[2].seq.Load()&1 == 0 || sh.stripes[5].seq.Load()&1 == 0 {
+		t.Fatal("escalated panic did not leave the global word and both stripes odd")
+	}
+	// A whole-arena section refuses the poisoned global word.
+	sh.mu.Lock()
+	sh.beginWrite()
+	sh.endWrite()
+	sh.mu.Unlock()
+	if sh.seq.Load()&1 == 0 {
+		t.Fatal("whole-arena section un-poisoned the escalated global word")
+	}
+	// A clean targeted write on other stripes completes, re-evens only its
+	// own stamps, and leaves all three poisoned words alone.
+	if _, err := s.Insert(stripeKey(9)); err != nil {
+		t.Fatal(err)
+	}
+	if sh.seq.Load()&1 == 0 || sh.stripes[2].seq.Load()&1 == 0 || sh.stripes[5].seq.Load()&1 == 0 {
+		t.Fatal("a later targeted section un-poisoned the escalated words")
+	}
+	// With the global word poisoned every reader falls back, but results
+	// stay correct.
+	if _, ok := s.Lookup(stripeKey(9)); !ok {
+		t.Fatal("lookup under a poisoned global word lost the key")
+	}
+	if s.OptimisticReads() {
+		if got := s.ReadStats().Fallbacks; got == 0 {
+			t.Fatal("poisoned global word did not route readers to the fallback")
+		}
+	}
+}

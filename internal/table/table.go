@@ -171,6 +171,17 @@ type Config struct {
 	// the idlest candidate slot and retry; requires EnableExpiry). Plain
 	// backends ignore it — degradation is a Sharded-layer concern.
 	OnFull FullPolicy
+	// SeqlockStripes selects the Sharded layer's seqlock granularity for
+	// targeted writes: 0 derives a per-shard stripe count from the real
+	// slot capacity (the default), 1 pins the single-word-per-shard
+	// protocol (every write invalidates every in-flight lock-free read
+	// on its shard — the PR-6 behaviour, kept as the measurable
+	// control), and a power of two > 1 requests that many per-shard
+	// stripes, clamped to what the backends' geometry supports
+	// (StripedBackend.StripeBound) and to 512. Any other value is
+	// rejected by Validate. Plain backends ignore it — striping is a
+	// Sharded-layer concern.
+	SeqlockStripes int
 }
 
 // MaxCapacity bounds Config.Capacity: beyond ~10^12 entries the
@@ -194,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if c.KeyLen < 0 {
 		return fmt.Errorf("table: key length %d is negative", c.KeyLen)
+	}
+	if c.SeqlockStripes < 0 || (c.SeqlockStripes > 0 && c.SeqlockStripes&(c.SeqlockStripes-1) != 0) {
+		return fmt.Errorf("table: seqlock stripes must be 0 (auto) or a power of two, got %d", c.SeqlockStripes)
 	}
 	return nil
 }
